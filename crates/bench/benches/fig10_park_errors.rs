@@ -1,0 +1,65 @@
+//! Fig. 10 — absolute error of every metric for fully-optimized Zatel on
+//! the PARK scene, for the Mobile SoC and RTX 2060 configurations; plus the
+//! Section IV-B "≤10 % of pixels" speed-run on Mobile SoC.
+
+use rtcore::scenes::SceneId;
+use zatel::Zatel;
+use zatel_bench as bench;
+
+fn main() {
+    bench::banner(
+        "Fig. 10 — errors of metrics using Mobile SoC and RTX 2060 on PARK",
+        "fully optimized Zatel: natural K, fine-grained 32x2 division, uniform dist, Eq.(1) budget",
+    );
+    let res = bench::resolution();
+    let scene = bench::build_scene(SceneId::Park);
+    let mut json = serde_json::Map::new();
+
+    for config in bench::eval_configs() {
+        let zatel = Zatel::new(&scene, config.clone(), res, res, bench::trace_config());
+        let k = zatel.resolve_factor().expect("presets downscale");
+        let prediction = zatel.run().expect("pipeline runs");
+        let reference = bench::reference(&scene, &config);
+
+        println!("\n--- {} (K = {k}) ---", config.name);
+        bench::row("metric", &["Zatel".into(), "reference".into(), "abs error".into()]);
+        let mut errs = serde_json::Map::new();
+        for (metric, err) in prediction.errors_vs(&reference.stats) {
+            bench::row(
+                metric.name(),
+                &[
+                    format!("{:.4}", prediction.value(metric)),
+                    format!("{:.4}", metric.value(&reference.stats)),
+                    bench::pct(err),
+                ],
+            );
+            errs.insert(metric.name().into(), serde_json::json!(err));
+        }
+        let mae = prediction.mae_vs(&reference.stats);
+        let speedup = prediction.speedup_concurrent(&reference);
+        println!(
+            "MAE = {}   speedup (1 core/group, as in the paper) = {speedup:.1}x   (paper: 4.5% @ 9.2x Mobile, 15.1% @ 11.6x RTX)",
+            bench::pct(mae)
+        );
+        errs.insert("mae".into(), serde_json::json!(mae));
+        errs.insert("speedup".into(), serde_json::json!(speedup));
+        json.insert(config.name.clone(), serde_json::Value::Object(errs));
+    }
+
+    // The paper's 50x variant: cap the traced pixels at 10 % per group.
+    println!("\n--- Mobile SoC with traced pixels capped at 10% (paper: 50x speedup, 5.2% MAE) ---");
+    let config = gpusim::GpuConfig::mobile_soc();
+    let mut zatel = Zatel::new(&scene, config.clone(), res, res, bench::trace_config());
+    zatel.options_mut().selection.percent_cap = Some(0.10);
+    let prediction = zatel.run().expect("pipeline runs");
+    let reference = bench::reference(&scene, &config);
+    let mae = prediction.mae_vs(&reference.stats);
+    let speedup = prediction.speedup_concurrent(&reference);
+    println!("MAE = {}   speedup (1 core/group) = {speedup:.1}x", bench::pct(mae));
+    json.insert(
+        "Mobile SoC cap10".into(),
+        serde_json::json!({ "mae": mae, "speedup": speedup }),
+    );
+
+    bench::save_json("fig10_park_errors", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,64 @@
+//! Fig. 11 — RTX 2060's performance improvement over Mobile SoC: normalized
+//! metrics predicted by Zatel (blue bars) against the full simulation
+//! (orange bars). Tests Zatel's ability to rank architectures.
+
+use gpusim::Metric;
+use rtcore::scenes::SceneId;
+use zatel::Zatel;
+use zatel_bench as bench;
+
+fn main() {
+    bench::banner(
+        "Fig. 11 — RTX 2060 architecture's improvement over Mobile SoC on PARK",
+        "each metric normalized to the Mobile SoC value; Zatel prediction vs full simulation",
+    );
+    let res = bench::resolution();
+    let scene = bench::build_scene(SceneId::Park);
+    let [mobile, rtx] = bench::eval_configs();
+
+    let predict = |config: &gpusim::GpuConfig| {
+        Zatel::new(&scene, config.clone(), res, res, bench::trace_config())
+            .run()
+            .expect("pipeline runs")
+    };
+    let pred_mobile = predict(&mobile);
+    let pred_rtx = predict(&rtx);
+    let ref_mobile = bench::reference(&scene, &mobile);
+    let ref_rtx = bench::reference(&scene, &rtx);
+
+    bench::row(
+        "metric",
+        &["Zatel ratio".into(), "sim ratio".into(), "difference".into()],
+    );
+    let mut json = serde_json::Map::new();
+    let mut max_diff: (f64, &str) = (0.0, "");
+    let mut min_diff: (f64, &str) = (f64::INFINITY, "");
+    for metric in Metric::ALL {
+        let z = pred_rtx.value(metric) / pred_mobile.value(metric).max(1e-12);
+        let r = metric.value(&ref_rtx.stats) / metric.value(&ref_mobile.stats).max(1e-12);
+        let diff = (z - r).abs() / r.abs().max(1e-12);
+        bench::row(
+            metric.name(),
+            &[format!("{z:.3}"), format!("{r:.3}"), bench::pct(diff)],
+        );
+        if diff > max_diff.0 {
+            max_diff = (diff, metric.name());
+        }
+        if diff < min_diff.0 {
+            min_diff = (diff, metric.name());
+        }
+        json.insert(
+            metric.name().into(),
+            serde_json::json!({ "zatel_ratio": z, "sim_ratio": r, "difference": diff }),
+        );
+    }
+    println!(
+        "\nmax normalized-metric difference: {} ({})   min: {} ({})",
+        bench::pct(max_diff.0),
+        max_diff.1,
+        bench::pct(min_diff.0),
+        min_diff.1
+    );
+    println!("(paper: max 37.6% on L2 miss rate, min 0.6% on L1D miss rate)");
+    bench::save_json("fig11_arch_comparison", &serde_json::Value::Object(json));
+}

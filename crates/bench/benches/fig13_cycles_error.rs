@@ -1,0 +1,46 @@
+//! Fig. 13 — absolute error of the *simulation cycles* estimate per scene
+//! as a function of the percentage of pixels traced (RTX 2060, no GPU
+//! downscaling). Reproduces the paper's two key observations: errors
+//! converge towards zero as more pixels are traced, and SPRNG blows up at
+//! low percentages because the underutilized GPU breaks linear
+//! extrapolation.
+
+use gpusim::Metric;
+use rtcore::scenes::SceneId;
+use zatel_bench as bench;
+
+fn main() {
+    bench::banner(
+        "Fig. 13 — simulation cycles error per scene vs % of pixels traced (RTX 2060)",
+        "no GPU downscaling; linear extrapolation of cycles by the traced fraction",
+    );
+    let config = gpusim::GpuConfig::rtx_2060();
+    let percents = bench::sweep_percents();
+
+    let mut header: Vec<String> = percents.iter().map(|p| format!("{:.0}%", p * 100.0)).collect();
+    header.insert(0, "scene".into());
+    bench::row(&header[0], &header[1..]);
+
+    let mut json = serde_json::Map::new();
+    for scene_id in SceneId::ALL {
+        let scene = bench::build_scene(scene_id);
+        let reference = bench::reference(&scene, &config);
+        let points = bench::percent_sweep(&scene, &config, &percents);
+        let errors: Vec<f64> = points
+            .iter()
+            .map(|pt| {
+                zatel::metrics::abs_error(
+                    pt.prediction.value(Metric::SimCycles),
+                    Metric::SimCycles.value(&reference.stats),
+                )
+            })
+            .collect();
+        bench::row(
+            scene_id.name(),
+            &errors.iter().map(|&e| bench::pct(e)).collect::<Vec<_>>(),
+        );
+        json.insert(scene_id.name().into(), serde_json::json!(errors));
+    }
+    println!("\n(paper: >100% error for SPRNG at 10%, 14.7% for BUNNY; errors converge exponentially to 0)");
+    bench::save_json("fig13_cycles_error", &serde_json::Value::Object(json));
+}

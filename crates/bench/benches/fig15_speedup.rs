@@ -1,0 +1,55 @@
+//! Fig. 15 + Eq. (4) — simulation-time speedup per scene as a function of
+//! the percentage of pixels traced (RTX 2060, no downscaling), and the
+//! power-law fit `speedup(perc) = a · perc^b` over all collected points
+//! (the paper fits 181 · perc^-1.15).
+
+use rtcore::scenes::SceneId;
+use zatel_bench as bench;
+
+fn main() {
+    bench::banner(
+        "Fig. 15 — running-time speedups per scene vs % of pixels traced (RTX 2060)",
+        "speedup = reference simulation wall-clock / Zatel simulation wall-clock",
+    );
+    let config = gpusim::GpuConfig::rtx_2060();
+    let percents = bench::sweep_percents();
+
+    let mut header: Vec<String> = percents.iter().map(|p| format!("{:.0}%", p * 100.0)).collect();
+    header.insert(0, "scene".into());
+    bench::row(&header[0], &header[1..]);
+
+    let mut json = serde_json::Map::new();
+    let mut fit_points: Vec<(f64, f64)> = Vec::new();
+    for scene_id in SceneId::ALL {
+        let scene = bench::build_scene(scene_id);
+        let reference = bench::reference(&scene, &config);
+        let points = bench::percent_sweep(&scene, &config, &percents);
+        let speedups: Vec<f64> = points
+            .iter()
+            .map(|pt| {
+                reference.wall.as_secs_f64() / pt.prediction.sim_wall.as_secs_f64().max(1e-9)
+            })
+            .collect();
+        for (p, s) in percents.iter().zip(&speedups) {
+            if *s > 0.0 {
+                fit_points.push((p * 100.0, *s));
+            }
+        }
+        bench::row(
+            scene_id.name(),
+            &speedups.iter().map(|s| format!("{s:.2}x")).collect::<Vec<_>>(),
+        );
+        json.insert(scene_id.name().into(), serde_json::json!(speedups));
+    }
+
+    let law = zatel::metrics::fit_power_law(&fit_points);
+    println!(
+        "\nEq. (4) fit over all scenes: speedup(perc) = {:.1} * perc^{:.2}   (paper: 181 * perc^-1.15)",
+        law.a, law.b
+    );
+    for p in [10.0, 30.0, 50.0, 90.0] {
+        println!("  predicted speedup at {p:.0}%: {:.2}x", law.eval(p));
+    }
+    json.insert("power_law".into(), serde_json::json!({ "a": law.a, "b": law.b }));
+    bench::save_json("fig15_speedup", &serde_json::Value::Object(json));
+}

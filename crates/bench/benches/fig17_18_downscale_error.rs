@@ -1,0 +1,95 @@
+//! Figs. 17 & 18 — per-metric error as a function of the GPU downscaling
+//! factor, comparing fine- and coarse-grained division, on the
+//! representative LumiBench subset (Fig. 17) and on all scenes (Fig. 18).
+//! Each group traces *all* of its pixels (1/K of the frame), isolating the
+//! downscaling optimization.
+//!
+//! Valid factors must divide both component counts: Mobile SoC (8 SMs,
+//! 4 MCs) admits K ∈ {2, 4}; RTX 2060 (30 SMs, 12 MCs) admits K ∈ {2, 3, 6}
+//! — spanning the paper's 2–6 sweep.
+
+use gpusim::Metric;
+use rtcore::scenes::SceneId;
+use zatel::{DivisionMethod, DownscaleMode, Zatel};
+use zatel_bench as bench;
+
+fn run_panel(title: &str, scenes: &[SceneId], json: &mut serde_json::Map<String, serde_json::Value>) {
+    println!("\n### {title} ###");
+    let mut panel = serde_json::Map::new();
+    for (config, factors) in [
+        (gpusim::GpuConfig::mobile_soc(), vec![2u32, 4]),
+        (gpusim::GpuConfig::rtx_2060(), vec![2, 3, 6]),
+    ] {
+        for (division, div_name) in [
+            (DivisionMethod::default_fine(), "fine"),
+            (DivisionMethod::Coarse, "coarse"),
+        ] {
+            println!("\n--- {} / {div_name}-grained ---", config.name);
+            let mut header: Vec<String> = factors.iter().map(|k| format!("K={k}")).collect();
+            header.insert(0, "metric".into());
+            bench::row(&header[0], &header[1..]);
+
+            // errors[metric][factor] averaged over scenes.
+            let mut sums = vec![vec![0.0f64; factors.len()]; Metric::ALL.len()];
+            let mut maxima = vec![vec![0.0f64; factors.len()]; Metric::ALL.len()];
+            let res = bench::resolution();
+            for &scene_id in scenes {
+                let scene = bench::build_scene(scene_id);
+                let reference = bench::reference(&scene, &config);
+                for (ki, &k) in factors.iter().enumerate() {
+                    let mut z =
+                        Zatel::new(&scene, config.clone(), res, res, bench::trace_config());
+                    z.options_mut().downscale = DownscaleMode::Factor(k);
+                    z.options_mut().division = division;
+                    z.options_mut().selection.percent_override = Some(1.0);
+                    let pred = z.run().expect("pipeline runs");
+                    for (mi, err) in bench::metric_errors(&pred, &reference.stats)
+                        .into_iter()
+                        .enumerate()
+                    {
+                        if err.is_finite() {
+                            sums[mi][ki] += err / scenes.len() as f64;
+                            maxima[mi][ki] = maxima[mi][ki].max(err);
+                        }
+                    }
+                }
+            }
+            let mut div_json = serde_json::Map::new();
+            for (mi, metric) in Metric::ALL.iter().enumerate() {
+                bench::row(
+                    metric.name(),
+                    &sums[mi].iter().map(|&e| bench::pct(e)).collect::<Vec<_>>(),
+                );
+                div_json.insert(metric.name().into(), serde_json::json!(sums[mi]));
+            }
+            let cyc = Metric::ALL.iter().position(|m| *m == Metric::SimCycles).expect("cycles");
+            println!(
+                "max cycles error over scenes at largest K: {}",
+                bench::pct(maxima[cyc][factors.len() - 1])
+            );
+            panel.insert(
+                format!("{} {div_name}", config.name),
+                serde_json::Value::Object(div_json),
+            );
+        }
+    }
+    json.insert(title.into(), serde_json::Value::Object(panel));
+}
+
+fn main() {
+    bench::banner(
+        "Figs. 17 & 18 — metric error per GPU downscaling factor, fine vs coarse division",
+        "each group traces all of its pixels; errors averaged over the scene set",
+    );
+    let mut json = serde_json::Map::new();
+    run_panel(
+        "Fig. 17: representative LumiBench subset",
+        &SceneId::REPRESENTATIVE,
+        &mut json,
+    );
+    run_panel("Fig. 18: all benchmark scenes", &SceneId::ALL, &mut json);
+    println!("\n(paper: fine-grained keeps cycles/IPC error under 12% even at K=6 on the subset;");
+    println!(" extending to all scenes raises errors — e.g. SPRNG does not stress the downscaled GPU;");
+    println!(" DRAM efficiency degrades with fewer partitions; fine beats coarse for stability)");
+    bench::save_json("fig17_18_downscale_error", &serde_json::Value::Object(json));
+}

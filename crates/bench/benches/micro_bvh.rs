@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the BVH: SAH construction and traversal
+//! throughput over the benchmark scenes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcore::bvh::Bvh;
+use rtcore::math::{Pcg, Ray, Vec3};
+use rtcore::scenes::SceneId;
+
+fn bvh_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bvh_build");
+    group.sample_size(10);
+    for id in [SceneId::Sprng, SceneId::Wknd, SceneId::Park] {
+        let scene = id.build(42);
+        let prims = scene.primitives().to_vec();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{id} ({} prims)", prims.len())),
+            &prims,
+            |b, prims| b.iter(|| Bvh::build(std::hint::black_box(prims))),
+        );
+    }
+    group.finish();
+}
+
+fn bvh_traverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bvh_traverse_1k_rays");
+    for id in [SceneId::Sprng, SceneId::Park, SceneId::Bath] {
+        let scene = id.build(42);
+        let mut rng = Pcg::new(7);
+        let rays: Vec<Ray> = (0..1000)
+            .map(|_| {
+                let origin = Vec3::new(
+                    rng.range_f32(-5.0, 5.0),
+                    rng.range_f32(0.5, 6.0),
+                    rng.range_f32(-18.0, -8.0),
+                );
+                let dir = Vec3::new(
+                    rng.range_f32(-0.4, 0.4),
+                    rng.range_f32(-0.2, 0.2),
+                    1.0,
+                )
+                .normalized();
+                Ray::new(origin, dir)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(id), &rays, |b, rays| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                for ray in rays {
+                    let (hit, _) = scene.bvh().intersect(ray, scene.primitives());
+                    hits += hit.is_some() as u32;
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bvh_build, bvh_traverse);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the memory-system models: cache probes
+//! under different locality patterns and full-hierarchy reads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpusim::config::CacheConfig;
+use gpusim::mem::{Cache, MemoryHierarchy, Probe};
+use gpusim::GpuConfig;
+use rtcore::math::Pcg;
+
+fn cache_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_probe_10k");
+    let cfg = CacheConfig { bytes: 64 * 1024, ways: 0, line_bytes: 128, latency: 20 };
+    for (name, span) in [("hot", 64u64), ("thrash", 100_000u64)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &span, |b, &span| {
+            b.iter(|| {
+                let mut cache = Cache::new("L1D", cfg);
+                let mut rng = Pcg::new(1);
+                let mut hits = 0u64;
+                for t in 0..10_000u64 {
+                    let line = rng.next_u64() % span;
+                    match cache.probe(line, t) {
+                        Probe::Hit { .. } => hits += 1,
+                        Probe::Miss => cache.fill(line, t + 160),
+                    }
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn hierarchy_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_read_10k");
+    for (name, span) in [("local", 512u64), ("streaming", 1_000_000u64)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &span, |b, &span| {
+            b.iter(|| {
+                let mut mem = MemoryHierarchy::new(&GpuConfig::mobile_soc());
+                let mut rng = Pcg::new(2);
+                let mut last = 0u64;
+                for t in 0..10_000u64 {
+                    let line = rng.next_u64() % span;
+                    last = mem.read((t % 8) as usize, line, t * 2);
+                }
+                std::hint::black_box(last)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cache_probe, hierarchy_read);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for Zatel's preprocessing: heatmap
+//! generation, K-means colour quantization and pixel selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcore::math::Vec3;
+use rtcore::scenes::SceneId;
+use rtcore::tracer::TraceConfig;
+use zatel::heatmap::{heat_color, Heatmap};
+use zatel::partition::{divide, DivisionMethod};
+use zatel::quantize::{kmeans, QuantizedHeatmap};
+use zatel::select::{select_pixels, SelectionOptions};
+
+fn kmeans_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_quantize");
+    for n in [4_096usize, 65_536] {
+        let points: Vec<Vec3> = (0..n).map(|i| heat_color((i % 997) as f32 / 997.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| kmeans(std::hint::black_box(pts), 8, 42))
+        });
+    }
+    group.finish();
+}
+
+fn selection_bench(c: &mut Criterion) {
+    let scene = SceneId::Wknd.build(42);
+    let trace = TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 42 };
+    let heatmap = Heatmap::profile(&scene, 128, 128, &trace);
+    let quantized = QuantizedHeatmap::quantize(&heatmap, 8, 42);
+    let groups = divide(128, 128, 4, DivisionMethod::default_fine());
+    c.bench_function("select_pixels_128x128_k4", |b| {
+        b.iter(|| {
+            let opts = SelectionOptions::default();
+            groups
+                .iter()
+                .map(|g| select_pixels(g, &quantized, &opts).fraction)
+                .sum::<f64>()
+        })
+    });
+}
+
+fn heatmap_bench(c: &mut Criterion) {
+    let scene = SceneId::Sprng.build(42);
+    let trace = TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 42 };
+    c.bench_function("heatmap_profile_64x64_sprng", |b| {
+        b.iter(|| Heatmap::profile(&scene, 64, 64, &trace))
+    });
+}
+
+criterion_group!(benches, kmeans_bench, selection_bench, heatmap_bench);
+criterion_main!(benches);

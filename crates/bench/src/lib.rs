@@ -1,0 +1,206 @@
+//! # zatel-bench — shared harness for the paper-reproduction benchmarks
+//!
+//! Every table and figure of the paper has a `[[bench]]` target in this
+//! crate (see DESIGN.md for the index). This library holds the pieces they
+//! share: environment-tunable resolution, the evaluation trace config,
+//! cached reference simulations and small table-printing helpers.
+//!
+//! ## Environment variables
+//!
+//! | Variable | Default | Meaning |
+//! |----------|---------|---------|
+//! | `ZATEL_RES` | 192 | Square image resolution for every experiment |
+//! | `ZATEL_SPP` | 2 | Samples per pixel (the paper uses 2) |
+//! | `ZATEL_SEED` | 42 | Master seed for scenes/tracing/selection |
+//!
+//! The paper evaluates at 512×512; the default of 192×192 keeps the full
+//! suite within minutes while preserving every trend (all reported
+//! quantities are ratios). Set `ZATEL_RES=512` to run at paper scale.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use gpusim::{GpuConfig, Metric, SimStats, Simulator};
+use rtcore::scene::Scene;
+use rtcore::scenes::SceneId;
+use rtcore::tracer::TraceConfig;
+use rtworkload::RtWorkload;
+use zatel::Reference;
+
+/// Reads a `u64` environment variable with a default.
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Experiment resolution (square), from `ZATEL_RES`.
+pub fn resolution() -> u32 {
+    env_u64("ZATEL_RES", 192) as u32
+}
+
+/// Master seed, from `ZATEL_SEED`.
+pub fn seed() -> u64 {
+    env_u64("ZATEL_SEED", 42)
+}
+
+/// The evaluation trace configuration (2 spp like the paper).
+pub fn trace_config() -> TraceConfig {
+    TraceConfig {
+        samples_per_pixel: env_u64("ZATEL_SPP", 2) as u32,
+        max_bounces: 4,
+        seed: seed(),
+    }
+}
+
+/// Builds a scene with the master seed.
+pub fn build_scene(id: SceneId) -> Scene {
+    id.build(seed())
+}
+
+/// The two evaluation GPU configurations of Table II.
+pub fn eval_configs() -> [GpuConfig; 2] {
+    [GpuConfig::mobile_soc(), GpuConfig::rtx_2060()]
+}
+
+/// A process-wide cache of full-resolution reference simulations, keyed by
+/// `(scene, config name, resolution)` — several benches need the same
+/// ground truth and it is the slowest thing we run.
+static REF_CACHE: Mutex<BTreeMap<(String, String, u32), Reference>> = Mutex::new(BTreeMap::new());
+
+/// Runs (or fetches) the full reference simulation for `scene` on `config`.
+pub fn reference(scene: &Scene, config: &GpuConfig) -> Reference {
+    let key = (scene.name().to_owned(), config.name.clone(), resolution());
+    if let Some(r) = REF_CACHE.lock().expect("cache lock").get(&key) {
+        return r.clone();
+    }
+    let res = resolution();
+    let start = std::time::Instant::now();
+    let workload = RtWorkload::full_frame(scene, res, res, trace_config());
+    let stats = Simulator::new(config.clone()).run(&workload);
+    let r = Reference { stats, wall: start.elapsed() };
+    REF_CACHE.lock().expect("cache lock").insert(key, r.clone());
+    r
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    if x.is_infinite() {
+        "inf".to_owned()
+    } else {
+        format!("{:.1}%", 100.0 * x)
+    }
+}
+
+/// Prints a figure/table banner.
+pub fn banner(title: &str, detail: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    println!("{detail}");
+    println!(
+        "resolution {res}x{res}, {spp} spp, seed {seed}",
+        res = resolution(),
+        spp = trace_config().samples_per_pixel,
+        seed = seed()
+    );
+    println!("{}", "=".repeat(78));
+}
+
+/// Prints one row of right-aligned cells after a left-aligned label.
+pub fn row(label: &str, cells: &[String]) {
+    print!("{label:<18}");
+    for c in cells {
+        print!(" {c:>12}");
+    }
+    println!();
+}
+
+/// Per-metric errors of a prediction against reference stats, in
+/// [`Metric::ALL`] order.
+pub fn metric_errors(pred: &zatel::Prediction, reference: &SimStats) -> Vec<f64> {
+    pred.errors_vs(reference).into_iter().map(|(_, e)| e).collect()
+}
+
+/// All seven metric names, short form, in [`Metric::ALL`] order.
+pub fn metric_names() -> Vec<&'static str> {
+    Metric::ALL.iter().map(|m| m.name()).collect()
+}
+
+/// One point of a traced-percentage sweep.
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// Traced-pixel fraction requested.
+    pub percent: f64,
+    /// The resulting prediction.
+    pub prediction: zatel::Prediction,
+}
+
+/// Runs the pixel-sampling sweep of Figs. 13–16: the scene is traced at
+/// each percentage *without GPU downscaling* (isolating the
+/// representative-pixel optimization) and each prediction is returned.
+/// The heatmap is profiled once and reused across percentages.
+pub fn percent_sweep(scene: &Scene, config: &GpuConfig, percents: &[f64]) -> Vec<SweepPoint> {
+    let res = resolution();
+    let mut z = zatel::Zatel::new(scene, config.clone(), res, res, trace_config());
+    z.options_mut().downscale = zatel::DownscaleMode::NoDownscale;
+    let heatmap = zatel::heatmap::Heatmap::profile(scene, res, res, &trace_config());
+    let quantized = zatel::quantize::QuantizedHeatmap::quantize(&heatmap, 8, seed());
+    percents
+        .iter()
+        .map(|&p| {
+            let prediction = z
+                .run_with_preprocessed(&quantized, std::time::Duration::ZERO, Some(p))
+                .expect("sweep pipeline runs");
+            SweepPoint { percent: p, prediction }
+        })
+        .collect()
+}
+
+/// The standard sweep percentages of Fig. 13: 10 % … 90 %.
+pub fn sweep_percents() -> Vec<f64> {
+    (1..=9).map(|i| i as f64 / 10.0).collect()
+}
+
+/// Writes a JSON results file under `target/zatel-results/` so EXPERIMENTS.md
+/// numbers can be regenerated mechanically.
+pub fn save_json(name: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("target/zatel-results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return; // Results files are best-effort.
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(path, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        assert!(resolution() >= 32);
+        assert!(trace_config().samples_per_pixel >= 1);
+    }
+
+    #[test]
+    fn reference_cache_returns_same_stats() {
+        std::env::set_var("ZATEL_RES", "32");
+        let scene = build_scene(SceneId::Sprng);
+        let cfg = GpuConfig::mobile_soc();
+        let a = reference(&scene, &cfg);
+        let b = reference(&scene, &cfg);
+        assert_eq!(a.stats, b.stats);
+        std::env::remove_var("ZATEL_RES");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.125), "12.5%");
+        assert_eq!(pct(f64::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,270 @@
+//! `zatel` — command-line front end for the Zatel prediction pipeline.
+//!
+//! ```text
+//! zatel scenes
+//! zatel configs
+//! zatel predict --scene PARK --config mobile --res 192 [--reference]
+//!               [--percent 0.4] [--cap 0.1] [--k 4 | --no-downscale]
+//!               [--division fine|coarse] [--dist uniform|lintmp|exptmp]
+//!               [--regression] [--json] [--seed 42] [--spp 2]
+//! zatel heatmap --scene WKND --res 256 --out target/heatmaps
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::Args;
+use gpusim::{GpuConfig, Metric};
+use rtcore::scenes::SceneId;
+use rtcore::tracer::TraceConfig;
+use zatel::{Distribution, DivisionMethod, DownscaleMode, Zatel};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(argv).map_err(|e| e.to_string())?;
+    match args.command.as_str() {
+        "scenes" => cmd_scenes(),
+        "configs" => cmd_configs(),
+        "predict" => cmd_predict(&args),
+        "heatmap" => cmd_heatmap(&args),
+        other => Err(format!("unknown subcommand '{other}'; try 'zatel help'")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "zatel — sample complexity-aware scale-model simulation for ray tracing\n\
+         \n\
+         USAGE:\n  zatel <scenes|configs|predict|heatmap|help> [options]\n\
+         \n\
+         predict options:\n\
+           --scene NAME        benchmark scene (default PARK; see 'zatel scenes')\n\
+           --config NAME|FILE  mobile | rtx2060 | path to a GpuConfig JSON (default mobile)\n\
+           --res N             square image resolution (default 128)\n\
+           --spp N             samples per pixel (default 2)\n\
+           --seed N            master seed (default 42)\n\
+           --percent F         fixed traced fraction in (0,1] instead of Eq.(1)\n\
+           --cap F             upper bound applied after Eq.(1)\n\
+           --k N               explicit downscale factor (default: gcd rule)\n\
+           --no-downscale      single group on the full GPU\n\
+           --division KIND     fine | coarse (default fine)\n\
+           --dist KIND         uniform | lintmp | exptmp (default uniform)\n\
+           --regression        extrapolate via 20/30/40%% exponential regression\n\
+           --reference         also run the full simulation and report errors\n\
+           --json              emit machine-readable JSON instead of tables\n\
+         \n\
+         heatmap options:\n\
+           --scene NAME --res N --out DIR   write heatmap/quantized PPM images"
+    );
+}
+
+fn cmd_scenes() -> Result<(), String> {
+    println!("{:<8} {:>10}  characteristics", "scene", "primitives");
+    for id in SceneId::ALL {
+        let scene = id.build(42);
+        let tag = match id {
+            SceneId::Park => "heaviest path-tracing load (evaluation headline scene)",
+            SceneId::Ship => "coldest heatmap; mostly sky and water",
+            SceneId::Wknd => "warm/cold split between cabin and meadow",
+            SceneId::Bunny => "uniformly warm; dense fractal figure",
+            SceneId::Sprng => "two objects; rays terminate early (underutilized GPU)",
+            SceneId::Chsnt => "organic clutter around a single tree",
+            SceneId::Spnza => "enclosed colonnade architecture",
+            SceneId::Bath => "longest running; mirrors and glass interior",
+        };
+        println!("{:<8} {:>10}  {tag}", id.name(), scene.primitive_count());
+    }
+    Ok(())
+}
+
+fn cmd_configs() -> Result<(), String> {
+    for config in [GpuConfig::mobile_soc(), GpuConfig::rtx_2060()] {
+        let json = serde_json::to_string_pretty(&config)
+            .map_err(|e| format!("serializing config: {e}"))?;
+        println!("{json}");
+    }
+    Ok(())
+}
+
+fn load_config(spec: &str) -> Result<GpuConfig, String> {
+    match spec.to_ascii_lowercase().as_str() {
+        "mobile" | "mobile_soc" | "mobile-soc" => Ok(GpuConfig::mobile_soc()),
+        "rtx2060" | "rtx-2060" | "rtx_2060" | "turing" => Ok(GpuConfig::rtx_2060()),
+        _ => {
+            let text = std::fs::read_to_string(spec)
+                .map_err(|e| format!("reading config file '{spec}': {e}"))?;
+            let config: GpuConfig = serde_json::from_str(&text)
+                .map_err(|e| format!("parsing config file '{spec}': {e}"))?;
+            config.validate().map_err(|e| format!("config file '{spec}': {e}"))?;
+            Ok(config)
+        }
+    }
+}
+
+fn scene_from(args: &Args) -> Result<(SceneId, rtcore::scene::Scene, u64), String> {
+    let seed = args.get_parsed("seed", 42u64).map_err(|e| e.to_string())?;
+    let name = args.get("scene").unwrap_or("PARK");
+    let id = SceneId::from_name(name)
+        .ok_or_else(|| format!("unknown scene '{name}'; see 'zatel scenes'"))?;
+    let scene = id.build(seed);
+    Ok((id, scene, seed))
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let (_, scene, seed) = scene_from(args)?;
+    let config = load_config(args.get("config").unwrap_or("mobile"))?;
+    let res = args.get_parsed("res", 128u32).map_err(|e| e.to_string())?;
+    let spp = args.get_parsed("spp", 2u32).map_err(|e| e.to_string())?;
+    let trace = TraceConfig { samples_per_pixel: spp, max_bounces: 4, seed };
+
+    let mut zatel = Zatel::new(&scene, config, res, res, trace);
+    let opts = zatel.options_mut();
+    if args.flag("no-downscale") {
+        opts.downscale = DownscaleMode::NoDownscale;
+    } else if let Some(k) = args.get("k") {
+        let k: u32 = k.parse().map_err(|_| format!("--k value '{k}' is not a number"))?;
+        opts.downscale = DownscaleMode::Factor(k);
+    }
+    match args.get("division").unwrap_or("fine") {
+        "fine" => opts.division = DivisionMethod::default_fine(),
+        "coarse" => opts.division = DivisionMethod::Coarse,
+        other => return Err(format!("unknown division '{other}' (fine|coarse)")),
+    }
+    match args.get("dist").unwrap_or("uniform") {
+        "uniform" => opts.selection.distribution = Distribution::Uniform,
+        "lintmp" => opts.selection.distribution = Distribution::LinTmp,
+        "exptmp" => opts.selection.distribution = Distribution::ExpTmp,
+        other => return Err(format!("unknown distribution '{other}' (uniform|lintmp|exptmp)")),
+    }
+    if let Some(p) = args.get("percent") {
+        let p: f64 = p.parse().map_err(|_| format!("--percent '{p}' is not a number"))?;
+        opts.selection.percent_override = Some(p);
+    }
+    if let Some(c) = args.get("cap") {
+        let c: f64 = c.parse().map_err(|_| format!("--cap '{c}' is not a number"))?;
+        opts.selection.percent_cap = Some(c);
+    }
+
+    let prediction = if args.flag("regression") {
+        zatel.run_with_regression([0.2, 0.3, 0.4]).map_err(|e| e.to_string())?
+    } else {
+        zatel.run().map_err(|e| e.to_string())?
+    };
+
+    let reference = args.flag("reference").then(|| zatel.run_reference());
+
+    if args.flag("json") {
+        let mut out = serde_json::Map::new();
+        out.insert("scene".into(), serde_json::json!(scene.name()));
+        out.insert("k".into(), serde_json::json!(prediction.k));
+        let mut metrics = serde_json::Map::new();
+        for m in Metric::ALL {
+            metrics.insert(m.name().into(), serde_json::json!(prediction.value(m)));
+        }
+        out.insert("prediction".into(), serde_json::Value::Object(metrics));
+        if let Some(reference) = &reference {
+            let mut refs = serde_json::Map::new();
+            for m in Metric::ALL {
+                refs.insert(m.name().into(), serde_json::json!(m.value(&reference.stats)));
+            }
+            out.insert("reference".into(), serde_json::Value::Object(refs));
+            out.insert("mae".into(), serde_json::json!(prediction.mae_vs(&reference.stats)));
+            out.insert(
+                "speedup_concurrent".into(),
+                serde_json::json!(prediction.speedup_concurrent(reference)),
+            );
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Object(out))
+                .map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    println!(
+        "{} at {res}x{res}, K = {}, {} groups, traced {:.0}% of pixels",
+        scene.name(),
+        prediction.k,
+        prediction.groups.len(),
+        100.0 * prediction.groups.iter().map(|g| g.traced_fraction).sum::<f64>()
+            / prediction.groups.len() as f64
+    );
+    match &reference {
+        Some(reference) => {
+            println!("{:<22} {:>14} {:>14} {:>8}", "metric", "Zatel", "reference", "error");
+            for (m, err) in prediction.errors_vs(&reference.stats) {
+                println!(
+                    "{:<22} {:>14.4} {:>14.4} {:>7.1}%",
+                    m.name(),
+                    prediction.value(m),
+                    m.value(&reference.stats),
+                    100.0 * err
+                );
+            }
+            println!(
+                "MAE = {:.1}%   speedup (1 core/group) = {:.1}x",
+                100.0 * prediction.mae_vs(&reference.stats),
+                prediction.speedup_concurrent(reference)
+            );
+            let stack = reference.stats.cpi_stack();
+            println!(
+                "reference CPI stack: {}",
+                stack
+                    .iter()
+                    .map(|(n, v)| format!("{n} {:.0}%", 100.0 * v))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        None => {
+            println!("{:<22} {:>14}", "metric", "Zatel");
+            for m in Metric::ALL {
+                println!("{:<22} {:>14.4}", m.name(), prediction.value(m));
+            }
+            println!("(add --reference to compare against the full simulation)");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_heatmap(args: &Args) -> Result<(), String> {
+    let (_, scene, seed) = scene_from(args)?;
+    let res = args.get_parsed("res", 256u32).map_err(|e| e.to_string())?;
+    let spp = args.get_parsed("spp", 2u32).map_err(|e| e.to_string())?;
+    let out = std::path::PathBuf::from(args.get("out").unwrap_or("target/heatmaps"));
+    std::fs::create_dir_all(&out).map_err(|e| format!("creating '{}': {e}", out.display()))?;
+    let trace = TraceConfig { samples_per_pixel: spp, max_bounces: 4, seed };
+    let heatmap = zatel::heatmap::Heatmap::profile(&scene, res, res, &trace);
+    let quantized = zatel::quantize::QuantizedHeatmap::quantize(&heatmap, 8, seed);
+    heatmap
+        .to_image()
+        .save_ppm(out.join("heatmap.ppm"))
+        .map_err(|e| e.to_string())?;
+    quantized
+        .to_image()
+        .save_ppm(out.join("heatmap_quantized.ppm"))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}/heatmap.ppm and heatmap_quantized.ppm ({} colours, mean temperature {:.3})",
+        out.display(),
+        quantized.cluster_count(),
+        heatmap.mean_temperature()
+    );
+    Ok(())
+}

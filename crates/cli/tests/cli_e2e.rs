@@ -1,0 +1,143 @@
+//! End-to-end tests of the `zatel` binary: spawn the real executable and
+//! check its output and exit codes.
+
+use std::process::Command;
+
+fn zatel(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_zatel"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(args: &[&str]) -> String {
+    let out = zatel(args);
+    assert!(
+        out.status.success(),
+        "zatel {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let text = stdout(&["help"]);
+    for needle in ["predict", "heatmap", "scenes", "configs", "--reference"] {
+        assert!(text.contains(needle), "help missing '{needle}'");
+    }
+}
+
+#[test]
+fn scenes_lists_all_eight() {
+    let text = stdout(&["scenes"]);
+    for name in ["PARK", "SHIP", "WKND", "BUNNY", "SPRNG", "CHSNT", "SPNZA", "BATH"] {
+        assert!(text.contains(name), "scenes missing {name}");
+    }
+}
+
+#[test]
+fn configs_emit_valid_json() {
+    let text = stdout(&["configs"]);
+    assert!(text.contains("Mobile SoC"));
+    assert!(text.contains("RTX 2060"));
+    // Each preset must round-trip through serde.
+    let chunks: Vec<&str> = text.split("}\n{").collect();
+    assert_eq!(chunks.len(), 2, "two config documents");
+}
+
+#[test]
+fn predict_prints_all_metrics() {
+    let text = stdout(&["predict", "--scene", "SPRNG", "--res", "32", "--spp", "1"]);
+    for metric in [
+        "GPU IPC",
+        "GPU Sim Cycles",
+        "L1D Miss Rate",
+        "L2 Miss Rate",
+        "RT Avg Efficiency",
+        "DRAM Efficiency",
+        "BW Utilization",
+    ] {
+        assert!(text.contains(metric), "predict missing '{metric}'");
+    }
+    assert!(text.contains("K = 4"), "Mobile SoC natural factor");
+}
+
+#[test]
+fn predict_json_is_parseable() {
+    let text = stdout(&[
+        "predict", "--scene", "SPRNG", "--res", "32", "--spp", "1", "--json", "--reference",
+    ]);
+    let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    assert_eq!(v["scene"], "SPRNG");
+    assert!(v["prediction"]["GPU Sim Cycles"].as_f64().unwrap() > 0.0);
+    assert!(v["reference"]["GPU Sim Cycles"].as_f64().unwrap() > 0.0);
+    assert!(v["mae"].as_f64().is_some());
+    assert!(v["speedup_concurrent"].as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn predict_accepts_custom_config_file() {
+    let dir = std::env::temp_dir().join("zatel-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tiny.json");
+    let mut config = gpusim::GpuConfig::mobile_soc();
+    config.name = "Tiny".into();
+    config.num_sms = 2;
+    config.num_mem_partitions = 2;
+    config.l2.bytes = 1024 * 1024;
+    std::fs::write(&path, serde_json::to_string(&config).unwrap()).unwrap();
+    let text = stdout(&[
+        "predict", "--scene", "SPRNG", "--res", "32", "--spp", "1",
+        "--config", path.to_str().unwrap(),
+    ]);
+    assert!(text.contains("K = 2"), "gcd(2,2)=2 for the custom config: {text}");
+}
+
+#[test]
+fn predict_no_downscale_and_percent() {
+    let text = stdout(&[
+        "predict", "--scene", "SPRNG", "--res", "32", "--spp", "1",
+        "--no-downscale", "--percent", "0.5",
+    ]);
+    assert!(text.contains("K = 1"));
+    assert!(text.contains("traced 5") || text.contains("traced 4"), "≈50%: {text}");
+}
+
+#[test]
+fn unknown_scene_fails_cleanly() {
+    let out = zatel(&["predict", "--scene", "NOPE"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown scene"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_subcommand_fails_cleanly() {
+    let out = zatel(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn bad_config_file_fails_cleanly() {
+    let out = zatel(&["predict", "--config", "/nonexistent/cfg.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("reading config file"));
+}
+
+#[test]
+fn heatmap_writes_ppm_files() {
+    let dir = std::env::temp_dir().join("zatel-cli-heatmaps");
+    let _ = std::fs::remove_dir_all(&dir);
+    let text = stdout(&[
+        "heatmap", "--scene", "SPRNG", "--res", "24", "--spp", "1",
+        "--out", dir.to_str().unwrap(),
+    ]);
+    assert!(text.contains("wrote"));
+    for f in ["heatmap.ppm", "heatmap_quantized.ppm"] {
+        let p = dir.join(f);
+        let bytes = std::fs::read(&p).unwrap_or_else(|_| panic!("{f} missing"));
+        assert!(bytes.starts_with(b"P6\n24 24\n255\n"), "{f} has a valid PPM header");
+    }
+}

@@ -1,0 +1,4 @@
+//! SM-side execution structures: warps and RT units.
+
+pub(crate) mod rtunit;
+pub(crate) mod warp;

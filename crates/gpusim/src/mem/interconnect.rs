@@ -1,0 +1,138 @@
+//! Interconnection network between SMs and memory partitions.
+//!
+//! Modeled as a crossbar with a fixed traversal latency and per-partition
+//! port bandwidth in each direction (request and response), matching the
+//! "interconnection network" box of the paper's Fig. 2. The paper notes
+//! that the network's shape follows the SM/partition counts automatically
+//! under downscaling — which holds here: ports are per partition.
+
+/// Crossbar interconnect model.
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    latency: u32,
+    bytes_per_cycle: f32,
+    /// Next-free time of each partition's request (towards-memory) port.
+    request_ports: Vec<u64>,
+    /// Next-free time of each partition's response (from-memory) port.
+    response_ports: Vec<u64>,
+    transfers: u64,
+    busy_cycles: u64,
+}
+
+impl Interconnect {
+    /// Creates an idle crossbar with `partitions` memory-side ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero or `bytes_per_cycle` is not positive.
+    pub fn new(partitions: u32, latency: u32, bytes_per_cycle: f32) -> Self {
+        assert!(partitions > 0, "need at least one port");
+        assert!(bytes_per_cycle > 0.0, "interconnect bandwidth must be positive");
+        Interconnect {
+            latency,
+            bytes_per_cycle,
+            request_ports: vec![0; partitions as usize],
+            response_ports: vec![0; partitions as usize],
+            transfers: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// Sends a `bytes`-sized request from an SM towards `partition` at
+    /// cycle `now`; returns its arrival time at the partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn to_memory(&mut self, partition: usize, now: u64, bytes: u32) -> u64 {
+        let occupancy = ((bytes as f32 / self.bytes_per_cycle).ceil() as u64).max(1);
+        let start = now.max(self.request_ports[partition]);
+        self.request_ports[partition] = start + occupancy;
+        self.transfers += 1;
+        self.busy_cycles += occupancy;
+        start + occupancy + self.latency as u64
+    }
+
+    /// Sends a `bytes`-sized response from `partition` back towards an SM
+    /// at cycle `now`; returns its arrival time at the SM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn from_memory(&mut self, partition: usize, now: u64, bytes: u32) -> u64 {
+        let occupancy = ((bytes as f32 / self.bytes_per_cycle).ceil() as u64).max(1);
+        let start = now.max(self.response_ports[partition]);
+        self.response_ports[partition] = start + occupancy;
+        self.transfers += 1;
+        self.busy_cycles += occupancy;
+        start + occupancy + self.latency as u64
+    }
+
+    /// One-way traversal latency in cycles.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Total packets crossed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total port-occupancy cycles.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_transfer_takes_latency_plus_serialization() {
+        let mut icnt = Interconnect::new(4, 8, 32.0);
+        // 128B at 32B/cycle = 4 cycles + 8 latency.
+        assert_eq!(icnt.to_memory(0, 100, 128), 100 + 4 + 8);
+        assert_eq!(icnt.transfers(), 1);
+        assert_eq!(icnt.busy_cycles(), 4);
+    }
+
+    #[test]
+    fn same_port_serializes() {
+        let mut icnt = Interconnect::new(2, 0, 128.0);
+        let a = icnt.to_memory(1, 0, 128);
+        let b = icnt.to_memory(1, 0, 128);
+        assert_eq!(a, 1);
+        assert_eq!(b, 2, "second packet waits for the port");
+    }
+
+    #[test]
+    fn different_ports_do_not_contend() {
+        let mut icnt = Interconnect::new(2, 0, 128.0);
+        let a = icnt.to_memory(0, 0, 128);
+        let b = icnt.to_memory(1, 0, 128);
+        assert_eq!(a, 1);
+        assert_eq!(b, 1, "distinct ports run in parallel");
+    }
+
+    #[test]
+    fn request_and_response_ports_are_independent() {
+        let mut icnt = Interconnect::new(1, 0, 128.0);
+        let a = icnt.to_memory(0, 0, 128);
+        let b = icnt.from_memory(0, 0, 128);
+        assert_eq!(a, 1);
+        assert_eq!(b, 1, "directions have separate ports");
+    }
+
+    #[test]
+    fn small_packets_take_one_cycle() {
+        let mut icnt = Interconnect::new(1, 2, 64.0);
+        assert_eq!(icnt.to_memory(0, 0, 8), 1 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_panics() {
+        Interconnect::new(0, 1, 32.0);
+    }
+}

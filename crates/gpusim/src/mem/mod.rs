@@ -1,0 +1,11 @@
+//! Memory system: caches, DRAM channels and their composition.
+
+mod cache;
+mod dram;
+mod hierarchy;
+mod interconnect;
+
+pub use cache::{Cache, Probe};
+pub use dram::{DramChannel, RowBufferConfig};
+pub use hierarchy::MemoryHierarchy;
+pub use interconnect::Interconnect;

@@ -1,0 +1,502 @@
+//! Flattened BVH storage and stepwise traversal.
+//!
+//! Traversal is exposed as an explicit state machine ([`Traversal`]) that
+//! yields one [`TraversalStep`] per node fetch or primitive test. The
+//! functional path tracer drains it in a loop, while the timing simulator
+//! (`zatel-rtworkload`) consumes the same steps lazily, turning each into
+//! memory transactions and ALU work — guaranteeing the functional and timing
+//! models agree on exactly which work a ray performs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geom::{Hit, Primitive, PrimitiveId};
+use crate::math::{Aabb, Ray, Vec3};
+
+/// A node of the flattened BVH.
+///
+/// Interior nodes keep their left child at `self + 1` (depth-first layout)
+/// and store the right child index; leaves store a range into the
+/// primitive-order array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlatNode {
+    bounds: Aabb,
+    /// Leaf: first index into the primitive order. Interior: right child.
+    first_or_right: u32,
+    /// Leaf: number of primitives. Unused for interior nodes.
+    count: u32,
+    /// Split axis for interior nodes (0/1/2).
+    axis: u8,
+    leaf: bool,
+}
+
+impl FlatNode {
+    /// Creates a leaf covering `count` primitives starting at `first` in the
+    /// BVH's primitive order.
+    pub fn leaf(bounds: Aabb, first: u32, count: u32) -> Self {
+        FlatNode { bounds, first_or_right: first, count, axis: 0, leaf: true }
+    }
+
+    /// Creates an interior node whose right child is at `right`.
+    pub fn interior(bounds: Aabb, right: u32, axis: u8) -> Self {
+        FlatNode { bounds, first_or_right: right, count: 0, axis, leaf: false }
+    }
+
+    /// Bounding box of the node.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Returns `true` for leaves.
+    pub fn is_leaf(&self) -> bool {
+        self.leaf
+    }
+
+    /// First primitive-order index (leaves only).
+    pub fn first_prim(&self) -> u32 {
+        debug_assert!(self.leaf);
+        self.first_or_right
+    }
+
+    /// Number of primitives (leaves only).
+    pub fn prim_count(&self) -> u32 {
+        debug_assert!(self.leaf);
+        self.count
+    }
+
+    /// Right child index (interior nodes only).
+    pub fn right_child(&self) -> u32 {
+        debug_assert!(!self.leaf);
+        self.first_or_right
+    }
+
+    /// Split axis (interior nodes only).
+    pub fn split_axis(&self) -> u8 {
+        self.axis
+    }
+}
+
+/// Counters accumulated while traversing; the basis of the execution-time
+/// heatmap (paper Section III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraversalStats {
+    /// BVH nodes fetched (interior + leaf).
+    pub nodes_visited: u64,
+    /// Ray/AABB slab tests executed.
+    pub box_tests: u64,
+    /// Ray/primitive intersection tests executed.
+    pub prim_tests: u64,
+    /// Leaf nodes visited.
+    pub leaf_visits: u64,
+}
+
+impl TraversalStats {
+    /// Adds another stats record into this one.
+    pub fn accumulate(&mut self, other: &TraversalStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.box_tests += other.box_tests;
+        self.prim_tests += other.prim_tests;
+        self.leaf_visits += other.leaf_visits;
+    }
+
+    /// Total abstract work units; the per-pixel cost metric profiled into
+    /// the heatmap.
+    pub fn work(&self) -> u64 {
+        self.nodes_visited + self.box_tests + 2 * self.prim_tests
+    }
+}
+
+/// One observable step of BVH traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraversalStep {
+    /// An interior node was fetched and its children box-tested.
+    InteriorNode {
+        /// Index of the node in [`Bvh::nodes`].
+        node: u32,
+    },
+    /// A leaf node was fetched.
+    LeafNode {
+        /// Index of the node in [`Bvh::nodes`].
+        node: u32,
+        /// Number of primitives the leaf will test.
+        count: u32,
+    },
+    /// A primitive was fetched and intersection-tested.
+    PrimitiveTest {
+        /// Scene primitive id that was tested.
+        prim: PrimitiveId,
+        /// Whether the test produced a new closest hit.
+        hit: bool,
+    },
+}
+
+/// A flattened bounding volume hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use rtcore::bvh::Bvh;
+/// use rtcore::geom::{Primitive, Sphere};
+/// use rtcore::material::MaterialId;
+/// use rtcore::math::{Ray, Vec3};
+///
+/// let prims = vec![Primitive::Sphere(Sphere::new(Vec3::ZERO, 1.0, MaterialId(0)))];
+/// let bvh = Bvh::build(&prims);
+/// let ray = Ray::new(Vec3::new(0.0, 0.0, -3.0), Vec3::Z);
+/// let (hit, stats) = bvh.intersect(&ray, &prims);
+/// assert!(hit.is_some());
+/// assert!(stats.nodes_visited > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bvh {
+    nodes: Vec<FlatNode>,
+    prim_order: Vec<u32>,
+}
+
+impl Bvh {
+    /// Assembles a BVH from prebuilt parts (used by the builder).
+    pub(crate) fn new(nodes: Vec<FlatNode>, prim_order: Vec<u32>) -> Self {
+        assert!(!nodes.is_empty(), "a BVH needs at least one node");
+        Bvh { nodes, prim_order }
+    }
+
+    /// Builds a BVH over `prims` with the binned-SAH builder.
+    pub fn build(prims: &[Primitive]) -> Self {
+        super::build::build_bvh(prims)
+    }
+
+    /// Builds a BVH over `prims` with an explicit construction strategy.
+    pub fn build_with(prims: &[Primitive], method: super::BuildMethod) -> Self {
+        super::build::build_bvh_with(prims, method)
+    }
+
+    /// The flattened node array.
+    pub fn nodes(&self) -> &[FlatNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Primitive visit order (indices into the scene primitive array).
+    pub fn primitive_order(&self) -> &[u32] {
+        &self.prim_order
+    }
+
+    /// Starts a stepwise traversal of `ray`.
+    pub fn traverse<'a>(&'a self, ray: Ray, prims: &'a [Primitive]) -> Traversal<'a> {
+        Traversal::new(self, ray, prims)
+    }
+
+    /// Starts a stepwise *any-hit* traversal (shadow/occlusion query):
+    /// stepping ends as soon as any intersection is found.
+    pub fn traverse_any<'a>(&'a self, ray: Ray, prims: &'a [Primitive]) -> Traversal<'a> {
+        Traversal::new_any_hit(self, ray, prims)
+    }
+
+    /// Finds the closest hit by draining a full traversal.
+    pub fn intersect(&self, ray: &Ray, prims: &[Primitive]) -> (Option<Hit>, TraversalStats) {
+        let mut tr = self.traverse(*ray, prims);
+        while tr.step().is_some() {}
+        (tr.hit(), *tr.stats())
+    }
+
+    /// Returns `true` if anything occludes the ray segment (early-out
+    /// any-hit query used for shadow rays).
+    pub fn occluded(&self, ray: &Ray, prims: &[Primitive]) -> (bool, TraversalStats) {
+        let mut tr = Traversal::new_any_hit(self, *ray, prims);
+        while tr.step().is_some() {
+            if tr.hit_found() {
+                return (true, *tr.stats());
+            }
+        }
+        (tr.hit_found(), *tr.stats())
+    }
+}
+
+/// Stepwise ray traversal over a [`Bvh`].
+///
+/// Call [`Traversal::step`] until it returns `None`, then read the result via
+/// [`Traversal::hit`]. Each step performs the actual intersection math, so
+/// consumers observe real traversal behaviour, not a replay.
+#[derive(Debug)]
+pub struct Traversal<'a> {
+    bvh: &'a Bvh,
+    prims: &'a [Primitive],
+    ray: Ray,
+    inv_dir: Vec3,
+    stack: Vec<u32>,
+    /// Pending primitive tests from the current leaf: (order index, end).
+    pending: Option<(u32, u32)>,
+    best_t: f32,
+    best_prim: Option<u32>,
+    any_hit: bool,
+    stats: TraversalStats,
+}
+
+impl<'a> Traversal<'a> {
+    fn new(bvh: &'a Bvh, ray: Ray, prims: &'a [Primitive]) -> Self {
+        Self::with_mode(bvh, ray, prims, false)
+    }
+
+    fn new_any_hit(bvh: &'a Bvh, ray: Ray, prims: &'a [Primitive]) -> Self {
+        Self::with_mode(bvh, ray, prims, true)
+    }
+
+    fn with_mode(bvh: &'a Bvh, ray: Ray, prims: &'a [Primitive], any_hit: bool) -> Self {
+        let inv_dir = ray.inv_dir();
+        let mut stack = Vec::with_capacity(48);
+        let mut stats = TraversalStats::default();
+        // The root box is tested once up front ("does the ray enter the
+        // scene at all"), mirroring how the ray-generation shader rejects
+        // rays that miss the scene bounds.
+        stats.box_tests += 1;
+        if bvh.nodes[0].bounds.hit(&ray, inv_dir).is_some() {
+            stack.push(0);
+        }
+        Traversal {
+            bvh,
+            prims,
+            ray,
+            inv_dir,
+            stack,
+            pending: None,
+            best_t: ray.t_max,
+            best_prim: None,
+            any_hit,
+            stats,
+        }
+    }
+
+    /// Executes one traversal step, or returns `None` when finished.
+    pub fn step(&mut self) -> Option<TraversalStep> {
+        // Finish pending primitive tests of the current leaf first.
+        if let Some((cursor, end)) = self.pending {
+            let prim_index = self.bvh.prim_order[cursor as usize];
+            self.pending = if cursor + 1 < end { Some((cursor + 1, end)) } else { None };
+            self.stats.prim_tests += 1;
+            let mut probe = self.ray;
+            probe.t_max = self.best_t;
+            let hit = if let Some(t) = self.prims[prim_index as usize].hit(&probe) {
+                self.best_t = t;
+                self.best_prim = Some(prim_index);
+                true
+            } else {
+                false
+            };
+            return Some(TraversalStep::PrimitiveTest { prim: PrimitiveId(prim_index), hit });
+        }
+
+        // In any-hit mode, stop as soon as something was hit.
+        if self.any_hit && self.best_prim.is_some() {
+            return None;
+        }
+
+        let node_index = loop {
+            let idx = self.stack.pop()?;
+            // Cheap re-check against the (possibly shrunk) interval; this
+            // models culling stale stack entries and costs no extra fetch.
+            let mut probe = self.ray;
+            probe.t_max = self.best_t;
+            match self.bvh.nodes[idx as usize].bounds.hit(&probe, self.inv_dir) {
+                Some(_) => break idx,
+                None => continue,
+            }
+        };
+
+        self.stats.nodes_visited += 1;
+        let node = &self.bvh.nodes[node_index as usize];
+        if node.is_leaf() {
+            self.stats.leaf_visits += 1;
+            let first = node.first_prim();
+            let count = node.prim_count();
+            if count > 0 {
+                self.pending = Some((first, first + count));
+            }
+            return Some(TraversalStep::LeafNode { node: node_index, count });
+        }
+
+        // Interior: box-test both children, push hits far-then-near so the
+        // near child is popped first (ordered traversal).
+        let left = node_index + 1;
+        let right = node.right_child();
+        let mut probe = self.ray;
+        probe.t_max = self.best_t;
+        self.stats.box_tests += 2;
+        let t_left = self.bvh.nodes[left as usize].bounds.hit(&probe, self.inv_dir);
+        let t_right = self.bvh.nodes[right as usize].bounds.hit(&probe, self.inv_dir);
+        match (t_left, t_right) {
+            (Some(tl), Some(tr)) => {
+                if tl <= tr {
+                    self.stack.push(right);
+                    self.stack.push(left);
+                } else {
+                    self.stack.push(left);
+                    self.stack.push(right);
+                }
+            }
+            (Some(_), None) => self.stack.push(left),
+            (None, Some(_)) => self.stack.push(right),
+            (None, None) => {}
+        }
+        Some(TraversalStep::InteriorNode { node: node_index })
+    }
+
+    /// The ray being traversed.
+    pub fn ray(&self) -> Ray {
+        self.ray
+    }
+
+    /// Whether any hit has been found so far.
+    pub fn hit_found(&self) -> bool {
+        self.best_prim.is_some()
+    }
+
+    /// Traversal statistics accumulated so far.
+    pub fn stats(&self) -> &TraversalStats {
+        &self.stats
+    }
+
+    /// Resolves the closest hit found, if any. Call after draining
+    /// [`Traversal::step`]; calling earlier returns the best hit so far.
+    pub fn hit(&self) -> Option<Hit> {
+        let prim_index = self.best_prim?;
+        let prim = &self.prims[prim_index as usize];
+        let point = self.ray.at(self.best_t);
+        Some(Hit {
+            t: self.best_t,
+            point,
+            normal: prim.shading_normal(point, self.ray.dir),
+            material: prim.material(),
+            primitive: PrimitiveId(prim_index),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Sphere, Triangle};
+    use crate::material::MaterialId;
+    use crate::math::Pcg;
+
+    fn two_spheres() -> Vec<Primitive> {
+        vec![
+            Primitive::Sphere(Sphere::new(Vec3::new(0.0, 0.0, 5.0), 1.0, MaterialId(0))),
+            Primitive::Sphere(Sphere::new(Vec3::new(0.0, 0.0, 10.0), 1.0, MaterialId(1))),
+        ]
+    }
+
+    #[test]
+    fn closest_hit_wins() {
+        let prims = two_spheres();
+        let bvh = Bvh::build(&prims);
+        let ray = Ray::new(Vec3::ZERO, Vec3::Z);
+        let (hit, _) = bvh.intersect(&ray, &prims);
+        let hit = hit.expect("must hit");
+        assert_eq!(hit.material, MaterialId(0));
+        assert!((hit.t - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn miss_returns_none_with_stats() {
+        let prims = two_spheres();
+        let bvh = Bvh::build(&prims);
+        let ray = Ray::new(Vec3::ZERO, -Vec3::Z);
+        let (hit, stats) = bvh.intersect(&ray, &prims);
+        assert!(hit.is_none());
+        assert!(stats.box_tests >= 1);
+    }
+
+    #[test]
+    fn occlusion_early_out_tests_less() {
+        let mut rng = Pcg::new(7);
+        let mut prims: Vec<Primitive> = Vec::new();
+        for _ in 0..200 {
+            let c = Vec3::new(rng.range_f32(-5.0, 5.0), rng.range_f32(-5.0, 5.0), rng.range_f32(2.0, 20.0));
+            prims.push(Primitive::Sphere(Sphere::new(c, 0.4, MaterialId(0))));
+        }
+        let bvh = Bvh::build(&prims);
+        let ray = Ray::new(Vec3::ZERO, Vec3::Z);
+        let (occ, occ_stats) = bvh.occluded(&ray, &prims);
+        let (hit, full_stats) = bvh.intersect(&ray, &prims);
+        assert_eq!(occ, hit.is_some());
+        if occ {
+            assert!(occ_stats.work() <= full_stats.work());
+        }
+    }
+
+    #[test]
+    fn empty_bvh_traversal_terminates() {
+        let prims: Vec<Primitive> = Vec::new();
+        let bvh = Bvh::build(&prims);
+        let ray = Ray::new(Vec3::ZERO, Vec3::Z);
+        let (hit, stats) = bvh.intersect(&ray, &prims);
+        assert!(hit.is_none());
+        assert_eq!(stats.prim_tests, 0);
+    }
+
+    #[test]
+    fn stepwise_matches_brute_force() {
+        let mut rng = Pcg::new(99);
+        let mut prims: Vec<Primitive> = Vec::new();
+        for _ in 0..300 {
+            let base = Vec3::new(
+                rng.range_f32(-8.0, 8.0),
+                rng.range_f32(-8.0, 8.0),
+                rng.range_f32(-8.0, 8.0),
+            );
+            prims.push(Primitive::Triangle(Triangle::new(
+                base,
+                base + Vec3::new(rng.next_f32() + 0.1, 0.0, rng.next_f32()),
+                base + Vec3::new(0.0, rng.next_f32() + 0.1, rng.next_f32()),
+                MaterialId(0),
+            )));
+        }
+        let bvh = Bvh::build(&prims);
+        for i in 0..64 {
+            let mut r = Pcg::for_index(5, i);
+            let origin = Vec3::new(r.range_f32(-12.0, 12.0), r.range_f32(-12.0, 12.0), -15.0);
+            let dir = Vec3::new(r.range_f32(-0.3, 0.3), r.range_f32(-0.3, 0.3), 1.0).normalized();
+            let ray = Ray::new(origin, dir);
+            let (bvh_hit, _) = bvh.intersect(&ray, &prims);
+            // Brute force reference.
+            let mut best: Option<(f32, u32)> = None;
+            for (pi, p) in prims.iter().enumerate() {
+                if let Some(t) = p.hit(&ray) {
+                    if best.map_or(true, |(bt, _)| t < bt) {
+                        best = Some((t, pi as u32));
+                    }
+                }
+            }
+            match (bvh_hit, best) {
+                (Some(h), Some((t, pi))) => {
+                    assert!((h.t - t).abs() < 1e-3, "ray {i}: t {} vs {}", h.t, t);
+                    assert_eq!(h.primitive, PrimitiveId(pi), "ray {i}");
+                }
+                (None, None) => {}
+                (a, b) => panic!("ray {i}: bvh {a:?} vs brute {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn traversal_steps_enumerate_nodes_and_prims() {
+        let prims = two_spheres();
+        let bvh = Bvh::build(&prims);
+        let ray = Ray::new(Vec3::ZERO, Vec3::Z);
+        let mut tr = bvh.traverse(ray, &prims);
+        let mut prim_tests = 0;
+        let mut node_visits = 0;
+        while let Some(step) = tr.step() {
+            match step {
+                TraversalStep::PrimitiveTest { .. } => prim_tests += 1,
+                TraversalStep::InteriorNode { .. } | TraversalStep::LeafNode { .. } => node_visits += 1,
+            }
+        }
+        assert_eq!(prim_tests as u64, tr.stats().prim_tests);
+        assert_eq!(node_visits as u64, tr.stats().nodes_visited);
+        assert!(tr.hit().is_some());
+    }
+}

@@ -1,0 +1,10 @@
+//! Geometric primitives and procedural mesh builders.
+
+pub mod mesh;
+mod primitive;
+mod sphere;
+mod triangle;
+
+pub use primitive::{Hit, Primitive, PrimitiveId};
+pub use sphere::Sphere;
+pub use triangle::Triangle;

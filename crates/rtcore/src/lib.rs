@@ -1,0 +1,37 @@
+//! # zatel-rtcore — ray-tracing substrate
+//!
+//! The geometric and functional foundation of the Zatel reproduction:
+//! vector math, BVH construction and traversal, materials, a deterministic
+//! functional path tracer and the eight procedural benchmark scenes that
+//! stand in for LumiBench.
+//!
+//! The crate's central design point is [`bvh::Traversal`]: a stepwise
+//! traversal state machine that both the functional tracer (this crate) and
+//! the cycle-level timing model (`zatel-gpusim` via `zatel-rtworkload`)
+//! drive, so functional and timing simulation agree on exactly which nodes
+//! and primitives every ray touches.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rtcore::scenes::SceneId;
+//! use rtcore::tracer::{render, TraceConfig};
+//!
+//! let scene = SceneId::Sprng.build(42);
+//! let cfg = TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 1 };
+//! let (image, costs) = render(&scene, 32, 32, &cfg);
+//! assert!(image.mean_luminance() > 0.0);
+//! assert!(costs.max() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bvh;
+pub mod camera;
+pub mod geom;
+pub mod image;
+pub mod material;
+pub mod math;
+pub mod scene;
+pub mod scenes;
+pub mod tracer;

@@ -1,0 +1,102 @@
+//! Orthonormal bases and sphere/hemisphere sampling helpers.
+
+use super::{Pcg, Vec3};
+
+/// An orthonormal basis around a normal vector, used to transform
+/// hemisphere samples into world space when shading diffuse surfaces.
+///
+/// # Examples
+///
+/// ```
+/// use rtcore::math::{Onb, Vec3};
+///
+/// let onb = Onb::from_normal(Vec3::Y);
+/// let world = onb.to_world(Vec3::new(0.0, 0.0, 1.0));
+/// assert!((world - Vec3::Y).length() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Onb {
+    /// First tangent.
+    pub u: Vec3,
+    /// Second tangent.
+    pub v: Vec3,
+    /// The normal (local +Z).
+    pub w: Vec3,
+}
+
+impl Onb {
+    /// Builds a basis whose `w` axis is the given unit normal, using the
+    /// branchless Duff et al. construction.
+    pub fn from_normal(n: Vec3) -> Self {
+        let sign = if n.z >= 0.0 { 1.0 } else { -1.0 };
+        let a = -1.0 / (sign + n.z);
+        let b = n.x * n.y * a;
+        let u = Vec3::new(1.0 + sign * n.x * n.x * a, sign * b, -sign * n.x);
+        let v = Vec3::new(b, sign + n.y * n.y * a, -n.y);
+        Onb { u, v, w: n }
+    }
+
+    /// Transforms a local-space vector (z = normal) into world space.
+    #[inline]
+    pub fn to_world(&self, local: Vec3) -> Vec3 {
+        self.u * local.x + self.v * local.y + self.w * local.z
+    }
+}
+
+/// Cosine-weighted hemisphere sample around `normal`.
+pub fn cosine_hemisphere(normal: Vec3, rng: &mut Pcg) -> Vec3 {
+    let r1 = rng.next_f32();
+    let r2 = rng.next_f32();
+    let phi = 2.0 * std::f32::consts::PI * r1;
+    let r = r2.sqrt();
+    let local = Vec3::new(r * phi.cos(), r * phi.sin(), (1.0 - r2).max(0.0).sqrt());
+    Onb::from_normal(normal).to_world(local)
+}
+
+/// Uniform sample on the unit sphere surface.
+pub fn uniform_sphere(rng: &mut Pcg) -> Vec3 {
+    let z = rng.range_f32(-1.0, 1.0);
+    let phi = 2.0 * std::f32::consts::PI * rng.next_f32();
+    let r = (1.0 - z * z).max(0.0).sqrt();
+    Vec3::new(r * phi.cos(), r * phi.sin(), z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_is_orthonormal() {
+        for n in [Vec3::X, Vec3::Y, Vec3::Z, -Vec3::Z, Vec3::new(1.0, 2.0, 3.0).normalized()] {
+            let onb = Onb::from_normal(n);
+            assert!(onb.u.dot(onb.v).abs() < 1e-5);
+            assert!(onb.u.dot(onb.w).abs() < 1e-5);
+            assert!(onb.v.dot(onb.w).abs() < 1e-5);
+            assert!((onb.u.length() - 1.0).abs() < 1e-5);
+            assert!((onb.v.length() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cosine_samples_in_hemisphere() {
+        let mut rng = Pcg::new(1);
+        let n = Vec3::new(0.3, 0.8, -0.5).normalized();
+        for _ in 0..1000 {
+            let d = cosine_hemisphere(n, &mut rng);
+            assert!(d.dot(n) >= -1e-5, "sample below surface");
+            assert!((d.length() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sphere_samples_are_unit() {
+        let mut rng = Pcg::new(2);
+        let mut mean = Vec3::ZERO;
+        for _ in 0..4000 {
+            let d = uniform_sphere(&mut rng);
+            assert!((d.length() - 1.0).abs() < 1e-4);
+            mean += d;
+        }
+        assert!((mean / 4000.0).length() < 0.05, "samples not centred");
+    }
+}

@@ -1,0 +1,690 @@
+//! # zatel-rtworkload — ray tracing as a GPU workload
+//!
+//! Bridges the functional ray tracer of `zatel-rtcore` and the cycle-level
+//! timing model of `zatel-gpusim`: every pixel becomes one GPU thread whose
+//! [`gpusim::ThreadProgram`] is a lazy state machine over the *same*
+//! [`rtcore::bvh::Traversal`] the functional tracer uses, emitting one
+//! abstract op per BVH node fetch, primitive test and shading step.
+//!
+//! Because both sides consume the identical traversal state machine and the
+//! identical per-pixel RNG stream, the timing simulation executes exactly
+//! the memory accesses and ALU work the functional render performs — there
+//! is no trace file and no replay skew.
+//!
+//! Pixel filtering (the paper's injected `filter_shader`, Listing 1) is
+//! modeled by [`RtWorkload::with_selection`]: deselected threads run a
+//! two-instruction exit program, so they are launched but contribute
+//! negligible work, matching the paper's observation.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use gpusim::{Op, ThreadProgram, Workload};
+use rtcore::bvh::{Traversal, TraversalStep};
+use rtcore::material::Surface;
+use rtcore::math::{cosine_hemisphere, uniform_sphere, Pcg, Ray, Vec3, RAY_EPSILON};
+use rtcore::scene::Scene;
+use rtcore::tracer::TraceConfig;
+
+/// A pixel coordinate on the image plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pixel {
+    /// Column (0 = left).
+    pub x: u32,
+    /// Row (0 = top).
+    pub y: u32,
+}
+
+impl Pixel {
+    /// Creates a pixel coordinate.
+    pub fn new(x: u32, y: u32) -> Self {
+        Pixel { x, y }
+    }
+}
+
+/// Byte-address layout of the simulated GPU's global memory.
+///
+/// BVH nodes, primitives, materials and the framebuffer live in disjoint
+/// regions with realistic strides, so cache behaviour (line reuse, set
+/// conflicts, partition interleaving) reflects real data layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    /// Base address of the flattened BVH node array.
+    pub node_base: u64,
+    /// Bytes per BVH node.
+    pub node_stride: u64,
+    /// Base address of the primitive array.
+    pub prim_base: u64,
+    /// Bytes per primitive.
+    pub prim_stride: u64,
+    /// Base address of the material table.
+    pub material_base: u64,
+    /// Bytes per material record.
+    pub material_stride: u64,
+    /// Base address of the framebuffer.
+    pub framebuffer_base: u64,
+    /// Bytes per pixel in the framebuffer.
+    pub pixel_stride: u64,
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        AddressMap {
+            node_base: 0x1000_0000,
+            node_stride: 32,
+            prim_base: 0x4000_0000,
+            prim_stride: 64,
+            material_base: 0x7000_0000,
+            material_stride: 32,
+            framebuffer_base: 0x8000_0000,
+            pixel_stride: 16,
+        }
+    }
+}
+
+impl AddressMap {
+    /// Address of BVH node `index`.
+    pub fn node_addr(&self, index: u32) -> u64 {
+        self.node_base + index as u64 * self.node_stride
+    }
+
+    /// Address of primitive `index`.
+    pub fn prim_addr(&self, index: u32) -> u64 {
+        self.prim_base + index as u64 * self.prim_stride
+    }
+
+    /// Address of material `index`.
+    pub fn material_addr(&self, index: u32) -> u64 {
+        self.material_base + index as u64 * self.material_stride
+    }
+
+    /// Framebuffer address of pixel `(x, y)` in a `width`-wide image.
+    pub fn pixel_addr(&self, x: u32, y: u32, width: u32) -> u64 {
+        self.framebuffer_base + (y as u64 * width as u64 + x as u64) * self.pixel_stride
+    }
+}
+
+/// A ray-tracing workload: a list of pixels to launch (in thread/warp
+/// order) over a scene, with an optional traced-pixel selection.
+///
+/// Threads `[32k, 32k+32)` of the pixel list form warp `k`, so the caller
+/// controls warp composition by ordering the list — which is exactly the
+/// lever Zatel's fine/coarse division and 32-wide section blocks pull.
+///
+/// # Examples
+///
+/// ```
+/// use gpusim::{GpuConfig, Simulator};
+/// use rtcore::scenes::SceneId;
+/// use rtcore::tracer::TraceConfig;
+/// use rtworkload::RtWorkload;
+///
+/// let scene = SceneId::Sprng.build(1);
+/// let cfg = TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 1 };
+/// let workload = RtWorkload::full_frame(&scene, 32, 32, cfg);
+/// let stats = Simulator::new(GpuConfig::mobile_soc()).run(&workload);
+/// assert!(stats.rt_warp_phases > 0);
+/// ```
+pub struct RtWorkload<'s> {
+    scene: &'s Scene,
+    width: u32,
+    height: u32,
+    trace: TraceConfig,
+    pixels: Vec<Pixel>,
+    /// `selected[i] == false` → thread `i` runs the filter-exit program.
+    selected: Option<Vec<bool>>,
+    map: AddressMap,
+}
+
+impl std::fmt::Debug for RtWorkload<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtWorkload")
+            .field("scene", &self.scene.name())
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .field("pixels", &self.pixels.len())
+            .field("selected", &self.selected.as_ref().map(|s| s.iter().filter(|&&b| b).count()))
+            .finish()
+    }
+}
+
+impl<'s> RtWorkload<'s> {
+    /// Workload over an explicit pixel list (a Zatel group).
+    ///
+    /// `width`/`height` are the *full* image dimensions; pixel coordinates
+    /// are absolute so per-pixel RNG streams match the full-frame render.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels` is empty or any coordinate is out of bounds.
+    pub fn new(
+        scene: &'s Scene,
+        width: u32,
+        height: u32,
+        trace: TraceConfig,
+        pixels: Vec<Pixel>,
+    ) -> Self {
+        assert!(!pixels.is_empty(), "workload needs at least one pixel");
+        assert!(
+            pixels.iter().all(|p| p.x < width && p.y < height),
+            "pixel out of image bounds"
+        );
+        RtWorkload { scene, width, height, trace, pixels, selected: None, map: AddressMap::default() }
+    }
+
+    /// Workload tracing the whole `width × height` frame in 32×2-pixel
+    /// tiles (row-major tile order, row-major within a tile).
+    ///
+    /// Ray-generation shaders dispatch rays in small 2D tiles, not in
+    /// scanlines, so consecutive warps cover vertically adjacent pixel
+    /// runs; this is also exactly the chunk shape Zatel's fine-grained
+    /// division uses, keeping per-SM locality comparable between full-frame
+    /// and per-group simulations.
+    pub fn full_frame(scene: &'s Scene, width: u32, height: u32, trace: TraceConfig) -> Self {
+        const TILE_W: u32 = 32;
+        const TILE_H: u32 = 2;
+        let mut pixels = Vec::with_capacity((width * height) as usize);
+        for ty in 0..height.div_ceil(TILE_H) {
+            for tx in 0..width.div_ceil(TILE_W) {
+                for y in ty * TILE_H..((ty + 1) * TILE_H).min(height) {
+                    for x in tx * TILE_W..((tx + 1) * TILE_W).min(width) {
+                        pixels.push(Pixel::new(x, y));
+                    }
+                }
+            }
+        }
+        Self::new(scene, width, height, trace, pixels)
+    }
+
+    /// Restricts tracing to the pixels where `selected` is `true`. The
+    /// deselected threads still launch and immediately exit (the paper's
+    /// `filter_shader`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selected.len()` differs from the pixel count.
+    pub fn with_selection(mut self, selected: Vec<bool>) -> Self {
+        assert_eq!(selected.len(), self.pixels.len(), "selection mask length mismatch");
+        self.selected = Some(selected);
+        self
+    }
+
+    /// The pixels of this workload in thread order.
+    pub fn pixels(&self) -> &[Pixel] {
+        &self.pixels
+    }
+
+    /// Number of pixels that will actually be traced.
+    pub fn traced_count(&self) -> usize {
+        match &self.selected {
+            Some(sel) => sel.iter().filter(|&&b| b).count(),
+            None => self.pixels.len(),
+        }
+    }
+
+    /// The fraction of this workload's pixels that will be traced.
+    pub fn traced_fraction(&self) -> f64 {
+        self.traced_count() as f64 / self.pixels.len() as f64
+    }
+}
+
+impl Workload for RtWorkload<'_> {
+    fn thread_count(&self) -> u64 {
+        self.pixels.len() as u64
+    }
+
+    fn create_thread(&self, index: u64) -> Box<dyn ThreadProgram + '_> {
+        let pixel = self.pixels[index as usize];
+        if let Some(sel) = &self.selected {
+            if !sel[index as usize] {
+                return Box::new(FilterExit::new());
+            }
+        }
+        Box::new(PixelProgram::new(
+            self.scene,
+            pixel,
+            self.width,
+            self.height,
+            self.trace,
+            self.map,
+        ))
+    }
+}
+
+/// The two-instruction early-exit program run by filtered-out pixels
+/// (mirrors the injected PTX of the paper's Listing 1).
+#[derive(Debug)]
+struct FilterExit {
+    emitted: bool,
+}
+
+impl FilterExit {
+    fn new() -> Self {
+        FilterExit { emitted: false }
+    }
+}
+
+impl ThreadProgram for FilterExit {
+    fn next_op(&mut self) -> Option<Op> {
+        if self.emitted {
+            None
+        } else {
+            self.emitted = true;
+            // filter_shader + exit.
+            Some(Op::Compute { cycles: 2, insts: 2 })
+        }
+    }
+}
+
+/// Continuation data for a diffuse bounce paused on its shadow ray.
+#[derive(Debug, Clone, Copy)]
+struct DiffuseResume {
+    point: Vec3,
+    normal: Vec3,
+    bounce: u32,
+}
+
+enum State<'s> {
+    StartSample,
+    Path { tr: Traversal<'s>, bounce: u32 },
+    Shadow { tr: Traversal<'s>, resume: DiffuseResume },
+    Finished,
+}
+
+/// Lazy per-pixel thread program: replays the exact path-tracing control
+/// flow of [`rtcore::tracer`] while emitting one [`Op`] per unit of work.
+struct PixelProgram<'s> {
+    scene: &'s Scene,
+    map: AddressMap,
+    pixel: Pixel,
+    width: u32,
+    height: u32,
+    spp: u32,
+    max_bounces: u32,
+    rng: Pcg,
+    sample: u32,
+    throughput: Vec3,
+    queue: VecDeque<Op>,
+    state: State<'s>,
+}
+
+impl<'s> PixelProgram<'s> {
+    fn new(
+        scene: &'s Scene,
+        pixel: Pixel,
+        width: u32,
+        height: u32,
+        trace: TraceConfig,
+        map: AddressMap,
+    ) -> Self {
+        let rng = Pcg::for_index(
+            trace.seed,
+            pixel.y as u64 * width as u64 + pixel.x as u64,
+        );
+        PixelProgram {
+            scene,
+            map,
+            pixel,
+            width,
+            height,
+            spp: trace.samples_per_pixel.max(1),
+            max_bounces: trace.max_bounces,
+            rng,
+            sample: 0,
+            throughput: Vec3::ONE,
+            queue: VecDeque::new(),
+            state: State::StartSample,
+        }
+    }
+
+    fn op_of(&self, step: TraversalStep) -> Op {
+        match step {
+            TraversalStep::InteriorNode { node } | TraversalStep::LeafNode { node, .. } => {
+                Op::RtNode { addr: self.map.node_addr(node) }
+            }
+            TraversalStep::PrimitiveTest { prim, .. } => {
+                Op::RtPrim { addr: self.map.prim_addr(prim.0) }
+            }
+        }
+    }
+
+    /// Ends the current path; moves on to the next sample.
+    fn end_path(&mut self) {
+        self.throughput = Vec3::ONE;
+        self.state = State::StartSample;
+    }
+
+    /// Resolves a finished primary/bounce traversal, mirroring
+    /// `rtcore::tracer` decision for decision (and RNG draw for RNG draw).
+    fn resolve_path_hit(&mut self, tr: Traversal<'s>, bounce: u32) {
+        let Some(hit) = tr.hit() else {
+            // Sky: small shade cost, path ends.
+            self.queue.push_back(Op::Compute { cycles: 4, insts: 4 });
+            self.end_path();
+            return;
+        };
+
+        let material = *self.scene.material(hit.material);
+        // Material fetch + shading ALU work.
+        self.queue.push_back(Op::Load { addr: self.map.material_addr(hit.material.0), bytes: 32 });
+        let cost = material.shading_cost();
+        self.queue.push_back(Op::Compute { cycles: cost, insts: cost });
+
+        match material.surface {
+            Surface::Emissive => {
+                self.end_path();
+            }
+            Surface::Diffuse => {
+                let mut shadow: Option<Traversal<'s>> = None;
+                if !self.scene.lights().is_empty() {
+                    let light = self.scene.lights()[self.rng.next_below(self.scene.lights().len())];
+                    let to_light = light.position - hit.point;
+                    let dist = to_light.length();
+                    if dist > RAY_EPSILON {
+                        let dir = to_light / dist;
+                        let cos = hit.normal.dot(dir);
+                        if cos > 0.0 {
+                            let ray = Ray::segment(
+                                hit.point + hit.normal * RAY_EPSILON,
+                                dir,
+                                dist - 2.0 * RAY_EPSILON,
+                            );
+                            // Shadow-ray setup cost.
+                            self.queue.push_back(Op::Compute { cycles: 6, insts: 6 });
+                            shadow = Some(self.scene.bvh().traverse_any(ray, self.scene.primitives()));
+                        }
+                    }
+                }
+                let resume = DiffuseResume { point: hit.point, normal: hit.normal, bounce };
+                self.throughput = self.throughput.hadamard(material.color);
+                match shadow {
+                    Some(tr) => self.state = State::Shadow { tr, resume },
+                    None => self.continue_after_diffuse(resume),
+                }
+            }
+            Surface::Mirror { fuzz } => {
+                self.throughput = self.throughput.hadamard(material.color);
+                let incoming = tr.ray().dir;
+                let mut dir = incoming.reflect(hit.normal);
+                if fuzz > 0.0 {
+                    dir = (dir + uniform_sphere(&mut self.rng) * fuzz)
+                        .try_normalized()
+                        .unwrap_or(dir);
+                }
+                if dir.dot(hit.normal) <= 0.0 {
+                    self.end_path();
+                    return;
+                }
+                let ray = Ray::new(hit.point + hit.normal * RAY_EPSILON, dir);
+                self.continue_bounce(ray, bounce);
+            }
+            Surface::Glass { ior } => {
+                let incoming = tr.ray().dir;
+                let eta = 1.0 / ior;
+                let cos_i = (-incoming).dot(hit.normal).clamp(0.0, 1.0);
+                let reflect_prob = schlick(cos_i, ior);
+                let dir = if self.rng.next_f32() < reflect_prob {
+                    incoming.reflect(hit.normal)
+                } else {
+                    match incoming.refract(hit.normal, eta) {
+                        Some(t) => t,
+                        None => incoming.reflect(hit.normal),
+                    }
+                };
+                let offset = if dir.dot(hit.normal) < 0.0 { -hit.normal } else { hit.normal };
+                let ray = Ray::new(hit.point + offset * RAY_EPSILON, dir.normalized());
+                self.continue_bounce(ray, bounce);
+            }
+        }
+    }
+
+    /// After a shadow query, finish the diffuse bounce: hemisphere sample
+    /// and the next path segment (matching the tracer's RNG order).
+    fn continue_after_diffuse(&mut self, resume: DiffuseResume) {
+        let dir = cosine_hemisphere(resume.normal, &mut self.rng);
+        let ray = Ray::new(resume.point + resume.normal * RAY_EPSILON, dir);
+        self.continue_bounce(ray, resume.bounce);
+    }
+
+    /// Advances to the next path segment, honouring the bounce limit and
+    /// the throughput termination rule of the functional tracer.
+    fn continue_bounce(&mut self, ray: Ray, bounce: u32) {
+        if self.throughput.max_component() < 1e-4 || bounce >= self.max_bounces {
+            self.end_path();
+            return;
+        }
+        let tr = self.scene.bvh().traverse(ray, self.scene.primitives());
+        self.state = State::Path { tr, bounce: bounce + 1 };
+    }
+}
+
+/// Schlick's Fresnel approximation (identical to the functional tracer's).
+fn schlick(cos: f32, ior: f32) -> f32 {
+    let r0 = ((1.0 - ior) / (1.0 + ior)).powi(2);
+    r0 + (1.0 - r0) * (1.0 - cos).powi(5)
+}
+
+impl ThreadProgram for PixelProgram<'_> {
+    fn next_op(&mut self) -> Option<Op> {
+        loop {
+            if let Some(op) = self.queue.pop_front() {
+                return Some(op);
+            }
+            // Temporarily swap the state out so traversals can be moved.
+            match std::mem::replace(&mut self.state, State::Finished) {
+                State::StartSample => {
+                    if self.sample >= self.spp {
+                        // Frame done for this pixel: write the framebuffer.
+                        self.queue.push_back(Op::Store {
+                            addr: self.map.pixel_addr(self.pixel.x, self.pixel.y, self.width),
+                            bytes: self.map.pixel_stride as u32,
+                        });
+                        // State stays Finished; the store drains, then None.
+                        continue;
+                    }
+                    self.sample += 1;
+                    let ray = self.scene.camera().primary_ray(
+                        self.pixel.x,
+                        self.pixel.y,
+                        self.width,
+                        self.height,
+                        &mut self.rng,
+                    );
+                    self.queue.push_back(Op::Compute { cycles: 16, insts: 16 });
+                    let tr = self.scene.bvh().traverse(ray, self.scene.primitives());
+                    self.state = State::Path { tr, bounce: 0 };
+                }
+                State::Path { mut tr, bounce } => match tr.step() {
+                    Some(step) => {
+                        let op = self.op_of(step);
+                        self.state = State::Path { tr, bounce };
+                        return Some(op);
+                    }
+                    None => {
+                        self.resolve_path_hit(tr, bounce);
+                    }
+                },
+                State::Shadow { mut tr, resume } => match tr.step() {
+                    Some(step) => {
+                        let op = self.op_of(step);
+                        if tr.hit_found() {
+                            // Early-out: occlusion proven; finish the bounce.
+                            self.continue_after_diffuse(resume);
+                        } else {
+                            self.state = State::Shadow { tr, resume };
+                        }
+                        return Some(op);
+                    }
+                    None => {
+                        self.continue_after_diffuse(resume);
+                    }
+                },
+                State::Finished => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::{GpuConfig, Simulator};
+    use rtcore::scenes::SceneId;
+    use rtcore::tracer::{trace_pixel, TraceConfig};
+
+    fn cfg() -> TraceConfig {
+        TraceConfig { samples_per_pixel: 2, max_bounces: 3, seed: 11 }
+    }
+
+    #[test]
+    fn address_map_regions_are_disjoint() {
+        let m = AddressMap::default();
+        assert!(m.node_addr(1_000_000) < m.prim_base);
+        assert!(m.prim_addr(1_000_000) < m.material_base);
+        assert!(m.material_addr(100_000) < m.framebuffer_base);
+        assert_eq!(m.pixel_addr(1, 0, 64) - m.pixel_addr(0, 0, 64), 16);
+        assert_eq!(m.pixel_addr(0, 1, 64) - m.pixel_addr(0, 0, 64), 64 * 16);
+    }
+
+    #[test]
+    fn op_counts_match_functional_tracer() {
+        // The core correctness property of this crate: for the same pixels
+        // and seed, the op stream's RtNode/RtPrim counts equal the
+        // functional tracer's nodes_visited/prim_tests exactly.
+        let scene = SceneId::Wknd.build(3);
+        let (w, h) = (16u32, 16u32);
+        let trace = cfg();
+        let mut func_nodes = 0u64;
+        let mut func_prims = 0u64;
+        for y in 0..h {
+            for x in 0..w {
+                let px = trace_pixel(&scene, x, y, w, h, &trace);
+                func_nodes += px.stats.nodes_visited;
+                func_prims += px.stats.prim_tests;
+            }
+        }
+        let workload = RtWorkload::full_frame(&scene, w, h, trace);
+        let mut sim_nodes = 0u64;
+        let mut sim_prims = 0u64;
+        for i in 0..workload.thread_count() {
+            let mut t = workload.create_thread(i);
+            while let Some(op) = t.next_op() {
+                match op {
+                    Op::RtNode { .. } => sim_nodes += 1,
+                    Op::RtPrim { .. } => sim_prims += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(sim_nodes, func_nodes, "node fetches must match functional traversal");
+        assert_eq!(sim_prims, func_prims, "primitive tests must match functional traversal");
+    }
+
+    #[test]
+    fn threads_are_reproducible() {
+        let scene = SceneId::Sprng.build(1);
+        let workload = RtWorkload::full_frame(&scene, 8, 8, cfg());
+        let collect = |i| {
+            let mut t = workload.create_thread(i);
+            let mut ops = Vec::new();
+            while let Some(op) = t.next_op() {
+                ops.push(op);
+            }
+            ops
+        };
+        assert_eq!(collect(5), collect(5));
+    }
+
+    #[test]
+    fn every_thread_terminates_with_store() {
+        let scene = SceneId::Bath.build(2);
+        let workload = RtWorkload::full_frame(&scene, 8, 8, cfg());
+        for i in 0..workload.thread_count() {
+            let mut t = workload.create_thread(i);
+            let mut last = None;
+            let mut n = 0u64;
+            while let Some(op) = t.next_op() {
+                last = Some(op);
+                n += 1;
+                assert!(n < 2_000_000, "thread {i} does not terminate");
+            }
+            assert!(matches!(last, Some(Op::Store { .. })), "thread {i} must write the framebuffer");
+        }
+    }
+
+    #[test]
+    fn filtered_threads_run_two_instructions() {
+        let scene = SceneId::Sprng.build(1);
+        let n = 64usize;
+        let mut sel = vec![false; n];
+        sel[0] = true;
+        let workload = RtWorkload::full_frame(&scene, 8, 8, cfg()).with_selection(sel);
+        assert_eq!(workload.traced_count(), 1);
+        assert!((workload.traced_fraction() - 1.0 / 64.0).abs() < 1e-12);
+        let mut t = workload.create_thread(1);
+        assert_eq!(t.next_op(), Some(Op::Compute { cycles: 2, insts: 2 }));
+        assert_eq!(t.next_op(), None);
+    }
+
+    #[test]
+    fn selection_reduces_simulated_cycles() {
+        let scene = SceneId::Chsnt.build(4);
+        let (w, h) = (32u32, 32u32);
+        let trace = TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 5 };
+        let full = RtWorkload::full_frame(&scene, w, h, trace);
+        let sim = Simulator::new(GpuConfig::mobile_soc());
+        let full_stats = sim.run(&full);
+        let sel: Vec<bool> = (0..(w * h) as usize).map(|i| i % 4 == 0).collect();
+        let quarter = RtWorkload::full_frame(&scene, w, h, trace).with_selection(sel);
+        let q_stats = sim.run(&quarter);
+        assert!(
+            q_stats.cycles < full_stats.cycles,
+            "quarter trace {} should beat full {}",
+            q_stats.cycles,
+            full_stats.cycles
+        );
+    }
+
+    #[test]
+    fn subset_pixels_trace_identically_to_full_frame() {
+        // Per-pixel RNG depends only on (seed, x, y): a group containing a
+        // pixel produces the identical op stream as the full frame.
+        let scene = SceneId::Wknd.build(3);
+        let trace = cfg();
+        let full = RtWorkload::full_frame(&scene, 16, 16, trace);
+        let group = RtWorkload::new(
+            &scene,
+            16,
+            16,
+            trace,
+            vec![Pixel::new(3, 7), Pixel::new(12, 2)],
+        );
+        let drain = |w: &RtWorkload<'_>, i: u64| {
+            let mut t = w.create_thread(i);
+            let mut ops = Vec::new();
+            while let Some(op) = t.next_op() {
+                ops.push(op);
+            }
+            ops
+        };
+        // Pixel (3,7) is thread 7*16+3 = 115 of the full frame.
+        assert_eq!(drain(&group, 0), drain(&full, 115));
+        // Pixel (12,2) is thread 2*16+12 = 44.
+        assert_eq!(drain(&group, 1), drain(&full, 44));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pixel")]
+    fn empty_pixel_list_panics() {
+        let scene = SceneId::Sprng.build(1);
+        let _ = RtWorkload::new(&scene, 8, 8, cfg(), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of image bounds")]
+    fn out_of_bounds_pixel_panics() {
+        let scene = SceneId::Sprng.build(1);
+        let _ = RtWorkload::new(&scene, 8, 8, cfg(), vec![Pixel::new(8, 0)]);
+    }
+}

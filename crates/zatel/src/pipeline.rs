@@ -1,0 +1,548 @@
+//! The end-to-end Zatel pipeline (paper Fig. 3): heatmap → quantize →
+//! downscale → divide → select → simulate per group → combine.
+
+use std::time::{Duration, Instant};
+
+use gpusim::{GpuConfig, Metric, SimStats, Simulator};
+use rtcore::scene::Scene;
+use rtcore::tracer::TraceConfig;
+use rtworkload::RtWorkload;
+
+use crate::error::ZatelError;
+use crate::extrapolate::regression_to_full;
+use crate::heatmap::Heatmap;
+use crate::metrics::abs_error;
+use crate::partition::{divide, DivisionMethod, Group};
+use crate::quantize::QuantizedHeatmap;
+use crate::select::{select_pixels, Selection, SelectionOptions};
+
+/// How the target GPU is downscaled before group simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DownscaleMode {
+    /// Use `K = gcd(#SMs, #memory partitions)` — the paper's choice.
+    Natural,
+    /// Use an explicit factor (the Fig. 17–19 sweeps).
+    Factor(u32),
+    /// Do not downscale: one group on the full GPU. Isolates the
+    /// representative-pixel optimization (the Figs. 13–16 sweeps).
+    NoDownscale,
+}
+
+/// All tunable parameters of the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZatelOptions {
+    /// Image-plane division method (fine-grained 32×2 by default).
+    pub division: DivisionMethod,
+    /// Representative-pixel selection parameters.
+    pub selection: SelectionOptions,
+    /// Number of K-means colours for heatmap quantization.
+    pub quant_colors: usize,
+    /// GPU downscaling mode.
+    pub downscale: DownscaleMode,
+    /// Run group simulations on parallel host threads (the paper's
+    /// "simulate each group simultaneously on different CPU cores").
+    pub parallel: bool,
+}
+
+impl Default for ZatelOptions {
+    fn default() -> Self {
+        ZatelOptions {
+            division: DivisionMethod::default_fine(),
+            selection: SelectionOptions::default(),
+            quant_colors: 8,
+            downscale: DownscaleMode::Natural,
+            parallel: true,
+        }
+    }
+}
+
+/// Per-group simulation outcome.
+#[derive(Debug, Clone)]
+pub struct GroupOutcome {
+    /// Group index in `[0, K)`.
+    pub index: u32,
+    /// Pixels in the group.
+    pub pixels: usize,
+    /// Fraction of the group's pixels actually traced.
+    pub traced_fraction: f64,
+    /// The Eq. (1) target percentage used.
+    pub target_percent: f64,
+    /// Raw simulator output for the group.
+    pub stats: SimStats,
+    /// Host wall-clock time of this group's simulation.
+    pub wall: Duration,
+}
+
+/// A full-GPU, full-resolution reference simulation (what Vulkan-Sim alone
+/// would produce).
+#[derive(Debug, Clone)]
+pub struct Reference {
+    /// Simulator output.
+    pub stats: SimStats,
+    /// Host wall-clock time of the simulation.
+    pub wall: Duration,
+}
+
+/// The final Zatel prediction.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    values: [f64; 7],
+    /// Per-group outcomes, in group order.
+    pub groups: Vec<GroupOutcome>,
+    /// Downscaling factor used.
+    pub k: u32,
+    /// Wall-clock time of preprocessing (heatmap profile + quantization).
+    pub preprocess_wall: Duration,
+    /// Wall-clock time of the group-simulation phase (elapsed, so parallel
+    /// groups overlap).
+    pub sim_wall: Duration,
+}
+
+impl Prediction {
+    /// Predicted value of `metric`.
+    pub fn value(&self, metric: Metric) -> f64 {
+        let idx = Metric::ALL.iter().position(|m| *m == metric).expect("metric in ALL");
+        self.values[idx]
+    }
+
+    /// Relative absolute error of every metric against a reference run.
+    pub fn errors_vs(&self, reference: &SimStats) -> Vec<(Metric, f64)> {
+        Metric::ALL
+            .iter()
+            .map(|&m| (m, abs_error(self.value(m), m.value(reference))))
+            .collect()
+    }
+
+    /// Mean absolute error over all seven metrics against a reference run.
+    pub fn mae_vs(&self, reference: &SimStats) -> f64 {
+        let errors: Vec<f64> = self.errors_vs(reference).into_iter().map(|(_, e)| e).collect();
+        crate::metrics::mae(&errors)
+    }
+
+    /// Simulation-time speedup over a reference run (wall-clock, counting
+    /// only the simulation phase, as the paper does).
+    pub fn speedup_vs(&self, reference: &Reference) -> f64 {
+        let z = self.sim_wall.as_secs_f64().max(1e-9);
+        reference.wall.as_secs_f64() / z
+    }
+
+    /// Simulation-time speedup assuming one host CPU core per group — the
+    /// paper's setup ("simulating each group simultaneously on different
+    /// CPU cores"): reference wall-clock divided by the *slowest single
+    /// group's* wall-clock. On a machine with at least K cores and
+    /// parallel groups enabled this converges to [`Prediction::speedup_vs`];
+    /// on smaller hosts it reports what K cores would deliver.
+    pub fn speedup_concurrent(&self, reference: &Reference) -> f64 {
+        let slowest = self
+            .groups
+            .iter()
+            .map(|g| g.wall.as_secs_f64())
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        reference.wall.as_secs_f64() / slowest
+    }
+}
+
+/// The Zatel predictor: configure once, then [`Zatel::run`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use gpusim::{GpuConfig, Metric};
+/// use rtcore::scenes::SceneId;
+/// use rtcore::tracer::TraceConfig;
+/// use zatel::Zatel;
+///
+/// # fn main() -> Result<(), zatel::ZatelError> {
+/// let scene = SceneId::Park.build(42);
+/// let trace = TraceConfig { samples_per_pixel: 2, max_bounces: 4, seed: 1 };
+/// let zatel = Zatel::new(&scene, GpuConfig::mobile_soc(), 128, 128, trace);
+/// let prediction = zatel.run()?;
+/// println!("predicted cycles: {}", prediction.value(Metric::SimCycles));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Zatel<'s> {
+    scene: &'s Scene,
+    target: GpuConfig,
+    width: u32,
+    height: u32,
+    trace: TraceConfig,
+    options: ZatelOptions,
+}
+
+impl<'s> Zatel<'s> {
+    /// Creates a predictor with default options (fine-grained 32×2
+    /// division, uniform distribution, Eq. (1) pixel budget, natural
+    /// downscale factor, parallel group simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is empty or the target configuration is invalid.
+    pub fn new(
+        scene: &'s Scene,
+        target: GpuConfig,
+        width: u32,
+        height: u32,
+        trace: TraceConfig,
+    ) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        target.validate().expect("invalid target GPU configuration");
+        Zatel { scene, target, width, height, trace, options: ZatelOptions::default() }
+    }
+
+    /// Replaces the pipeline options.
+    pub fn with_options(mut self, options: ZatelOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Mutable access to the pipeline options.
+    pub fn options_mut(&mut self) -> &mut ZatelOptions {
+        &mut self.options
+    }
+
+    /// The options currently in force.
+    pub fn options(&self) -> &ZatelOptions {
+        &self.options
+    }
+
+    /// The target (full-size) GPU configuration.
+    pub fn target(&self) -> &GpuConfig {
+        &self.target
+    }
+
+    /// Resolves the downscale factor for the current options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZatelError::Downscale`] for factors that do not divide the
+    /// configuration.
+    pub fn resolve_factor(&self) -> Result<u32, ZatelError> {
+        let k = match self.options.downscale {
+            DownscaleMode::Natural => self.target.natural_downscale_factor(),
+            DownscaleMode::Factor(f) => f,
+            DownscaleMode::NoDownscale => 1,
+        };
+        // Validate by attempting the downscale.
+        self.target.downscaled(k)?;
+        Ok(k)
+    }
+
+    /// Runs the full prediction pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZatelError`] if the configured downscale factor is
+    /// invalid.
+    pub fn run(&self) -> Result<Prediction, ZatelError> {
+        let pre_start = Instant::now();
+        let heatmap = Heatmap::profile(self.scene, self.width, self.height, &self.trace);
+        let quantized = QuantizedHeatmap::quantize(&heatmap, self.options.quant_colors, self.trace.seed);
+        let preprocess_wall = pre_start.elapsed();
+        self.run_with_preprocessed(&quantized, preprocess_wall, None)
+    }
+
+    /// Runs the pipeline reusing an existing quantized heatmap (lets sweeps
+    /// skip re-profiling) and optionally overriding the traced percentage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZatelError`] if the configured downscale factor is
+    /// invalid.
+    pub fn run_with_preprocessed(
+        &self,
+        quantized: &QuantizedHeatmap,
+        preprocess_wall: Duration,
+        percent_override: Option<f64>,
+    ) -> Result<Prediction, ZatelError> {
+        let k = self.resolve_factor()?;
+        let down = self.target.downscaled(k)?;
+        let groups = divide(self.width, self.height, k, self.options.division);
+
+        let mut sel_opts = self.options.selection;
+        if let Some(p) = percent_override {
+            sel_opts.percent_override = Some(p);
+        }
+        let selections: Vec<Selection> = groups
+            .iter()
+            .map(|g| select_pixels(g, quantized, &sel_opts))
+            .collect();
+
+        let sim_start = Instant::now();
+        let outcomes = self.simulate_groups(&down, &groups, &selections);
+        let sim_wall = sim_start.elapsed();
+
+        // Combine: per-metric linear extrapolation then the Section III-H rule.
+        let mut values = [0.0f64; 7];
+        for (i, metric) in Metric::ALL.iter().enumerate() {
+            let per_group: Vec<f64> = outcomes
+                .iter()
+                .map(|o| metric.extrapolate(metric.value(&o.stats), o.traced_fraction))
+                .collect();
+            values[i] = metric.combine(&per_group);
+        }
+
+        Ok(Prediction { values, groups: outcomes, k, preprocess_wall, sim_wall })
+    }
+
+    /// Runs every group's simulation (in parallel when configured).
+    fn simulate_groups(
+        &self,
+        down: &GpuConfig,
+        groups: &[Group],
+        selections: &[Selection],
+    ) -> Vec<GroupOutcome> {
+        let run_one = |group: &Group, selection: &Selection| -> GroupOutcome {
+            let start = Instant::now();
+            let workload = RtWorkload::new(
+                self.scene,
+                self.width,
+                self.height,
+                self.trace,
+                group.pixels.clone(),
+            )
+            .with_selection(selection.mask.clone());
+            let traced_fraction = workload.traced_fraction();
+            let stats = Simulator::new(down.clone()).run(&workload);
+            GroupOutcome {
+                index: group.index,
+                pixels: group.pixels.len(),
+                traced_fraction,
+                target_percent: selection.target_percent,
+                stats,
+                wall: start.elapsed(),
+            }
+        };
+
+        // Oversubscribing a single hardware thread only inflates per-group
+        // wall-clock measurements, so parallelism also requires real cores.
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if self.options.parallel && groups.len() > 1 && cores > 1 {
+            let mut outcomes: Vec<Option<GroupOutcome>> = Vec::new();
+            outcomes.resize_with(groups.len(), || None);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (g, s) in groups.iter().zip(selections) {
+                    handles.push(scope.spawn(move || run_one(g, s)));
+                }
+                for (slot, h) in outcomes.iter_mut().zip(handles) {
+                    *slot = Some(h.join().expect("group simulation thread panicked"));
+                }
+            });
+            outcomes.into_iter().map(|o| o.expect("all groups joined")).collect()
+        } else {
+            groups.iter().zip(selections).map(|(g, s)| run_one(g, s)).collect()
+        }
+    }
+
+    /// Runs the exponential-regression variant of Section IV-F: simulate at
+    /// the three given fractions, fit per metric and predict 100 %.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZatelError`] if the downscale factor is invalid or the
+    /// fractions are not strictly increasing, equally spaced values in
+    /// `(0, 1]`.
+    pub fn run_with_regression(&self, fractions: [f64; 3]) -> Result<Prediction, ZatelError> {
+        let [f1, f2, f3] = fractions;
+        let spaced = (f2 - f1) > 0.0 && ((f3 - f2) - (f2 - f1)).abs() < 1e-9;
+        if !(spaced && f1 > 0.0 && f3 <= 1.0) {
+            return Err(ZatelError::InvalidOptions(format!(
+                "regression fractions must be equally spaced ascending in (0,1]: {fractions:?}"
+            )));
+        }
+        let pre_start = Instant::now();
+        let heatmap = Heatmap::profile(self.scene, self.width, self.height, &self.trace);
+        let quantized = QuantizedHeatmap::quantize(&heatmap, self.options.quant_colors, self.trace.seed);
+        let preprocess_wall = pre_start.elapsed();
+
+        let sim_start = Instant::now();
+        let mut runs = Vec::with_capacity(3);
+        for f in fractions {
+            // Raw (non-extrapolated) combined values per fraction feed the
+            // regression; regression replaces linear extrapolation.
+            let k = self.resolve_factor()?;
+            let down = self.target.downscaled(k)?;
+            let groups = divide(self.width, self.height, k, self.options.division);
+            let mut sel_opts = self.options.selection;
+            sel_opts.percent_override = Some(f);
+            let selections: Vec<Selection> =
+                groups.iter().map(|g| select_pixels(g, &quantized, &sel_opts)).collect();
+            let outcomes = self.simulate_groups(&down, &groups, &selections);
+            runs.push((f, outcomes));
+        }
+        let sim_wall = sim_start.elapsed();
+
+        let mut values = [0.0f64; 7];
+        for (i, metric) in Metric::ALL.iter().enumerate() {
+            let mut pts = [(0.0, 0.0); 3];
+            for (j, (f, outcomes)) in runs.iter().enumerate() {
+                let per_group: Vec<f64> =
+                    outcomes.iter().map(|o| metric.value(&o.stats)).collect();
+                pts[j] = (*f, metric.combine(&per_group));
+            }
+            values[i] = regression_to_full(&pts);
+        }
+
+        let (_, groups) = runs.pop().expect("three runs");
+        let k = self.resolve_factor()?;
+        Ok(Prediction { values, groups, k, preprocess_wall, sim_wall })
+    }
+
+    /// Simulates the full workload on the full-size GPU — the ground truth
+    /// every prediction is evaluated against (and the denominator of the
+    /// speedup).
+    pub fn run_reference(&self) -> Reference {
+        let start = Instant::now();
+        let workload = RtWorkload::full_frame(self.scene, self.width, self.height, self.trace);
+        let stats = Simulator::new(self.target.clone()).run(&workload);
+        Reference { stats, wall: start.elapsed() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcore::scenes::SceneId;
+
+    fn trace() -> TraceConfig {
+        TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 9 }
+    }
+
+    fn quick_zatel(scene: &Scene) -> Zatel<'_> {
+        Zatel::new(scene, GpuConfig::mobile_soc(), 64, 64, trace())
+    }
+
+    #[test]
+    fn natural_factor_resolution() {
+        let scene = SceneId::Sprng.build(1);
+        let z = quick_zatel(&scene);
+        assert_eq!(z.resolve_factor().unwrap(), 4);
+        let mut z = z;
+        z.options_mut().downscale = DownscaleMode::Factor(2);
+        assert_eq!(z.resolve_factor().unwrap(), 2);
+        z.options_mut().downscale = DownscaleMode::Factor(3);
+        assert!(z.resolve_factor().is_err());
+        z.options_mut().downscale = DownscaleMode::NoDownscale;
+        assert_eq!(z.resolve_factor().unwrap(), 1);
+    }
+
+    #[test]
+    fn pipeline_produces_finite_prediction() {
+        let scene = SceneId::Sprng.build(1);
+        let pred = quick_zatel(&scene).run().expect("pipeline must run");
+        assert_eq!(pred.k, 4);
+        assert_eq!(pred.groups.len(), 4);
+        for m in Metric::ALL {
+            let v = pred.value(m);
+            assert!(v.is_finite() && v >= 0.0, "{m}: {v}");
+        }
+        assert!(pred.value(Metric::SimCycles) > 0.0);
+    }
+
+    #[test]
+    fn prediction_error_is_bounded_on_saturating_scene() {
+        // BUNNY saturates the GPU; cycle prediction should land within 60%
+        // even at this tiny test resolution.
+        let scene = SceneId::Bunny.build(2);
+        let z = quick_zatel(&scene);
+        let pred = z.run().unwrap();
+        let reference = z.run_reference();
+        let err = crate::metrics::abs_error(
+            pred.value(Metric::SimCycles),
+            Metric::SimCycles.value(&reference.stats),
+        );
+        assert!(err < 0.6, "cycles error {err} too large");
+    }
+
+    #[test]
+    fn higher_percentage_is_more_accurate_on_average() {
+        let scene = SceneId::Chsnt.build(3);
+        let mut z = quick_zatel(&scene);
+        z.options_mut().downscale = DownscaleMode::NoDownscale;
+        let reference = z.run_reference();
+        let err_at = |p: f64, z: &Zatel<'_>| {
+            let mut opts = z.options().clone();
+            opts.selection.percent_override = Some(p);
+            let z2 = Zatel::new(&scene, GpuConfig::mobile_soc(), 64, 64, trace()).with_options(opts);
+            let pred = z2.run().unwrap();
+            crate::metrics::abs_error(
+                pred.value(Metric::SimCycles),
+                Metric::SimCycles.value(&reference.stats),
+            )
+        };
+        let low = err_at(0.1, &z);
+        let high = err_at(0.9, &z);
+        assert!(
+            high <= low + 0.02,
+            "90% trace (err {high}) should beat 10% trace (err {low})"
+        );
+    }
+
+    #[test]
+    fn no_downscale_single_group() {
+        let scene = SceneId::Sprng.build(1);
+        let mut z = quick_zatel(&scene);
+        z.options_mut().downscale = DownscaleMode::NoDownscale;
+        let pred = z.run().unwrap();
+        assert_eq!(pred.k, 1);
+        assert_eq!(pred.groups.len(), 1);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let scene = SceneId::Wknd.build(4);
+        let mut z = quick_zatel(&scene);
+        z.options_mut().parallel = true;
+        let par = z.run().unwrap();
+        z.options_mut().parallel = false;
+        let ser = z.run().unwrap();
+        for m in Metric::ALL {
+            assert_eq!(par.value(m), ser.value(m), "{m} must not depend on host threading");
+        }
+    }
+
+    #[test]
+    fn full_selection_with_no_downscale_matches_reference_exactly() {
+        // 100% of pixels, no downscaling, single group → identical stats.
+        let scene = SceneId::Sprng.build(1);
+        let mut z = quick_zatel(&scene);
+        z.options_mut().downscale = DownscaleMode::NoDownscale;
+        z.options_mut().selection.percent_override = Some(1.0);
+        let pred = z.run().unwrap();
+        let reference = z.run_reference();
+        for m in Metric::ALL {
+            let (p, r) = (pred.value(m), m.value(&reference.stats));
+            assert!(
+                crate::metrics::abs_error(p, r) < 0.05,
+                "{m}: predicted {p} vs reference {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn regression_variant_runs() {
+        let scene = SceneId::Sprng.build(1);
+        let mut z = quick_zatel(&scene);
+        z.options_mut().downscale = DownscaleMode::NoDownscale;
+        let pred = z.run_with_regression([0.2, 0.3, 0.4]).unwrap();
+        assert!(pred.value(Metric::SimCycles).is_finite());
+        assert!(z.run_with_regression([0.4, 0.3, 0.2]).is_err());
+        assert!(z.run_with_regression([0.2, 0.35, 0.4]).is_err());
+    }
+
+    #[test]
+    fn speedup_and_errors_api() {
+        let scene = SceneId::Sprng.build(1);
+        let z = quick_zatel(&scene);
+        let pred = z.run().unwrap();
+        let reference = z.run_reference();
+        let errs = pred.errors_vs(&reference.stats);
+        assert_eq!(errs.len(), 7);
+        let mae = pred.mae_vs(&reference.stats);
+        assert!(mae.is_finite() || mae.is_infinite()); // defined either way
+        assert!(pred.speedup_vs(&reference) > 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-crate invariants about combining rules, pixel filtering and
+//! workload partitioning.
+
+use zatel::partition::{divide, DivisionMethod};
+use zatel_suite::prelude::*;
+
+fn trace() -> TraceConfig {
+    TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 23 }
+}
+
+#[test]
+fn groups_cover_the_frame_and_instructions_add_up() {
+    // Simulating the K groups at 100% on any config must execute exactly
+    // the instructions of the full frame (plus nothing, minus nothing):
+    // division is a partition and per-pixel work is context-free.
+    let scene = SceneId::Wknd.build(3);
+    let (w, h) = (64u32, 64u32);
+    let full = RtWorkload::full_frame(&scene, w, h, trace());
+    let down = GpuConfig::mobile_soc().downscaled(4).unwrap();
+    let full_stats = Simulator::new(GpuConfig::mobile_soc()).run(&full);
+
+    let groups = divide(w, h, 4, DivisionMethod::default_fine());
+    let mut group_insts = 0u64;
+    for g in &groups {
+        let wl = RtWorkload::new(&scene, w, h, trace(), g.pixels.clone());
+        let s = Simulator::new(down.clone()).run(&wl);
+        group_insts += s.instructions;
+    }
+    assert_eq!(
+        group_insts, full_stats.instructions,
+        "group instruction counts must exactly tile the full frame"
+    );
+}
+
+#[test]
+fn fine_groups_have_similar_instruction_counts() {
+    // Section III-H's premise: fine-grained groups sample the scene
+    // homogeneously, so their instruction counts are close.
+    let scene = SceneId::Park.build(4);
+    let (w, h) = (64u32, 64u32);
+    let down = GpuConfig::mobile_soc().downscaled(4).unwrap();
+    let groups = divide(w, h, 4, DivisionMethod::default_fine());
+    let counts: Vec<u64> = groups
+        .iter()
+        .map(|g| {
+            let wl = RtWorkload::new(&scene, w, h, trace(), g.pixels.clone());
+            Simulator::new(down.clone()).run(&wl).instructions
+        })
+        .collect();
+    let max = *counts.iter().max().unwrap() as f64;
+    let min = *counts.iter().min().unwrap() as f64;
+    assert!(
+        max / min < 1.25,
+        "fine-grained groups should be balanced, got {counts:?}"
+    );
+}
+
+#[test]
+fn coarse_groups_are_less_balanced_than_fine_on_skewed_scenes() {
+    // WKND's complexity is concentrated on the left half: coarse groups
+    // inherit the skew, fine groups do not.
+    let scene = SceneId::Wknd.build(4);
+    let (w, h) = (64u32, 64u32);
+    let down = GpuConfig::mobile_soc().downscaled(4).unwrap();
+    let spread = |method: DivisionMethod| -> f64 {
+        let groups = divide(w, h, 4, method);
+        let counts: Vec<u64> = groups
+            .iter()
+            .map(|g| {
+                let wl = RtWorkload::new(&scene, w, h, trace(), g.pixels.clone());
+                Simulator::new(down.clone()).run(&wl).instructions
+            })
+            .collect();
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        max / min
+    };
+    let fine = spread(DivisionMethod::default_fine());
+    let coarse = spread(DivisionMethod::Coarse);
+    assert!(
+        coarse > fine,
+        "coarse spread ({coarse:.2}) should exceed fine spread ({fine:.2}) on WKND"
+    );
+}
+
+#[test]
+fn filtered_pixels_add_negligible_work() {
+    // The paper's Listing-1 claim: filtered-out shaders' impact on the
+    // final statistics is negligible.
+    let scene = SceneId::Chsnt.build(5);
+    let (w, h) = (64u32, 64u32);
+    let sim = Simulator::new(GpuConfig::mobile_soc());
+    // 25% of pixels selected in *randomly chosen* 32-wide (warp-aligned)
+    // blocks — the shape every real Zatel selection has: section blocks
+    // are 32 pixels wide precisely so filtered warps die whole, and block
+    // choice is randomized, which also spreads live warps across SMs.
+    let n = (w * h) as usize;
+    let n_blocks = n / 32;
+    let mut rng = rtcore::math::Pcg::new(99);
+    let mut block_ids: Vec<usize> = (0..n_blocks).collect();
+    rng.shuffle(&mut block_ids);
+    let mut block_on = vec![false; n_blocks];
+    for &b in block_ids.iter().take(n_blocks / 4) {
+        block_on[b] = true;
+    }
+    let sel: Vec<bool> = (0..n).map(|i| block_on[i / 32]).collect();
+    let filtered = RtWorkload::full_frame(&scene, w, h, trace()).with_selection(sel.clone());
+    let s_filtered = sim.run(&filtered);
+
+    // The same 25% of pixels as a standalone workload (no filtered threads).
+    let pixels: Vec<rtworkload::Pixel> = filtered
+        .pixels()
+        .iter()
+        .zip(&sel)
+        .filter(|(_, &keep)| keep)
+        .map(|(p, _)| *p)
+        .collect();
+    let bare = RtWorkload::new(&scene, w, h, trace(), pixels);
+    let s_bare = sim.run(&bare);
+
+    let inst_overhead = s_filtered.instructions as f64 / s_bare.instructions as f64;
+    assert!(
+        inst_overhead < 1.05,
+        "filter threads added {:.1}% instructions",
+        (inst_overhead - 1.0) * 100.0
+    );
+    let cyc_ratio = s_filtered.cycles as f64 / s_bare.cycles as f64;
+    assert!(
+        cyc_ratio < 1.3,
+        "filter threads inflated cycles by {:.2}x",
+        cyc_ratio
+    );
+}
+
+#[test]
+fn combine_rules_match_hand_computation() {
+    // Build two synthetic group stats and verify the pipeline-level
+    // combination (through the public Metric API).
+    let a = SimStats { cycles: 1000, instructions: 2000, ..Default::default() };
+    let b = SimStats { cycles: 3000, instructions: 3000, ..Default::default() };
+    let ipc = Metric::Ipc.combine(&[a.ipc(), b.ipc()]);
+    assert_eq!(ipc, 2.0 + 1.0);
+    let cycles = Metric::SimCycles.combine(&[
+        Metric::SimCycles.extrapolate(1000.0, 0.5),
+        Metric::SimCycles.extrapolate(3000.0, 0.5),
+    ]);
+    assert_eq!(cycles, (2000.0 + 6000.0) / 2.0);
+}
+
+#[test]
+fn division_methods_partition_for_many_shapes() {
+    for (w, h, k) in [(64u32, 64u32, 4u32), (96, 48, 6), (33, 17, 3), (32, 2, 2)] {
+        for method in [DivisionMethod::Coarse, DivisionMethod::default_fine()] {
+            let groups = divide(w, h, k, method);
+            let total: usize = groups.iter().map(|g| g.pixels.len()).sum();
+            assert_eq!(total as u64, w as u64 * h as u64, "{w}x{h} k={k} {method:?}");
+        }
+    }
+}

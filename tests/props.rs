@@ -1,0 +1,194 @@
+//! Property-based tests over the suite's core data structures and
+//! invariants.
+
+use proptest::prelude::*;
+
+use rtcore::bvh::Bvh;
+use rtcore::geom::{Primitive, Sphere, Triangle};
+use rtcore::material::MaterialId;
+use rtcore::math::{Aabb, Pcg, Ray, Vec3};
+use zatel::extrapolate::ExpRegression;
+use zatel::heatmap::{coolness_of, heat_color};
+use zatel::metrics::fit_power_law;
+use zatel::partition::{divide, DivisionMethod};
+use zatel::quantize::kmeans;
+
+fn vec3_strategy(range: f32) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn primitive_strategy() -> impl Strategy<Value = Primitive> {
+    prop_oneof![
+        (vec3_strategy(10.0), 0.05f32..2.0).prop_map(|(c, r)| {
+            Primitive::Sphere(Sphere::new(c, r, MaterialId(0)))
+        }),
+        (vec3_strategy(10.0), vec3_strategy(2.0), vec3_strategy(2.0)).prop_map(|(a, d1, d2)| {
+            Primitive::Triangle(Triangle::new(
+                a,
+                a + d1 + Vec3::splat(0.01),
+                a + d2 - Vec3::splat(0.01),
+                MaterialId(0),
+            ))
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BVH closest-hit always agrees with brute force.
+    #[test]
+    fn bvh_matches_brute_force(
+        prims in prop::collection::vec(primitive_strategy(), 1..80),
+        origin in vec3_strategy(15.0),
+        dir in vec3_strategy(1.0),
+    ) {
+        prop_assume!(dir.length() > 0.1);
+        let ray = Ray::new(origin, dir.normalized());
+        let bvh = Bvh::build(&prims);
+        let (hit, _) = bvh.intersect(&ray, &prims);
+        let brute = prims
+            .iter()
+            .filter_map(|p| p.hit(&ray))
+            .fold(f32::INFINITY, f32::min);
+        match hit {
+            Some(h) => prop_assert!((h.t - brute).abs() < 1e-3 * brute.max(1.0)),
+            None => prop_assert!(brute.is_infinite()),
+        }
+    }
+
+    /// Occlusion queries agree with closest-hit existence.
+    #[test]
+    fn occlusion_agrees_with_intersection(
+        prims in prop::collection::vec(primitive_strategy(), 1..40),
+        origin in vec3_strategy(15.0),
+        dir in vec3_strategy(1.0),
+        t_max in 0.5f32..50.0,
+    ) {
+        prop_assume!(dir.length() > 0.1);
+        let ray = Ray::segment(origin, dir.normalized(), t_max);
+        let bvh = Bvh::build(&prims);
+        let (occluded, _) = bvh.occluded(&ray, &prims);
+        let (hit, _) = bvh.intersect(&ray, &prims);
+        prop_assert_eq!(occluded, hit.is_some());
+    }
+
+    /// AABB union contains both operands' corners.
+    #[test]
+    fn aabb_union_contains_operands(
+        a0 in vec3_strategy(10.0), a1 in vec3_strategy(10.0),
+        b0 in vec3_strategy(10.0), b1 in vec3_strategy(10.0),
+    ) {
+        let a = Aabb::from_corners(a0, a1);
+        let b = Aabb::from_corners(b0, b1);
+        let u = a.union(&b);
+        for p in [a.min, a.max, b.min, b.max] {
+            prop_assert!(u.contains_point(p));
+        }
+        prop_assert!(u.surface_area() + 1e-4 >= a.surface_area().max(b.surface_area()));
+    }
+
+    /// A ray that hits a box also hits every union containing it.
+    #[test]
+    fn aabb_hit_monotone_under_union(
+        c0 in vec3_strategy(5.0), c1 in vec3_strategy(5.0),
+        o in vec3_strategy(12.0), d in vec3_strategy(1.0),
+        e0 in vec3_strategy(8.0), e1 in vec3_strategy(8.0),
+    ) {
+        prop_assume!(d.length() > 0.1);
+        let ray = Ray::new(o, d.normalized());
+        let inv = ray.inv_dir();
+        let small = Aabb::from_corners(c0, c1);
+        let big = small.union(&Aabb::from_corners(e0, e1));
+        if small.hit(&ray, inv).is_some() {
+            prop_assert!(big.hit(&ray, inv).is_some());
+        }
+    }
+
+    /// Image division is always an exact partition.
+    #[test]
+    fn division_is_partition(
+        w in 1u32..120, h in 1u32..120, k in 1u32..9,
+        fine in any::<bool>(), cw in 1u32..40, ch in 1u32..8,
+    ) {
+        let method = if fine {
+            DivisionMethod::Fine { chunk_width: cw, chunk_height: ch }
+        } else {
+            DivisionMethod::Coarse
+        };
+        let groups = divide(w, h, k, method);
+        prop_assert_eq!(groups.len(), k as usize);
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            for p in &g.pixels {
+                prop_assert!(p.x < w && p.y < h);
+                prop_assert!(seen.insert((p.x, p.y)));
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, w as u64 * h as u64);
+    }
+
+    /// K-means assigns every point to its nearest surviving centroid.
+    #[test]
+    fn kmeans_assigns_nearest_centroid(
+        raw in prop::collection::vec((0f32..1.0, 0f32..1.0, 0f32..1.0), 2..120),
+        k in 1usize..8, seed in any::<u64>(),
+    ) {
+        let points: Vec<Vec3> = raw.into_iter().map(|(x, y, z)| Vec3::new(x, y, z)).collect();
+        let (assign, cents) = kmeans(&points, k, seed);
+        prop_assert_eq!(assign.len(), points.len());
+        for (p, &a) in points.iter().zip(&assign) {
+            let d_assigned = (*p - cents[a as usize]).length_squared();
+            for c in &cents {
+                prop_assert!(d_assigned <= (*p - *c).length_squared() + 1e-5);
+            }
+        }
+    }
+
+    /// The heat gradient's coolness is consistent: hotter temperature never
+    /// yields a (much) cooler colour.
+    #[test]
+    fn heat_gradient_coolness_antimonotone(t1 in 0f32..1.0, t2 in 0f32..1.0) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assume!(hi - lo > 0.15);
+        let c_lo = coolness_of(heat_color(lo));
+        let c_hi = coolness_of(heat_color(hi));
+        prop_assert!(c_hi <= c_lo + 0.13, "t={lo}->{hi}: coolness {c_lo}->{c_hi}");
+    }
+
+    /// Power-law fits exactly recover synthetic power laws.
+    #[test]
+    fn power_law_roundtrip(a in 0.5f64..500.0, b in -2.0f64..-0.1) {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
+            let x = i as f64 * 13.0;
+            (x, a * x.powf(b))
+        }).collect();
+        let fit = fit_power_law(&pts);
+        prop_assert!((fit.a - a).abs() / a < 1e-6);
+        prop_assert!((fit.b - b).abs() < 1e-9);
+    }
+
+    /// Exponential regression exactly recovers synthetic exponentials.
+    #[test]
+    fn exp_regression_roundtrip(a in -10f64..10.0, b in 0.1f64..5.0, c in -6f64..-0.1) {
+        let model = ExpRegression { a, b, c };
+        let pts = [
+            (0.2, model.predict(0.2)),
+            (0.3, model.predict(0.3)),
+            (0.4, model.predict(0.4)),
+        ];
+        let fit = ExpRegression::fit(&pts).expect("synthetic data fits");
+        prop_assert!((fit.predict(1.0) - model.predict(1.0)).abs() < 1e-5 * model.predict(1.0).abs().max(1.0));
+    }
+
+    /// The deterministic RNG's shuffle is a permutation for any seed.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), n in 1usize..200) {
+        let mut rng = Pcg::new(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,124 @@
+//! Validates that the procedural scenes reproduce the workload
+//! characteristics the paper attributes to their LumiBench counterparts —
+//! the core claim of the scene substitution documented in DESIGN.md.
+
+use rtcore::scenes::SceneId;
+use rtcore::tracer::{profile_costs, TraceConfig};
+use zatel::heatmap::Heatmap;
+
+fn cfg() -> TraceConfig {
+    TraceConfig { samples_per_pixel: 1, max_bounces: 3, seed: 77 }
+}
+
+fn heatmap(id: SceneId) -> Heatmap {
+    let scene = id.build(77);
+    Heatmap::from_costs(&profile_costs(&scene, 48, 48, &cfg()))
+}
+
+/// Mean normalized temperature of a scene's heatmap.
+fn mean_temp(id: SceneId) -> f32 {
+    heatmap(id).mean_temperature()
+}
+
+#[test]
+fn ship_is_the_coldest_scene() {
+    let ship = mean_temp(SceneId::Ship);
+    for other in [SceneId::Park, SceneId::Bunny, SceneId::Bath, SceneId::Spnza, SceneId::Chsnt] {
+        assert!(
+            ship < mean_temp(other),
+            "SHIP ({ship:.3}) must be colder than {other} ({:.3})",
+            mean_temp(other)
+        );
+    }
+}
+
+#[test]
+fn bunny_is_warm_and_uniform() {
+    // Paper Fig. 12/Table III: BUNNY is the warmest of the tuning trio and
+    // uniformly so.
+    let trio = [SceneId::Ship, SceneId::Wknd, SceneId::Bunny];
+    let temps: Vec<f32> = trio.iter().map(|&id| mean_temp(id)).collect();
+    assert!(temps[2] > temps[1], "BUNNY warmer than WKND");
+    assert!(temps[1] > temps[0], "WKND warmer than SHIP");
+}
+
+#[test]
+fn wknd_is_bimodal_warm_cold_mix() {
+    // A warm/cold mix = substantial mass at BOTH temperature extremes:
+    // the meadow/sky half is cold, the cabin half is hot. BUNNY, by
+    // contrast, is warm nearly everywhere (small cold share).
+    let shares = |id: SceneId| {
+        let hm = heatmap(id);
+        let n = hm.values().len() as f64;
+        let cold = hm.values().iter().filter(|&&v| v < 0.05).count() as f64 / n;
+        let hot = hm.values().iter().filter(|&&v| v > 0.5).count() as f64 / n;
+        (cold, hot)
+    };
+    let (wknd_cold, wknd_hot) = shares(SceneId::Wknd);
+    let (bunny_cold, _) = shares(SceneId::Bunny);
+    assert!(wknd_cold > 0.2, "WKND cold share {wknd_cold:.2} too small for a mix");
+    assert!(wknd_hot > 0.01, "WKND hot share {wknd_hot:.3} too small for a mix");
+    assert!(
+        wknd_cold > bunny_cold + 0.1,
+        "WKND ({wknd_cold:.2}) must be far colder-shared than uniform BUNNY ({bunny_cold:.2})"
+    );
+}
+
+#[test]
+fn park_has_no_large_cold_region() {
+    // PARK saturates the GPU "like a real-world 1080p workload": the
+    // fraction of near-zero-cost pixels must be small.
+    let hm = heatmap(SceneId::Park);
+    let cold = hm.values().iter().filter(|&&v| v < 0.02).count() as f64
+        / hm.values().len() as f64;
+    assert!(cold < 0.05, "PARK has {:.0}% near-idle pixels", cold * 100.0);
+}
+
+#[test]
+fn sprng_work_is_tiny_compared_to_park() {
+    let total = |id: SceneId| {
+        let scene = id.build(77);
+        profile_costs(&scene, 48, 48, &cfg()).values().iter().sum::<u64>()
+    };
+    let park = total(SceneId::Park);
+    let sprng = total(SceneId::Sprng);
+    assert!(
+        park > sprng * 20,
+        "PARK ({park}) should dwarf SPRNG ({sprng}) in total work"
+    );
+}
+
+#[test]
+fn bath_is_the_heaviest_per_pixel_interior() {
+    // BATH is the paper's longest-running scene; among the enclosed or
+    // object-focused scenes its mean per-pixel cost should rank at the
+    // top once path length (bounces against mirrors/glass) is counted.
+    let cost = |id: SceneId| {
+        let scene = id.build(77);
+        let costs = profile_costs(&scene, 48, 48, &cfg());
+        costs.values().iter().sum::<u64>() as f64 / costs.values().len() as f64
+    };
+    let bath = cost(SceneId::Bath);
+    assert!(bath > cost(SceneId::Ship), "BATH must out-cost SHIP");
+    assert!(bath > cost(SceneId::Sprng), "BATH must out-cost SPRNG");
+    assert!(bath > cost(SceneId::Wknd), "BATH must out-cost WKND");
+}
+
+#[test]
+fn representative_subset_saturates_better_than_the_rest() {
+    // Fig. 17 uses the "representative subset" precisely because those
+    // scenes still stress a downscaled GPU; their mean temperature should
+    // beat the remaining scenes' average.
+    let rep: f32 = SceneId::REPRESENTATIVE.iter().map(|&id| mean_temp(id)).sum::<f32>()
+        / SceneId::REPRESENTATIVE.len() as f32;
+    let rest: Vec<SceneId> = SceneId::ALL
+        .into_iter()
+        .filter(|id| !SceneId::REPRESENTATIVE.contains(id))
+        .collect();
+    let rest_mean: f32 =
+        rest.iter().map(|&id| mean_temp(id)).sum::<f32>() / rest.len() as f32;
+    assert!(
+        rep > rest_mean,
+        "representative subset ({rep:.3}) should run warmer than the rest ({rest_mean:.3})"
+    );
+}

@@ -1,0 +1,65 @@
+//! Serde round-trip tests for the data-structure types (C-SERDE): configs
+//! and statistics survive JSON serialization unchanged, which the CLI's
+//! custom-config files and the bench harness's result files rely on.
+
+use zatel_suite::prelude::*;
+
+#[test]
+fn gpu_config_roundtrips() {
+    for config in [GpuConfig::mobile_soc(), GpuConfig::rtx_2060()] {
+        let json = serde_json::to_string(&config).expect("serialize");
+        let back: GpuConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(config, back);
+        back.validate().expect("still valid");
+    }
+}
+
+#[test]
+fn modified_config_roundtrips() {
+    let mut config = GpuConfig::rtx_2060();
+    config.name = "Custom".into();
+    config.num_sms = 60;
+    config.rt_lanes_per_cycle = 16;
+    let back: GpuConfig =
+        serde_json::from_str(&serde_json::to_string(&config).unwrap()).unwrap();
+    assert_eq!(config, back);
+}
+
+#[test]
+fn sim_stats_roundtrip() {
+    let scene = SceneId::Sprng.build(1);
+    let trace = TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 3 };
+    let stats = Simulator::new(GpuConfig::mobile_soc())
+        .run(&RtWorkload::full_frame(&scene, 16, 16, trace));
+    let back: SimStats = serde_json::from_str(&serde_json::to_string(&stats).unwrap()).unwrap();
+    assert_eq!(stats, back);
+    assert_eq!(stats.ipc(), back.ipc());
+}
+
+#[test]
+fn trace_config_roundtrip() {
+    let t = TraceConfig { samples_per_pixel: 4, max_bounces: 7, seed: 0xDEADBEEF };
+    let back: TraceConfig = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+    assert_eq!(t, back);
+}
+
+#[test]
+fn metric_enum_roundtrip() {
+    for m in Metric::ALL {
+        let back: Metric = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+}
+
+#[test]
+fn bvh_roundtrips_and_still_traverses() {
+    use rtcore::bvh::Bvh;
+    use rtcore::math::{Ray, Vec3};
+    let scene = SceneId::Sprng.build(1);
+    let json = serde_json::to_string(scene.bvh()).expect("serialize BVH");
+    let back: Bvh = serde_json::from_str(&json).expect("deserialize BVH");
+    let ray = Ray::new(Vec3::new(0.0, 0.0, -10.0), Vec3::Z);
+    let (a, _) = scene.bvh().intersect(&ray, scene.primitives());
+    let (b, _) = back.intersect(&ray, scene.primitives());
+    assert_eq!(a.map(|h| h.primitive), b.map(|h| h.primitive));
+}
