@@ -13,7 +13,7 @@ fn main() {
     );
     let res = bench::resolution();
     let scene = bench::build_scene(SceneId::Park);
-    let mut json = serde_json::Map::new();
+    let mut json = minijson::Map::new();
 
     for config in bench::eval_configs() {
         let zatel = Zatel::new(&scene, config.clone(), res, res, bench::trace_config());
@@ -22,8 +22,11 @@ fn main() {
         let reference = bench::reference(&scene, &config);
 
         println!("\n--- {} (K = {k}) ---", config.name);
-        bench::row("metric", &["Zatel".into(), "reference".into(), "abs error".into()]);
-        let mut errs = serde_json::Map::new();
+        bench::row(
+            "metric",
+            &["Zatel".into(), "reference".into(), "abs error".into()],
+        );
+        let mut errs = minijson::Map::new();
         for (metric, err) in prediction.errors_vs(&reference.stats) {
             bench::row(
                 metric.name(),
@@ -33,7 +36,7 @@ fn main() {
                     bench::pct(err),
                 ],
             );
-            errs.insert(metric.name().into(), serde_json::json!(err));
+            errs.insert(metric.name().into(), minijson::json!(err));
         }
         let mae = prediction.mae_vs(&reference.stats);
         let speedup = prediction.speedup_concurrent(&reference);
@@ -41,13 +44,15 @@ fn main() {
             "MAE = {}   speedup (1 core/group, as in the paper) = {speedup:.1}x   (paper: 4.5% @ 9.2x Mobile, 15.1% @ 11.6x RTX)",
             bench::pct(mae)
         );
-        errs.insert("mae".into(), serde_json::json!(mae));
-        errs.insert("speedup".into(), serde_json::json!(speedup));
-        json.insert(config.name.clone(), serde_json::Value::Object(errs));
+        errs.insert("mae".into(), minijson::json!(mae));
+        errs.insert("speedup".into(), minijson::json!(speedup));
+        json.insert(config.name.clone(), minijson::Value::Object(errs));
     }
 
     // The paper's 50x variant: cap the traced pixels at 10 % per group.
-    println!("\n--- Mobile SoC with traced pixels capped at 10% (paper: 50x speedup, 5.2% MAE) ---");
+    println!(
+        "\n--- Mobile SoC with traced pixels capped at 10% (paper: 50x speedup, 5.2% MAE) ---"
+    );
     let config = gpusim::GpuConfig::mobile_soc();
     let mut zatel = Zatel::new(&scene, config.clone(), res, res, bench::trace_config());
     zatel.options_mut().selection.percent_cap = Some(0.10);
@@ -55,11 +60,14 @@ fn main() {
     let reference = bench::reference(&scene, &config);
     let mae = prediction.mae_vs(&reference.stats);
     let speedup = prediction.speedup_concurrent(&reference);
-    println!("MAE = {}   speedup (1 core/group) = {speedup:.1}x", bench::pct(mae));
+    println!(
+        "MAE = {}   speedup (1 core/group) = {speedup:.1}x",
+        bench::pct(mae)
+    );
     json.insert(
         "Mobile SoC cap10".into(),
-        serde_json::json!({ "mae": mae, "speedup": speedup }),
+        minijson::json!({ "mae": mae, "speedup": speedup }),
     );
 
-    bench::save_json("fig10_park_errors", &serde_json::Value::Object(json));
+    bench::save_json("fig10_park_errors", &minijson::Value::Object(json));
 }

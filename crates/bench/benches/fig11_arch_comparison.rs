@@ -28,9 +28,13 @@ fn main() {
 
     bench::row(
         "metric",
-        &["Zatel ratio".into(), "sim ratio".into(), "difference".into()],
+        &[
+            "Zatel ratio".into(),
+            "sim ratio".into(),
+            "difference".into(),
+        ],
     );
-    let mut json = serde_json::Map::new();
+    let mut json = minijson::Map::new();
     let mut max_diff: (f64, &str) = (0.0, "");
     let mut min_diff: (f64, &str) = (f64::INFINITY, "");
     for metric in Metric::ALL {
@@ -49,7 +53,7 @@ fn main() {
         }
         json.insert(
             metric.name().into(),
-            serde_json::json!({ "zatel_ratio": z, "sim_ratio": r, "difference": diff }),
+            minijson::json!({ "zatel_ratio": z, "sim_ratio": r, "difference": diff }),
         );
     }
     println!(
@@ -60,5 +64,5 @@ fn main() {
         min_diff.1
     );
     println!("(paper: max 37.6% on L2 miss rate, min 0.6% on L1D miss rate)");
-    bench::save_json("fig11_arch_comparison", &serde_json::Value::Object(json));
+    bench::save_json("fig11_arch_comparison", &minijson::Value::Object(json));
 }

@@ -17,11 +17,14 @@ fn main() {
     let config = gpusim::GpuConfig::rtx_2060();
     let percents = bench::sweep_percents();
 
-    let mut header: Vec<String> = percents.iter().map(|p| format!("{:.0}%", p * 100.0)).collect();
+    let mut header: Vec<String> = percents
+        .iter()
+        .map(|p| format!("{:.0}%", p * 100.0))
+        .collect();
     header.insert(0, "scene".into());
     bench::row(&header[0], &header[1..]);
 
-    let mut json = serde_json::Map::new();
+    let mut json = minijson::Map::new();
     for scene_id in SceneId::ALL {
         let scene = bench::build_scene(scene_id);
         let reference = bench::reference(&scene, &config);
@@ -39,8 +42,8 @@ fn main() {
             scene_id.name(),
             &errors.iter().map(|&e| bench::pct(e)).collect::<Vec<_>>(),
         );
-        json.insert(scene_id.name().into(), serde_json::json!(errors));
+        json.insert(scene_id.name().into(), minijson::json!(errors));
     }
     println!("\n(paper: >100% error for SPRNG at 10%, 14.7% for BUNNY; errors converge exponentially to 0)");
-    bench::save_json("fig13_cycles_error", &serde_json::Value::Object(json));
+    bench::save_json("fig13_cycles_error", &minijson::Value::Object(json));
 }

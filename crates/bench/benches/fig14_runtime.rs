@@ -14,23 +14,33 @@ fn main() {
     let config = gpusim::GpuConfig::rtx_2060();
     let percents = bench::sweep_percents();
 
-    let mut header: Vec<String> = percents.iter().map(|p| format!("{:.0}%", p * 100.0)).collect();
+    let mut header: Vec<String> = percents
+        .iter()
+        .map(|p| format!("{:.0}%", p * 100.0))
+        .collect();
     header.insert(0, "scene".into());
     header.push("slope s/%".into());
     bench::row(&header[0], &header[1..]);
 
-    let mut json = serde_json::Map::new();
+    let mut json = minijson::Map::new();
     let mut slopes: Vec<(SceneId, f64)> = Vec::new();
     for scene_id in SceneId::ALL {
         let scene = bench::build_scene(scene_id);
         let points = bench::percent_sweep(&scene, &config, &percents);
-        let times: Vec<f64> = points.iter().map(|pt| pt.prediction.sim_wall.as_secs_f64()).collect();
+        let times: Vec<f64> = points
+            .iter()
+            .map(|pt| pt.prediction.sim_wall.as_secs_f64())
+            .collect();
         // Least-squares slope of seconds per percentage point.
         let n = times.len() as f64;
         let sx: f64 = percents.iter().map(|p| p * 100.0).sum();
         let sy: f64 = times.iter().sum();
         let sxx: f64 = percents.iter().map(|p| (p * 100.0).powi(2)).sum();
-        let sxy: f64 = percents.iter().zip(&times).map(|(p, t)| p * 100.0 * t).sum();
+        let sxy: f64 = percents
+            .iter()
+            .zip(&times)
+            .map(|(p, t)| p * 100.0 * t)
+            .sum();
         let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
         let mut cells: Vec<String> = times.iter().map(|t| format!("{t:.2}s")).collect();
         cells.push(format!("{slope:.4}"));
@@ -38,7 +48,7 @@ fn main() {
         slopes.push((scene_id, slope));
         json.insert(
             scene_id.name().into(),
-            serde_json::json!({ "seconds": times, "slope_per_pct": slope }),
+            minijson::json!({ "seconds": times, "slope_per_pct": slope }),
         );
     }
     let longest = slopes
@@ -50,5 +60,5 @@ fn main() {
         longest.0.name(),
         longest.1
     );
-    bench::save_json("fig14_runtime", &serde_json::Value::Object(json));
+    bench::save_json("fig14_runtime", &minijson::Value::Object(json));
 }

@@ -14,11 +14,14 @@ fn main() {
     let config = gpusim::GpuConfig::rtx_2060();
     let percents = bench::sweep_percents();
 
-    let mut header: Vec<String> = percents.iter().map(|p| format!("{:.0}%", p * 100.0)).collect();
+    let mut header: Vec<String> = percents
+        .iter()
+        .map(|p| format!("{:.0}%", p * 100.0))
+        .collect();
     header.insert(0, "scene".into());
     bench::row(&header[0], &header[1..]);
 
-    let mut json = serde_json::Map::new();
+    let mut json = minijson::Map::new();
     let mut fit_points: Vec<(f64, f64)> = Vec::new();
     for scene_id in SceneId::ALL {
         let scene = bench::build_scene(scene_id);
@@ -26,9 +29,7 @@ fn main() {
         let points = bench::percent_sweep(&scene, &config, &percents);
         let speedups: Vec<f64> = points
             .iter()
-            .map(|pt| {
-                reference.wall.as_secs_f64() / pt.prediction.sim_wall.as_secs_f64().max(1e-9)
-            })
+            .map(|pt| reference.wall.as_secs_f64() / pt.prediction.sim_wall.as_secs_f64().max(1e-9))
             .collect();
         for (p, s) in percents.iter().zip(&speedups) {
             if *s > 0.0 {
@@ -37,9 +38,12 @@ fn main() {
         }
         bench::row(
             scene_id.name(),
-            &speedups.iter().map(|s| format!("{s:.2}x")).collect::<Vec<_>>(),
+            &speedups
+                .iter()
+                .map(|s| format!("{s:.2}x"))
+                .collect::<Vec<_>>(),
         );
-        json.insert(scene_id.name().into(), serde_json::json!(speedups));
+        json.insert(scene_id.name().into(), minijson::json!(speedups));
     }
 
     let law = zatel::metrics::fit_power_law(&fit_points);
@@ -50,6 +54,9 @@ fn main() {
     for p in [10.0, 30.0, 50.0, 90.0] {
         println!("  predicted speedup at {p:.0}%: {:.2}x", law.eval(p));
     }
-    json.insert("power_law".into(), serde_json::json!({ "a": law.a, "b": law.b }));
-    bench::save_json("fig15_speedup", &serde_json::Value::Object(json));
+    json.insert(
+        "power_law".into(),
+        minijson::json!({ "a": law.a, "b": law.b }),
+    );
+    bench::save_json("fig15_speedup", &minijson::Value::Object(json));
 }

@@ -36,28 +36,33 @@ fn main() {
         }
     }
 
-    let mut header: Vec<String> = percents.iter().map(|p| format!("{:.0}%", p * 100.0)).collect();
+    let mut header: Vec<String> = percents
+        .iter()
+        .map(|p| format!("{:.0}%", p * 100.0))
+        .collect();
     header.insert(0, "metric".into());
     bench::row(&header[0], &header[1..]);
 
-    let mut json = serde_json::Map::new();
+    let mut json = minijson::Map::new();
     for (mi, metric) in Metric::ALL.iter().enumerate() {
         let mut cells = Vec::new();
         let mut series = Vec::new();
-        for pi in 0..n_p {
-            let s = &samples[mi][pi];
+        for s in samples[mi].iter().take(n_p) {
             let mean = s.iter().sum::<f64>() / s.len().max(1) as f64;
             let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = s.iter().cloned().fold(0.0f64, f64::max);
             cells.push(bench::pct(mean));
-            series.push(serde_json::json!({ "mean": mean, "min": min, "max": max }));
+            series.push(minijson::json!({ "mean": mean, "min": min, "max": max }));
         }
         bench::row(metric.name(), &cells);
-        json.insert(metric.name().into(), serde_json::json!(series));
+        json.insert(metric.name().into(), minijson::json!(series));
     }
 
     // Highlight the exponential-convergence claim: error(10%) vs error(30%).
-    let cyc = Metric::ALL.iter().position(|m| *m == Metric::SimCycles).expect("cycles metric");
+    let cyc = Metric::ALL
+        .iter()
+        .position(|m| *m == Metric::SimCycles)
+        .expect("cycles metric");
     let max_at = |pi: usize| samples[cyc][pi].iter().cloned().fold(0.0f64, f64::max);
     println!(
         "\nhighest cycles error at 10%: {}; at 30%: {} ({:.1}x reduction; paper: >2x on RTX, ~3x on Mobile)",
@@ -65,5 +70,5 @@ fn main() {
         bench::pct(max_at(2)),
         max_at(0) / max_at(2).max(1e-12)
     );
-    bench::save_json("fig16_mae_per_metric", &serde_json::Value::Object(json));
+    bench::save_json("fig16_mae_per_metric", &minijson::Value::Object(json));
 }

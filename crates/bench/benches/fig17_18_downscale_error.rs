@@ -13,9 +13,9 @@ use rtcore::scenes::SceneId;
 use zatel::{DivisionMethod, DownscaleMode, Zatel};
 use zatel_bench as bench;
 
-fn run_panel(title: &str, scenes: &[SceneId], json: &mut serde_json::Map<String, serde_json::Value>) {
+fn run_panel(title: &str, scenes: &[SceneId], json: &mut minijson::Map) {
     println!("\n### {title} ###");
-    let mut panel = serde_json::Map::new();
+    let mut panel = minijson::Map::new();
     for (config, factors) in [
         (gpusim::GpuConfig::mobile_soc(), vec![2u32, 4]),
         (gpusim::GpuConfig::rtx_2060(), vec![2, 3, 6]),
@@ -36,17 +36,20 @@ fn run_panel(title: &str, scenes: &[SceneId], json: &mut serde_json::Map<String,
             for &scene_id in scenes {
                 let scene = bench::build_scene(scene_id);
                 let reference = bench::reference(&scene, &config);
-                for (ki, &k) in factors.iter().enumerate() {
-                    let mut z =
-                        Zatel::new(&scene, config.clone(), res, res, bench::trace_config());
+                // Error figure (no wall-clock numbers), so the factor axis
+                // can fan out on the shared executor; each run keeps its
+                // own group simulation serial to avoid nested pools.
+                let errors = bench::executor().map(&factors, |_, &k| {
+                    let mut z = Zatel::new(&scene, config.clone(), res, res, bench::trace_config());
                     z.options_mut().downscale = DownscaleMode::Factor(k);
                     z.options_mut().division = division;
                     z.options_mut().selection.percent_override = Some(1.0);
+                    z.options_mut().jobs = Some(1);
                     let pred = z.run().expect("pipeline runs");
-                    for (mi, err) in bench::metric_errors(&pred, &reference.stats)
-                        .into_iter()
-                        .enumerate()
-                    {
+                    bench::metric_errors(&pred, &reference.stats)
+                });
+                for (ki, errs) in errors.into_iter().enumerate() {
+                    for (mi, err) in errs.into_iter().enumerate() {
                         if err.is_finite() {
                             sums[mi][ki] += err / scenes.len() as f64;
                             maxima[mi][ki] = maxima[mi][ki].max(err);
@@ -54,26 +57,29 @@ fn run_panel(title: &str, scenes: &[SceneId], json: &mut serde_json::Map<String,
                     }
                 }
             }
-            let mut div_json = serde_json::Map::new();
+            let mut div_json = minijson::Map::new();
             for (mi, metric) in Metric::ALL.iter().enumerate() {
                 bench::row(
                     metric.name(),
                     &sums[mi].iter().map(|&e| bench::pct(e)).collect::<Vec<_>>(),
                 );
-                div_json.insert(metric.name().into(), serde_json::json!(sums[mi]));
+                div_json.insert(metric.name().into(), minijson::json!(sums[mi].clone()));
             }
-            let cyc = Metric::ALL.iter().position(|m| *m == Metric::SimCycles).expect("cycles");
+            let cyc = Metric::ALL
+                .iter()
+                .position(|m| *m == Metric::SimCycles)
+                .expect("cycles");
             println!(
                 "max cycles error over scenes at largest K: {}",
                 bench::pct(maxima[cyc][factors.len() - 1])
             );
             panel.insert(
                 format!("{} {div_name}", config.name),
-                serde_json::Value::Object(div_json),
+                minijson::Value::Object(div_json),
             );
         }
     }
-    json.insert(title.into(), serde_json::Value::Object(panel));
+    json.insert(title.into(), minijson::Value::Object(panel));
 }
 
 fn main() {
@@ -81,7 +87,7 @@ fn main() {
         "Figs. 17 & 18 — metric error per GPU downscaling factor, fine vs coarse division",
         "each group traces all of its pixels; errors averaged over the scene set",
     );
-    let mut json = serde_json::Map::new();
+    let mut json = minijson::Map::new();
     run_panel(
         "Fig. 17: representative LumiBench subset",
         &SceneId::REPRESENTATIVE,
@@ -89,7 +95,9 @@ fn main() {
     );
     run_panel("Fig. 18: all benchmark scenes", &SceneId::ALL, &mut json);
     println!("\n(paper: fine-grained keeps cycles/IPC error under 12% even at K=6 on the subset;");
-    println!(" extending to all scenes raises errors — e.g. SPRNG does not stress the downscaled GPU;");
+    println!(
+        " extending to all scenes raises errors — e.g. SPRNG does not stress the downscaled GPU;"
+    );
     println!(" DRAM efficiency degrades with fewer partitions; fine beats coarse for stability)");
-    bench::save_json("fig17_18_downscale_error", &serde_json::Value::Object(json));
+    bench::save_json("fig17_18_downscale_error", &minijson::Value::Object(json));
 }

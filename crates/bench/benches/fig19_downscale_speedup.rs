@@ -21,7 +21,7 @@ fn main() {
     header.insert(0, "scene".into());
     bench::row(&header[0], &header[1..]);
 
-    let mut json = serde_json::Map::new();
+    let mut json = minijson::Map::new();
     for scene_id in SceneId::ALL {
         let scene = bench::build_scene(scene_id);
         let reference = bench::reference(&scene, &config);
@@ -37,9 +37,9 @@ fn main() {
             series.push(speedup);
         }
         bench::row(scene_id.name(), &cells);
-        json.insert(scene_id.name().into(), serde_json::json!(series));
+        json.insert(scene_id.name().into(), minijson::json!(series));
     }
     println!("\n(paper: speedups similar to Fig. 15's same-fraction pixel reduction — downscaling");
     println!(" does not significantly reduce execution time beyond the 1/K workload split)");
-    bench::save_json("fig19_downscale_speedup", &serde_json::Value::Object(json));
+    bench::save_json("fig19_downscale_speedup", &minijson::Value::Object(json));
 }

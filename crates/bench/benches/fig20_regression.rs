@@ -21,7 +21,7 @@ fn main() {
     header.insert(0, "scene".into());
     bench::row(&header[0], &header[1..]);
 
-    let mut json = serde_json::Map::new();
+    let mut json = minijson::Map::new();
     let mut worse = 0usize;
     let mut total = 0usize;
     for scene_id in SceneId::ALL {
@@ -30,7 +30,9 @@ fn main() {
 
         let mut z = Zatel::new(&scene, config.clone(), res, res, bench::trace_config());
         z.options_mut().downscale = DownscaleMode::NoDownscale;
-        let reg_pred = z.run_with_regression([0.2, 0.3, 0.4]).expect("regression runs");
+        let reg_pred = z
+            .run_with_regression([0.2, 0.3, 0.4])
+            .expect("regression runs");
 
         z.options_mut().selection.percent_override = Some(0.4);
         let direct_pred = z.run().expect("direct run");
@@ -53,7 +55,7 @@ fn main() {
         }
         json.insert(
             scene_id.name().into(),
-            serde_json::json!({ "regression": reg_errs, "direct40": dir_errs }),
+            minijson::json!({ "regression": reg_errs, "direct40": dir_errs }),
         );
     }
     let share = worse as f64 / total.max(1) as f64;
@@ -62,6 +64,6 @@ fn main() {
         bench::pct(share)
     );
     println!("conclusion matches the paper: regression gives no clear advantage at 3x the simulation cost");
-    json.insert("worse_share".into(), serde_json::json!(share));
-    bench::save_json("fig20_regression", &serde_json::Value::Object(json));
+    json.insert("worse_share".into(), minijson::json!(share));
+    bench::save_json("fig20_regression", &minijson::Value::Object(json));
 }

@@ -33,12 +33,8 @@ fn bvh_traverse(c: &mut Criterion) {
                     rng.range_f32(0.5, 6.0),
                     rng.range_f32(-18.0, -8.0),
                 );
-                let dir = Vec3::new(
-                    rng.range_f32(-0.4, 0.4),
-                    rng.range_f32(-0.2, 0.2),
-                    1.0,
-                )
-                .normalized();
+                let dir =
+                    Vec3::new(rng.range_f32(-0.4, 0.4), rng.range_f32(-0.2, 0.2), 1.0).normalized();
                 Ray::new(origin, dir)
             })
             .collect();

@@ -9,7 +9,12 @@ use rtcore::math::Pcg;
 
 fn cache_probe(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_probe_10k");
-    let cfg = CacheConfig { bytes: 64 * 1024, ways: 0, line_bytes: 128, latency: 20 };
+    let cfg = CacheConfig {
+        bytes: 64 * 1024,
+        ways: 0,
+        line_bytes: 128,
+        latency: 20,
+    };
     for (name, span) in [("hot", 64u64), ("thrash", 100_000u64)] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &span, |b, &span| {
             b.iter(|| {

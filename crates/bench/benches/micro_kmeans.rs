@@ -13,7 +13,9 @@ use zatel::select::{select_pixels, SelectionOptions};
 fn kmeans_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("kmeans_quantize");
     for n in [4_096usize, 65_536] {
-        let points: Vec<Vec3> = (0..n).map(|i| heat_color((i % 997) as f32 / 997.0)).collect();
+        let points: Vec<Vec3> = (0..n)
+            .map(|i| heat_color((i % 997) as f32 / 997.0))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
             b.iter(|| kmeans(std::hint::black_box(pts), 8, 42))
         });
@@ -23,7 +25,11 @@ fn kmeans_bench(c: &mut Criterion) {
 
 fn selection_bench(c: &mut Criterion) {
     let scene = SceneId::Wknd.build(42);
-    let trace = TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 42 };
+    let trace = TraceConfig {
+        samples_per_pixel: 1,
+        max_bounces: 2,
+        seed: 42,
+    };
     let heatmap = Heatmap::profile(&scene, 128, 128, &trace);
     let quantized = QuantizedHeatmap::quantize(&heatmap, 8, 42);
     let groups = divide(128, 128, 4, DivisionMethod::default_fine());
@@ -40,7 +46,11 @@ fn selection_bench(c: &mut Criterion) {
 
 fn heatmap_bench(c: &mut Criterion) {
     let scene = SceneId::Sprng.build(42);
-    let trace = TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 42 };
+    let trace = TraceConfig {
+        samples_per_pixel: 1,
+        max_bounces: 2,
+        seed: 42,
+    };
     c.bench_function("heatmap_profile_64x64_sprng", |b| {
         b.iter(|| Heatmap::profile(&scene, 64, 64, &trace))
     });

@@ -27,7 +27,7 @@ fn main() {
     );
     let res = bench::resolution();
     let config = gpusim::GpuConfig::mobile_soc();
-    let mut json = serde_json::Map::new();
+    let mut json = minijson::Map::new();
 
     for scene_id in SCENES {
         let scene = bench::build_scene(scene_id);
@@ -67,7 +67,7 @@ fn main() {
             "metric",
             &["best dist".into(), "best section".into(), "best MAE".into()],
         );
-        let mut scene_json = serde_json::Map::new();
+        let mut scene_json = minijson::Map::new();
         let mut scene_best_errs = Vec::new();
         for (mi, metric) in Metric::ALL.iter().enumerate() {
             let (ci, err) = table[mi]
@@ -79,7 +79,11 @@ fn main() {
             let (di, bi) = combos[ci];
             // "any" when the spread between best and worst is small.
             let worst = table[mi].iter().cloned().fold(0.0f64, f64::max);
-            let dist_label = if worst - err < 0.02 { "any" } else { DISTS[di].1 };
+            let dist_label = if worst - err < 0.02 {
+                "any"
+            } else {
+                DISTS[di].1
+            };
             let block_label = if worst - err < 0.02 {
                 "any".to_owned()
             } else {
@@ -92,14 +96,14 @@ fn main() {
             scene_best_errs.push(err);
             scene_json.insert(
                 metric.name().into(),
-                serde_json::json!({ "dist": dist_label, "block": block_label, "mae": err }),
+                minijson::json!({ "dist": dist_label, "block": block_label, "mae": err }),
             );
         }
         let overall = scene_best_errs.iter().sum::<f64>() / scene_best_errs.len() as f64;
         println!("overall best-combo MAE: {}", bench::pct(overall));
-        scene_json.insert("overall_mae".into(), serde_json::json!(overall));
-        json.insert(scene_id.name().into(), serde_json::Value::Object(scene_json));
+        scene_json.insert("overall_mae".into(), minijson::json!(overall));
+        json.insert(scene_id.name().into(), minijson::Value::Object(scene_json));
     }
     println!("\n(paper MAEs over listed metrics: SHIP 21.0%, WKND 13.9%, BUNNY 8.5% — colder scenes are harder)");
-    bench::save_json("table3_tuning", &serde_json::Value::Object(json));
+    bench::save_json("table3_tuning", &minijson::Value::Object(json));
 }

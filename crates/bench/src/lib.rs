@@ -12,6 +12,7 @@
 //! | `ZATEL_RES` | 192 | Square image resolution for every experiment |
 //! | `ZATEL_SPP` | 2 | Samples per pixel (the paper uses 2) |
 //! | `ZATEL_SEED` | 42 | Master seed for scenes/tracing/selection |
+//! | `ZATEL_JOBS` | host cores | Worker threads for sweep/group simulation |
 //!
 //! The paper evaluates at 512×512; the default of 192×192 keeps the full
 //! suite within minutes while preserving every trend (all reported
@@ -27,6 +28,7 @@ use rtcore::scene::Scene;
 use rtcore::scenes::SceneId;
 use rtcore::tracer::TraceConfig;
 use rtworkload::RtWorkload;
+use zatel::sim_executor::{available_jobs, SimExecutor};
 use zatel::Reference;
 
 /// Reads a `u64` environment variable with a default.
@@ -45,6 +47,18 @@ pub fn resolution() -> u32 {
 /// Master seed, from `ZATEL_SEED`.
 pub fn seed() -> u64 {
     env_u64("ZATEL_SEED", 42)
+}
+
+/// Sweep worker-thread count, from `ZATEL_JOBS` (defaults to the host's
+/// available parallelism).
+pub fn jobs() -> usize {
+    env_u64("ZATEL_JOBS", available_jobs() as u64).max(1) as usize
+}
+
+/// The shared executor every bench sweep fans out on: `ZATEL_JOBS` workers
+/// seeded with the master seed.
+pub fn executor() -> SimExecutor {
+    SimExecutor::seeded(jobs(), seed())
 }
 
 /// The evaluation trace configuration (2 spp like the paper).
@@ -81,7 +95,10 @@ pub fn reference(scene: &Scene, config: &GpuConfig) -> Reference {
     let start = std::time::Instant::now();
     let workload = RtWorkload::full_frame(scene, res, res, trace_config());
     let stats = Simulator::new(config.clone()).run(&workload);
-    let r = Reference { stats, wall: start.elapsed() };
+    let r = Reference {
+        stats,
+        wall: start.elapsed(),
+    };
     REF_CACHE.lock().expect("cache lock").insert(key, r.clone());
     r
 }
@@ -121,7 +138,10 @@ pub fn row(label: &str, cells: &[String]) {
 /// Per-metric errors of a prediction against reference stats, in
 /// [`Metric::ALL`] order.
 pub fn metric_errors(pred: &zatel::Prediction, reference: &SimStats) -> Vec<f64> {
-    pred.errors_vs(reference).into_iter().map(|(_, e)| e).collect()
+    pred.errors_vs(reference)
+        .into_iter()
+        .map(|(_, e)| e)
+        .collect()
 }
 
 /// All seven metric names, short form, in [`Metric::ALL`] order.
@@ -141,22 +161,25 @@ pub struct SweepPoint {
 /// Runs the pixel-sampling sweep of Figs. 13–16: the scene is traced at
 /// each percentage *without GPU downscaling* (isolating the
 /// representative-pixel optimization) and each prediction is returned.
-/// The heatmap is profiled once and reused across percentages.
+/// The heatmap is profiled once and reused across percentages, and the
+/// percentages fan out on the shared [`executor`] (each prediction here is
+/// a single group, so the sweep axis is where the parallelism is).
 pub fn percent_sweep(scene: &Scene, config: &GpuConfig, percents: &[f64]) -> Vec<SweepPoint> {
     let res = resolution();
     let mut z = zatel::Zatel::new(scene, config.clone(), res, res, trace_config());
     z.options_mut().downscale = zatel::DownscaleMode::NoDownscale;
+    z.options_mut().jobs = Some(1); // inner runs are single-group; don't nest pools
     let heatmap = zatel::heatmap::Heatmap::profile(scene, res, res, &trace_config());
     let quantized = zatel::quantize::QuantizedHeatmap::quantize(&heatmap, 8, seed());
-    percents
-        .iter()
-        .map(|&p| {
-            let prediction = z
-                .run_with_preprocessed(&quantized, std::time::Duration::ZERO, Some(p))
-                .expect("sweep pipeline runs");
-            SweepPoint { percent: p, prediction }
-        })
-        .collect()
+    executor().map(percents, |_, &p| {
+        let prediction = z
+            .run_with_preprocessed(&quantized, std::time::Duration::ZERO, Some(p))
+            .expect("sweep pipeline runs");
+        SweepPoint {
+            percent: p,
+            prediction,
+        }
+    })
 }
 
 /// The standard sweep percentages of Fig. 13: 10 % … 90 %.
@@ -166,15 +189,13 @@ pub fn sweep_percents() -> Vec<f64> {
 
 /// Writes a JSON results file under `target/zatel-results/` so EXPERIMENTS.md
 /// numbers can be regenerated mechanically.
-pub fn save_json(name: &str, value: &serde_json::Value) {
+pub fn save_json(name: &str, value: &minijson::Value) {
     let dir = std::path::Path::new("target/zatel-results");
     if std::fs::create_dir_all(dir).is_err() {
         return; // Results files are best-effort.
     }
     let path = dir.join(format!("{name}.json"));
-    if let Ok(s) = serde_json::to_string_pretty(value) {
-        let _ = std::fs::write(path, s);
-    }
+    let _ = std::fs::write(path, value.pretty());
 }
 
 #[cfg(test)]

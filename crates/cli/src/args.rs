@@ -28,8 +28,9 @@ impl std::error::Error for ParseArgsError {}
 
 /// Option keys that take a value; everything else with a `--` prefix is a
 /// boolean flag.
-const VALUE_KEYS: [&str; 11] = [
+const VALUE_KEYS: [&str; 12] = [
     "scene", "config", "res", "spp", "seed", "percent", "cap", "k", "division", "dist", "out",
+    "jobs",
 ];
 
 impl Args {
@@ -45,10 +46,15 @@ impl Args {
             .next()
             .filter(|c| !c.starts_with("--"))
             .ok_or_else(|| ParseArgsError("expected a subcommand first".into()))?;
-        let mut args = Args { command, ..Args::default() };
+        let mut args = Args {
+            command,
+            ..Args::default()
+        };
         while let Some(token) = it.next() {
             let Some(key) = token.strip_prefix("--") else {
-                return Err(ParseArgsError(format!("unexpected positional argument '{token}'")));
+                return Err(ParseArgsError(format!(
+                    "unexpected positional argument '{token}'"
+                )));
             };
             if VALUE_KEYS.contains(&key) {
                 let value = it
@@ -110,6 +116,13 @@ mod tests {
         assert!(a.flag("reference"));
         assert!(a.flag("json"));
         assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn jobs_takes_a_value_and_progress_is_a_flag() {
+        let a = parse("predict --jobs 3 --progress").unwrap();
+        assert_eq!(a.get_parsed("jobs", 0usize).unwrap(), 3);
+        assert!(a.flag("progress"));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::process::ExitCode;
 
 use args::Args;
 use gpusim::{GpuConfig, Metric};
+use minijson::{FromJson, ToJson};
 use rtcore::scenes::SceneId;
 use rtcore::tracer::TraceConfig;
 use zatel::{Distribution, DivisionMethod, DownscaleMode, Zatel};
@@ -67,6 +68,8 @@ fn print_help() {
            --regression        extrapolate via 20/30/40%% exponential regression\n\
            --reference         also run the full simulation and report errors\n\
            --json              emit machine-readable JSON instead of tables\n\
+           --jobs N            worker threads for group simulation (default: host cores)\n\
+           --progress          per-group progress lines + engine trace counters\n\
          \n\
          heatmap options:\n\
            --scene NAME --res N --out DIR   write heatmap/quantized PPM images"
@@ -94,9 +97,7 @@ fn cmd_scenes() -> Result<(), String> {
 
 fn cmd_configs() -> Result<(), String> {
     for config in [GpuConfig::mobile_soc(), GpuConfig::rtx_2060()] {
-        let json = serde_json::to_string_pretty(&config)
-            .map_err(|e| format!("serializing config: {e}"))?;
-        println!("{json}");
+        println!("{}", config.to_json().pretty());
     }
     Ok(())
 }
@@ -108,9 +109,13 @@ fn load_config(spec: &str) -> Result<GpuConfig, String> {
         _ => {
             let text = std::fs::read_to_string(spec)
                 .map_err(|e| format!("reading config file '{spec}': {e}"))?;
-            let config: GpuConfig = serde_json::from_str(&text)
+            let value = minijson::Value::parse(&text)
                 .map_err(|e| format!("parsing config file '{spec}': {e}"))?;
-            config.validate().map_err(|e| format!("config file '{spec}': {e}"))?;
+            let config = GpuConfig::from_json(&value)
+                .map_err(|e| format!("parsing config file '{spec}': {e}"))?;
+            config
+                .validate()
+                .map_err(|e| format!("config file '{spec}': {e}"))?;
             Ok(config)
         }
     }
@@ -125,19 +130,28 @@ fn scene_from(args: &Args) -> Result<(SceneId, rtcore::scene::Scene, u64), Strin
     Ok((id, scene, seed))
 }
 
+/// Simulated-cycle width of one `--progress` CPI-stack slice.
+const PROGRESS_SLICE_CYCLES: u64 = 100_000;
+
 fn cmd_predict(args: &Args) -> Result<(), String> {
     let (_, scene, seed) = scene_from(args)?;
     let config = load_config(args.get("config").unwrap_or("mobile"))?;
     let res = args.get_parsed("res", 128u32).map_err(|e| e.to_string())?;
     let spp = args.get_parsed("spp", 2u32).map_err(|e| e.to_string())?;
-    let trace = TraceConfig { samples_per_pixel: spp, max_bounces: 4, seed };
+    let trace = TraceConfig {
+        samples_per_pixel: spp,
+        max_bounces: 4,
+        seed,
+    };
 
     let mut zatel = Zatel::new(&scene, config, res, res, trace);
     let opts = zatel.options_mut();
     if args.flag("no-downscale") {
         opts.downscale = DownscaleMode::NoDownscale;
     } else if let Some(k) = args.get("k") {
-        let k: u32 = k.parse().map_err(|_| format!("--k value '{k}' is not a number"))?;
+        let k: u32 = k
+            .parse()
+            .map_err(|_| format!("--k value '{k}' is not a number"))?;
         opts.downscale = DownscaleMode::Factor(k);
     }
     match args.get("division").unwrap_or("fine") {
@@ -149,19 +163,42 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         "uniform" => opts.selection.distribution = Distribution::Uniform,
         "lintmp" => opts.selection.distribution = Distribution::LinTmp,
         "exptmp" => opts.selection.distribution = Distribution::ExpTmp,
-        other => return Err(format!("unknown distribution '{other}' (uniform|lintmp|exptmp)")),
+        other => {
+            return Err(format!(
+                "unknown distribution '{other}' (uniform|lintmp|exptmp)"
+            ))
+        }
     }
     if let Some(p) = args.get("percent") {
-        let p: f64 = p.parse().map_err(|_| format!("--percent '{p}' is not a number"))?;
+        let p: f64 = p
+            .parse()
+            .map_err(|_| format!("--percent '{p}' is not a number"))?;
         opts.selection.percent_override = Some(p);
     }
     if let Some(c) = args.get("cap") {
-        let c: f64 = c.parse().map_err(|_| format!("--cap '{c}' is not a number"))?;
+        let c: f64 = c
+            .parse()
+            .map_err(|_| format!("--cap '{c}' is not a number"))?;
         opts.selection.percent_cap = Some(c);
+    }
+    if let Some(j) = args.get("jobs") {
+        let j: usize = j
+            .parse()
+            .map_err(|_| format!("--jobs value '{j}' is not a number"))?;
+        if j == 0 {
+            return Err("--jobs must be at least 1".into());
+        }
+        opts.jobs = Some(j);
+    }
+    let progress = args.flag("progress");
+    if progress {
+        opts.trace_slice_cycles = Some(PROGRESS_SLICE_CYCLES);
     }
 
     let prediction = if args.flag("regression") {
-        zatel.run_with_regression([0.2, 0.3, 0.4]).map_err(|e| e.to_string())?
+        zatel
+            .run_with_regression([0.2, 0.3, 0.4])
+            .map_err(|e| e.to_string())?
     } else {
         zatel.run().map_err(|e| e.to_string())?
     };
@@ -169,31 +206,54 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     let reference = args.flag("reference").then(|| zatel.run_reference());
 
     if args.flag("json") {
-        let mut out = serde_json::Map::new();
-        out.insert("scene".into(), serde_json::json!(scene.name()));
-        out.insert("k".into(), serde_json::json!(prediction.k));
-        let mut metrics = serde_json::Map::new();
+        let mut out = minijson::Map::new();
+        out.insert("scene".into(), minijson::json!(scene.name()));
+        out.insert("k".into(), minijson::json!(prediction.k));
+        let mut metrics = minijson::Map::new();
         for m in Metric::ALL {
-            metrics.insert(m.name().into(), serde_json::json!(prediction.value(m)));
+            metrics.insert(m.name().into(), minijson::json!(prediction.value(m)));
         }
-        out.insert("prediction".into(), serde_json::Value::Object(metrics));
+        out.insert("prediction".into(), minijson::Value::Object(metrics));
+        out.insert(
+            "sim_wall_ms".into(),
+            minijson::json!(prediction.sim_wall.as_secs_f64() * 1000.0),
+        );
+        let groups: Vec<minijson::Value> = prediction
+            .groups
+            .iter()
+            .map(|g| {
+                let mut gm = minijson::Map::new();
+                gm.insert("index".into(), minijson::json!(g.index));
+                gm.insert("pixels".into(), minijson::json!(g.pixels as u64));
+                gm.insert("traced_fraction".into(), minijson::json!(g.traced_fraction));
+                gm.insert("cycles".into(), minijson::json!(g.stats.cycles));
+                gm.insert(
+                    "wall_ms".into(),
+                    minijson::json!(g.wall.as_secs_f64() * 1000.0),
+                );
+                if let Some(trace) = &g.trace {
+                    gm.insert("trace".into(), trace.to_json());
+                }
+                minijson::Value::Object(gm)
+            })
+            .collect();
+        out.insert("groups".into(), minijson::Value::Array(groups));
         if let Some(reference) = &reference {
-            let mut refs = serde_json::Map::new();
+            let mut refs = minijson::Map::new();
             for m in Metric::ALL {
-                refs.insert(m.name().into(), serde_json::json!(m.value(&reference.stats)));
+                refs.insert(m.name().into(), minijson::json!(m.value(&reference.stats)));
             }
-            out.insert("reference".into(), serde_json::Value::Object(refs));
-            out.insert("mae".into(), serde_json::json!(prediction.mae_vs(&reference.stats)));
+            out.insert("reference".into(), minijson::Value::Object(refs));
+            out.insert(
+                "mae".into(),
+                minijson::json!(prediction.mae_vs(&reference.stats)),
+            );
             out.insert(
                 "speedup_concurrent".into(),
-                serde_json::json!(prediction.speedup_concurrent(reference)),
+                minijson::json!(prediction.speedup_concurrent(reference)),
             );
         }
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Object(out))
-                .map_err(|e| e.to_string())?
-        );
+        println!("{}", minijson::Value::Object(out).pretty());
         return Ok(());
     }
 
@@ -202,12 +262,49 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         scene.name(),
         prediction.k,
         prediction.groups.len(),
-        100.0 * prediction.groups.iter().map(|g| g.traced_fraction).sum::<f64>()
+        100.0
+            * prediction
+                .groups
+                .iter()
+                .map(|g| g.traced_fraction)
+                .sum::<f64>()
             / prediction.groups.len() as f64
     );
+    if progress {
+        for g in &prediction.groups {
+            print!(
+                "  group {}/{}: {} px, traced {:>3.0}%, {} cycles, {:.3}s",
+                g.index + 1,
+                prediction.groups.len(),
+                g.pixels,
+                100.0 * g.traced_fraction,
+                g.stats.cycles,
+                g.wall.as_secs_f64(),
+            );
+            if let Some(trace) = &g.trace {
+                let c = trace.counters();
+                print!(
+                    " | {} phases over {} slices, cpi c/m/r {}/{}/{}",
+                    c.phases(),
+                    trace.slices().len(),
+                    c.compute_phases,
+                    c.memory_phases,
+                    c.rt_phases,
+                );
+            }
+            println!();
+        }
+        println!(
+            "  simulation wall {:.3}s",
+            prediction.sim_wall.as_secs_f64()
+        );
+    }
     match &reference {
         Some(reference) => {
-            println!("{:<22} {:>14} {:>14} {:>8}", "metric", "Zatel", "reference", "error");
+            println!(
+                "{:<22} {:>14} {:>14} {:>8}",
+                "metric", "Zatel", "reference", "error"
+            );
             for (m, err) in prediction.errors_vs(&reference.stats) {
                 println!(
                     "{:<22} {:>14.4} {:>14.4} {:>7.1}%",
@@ -249,7 +346,11 @@ fn cmd_heatmap(args: &Args) -> Result<(), String> {
     let spp = args.get_parsed("spp", 2u32).map_err(|e| e.to_string())?;
     let out = std::path::PathBuf::from(args.get("out").unwrap_or("target/heatmaps"));
     std::fs::create_dir_all(&out).map_err(|e| format!("creating '{}': {e}", out.display()))?;
-    let trace = TraceConfig { samples_per_pixel: spp, max_bounces: 4, seed };
+    let trace = TraceConfig {
+        samples_per_pixel: spp,
+        max_bounces: 4,
+        seed,
+    };
     let heatmap = zatel::heatmap::Heatmap::profile(&scene, res, res, &trace);
     let quantized = zatel::quantize::QuantizedHeatmap::quantize(&heatmap, 8, seed);
     heatmap

@@ -31,7 +31,9 @@ fn help_lists_subcommands() {
 #[test]
 fn scenes_lists_all_eight() {
     let text = stdout(&["scenes"]);
-    for name in ["PARK", "SHIP", "WKND", "BUNNY", "SPRNG", "CHSNT", "SPNZA", "BATH"] {
+    for name in [
+        "PARK", "SHIP", "WKND", "BUNNY", "SPRNG", "CHSNT", "SPNZA", "BATH",
+    ] {
         assert!(text.contains(name), "scenes missing {name}");
     }
 }
@@ -41,7 +43,7 @@ fn configs_emit_valid_json() {
     let text = stdout(&["configs"]);
     assert!(text.contains("Mobile SoC"));
     assert!(text.contains("RTX 2060"));
-    // Each preset must round-trip through serde.
+    // Two pretty-printed JSON documents, one per preset.
     let chunks: Vec<&str> = text.split("}\n{").collect();
     assert_eq!(chunks.len(), 2, "two config documents");
 }
@@ -66,14 +68,36 @@ fn predict_prints_all_metrics() {
 #[test]
 fn predict_json_is_parseable() {
     let text = stdout(&[
-        "predict", "--scene", "SPRNG", "--res", "32", "--spp", "1", "--json", "--reference",
+        "predict",
+        "--scene",
+        "SPRNG",
+        "--res",
+        "32",
+        "--spp",
+        "1",
+        "--json",
+        "--reference",
     ]);
-    let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
-    assert_eq!(v["scene"], "SPRNG");
-    assert!(v["prediction"]["GPU Sim Cycles"].as_f64().unwrap() > 0.0);
-    assert!(v["reference"]["GPU Sim Cycles"].as_f64().unwrap() > 0.0);
-    assert!(v["mae"].as_f64().is_some());
-    assert!(v["speedup_concurrent"].as_f64().unwrap() > 0.0);
+    let v = minijson::Value::parse(&text).expect("valid JSON");
+    assert_eq!(
+        v.get("scene").and_then(minijson::Value::as_str),
+        Some("SPRNG")
+    );
+    let metric = |section: &str| {
+        v.get(section)
+            .and_then(|s| s.get("GPU Sim Cycles"))
+            .and_then(minijson::Value::as_f64)
+            .unwrap()
+    };
+    assert!(metric("prediction") > 0.0);
+    assert!(metric("reference") > 0.0);
+    assert!(v.get("mae").and_then(minijson::Value::as_f64).is_some());
+    assert!(
+        v.get("speedup_concurrent")
+            .and_then(minijson::Value::as_f64)
+            .unwrap()
+            > 0.0
+    );
 }
 
 #[test]
@@ -86,22 +110,114 @@ fn predict_accepts_custom_config_file() {
     config.num_sms = 2;
     config.num_mem_partitions = 2;
     config.l2.bytes = 1024 * 1024;
-    std::fs::write(&path, serde_json::to_string(&config).unwrap()).unwrap();
+    std::fs::write(&path, minijson::ToJson::to_json(&config).to_string()).unwrap();
     let text = stdout(&[
-        "predict", "--scene", "SPRNG", "--res", "32", "--spp", "1",
-        "--config", path.to_str().unwrap(),
+        "predict",
+        "--scene",
+        "SPRNG",
+        "--res",
+        "32",
+        "--spp",
+        "1",
+        "--config",
+        path.to_str().unwrap(),
     ]);
-    assert!(text.contains("K = 2"), "gcd(2,2)=2 for the custom config: {text}");
+    assert!(
+        text.contains("K = 2"),
+        "gcd(2,2)=2 for the custom config: {text}"
+    );
+}
+
+#[test]
+fn predict_progress_prints_group_lines() {
+    let text = stdout(&[
+        "predict",
+        "--scene",
+        "SPRNG",
+        "--res",
+        "32",
+        "--spp",
+        "1",
+        "--jobs",
+        "2",
+        "--progress",
+    ]);
+    assert!(text.contains("group 1/"), "per-group progress line: {text}");
+    assert!(text.contains("phases over"), "trace counters shown: {text}");
+    assert!(
+        text.contains("simulation wall"),
+        "total sim wall shown: {text}"
+    );
+}
+
+#[test]
+fn predict_json_reports_group_wall_times() {
+    let text = stdout(&[
+        "predict",
+        "--scene",
+        "SPRNG",
+        "--res",
+        "32",
+        "--spp",
+        "1",
+        "--json",
+        "--progress",
+    ]);
+    let v = minijson::Value::parse(&text).expect("valid JSON");
+    assert!(
+        v.get("sim_wall_ms")
+            .and_then(minijson::Value::as_f64)
+            .unwrap()
+            >= 0.0
+    );
+    let groups = v
+        .get("groups")
+        .and_then(minijson::Value::as_array)
+        .expect("groups array");
+    assert!(!groups.is_empty());
+    for g in groups {
+        assert!(g.get("wall_ms").and_then(minijson::Value::as_f64).unwrap() >= 0.0);
+        assert!(g.get("cycles").and_then(minijson::Value::as_u64).unwrap() > 0);
+        let counters = g
+            .get("trace")
+            .and_then(|t| t.get("counters"))
+            .expect("trace attached");
+        assert!(
+            counters
+                .get("warps_launched")
+                .and_then(minijson::Value::as_u64)
+                .unwrap()
+                > 0
+        );
+    }
+}
+
+#[test]
+fn predict_rejects_zero_jobs() {
+    let out = zatel(&["predict", "--scene", "SPRNG", "--res", "32", "--jobs", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
 }
 
 #[test]
 fn predict_no_downscale_and_percent() {
     let text = stdout(&[
-        "predict", "--scene", "SPRNG", "--res", "32", "--spp", "1",
-        "--no-downscale", "--percent", "0.5",
+        "predict",
+        "--scene",
+        "SPRNG",
+        "--res",
+        "32",
+        "--spp",
+        "1",
+        "--no-downscale",
+        "--percent",
+        "0.5",
     ]);
     assert!(text.contains("K = 1"));
-    assert!(text.contains("traced 5") || text.contains("traced 4"), "≈50%: {text}");
+    assert!(
+        text.contains("traced 5") || text.contains("traced 4"),
+        "≈50%: {text}"
+    );
 }
 
 #[test]
@@ -131,13 +247,23 @@ fn heatmap_writes_ppm_files() {
     let dir = std::env::temp_dir().join("zatel-cli-heatmaps");
     let _ = std::fs::remove_dir_all(&dir);
     let text = stdout(&[
-        "heatmap", "--scene", "SPRNG", "--res", "24", "--spp", "1",
-        "--out", dir.to_str().unwrap(),
+        "heatmap",
+        "--scene",
+        "SPRNG",
+        "--res",
+        "24",
+        "--spp",
+        "1",
+        "--out",
+        dir.to_str().unwrap(),
     ]);
     assert!(text.contains("wrote"));
     for f in ["heatmap.ppm", "heatmap_quantized.ppm"] {
         let p = dir.join(f);
         let bytes = std::fs::read(&p).unwrap_or_else(|_| panic!("{f} missing"));
-        assert!(bytes.starts_with(b"P6\n24 24\n255\n"), "{f} has a valid PPM header");
+        assert!(
+            bytes.starts_with(b"P6\n24 24\n255\n"),
+            "{f} has a valid PPM header"
+        );
     }
 }

@@ -1,10 +1,10 @@
 //! GPU configuration, including the two evaluation presets of Table II and
 //! the proportional downscaling used by Zatel (paper Section III-C).
 
-use serde::{Deserialize, Serialize};
+use minijson::{FromJson, JsonError, Map, ToJson, Value};
 
 /// Configuration of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub bytes: u64,
@@ -24,7 +24,11 @@ impl CacheConfig {
 
     /// Number of sets given the associativity.
     pub fn sets(&self) -> u64 {
-        let ways = if self.ways == 0 { self.lines() } else { self.ways as u64 };
+        let ways = if self.ways == 0 {
+            self.lines()
+        } else {
+            self.ways as u64
+        };
         (self.lines() / ways).max(1)
     }
 
@@ -56,7 +60,7 @@ impl CacheConfig {
 /// assert_eq!(down.num_sms, 2);
 /// assert_eq!(down.num_mem_partitions, 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Configuration name, e.g. `"Mobile SoC"`.
     pub name: String,
@@ -129,8 +133,18 @@ impl GpuConfig {
             rt_max_warps: 4,
             rt_mshr_size: 64,
             rt_lanes_per_cycle: 4,
-            l1d: CacheConfig { bytes: 64 * 1024, ways: 0, line_bytes: 128, latency: 20 },
-            l2: CacheConfig { bytes: 3 * 1024 * 1024, ways: 16, line_bytes: 128, latency: 160 },
+            l1d: CacheConfig {
+                bytes: 64 * 1024,
+                ways: 0,
+                line_bytes: 128,
+                latency: 20,
+            },
+            l2: CacheConfig {
+                bytes: 3 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 128,
+                latency: 160,
+            },
             interconnect_latency: 8,
             interconnect_bytes_per_cycle: 32.0,
             dram_latency: 100,
@@ -154,8 +168,18 @@ impl GpuConfig {
             rt_max_warps: 4,
             rt_mshr_size: 64,
             rt_lanes_per_cycle: 4,
-            l1d: CacheConfig { bytes: 64 * 1024, ways: 0, line_bytes: 128, latency: 20 },
-            l2: CacheConfig { bytes: 3 * 1024 * 1024, ways: 16, line_bytes: 128, latency: 160 },
+            l1d: CacheConfig {
+                bytes: 64 * 1024,
+                ways: 0,
+                line_bytes: 128,
+                latency: 20,
+            },
+            l2: CacheConfig {
+                bytes: 3 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 128,
+                latency: 160,
+            },
             interconnect_latency: 8,
             interconnect_bytes_per_cycle: 32.0,
             dram_latency: 100,
@@ -185,7 +209,10 @@ impl GpuConfig {
     /// divide both component counts.
     pub fn downscaled(&self, factor: u32) -> Result<GpuConfig, DownscaleError> {
         if factor == 0 {
-            return Err(DownscaleError { factor, reason: "factor must be positive".into() });
+            return Err(DownscaleError {
+                factor,
+                reason: "factor must be positive".into(),
+            });
         }
         if !self.num_sms.is_multiple_of(factor) || !self.num_mem_partitions.is_multiple_of(factor) {
             return Err(DownscaleError {
@@ -245,6 +272,135 @@ impl GpuConfig {
             return Err("interconnect_bytes_per_cycle must be positive".into());
         }
         Ok(())
+    }
+}
+
+fn field_u64(value: &Value, ty: &str, field: &str) -> Result<u64, JsonError> {
+    value
+        .get(field)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| JsonError::missing_field(ty, field))
+}
+
+fn field_u32(value: &Value, ty: &str, field: &str) -> Result<u32, JsonError> {
+    field_u64(value, ty, field)
+        .and_then(|v| u32::try_from(v).map_err(|_| JsonError::missing_field(ty, field)))
+}
+
+fn field_f32(value: &Value, ty: &str, field: &str) -> Result<f32, JsonError> {
+    value
+        .get(field)
+        .and_then(Value::as_f64)
+        .map(|v| v as f32)
+        .ok_or_else(|| JsonError::missing_field(ty, field))
+}
+
+impl ToJson for CacheConfig {
+    fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("bytes".to_string(), Value::from(self.bytes));
+        map.insert("ways".to_string(), Value::from(self.ways));
+        map.insert("line_bytes".to_string(), Value::from(self.line_bytes));
+        map.insert("latency".to_string(), Value::from(self.latency));
+        Value::Object(map)
+    }
+}
+
+impl FromJson for CacheConfig {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(CacheConfig {
+            bytes: field_u64(value, "CacheConfig", "bytes")?,
+            ways: field_u32(value, "CacheConfig", "ways")?,
+            line_bytes: field_u32(value, "CacheConfig", "line_bytes")?,
+            latency: field_u32(value, "CacheConfig", "latency")?,
+        })
+    }
+}
+
+impl ToJson for GpuConfig {
+    fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("name".to_string(), Value::from(self.name.clone()));
+        macro_rules! put_u32 {
+            ($($field:ident),*) => {
+                $( map.insert(stringify!($field).to_string(), Value::from(self.$field)); )*
+            };
+        }
+        put_u32!(
+            num_sms,
+            num_mem_partitions,
+            max_warps_per_sm,
+            warp_size,
+            registers_per_sm,
+            rt_units_per_sm,
+            rt_max_warps,
+            rt_mshr_size,
+            rt_lanes_per_cycle
+        );
+        map.insert("l1d".to_string(), self.l1d.to_json());
+        map.insert("l2".to_string(), self.l2.to_json());
+        map.insert(
+            "interconnect_latency".to_string(),
+            Value::from(self.interconnect_latency),
+        );
+        map.insert(
+            "interconnect_bytes_per_cycle".to_string(),
+            Value::from(self.interconnect_bytes_per_cycle),
+        );
+        map.insert("dram_latency".to_string(), Value::from(self.dram_latency));
+        map.insert(
+            "dram_bytes_per_cycle".to_string(),
+            Value::from(self.dram_bytes_per_cycle),
+        );
+        map.insert("issue_width".to_string(), Value::from(self.issue_width));
+        map.insert(
+            "core_clock_mhz".to_string(),
+            Value::from(self.core_clock_mhz),
+        );
+        map.insert(
+            "memory_clock_mhz".to_string(),
+            Value::from(self.memory_clock_mhz),
+        );
+        Value::Object(map)
+    }
+}
+
+impl FromJson for GpuConfig {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "GpuConfig";
+        Ok(GpuConfig {
+            name: value
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| JsonError::missing_field(TY, "name"))?
+                .to_string(),
+            num_sms: field_u32(value, TY, "num_sms")?,
+            num_mem_partitions: field_u32(value, TY, "num_mem_partitions")?,
+            max_warps_per_sm: field_u32(value, TY, "max_warps_per_sm")?,
+            warp_size: field_u32(value, TY, "warp_size")?,
+            registers_per_sm: field_u32(value, TY, "registers_per_sm")?,
+            rt_units_per_sm: field_u32(value, TY, "rt_units_per_sm")?,
+            rt_max_warps: field_u32(value, TY, "rt_max_warps")?,
+            rt_mshr_size: field_u32(value, TY, "rt_mshr_size")?,
+            rt_lanes_per_cycle: field_u32(value, TY, "rt_lanes_per_cycle")?,
+            l1d: CacheConfig::from_json(
+                value
+                    .get("l1d")
+                    .ok_or_else(|| JsonError::missing_field(TY, "l1d"))?,
+            )?,
+            l2: CacheConfig::from_json(
+                value
+                    .get("l2")
+                    .ok_or_else(|| JsonError::missing_field(TY, "l2"))?,
+            )?,
+            interconnect_latency: field_u32(value, TY, "interconnect_latency")?,
+            interconnect_bytes_per_cycle: field_f32(value, TY, "interconnect_bytes_per_cycle")?,
+            dram_latency: field_u32(value, TY, "dram_latency")?,
+            dram_bytes_per_cycle: field_f32(value, TY, "dram_bytes_per_cycle")?,
+            issue_width: field_u32(value, TY, "issue_width")?,
+            core_clock_mhz: field_u32(value, TY, "core_clock_mhz")?,
+            memory_clock_mhz: field_u32(value, TY, "memory_clock_mhz")?,
+        })
     }
 }
 
@@ -334,11 +490,21 @@ mod tests {
 
     #[test]
     fn cache_geometry() {
-        let c = CacheConfig { bytes: 64 * 1024, ways: 0, line_bytes: 128, latency: 20 };
+        let c = CacheConfig {
+            bytes: 64 * 1024,
+            ways: 0,
+            line_bytes: 128,
+            latency: 20,
+        };
         assert_eq!(c.lines(), 512);
         assert_eq!(c.sets(), 1, "fully associative = one set");
         assert_eq!(c.effective_ways(), 512);
-        let c2 = CacheConfig { bytes: 1024 * 1024, ways: 16, line_bytes: 128, latency: 160 };
+        let c2 = CacheConfig {
+            bytes: 1024 * 1024,
+            ways: 16,
+            line_bytes: 128,
+            latency: 160,
+        };
         assert_eq!(c2.sets(), 512);
     }
 

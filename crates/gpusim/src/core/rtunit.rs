@@ -23,7 +23,10 @@ impl RtUnit {
     ///
     /// Panics if either parameter is zero.
     pub fn new(max_warps: u32, lanes_per_cycle: u32) -> Self {
-        assert!(max_warps > 0 && lanes_per_cycle > 0, "RT unit limits must be positive");
+        assert!(
+            max_warps > 0 && lanes_per_cycle > 0,
+            "RT unit limits must be positive"
+        );
         RtUnit {
             slots: vec![0; max_warps as usize],
             lanes_per_cycle,

@@ -67,7 +67,12 @@ mod tests {
     #[test]
     fn gather_advances_all_lanes() {
         let w = ScriptedWorkload::per_thread(4, |i| {
-            (0..=i).map(|_| Op::Compute { cycles: 1, insts: 1 }).collect()
+            (0..=i)
+                .map(|_| Op::Compute {
+                    cycles: 1,
+                    insts: 1,
+                })
+                .collect()
         });
         let mut warp = Warp::new(&w, 0, 0, 0, 4);
         assert_eq!(warp.live_lanes(), 4);
@@ -83,7 +88,13 @@ mod tests {
 
     #[test]
     fn partial_warp_at_grid_edge() {
-        let w = ScriptedWorkload::uniform(100, vec![Op::Compute { cycles: 1, insts: 1 }]);
+        let w = ScriptedWorkload::uniform(
+            100,
+            vec![Op::Compute {
+                cycles: 1,
+                insts: 1,
+            }],
+        );
         let warp = Warp::new(&w, 3, 1, 96, 4); // last warp: 4 threads of 100
         assert_eq!(warp.live_lanes(), 4);
     }

@@ -1,0 +1,83 @@
+//! The engine's event heap: warp wake-ups ordered by time, oldest warp
+//! first on ties.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One scheduled warp wake-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Event {
+    /// Cycle at which the warp is ready to issue its next phase.
+    pub time: u64,
+    /// Warp age: ties broken oldest-first (greedy-then-oldest flavour).
+    pub warp_id: u64,
+    /// Which SM the warp lives on.
+    pub sm: usize,
+    /// Index into the SM's resident vector.
+    pub slot: usize,
+}
+
+/// Min-heap of [`Event`]s. Pop order is the engine's global time order and
+/// the sole source of scheduling nondeterminism — which is why the derived
+/// `Ord` includes `warp_id`/`sm`/`slot` as deterministic tie-breakers.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Schedules a wake-up.
+    pub fn push(&mut self, ev: Event) {
+        self.heap.push(Reverse(ev));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(ev)| ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, warp_id: u64) -> Event {
+        Event {
+            time,
+            warp_id,
+            sm: 0,
+            slot: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(ev(30, 0));
+        q.push(ev(10, 1));
+        q.push(ev(20, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_oldest_warp_first() {
+        let mut q = EventQueue::new();
+        q.push(ev(5, 7));
+        q.push(ev(5, 2));
+        q.push(ev(5, 4));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.warp_id).collect();
+        assert_eq!(order, vec![2, 4, 7]);
+    }
+
+    #[test]
+    fn empty_queue_pops_none() {
+        assert_eq!(EventQueue::new().pop(), None);
+    }
+}

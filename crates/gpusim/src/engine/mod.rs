@@ -1,0 +1,16 @@
+//! The componentized simulation engine.
+//!
+//! Split along the machine's natural seams:
+//!
+//! * [`sm`] — per-SM scheduling state and phase categorization;
+//! * [`events`] — the global warp wake-up heap;
+//! * [`core`] — the event-driven drain loop tying them together.
+//!
+//! The public surface stays [`crate::Simulator`]; everything here is
+//! crate-private machinery behind it.
+
+mod core;
+mod events;
+mod sm;
+
+pub(crate) use core::Engine;

@@ -1,37 +1,17 @@
-//! The simulation engine: warp launch, SIMT phase execution and the
-//! event-driven timing loop.
-
-use std::collections::BinaryHeap;
-use std::collections::VecDeque;
-use std::cmp::Reverse;
+//! Public facade over the simulation engine.
 
 use crate::config::GpuConfig;
-use crate::core::rtunit::RtUnit;
-use crate::core::warp::Warp;
-use crate::mem::MemoryHierarchy;
+use crate::engine::Engine;
+use crate::hooks::{NullHooks, SimHooks};
 use crate::stats::SimStats;
-use crate::workload::{MemSpace, Op, Workload};
-
-/// Cycles between a warp slot freeing and the replacement warp's first issue.
-const WARP_LAUNCH_LATENCY: u64 = 4;
-
-/// Per-SM scheduling state.
-struct SmState<'w> {
-    /// This SM's warps not yet resident, in launch order
-    /// (greedy-then-oldest hands slots to the oldest pending warp first).
-    pending: VecDeque<(u64, u64, u32)>, // (warp id, first thread, lanes)
-    /// Next cycle the issue port is free.
-    issue_next_free: u64,
-    /// The SM's RT accelerator.
-    rt_unit: RtUnit,
-    /// Currently resident warps.
-    resident: Vec<Warp<'w>>,
-}
+use crate::workload::Workload;
 
 /// The cycle-level GPU simulator.
 ///
 /// Construct with a [`GpuConfig`] and run a [`Workload`]; returns
-/// [`SimStats`] containing all Table-I metrics.
+/// [`SimStats`] containing all Table-I metrics. The engine internals live
+/// in the crate-private `engine` module; to observe a run, pass a
+/// [`SimHooks`] implementation to [`Simulator::run_with_hooks`].
 ///
 /// # Examples
 ///
@@ -69,411 +49,20 @@ impl Simulator {
     }
 
     /// Runs `workload` to completion and returns the collected statistics.
+    ///
+    /// Equivalent to [`Simulator::run_with_hooks`] with
+    /// [`NullHooks`](crate::hooks::NullHooks).
     pub fn run(&self, workload: &dyn Workload) -> SimStats {
-        Engine::new(&self.config, workload).run()
-    }
-}
-
-/// One scheduled warp wake-up.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Event {
-    time: u64,
-    /// Warp age: ties broken oldest-first (greedy-then-oldest flavour).
-    warp_id: u64,
-    /// Which SM the warp lives on.
-    sm: usize,
-    /// Index into the SM's resident vector.
-    slot: usize,
-}
-
-struct Engine<'w> {
-    config: &'w GpuConfig,
-    workload: &'w dyn Workload,
-    mem: MemoryHierarchy,
-    sms: Vec<SmState<'w>>,
-    events: BinaryHeap<Reverse<Event>>,
-    stats: SimStats,
-    max_time: u64,
-}
-
-impl<'w> Engine<'w> {
-    fn new(config: &'w GpuConfig, workload: &'w dyn Workload) -> Self {
-        let mem = MemoryHierarchy::new(config);
-        let sms = (0..config.num_sms)
-            .map(|_| SmState {
-                pending: VecDeque::new(),
-                issue_next_free: 0,
-                rt_unit: RtUnit::new(config.rt_max_warps, config.rt_lanes_per_cycle),
-                resident: Vec::with_capacity(config.max_warps_per_sm as usize),
-            })
-            .collect();
-        Engine {
-            config,
-            workload,
-            mem,
-            sms,
-            events: BinaryHeap::new(),
-            stats: SimStats::default(),
-            max_time: 0,
-        }
+        self.run_with_hooks(workload, &mut NullHooks)
     }
 
-    fn run(mut self) -> SimStats {
-        self.launch_grid();
-        while let Some(Reverse(ev)) = self.events.pop() {
-            self.step_warp(ev);
-        }
-        // The run ends when the last warp retires AND all write-back
-        // traffic has drained from the DRAM channels.
-        self.stats.cycles = self.max_time.max(self.mem.drain_time());
-        self.stats.rt_warp_phases = self.sms.iter().map(|s| s.rt_unit.phases()).sum();
-        self.stats.rt_active_rays = self.sms.iter().map(|s| s.rt_unit.active_rays()).sum();
-        self.mem.export_stats(&mut self.stats);
-        self.stats
-    }
-
-    /// Distributes warps to SMs with a fixed stride (`warp % num_sms`),
-    /// mirroring how 2D thread-block rasterization deals consecutive image
-    /// tiles to different SMs: each SM ends up owning a spatially coherent
-    /// strided sample of the frame, which is what gives real GPUs their
-    /// per-SM L1 locality. Then fills the initial warp slots.
-    fn launch_grid(&mut self) {
-        let threads = self.workload.thread_count();
-        self.stats.threads_launched = threads;
-        let warp_size = self.config.warp_size as u64;
-        let total_warps = threads.div_ceil(warp_size);
-        for w in 0..total_warps {
-            let sm = (w % self.config.num_sms as u64) as usize;
-            let first = w * warp_size;
-            let lanes = (threads - first).min(warp_size) as u32;
-            self.sms[sm].pending.push_back((w, first, lanes));
-        }
-        for sm in 0..self.sms.len() {
-            for _ in 0..self.config.max_warps_per_sm {
-                if !self.try_launch(sm, 0) {
-                    break;
-                }
-            }
-        }
-    }
-
-    /// Launches the oldest warp pending on `sm` into a fresh slot at `t`.
-    fn try_launch(&mut self, sm: usize, t: u64) -> bool {
-        let Some((id, first, lanes)) = self.sms[sm].pending.pop_front() else {
-            return false;
-        };
-        let warp = Warp::new(self.workload, id, sm, first, lanes);
-        let slot = self.sms[sm].resident.len();
-        self.sms[sm].resident.push(warp);
-        self.events.push(Reverse(Event { time: t + WARP_LAUNCH_LATENCY, warp_id: id, sm, slot }));
-        true
-    }
-
-    /// Executes one SIMT phase of a warp (or retires it).
-    fn step_warp(&mut self, ev: Event) {
-        let ops = self.sms[ev.sm].resident[ev.slot].gather_phase();
-        if ops.is_empty() {
-            // Retired: backfill the slot with this SM's oldest pending
-            // warp. Slot indices must stay stable, so the replacement
-            // reuses the retired warp's Vec position.
-            self.max_time = self.max_time.max(ev.time);
-            if let Some((id, first, lanes)) = self.sms[ev.sm].pending.pop_front() {
-                let warp = Warp::new(self.workload, id, ev.sm, first, lanes);
-                self.sms[ev.sm].resident[ev.slot] = warp;
-                self.events.push(Reverse(Event {
-                    time: ev.time + WARP_LAUNCH_LATENCY,
-                    warp_id: id,
-                    sm: ev.sm,
-                    slot: ev.slot,
-                }));
-            }
-            return;
-        }
-
-        // --- Issue arbitration -------------------------------------------
-        let sm_state = &mut self.sms[ev.sm];
-        let start = ev.time.max(sm_state.issue_next_free);
-
-        // --- Categorize the gathered ops ----------------------------------
-        let mut compute_cycles: u64 = 0;
-        let mut rt_rays: u32 = 0;
-        let mut rt_lines: Vec<u64> = Vec::new();
-        let mut load_lines: Vec<u64> = Vec::new();
-        let mut store_lines: Vec<u64> = Vec::new();
-        for op in &ops {
-            self.stats.instructions += op.instructions();
-            match op {
-                Op::Compute { cycles, .. } => compute_cycles = compute_cycles.max(*cycles as u64),
-                Op::Store { addr, bytes } => {
-                    push_lines(&mut store_lines, &self.mem, *addr, *bytes);
-                }
-                Op::Load { addr, bytes } => {
-                    push_lines(&mut load_lines, &self.mem, *addr, *bytes);
-                }
-                Op::RtNode { .. } | Op::RtPrim { .. } => {
-                    rt_rays += 1;
-                    let (space, addr, bytes) = op.memory_access().expect("RT ops access memory");
-                    debug_assert_eq!(space, MemSpace::RtData);
-                    push_lines(&mut rt_lines, &self.mem, addr, bytes);
-                }
-            }
-        }
-        self.stats.warp_issues += 1;
-
-        // The issue port is occupied one cycle per generated LSU transaction
-        // (coalesced line), at least one cycle total. RT fetches are issued
-        // by the RT unit and do not consume LSU slots.
-        let lsu_slots = (load_lines.len() + store_lines.len()) as u64;
-        sm_state.issue_next_free = start + lsu_slots.max(1);
-
-        // --- Timing of each category --------------------------------------
-        self.stats.bound_issue_cycles += start - ev.time;
-        let mut ready = start + 1;
-        let compute_ready = start + compute_cycles;
-        ready = ready.max(compute_ready);
-        let mut lsu_ready = start;
-        for line in &load_lines {
-            lsu_ready = lsu_ready.max(self.mem.read(ev.sm, *line, start));
-        }
-        for line in &store_lines {
-            lsu_ready = lsu_ready.max(self.mem.write(ev.sm, *line, start));
-        }
-        ready = ready.max(lsu_ready);
-        let mut rt_ready = start;
-        if rt_rays > 0 {
-            let sm_state = &mut self.sms[ev.sm];
-            let (slot, rt_start) = sm_state.rt_unit.acquire(start);
-            let occupancy = sm_state.rt_unit.occupancy_cycles(rt_rays);
-            // The warp occupies a tester slot only while its rays are being
-            // box/primitive-tested; node and primitive fetches park in the
-            // RT unit's MSHR (Table II: 64 entries) so other warps can use
-            // the testers during the memory round trip. The warp itself
-            // still waits for its data before the next phase.
-            sm_state.rt_unit.complete(slot, rt_start + occupancy, rt_rays);
-            let mut rt_done = rt_start + occupancy;
-            for line in &rt_lines {
-                rt_done = rt_done.max(self.mem.read(ev.sm, *line, rt_start));
-            }
-            rt_ready = rt_done;
-            ready = ready.max(rt_done);
-        }
-
-        // CPI-stack attribution: the phase's exposed time goes to whichever
-        // component formed the critical path.
-        let span = ready - start;
-        if rt_ready >= ready {
-            self.stats.bound_rt_cycles += span;
-        } else if lsu_ready >= ready {
-            self.stats.bound_memory_cycles += span;
-        } else {
-            self.stats.bound_compute_cycles += span;
-        }
-
-        self.max_time = self.max_time.max(ready);
-        self.events.push(Reverse(Event { time: ready, warp_id: ev.warp_id, sm: ev.sm, slot: ev.slot }));
-    }
-}
-
-/// Adds the cache lines covered by `[addr, addr + bytes)` to `lines`,
-/// coalescing duplicates (warp-level memory coalescing).
-fn push_lines(lines: &mut Vec<u64>, mem: &MemoryHierarchy, addr: u64, bytes: u32) {
-    let first = mem.line_of(addr);
-    let last = mem.line_of(addr + bytes.max(1) as u64 - 1);
-    for line in first..=last {
-        if !lines.contains(&line) {
-            lines.push(line);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::workload::ScriptedWorkload;
-
-    fn mobile() -> Simulator {
-        Simulator::new(GpuConfig::mobile_soc())
-    }
-
-    #[test]
-    fn empty_workload_finishes_instantly() {
-        let w = ScriptedWorkload::uniform(0, vec![]);
-        let stats = mobile().run(&w);
-        assert_eq!(stats.cycles, 0);
-        assert_eq!(stats.instructions, 0);
-    }
-
-    #[test]
-    fn single_warp_compute_only() {
-        let w = ScriptedWorkload::uniform(32, vec![Op::Compute { cycles: 10, insts: 10 }]);
-        let stats = mobile().run(&w);
-        assert_eq!(stats.instructions, 320);
-        assert!(stats.cycles >= 10);
-        assert!(stats.cycles < 100, "one compute phase should be quick, got {}", stats.cycles);
-        assert_eq!(stats.l1_accesses, 0);
-    }
-
-    #[test]
-    fn coalesced_loads_generate_one_transaction() {
-        // All 32 lanes load the same address: one line, one L1 access.
-        let w = ScriptedWorkload::uniform(32, vec![Op::Load { addr: 4096, bytes: 4 }]);
-        let stats = mobile().run(&w);
-        assert_eq!(stats.l1_accesses, 1);
-        assert_eq!(stats.l1_misses, 1);
-        assert_eq!(stats.dram_transactions, 1);
-    }
-
-    #[test]
-    fn divergent_loads_generate_many_transactions() {
-        let w = ScriptedWorkload::per_thread(32, |i| {
-            vec![Op::Load { addr: i * 4096, bytes: 4 }]
-        });
-        let stats = mobile().run(&w);
-        assert_eq!(stats.l1_accesses, 32, "32 distinct lines");
-    }
-
-    #[test]
-    fn more_work_takes_more_cycles() {
-        let small = ScriptedWorkload::uniform(
-            1024,
-            vec![Op::Load { addr: 0, bytes: 4 }, Op::Compute { cycles: 4, insts: 4 }],
-        );
-        let big = ScriptedWorkload::per_thread(16384, |i| {
-            vec![
-                Op::Load { addr: i * 128, bytes: 4 },
-                Op::Compute { cycles: 4, insts: 4 },
-                Op::Load { addr: (i + 7919) * 128, bytes: 4 },
-                Op::Compute { cycles: 4, insts: 4 },
-            ]
-        });
-        let sim = mobile();
-        let s_small = sim.run(&small);
-        let s_big = sim.run(&big);
-        assert!(
-            s_big.cycles > s_small.cycles * 2,
-            "16x threads with 2x ops must take much longer ({} vs {})",
-            s_big.cycles,
-            s_small.cycles
-        );
-    }
-
-    #[test]
-    fn rt_ops_drive_rt_efficiency() {
-        let w = ScriptedWorkload::uniform(
-            64,
-            vec![Op::RtNode { addr: 0 }, Op::RtNode { addr: 32 }, Op::RtPrim { addr: 1 << 20 }],
-        );
-        let stats = mobile().run(&w);
-        assert_eq!(stats.rt_warp_phases, 6, "2 warps x 3 phases");
-        assert!((stats.rt_efficiency() - 32.0).abs() < 1e-9, "full warps");
-    }
-
-    #[test]
-    fn divergence_lowers_rt_efficiency() {
-        // Lane i performs i+1 RT steps: later phases have fewer live lanes.
-        let w = ScriptedWorkload::per_thread(32, |i| {
-            (0..=i).map(|k| Op::RtNode { addr: k * 32 }).collect()
-        });
-        let stats = mobile().run(&w);
-        assert!(stats.rt_efficiency() < 32.0);
-        assert!(stats.rt_efficiency() > 1.0);
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let w = ScriptedWorkload::per_thread(2048, |i| {
-            vec![
-                Op::RtNode { addr: (i % 97) * 32 },
-                Op::Load { addr: i * 64, bytes: 16 },
-                Op::Compute { cycles: (i % 7) as u32 + 1, insts: 3 },
-                Op::Store { addr: i * 16, bytes: 16 },
-            ]
-        });
-        let sim = mobile();
-        let a = sim.run(&w);
-        let b = sim.run(&w);
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn fewer_sms_take_longer_on_saturating_work() {
-        let w = ScriptedWorkload::per_thread(8192, |i| {
-            vec![
-                Op::Load { addr: i * 128, bytes: 4 },
-                Op::Compute { cycles: 16, insts: 16 },
-                Op::Load { addr: (i * 31 + 5) * 128, bytes: 4 },
-                Op::Compute { cycles: 16, insts: 16 },
-            ]
-        });
-        let full = Simulator::new(GpuConfig::mobile_soc()).run(&w);
-        let down = Simulator::new(GpuConfig::mobile_soc().downscaled(4).unwrap()).run(&w);
-        assert!(
-            down.cycles > full.cycles * 2,
-            "quarter GPU must be much slower ({} vs {})",
-            down.cycles,
-            full.cycles
-        );
-    }
-
-    #[test]
-    fn latency_bound_work_does_not_scale_with_sms() {
-        // One warp total: SM count is irrelevant.
-        let w = ScriptedWorkload::uniform(
-            32,
-            (0..64).map(|i| Op::Load { addr: i * 128 * 5, bytes: 4 }).collect(),
-        );
-        let full = Simulator::new(GpuConfig::mobile_soc()).run(&w);
-        let down = Simulator::new(GpuConfig::mobile_soc().downscaled(4).unwrap()).run(&w);
-        let ratio = down.cycles as f64 / full.cycles as f64;
-        assert!(ratio < 1.5, "single-warp work should barely change: {ratio}");
-    }
-
-    #[test]
-    fn stores_count_bandwidth_but_do_not_stall() {
-        let w = ScriptedWorkload::uniform(32, vec![Op::Store { addr: 0, bytes: 16 }]);
-        let stats = mobile().run(&w);
-        assert!(stats.dram_busy_cycles > 0);
-        // The warp itself retires immediately (one issue phase); the run's
-        // cycle count additionally covers the write-back drain.
-        assert_eq!(stats.warp_issues, 1);
-        assert!(stats.cycles < 150, "store + drain should be short, got {}", stats.cycles);
-        assert!(stats.bandwidth_utilization() <= 1.0);
-    }
-
-    #[test]
-    fn cpi_stack_attributes_compute_vs_rt() {
-        let compute_only = ScriptedWorkload::uniform(256, vec![Op::Compute { cycles: 40, insts: 40 }]);
-        let s = mobile().run(&compute_only);
-        assert!(s.bound_compute_cycles > 0);
-        assert_eq!(s.bound_rt_cycles, 0);
-        let stack = s.cpi_stack();
-        let compute_share = stack.iter().find(|(n, _)| *n == "compute").unwrap().1;
-        assert!(compute_share > 0.5, "pure-ALU workload must be compute bound: {stack:?}");
-
-        let rt_only = ScriptedWorkload::per_thread(256, |i| {
-            (0..8).map(|k| Op::RtNode { addr: (i * 8 + k) * 4096 }).collect()
-        });
-        let s = mobile().run(&rt_only);
-        assert!(s.bound_rt_cycles > 0);
-        let stack = s.cpi_stack();
-        let rt_share = stack.iter().find(|(n, _)| *n == "rt").unwrap().1;
-        assert!(rt_share > 0.5, "pure-RT workload must be RT bound: {stack:?}");
-    }
-
-    #[test]
-    fn warp_slots_limit_concurrency() {
-        // 64 warps of pure long compute on 1 SM config.
-        let mut cfg = GpuConfig::mobile_soc();
-        cfg.num_sms = 1;
-        cfg.num_mem_partitions = 1;
-        cfg.l2.bytes = cfg.l2.bytes / 4;
-        cfg.max_warps_per_sm = 2;
-        let w = ScriptedWorkload::uniform(32 * 8, vec![Op::Compute { cycles: 100, insts: 1 }]);
-        let stats = Simulator::new(cfg.clone()).run(&w);
-        // 8 warps, 2 at a time → at least 4 serial rounds of ~100 cycles.
-        assert!(stats.cycles >= 400, "got {}", stats.cycles);
-        cfg.max_warps_per_sm = 8;
-        let wide = Simulator::new(cfg).run(&w);
-        assert!(wide.cycles < stats.cycles);
+    /// Runs `workload` while reporting engine events to `hooks`.
+    ///
+    /// Dispatch is static: the engine monomorphizes per hook type, so the
+    /// observability seam costs nothing when `hooks` is
+    /// [`NullHooks`](crate::hooks::NullHooks). Hooks observe only — the
+    /// returned statistics are bit-identical for every hook implementation.
+    pub fn run_with_hooks<H: SimHooks>(&self, workload: &dyn Workload, hooks: &mut H) -> SimStats {
+        Engine::new(&self.config, workload, hooks).run()
     }
 }

@@ -45,12 +45,17 @@
 
 pub mod config;
 mod core;
+mod engine;
 mod gpu;
+pub mod hooks;
 pub mod mem;
 pub mod stats;
 pub mod workload;
 
 pub use config::{gcd, CacheConfig, DownscaleError, GpuConfig};
 pub use gpu::Simulator;
+pub use hooks::{
+    CacheLevel, NullHooks, PhaseClass, SimHooks, TraceCounters, TraceHooks, TraceSlice,
+};
 pub use stats::{CombineRule, Metric, SimStats};
 pub use workload::{MemSpace, Op, ThreadProgram, Workload};

@@ -92,7 +92,9 @@ impl Cache {
         let set = &mut self.sets[set_index];
         if let Some(e) = set.iter_mut().find(|e| e.tag == tag) {
             e.last_used = self.use_counter;
-            return Probe::Hit { valid_from: e.valid_from };
+            return Probe::Hit {
+                valid_from: e.valid_from,
+            };
         }
         self.misses += 1;
         Probe::Miss
@@ -113,14 +115,22 @@ impl Cache {
             return;
         }
         if set.len() < ways {
-            set.push(TagEntry { tag, valid_from, last_used: use_counter });
+            set.push(TagEntry {
+                tag,
+                valid_from,
+                last_used: use_counter,
+            });
             return;
         }
         let victim = set
             .iter_mut()
             .min_by_key(|e| e.last_used)
             .expect("set is full, so non-empty");
-        *victim = TagEntry { tag, valid_from, last_used: use_counter };
+        *victim = TagEntry {
+            tag,
+            valid_from,
+            last_used: use_counter,
+        };
     }
 
     /// Cache display name.
@@ -155,7 +165,12 @@ mod tests {
     fn small(ways: u32, lines: u64) -> Cache {
         Cache::new(
             "t",
-            CacheConfig { bytes: lines * 128, ways, line_bytes: 128, latency: 1 },
+            CacheConfig {
+                bytes: lines * 128,
+                ways,
+                line_bytes: 128,
+                latency: 1,
+            },
         )
     }
 

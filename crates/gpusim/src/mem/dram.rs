@@ -12,7 +12,10 @@ pub struct RowBufferConfig {
 
 impl Default for RowBufferConfig {
     fn default() -> Self {
-        RowBufferConfig { row_bytes: 2048, miss_penalty: 20 }
+        RowBufferConfig {
+            row_bytes: 2048,
+            miss_penalty: 20,
+        }
     }
 }
 
@@ -174,7 +177,10 @@ mod tests {
         DramChannel::with_row_buffer(
             bytes_per_cycle,
             latency,
-            RowBufferConfig { row_bytes: 2048, miss_penalty: 0 },
+            RowBufferConfig {
+                row_bytes: 2048,
+                miss_penalty: 0,
+            },
         )
     }
 
@@ -193,7 +199,10 @@ mod tests {
         let mut ch = DramChannel::with_row_buffer(
             16.0,
             0,
-            RowBufferConfig { row_bytes: 2048, miss_penalty: 20 },
+            RowBufferConfig {
+                row_bytes: 2048,
+                miss_penalty: 20,
+            },
         );
         // Same row: first access pays the activate, second does not.
         let d1 = ch.service_at(0, 0, 128);

@@ -2,6 +2,7 @@
 //! memory system of the paper's Fig. 2.
 
 use crate::config::GpuConfig;
+use crate::hooks::{CacheLevel, NullHooks, SimHooks};
 use crate::stats::SimStats;
 
 use super::cache::{Cache, Probe};
@@ -39,9 +40,13 @@ const REQUEST_BYTES: u32 = 8;
 impl MemoryHierarchy {
     /// Builds the hierarchy for `config`.
     pub fn new(config: &GpuConfig) -> Self {
-        let l1 = (0..config.num_sms).map(|_| Cache::new("L1D", config.l1d)).collect();
+        let l1 = (0..config.num_sms)
+            .map(|_| Cache::new("L1D", config.l1d))
+            .collect();
         let slice = config.l2_slice();
-        let l2 = (0..config.num_mem_partitions).map(|_| Cache::new("L2", slice)).collect();
+        let l2 = (0..config.num_mem_partitions)
+            .map(|_| Cache::new("L2", slice))
+            .collect();
         let dram = (0..config.num_mem_partitions)
             .map(|_| DramChannel::new(config.dram_bytes_per_cycle, config.dram_latency))
             .collect();
@@ -84,17 +89,27 @@ impl MemoryHierarchy {
     ///
     /// Panics if `sm` is out of range.
     pub fn read(&mut self, sm: usize, line: u64, now: u64) -> u64 {
-        let t = self.read_inner(sm, line, now);
+        self.read_with(sm, line, now, &mut NullHooks)
+    }
+
+    /// Like [`MemoryHierarchy::read`], reporting cache probes and DRAM
+    /// transfers to `hooks`. Hooks observe only; the returned time is
+    /// identical for every hook implementation.
+    pub fn read_with<H: SimHooks>(&mut self, sm: usize, line: u64, now: u64, hooks: &mut H) -> u64 {
+        let t = self.read_inner(sm, line, now, hooks);
         self.read_latency_sum += t - now;
         self.reads += 1;
         t
     }
 
-    fn read_inner(&mut self, sm: usize, line: u64, now: u64) -> u64 {
+    fn read_inner<H: SimHooks>(&mut self, sm: usize, line: u64, now: u64, hooks: &mut H) -> u64 {
         let l1_ready = now + self.l1_latency as u64;
         match self.l1[sm].probe(line, now) {
-            Probe::Hit { valid_from } => return l1_ready.max(valid_from),
-            Probe::Miss => {}
+            Probe::Hit { valid_from } => {
+                hooks.on_cache_access(CacheLevel::L1, true);
+                return l1_ready.max(valid_from);
+            }
+            Probe::Miss => hooks.on_cache_access(CacheLevel::L1, false),
         }
 
         // Miss: request crosses the interconnect to the owning partition.
@@ -108,6 +123,7 @@ impl MemoryHierarchy {
 
         let data_ready = match self.l2[part].probe(line, arrive_l2) {
             Probe::Hit { valid_from } => {
+                hooks.on_cache_access(CacheLevel::L2, true);
                 // The configured L2 latency is end-to-end from the SM, so
                 // the response departs such that an uncontended crossing
                 // arrives at exactly `now + l2_latency (+ queueing)`;
@@ -118,11 +134,16 @@ impl MemoryHierarchy {
                 self.icnt.from_memory(part, depart, self.line_bytes)
             }
             Probe::Miss => {
+                hooks.on_cache_access(CacheLevel::L2, false);
                 // Request continues to DRAM after the L2 pipeline.
                 let arrive_dram = slot + L2_SERVICE_CYCLES;
-                let done =
-                    self.dram[part].service_at(arrive_dram, line * self.line_bytes as u64, self.line_bytes);
+                let done = self.dram[part].service_at(
+                    arrive_dram,
+                    line * self.line_bytes as u64,
+                    self.line_bytes,
+                );
                 self.l2[part].fill(line, done);
+                hooks.on_dram_transfer(part, self.line_bytes);
                 self.icnt.from_memory(part, done, self.line_bytes)
             }
         };
@@ -134,6 +155,18 @@ impl MemoryHierarchy {
     /// fire-and-forget). Consumes L2/DRAM bandwidth but the warp does not
     /// wait; returns the cycle the store has left the SM.
     pub fn write(&mut self, sm: usize, line: u64, now: u64) -> u64 {
+        self.write_with(sm, line, now, &mut NullHooks)
+    }
+
+    /// Like [`MemoryHierarchy::write`], reporting the DRAM transfer to
+    /// `hooks`.
+    pub fn write_with<H: SimHooks>(
+        &mut self,
+        sm: usize,
+        line: u64,
+        now: u64,
+        hooks: &mut H,
+    ) -> u64 {
         let _ = sm;
         let part = self.partition_of(line);
         let arrive_l2 = self
@@ -142,7 +175,12 @@ impl MemoryHierarchy {
         let slot = arrive_l2.max(self.l2_next_free[part]);
         self.l2_next_free[part] = slot + L2_SERVICE_CYCLES;
         // Writes drain through the L2 to DRAM; they occupy bus bandwidth.
-        self.dram[part].service_at(slot + L2_SERVICE_CYCLES, line * self.line_bytes as u64, self.line_bytes);
+        self.dram[part].service_at(
+            slot + L2_SERVICE_CYCLES,
+            line * self.line_bytes as u64,
+            self.line_bytes,
+        );
+        hooks.on_dram_transfer(part, self.line_bytes);
         now + 1
     }
 
@@ -166,12 +204,20 @@ impl MemoryHierarchy {
     /// The cycle at which all DRAM channels finish their scheduled
     /// transfers (write-back drain).
     pub fn drain_time(&self) -> u64 {
-        self.dram.iter().map(DramChannel::drain_time).max().unwrap_or(0)
+        self.dram
+            .iter()
+            .map(DramChannel::drain_time)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average read latency in cycles observed so far.
     pub fn avg_read_latency(&self) -> f64 {
-        if self.reads == 0 { 0.0 } else { self.read_latency_sum as f64 / self.reads as f64 }
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads as f64
+        }
     }
 }
 
@@ -246,7 +292,9 @@ mod tests {
         // 16 lines x 8 bus cycles each serialize on the channel; the first
         // transaction's row activate (latency-only) narrows the observable
         // spread by up to the miss penalty.
-        assert!(times.last().unwrap() - times.first().unwrap() >= 8 * 15 - 20,
-            "DRAM bandwidth must serialize concurrent misses");
+        assert!(
+            times.last().unwrap() - times.first().unwrap() >= 8 * 15 - 20,
+            "DRAM bandwidth must serialize concurrent misses"
+        );
     }
 }

@@ -27,7 +27,10 @@ impl Interconnect {
     /// Panics if `partitions` is zero or `bytes_per_cycle` is not positive.
     pub fn new(partitions: u32, latency: u32, bytes_per_cycle: f32) -> Self {
         assert!(partitions > 0, "need at least one port");
-        assert!(bytes_per_cycle > 0.0, "interconnect bandwidth must be positive");
+        assert!(
+            bytes_per_cycle > 0.0,
+            "interconnect bandwidth must be positive"
+        );
         Interconnect {
             latency,
             bytes_per_cycle,

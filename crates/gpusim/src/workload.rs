@@ -115,7 +115,9 @@ pub struct ScriptedThread {
 impl ScriptedThread {
     /// Creates a thread that will yield `ops` in order.
     pub fn new(ops: Vec<Op>) -> Self {
-        ScriptedThread { ops: ops.into_iter() }
+        ScriptedThread {
+            ops: ops.into_iter(),
+        }
     }
 }
 
@@ -134,19 +136,27 @@ pub struct ScriptedWorkload {
 
 impl std::fmt::Debug for ScriptedWorkload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ScriptedWorkload").field("threads", &self.threads).finish()
+        f.debug_struct("ScriptedWorkload")
+            .field("threads", &self.threads)
+            .finish()
     }
 }
 
 impl ScriptedWorkload {
     /// All threads execute the same `ops`.
     pub fn uniform(threads: u64, ops: Vec<Op>) -> Self {
-        ScriptedWorkload { threads, script: Box::new(move |_| ops.clone()) }
+        ScriptedWorkload {
+            threads,
+            script: Box::new(move |_| ops.clone()),
+        }
     }
 
     /// Thread `i` executes `f(i)`.
     pub fn per_thread<F: Fn(u64) -> Vec<Op> + Sync + 'static>(threads: u64, f: F) -> Self {
-        ScriptedWorkload { threads, script: Box::new(f) }
+        ScriptedWorkload {
+            threads,
+            script: Box::new(f),
+        }
     }
 }
 
@@ -166,7 +176,14 @@ mod tests {
 
     #[test]
     fn op_instruction_counts() {
-        assert_eq!(Op::Compute { cycles: 10, insts: 7 }.instructions(), 7);
+        assert_eq!(
+            Op::Compute {
+                cycles: 10,
+                insts: 7
+            }
+            .instructions(),
+            7
+        );
         assert_eq!(Op::Load { addr: 0, bytes: 4 }.instructions(), 1);
         assert_eq!(Op::RtNode { addr: 0 }.instructions(), 3);
         assert_eq!(Op::RtPrim { addr: 0 }.instructions(), 2);
@@ -180,7 +197,14 @@ mod tests {
             Op::RtNode { addr: 96 }.memory_access(),
             Some((MemSpace::RtData, 96, 32))
         );
-        assert_eq!(Op::Compute { cycles: 1, insts: 1 }.memory_access(), None);
+        assert_eq!(
+            Op::Compute {
+                cycles: 1,
+                insts: 1
+            }
+            .memory_access(),
+            None
+        );
         assert_eq!(
             Op::Store { addr: 4, bytes: 16 }.memory_access(),
             Some((MemSpace::Global, 4, 16))
@@ -190,7 +214,10 @@ mod tests {
     #[test]
     fn scripted_thread_yields_in_order() {
         let mut t = ScriptedThread::new(vec![
-            Op::Compute { cycles: 1, insts: 1 },
+            Op::Compute {
+                cycles: 1,
+                insts: 1,
+            },
             Op::Load { addr: 8, bytes: 4 },
         ]);
         assert!(matches!(t.next_op(), Some(Op::Compute { .. })));
@@ -202,10 +229,19 @@ mod tests {
     #[test]
     fn scripted_workload_per_thread() {
         let w = ScriptedWorkload::per_thread(4, |i| {
-            vec![Op::Compute { cycles: i as u32 + 1, insts: 1 }]
+            vec![Op::Compute {
+                cycles: i as u32 + 1,
+                insts: 1,
+            }]
         });
         assert_eq!(w.thread_count(), 4);
         let mut t3 = w.create_thread(3);
-        assert_eq!(t3.next_op(), Some(Op::Compute { cycles: 4, insts: 1 }));
+        assert_eq!(
+            t3.next_op(),
+            Some(Op::Compute {
+                cycles: 4,
+                insts: 1
+            })
+        );
     }
 }

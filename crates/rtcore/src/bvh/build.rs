@@ -41,10 +41,7 @@ pub fn build_bvh(prims: &[Primitive]) -> Bvh {
 /// Builds a BVH over `prims` with an explicit construction strategy.
 pub fn build_bvh_with(prims: &[Primitive], method: BuildMethod) -> Bvh {
     if prims.is_empty() {
-        return Bvh::new(
-            vec![FlatNode::leaf(Aabb::empty(), 0, 0)],
-            Vec::new(),
-        );
+        return Bvh::new(vec![FlatNode::leaf(Aabb::empty(), 0, 0)], Vec::new());
     }
 
     let mut info: Vec<PrimInfo> = prims
@@ -52,7 +49,11 @@ pub fn build_bvh_with(prims: &[Primitive], method: BuildMethod) -> Bvh {
         .enumerate()
         .map(|(i, p)| {
             let c = p.centroid();
-            PrimInfo { index: i as u32, bounds: p.bounds(), centroid: [c.x, c.y, c.z] }
+            PrimInfo {
+                index: i as u32,
+                bounds: p.bounds(),
+                centroid: [c.x, c.y, c.z],
+            }
         })
         .collect();
 
@@ -103,7 +104,9 @@ fn build_range(
     let mid = sah_mid.unwrap_or_else(|| {
         // Median split (also the SAH fallback when no bin split helps).
         info[start..end].sort_unstable_by(|a, b| {
-            a.centroid[axis].partial_cmp(&b.centroid[axis]).expect("finite centroids")
+            a.centroid[axis]
+                .partial_cmp(&b.centroid[axis])
+                .expect("finite centroids")
         });
         start + count / 2
     });
@@ -171,7 +174,9 @@ fn choose_split(
     }
 
     let split_bin = best_bin?;
-    let mid = partition_in_place(&mut info[start..end], |p| bin_of(p.centroid[axis]) <= split_bin);
+    let mid = partition_in_place(&mut info[start..end], |p| {
+        bin_of(p.centroid[axis]) <= split_bin
+    });
     if mid == 0 || mid == end - start {
         return None;
     }
@@ -229,7 +234,11 @@ mod tests {
 
     #[test]
     fn single_primitive_is_one_leaf() {
-        let prims = vec![Primitive::Sphere(Sphere::new(Vec3::ZERO, 1.0, MaterialId(0)))];
+        let prims = vec![Primitive::Sphere(Sphere::new(
+            Vec3::ZERO,
+            1.0,
+            MaterialId(0),
+        ))];
         let bvh = build_bvh(&prims);
         assert_eq!(bvh.node_count(), 1);
         assert_eq!(bvh.primitive_order(), &[0]);

@@ -7,17 +7,16 @@
 //! memory transactions and ALU work — guaranteeing the functional and timing
 //! models agree on exactly which work a ray performs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::geom::{Hit, Primitive, PrimitiveId};
 use crate::math::{Aabb, Ray, Vec3};
+use minijson::{FromJson, JsonError, Map, ToJson, Value};
 
 /// A node of the flattened BVH.
 ///
 /// Interior nodes keep their left child at `self + 1` (depth-first layout)
 /// and store the right child index; leaves store a range into the
 /// primitive-order array.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlatNode {
     bounds: Aabb,
     /// Leaf: first index into the primitive order. Interior: right child.
@@ -33,12 +32,24 @@ impl FlatNode {
     /// Creates a leaf covering `count` primitives starting at `first` in the
     /// BVH's primitive order.
     pub fn leaf(bounds: Aabb, first: u32, count: u32) -> Self {
-        FlatNode { bounds, first_or_right: first, count, axis: 0, leaf: true }
+        FlatNode {
+            bounds,
+            first_or_right: first,
+            count,
+            axis: 0,
+            leaf: true,
+        }
     }
 
     /// Creates an interior node whose right child is at `right`.
     pub fn interior(bounds: Aabb, right: u32, axis: u8) -> Self {
-        FlatNode { bounds, first_or_right: right, count: 0, axis, leaf: false }
+        FlatNode {
+            bounds,
+            first_or_right: right,
+            count: 0,
+            axis,
+            leaf: false,
+        }
     }
 
     /// Bounding box of the node.
@@ -77,7 +88,7 @@ impl FlatNode {
 
 /// Counters accumulated while traversing; the basis of the execution-time
 /// heatmap (paper Section III-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TraversalStats {
     /// BVH nodes fetched (interior + leaf).
     pub nodes_visited: u64,
@@ -102,6 +113,75 @@ impl TraversalStats {
     /// the heatmap.
     pub fn work(&self) -> u64 {
         self.nodes_visited + self.box_tests + 2 * self.prim_tests
+    }
+}
+
+impl ToJson for FlatNode {
+    fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("bounds".to_string(), self.bounds.to_json());
+        map.insert(
+            "first_or_right".to_string(),
+            Value::from(self.first_or_right),
+        );
+        map.insert("count".to_string(), Value::from(self.count));
+        map.insert("axis".to_string(), Value::from(self.axis));
+        map.insert("leaf".to_string(), Value::from(self.leaf));
+        Value::Object(map)
+    }
+}
+
+impl FromJson for FlatNode {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let u32_field = |field: &str| {
+            value
+                .get(field)
+                .and_then(Value::as_u64)
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| JsonError::missing_field("FlatNode", field))
+        };
+        Ok(FlatNode {
+            bounds: Aabb::from_json(
+                value
+                    .get("bounds")
+                    .ok_or_else(|| JsonError::missing_field("FlatNode", "bounds"))?,
+            )?,
+            first_or_right: u32_field("first_or_right")?,
+            count: u32_field("count")?,
+            axis: u32_field("axis")? as u8,
+            leaf: value
+                .get("leaf")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| JsonError::missing_field("FlatNode", "leaf"))?,
+        })
+    }
+}
+
+impl ToJson for TraversalStats {
+    fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("nodes_visited".to_string(), Value::from(self.nodes_visited));
+        map.insert("box_tests".to_string(), Value::from(self.box_tests));
+        map.insert("prim_tests".to_string(), Value::from(self.prim_tests));
+        map.insert("leaf_visits".to_string(), Value::from(self.leaf_visits));
+        Value::Object(map)
+    }
+}
+
+impl FromJson for TraversalStats {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| JsonError::missing_field("TraversalStats", name))
+        };
+        Ok(TraversalStats {
+            nodes_visited: field("nodes_visited")?,
+            box_tests: field("box_tests")?,
+            prim_tests: field("prim_tests")?,
+            leaf_visits: field("leaf_visits")?,
+        })
     }
 }
 
@@ -146,7 +226,7 @@ pub enum TraversalStep {
 /// assert!(hit.is_some());
 /// assert!(stats.nodes_visited > 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bvh {
     nodes: Vec<FlatNode>,
     prim_order: Vec<u32>,
@@ -215,6 +295,45 @@ impl Bvh {
     }
 }
 
+impl ToJson for Bvh {
+    fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert(
+            "nodes".to_string(),
+            Value::Array(self.nodes.iter().map(ToJson::to_json).collect()),
+        );
+        map.insert("prim_order".to_string(), Value::from(&self.prim_order));
+        Value::Object(map)
+    }
+}
+
+impl FromJson for Bvh {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let nodes = value
+            .get("nodes")
+            .and_then(Value::as_array)
+            .ok_or_else(|| JsonError::missing_field("Bvh", "nodes"))?
+            .iter()
+            .map(FlatNode::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if nodes.is_empty() {
+            return Err(JsonError::conversion("Bvh: node array must be non-empty"));
+        }
+        let prim_order = value
+            .get("prim_order")
+            .and_then(Value::as_array)
+            .ok_or_else(|| JsonError::missing_field("Bvh", "prim_order"))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| JsonError::missing_field("Bvh", "prim_order"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Bvh { nodes, prim_order })
+    }
+}
+
 /// Stepwise ray traversal over a [`Bvh`].
 ///
 /// Call [`Traversal::step`] until it returns `None`, then read the result via
@@ -274,7 +393,11 @@ impl<'a> Traversal<'a> {
         // Finish pending primitive tests of the current leaf first.
         if let Some((cursor, end)) = self.pending {
             let prim_index = self.bvh.prim_order[cursor as usize];
-            self.pending = if cursor + 1 < end { Some((cursor + 1, end)) } else { None };
+            self.pending = if cursor + 1 < end {
+                Some((cursor + 1, end))
+            } else {
+                None
+            };
             self.stats.prim_tests += 1;
             let mut probe = self.ray;
             probe.t_max = self.best_t;
@@ -285,7 +408,10 @@ impl<'a> Traversal<'a> {
             } else {
                 false
             };
-            return Some(TraversalStep::PrimitiveTest { prim: PrimitiveId(prim_index), hit });
+            return Some(TraversalStep::PrimitiveTest {
+                prim: PrimitiveId(prim_index),
+                hit,
+            });
         }
 
         // In any-hit mode, stop as soon as something was hit.
@@ -299,7 +425,10 @@ impl<'a> Traversal<'a> {
             // models culling stale stack entries and costs no extra fetch.
             let mut probe = self.ray;
             probe.t_max = self.best_t;
-            match self.bvh.nodes[idx as usize].bounds.hit(&probe, self.inv_dir) {
+            match self.bvh.nodes[idx as usize]
+                .bounds
+                .hit(&probe, self.inv_dir)
+            {
                 Some(_) => break idx,
                 None => continue,
             }
@@ -314,7 +443,10 @@ impl<'a> Traversal<'a> {
             if count > 0 {
                 self.pending = Some((first, first + count));
             }
-            return Some(TraversalStep::LeafNode { node: node_index, count });
+            return Some(TraversalStep::LeafNode {
+                node: node_index,
+                count,
+            });
         }
 
         // Interior: box-test both children, push hits far-then-near so the
@@ -324,8 +456,12 @@ impl<'a> Traversal<'a> {
         let mut probe = self.ray;
         probe.t_max = self.best_t;
         self.stats.box_tests += 2;
-        let t_left = self.bvh.nodes[left as usize].bounds.hit(&probe, self.inv_dir);
-        let t_right = self.bvh.nodes[right as usize].bounds.hit(&probe, self.inv_dir);
+        let t_left = self.bvh.nodes[left as usize]
+            .bounds
+            .hit(&probe, self.inv_dir);
+        let t_right = self.bvh.nodes[right as usize]
+            .bounds
+            .hit(&probe, self.inv_dir);
         match (t_left, t_right) {
             (Some(tl), Some(tr)) => {
                 if tl <= tr {
@@ -414,7 +550,11 @@ mod tests {
         let mut rng = Pcg::new(7);
         let mut prims: Vec<Primitive> = Vec::new();
         for _ in 0..200 {
-            let c = Vec3::new(rng.range_f32(-5.0, 5.0), rng.range_f32(-5.0, 5.0), rng.range_f32(2.0, 20.0));
+            let c = Vec3::new(
+                rng.range_f32(-5.0, 5.0),
+                rng.range_f32(-5.0, 5.0),
+                rng.range_f32(2.0, 20.0),
+            );
             prims.push(Primitive::Sphere(Sphere::new(c, 0.4, MaterialId(0))));
         }
         let bvh = Bvh::build(&prims);
@@ -465,7 +605,7 @@ mod tests {
             let mut best: Option<(f32, u32)> = None;
             for (pi, p) in prims.iter().enumerate() {
                 if let Some(t) = p.hit(&ray) {
-                    if best.map_or(true, |(bt, _)| t < bt) {
+                    if best.is_none_or(|(bt, _)| t < bt) {
                         best = Some((t, pi as u32));
                     }
                 }
@@ -492,7 +632,9 @@ mod tests {
         while let Some(step) = tr.step() {
             match step {
                 TraversalStep::PrimitiveTest { .. } => prim_tests += 1,
-                TraversalStep::InteriorNode { .. } | TraversalStep::LeafNode { .. } => node_visits += 1,
+                TraversalStep::InteriorNode { .. } | TraversalStep::LeafNode { .. } => {
+                    node_visits += 1
+                }
             }
         }
         assert_eq!(prim_tests as u64, tr.stats().prim_tests);

@@ -1,7 +1,5 @@
 //! Pinhole camera model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::math::{Pcg, Ray, Vec3};
 
 /// A pinhole camera that maps image-plane pixels to primary rays.
@@ -17,7 +15,7 @@ use crate::math::{Pcg, Ray, Vec3};
 /// let ray = cam.primary_ray(32, 32, 64, 64, &mut rng);
 /// assert!(ray.dir.z > 0.9); // Looking towards +Z.
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Camera {
     origin: Vec3,
     lower_left: Vec3,
@@ -41,7 +39,10 @@ impl Camera {
         let w = (eye - target)
             .try_normalized()
             .expect("camera eye and target must differ");
-        let u = up.cross(w).try_normalized().expect("up must not align with view direction");
+        let u = up
+            .cross(w)
+            .try_normalized()
+            .expect("up must not align with view direction");
         let v = w.cross(u);
         let half_height = (vfov_degrees.to_radians() / 2.0).tan();
         let half_width = half_height; // Square aspect.
@@ -66,12 +67,15 @@ impl Camera {
     ///
     /// Panics in debug builds if the pixel is out of bounds.
     pub fn primary_ray(&self, x: u32, y: u32, width: u32, height: u32, rng: &mut Pcg) -> Ray {
-        debug_assert!(x < width && y < height, "pixel ({x},{y}) out of {width}x{height}");
+        debug_assert!(
+            x < width && y < height,
+            "pixel ({x},{y}) out of {width}x{height}"
+        );
         let s = (x as f32 + rng.next_f32()) / width as f32;
         // Flip y so row 0 is the top of the image.
         let t = 1.0 - (y as f32 + rng.next_f32()) / height as f32;
-        let dir = (self.lower_left + self.horizontal * s + self.vertical * t - self.origin)
-            .normalized();
+        let dir =
+            (self.lower_left + self.horizontal * s + self.vertical * t - self.origin).normalized();
         Ray::new(self.origin, dir)
     }
 }

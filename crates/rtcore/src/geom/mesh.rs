@@ -63,20 +63,71 @@ pub fn cuboid(min: Vec3, max: Vec3, mat: MaterialId) -> Vec<Triangle> {
     let p = |x: f32, y: f32, z: f32| Vec3::new(x, y, z);
     let mut tris = Vec::with_capacity(12);
     // -Z and +Z faces.
-    push_quad(&mut tris, p(x0, y0, z0), p(x1, y0, z0), p(x1, y1, z0), p(x0, y1, z0), mat);
-    push_quad(&mut tris, p(x0, y0, z1), p(x0, y1, z1), p(x1, y1, z1), p(x1, y0, z1), mat);
+    push_quad(
+        &mut tris,
+        p(x0, y0, z0),
+        p(x1, y0, z0),
+        p(x1, y1, z0),
+        p(x0, y1, z0),
+        mat,
+    );
+    push_quad(
+        &mut tris,
+        p(x0, y0, z1),
+        p(x0, y1, z1),
+        p(x1, y1, z1),
+        p(x1, y0, z1),
+        mat,
+    );
     // -Y and +Y faces.
-    push_quad(&mut tris, p(x0, y0, z0), p(x0, y0, z1), p(x1, y0, z1), p(x1, y0, z0), mat);
-    push_quad(&mut tris, p(x0, y1, z0), p(x1, y1, z0), p(x1, y1, z1), p(x0, y1, z1), mat);
+    push_quad(
+        &mut tris,
+        p(x0, y0, z0),
+        p(x0, y0, z1),
+        p(x1, y0, z1),
+        p(x1, y0, z0),
+        mat,
+    );
+    push_quad(
+        &mut tris,
+        p(x0, y1, z0),
+        p(x1, y1, z0),
+        p(x1, y1, z1),
+        p(x0, y1, z1),
+        mat,
+    );
     // -X and +X faces.
-    push_quad(&mut tris, p(x0, y0, z0), p(x0, y1, z0), p(x0, y1, z1), p(x0, y0, z1), mat);
-    push_quad(&mut tris, p(x1, y0, z0), p(x1, y0, z1), p(x1, y1, z1), p(x1, y1, z0), mat);
+    push_quad(
+        &mut tris,
+        p(x0, y0, z0),
+        p(x0, y1, z0),
+        p(x0, y1, z1),
+        p(x0, y0, z1),
+        mat,
+    );
+    push_quad(
+        &mut tris,
+        p(x1, y0, z0),
+        p(x1, y0, z1),
+        p(x1, y1, z1),
+        p(x1, y1, z0),
+        mat,
+    );
     tris
 }
 
 /// Builds a UV sphere mesh with `stacks × slices` resolution.
-pub fn uv_sphere(center: Vec3, radius: f32, stacks: usize, slices: usize, mat: MaterialId) -> Vec<Triangle> {
-    assert!(stacks >= 2 && slices >= 3, "uv_sphere needs stacks >= 2 and slices >= 3");
+pub fn uv_sphere(
+    center: Vec3,
+    radius: f32,
+    stacks: usize,
+    slices: usize,
+    mat: MaterialId,
+) -> Vec<Triangle> {
+    assert!(
+        stacks >= 2 && slices >= 3,
+        "uv_sphere needs stacks >= 2 and slices >= 3"
+    );
     let point = |stack: usize, slice: usize| -> Vec3 {
         let theta = std::f32::consts::PI * stack as f32 / stacks as f32;
         let phi = 2.0 * std::f32::consts::PI * slice as f32 / slices as f32;
@@ -120,7 +171,13 @@ pub fn sphere_flake(
     rng: &mut Pcg,
     out: &mut Vec<Triangle>,
 ) {
-    out.extend(uv_sphere(center, radius, mesh_res.max(2), (mesh_res * 2).max(3), mat));
+    out.extend(uv_sphere(
+        center,
+        radius,
+        mesh_res.max(2),
+        (mesh_res * 2).max(3),
+        mat,
+    ));
     if depth == 0 {
         return;
     }
@@ -181,7 +238,14 @@ mod tests {
     #[test]
     fn quad_is_two_triangles() {
         let mut v = Vec::new();
-        push_quad(&mut v, Vec3::ZERO, Vec3::X, Vec3::X + Vec3::Y, Vec3::Y, MaterialId(0));
+        push_quad(
+            &mut v,
+            Vec3::ZERO,
+            Vec3::X,
+            Vec3::X + Vec3::Y,
+            Vec3::Y,
+            MaterialId(0),
+        );
         assert_eq!(v.len(), 2);
         let area: f32 = v.iter().map(Triangle::area).sum();
         assert!((area - 1.0).abs() < 1e-5);
@@ -227,7 +291,10 @@ mod tests {
         let tris = uv_sphere(Vec3::ZERO, 1.0, 32, 64, MaterialId(0));
         let area: f32 = tris.iter().map(Triangle::area).sum();
         let analytic = 4.0 * std::f32::consts::PI;
-        assert!((area - analytic).abs() / analytic < 0.02, "area {area} vs {analytic}");
+        assert!(
+            (area - analytic).abs() / analytic < 0.02,
+            "area {area} vs {analytic}"
+        );
     }
 
     #[test]

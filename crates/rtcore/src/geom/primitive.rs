@@ -1,18 +1,16 @@
 //! Primitive sum type and hit records.
 
-use serde::{Deserialize, Serialize};
-
 use crate::material::MaterialId;
 use crate::math::{Aabb, Ray, Vec3};
 
 use super::{Sphere, Triangle};
 
 /// Index of a primitive within its scene.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PrimitiveId(pub u32);
 
 /// Any geometric primitive the BVH can enclose.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Primitive {
     /// A triangle (the common case; meshes are triangle soups).
     Triangle(Triangle),
@@ -127,7 +125,8 @@ mod tests {
     fn centroid_matches_primitive_kind() {
         let s: Primitive = Sphere::new(Vec3::splat(2.0), 1.0, MaterialId(0)).into();
         assert_eq!(s.centroid(), Vec3::splat(2.0));
-        let t: Primitive = Triangle::new(Vec3::ZERO, Vec3::splat(3.0), Vec3::ZERO, MaterialId(0)).into();
+        let t: Primitive =
+            Triangle::new(Vec3::ZERO, Vec3::splat(3.0), Vec3::ZERO, MaterialId(0)).into();
         assert_eq!(t.centroid(), Vec3::ONE);
     }
 }

@@ -1,7 +1,5 @@
 //! Analytic sphere primitive.
 
-use serde::{Deserialize, Serialize};
-
 use crate::material::MaterialId;
 use crate::math::{Aabb, Ray, Vec3};
 
@@ -9,7 +7,7 @@ use crate::math::{Aabb, Ray, Vec3};
 ///
 /// Spheres keep the scene descriptions compact; sparse scenes like SPRNG
 /// (paper Fig. 9) are built almost entirely from them.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sphere {
     /// Centre of the sphere.
     pub center: Vec3,
@@ -27,13 +25,20 @@ impl Sphere {
     /// Panics if `radius` is not strictly positive.
     pub fn new(center: Vec3, radius: f32, material: MaterialId) -> Self {
         assert!(radius > 0.0, "sphere radius must be positive, got {radius}");
-        Sphere { center, radius, material }
+        Sphere {
+            center,
+            radius,
+            material,
+        }
     }
 
     /// Bounding box of the sphere.
     pub fn bounds(&self) -> Aabb {
         let r = Vec3::splat(self.radius);
-        Aabb { min: self.center - r, max: self.center + r }
+        Aabb {
+            min: self.center - r,
+            max: self.center + r,
+        }
     }
 
     /// Outward unit normal at a surface point `p`.

@@ -1,7 +1,5 @@
 //! Triangle primitive with Möller–Trumbore intersection.
 
-use serde::{Deserialize, Serialize};
-
 use crate::material::MaterialId;
 use crate::math::{Aabb, Ray, Vec3};
 
@@ -9,7 +7,7 @@ use crate::math::{Aabb, Ray, Vec3};
 ///
 /// Triangles are the base geometric primitive enclosed by the BVH's
 /// axis-aligned bounding boxes (paper Section II-A).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Triangle {
     /// First vertex.
     pub a: Vec3,

@@ -32,7 +32,11 @@ impl Image {
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
-        Image { width, height, pixels: vec![Vec3::ZERO; (width * height) as usize] }
+        Image {
+            width,
+            height,
+            pixels: vec![Vec3::ZERO; (width * height) as usize],
+        }
     }
 
     /// Image width in pixels.
@@ -70,7 +74,10 @@ impl Image {
     }
 
     fn index(&self, x: u32, y: u32) -> usize {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         (y * self.width + x) as usize
     }
 

@@ -1,11 +1,9 @@
 //! Surface materials for the functional path tracer.
 
-use serde::{Deserialize, Serialize};
-
 use crate::math::Vec3;
 
 /// Index of a material within a scene's material table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MaterialId(pub u32);
 
 /// How a surface scatters light.
@@ -13,7 +11,7 @@ pub struct MaterialId(pub u32);
 /// The mix of surface kinds is what differentiates the benchmark scenes'
 /// ray-divergence behaviour: mirrors and glass spawn coherent secondary rays
 /// with long traversals, while diffuse surfaces spawn incoherent bounces.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Surface {
     /// Lambertian diffuse reflection.
     Diffuse,
@@ -32,7 +30,7 @@ pub enum Surface {
 }
 
 /// A complete material: scattering model plus albedo/emission colour.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Material {
     /// Scattering behaviour.
     pub surface: Surface,
@@ -43,22 +41,36 @@ pub struct Material {
 impl Material {
     /// Lambertian diffuse material.
     pub fn diffuse(color: Vec3) -> Self {
-        Material { surface: Surface::Diffuse, color }
+        Material {
+            surface: Surface::Diffuse,
+            color,
+        }
     }
 
     /// Mirror material with optional fuzz.
     pub fn mirror(color: Vec3, fuzz: f32) -> Self {
-        Material { surface: Surface::Mirror { fuzz: fuzz.clamp(0.0, 1.0) }, color }
+        Material {
+            surface: Surface::Mirror {
+                fuzz: fuzz.clamp(0.0, 1.0),
+            },
+            color,
+        }
     }
 
     /// Glass material with index of refraction `ior`.
     pub fn glass(ior: f32) -> Self {
-        Material { surface: Surface::Glass { ior }, color: Vec3::ONE }
+        Material {
+            surface: Surface::Glass { ior },
+            color: Vec3::ONE,
+        }
     }
 
     /// Emissive material radiating `radiance`.
     pub fn emissive(radiance: Vec3) -> Self {
-        Material { surface: Surface::Emissive, color: radiance }
+        Material {
+            surface: Surface::Emissive,
+            color: radiance,
+        }
     }
 
     /// Returns `true` if the surface emits light.
@@ -84,9 +96,18 @@ mod tests {
 
     #[test]
     fn constructors_set_surface() {
-        assert!(matches!(Material::diffuse(Vec3::ONE).surface, Surface::Diffuse));
-        assert!(matches!(Material::mirror(Vec3::ONE, 0.1).surface, Surface::Mirror { .. }));
-        assert!(matches!(Material::glass(1.5).surface, Surface::Glass { .. }));
+        assert!(matches!(
+            Material::diffuse(Vec3::ONE).surface,
+            Surface::Diffuse
+        ));
+        assert!(matches!(
+            Material::mirror(Vec3::ONE, 0.1).surface,
+            Surface::Mirror { .. }
+        ));
+        assert!(matches!(
+            Material::glass(1.5).surface,
+            Surface::Glass { .. }
+        ));
         assert!(Material::emissive(Vec3::ONE).is_emissive());
         assert!(!Material::diffuse(Vec3::ONE).is_emissive());
     }

@@ -1,7 +1,5 @@
 //! Axis-aligned bounding boxes used by the BVH.
 
-use serde::{Deserialize, Serialize};
-
 use super::{Ray, Vec3};
 
 /// An axis-aligned bounding box, the building block of the BVH tree
@@ -20,7 +18,7 @@ use super::{Ray, Vec3};
 /// b.grow_point(Vec3::ONE);
 /// assert_eq!(b.centroid(), Vec3::splat(0.5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aabb {
     /// Lower corner.
     pub min: Vec3,
@@ -28,11 +26,40 @@ pub struct Aabb {
     pub max: Vec3,
 }
 
+impl minijson::ToJson for Aabb {
+    fn to_json(&self) -> minijson::Value {
+        let mut map = minijson::Map::new();
+        map.insert("min".to_string(), self.min.to_json());
+        map.insert("max".to_string(), self.max.to_json());
+        minijson::Value::Object(map)
+    }
+}
+
+impl minijson::FromJson for Aabb {
+    fn from_json(value: &minijson::Value) -> Result<Self, minijson::JsonError> {
+        Ok(Aabb {
+            min: Vec3::from_json(
+                value
+                    .get("min")
+                    .ok_or_else(|| minijson::JsonError::missing_field("Aabb", "min"))?,
+            )?,
+            max: Vec3::from_json(
+                value
+                    .get("max")
+                    .ok_or_else(|| minijson::JsonError::missing_field("Aabb", "max"))?,
+            )?,
+        })
+    }
+}
+
 impl Aabb {
     /// The empty box (inverted infinite bounds).
     #[inline]
     pub fn empty() -> Self {
-        Aabb { min: Vec3::splat(f32::INFINITY), max: Vec3::splat(f32::NEG_INFINITY) }
+        Aabb {
+            min: Vec3::splat(f32::INFINITY),
+            max: Vec3::splat(f32::NEG_INFINITY),
+        }
     }
 
     /// Creates a box from two corners.
@@ -40,7 +67,10 @@ impl Aabb {
     /// The corners may be given in any order; they are sorted per component.
     #[inline]
     pub fn from_corners(a: Vec3, b: Vec3) -> Self {
-        Aabb { min: a.min(b), max: a.max(b) }
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// Returns `true` if the box contains no points (any inverted axis).
@@ -66,7 +96,10 @@ impl Aabb {
     /// Union of two boxes.
     #[inline]
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Box centre.
@@ -225,7 +258,9 @@ mod tests {
 
     #[test]
     fn collect_from_points() {
-        let b: Aabb = [Vec3::ZERO, Vec3::new(2.0, -1.0, 3.0)].into_iter().collect();
+        let b: Aabb = [Vec3::ZERO, Vec3::new(2.0, -1.0, 3.0)]
+            .into_iter()
+            .collect();
         assert_eq!(b.min, Vec3::new(0.0, -1.0, 0.0));
         assert_eq!(b.max, Vec3::new(2.0, 0.0, 3.0));
     }

@@ -67,7 +67,13 @@ mod tests {
 
     #[test]
     fn basis_is_orthonormal() {
-        for n in [Vec3::X, Vec3::Y, Vec3::Z, -Vec3::Z, Vec3::new(1.0, 2.0, 3.0).normalized()] {
+        for n in [
+            Vec3::X,
+            Vec3::Y,
+            Vec3::Z,
+            -Vec3::Z,
+            Vec3::new(1.0, 2.0, 3.0).normalized(),
+        ] {
             let onb = Onb::from_normal(n);
             assert!(onb.u.dot(onb.v).abs() < 1e-5);
             assert!(onb.u.dot(onb.w).abs() < 1e-5);

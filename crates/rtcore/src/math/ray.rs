@@ -1,7 +1,5 @@
 //! Rays and ray/interval utilities.
 
-use serde::{Deserialize, Serialize};
-
 use super::Vec3;
 
 /// Smallest parametric distance considered a valid hit; avoids
@@ -18,7 +16,7 @@ pub const RAY_EPSILON: f32 = 1e-4;
 /// let ray = Ray::new(Vec3::ZERO, Vec3::Z);
 /// assert_eq!(ray.at(2.0), Vec3::new(0.0, 0.0, 2.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ray {
     /// Ray origin.
     pub origin: Vec3,
@@ -35,14 +33,24 @@ impl Ray {
     /// Creates a ray over `[RAY_EPSILON, +inf)`.
     #[inline]
     pub fn new(origin: Vec3, dir: Vec3) -> Self {
-        Ray { origin, dir, t_min: RAY_EPSILON, t_max: f32::INFINITY }
+        Ray {
+            origin,
+            dir,
+            t_min: RAY_EPSILON,
+            t_max: f32::INFINITY,
+        }
     }
 
     /// Creates a segment ray, used for shadow/occlusion queries that must
     /// stop at the light source.
     #[inline]
     pub fn segment(origin: Vec3, dir: Vec3, t_max: f32) -> Self {
-        Ray { origin, dir, t_min: RAY_EPSILON, t_max }
+        Ray {
+            origin,
+            dir,
+            t_min: RAY_EPSILON,
+            t_max,
+        }
     }
 
     /// Point at parametric distance `t`.

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A three-component single-precision vector.
 ///
 /// `Vec3` is used throughout the suite for points, directions, normals and
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a + b, Vec3::new(3.0, 4.0, 5.0));
 /// assert_eq!(a.dot(b), 12.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     /// X component.
     pub x: f32,
@@ -31,17 +29,64 @@ pub struct Vec3 {
     pub z: f32,
 }
 
+impl minijson::ToJson for Vec3 {
+    fn to_json(&self) -> minijson::Value {
+        let mut map = minijson::Map::new();
+        map.insert("x".to_string(), minijson::Value::from(self.x));
+        map.insert("y".to_string(), minijson::Value::from(self.y));
+        map.insert("z".to_string(), minijson::Value::from(self.z));
+        minijson::Value::Object(map)
+    }
+}
+
+impl minijson::FromJson for Vec3 {
+    fn from_json(value: &minijson::Value) -> Result<Self, minijson::JsonError> {
+        let get = |field: &str| {
+            value
+                .get(field)
+                .and_then(minijson::Value::as_f64)
+                .map(|v| v as f32)
+                .ok_or_else(|| minijson::JsonError::missing_field("Vec3", field))
+        };
+        Ok(Vec3 {
+            x: get("x")?,
+            y: get("y")?,
+            z: get("z")?,
+        })
+    }
+}
+
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// The all-ones vector.
-    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const ONE: Vec3 = Vec3 {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
     /// Unit vector along X.
-    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit vector along Y.
-    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
     /// Unit vector along Z.
-    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Creates a vector from its three components.
     #[inline]

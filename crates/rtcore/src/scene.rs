@@ -130,19 +130,24 @@ impl SceneBuilder {
 
     /// Adds every triangle from an iterator (e.g. a procedural mesh).
     pub fn add_mesh<I: IntoIterator<Item = Triangle>>(&mut self, tris: I) -> &mut Self {
-        self.primitives.extend(tris.into_iter().map(Primitive::Triangle));
+        self.primitives
+            .extend(tris.into_iter().map(Primitive::Triangle));
         self
     }
 
     /// Adds an analytic sphere.
     pub fn add_sphere(&mut self, center: Vec3, radius: f32, material: MaterialId) -> &mut Self {
-        self.primitives.push(Primitive::Sphere(Sphere::new(center, radius, material)));
+        self.primitives
+            .push(Primitive::Sphere(Sphere::new(center, radius, material)));
         self
     }
 
     /// Adds a point light.
     pub fn add_light(&mut self, position: Vec3, intensity: Vec3) -> &mut Self {
-        self.lights.push(PointLight { position, intensity });
+        self.lights.push(PointLight {
+            position,
+            intensity,
+        });
         self
     }
 
@@ -216,6 +221,9 @@ mod tests {
         b.add_sphere(Vec3::ZERO, 1.0, a);
         let s = b.build();
         assert_eq!(s.material(a).color, Vec3::X);
-        assert!(matches!(s.material(c).surface, crate::material::Surface::Glass { .. }));
+        assert!(matches!(
+            s.material(c).surface,
+            crate::material::Surface::Glass { .. }
+        ));
     }
 }

@@ -107,7 +107,12 @@ impl std::fmt::Display for SceneId {
 /// work, so the GPU saturates like a real-world 1080p frame.
 fn park(seed: u64) -> Scene {
     let mut rng = Pcg::new(seed ^ 0x9A17);
-    let cam = Camera::look_at(Vec3::new(0.0, 5.0, -16.0), Vec3::new(0.0, 1.2, 0.0), Vec3::Y, 62.0);
+    let cam = Camera::look_at(
+        Vec3::new(0.0, 5.0, -16.0),
+        Vec3::new(0.0, 1.2, 0.0),
+        Vec3::Y,
+        62.0,
+    );
     let mut b = SceneBuilder::new("PARK", cam);
     let grass = b.add_material(Material::diffuse(Vec3::new(0.25, 0.5, 0.2)));
     let bark = b.add_material(Material::diffuse(Vec3::new(0.4, 0.3, 0.2)));
@@ -115,9 +120,27 @@ fn park(seed: u64) -> Scene {
     let water = b.add_material(Material::mirror(Vec3::new(0.7, 0.8, 0.9), 0.05));
     let stone = b.add_material(Material::diffuse(Vec3::splat(0.55)));
 
-    b.add_mesh(mesh::heightfield(Vec3::ZERO, 60.0, 60.0, 48, 48, 0.6, grass, &mut rng));
+    b.add_mesh(mesh::heightfield(
+        Vec3::ZERO,
+        60.0,
+        60.0,
+        48,
+        48,
+        0.6,
+        grass,
+        &mut rng,
+    ));
     // Pond.
-    b.add_mesh(mesh::heightfield(Vec3::new(6.0, 0.7, 4.0), 10.0, 8.0, 2, 2, 0.0, water, &mut rng));
+    b.add_mesh(mesh::heightfield(
+        Vec3::new(6.0, 0.7, 4.0),
+        10.0,
+        8.0,
+        2,
+        2,
+        0.0,
+        water,
+        &mut rng,
+    ));
     // Trees: sphere-flake canopies on cuboid trunks.
     for i in 0..8 {
         let x = -21.0 + 5.5 * i as f32 + rng.range_f32(-1.0, 1.0);
@@ -128,7 +151,16 @@ fn park(seed: u64) -> Scene {
             bark,
         ));
         let mut canopy = Vec::new();
-        mesh::sphere_flake(Vec3::new(x, 4.2, z), 1.3, 3, 5, 4, leaf, &mut rng, &mut canopy);
+        mesh::sphere_flake(
+            Vec3::new(x, 4.2, z),
+            1.3,
+            3,
+            5,
+            4,
+            leaf,
+            &mut rng,
+            &mut canopy,
+        );
         b.add_mesh(canopy);
     }
     // Foliage clutter everywhere in view.
@@ -142,11 +174,24 @@ fn park(seed: u64) -> Scene {
     ));
     // Distant tree line closing off the skyline (cheap hedge wall plus
     // canopy blobs), so no frame region idles on sky.
-    b.add_mesh(mesh::cuboid(Vec3::new(-34.0, 0.0, 22.0), Vec3::new(34.0, 16.0, 24.0), leaf));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-34.0, 0.0, 22.0),
+        Vec3::new(34.0, 16.0, 24.0),
+        leaf,
+    ));
     for i in 0..10 {
         let x = -27.0 + 6.0 * i as f32;
         let mut blob = Vec::new();
-        mesh::sphere_flake(Vec3::new(x, 17.0, 23.0), 2.2, 1, 4, 3, leaf, &mut rng, &mut blob);
+        mesh::sphere_flake(
+            Vec3::new(x, 17.0, 23.0),
+            2.2,
+            1,
+            4,
+            3,
+            leaf,
+            &mut rng,
+            &mut blob,
+        );
         b.add_mesh(blob);
     }
     // Benches.
@@ -167,18 +212,44 @@ fn park(seed: u64) -> Scene {
 /// immediately on sky or flat water, giving the coldest heatmap.
 fn ship(seed: u64) -> Scene {
     let mut rng = Pcg::new(seed ^ 0x5819);
-    let cam = Camera::look_at(Vec3::new(0.0, 5.0, -30.0), Vec3::new(0.0, 2.0, 0.0), Vec3::Y, 50.0);
+    let cam = Camera::look_at(
+        Vec3::new(0.0, 5.0, -30.0),
+        Vec3::new(0.0, 2.0, 0.0),
+        Vec3::Y,
+        50.0,
+    );
     let mut b = SceneBuilder::new("SHIP", cam);
     let sea = b.add_material(Material::diffuse(Vec3::new(0.1, 0.25, 0.4)));
     let hull = b.add_material(Material::diffuse(Vec3::new(0.45, 0.25, 0.15)));
     let sail = b.add_material(Material::diffuse(Vec3::splat(0.85)));
     let trim = b.add_material(Material::mirror(Vec3::splat(0.8), 0.1));
 
-    b.add_mesh(mesh::heightfield(Vec3::ZERO, 200.0, 200.0, 8, 8, 0.15, sea, &mut rng));
+    b.add_mesh(mesh::heightfield(
+        Vec3::ZERO,
+        200.0,
+        200.0,
+        8,
+        8,
+        0.15,
+        sea,
+        &mut rng,
+    ));
     // Hull: stacked cuboids, slightly detailed.
-    b.add_mesh(mesh::cuboid(Vec3::new(-4.0, 0.2, -1.5), Vec3::new(4.0, 1.8, 1.5), hull));
-    b.add_mesh(mesh::cuboid(Vec3::new(-2.5, 1.8, -1.0), Vec3::new(2.5, 2.6, 1.0), hull));
-    b.add_mesh(mesh::cuboid(Vec3::new(2.6, 1.8, -0.4), Vec3::new(3.6, 2.4, 0.4), trim));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-4.0, 0.2, -1.5),
+        Vec3::new(4.0, 1.8, 1.5),
+        hull,
+    ));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-2.5, 1.8, -1.0),
+        Vec3::new(2.5, 2.6, 1.0),
+        hull,
+    ));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(2.6, 1.8, -0.4),
+        Vec3::new(3.6, 2.4, 0.4),
+        trim,
+    ));
     // Masts and sails.
     for (x, h) in [(-1.5f32, 7.0f32), (1.5, 8.5)] {
         b.add_mesh(mesh::cuboid(
@@ -209,7 +280,16 @@ fn ship(seed: u64) -> Scene {
     // Rigging and deck clutter: a dense knot of small geometry that sets a
     // high per-pixel peak cost, so the vast water/sky area normalizes cold.
     let mut rigging = Vec::new();
-    mesh::sphere_flake(Vec3::new(0.0, 5.0, 0.3), 0.5, 2, 5, 3, hull, &mut rng, &mut rigging);
+    mesh::sphere_flake(
+        Vec3::new(0.0, 5.0, 0.3),
+        0.5,
+        2,
+        5,
+        3,
+        hull,
+        &mut rng,
+        &mut rigging,
+    );
     b.add_mesh(rigging);
     b.add_mesh(mesh::scatter_tetrahedra(
         Vec3::new(-3.5, 1.9, -1.2),
@@ -237,7 +317,12 @@ fn ship(seed: u64) -> Scene {
 /// giving a strong warm/cold split.
 fn wknd(seed: u64) -> Scene {
     let mut rng = Pcg::new(seed ^ 0x3EBD);
-    let cam = Camera::look_at(Vec3::new(2.0, 3.0, -11.0), Vec3::new(-2.5, 1.8, 0.0), Vec3::Y, 58.0);
+    let cam = Camera::look_at(
+        Vec3::new(2.0, 3.0, -11.0),
+        Vec3::new(-2.5, 1.8, 0.0),
+        Vec3::Y,
+        58.0,
+    );
     let mut b = SceneBuilder::new("WKND", cam);
     let field = b.add_material(Material::diffuse(Vec3::new(0.35, 0.45, 0.2)));
     let wall = b.add_material(Material::diffuse(Vec3::new(0.6, 0.5, 0.35)));
@@ -245,10 +330,27 @@ fn wknd(seed: u64) -> Scene {
     let glass = b.add_material(Material::glass(1.5));
     let deco = b.add_material(Material::mirror(Vec3::splat(0.85), 0.02));
 
-    b.add_mesh(mesh::heightfield(Vec3::ZERO, 80.0, 80.0, 12, 12, 0.25, field, &mut rng));
+    b.add_mesh(mesh::heightfield(
+        Vec3::ZERO,
+        80.0,
+        80.0,
+        12,
+        12,
+        0.25,
+        field,
+        &mut rng,
+    ));
     // Cabin body on the left.
-    b.add_mesh(mesh::cuboid(Vec3::new(-9.0, 0.0, -2.0), Vec3::new(-3.0, 4.0, 4.0), wall));
-    b.add_mesh(mesh::cuboid(Vec3::new(-9.4, 4.0, -2.4), Vec3::new(-2.6, 5.0, 4.4), roof));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-9.0, 0.0, -2.0),
+        Vec3::new(-3.0, 4.0, 4.0),
+        wall,
+    ));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-9.4, 4.0, -2.4),
+        Vec3::new(-2.6, 5.0, 4.4),
+        roof,
+    ));
     // Dense creeping ivy over the cabin walls: keeps the whole cabin half
     // of the frame uniformly expensive (the "warm" mode of the mix).
     b.add_mesh(mesh::scatter_tetrahedra(
@@ -301,15 +403,28 @@ fn wknd(seed: u64) -> Scene {
 /// every pixel traverses deep geometry, giving a uniformly warm heatmap.
 fn bunny(seed: u64) -> Scene {
     let mut rng = Pcg::new(seed ^ 0xB077);
-    let cam = Camera::look_at(Vec3::new(0.0, 2.1, -4.4), Vec3::new(0.0, 2.0, 0.0), Vec3::Y, 58.0);
+    let cam = Camera::look_at(
+        Vec3::new(0.0, 2.1, -4.4),
+        Vec3::new(0.0, 2.0, 0.0),
+        Vec3::Y,
+        58.0,
+    );
     let mut b = SceneBuilder::new("BUNNY", cam);
     let fur = b.add_material(Material::diffuse(Vec3::new(0.7, 0.65, 0.55)));
     let base = b.add_material(Material::diffuse(Vec3::splat(0.4)));
 
-    b.add_mesh(mesh::cuboid(Vec3::new(-4.0, -0.4, -3.0), Vec3::new(4.0, 0.0, 4.0), base));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-4.0, -0.4, -3.0),
+        Vec3::new(4.0, 0.0, 4.0),
+        base,
+    ));
     // Studio backdrop: mossy wall right behind the figure, so background
     // pixels still traverse real geometry and the whole frame stays warm.
-    b.add_mesh(mesh::cuboid(Vec3::new(-5.0, 0.0, 3.2), Vec3::new(5.0, 7.0, 3.8), base));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-5.0, 0.0, 3.2),
+        Vec3::new(5.0, 7.0, 3.8),
+        base,
+    ));
     b.add_mesh(mesh::scatter_tetrahedra(
         Vec3::new(-4.8, 0.1, 2.9),
         Vec3::new(4.8, 6.8, 3.15),
@@ -320,8 +435,26 @@ fn bunny(seed: u64) -> Scene {
     ));
     // Body, head and ears as nested sphere flakes: dense and bushy.
     let mut body = Vec::new();
-    mesh::sphere_flake(Vec3::new(0.0, 1.2, 0.0), 1.1, 4, 4, 5, fur, &mut rng, &mut body);
-    mesh::sphere_flake(Vec3::new(0.0, 2.8, -0.4), 0.65, 3, 4, 5, fur, &mut rng, &mut body);
+    mesh::sphere_flake(
+        Vec3::new(0.0, 1.2, 0.0),
+        1.1,
+        4,
+        4,
+        5,
+        fur,
+        &mut rng,
+        &mut body,
+    );
+    mesh::sphere_flake(
+        Vec3::new(0.0, 2.8, -0.4),
+        0.65,
+        3,
+        4,
+        5,
+        fur,
+        &mut rng,
+        &mut body,
+    );
     for side in [-1.0f32, 1.0] {
         mesh::sphere_flake(
             Vec3::new(0.35 * side, 3.6, -0.4),
@@ -358,17 +491,44 @@ fn sprng(seed: u64) -> Scene {
 /// CHSNT: a chestnut tree — one large fractal canopy over scattered husks.
 fn chsnt(seed: u64) -> Scene {
     let mut rng = Pcg::new(seed ^ 0xC457);
-    let cam = Camera::look_at(Vec3::new(0.0, 3.0, -13.0), Vec3::new(0.0, 3.5, 0.0), Vec3::Y, 55.0);
+    let cam = Camera::look_at(
+        Vec3::new(0.0, 3.0, -13.0),
+        Vec3::new(0.0, 3.5, 0.0),
+        Vec3::Y,
+        55.0,
+    );
     let mut b = SceneBuilder::new("CHSNT", cam);
     let ground = b.add_material(Material::diffuse(Vec3::new(0.4, 0.35, 0.25)));
     let bark = b.add_material(Material::diffuse(Vec3::new(0.35, 0.25, 0.18)));
     let leaf = b.add_material(Material::diffuse(Vec3::new(0.3, 0.5, 0.15)));
     let husk = b.add_material(Material::diffuse(Vec3::new(0.55, 0.45, 0.2)));
 
-    b.add_mesh(mesh::heightfield(Vec3::ZERO, 50.0, 50.0, 32, 32, 0.35, ground, &mut rng));
-    b.add_mesh(mesh::cuboid(Vec3::new(-0.5, 0.0, -0.5), Vec3::new(0.5, 3.4, 0.5), bark));
+    b.add_mesh(mesh::heightfield(
+        Vec3::ZERO,
+        50.0,
+        50.0,
+        32,
+        32,
+        0.35,
+        ground,
+        &mut rng,
+    ));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-0.5, 0.0, -0.5),
+        Vec3::new(0.5, 3.4, 0.5),
+        bark,
+    ));
     let mut canopy = Vec::new();
-    mesh::sphere_flake(Vec3::new(0.0, 5.4, 0.0), 2.0, 4, 4, 5, leaf, &mut rng, &mut canopy);
+    mesh::sphere_flake(
+        Vec3::new(0.0, 5.4, 0.0),
+        2.0,
+        4,
+        4,
+        5,
+        leaf,
+        &mut rng,
+        &mut canopy,
+    );
     b.add_mesh(canopy);
     // Fallen chestnuts.
     for _ in 0..40 {
@@ -394,18 +554,44 @@ fn chsnt(seed: u64) -> Scene {
 /// depth complexity and lots of secondary-ray occlusion.
 fn spnza(seed: u64) -> Scene {
     let mut rng = Pcg::new(seed ^ 0x59A2);
-    let cam = Camera::look_at(Vec3::new(0.0, 4.0, -17.0), Vec3::new(0.0, 4.0, 0.0), Vec3::Y, 62.0);
+    let cam = Camera::look_at(
+        Vec3::new(0.0, 4.0, -17.0),
+        Vec3::new(0.0, 4.0, 0.0),
+        Vec3::Y,
+        62.0,
+    );
     let mut b = SceneBuilder::new("SPNZA", cam);
     let floor = b.add_material(Material::diffuse(Vec3::new(0.5, 0.45, 0.4)));
     let wall = b.add_material(Material::diffuse(Vec3::new(0.6, 0.55, 0.45)));
     let column = b.add_material(Material::diffuse(Vec3::new(0.65, 0.6, 0.5)));
     let drape = b.add_material(Material::diffuse(Vec3::new(0.55, 0.15, 0.12)));
 
-    b.add_mesh(mesh::heightfield(Vec3::ZERO, 22.0, 44.0, 6, 12, 0.0, floor, &mut rng));
+    b.add_mesh(mesh::heightfield(
+        Vec3::ZERO,
+        22.0,
+        44.0,
+        6,
+        12,
+        0.0,
+        floor,
+        &mut rng,
+    ));
     // Side walls and far wall.
-    b.add_mesh(mesh::cuboid(Vec3::new(-11.0, 0.0, -22.0), Vec3::new(-10.0, 10.0, 22.0), wall));
-    b.add_mesh(mesh::cuboid(Vec3::new(10.0, 0.0, -22.0), Vec3::new(11.0, 10.0, 22.0), wall));
-    b.add_mesh(mesh::cuboid(Vec3::new(-11.0, 0.0, 21.0), Vec3::new(11.0, 10.0, 22.0), wall));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-11.0, 0.0, -22.0),
+        Vec3::new(-10.0, 10.0, 22.0),
+        wall,
+    ));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(10.0, 0.0, -22.0),
+        Vec3::new(11.0, 10.0, 22.0),
+        wall,
+    ));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-11.0, 0.0, 21.0),
+        Vec3::new(11.0, 10.0, 22.0),
+        wall,
+    ));
     // Colonnades: two rows of columns with arches (cuboids) between.
     for i in 0..14 {
         let z = -19.5 + 3.0 * i as f32;
@@ -440,8 +626,16 @@ fn spnza(seed: u64) -> Scene {
         &mut rng,
     ));
     // Upper gallery ledges.
-    b.add_mesh(mesh::cuboid(Vec3::new(-10.0, 7.8, -22.0), Vec3::new(-6.0, 8.4, 22.0), wall));
-    b.add_mesh(mesh::cuboid(Vec3::new(6.0, 7.8, -22.0), Vec3::new(10.0, 8.4, 22.0), wall));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-10.0, 7.8, -22.0),
+        Vec3::new(-6.0, 8.4, 22.0),
+        wall,
+    ));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(6.0, 7.8, -22.0),
+        Vec3::new(10.0, 8.4, 22.0),
+        wall,
+    ));
     b.add_light(Vec3::new(0.0, 18.0, 0.0), Vec3::splat(2600.0));
     b.add_light(Vec3::new(0.0, 6.0, -14.0), Vec3::new(420.0, 380.0, 320.0));
     b.build()
@@ -452,7 +646,12 @@ fn spnza(seed: u64) -> Scene {
 /// the longest-running scene (Fig. 14).
 fn bath(seed: u64) -> Scene {
     let mut rng = Pcg::new(seed ^ 0xBA78);
-    let cam = Camera::look_at(Vec3::new(0.0, 3.0, -7.5), Vec3::new(0.0, 2.2, 0.0), Vec3::Y, 65.0);
+    let cam = Camera::look_at(
+        Vec3::new(0.0, 3.0, -7.5),
+        Vec3::new(0.0, 2.2, 0.0),
+        Vec3::Y,
+        65.0,
+    );
     let mut b = SceneBuilder::new("BATH", cam);
     let tile = b.add_material(Material::diffuse(Vec3::new(0.7, 0.75, 0.8)));
     let mirror = b.add_material(Material::mirror(Vec3::splat(0.92), 0.0));
@@ -462,19 +661,59 @@ fn bath(seed: u64) -> Scene {
 
     // Room shell: floor, ceiling, four walls (one behind the camera too,
     // so reflected paths stay enclosed).
-    b.add_mesh(mesh::cuboid(Vec3::new(-8.0, -0.5, -9.0), Vec3::new(8.0, 0.0, 6.0), tile));
-    b.add_mesh(mesh::cuboid(Vec3::new(-8.0, 6.0, -9.0), Vec3::new(8.0, 6.5, 6.0), tile));
-    b.add_mesh(mesh::cuboid(Vec3::new(-8.5, 0.0, -9.0), Vec3::new(-8.0, 6.0, 6.0), tile));
-    b.add_mesh(mesh::cuboid(Vec3::new(8.0, 0.0, -9.0), Vec3::new(8.5, 6.0, 6.0), tile));
-    b.add_mesh(mesh::cuboid(Vec3::new(-8.0, 0.0, -9.5), Vec3::new(8.0, 6.0, -9.0), tile));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-8.0, -0.5, -9.0),
+        Vec3::new(8.0, 0.0, 6.0),
+        tile,
+    ));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-8.0, 6.0, -9.0),
+        Vec3::new(8.0, 6.5, 6.0),
+        tile,
+    ));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-8.5, 0.0, -9.0),
+        Vec3::new(-8.0, 6.0, 6.0),
+        tile,
+    ));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(8.0, 0.0, -9.0),
+        Vec3::new(8.5, 6.0, 6.0),
+        tile,
+    ));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-8.0, 0.0, -9.5),
+        Vec3::new(8.0, 6.0, -9.0),
+        tile,
+    ));
     // Mirror wall at the back.
-    b.add_mesh(mesh::cuboid(Vec3::new(-8.0, 0.0, 5.9), Vec3::new(8.0, 6.0, 6.0), mirror));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-8.0, 0.0, 5.9),
+        Vec3::new(8.0, 6.0, 6.0),
+        mirror,
+    ));
     // Glass shower panel.
-    b.add_mesh(mesh::cuboid(Vec3::new(2.5, 0.0, -2.0), Vec3::new(2.6, 5.0, 4.0), glass));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(2.5, 0.0, -2.0),
+        Vec3::new(2.6, 5.0, 4.0),
+        glass,
+    ));
     // Bathtub and sink.
-    b.add_mesh(mesh::cuboid(Vec3::new(-6.5, 0.0, 1.0), Vec3::new(-2.5, 1.4, 4.5), ceramic));
-    b.add_mesh(mesh::cuboid(Vec3::new(-6.0, 0.3, 1.4), Vec3::new(-3.0, 1.5, 4.1), tile));
-    b.add_mesh(mesh::cuboid(Vec3::new(4.5, 1.6, 3.5), Vec3::new(7.0, 2.2, 5.5), ceramic));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-6.5, 0.0, 1.0),
+        Vec3::new(-2.5, 1.4, 4.5),
+        ceramic,
+    ));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(-6.0, 0.3, 1.4),
+        Vec3::new(-3.0, 1.5, 4.1),
+        tile,
+    ));
+    b.add_mesh(mesh::cuboid(
+        Vec3::new(4.5, 1.6, 3.5),
+        Vec3::new(7.0, 2.2, 5.5),
+        ceramic,
+    ));
     // Fixtures: chrome spheres (tap heads, shower head).
     for (p, r) in [
         (Vec3::new(-4.5, 1.9, 4.3), 0.25f32),
@@ -485,7 +724,16 @@ fn bath(seed: u64) -> Scene {
     }
     // Tiled wall relief: fine grids on floor and back wall add geometry
     // density comparable to the original scene's tile meshes.
-    b.add_mesh(mesh::heightfield(Vec3::new(0.0, 0.01, -1.5), 15.8, 14.8, 40, 40, 0.015, tile, &mut rng));
+    b.add_mesh(mesh::heightfield(
+        Vec3::new(0.0, 0.01, -1.5),
+        15.8,
+        14.8,
+        40,
+        40,
+        0.015,
+        tile,
+        &mut rng,
+    ));
     // Toiletries clutter.
     for _ in 0..300 {
         b.add_sphere(
@@ -548,7 +796,11 @@ mod tests {
 
     #[test]
     fn park_costs_more_than_sprng() {
-        let cfg = TraceConfig { samples_per_pixel: 1, max_bounces: 3, seed: 1 };
+        let cfg = TraceConfig {
+            samples_per_pixel: 1,
+            max_bounces: 3,
+            seed: 1,
+        };
         let park = SceneId::Park.build(1);
         let sprng = SceneId::Sprng.build(1);
         let pc = profile_costs(&park, 24, 24, &cfg);
@@ -563,7 +815,11 @@ mod tests {
 
     #[test]
     fn bunny_heatmap_warmer_and_more_uniform_than_ship() {
-        let cfg = TraceConfig { samples_per_pixel: 1, max_bounces: 3, seed: 2 };
+        let cfg = TraceConfig {
+            samples_per_pixel: 1,
+            max_bounces: 3,
+            seed: 2,
+        };
         let bunny = profile_costs(&SceneId::Bunny.build(2), 24, 24, &cfg);
         let ship = profile_costs(&SceneId::Ship.build(2), 24, 24, &cfg);
         let mean = |c: &crate::tracer::CostMap| {
@@ -574,7 +830,10 @@ mod tests {
             c.values().iter().filter(|&&v| v as f64 > 0.35 * m).count() as f64
                 / c.values().len() as f64
         };
-        assert!(mean(&bunny) > mean(&ship), "BUNNY should be warmer than SHIP");
+        assert!(
+            mean(&bunny) > mean(&ship),
+            "BUNNY should be warmer than SHIP"
+        );
         assert!(
             frac_above(&bunny) > frac_above(&ship),
             "BUNNY should be more uniformly warm"

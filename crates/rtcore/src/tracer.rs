@@ -5,8 +5,6 @@
 //! *work counts* that the timing model executes, because both are driven by
 //! the identical [`crate::bvh::Traversal`] state machine.
 
-use serde::{Deserialize, Serialize};
-
 use crate::bvh::TraversalStats;
 use crate::image::Image;
 use crate::material::Surface;
@@ -14,7 +12,7 @@ use crate::math::{cosine_hemisphere, Pcg, Ray, Vec3, RAY_EPSILON};
 use crate::scene::Scene;
 
 /// Rendering parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceConfig {
     /// Samples per pixel. The paper evaluates at 2 spp.
     pub samples_per_pixel: u32,
@@ -26,7 +24,43 @@ pub struct TraceConfig {
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig { samples_per_pixel: 2, max_bounces: 4, seed: 0x5A7E1 }
+        TraceConfig {
+            samples_per_pixel: 2,
+            max_bounces: 4,
+            seed: 0x5A7E1,
+        }
+    }
+}
+
+impl minijson::ToJson for TraceConfig {
+    fn to_json(&self) -> minijson::Value {
+        let mut map = minijson::Map::new();
+        map.insert(
+            "samples_per_pixel".to_string(),
+            minijson::Value::from(self.samples_per_pixel),
+        );
+        map.insert(
+            "max_bounces".to_string(),
+            minijson::Value::from(self.max_bounces),
+        );
+        map.insert("seed".to_string(), minijson::Value::from(self.seed));
+        minijson::Value::Object(map)
+    }
+}
+
+impl minijson::FromJson for TraceConfig {
+    fn from_json(value: &minijson::Value) -> Result<Self, minijson::JsonError> {
+        let u64_field = |field: &str| {
+            value
+                .get(field)
+                .and_then(minijson::Value::as_u64)
+                .ok_or_else(|| minijson::JsonError::missing_field("TraceConfig", field))
+        };
+        Ok(TraceConfig {
+            samples_per_pixel: u64_field("samples_per_pixel")? as u32,
+            max_bounces: u64_field("max_bounces")? as u32,
+            seed: u64_field("seed")?,
+        })
     }
 }
 
@@ -43,7 +77,7 @@ pub struct PixelTrace {
 
 /// Per-pixel work counts for a full frame; the raw input of Zatel's
 /// execution-time heatmap.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostMap {
     width: u32,
     height: u32,
@@ -53,8 +87,15 @@ pub struct CostMap {
 impl CostMap {
     /// Creates an all-zero cost map.
     pub fn new(width: u32, height: u32) -> Self {
-        assert!(width > 0 && height > 0, "cost map dimensions must be positive");
-        CostMap { width, height, work: vec![0; (width * height) as usize] }
+        assert!(
+            width > 0 && height > 0,
+            "cost map dimensions must be positive"
+        );
+        CostMap {
+            width,
+            height,
+            work: vec![0; (width * height) as usize],
+        }
     }
 
     /// Width in pixels.
@@ -93,7 +134,14 @@ impl CostMap {
 /// The per-pixel RNG stream depends only on `(config.seed, x, y)`, so the
 /// same pixel always traces identically regardless of which other pixels are
 /// traced — the property Zatel's pixel filtering relies on.
-pub fn trace_pixel(scene: &Scene, x: u32, y: u32, width: u32, height: u32, config: &TraceConfig) -> PixelTrace {
+pub fn trace_pixel(
+    scene: &Scene,
+    x: u32,
+    y: u32,
+    width: u32,
+    height: u32,
+    config: &TraceConfig,
+) -> PixelTrace {
     let mut rng = Pcg::for_index(config.seed, (y as u64) * (width as u64) + x as u64);
     let mut color = Vec3::ZERO;
     let mut stats = TraversalStats::default();
@@ -101,7 +149,8 @@ pub fn trace_pixel(scene: &Scene, x: u32, y: u32, width: u32, height: u32, confi
 
     for _ in 0..config.samples_per_pixel.max(1) {
         let ray = scene.camera().primary_ray(x, y, width, height, &mut rng);
-        let (sample, sample_stats, sample_rays) = trace_path(scene, ray, config.max_bounces, &mut rng);
+        let (sample, sample_stats, sample_rays) =
+            trace_path(scene, ray, config.max_bounces, &mut rng);
         color += sample;
         stats.accumulate(&sample_stats);
         rays += sample_rays;
@@ -115,7 +164,12 @@ pub fn trace_pixel(scene: &Scene, x: u32, y: u32, width: u32, height: u32, confi
 }
 
 /// Traces a full path starting at `ray`, returning (radiance, stats, rays).
-fn trace_path(scene: &Scene, mut ray: Ray, max_bounces: u32, rng: &mut Pcg) -> (Vec3, TraversalStats, u32) {
+fn trace_path(
+    scene: &Scene,
+    mut ray: Ray,
+    max_bounces: u32,
+    rng: &mut Pcg,
+) -> (Vec3, TraversalStats, u32) {
     let mut stats = TraversalStats::default();
     let mut throughput = Vec3::ONE;
     let mut radiance = Vec3::ZERO;
@@ -148,8 +202,13 @@ fn trace_path(scene: &Scene, mut ray: Ray, max_bounces: u32, rng: &mut Pcg) -> (
                         let cos = hit.normal.dot(dir);
                         if cos > 0.0 {
                             rays += 1;
-                            let shadow = Ray::segment(hit.point + hit.normal * RAY_EPSILON, dir, dist - 2.0 * RAY_EPSILON);
-                            let (occluded, sstats) = scene.bvh().occluded(&shadow, scene.primitives());
+                            let shadow = Ray::segment(
+                                hit.point + hit.normal * RAY_EPSILON,
+                                dir,
+                                dist - 2.0 * RAY_EPSILON,
+                            );
+                            let (occluded, sstats) =
+                                scene.bvh().occluded(&shadow, scene.primitives());
                             stats.accumulate(&sstats);
                             if !occluded {
                                 let falloff = 1.0 / (dist * dist).max(1e-3);
@@ -193,7 +252,11 @@ fn trace_path(scene: &Scene, mut ray: Ray, max_bounces: u32, rng: &mut Pcg) -> (
                         None => ray.dir.reflect(hit.normal),
                     }
                 };
-                let offset = if dir.dot(hit.normal) < 0.0 { -hit.normal } else { hit.normal };
+                let offset = if dir.dot(hit.normal) < 0.0 {
+                    -hit.normal
+                } else {
+                    hit.normal
+                };
                 ray = Ray::new(hit.point + offset * RAY_EPSILON, dir.normalized());
             }
         }
@@ -255,13 +318,25 @@ mod tests {
     use crate::scene::SceneBuilder;
 
     fn test_scene() -> Scene {
-        let cam = Camera::look_at(Vec3::new(0.0, 1.0, -6.0), Vec3::new(0.0, 0.5, 0.0), Vec3::Y, 55.0);
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 1.0, -6.0),
+            Vec3::new(0.0, 0.5, 0.0),
+            Vec3::Y,
+            55.0,
+        );
         let mut b = SceneBuilder::new("test", cam);
         let gray = b.add_material(Material::diffuse(Vec3::splat(0.7)));
         let mirror = b.add_material(Material::mirror(Vec3::splat(0.9), 0.0));
         let mut rng = Pcg::new(1);
         b.add_mesh(crate::geom::mesh::heightfield(
-            Vec3::ZERO, 30.0, 30.0, 4, 4, 0.0, gray, &mut rng,
+            Vec3::ZERO,
+            30.0,
+            30.0,
+            4,
+            4,
+            0.0,
+            gray,
+            &mut rng,
         ));
         b.add_sphere(Vec3::new(0.0, 1.0, 0.0), 1.0, mirror);
         b.add_light(Vec3::new(5.0, 8.0, -5.0), Vec3::splat(120.0));
@@ -300,18 +375,29 @@ mod tests {
     #[test]
     fn sphere_pixels_cost_more_than_sky() {
         let scene = test_scene();
-        let cfg = TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 7 };
+        let cfg = TraceConfig {
+            samples_per_pixel: 1,
+            max_bounces: 2,
+            seed: 7,
+        };
         let costs = profile_costs(&scene, 32, 32, &cfg);
         // Center pixels hit the mirror sphere (bounces); top corners mostly sky.
         let center = costs.get(16, 14);
         let corner = costs.get(0, 0);
-        assert!(center > corner, "center {center} should out-cost corner {corner}");
+        assert!(
+            center > corner,
+            "center {center} should out-cost corner {corner}"
+        );
     }
 
     #[test]
     fn ray_counts_bounded_by_config() {
         let scene = test_scene();
-        let cfg = TraceConfig { samples_per_pixel: 2, max_bounces: 3, seed: 1 };
+        let cfg = TraceConfig {
+            samples_per_pixel: 2,
+            max_bounces: 3,
+            seed: 1,
+        };
         let px = trace_pixel(&scene, 16, 16, 32, 32, &cfg);
         // Per sample: at most (max_bounces+1) path rays + one shadow ray per bounce.
         let per_sample_max = (cfg.max_bounces + 1) * 2;
@@ -326,7 +412,11 @@ mod tests {
         let light = b.add_material(Material::emissive(Vec3::splat(5.0)));
         b.add_sphere(Vec3::ZERO, 1.0, light);
         let scene = b.build();
-        let cfg = TraceConfig { samples_per_pixel: 1, max_bounces: 8, seed: 3 };
+        let cfg = TraceConfig {
+            samples_per_pixel: 1,
+            max_bounces: 8,
+            seed: 3,
+        };
         let px = trace_pixel(&scene, 8, 8, 16, 16, &cfg);
         assert_eq!(px.rays, 1, "emissive hit must not spawn secondaries");
         assert!(px.color.mean() > 1.0);

@@ -144,7 +144,13 @@ impl std::fmt::Debug for RtWorkload<'_> {
             .field("width", &self.width)
             .field("height", &self.height)
             .field("pixels", &self.pixels.len())
-            .field("selected", &self.selected.as_ref().map(|s| s.iter().filter(|&&b| b).count()))
+            .field(
+                "selected",
+                &self
+                    .selected
+                    .as_ref()
+                    .map(|s| s.iter().filter(|&&b| b).count()),
+            )
             .finish()
     }
 }
@@ -170,7 +176,15 @@ impl<'s> RtWorkload<'s> {
             pixels.iter().all(|p| p.x < width && p.y < height),
             "pixel out of image bounds"
         );
-        RtWorkload { scene, width, height, trace, pixels, selected: None, map: AddressMap::default() }
+        RtWorkload {
+            scene,
+            width,
+            height,
+            trace,
+            pixels,
+            selected: None,
+            map: AddressMap::default(),
+        }
     }
 
     /// Workload tracing the whole `width × height` frame in 32×2-pixel
@@ -205,7 +219,11 @@ impl<'s> RtWorkload<'s> {
     ///
     /// Panics if `selected.len()` differs from the pixel count.
     pub fn with_selection(mut self, selected: Vec<bool>) -> Self {
-        assert_eq!(selected.len(), self.pixels.len(), "selection mask length mismatch");
+        assert_eq!(
+            selected.len(),
+            self.pixels.len(),
+            "selection mask length mismatch"
+        );
         self.selected = Some(selected);
         self
     }
@@ -272,7 +290,10 @@ impl ThreadProgram for FilterExit {
         } else {
             self.emitted = true;
             // filter_shader + exit.
-            Some(Op::Compute { cycles: 2, insts: 2 })
+            Some(Op::Compute {
+                cycles: 2,
+                insts: 2,
+            })
         }
     }
 }
@@ -287,8 +308,14 @@ struct DiffuseResume {
 
 enum State<'s> {
     StartSample,
-    Path { tr: Traversal<'s>, bounce: u32 },
-    Shadow { tr: Traversal<'s>, resume: DiffuseResume },
+    Path {
+        tr: Traversal<'s>,
+        bounce: u32,
+    },
+    Shadow {
+        tr: Traversal<'s>,
+        resume: DiffuseResume,
+    },
     Finished,
 }
 
@@ -318,10 +345,7 @@ impl<'s> PixelProgram<'s> {
         trace: TraceConfig,
         map: AddressMap,
     ) -> Self {
-        let rng = Pcg::for_index(
-            trace.seed,
-            pixel.y as u64 * width as u64 + pixel.x as u64,
-        );
+        let rng = Pcg::for_index(trace.seed, pixel.y as u64 * width as u64 + pixel.x as u64);
         PixelProgram {
             scene,
             map,
@@ -341,11 +365,13 @@ impl<'s> PixelProgram<'s> {
     fn op_of(&self, step: TraversalStep) -> Op {
         match step {
             TraversalStep::InteriorNode { node } | TraversalStep::LeafNode { node, .. } => {
-                Op::RtNode { addr: self.map.node_addr(node) }
+                Op::RtNode {
+                    addr: self.map.node_addr(node),
+                }
             }
-            TraversalStep::PrimitiveTest { prim, .. } => {
-                Op::RtPrim { addr: self.map.prim_addr(prim.0) }
-            }
+            TraversalStep::PrimitiveTest { prim, .. } => Op::RtPrim {
+                addr: self.map.prim_addr(prim.0),
+            },
         }
     }
 
@@ -360,16 +386,25 @@ impl<'s> PixelProgram<'s> {
     fn resolve_path_hit(&mut self, tr: Traversal<'s>, bounce: u32) {
         let Some(hit) = tr.hit() else {
             // Sky: small shade cost, path ends.
-            self.queue.push_back(Op::Compute { cycles: 4, insts: 4 });
+            self.queue.push_back(Op::Compute {
+                cycles: 4,
+                insts: 4,
+            });
             self.end_path();
             return;
         };
 
         let material = *self.scene.material(hit.material);
         // Material fetch + shading ALU work.
-        self.queue.push_back(Op::Load { addr: self.map.material_addr(hit.material.0), bytes: 32 });
+        self.queue.push_back(Op::Load {
+            addr: self.map.material_addr(hit.material.0),
+            bytes: 32,
+        });
         let cost = material.shading_cost();
-        self.queue.push_back(Op::Compute { cycles: cost, insts: cost });
+        self.queue.push_back(Op::Compute {
+            cycles: cost,
+            insts: cost,
+        });
 
         match material.surface {
             Surface::Emissive => {
@@ -391,12 +426,20 @@ impl<'s> PixelProgram<'s> {
                                 dist - 2.0 * RAY_EPSILON,
                             );
                             // Shadow-ray setup cost.
-                            self.queue.push_back(Op::Compute { cycles: 6, insts: 6 });
-                            shadow = Some(self.scene.bvh().traverse_any(ray, self.scene.primitives()));
+                            self.queue.push_back(Op::Compute {
+                                cycles: 6,
+                                insts: 6,
+                            });
+                            shadow =
+                                Some(self.scene.bvh().traverse_any(ray, self.scene.primitives()));
                         }
                     }
                 }
-                let resume = DiffuseResume { point: hit.point, normal: hit.normal, bounce };
+                let resume = DiffuseResume {
+                    point: hit.point,
+                    normal: hit.normal,
+                    bounce,
+                };
                 self.throughput = self.throughput.hadamard(material.color);
                 match shadow {
                     Some(tr) => self.state = State::Shadow { tr, resume },
@@ -432,7 +475,11 @@ impl<'s> PixelProgram<'s> {
                         None => incoming.reflect(hit.normal),
                     }
                 };
-                let offset = if dir.dot(hit.normal) < 0.0 { -hit.normal } else { hit.normal };
+                let offset = if dir.dot(hit.normal) < 0.0 {
+                    -hit.normal
+                } else {
+                    hit.normal
+                };
                 let ray = Ray::new(hit.point + offset * RAY_EPSILON, dir.normalized());
                 self.continue_bounce(ray, bounce);
             }
@@ -455,7 +502,10 @@ impl<'s> PixelProgram<'s> {
             return;
         }
         let tr = self.scene.bvh().traverse(ray, self.scene.primitives());
-        self.state = State::Path { tr, bounce: bounce + 1 };
+        self.state = State::Path {
+            tr,
+            bounce: bounce + 1,
+        };
     }
 }
 
@@ -491,7 +541,10 @@ impl ThreadProgram for PixelProgram<'_> {
                         self.height,
                         &mut self.rng,
                     );
-                    self.queue.push_back(Op::Compute { cycles: 16, insts: 16 });
+                    self.queue.push_back(Op::Compute {
+                        cycles: 16,
+                        insts: 16,
+                    });
                     let tr = self.scene.bvh().traverse(ray, self.scene.primitives());
                     self.state = State::Path { tr, bounce: 0 };
                 }
@@ -534,7 +587,11 @@ mod tests {
     use rtcore::tracer::{trace_pixel, TraceConfig};
 
     fn cfg() -> TraceConfig {
-        TraceConfig { samples_per_pixel: 2, max_bounces: 3, seed: 11 }
+        TraceConfig {
+            samples_per_pixel: 2,
+            max_bounces: 3,
+            seed: 11,
+        }
     }
 
     #[test]
@@ -577,8 +634,14 @@ mod tests {
                 }
             }
         }
-        assert_eq!(sim_nodes, func_nodes, "node fetches must match functional traversal");
-        assert_eq!(sim_prims, func_prims, "primitive tests must match functional traversal");
+        assert_eq!(
+            sim_nodes, func_nodes,
+            "node fetches must match functional traversal"
+        );
+        assert_eq!(
+            sim_prims, func_prims,
+            "primitive tests must match functional traversal"
+        );
     }
 
     #[test]
@@ -609,7 +672,10 @@ mod tests {
                 n += 1;
                 assert!(n < 2_000_000, "thread {i} does not terminate");
             }
-            assert!(matches!(last, Some(Op::Store { .. })), "thread {i} must write the framebuffer");
+            assert!(
+                matches!(last, Some(Op::Store { .. })),
+                "thread {i} must write the framebuffer"
+            );
         }
     }
 
@@ -623,7 +689,13 @@ mod tests {
         assert_eq!(workload.traced_count(), 1);
         assert!((workload.traced_fraction() - 1.0 / 64.0).abs() < 1e-12);
         let mut t = workload.create_thread(1);
-        assert_eq!(t.next_op(), Some(Op::Compute { cycles: 2, insts: 2 }));
+        assert_eq!(
+            t.next_op(),
+            Some(Op::Compute {
+                cycles: 2,
+                insts: 2
+            })
+        );
         assert_eq!(t.next_op(), None);
     }
 
@@ -631,7 +703,11 @@ mod tests {
     fn selection_reduces_simulated_cycles() {
         let scene = SceneId::Chsnt.build(4);
         let (w, h) = (32u32, 32u32);
-        let trace = TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 5 };
+        let trace = TraceConfig {
+            samples_per_pixel: 1,
+            max_bounces: 2,
+            seed: 5,
+        };
         let full = RtWorkload::full_frame(&scene, w, h, trace);
         let sim = Simulator::new(GpuConfig::mobile_soc());
         let full_stats = sim.run(&full);

@@ -59,17 +59,25 @@ impl ExpRegression {
         let h1 = f2 - f1;
         let h2 = f3 - f2;
         if h1 <= 0.0 || h2 <= 0.0 || (h1 - h2).abs() > 1e-9 {
-            return Err(FitError { reason: format!("abscissae must be equally spaced ascending: {f1}, {f2}, {f3}") });
+            return Err(FitError {
+                reason: format!("abscissae must be equally spaced ascending: {f1}, {f2}, {f3}"),
+            });
         }
         let d1 = y2 - y1;
         let d2 = y3 - y2;
         if d1.abs() < 1e-12 && d2.abs() < 1e-12 {
             // Perfectly flat: a constant model.
-            return Ok(ExpRegression { a: y1, b: 0.0, c: 0.0 });
+            return Ok(ExpRegression {
+                a: y1,
+                b: 0.0,
+                c: 0.0,
+            });
         }
         let r = d2 / d1;
         if !(r.is_finite() && r > 0.0) || (r - 1.0).abs() < 1e-9 {
-            return Err(FitError { reason: format!("difference ratio {r} not exponential") });
+            return Err(FitError {
+                reason: format!("difference ratio {r} not exponential"),
+            });
         }
         let c = r.ln() / h1;
         let b = d1 / ((c * f2).exp() - (c * f1).exp());
@@ -123,7 +131,11 @@ mod tests {
 
     #[test]
     fn exp_fit_recovers_known_model() {
-        let truth = ExpRegression { a: 5.0, b: 2.0, c: -3.0 };
+        let truth = ExpRegression {
+            a: 5.0,
+            b: 2.0,
+            c: -3.0,
+        };
         let pts = [
             (0.2, truth.predict(0.2)),
             (0.3, truth.predict(0.3)),

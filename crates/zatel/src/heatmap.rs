@@ -12,11 +12,46 @@ use rtcore::tracer::{profile_costs, CostMap, TraceConfig};
 /// The NVIDIA shader-profiling heat gradient, approximated by five stops
 /// from cold (dark blue) to hot (red).
 const GRADIENT: [(f32, Vec3); 5] = [
-    (0.00, Vec3 { x: 0.05, y: 0.05, z: 0.45 }), // dark blue
-    (0.25, Vec3 { x: 0.00, y: 0.55, z: 0.85 }), // cyan-blue
-    (0.50, Vec3 { x: 0.10, y: 0.80, z: 0.25 }), // green
-    (0.75, Vec3 { x: 0.95, y: 0.85, z: 0.10 }), // yellow
-    (1.00, Vec3 { x: 0.90, y: 0.10, z: 0.05 }), // red
+    (
+        0.00,
+        Vec3 {
+            x: 0.05,
+            y: 0.05,
+            z: 0.45,
+        },
+    ), // dark blue
+    (
+        0.25,
+        Vec3 {
+            x: 0.00,
+            y: 0.55,
+            z: 0.85,
+        },
+    ), // cyan-blue
+    (
+        0.50,
+        Vec3 {
+            x: 0.10,
+            y: 0.80,
+            z: 0.25,
+        },
+    ), // green
+    (
+        0.75,
+        Vec3 {
+            x: 0.95,
+            y: 0.85,
+            z: 0.10,
+        },
+    ), // yellow
+    (
+        1.00,
+        Vec3 {
+            x: 0.90,
+            y: 0.10,
+            z: 0.05,
+        },
+    ), // red
 ];
 
 /// Maps a normalized temperature `t ∈ [0, 1]` to a heat-gradient colour.
@@ -85,7 +120,11 @@ impl Heatmap {
     pub fn from_costs(costs: &CostMap) -> Self {
         let max = costs.max().max(1) as f32;
         let values = costs.values().iter().map(|&w| w as f32 / max).collect();
-        Heatmap { width: costs.width(), height: costs.height(), values }
+        Heatmap {
+            width: costs.width(),
+            height: costs.height(),
+            values,
+        }
     }
 
     /// Profiles `scene` with the functional tracer and builds the heatmap
@@ -202,7 +241,11 @@ mod tests {
     #[test]
     fn profile_produces_plausible_map() {
         let scene = SceneId::Bunny.build(1);
-        let cfg = TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 2 };
+        let cfg = TraceConfig {
+            samples_per_pixel: 1,
+            max_bounces: 2,
+            seed: 2,
+        };
         let hm = Heatmap::profile(&scene, 24, 24, &cfg);
         assert!(hm.mean_temperature() > 0.05);
         assert!(hm.values().iter().copied().fold(0.0f32, f32::max) == 1.0);

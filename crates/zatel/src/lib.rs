@@ -60,8 +60,10 @@ pub mod partition;
 pub mod pipeline;
 pub mod quantize;
 pub mod select;
+pub mod sim_executor;
 
 pub use error::ZatelError;
 pub use partition::{DivisionMethod, Group};
 pub use pipeline::{DownscaleMode, GroupOutcome, Prediction, Reference, Zatel, ZatelOptions};
 pub use select::{Distribution, Selection, SelectionOptions};
+pub use sim_executor::SimExecutor;

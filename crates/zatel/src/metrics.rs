@@ -67,7 +67,11 @@ pub fn fit_power_law(points: &[(f64, f64)]) -> PowerLaw {
     let sxx: f64 = points.iter().map(|p| p.0.ln().powi(2)).sum();
     let sxy: f64 = points.iter().map(|p| p.0.ln() * p.1.ln()).sum();
     let denom = n * sxx - sx * sx;
-    let b = if denom.abs() < 1e-12 { 0.0 } else { (n * sxy - sx * sy) / denom };
+    let b = if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    };
     let a = ((sy - b * sx) / n).exp();
     PowerLaw { a, b }
 }

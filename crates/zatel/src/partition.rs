@@ -23,7 +23,10 @@ pub enum DivisionMethod {
 impl DivisionMethod {
     /// The paper's default: fine-grained division with 32×2 chunks.
     pub fn default_fine() -> Self {
-        DivisionMethod::Fine { chunk_width: 32, chunk_height: 2 }
+        DivisionMethod::Fine {
+            chunk_width: 32,
+            chunk_height: 2,
+        }
     }
 }
 
@@ -50,8 +53,14 @@ pub fn divide(width: u32, height: u32, k: u32, method: DivisionMethod) -> Vec<Gr
     assert!(width > 0 && height > 0, "image must be non-empty");
     match method {
         DivisionMethod::Coarse => divide_coarse(width, height, k),
-        DivisionMethod::Fine { chunk_width, chunk_height } => {
-            assert!(chunk_width > 0 && chunk_height > 0, "chunk dimensions must be positive");
+        DivisionMethod::Fine {
+            chunk_width,
+            chunk_height,
+        } => {
+            assert!(
+                chunk_width > 0 && chunk_height > 0,
+                "chunk dimensions must be positive"
+            );
             divide_fine(width, height, k, chunk_width, chunk_height)
         }
     }
@@ -74,7 +83,12 @@ fn grid_shape(k: u32) -> (u32, u32) {
 
 fn divide_coarse(width: u32, height: u32, k: u32) -> Vec<Group> {
     let (rows, cols) = grid_shape(k);
-    let mut groups: Vec<Group> = (0..k).map(|index| Group { index, pixels: Vec::new() }).collect();
+    let mut groups: Vec<Group> = (0..k)
+        .map(|index| Group {
+            index,
+            pixels: Vec::new(),
+        })
+        .collect();
     for y in 0..height {
         let row = (y as u64 * rows as u64 / height as u64) as u32;
         let row = row.min(rows - 1);
@@ -91,7 +105,12 @@ fn divide_coarse(width: u32, height: u32, k: u32) -> Vec<Group> {
 fn divide_fine(width: u32, height: u32, k: u32, cw: u32, ch: u32) -> Vec<Group> {
     let chunks_x = width.div_ceil(cw);
     let chunks_y = height.div_ceil(ch);
-    let mut groups: Vec<Group> = (0..k).map(|index| Group { index, pixels: Vec::new() }).collect();
+    let mut groups: Vec<Group> = (0..k)
+        .map(|index| Group {
+            index,
+            pixels: Vec::new(),
+        })
+        .collect();
     for cy in 0..chunks_y {
         for cx in 0..chunks_x {
             // Diagonal round-robin assignment (Fig. 6): neighbouring chunks
@@ -121,7 +140,11 @@ mod tests {
                 assert!(seen.insert(*p), "pixel {p:?} appears twice");
             }
         }
-        assert_eq!(seen.len() as u64, width as u64 * height as u64, "every pixel covered");
+        assert_eq!(
+            seen.len() as u64,
+            width as u64 * height as u64,
+            "every pixel covered"
+        );
     }
 
     #[test]
@@ -153,7 +176,12 @@ mod tests {
                 xs.iter().max().unwrap() - xs.iter().min().unwrap() + 1,
                 ys.iter().max().unwrap() - ys.iter().min().unwrap() + 1,
             );
-            assert_eq!((w * h) as usize, g.pixels.len(), "group {} is a rectangle", g.index);
+            assert_eq!(
+                (w * h) as usize,
+                g.pixels.len(),
+                "group {} is a rectangle",
+                g.index
+            );
         }
     }
 
@@ -185,7 +213,15 @@ mod tests {
     #[test]
     fn fine_diagonal_assignment_matches_fig6() {
         // 5×5 chunks of 1×1 pixel, K=4: Fig. 6's diagonal pattern.
-        let groups = divide(5, 5, 4, DivisionMethod::Fine { chunk_width: 1, chunk_height: 1 });
+        let groups = divide(
+            5,
+            5,
+            4,
+            DivisionMethod::Fine {
+                chunk_width: 1,
+                chunk_height: 1,
+            },
+        );
         let group_of = |x: u32, y: u32| {
             groups
                 .iter()

@@ -3,7 +3,7 @@
 
 use std::time::{Duration, Instant};
 
-use gpusim::{GpuConfig, Metric, SimStats, Simulator};
+use gpusim::{GpuConfig, Metric, SimStats, Simulator, TraceHooks};
 use rtcore::scene::Scene;
 use rtcore::tracer::TraceConfig;
 use rtworkload::RtWorkload;
@@ -15,6 +15,7 @@ use crate::metrics::abs_error;
 use crate::partition::{divide, DivisionMethod, Group};
 use crate::quantize::QuantizedHeatmap;
 use crate::select::{select_pixels, Selection, SelectionOptions};
+use crate::sim_executor::{available_jobs, SimExecutor};
 
 /// How the target GPU is downscaled before group simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +43,18 @@ pub struct ZatelOptions {
     /// Run group simulations on parallel host threads (the paper's
     /// "simulate each group simultaneously on different CPU cores").
     pub parallel: bool,
+    /// Worker-thread cap for group simulation; `None` sizes the pool to
+    /// the host's available parallelism. Ignored when [`parallel`] is
+    /// false.
+    ///
+    /// [`parallel`]: ZatelOptions::parallel
+    pub jobs: Option<usize>,
+    /// When set, each group simulation runs with a
+    /// [`TraceHooks`] observer sampling one CPI-stack slice every this
+    /// many cycles, and the trace is attached to the group's
+    /// [`GroupOutcome::trace`]. Tracing never changes the simulated
+    /// statistics — hooks observe only.
+    pub trace_slice_cycles: Option<u64>,
 }
 
 impl Default for ZatelOptions {
@@ -52,6 +65,8 @@ impl Default for ZatelOptions {
             quant_colors: 8,
             downscale: DownscaleMode::Natural,
             parallel: true,
+            jobs: None,
+            trace_slice_cycles: None,
         }
     }
 }
@@ -71,6 +86,9 @@ pub struct GroupOutcome {
     pub stats: SimStats,
     /// Host wall-clock time of this group's simulation.
     pub wall: Duration,
+    /// Engine trace collected when
+    /// [`ZatelOptions::trace_slice_cycles`] is set.
+    pub trace: Option<TraceHooks>,
 }
 
 /// A full-GPU, full-resolution reference simulation (what Vulkan-Sim alone
@@ -101,7 +119,10 @@ pub struct Prediction {
 impl Prediction {
     /// Predicted value of `metric`.
     pub fn value(&self, metric: Metric) -> f64 {
-        let idx = Metric::ALL.iter().position(|m| *m == metric).expect("metric in ALL");
+        let idx = Metric::ALL
+            .iter()
+            .position(|m| *m == metric)
+            .expect("metric in ALL");
         self.values[idx]
     }
 
@@ -115,7 +136,11 @@ impl Prediction {
 
     /// Mean absolute error over all seven metrics against a reference run.
     pub fn mae_vs(&self, reference: &SimStats) -> f64 {
-        let errors: Vec<f64> = self.errors_vs(reference).into_iter().map(|(_, e)| e).collect();
+        let errors: Vec<f64> = self
+            .errors_vs(reference)
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect();
         crate::metrics::mae(&errors)
     }
 
@@ -189,7 +214,14 @@ impl<'s> Zatel<'s> {
     ) -> Self {
         assert!(width > 0 && height > 0, "image must be non-empty");
         target.validate().expect("invalid target GPU configuration");
-        Zatel { scene, target, width, height, trace, options: ZatelOptions::default() }
+        Zatel {
+            scene,
+            target,
+            width,
+            height,
+            trace,
+            options: ZatelOptions::default(),
+        }
     }
 
     /// Replaces the pipeline options.
@@ -239,7 +271,8 @@ impl<'s> Zatel<'s> {
     pub fn run(&self) -> Result<Prediction, ZatelError> {
         let pre_start = Instant::now();
         let heatmap = Heatmap::profile(self.scene, self.width, self.height, &self.trace);
-        let quantized = QuantizedHeatmap::quantize(&heatmap, self.options.quant_colors, self.trace.seed);
+        let quantized =
+            QuantizedHeatmap::quantize(&heatmap, self.options.quant_colors, self.trace.seed);
         let preprocess_wall = pre_start.elapsed();
         self.run_with_preprocessed(&quantized, preprocess_wall, None)
     }
@@ -284,7 +317,13 @@ impl<'s> Zatel<'s> {
             values[i] = metric.combine(&per_group);
         }
 
-        Ok(Prediction { values, groups: outcomes, k, preprocess_wall, sim_wall })
+        Ok(Prediction {
+            values,
+            groups: outcomes,
+            k,
+            preprocess_wall,
+            sim_wall,
+        })
     }
 
     /// Runs every group's simulation (in parallel when configured).
@@ -305,7 +344,15 @@ impl<'s> Zatel<'s> {
             )
             .with_selection(selection.mask.clone());
             let traced_fraction = workload.traced_fraction();
-            let stats = Simulator::new(down.clone()).run(&workload);
+            let simulator = Simulator::new(down.clone());
+            let (stats, trace) = match self.options.trace_slice_cycles {
+                Some(slice) => {
+                    let mut hooks = TraceHooks::new(slice);
+                    let stats = simulator.run_with_hooks(&workload, &mut hooks);
+                    (stats, Some(hooks))
+                }
+                None => (simulator.run(&workload), None),
+            };
             GroupOutcome {
                 index: group.index,
                 pixels: group.pixels.len(),
@@ -313,28 +360,26 @@ impl<'s> Zatel<'s> {
                 target_percent: selection.target_percent,
                 stats,
                 wall: start.elapsed(),
+                trace,
             }
         };
 
-        // Oversubscribing a single hardware thread only inflates per-group
-        // wall-clock measurements, so parallelism also requires real cores.
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        if self.options.parallel && groups.len() > 1 && cores > 1 {
-            let mut outcomes: Vec<Option<GroupOutcome>> = Vec::new();
-            outcomes.resize_with(groups.len(), || None);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (g, s) in groups.iter().zip(selections) {
-                    handles.push(scope.spawn(move || run_one(g, s)));
-                }
-                for (slot, h) in outcomes.iter_mut().zip(handles) {
-                    *slot = Some(h.join().expect("group simulation thread panicked"));
-                }
-            });
-            outcomes.into_iter().map(|o| o.expect("all groups joined")).collect()
-        } else {
-            groups.iter().zip(selections).map(|(g, s)| run_one(g, s)).collect()
-        }
+        let pairs: Vec<(&Group, &Selection)> = groups.iter().zip(selections).collect();
+        self.executor().map(&pairs, |_, (g, s)| run_one(g, s))
+    }
+
+    /// The executor group simulation runs on, honouring the `parallel` and
+    /// `jobs` options and seeded with the trace's master seed.
+    ///
+    /// Oversubscribing a single hardware thread only inflates per-group
+    /// wall-clock measurements, so parallelism also requires real cores.
+    pub fn executor(&self) -> SimExecutor {
+        let jobs = match (self.options.parallel, self.options.jobs) {
+            (false, _) => 1,
+            (true, Some(n)) => n,
+            (true, None) => available_jobs(),
+        };
+        SimExecutor::seeded(jobs, self.trace.seed)
     }
 
     /// Runs the exponential-regression variant of Section IV-F: simulate at
@@ -355,7 +400,8 @@ impl<'s> Zatel<'s> {
         }
         let pre_start = Instant::now();
         let heatmap = Heatmap::profile(self.scene, self.width, self.height, &self.trace);
-        let quantized = QuantizedHeatmap::quantize(&heatmap, self.options.quant_colors, self.trace.seed);
+        let quantized =
+            QuantizedHeatmap::quantize(&heatmap, self.options.quant_colors, self.trace.seed);
         let preprocess_wall = pre_start.elapsed();
 
         let sim_start = Instant::now();
@@ -368,8 +414,10 @@ impl<'s> Zatel<'s> {
             let groups = divide(self.width, self.height, k, self.options.division);
             let mut sel_opts = self.options.selection;
             sel_opts.percent_override = Some(f);
-            let selections: Vec<Selection> =
-                groups.iter().map(|g| select_pixels(g, &quantized, &sel_opts)).collect();
+            let selections: Vec<Selection> = groups
+                .iter()
+                .map(|g| select_pixels(g, &quantized, &sel_opts))
+                .collect();
             let outcomes = self.simulate_groups(&down, &groups, &selections);
             runs.push((f, outcomes));
         }
@@ -379,8 +427,7 @@ impl<'s> Zatel<'s> {
         for (i, metric) in Metric::ALL.iter().enumerate() {
             let mut pts = [(0.0, 0.0); 3];
             for (j, (f, outcomes)) in runs.iter().enumerate() {
-                let per_group: Vec<f64> =
-                    outcomes.iter().map(|o| metric.value(&o.stats)).collect();
+                let per_group: Vec<f64> = outcomes.iter().map(|o| metric.value(&o.stats)).collect();
                 pts[j] = (*f, metric.combine(&per_group));
             }
             values[i] = regression_to_full(&pts);
@@ -388,7 +435,13 @@ impl<'s> Zatel<'s> {
 
         let (_, groups) = runs.pop().expect("three runs");
         let k = self.resolve_factor()?;
-        Ok(Prediction { values, groups, k, preprocess_wall, sim_wall })
+        Ok(Prediction {
+            values,
+            groups,
+            k,
+            preprocess_wall,
+            sim_wall,
+        })
     }
 
     /// Simulates the full workload on the full-size GPU — the ground truth
@@ -398,7 +451,10 @@ impl<'s> Zatel<'s> {
         let start = Instant::now();
         let workload = RtWorkload::full_frame(self.scene, self.width, self.height, self.trace);
         let stats = Simulator::new(self.target.clone()).run(&workload);
-        Reference { stats, wall: start.elapsed() }
+        Reference {
+            stats,
+            wall: start.elapsed(),
+        }
     }
 }
 
@@ -408,7 +464,11 @@ mod tests {
     use rtcore::scenes::SceneId;
 
     fn trace() -> TraceConfig {
-        TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 9 }
+        TraceConfig {
+            samples_per_pixel: 1,
+            max_bounces: 2,
+            seed: 9,
+        }
     }
 
     fn quick_zatel(scene: &Scene) -> Zatel<'_> {
@@ -466,7 +526,8 @@ mod tests {
         let err_at = |p: f64, z: &Zatel<'_>| {
             let mut opts = z.options().clone();
             opts.selection.percent_override = Some(p);
-            let z2 = Zatel::new(&scene, GpuConfig::mobile_soc(), 64, 64, trace()).with_options(opts);
+            let z2 =
+                Zatel::new(&scene, GpuConfig::mobile_soc(), 64, 64, trace()).with_options(opts);
             let pred = z2.run().unwrap();
             crate::metrics::abs_error(
                 pred.value(Metric::SimCycles),
@@ -500,7 +561,11 @@ mod tests {
         z.options_mut().parallel = false;
         let ser = z.run().unwrap();
         for m in Metric::ALL {
-            assert_eq!(par.value(m), ser.value(m), "{m} must not depend on host threading");
+            assert_eq!(
+                par.value(m),
+                ser.value(m),
+                "{m} must not depend on host threading"
+            );
         }
     }
 
@@ -519,6 +584,24 @@ mod tests {
                 crate::metrics::abs_error(p, r) < 0.05,
                 "{m}: predicted {p} vs reference {r}"
             );
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_prediction() {
+        let scene = SceneId::Sprng.build(1);
+        let mut z = quick_zatel(&scene);
+        let plain = z.run().unwrap();
+        assert!(plain.groups.iter().all(|g| g.trace.is_none()));
+        z.options_mut().trace_slice_cycles = Some(10_000);
+        z.options_mut().jobs = Some(2);
+        let traced = z.run().unwrap();
+        for m in Metric::ALL {
+            assert_eq!(plain.value(m), traced.value(m), "{m} must ignore tracing");
+        }
+        for g in &traced.groups {
+            let trace = g.trace.as_ref().expect("trace attached");
+            assert_eq!(trace.counters().phases(), g.stats.warp_issues);
         }
     }
 

@@ -224,9 +224,7 @@ mod tests {
 
     #[test]
     fn kmeans_is_deterministic() {
-        let pts: Vec<Vec3> = (0..100)
-            .map(|i| heat_color(i as f32 / 99.0))
-            .collect();
+        let pts: Vec<Vec3> = (0..100).map(|i| heat_color(i as f32 / 99.0)).collect();
         let (a1, c1) = kmeans(&pts, 5, 42);
         let (a2, c2) = kmeans(&pts, 5, 42);
         assert_eq!(a1, a2);
@@ -254,14 +252,21 @@ mod tests {
         let q = QuantizedHeatmap::quantize(&hm, 4, 9);
         let cold = q.coolness(0, 0);
         let hot = q.coolness(15, 0);
-        assert!(cold > hot, "cold side must have higher coolness ({cold} vs {hot})");
+        assert!(
+            cold > hot,
+            "cold side must have higher coolness ({cold} vs {hot})"
+        );
         assert_ne!(q.cluster(0, 0), q.cluster(15, 0));
     }
 
     #[test]
     fn quantization_reduces_distinct_colors() {
         let scene = SceneId::Wknd.build(1);
-        let cfg = TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 1 };
+        let cfg = TraceConfig {
+            samples_per_pixel: 1,
+            max_bounces: 2,
+            seed: 1,
+        };
         let hm = Heatmap::profile(&scene, 24, 24, &cfg);
         let q = QuantizedHeatmap::quantize(&hm, 6, 5);
         assert!(q.cluster_count() >= 2, "WKND has warm and cold regions");

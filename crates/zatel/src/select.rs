@@ -101,13 +101,19 @@ pub fn select_pixels(
     // --- Step 0: how many pixels (Eq. 1) ------------------------------
     let mut percent = match options.percent_override {
         Some(p) => {
-            assert!(p > 0.0 && p <= 1.0, "percent override must be in (0,1], got {p}");
+            assert!(
+                p > 0.0 && p <= 1.0,
+                "percent override must be in (0,1], got {p}"
+            );
             p
         }
         None => mean_coolness(group, quantized).clamp(options.clamp.0, options.clamp.1),
     };
     if let Some(cap) = options.percent_cap {
-        assert!(cap > 0.0 && cap <= 1.0, "percent cap must be in (0,1], got {cap}");
+        assert!(
+            cap > 0.0 && cap <= 1.0,
+            "percent cap must be in (0,1], got {cap}"
+        );
         percent = percent.min(cap);
     }
     let target = ((percent * m as f64).round() as usize).clamp(1, m);
@@ -146,7 +152,9 @@ pub fn select_pixels(
     // --- Step 2: per-colour quotas (uniform / Eq. 2 / Eq. 3) -----------
     let mut color_pixels: HashMap<u16, f64> = HashMap::new();
     for p in &group.pixels {
-        *color_pixels.entry(quantized.cluster(p.x, p.y)).or_insert(0.0) += 1.0;
+        *color_pixels
+            .entry(quantized.cluster(p.x, p.y))
+            .or_insert(0.0) += 1.0;
     }
     let weight = |id: u16, count: f64| -> f64 {
         let warmth = 1.0 - quantized.cluster_coolness(id) as f64;
@@ -160,7 +168,11 @@ pub fn select_pixels(
     let mut quotas: Vec<(u16, usize)> = color_pixels
         .iter()
         .map(|(&id, &n)| {
-            let share = if total_weight > 0.0 { weight(id, n) / total_weight } else { 0.0 };
+            let share = if total_weight > 0.0 {
+                weight(id, n) / total_weight
+            } else {
+                0.0
+            };
             (id, (share * target as f64).round() as usize)
         })
         .collect();
@@ -213,7 +225,11 @@ pub fn select_pixels(
         }
     }
     let fraction = selected_pixels as f64 / m as f64;
-    Selection { mask, target_percent: percent, fraction }
+    Selection {
+        mask,
+        target_percent: percent,
+        fraction,
+    }
 }
 
 #[cfg(test)]
@@ -248,9 +264,16 @@ mod tests {
         let sel = select_pixels(
             &g,
             &q,
-            &SelectionOptions { percent_override: Some(0.25), ..Default::default() },
+            &SelectionOptions {
+                percent_override: Some(0.25),
+                ..Default::default()
+            },
         );
-        assert!((sel.fraction - 0.25).abs() < 0.08, "fraction {}", sel.fraction);
+        assert!(
+            (sel.fraction - 0.25).abs() < 0.08,
+            "fraction {}",
+            sel.fraction
+        );
         assert_eq!(sel.target_percent, 0.25);
         assert_eq!(sel.mask.len(), g.pixels.len());
         let count = sel.mask.iter().filter(|&&b| b).count();
@@ -272,10 +295,16 @@ mod tests {
         let sel = select_pixels(
             &g,
             &q,
-            &SelectionOptions { percent_cap: Some(0.1), ..Default::default() },
+            &SelectionOptions {
+                percent_cap: Some(0.1),
+                ..Default::default()
+            },
         );
         assert!(sel.target_percent <= 0.1 + 1e-12);
-        assert!(sel.fraction <= 0.15, "block rounding should stay near the cap");
+        assert!(
+            sel.fraction <= 0.15,
+            "block rounding should stay near the cap"
+        );
     }
 
     #[test]
@@ -283,7 +312,10 @@ mod tests {
         let q = split_map(64, 32);
         let g = one_group(64, 32);
         let p = mean_coolness(&g, &q);
-        assert!(p > 0.1 && p < 0.9, "half cold half hot → mid coolness, got {p}");
+        assert!(
+            p > 0.1 && p < 0.9,
+            "half cold half hot → mid coolness, got {p}"
+        );
     }
 
     #[test]
@@ -315,7 +347,10 @@ mod tests {
             exp > uni + 0.2,
             "exptmp ({exp:.2}) must concentrate on the hot half vs uniform ({uni:.2})"
         );
-        assert!(exp > 0.9, "nearly all exptmp picks should be hot, got {exp}");
+        assert!(
+            exp > 0.9,
+            "nearly all exptmp picks should be hot, got {exp}"
+        );
     }
 
     #[test]
@@ -325,7 +360,10 @@ mod tests {
         let sel = select_pixels(
             &g,
             &q,
-            &SelectionOptions { percent_override: Some(0.4), ..Default::default() },
+            &SelectionOptions {
+                percent_override: Some(0.4),
+                ..Default::default()
+            },
         );
         let hot: usize = g
             .pixels
@@ -335,14 +373,20 @@ mod tests {
             .count();
         let total = sel.mask.iter().filter(|&&m| m).count();
         let share = hot as f64 / total as f64;
-        assert!((share - 0.5).abs() < 0.2, "uniform should pick ~half hot, got {share}");
+        assert!(
+            (share - 0.5).abs() < 0.2,
+            "uniform should pick ~half hot, got {share}"
+        );
     }
 
     #[test]
     fn selection_is_block_granular() {
         let q = split_map(64, 32);
         let g = one_group(64, 32);
-        let opts = SelectionOptions { percent_override: Some(0.3), ..Default::default() };
+        let opts = SelectionOptions {
+            percent_override: Some(0.3),
+            ..Default::default()
+        };
         let sel = select_pixels(&g, &q, &opts);
         // Every selected pixel's 32×2 block must be fully selected.
         let mut block_state: HashMap<(u32, u32), bool> = HashMap::new();
@@ -363,11 +407,17 @@ mod tests {
     fn selection_is_deterministic_per_seed() {
         let q = split_map(64, 32);
         let g = one_group(64, 32);
-        let opts = SelectionOptions { percent_override: Some(0.3), ..Default::default() };
+        let opts = SelectionOptions {
+            percent_override: Some(0.3),
+            ..Default::default()
+        };
         assert_eq!(select_pixels(&g, &q, &opts), select_pixels(&g, &q, &opts));
         let other = SelectionOptions { seed: 999, ..opts };
         // Different seed → (almost surely) different blocks.
-        assert_ne!(select_pixels(&g, &q, &opts).mask, select_pixels(&g, &q, &other).mask);
+        assert_ne!(
+            select_pixels(&g, &q, &opts).mask,
+            select_pixels(&g, &q, &other).mask
+        );
     }
 
     #[test]
@@ -377,7 +427,10 @@ mod tests {
         let sel = select_pixels(
             &g,
             &q,
-            &SelectionOptions { percent_override: Some(0.001), ..Default::default() },
+            &SelectionOptions {
+                percent_override: Some(0.001),
+                ..Default::default()
+            },
         );
         assert!(sel.mask.iter().any(|&b| b));
     }
@@ -390,7 +443,10 @@ mod tests {
         select_pixels(
             &g,
             &q,
-            &SelectionOptions { percent_override: Some(1.5), ..Default::default() },
+            &SelectionOptions {
+                percent_override: Some(1.5),
+                ..Default::default()
+            },
         );
     }
 }

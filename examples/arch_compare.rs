@@ -26,11 +26,21 @@ fn main() -> Result<(), zatel::ZatelError> {
         .get(1)
         .map(|s| SceneId::from_name(s).expect("unknown scene name"))
         .unwrap_or(SceneId::Chsnt);
-    let res: u32 = args.get(2).map(|s| s.parse().expect("bad resolution")).unwrap_or(128);
+    let res: u32 = args
+        .get(2)
+        .map(|s| s.parse().expect("bad resolution"))
+        .unwrap_or(128);
 
     let scene = scene_id.build(42);
-    let trace = TraceConfig { samples_per_pixel: 2, max_bounces: 4, seed: 7 };
-    println!("Comparing architectures on {} at {res}x{res}\n", scene.name());
+    let trace = TraceConfig {
+        samples_per_pixel: 2,
+        max_bounces: 4,
+        seed: 7,
+    };
+    println!(
+        "Comparing architectures on {} at {res}x{res}\n",
+        scene.name()
+    );
 
     let mut rows: Vec<(String, zatel::Prediction, zatel::Reference)> = Vec::new();
     for config in configs() {
@@ -60,7 +70,10 @@ fn main() -> Result<(), zatel::ZatelError> {
     let rank = |keys: Vec<f64>| -> String {
         let mut idx: Vec<usize> = (0..rows.len()).collect();
         idx.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).expect("finite"));
-        idx.iter().map(|&i| rows[i].0.as_str()).collect::<Vec<_>>().join(" < ")
+        idx.iter()
+            .map(|&i| rows[i].0.as_str())
+            .collect::<Vec<_>>()
+            .join(" < ")
     };
     println!(
         "\npredicted performance order (fewer cycles = faster): {}",

@@ -17,12 +17,22 @@ fn main() -> Result<(), zatel::ZatelError> {
         .get(1)
         .map(|s| SceneId::from_name(s).expect("unknown scene name"))
         .unwrap_or(SceneId::Spnza);
-    let res: u32 = args.get(2).map(|s| s.parse().expect("bad resolution")).unwrap_or(128);
+    let res: u32 = args
+        .get(2)
+        .map(|s| s.parse().expect("bad resolution"))
+        .unwrap_or(128);
 
     let scene = scene_id.build(42);
-    let trace = TraceConfig { samples_per_pixel: 2, max_bounces: 4, seed: 7 };
+    let trace = TraceConfig {
+        samples_per_pixel: 2,
+        max_bounces: 4,
+        seed: 7,
+    };
     let config = GpuConfig::mobile_soc();
-    println!("Sweeping Zatel's levers on {} at {res}x{res} (Mobile SoC)\n", scene.name());
+    println!(
+        "Sweeping Zatel's levers on {} at {res}x{res} (Mobile SoC)\n",
+        scene.name()
+    );
 
     let base = Zatel::new(&scene, config.clone(), res, res, trace);
     let reference = base.run_reference();
@@ -32,14 +42,15 @@ fn main() -> Result<(), zatel::ZatelError> {
         reference.wall.as_secs_f64()
     );
 
-    println!("{:<28} {:>4} {:>12} {:>9} {:>9}", "setting", "K", "cycles err", "MAE", "speedup");
-    let mut run = |label: &str, opts: ZatelOptions| -> Result<(), zatel::ZatelError> {
+    println!(
+        "{:<28} {:>4} {:>12} {:>9} {:>9}",
+        "setting", "K", "cycles err", "MAE", "speedup"
+    );
+    let run = |label: &str, opts: ZatelOptions| -> Result<(), zatel::ZatelError> {
         let z = Zatel::new(&scene, config.clone(), res, res, trace).with_options(opts);
         let pred = z.run()?;
-        let cyc_err = zatel::metrics::abs_error(
-            pred.value(Metric::SimCycles),
-            reference.stats.cycles as f64,
-        );
+        let cyc_err =
+            zatel::metrics::abs_error(pred.value(Metric::SimCycles), reference.stats.cycles as f64);
         println!(
             "{label:<28} {:>4} {:>11.1}% {:>8.1}% {:>8.1}x",
             pred.k,
@@ -52,16 +63,24 @@ fn main() -> Result<(), zatel::ZatelError> {
 
     // Lever 1: downscaling factor (groups trace everything).
     for k in [1u32, 2, 4] {
-        let mut opts = ZatelOptions::default();
-        opts.downscale = if k == 1 { DownscaleMode::NoDownscale } else { DownscaleMode::Factor(k) };
+        let mut opts = ZatelOptions {
+            downscale: if k == 1 {
+                DownscaleMode::NoDownscale
+            } else {
+                DownscaleMode::Factor(k)
+            },
+            ..ZatelOptions::default()
+        };
         opts.selection.percent_override = Some(1.0);
         run(&format!("downscale only, K={k}"), opts)?;
     }
 
     // Lever 2: traced percentage (no downscaling).
     for p in [0.1, 0.3, 0.6, 0.9] {
-        let mut opts = ZatelOptions::default();
-        opts.downscale = DownscaleMode::NoDownscale;
+        let mut opts = ZatelOptions {
+            downscale: DownscaleMode::NoDownscale,
+            ..ZatelOptions::default()
+        };
         opts.selection.percent_override = Some(p);
         run(&format!("sampling only, {:.0}%", p * 100.0), opts)?;
     }

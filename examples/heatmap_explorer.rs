@@ -25,12 +25,23 @@ fn main() -> std::io::Result<()> {
         .get(1)
         .map(|s| SceneId::from_name(s).expect("unknown scene name"))
         .unwrap_or(SceneId::Wknd);
-    let res: u32 = args.get(2).map(|s| s.parse().expect("bad resolution")).unwrap_or(256);
-    let out_dir = PathBuf::from(args.get(3).cloned().unwrap_or_else(|| "target/heatmaps".into()));
+    let res: u32 = args
+        .get(2)
+        .map(|s| s.parse().expect("bad resolution"))
+        .unwrap_or(256);
+    let out_dir = PathBuf::from(
+        args.get(3)
+            .cloned()
+            .unwrap_or_else(|| "target/heatmaps".into()),
+    );
     std::fs::create_dir_all(&out_dir)?;
 
     let scene = scene_id.build(42);
-    let trace = TraceConfig { samples_per_pixel: 2, max_bounces: 4, seed: 7 };
+    let trace = TraceConfig {
+        samples_per_pixel: 2,
+        max_bounces: 4,
+        seed: 7,
+    };
     println!("Profiling {} at {res}x{res}...", scene.name());
 
     // Render + profile in one pass (step 1 of Fig. 3).
@@ -42,7 +53,9 @@ fn main() -> std::io::Result<()> {
 
     // Step 2: colour quantization (Fig. 4).
     let quantized = QuantizedHeatmap::quantize(&heatmap, 8, 7);
-    quantized.to_image().save_ppm(out_dir.join("heatmap_quantized.ppm"))?;
+    quantized
+        .to_image()
+        .save_ppm(out_dir.join("heatmap_quantized.ppm"))?;
     println!("quantized into {} colours", quantized.cluster_count());
     for id in 0..quantized.cluster_count() as u16 {
         println!(
@@ -65,7 +78,11 @@ fn main() -> std::io::Result<()> {
     let selection = select_pixels(&groups[0], &quantized, &SelectionOptions::default());
     let mut sel_view = Image::new(res, res);
     for (p, &m) in groups[0].pixels.iter().zip(&selection.mask) {
-        let c = if m { heatmap.color(p.x, p.y) } else { Vec3::splat(0.06) };
+        let c = if m {
+            heatmap.color(p.x, p.y)
+        } else {
+            Vec3::splat(0.06)
+        };
         sel_view.set(p.x, p.y, c.hadamard(c));
     }
     sel_view.save_ppm(out_dir.join("group0_selected.ppm"))?;

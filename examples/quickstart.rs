@@ -15,10 +15,17 @@ fn main() -> Result<(), zatel::ZatelError> {
         .get(1)
         .map(|s| SceneId::from_name(s).expect("unknown scene name"))
         .unwrap_or(SceneId::Park);
-    let res: u32 = args.get(2).map(|s| s.parse().expect("resolution must be a number")).unwrap_or(96);
+    let res: u32 = args
+        .get(2)
+        .map(|s| s.parse().expect("resolution must be a number"))
+        .unwrap_or(96);
 
     let scene = scene_id.build(42);
-    let trace = TraceConfig { samples_per_pixel: 2, max_bounces: 4, seed: 7 };
+    let trace = TraceConfig {
+        samples_per_pixel: 2,
+        max_bounces: 4,
+        seed: 7,
+    };
     println!(
         "Scene {} at {res}x{res}, {} primitives, Mobile SoC target",
         scene.name(),
@@ -27,7 +34,10 @@ fn main() -> Result<(), zatel::ZatelError> {
 
     let zatel = Zatel::new(&scene, GpuConfig::mobile_soc(), res, res, trace);
 
-    println!("\nRunning Zatel (K = {} groups, fine-grained 32x2 division)...", zatel.resolve_factor()?);
+    println!(
+        "\nRunning Zatel (K = {} groups, fine-grained 32x2 division)...",
+        zatel.resolve_factor()?
+    );
     let prediction = zatel.run()?;
     println!(
         "  preprocess {:.2}s, group sims {:.2}s",
@@ -50,7 +60,10 @@ fn main() -> Result<(), zatel::ZatelError> {
     let reference = zatel.run_reference();
     println!("  reference took {:.2}s", reference.wall.as_secs_f64());
 
-    println!("\n{:<22} {:>14} {:>14} {:>8}", "Metric", "Zatel", "Reference", "Error");
+    println!(
+        "\n{:<22} {:>14} {:>14} {:>8}",
+        "Metric", "Zatel", "Reference", "Error"
+    );
     for (metric, err) in prediction.errors_vs(&reference.stats) {
         println!(
             "{:<22} {:>14.4} {:>14.4} {:>7.1}%",

@@ -31,11 +31,11 @@ pub use zatel;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use gpusim::{GpuConfig, Metric, SimStats, Simulator};
+    pub use gpusim::{GpuConfig, Metric, NullHooks, SimHooks, SimStats, Simulator, TraceHooks};
     pub use rtcore::scenes::SceneId;
     pub use rtcore::tracer::TraceConfig;
     pub use rtworkload::RtWorkload;
     pub use zatel::{
-        Distribution, DivisionMethod, DownscaleMode, Prediction, Zatel, ZatelOptions,
+        Distribution, DivisionMethod, DownscaleMode, Prediction, SimExecutor, Zatel, ZatelOptions,
     };
 }

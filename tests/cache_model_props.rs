@@ -17,7 +17,10 @@ struct OracleLru {
 
 impl OracleLru {
     fn new(capacity: usize) -> Self {
-        OracleLru { capacity, lines: VecDeque::new() }
+        OracleLru {
+            capacity,
+            lines: VecDeque::new(),
+        }
     }
 
     /// Returns `true` on hit; updates recency / inserts on miss.

@@ -5,7 +5,11 @@ use zatel::partition::{divide, DivisionMethod};
 use zatel_suite::prelude::*;
 
 fn trace() -> TraceConfig {
-    TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 23 }
+    TraceConfig {
+        samples_per_pixel: 1,
+        max_bounces: 2,
+        seed: 23,
+    }
 }
 
 #[test]
@@ -136,8 +140,16 @@ fn filtered_pixels_add_negligible_work() {
 fn combine_rules_match_hand_computation() {
     // Build two synthetic group stats and verify the pipeline-level
     // combination (through the public Metric API).
-    let a = SimStats { cycles: 1000, instructions: 2000, ..Default::default() };
-    let b = SimStats { cycles: 3000, instructions: 3000, ..Default::default() };
+    let a = SimStats {
+        cycles: 1000,
+        instructions: 2000,
+        ..Default::default()
+    };
+    let b = SimStats {
+        cycles: 3000,
+        instructions: 3000,
+        ..Default::default()
+    };
     let ipc = Metric::Ipc.combine(&[a.ipc(), b.ipc()]);
     assert_eq!(ipc, 2.0 + 1.0);
     let cycles = Metric::SimCycles.combine(&[
@@ -153,7 +165,11 @@ fn division_methods_partition_for_many_shapes() {
         for method in [DivisionMethod::Coarse, DivisionMethod::default_fine()] {
             let groups = divide(w, h, k, method);
             let total: usize = groups.iter().map(|g| g.pixels.len()).sum();
-            assert_eq!(total as u64, w as u64 * h as u64, "{w}x{h} k={k} {method:?}");
+            assert_eq!(
+                total as u64,
+                w as u64 * h as u64,
+                "{w}x{h} k={k} {method:?}"
+            );
         }
     }
 }

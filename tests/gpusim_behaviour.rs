@@ -4,7 +4,11 @@
 use zatel_suite::prelude::*;
 
 fn trace() -> TraceConfig {
-    TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 31 }
+    TraceConfig {
+        samples_per_pixel: 1,
+        max_bounces: 2,
+        seed: 31,
+    }
 }
 
 #[test]
@@ -19,8 +23,14 @@ fn rtx_outperforms_mobile_on_heavy_scene() {
         rtx.cycles,
         mobile.cycles
     );
-    assert!(rtx.ipc() > mobile.ipc(), "more SMs retire more instructions per cycle");
-    assert_eq!(rtx.instructions, mobile.instructions, "same workload, same instructions");
+    assert!(
+        rtx.ipc() > mobile.ipc(),
+        "more SMs retire more instructions per cycle"
+    );
+    assert_eq!(
+        rtx.instructions, mobile.instructions,
+        "same workload, same instructions"
+    );
 }
 
 #[test]
@@ -52,9 +62,14 @@ fn bandwidth_utilization_higher_on_heavier_scene() {
     let wknd = SceneId::Wknd.build(2);
     let bw = |scene: &rtcore::scene::Scene| {
         let w = RtWorkload::full_frame(scene, 64, 64, trace());
-        Simulator::new(GpuConfig::mobile_soc()).run(&w).bandwidth_utilization()
+        Simulator::new(GpuConfig::mobile_soc())
+            .run(&w)
+            .bandwidth_utilization()
     };
-    assert!(bw(&park) > bw(&wknd), "PARK should press DRAM harder than WKND");
+    assert!(
+        bw(&park) > bw(&wknd),
+        "PARK should press DRAM harder than WKND"
+    );
 }
 
 #[test]
@@ -64,7 +79,10 @@ fn rt_efficiency_within_physical_bounds() {
         let w = RtWorkload::full_frame(&scene, 64, 64, trace());
         let s = Simulator::new(GpuConfig::mobile_soc()).run(&w);
         let eff = s.rt_efficiency();
-        assert!(eff > 0.0 && eff <= 32.0, "{id}: RT efficiency {eff} out of [0,32]");
+        assert!(
+            eff > 0.0 && eff <= 32.0,
+            "{id}: RT efficiency {eff} out of [0,32]"
+        );
         assert!(s.l1_miss_rate() >= 0.0 && s.l1_miss_rate() <= 1.0);
         assert!(s.l2_miss_rate() >= 0.0 && s.l2_miss_rate() <= 1.0);
         assert!(s.dram_efficiency() >= 0.0 && s.dram_efficiency() <= 1.0);
@@ -82,7 +100,9 @@ fn divergent_scene_has_lower_rt_efficiency_than_coherent() {
     let bunny = SceneId::Bunny.build(4);
     let eff = |scene: &rtcore::scene::Scene| {
         let w = RtWorkload::full_frame(scene, 64, 64, trace());
-        Simulator::new(GpuConfig::mobile_soc()).run(&w).rt_efficiency()
+        Simulator::new(GpuConfig::mobile_soc())
+            .run(&w)
+            .rt_efficiency()
     };
     assert!(
         eff(&bath) > eff(&bunny),

@@ -4,7 +4,11 @@
 use zatel_suite::prelude::*;
 
 fn trace() -> TraceConfig {
-    TraceConfig { samples_per_pixel: 1, max_bounces: 3, seed: 17 }
+    TraceConfig {
+        samples_per_pixel: 1,
+        max_bounces: 3,
+        seed: 17,
+    }
 }
 
 #[test]
@@ -51,10 +55,8 @@ fn bunny_cycles_error_within_paper_ballpark() {
     let z = Zatel::new(&scene, GpuConfig::mobile_soc(), 96, 96, trace());
     let pred = z.run().expect("pipeline runs");
     let reference = z.run_reference();
-    let err = zatel::metrics::abs_error(
-        pred.value(Metric::SimCycles),
-        reference.stats.cycles as f64,
-    );
+    let err =
+        zatel::metrics::abs_error(pred.value(Metric::SimCycles), reference.stats.cycles as f64);
     assert!(err < 0.5, "BUNNY cycles error {err} out of bounds");
 }
 
@@ -100,12 +102,17 @@ fn regression_and_linear_both_predict_same_order_of_magnitude() {
     let scene = SceneId::Wknd.build(10);
     let mut z = Zatel::new(&scene, GpuConfig::mobile_soc(), 64, 64, trace());
     z.options_mut().downscale = DownscaleMode::NoDownscale;
-    let reg = z.run_with_regression([0.2, 0.3, 0.4]).expect("regression runs");
+    let reg = z
+        .run_with_regression([0.2, 0.3, 0.4])
+        .expect("regression runs");
     z.options_mut().selection.percent_override = Some(0.4);
     let lin = z.run().expect("linear runs");
     let (r, l) = (reg.value(Metric::SimCycles), lin.value(Metric::SimCycles));
     assert!(r > 0.0 && l > 0.0);
-    assert!(r / l < 10.0 && l / r < 10.0, "regression {r} vs linear {l} diverged");
+    assert!(
+        r / l < 10.0 && l / r < 10.0,
+        "regression {r} vs linear {l} diverged"
+    );
 }
 
 #[test]
@@ -114,7 +121,10 @@ fn all_scenes_run_through_the_pipeline() {
         let scene = id.build(11);
         let z = Zatel::new(&scene, GpuConfig::mobile_soc(), 64, 64, trace());
         let pred = z.run().unwrap_or_else(|e| panic!("{id}: {e}"));
-        assert!(pred.value(Metric::SimCycles) > 0.0, "{id} predicts zero cycles");
+        assert!(
+            pred.value(Metric::SimCycles) > 0.0,
+            "{id} predicts zero cycles"
+        );
         assert!(pred.value(Metric::Ipc) > 0.0, "{id} predicts zero IPC");
     }
 }

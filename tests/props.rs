@@ -19,9 +19,8 @@ fn vec3_strategy(range: f32) -> impl Strategy<Value = Vec3> {
 
 fn primitive_strategy() -> impl Strategy<Value = Primitive> {
     prop_oneof![
-        (vec3_strategy(10.0), 0.05f32..2.0).prop_map(|(c, r)| {
-            Primitive::Sphere(Sphere::new(c, r, MaterialId(0)))
-        }),
+        (vec3_strategy(10.0), 0.05f32..2.0)
+            .prop_map(|(c, r)| { Primitive::Sphere(Sphere::new(c, r, MaterialId(0))) }),
         (vec3_strategy(10.0), vec3_strategy(2.0), vec3_strategy(2.0)).prop_map(|(a, d1, d2)| {
             Primitive::Triangle(Triangle::new(
                 a,

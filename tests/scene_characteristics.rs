@@ -7,7 +7,11 @@ use rtcore::tracer::{profile_costs, TraceConfig};
 use zatel::heatmap::Heatmap;
 
 fn cfg() -> TraceConfig {
-    TraceConfig { samples_per_pixel: 1, max_bounces: 3, seed: 77 }
+    TraceConfig {
+        samples_per_pixel: 1,
+        max_bounces: 3,
+        seed: 77,
+    }
 }
 
 fn heatmap(id: SceneId) -> Heatmap {
@@ -23,7 +27,13 @@ fn mean_temp(id: SceneId) -> f32 {
 #[test]
 fn ship_is_the_coldest_scene() {
     let ship = mean_temp(SceneId::Ship);
-    for other in [SceneId::Park, SceneId::Bunny, SceneId::Bath, SceneId::Spnza, SceneId::Chsnt] {
+    for other in [
+        SceneId::Park,
+        SceneId::Bunny,
+        SceneId::Bath,
+        SceneId::Spnza,
+        SceneId::Chsnt,
+    ] {
         assert!(
             ship < mean_temp(other),
             "SHIP ({ship:.3}) must be colder than {other} ({:.3})",
@@ -56,8 +66,14 @@ fn wknd_is_bimodal_warm_cold_mix() {
     };
     let (wknd_cold, wknd_hot) = shares(SceneId::Wknd);
     let (bunny_cold, _) = shares(SceneId::Bunny);
-    assert!(wknd_cold > 0.2, "WKND cold share {wknd_cold:.2} too small for a mix");
-    assert!(wknd_hot > 0.01, "WKND hot share {wknd_hot:.3} too small for a mix");
+    assert!(
+        wknd_cold > 0.2,
+        "WKND cold share {wknd_cold:.2} too small for a mix"
+    );
+    assert!(
+        wknd_hot > 0.01,
+        "WKND hot share {wknd_hot:.3} too small for a mix"
+    );
     assert!(
         wknd_cold > bunny_cold + 0.1,
         "WKND ({wknd_cold:.2}) must be far colder-shared than uniform BUNNY ({bunny_cold:.2})"
@@ -69,16 +85,22 @@ fn park_has_no_large_cold_region() {
     // PARK saturates the GPU "like a real-world 1080p workload": the
     // fraction of near-zero-cost pixels must be small.
     let hm = heatmap(SceneId::Park);
-    let cold = hm.values().iter().filter(|&&v| v < 0.02).count() as f64
-        / hm.values().len() as f64;
-    assert!(cold < 0.05, "PARK has {:.0}% near-idle pixels", cold * 100.0);
+    let cold = hm.values().iter().filter(|&&v| v < 0.02).count() as f64 / hm.values().len() as f64;
+    assert!(
+        cold < 0.05,
+        "PARK has {:.0}% near-idle pixels",
+        cold * 100.0
+    );
 }
 
 #[test]
 fn sprng_work_is_tiny_compared_to_park() {
     let total = |id: SceneId| {
         let scene = id.build(77);
-        profile_costs(&scene, 48, 48, &cfg()).values().iter().sum::<u64>()
+        profile_costs(&scene, 48, 48, &cfg())
+            .values()
+            .iter()
+            .sum::<u64>()
     };
     let park = total(SceneId::Park);
     let sprng = total(SceneId::Sprng);
@@ -109,14 +131,16 @@ fn representative_subset_saturates_better_than_the_rest() {
     // Fig. 17 uses the "representative subset" precisely because those
     // scenes still stress a downscaled GPU; their mean temperature should
     // beat the remaining scenes' average.
-    let rep: f32 = SceneId::REPRESENTATIVE.iter().map(|&id| mean_temp(id)).sum::<f32>()
+    let rep: f32 = SceneId::REPRESENTATIVE
+        .iter()
+        .map(|&id| mean_temp(id))
+        .sum::<f32>()
         / SceneId::REPRESENTATIVE.len() as f32;
     let rest: Vec<SceneId> = SceneId::ALL
         .into_iter()
         .filter(|id| !SceneId::REPRESENTATIVE.contains(id))
         .collect();
-    let rest_mean: f32 =
-        rest.iter().map(|&id| mean_temp(id)).sum::<f32>() / rest.len() as f32;
+    let rest_mean: f32 = rest.iter().map(|&id| mean_temp(id)).sum::<f32>() / rest.len() as f32;
     assert!(
         rep > rest_mean,
         "representative subset ({rep:.3}) should run warmer than the rest ({rest_mean:.3})"

@@ -1,14 +1,26 @@
-//! Serde round-trip tests for the data-structure types (C-SERDE): configs
+//! JSON round-trip tests for the data-structure types (C-SERDE): configs
 //! and statistics survive JSON serialization unchanged, which the CLI's
 //! custom-config files and the bench harness's result files rely on.
+//!
+//! Serialization goes through the workspace's `minijson` crate (the build
+//! environment is offline, so serde/serde_json are unavailable); every
+//! type implements `ToJson`/`FromJson` by hand.
 
+use minijson::{FromJson, ToJson, Value};
 use zatel_suite::prelude::*;
+
+/// Serializes to a JSON string and parses back, like the old
+/// `serde_json::from_str(&serde_json::to_string(..))` pattern.
+fn roundtrip<T: ToJson + FromJson>(value: &T) -> T {
+    let text = value.to_json().to_string();
+    let parsed = Value::parse(&text).expect("printer emits valid JSON");
+    T::from_json(&parsed).expect("deserialize")
+}
 
 #[test]
 fn gpu_config_roundtrips() {
     for config in [GpuConfig::mobile_soc(), GpuConfig::rtx_2060()] {
-        let json = serde_json::to_string(&config).expect("serialize");
-        let back: GpuConfig = serde_json::from_str(&json).expect("deserialize");
+        let back = roundtrip(&config);
         assert_eq!(config, back);
         back.validate().expect("still valid");
     }
@@ -20,44 +32,55 @@ fn modified_config_roundtrips() {
     config.name = "Custom".into();
     config.num_sms = 60;
     config.rt_lanes_per_cycle = 16;
-    let back: GpuConfig =
-        serde_json::from_str(&serde_json::to_string(&config).unwrap()).unwrap();
-    assert_eq!(config, back);
+    assert_eq!(config, roundtrip(&config));
 }
 
 #[test]
 fn sim_stats_roundtrip() {
     let scene = SceneId::Sprng.build(1);
-    let trace = TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 3 };
-    let stats = Simulator::new(GpuConfig::mobile_soc())
-        .run(&RtWorkload::full_frame(&scene, 16, 16, trace));
-    let back: SimStats = serde_json::from_str(&serde_json::to_string(&stats).unwrap()).unwrap();
+    let trace = TraceConfig {
+        samples_per_pixel: 1,
+        max_bounces: 2,
+        seed: 3,
+    };
+    let stats =
+        Simulator::new(GpuConfig::mobile_soc()).run(&RtWorkload::full_frame(&scene, 16, 16, trace));
+    let back = roundtrip(&stats);
     assert_eq!(stats, back);
     assert_eq!(stats.ipc(), back.ipc());
 }
 
 #[test]
 fn trace_config_roundtrip() {
-    let t = TraceConfig { samples_per_pixel: 4, max_bounces: 7, seed: 0xDEADBEEF };
-    let back: TraceConfig = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
-    assert_eq!(t, back);
+    let t = TraceConfig {
+        samples_per_pixel: 4,
+        max_bounces: 7,
+        seed: 0xDEADBEEF,
+    };
+    assert_eq!(t, roundtrip(&t));
 }
 
 #[test]
 fn metric_enum_roundtrip() {
     for m in Metric::ALL {
-        let back: Metric = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
-        assert_eq!(m, back);
+        assert_eq!(m, roundtrip(&m));
     }
 }
 
 #[test]
+fn pretty_printed_config_parses_too() {
+    let config = GpuConfig::mobile_soc();
+    let pretty = config.to_json().pretty();
+    let parsed = Value::parse(&pretty).expect("pretty output is valid JSON");
+    assert_eq!(GpuConfig::from_json(&parsed).unwrap(), config);
+}
+
+#[test]
 fn bvh_roundtrips_and_still_traverses() {
-    use rtcore::bvh::Bvh;
     use rtcore::math::{Ray, Vec3};
     let scene = SceneId::Sprng.build(1);
-    let json = serde_json::to_string(scene.bvh()).expect("serialize BVH");
-    let back: Bvh = serde_json::from_str(&json).expect("deserialize BVH");
+    let back = roundtrip(scene.bvh());
+    assert_eq!(scene.bvh(), &back);
     let ray = Ray::new(Vec3::new(0.0, 0.0, -10.0), Vec3::Z);
     let (a, _) = scene.bvh().intersect(&ray, scene.primitives());
     let (b, _) = back.intersect(&ray, scene.primitives());

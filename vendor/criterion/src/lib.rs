@@ -1,0 +1,232 @@
+//! # criterion (offline shim)
+//!
+//! A minimal, dependency-free benchmark harness exposing the subset of the
+//! real `criterion` crate's API that the Zatel suite's `harness = false`
+//! benches use. The build environment has no reachable crate registry, so
+//! the real crate cannot be downloaded; this shim keeps the bench sources
+//! unchanged and still produces useful wall-clock numbers.
+//!
+//! Differences from upstream criterion, by design: no statistical
+//! analysis, plotting, or baseline storage. Each benchmark is calibrated
+//! to a per-sample iteration count, timed over `sample_size` samples, and
+//! the min / median / max time per iteration is printed.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target accumulated measurement time per sample during calibration.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(25);
+
+/// Re-export for bench code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark manager; handed to every registered bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; a no-op for the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new<P: Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Measured time per iteration for each sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, calibrating an iteration count so each sample runs for
+    /// roughly [`TARGET_SAMPLE_TIME`].
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: double the batch size until a batch is long enough to
+        // time reliably.
+        let mut iters: u64 = 1;
+        let mut calibrated;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            calibrated = start.elapsed();
+            if calibrated >= TARGET_SAMPLE_TIME || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        self.samples.clear();
+        self.samples.push(calibrated / iters as u32);
+        for _ in 1..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<48} (no measurement)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let min = bencher.samples[0];
+    let max = *bencher.samples.last().unwrap();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    println!(
+        "{label:<48} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(median),
+        format_duration(max),
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+        c.bench_function("shim_fn", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}
