@@ -61,4 +61,25 @@ fn main() {
         longest.1
     );
     bench::save_json("fig14_runtime", &minijson::Value::Object(json));
+
+    // One observed run so the results directory also carries a metrics
+    // snapshot and a phase breakdown of where the wall-clock goes.
+    println!("\nphase breakdown (SPRNG, Mobile SoC, observed run):");
+    let scene = bench::build_scene(SceneId::Sprng);
+    let res = bench::resolution();
+    let mut zatel = zatel::Zatel::new(
+        &scene,
+        gpusim::GpuConfig::mobile_soc(),
+        res,
+        res,
+        bench::trace_config(),
+    );
+    zatel.options_mut().observe = Some(obs::ObserveOptions {
+        timeline: false,
+        ..obs::ObserveOptions::default()
+    });
+    let mut prediction = zatel.run().expect("observed pipeline runs");
+    bench::print_spans(&prediction);
+    let registry = bench::collect_metrics(&mut prediction);
+    bench::save_prometheus("fig14_runtime", &registry);
 }

@@ -198,6 +198,44 @@ pub fn save_json(name: &str, value: &minijson::Value) {
     let _ = std::fs::write(path, value.pretty());
 }
 
+/// Folds the per-group observability of a prediction run with
+/// [`zatel::ZatelOptions::observe`] set into one [`obs::MetricsRegistry`]
+/// (group order, so fixed-seed snapshots are reproducible). Returns an
+/// empty registry when the run was not observed.
+pub fn collect_metrics(prediction: &mut zatel::Prediction) -> obs::MetricsRegistry {
+    let mut registry = obs::MetricsRegistry::new();
+    for group in &mut prediction.groups {
+        if let Some(o) = group.obs.as_mut() {
+            o.export(&mut registry);
+        }
+    }
+    registry
+}
+
+/// Writes a metrics snapshot under `target/zatel-results/{name}.prom` in
+/// Prometheus text exposition format (best-effort, like [`save_json`]).
+pub fn save_prometheus(name: &str, registry: &obs::MetricsRegistry) {
+    let dir = std::path::Path::new("target/zatel-results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.prom"));
+    let _ = std::fs::write(path, registry.to_prometheus("zatel"));
+}
+
+/// Prints the pipeline phase spans of a prediction as an indented tree —
+/// benches call this after a run to show where the wall-clock went.
+pub fn print_spans(prediction: &zatel::Prediction) {
+    for s in &prediction.spans {
+        let indent = if s.track == 0 { "  " } else { "    " };
+        println!(
+            "{indent}{:<24} {:>10.2} ms",
+            s.name,
+            s.dur_us as f64 / 1000.0
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,9 +28,25 @@ impl std::error::Error for ParseArgsError {}
 
 /// Option keys that take a value; everything else with a `--` prefix is a
 /// boolean flag.
-const VALUE_KEYS: [&str; 12] = [
-    "scene", "config", "res", "spp", "seed", "percent", "cap", "k", "division", "dist", "out",
+const VALUE_KEYS: [&str; 18] = [
+    "scene",
+    "config",
+    "res",
+    "spp",
+    "seed",
+    "percent",
+    "cap",
+    "k",
+    "division",
+    "dist",
+    "out",
     "jobs",
+    "trace-out",
+    "run-out",
+    "run",
+    "history",
+    "pgm",
+    "prom",
 ];
 
 impl Args {

@@ -7,8 +7,15 @@
 //!               [--percent 0.4] [--cap 0.1] [--k 4 | --no-downscale]
 //!               [--division fine|coarse] [--dist uniform|lintmp|exptmp]
 //!               [--regression] [--json] [--seed 42] [--spp 2]
+//!               [--trace-out trace.json] [--run-out run.json]
+//! zatel report --run run.json [--history runs.jsonl] [--pgm heatmap.pgm]
+//!              [--prom metrics.prom]
 //! zatel heatmap --scene WKND --res 256 --out target/heatmaps
 //! ```
+//!
+//! All progress and diagnostic output goes to **stderr**; stdout carries
+//! only the result (tables, or JSON with `--json`), so piping into tools
+//! is always safe.
 
 mod args;
 
@@ -17,9 +24,10 @@ use std::process::ExitCode;
 use args::Args;
 use gpusim::{GpuConfig, Metric};
 use minijson::{FromJson, ToJson};
+use obs::ObserveOptions;
 use rtcore::scenes::SceneId;
 use rtcore::tracer::TraceConfig;
-use zatel::{Distribution, DivisionMethod, DownscaleMode, Zatel};
+use zatel::{Distribution, DivisionMethod, DownscaleMode, Prediction, Reference, Zatel};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +50,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "scenes" => cmd_scenes(),
         "configs" => cmd_configs(),
         "predict" => cmd_predict(&args),
+        "report" => cmd_report(&args),
         "heatmap" => cmd_heatmap(&args),
         other => Err(format!("unknown subcommand '{other}'; try 'zatel help'")),
     }
@@ -51,7 +60,7 @@ fn print_help() {
     println!(
         "zatel — sample complexity-aware scale-model simulation for ray tracing\n\
          \n\
-         USAGE:\n  zatel <scenes|configs|predict|heatmap|help> [options]\n\
+         USAGE:\n  zatel <scenes|configs|predict|report|heatmap|help> [options]\n\
          \n\
          predict options:\n\
            --scene NAME        benchmark scene (default PARK; see 'zatel scenes')\n\
@@ -69,7 +78,15 @@ fn print_help() {
            --reference         also run the full simulation and report errors\n\
            --json              emit machine-readable JSON instead of tables\n\
            --jobs N            worker threads for group simulation (default: host cores)\n\
-           --progress          per-group progress lines + engine trace counters\n\
+           --progress          per-group progress lines + engine trace counters (stderr)\n\
+           --trace-out FILE    write a Perfetto/Chrome-trace JSON timeline of the run\n\
+           --run-out FILE      persist a zatel-run-v1 record for 'zatel report'\n\
+         \n\
+         report options:\n\
+           --run FILE          run record written by 'zatel predict --run-out'\n\
+           --history FILE      append a one-line summary here (default runs.jsonl)\n\
+           --pgm FILE          write the execution-time heatmap as a binary PGM\n\
+           --prom FILE         write the metrics snapshot in Prometheus text format\n\
          \n\
          heatmap options:\n\
            --scene NAME --res N --out DIR   write heatmap/quantized PPM images"
@@ -194,8 +211,17 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     if progress {
         opts.trace_slice_cycles = Some(PROGRESS_SLICE_CYCLES);
     }
+    let trace_out = args.get("trace-out");
+    let run_out = args.get("run-out");
+    let observing = trace_out.is_some() || run_out.is_some();
+    if observing {
+        opts.observe = Some(ObserveOptions {
+            timeline: trace_out.is_some(),
+            ..ObserveOptions::default()
+        });
+    }
 
-    let prediction = if args.flag("regression") {
+    let mut prediction = if args.flag("regression") {
         zatel
             .run_with_regression([0.2, 0.3, 0.4])
             .map_err(|e| e.to_string())?
@@ -204,6 +230,85 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     };
 
     let reference = args.flag("reference").then(|| zatel.run_reference());
+
+    if progress {
+        for g in &prediction.groups {
+            eprint!(
+                "  group {}/{}: {} px, traced {:>3.0}%, {} cycles, {:.3}s",
+                g.index + 1,
+                prediction.groups.len(),
+                g.pixels,
+                100.0 * g.traced_fraction,
+                g.stats.cycles,
+                g.wall.as_secs_f64(),
+            );
+            if let Some(trace) = &g.trace {
+                let c = trace.counters();
+                eprint!(
+                    " | {} phases over {} slices, cpi c/m/r {}/{}/{}",
+                    c.phases(),
+                    trace.slices().len(),
+                    c.compute_phases,
+                    c.memory_phases,
+                    c.rt_phases,
+                );
+            }
+            eprintln!();
+        }
+        eprintln!(
+            "  simulation wall {:.3}s",
+            prediction.sim_wall.as_secs_f64()
+        );
+    }
+
+    // Fold per-group observability into one registry + one trace, in
+    // group order so repeat runs with the same seed are byte-identical.
+    let mut registry = obs::MetricsRegistry::new();
+    let mut timelines = Vec::new();
+    if observing {
+        for g in &mut prediction.groups {
+            if let Some(o) = g.obs.as_mut() {
+                o.export(&mut registry);
+                if let Some(t) = o.take_timeline() {
+                    timelines.push(t);
+                }
+            }
+        }
+        registry.gauge_set("k", f64::from(prediction.k));
+        registry.gauge_set("groups", prediction.groups.len() as f64);
+        registry.gauge_set(
+            "traced_fraction_mean",
+            prediction
+                .groups
+                .iter()
+                .map(|g| g.traced_fraction)
+                .sum::<f64>()
+                / prediction.groups.len().max(1) as f64,
+        );
+    }
+    if let Some(path) = trace_out {
+        let trace = obs::merge_trace(std::mem::take(&mut timelines));
+        let events = obs::validate_trace(&trace)
+            .map_err(|e| format!("internal: generated trace is malformed: {e}"))?;
+        std::fs::write(path, trace.to_string())
+            .map_err(|e| format!("writing trace '{path}': {e}"))?;
+        eprintln!("wrote {events} trace events to {path}");
+    }
+    if let Some(path) = run_out {
+        let record = run_record(
+            args,
+            &scene,
+            res,
+            spp,
+            seed,
+            &prediction,
+            &reference,
+            &registry,
+        );
+        std::fs::write(path, record.pretty())
+            .map_err(|e| format!("writing run record '{path}': {e}"))?;
+        eprintln!("wrote run record to {path} (render with 'zatel report --run {path}')");
+    }
 
     if args.flag("json") {
         let mut out = minijson::Map::new();
@@ -238,6 +343,13 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
             })
             .collect();
         out.insert("groups".into(), minijson::Value::Array(groups));
+        out.insert(
+            "spans".into(),
+            minijson::Value::Array(prediction.spans.iter().map(ToJson::to_json).collect()),
+        );
+        if observing {
+            out.insert("metrics".into(), registry.to_json());
+        }
         if let Some(reference) = &reference {
             let mut refs = minijson::Map::new();
             for m in Metric::ALL {
@@ -270,35 +382,6 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
                 .sum::<f64>()
             / prediction.groups.len() as f64
     );
-    if progress {
-        for g in &prediction.groups {
-            print!(
-                "  group {}/{}: {} px, traced {:>3.0}%, {} cycles, {:.3}s",
-                g.index + 1,
-                prediction.groups.len(),
-                g.pixels,
-                100.0 * g.traced_fraction,
-                g.stats.cycles,
-                g.wall.as_secs_f64(),
-            );
-            if let Some(trace) = &g.trace {
-                let c = trace.counters();
-                print!(
-                    " | {} phases over {} slices, cpi c/m/r {}/{}/{}",
-                    c.phases(),
-                    trace.slices().len(),
-                    c.compute_phases,
-                    c.memory_phases,
-                    c.rt_phases,
-                );
-            }
-            println!();
-        }
-        println!(
-            "  simulation wall {:.3}s",
-            prediction.sim_wall.as_secs_f64()
-        );
-    }
     match &reference {
         Some(reference) => {
             println!(
@@ -336,6 +419,159 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
             }
             println!("(add --reference to compare against the full simulation)");
         }
+    }
+    Ok(())
+}
+
+/// Builds the `zatel-run-v1` record persisted by `--run-out` and consumed
+/// by `zatel report`. Wall-clock times live only in span/wall fields so
+/// the `metrics` section stays byte-identical across repeat runs.
+#[allow(clippy::too_many_arguments)]
+fn run_record(
+    args: &Args,
+    scene: &rtcore::scene::Scene,
+    res: u32,
+    spp: u32,
+    seed: u64,
+    prediction: &Prediction,
+    reference: &Option<Reference>,
+    registry: &obs::MetricsRegistry,
+) -> minijson::Value {
+    let mut rec = minijson::Map::new();
+    rec.insert("schema".into(), minijson::json!(obs::RUN_SCHEMA));
+    rec.insert("scene".into(), minijson::json!(scene.name()));
+    rec.insert(
+        "config".into(),
+        minijson::json!(args.get("config").unwrap_or("mobile")),
+    );
+    rec.insert("res".into(), minijson::json!(res));
+    rec.insert("spp".into(), minijson::json!(spp));
+    rec.insert("seed".into(), minijson::json!(seed));
+    rec.insert("k".into(), minijson::json!(prediction.k));
+    rec.insert(
+        "division".into(),
+        minijson::json!(args.get("division").unwrap_or("fine")),
+    );
+    rec.insert(
+        "dist".into(),
+        minijson::json!(args.get("dist").unwrap_or("uniform")),
+    );
+    let mut metrics = minijson::Map::new();
+    for m in Metric::ALL {
+        metrics.insert(m.name().into(), minijson::json!(prediction.value(m)));
+    }
+    rec.insert("prediction".into(), minijson::Value::Object(metrics));
+    let groups: Vec<minijson::Value> = prediction
+        .groups
+        .iter()
+        .map(|g| {
+            let mut gm = minijson::Map::new();
+            gm.insert("index".into(), minijson::json!(g.index));
+            gm.insert("pixels".into(), minijson::json!(g.pixels as u64));
+            gm.insert("traced_fraction".into(), minijson::json!(g.traced_fraction));
+            gm.insert("target_percent".into(), minijson::json!(g.target_percent));
+            gm.insert("cycles".into(), minijson::json!(g.stats.cycles));
+            gm.insert(
+                "wall_ms".into(),
+                minijson::json!(g.wall.as_secs_f64() * 1000.0),
+            );
+            minijson::Value::Object(gm)
+        })
+        .collect();
+    rec.insert("groups".into(), minijson::Value::Array(groups));
+    rec.insert(
+        "spans".into(),
+        minijson::Value::Array(prediction.spans.iter().map(ToJson::to_json).collect()),
+    );
+    rec.insert("metrics".into(), registry.to_json());
+    if let Some(heatmap) = &prediction.heatmap {
+        rec.insert("heatmap".into(), heatmap_to_json(heatmap));
+    }
+    if let Some(reference) = reference {
+        let mut refs = minijson::Map::new();
+        for m in Metric::ALL {
+            refs.insert(m.name().into(), minijson::json!(m.value(&reference.stats)));
+        }
+        rec.insert("reference".into(), minijson::Value::Object(refs));
+        rec.insert(
+            "mae".into(),
+            minijson::json!(prediction.mae_vs(&reference.stats)),
+        );
+        rec.insert(
+            "speedup_concurrent".into(),
+            minijson::json!(prediction.speedup_concurrent(reference)),
+        );
+    }
+    rec.insert(
+        "sim_wall_ms".into(),
+        minijson::json!(prediction.sim_wall.as_secs_f64() * 1000.0),
+    );
+    rec.insert(
+        "preprocess_wall_ms".into(),
+        minijson::json!(prediction.preprocess_wall.as_secs_f64() * 1000.0),
+    );
+    minijson::Value::Object(rec)
+}
+
+/// Normalizes the execution-time heatmap to 0..=255 greyscale bytes for
+/// the run record (and, downstream, the `zatel report --pgm` image).
+fn heatmap_to_json(heatmap: &zatel::heatmap::Heatmap) -> minijson::Value {
+    let max = heatmap.values().iter().copied().fold(0.0f32, f32::max);
+    let values: Vec<minijson::Value> = heatmap
+        .values()
+        .iter()
+        .map(|&v| {
+            let byte = if max > 0.0 {
+                ((v / max) * 255.0).round() as u64
+            } else {
+                0
+            };
+            minijson::json!(byte)
+        })
+        .collect();
+    let mut m = minijson::Map::new();
+    m.insert("width".into(), minijson::json!(heatmap.width()));
+    m.insert("height".into(), minijson::json!(heatmap.height()));
+    m.insert("values".into(), minijson::Value::Array(values));
+    minijson::Value::Object(m)
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let path = args
+        .get("run")
+        .ok_or("report needs --run <run.json> (written by 'zatel predict --run-out')")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading run record '{path}': {e}"))?;
+    let run =
+        minijson::Value::parse(&text).map_err(|e| format!("parsing run record '{path}': {e}"))?;
+    let report = obs::report::render(&run).map_err(|e| format!("run record '{path}': {e}"))?;
+    print!("{report}");
+
+    let history = args.get("history").unwrap_or("runs.jsonl");
+    let line = obs::report::summary_line(&run)?;
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(history)
+        .map_err(|e| format!("opening history '{history}': {e}"))?;
+    writeln!(file, "{line}").map_err(|e| format!("appending to '{history}': {e}"))?;
+    eprintln!("appended run summary to {history}");
+
+    if let Some(pgm) = args.get("pgm") {
+        let bytes = obs::report::heatmap_pgm(&run).map_err(|e| format!("--pgm: {e}"))?;
+        std::fs::write(pgm, bytes).map_err(|e| format!("writing '{pgm}': {e}"))?;
+        eprintln!("wrote execution-time heatmap to {pgm}");
+    }
+    if let Some(prom) = args.get("prom") {
+        let metrics = run
+            .get("metrics")
+            .ok_or("--prom: run record has no 'metrics' section")?;
+        let registry = obs::MetricsRegistry::from_json(metrics)
+            .map_err(|e| format!("--prom: run record metrics: {e}"))?;
+        std::fs::write(prom, registry.to_prometheus("zatel"))
+            .map_err(|e| format!("writing '{prom}': {e}"))?;
+        eprintln!("wrote Prometheus metrics to {prom}");
     }
     Ok(())
 }

@@ -23,7 +23,16 @@ fn stdout(args: &[&str]) -> String {
 #[test]
 fn help_lists_subcommands() {
     let text = stdout(&["help"]);
-    for needle in ["predict", "heatmap", "scenes", "configs", "--reference"] {
+    for needle in [
+        "predict",
+        "report",
+        "heatmap",
+        "scenes",
+        "configs",
+        "--reference",
+        "--trace-out",
+        "--run-out",
+    ] {
         assert!(text.contains(needle), "help missing '{needle}'");
     }
 }
@@ -129,8 +138,8 @@ fn predict_accepts_custom_config_file() {
 }
 
 #[test]
-fn predict_progress_prints_group_lines() {
-    let text = stdout(&[
+fn predict_progress_prints_group_lines_on_stderr() {
+    let out = zatel(&[
         "predict",
         "--scene",
         "SPRNG",
@@ -142,12 +151,38 @@ fn predict_progress_prints_group_lines() {
         "2",
         "--progress",
     ]);
-    assert!(text.contains("group 1/"), "per-group progress line: {text}");
-    assert!(text.contains("phases over"), "trace counters shown: {text}");
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert!(err.contains("group 1/"), "per-group progress line: {err}");
+    assert!(err.contains("phases over"), "trace counters shown: {err}");
     assert!(
-        text.contains("simulation wall"),
-        "total sim wall shown: {text}"
+        err.contains("simulation wall"),
+        "total sim wall shown: {err}"
     );
+    // Progress is diagnostic output: none of it may leak into stdout.
+    let text = String::from_utf8(out.stdout).expect("utf8 stdout");
+    for leaked in ["group 1/", "phases over", "simulation wall"] {
+        assert!(!text.contains(leaked), "'{leaked}' leaked to stdout");
+    }
+}
+
+#[test]
+fn predict_json_with_progress_keeps_stdout_pure_json() {
+    let out = zatel(&[
+        "predict",
+        "--scene",
+        "SPRNG",
+        "--res",
+        "32",
+        "--spp",
+        "1",
+        "--json",
+        "--progress",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8 stdout");
+    minijson::Value::parse(&text).expect("stdout is a single valid JSON document");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("group 1/"));
 }
 
 #[test]
@@ -240,6 +275,207 @@ fn bad_config_file_fails_cleanly() {
     let out = zatel(&["predict", "--config", "/nonexistent/cfg.json"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("reading config file"));
+}
+
+#[test]
+fn predict_json_includes_pipeline_spans() {
+    let text = stdout(&[
+        "predict", "--scene", "SPRNG", "--res", "32", "--spp", "1", "--json",
+    ]);
+    let v = minijson::Value::parse(&text).expect("valid JSON");
+    let spans = v
+        .get("spans")
+        .and_then(minijson::Value::as_array)
+        .expect("spans array");
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(minijson::Value::as_str))
+        .collect();
+    for phase in [
+        "heatmap",
+        "quantize",
+        "select",
+        "simulate-groups",
+        "extrapolate",
+    ] {
+        assert!(names.contains(&phase), "missing span '{phase}': {names:?}");
+    }
+    assert!(
+        names.iter().any(|n| n.starts_with("group ")),
+        "per-job group spans recorded: {names:?}"
+    );
+}
+
+#[test]
+fn trace_out_is_deterministic_and_schema_valid() {
+    let dir = std::env::temp_dir().join("zatel-cli-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |name: &str| {
+        let path = dir.join(name);
+        stdout(&[
+            "predict",
+            "--scene",
+            "SPRNG",
+            "--res",
+            "32",
+            "--spp",
+            "1",
+            "--seed",
+            "7",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ]);
+        std::fs::read(&path).expect("trace written")
+    };
+    let a = run("a.json");
+    let b = run("b.json");
+    assert_eq!(a, b, "fixed-seed traces are byte-identical");
+
+    // Chrome trace format: an array of objects, each with at least
+    // name / ph / ts / pid / tid.
+    let trace = minijson::Value::parse(std::str::from_utf8(&a).unwrap()).expect("valid JSON");
+    let events = trace.as_array().expect("top-level array");
+    assert!(!events.is_empty());
+    for ev in events {
+        assert!(ev.as_object().is_some(), "event is an object");
+        assert!(ev.get("name").and_then(minijson::Value::as_str).is_some());
+        let ph = ev.get("ph").and_then(minijson::Value::as_str).unwrap();
+        assert_eq!(ph.chars().count(), 1, "ph is a single phase character");
+        for key in ["ts", "pid", "tid"] {
+            assert!(ev.get(key).and_then(|v| v.as_f64()).is_some(), "{key}");
+        }
+    }
+    // At least one SM duration slice and one metadata record.
+    assert!(events
+        .iter()
+        .any(|e| e.get("ph").and_then(minijson::Value::as_str) == Some("X")));
+    assert!(events
+        .iter()
+        .any(|e| e.get("ph").and_then(minijson::Value::as_str) == Some("M")));
+}
+
+#[test]
+fn run_out_metrics_are_deterministic() {
+    let dir = std::env::temp_dir().join("zatel-cli-run-det");
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |name: &str| {
+        let path = dir.join(name);
+        stdout(&[
+            "predict",
+            "--scene",
+            "SPRNG",
+            "--res",
+            "32",
+            "--spp",
+            "1",
+            "--seed",
+            "7",
+            "--run-out",
+            path.to_str().unwrap(),
+        ]);
+        let text = std::fs::read_to_string(&path).expect("run record written");
+        let run = minijson::Value::parse(&text).expect("valid JSON");
+        run.get("metrics").expect("metrics section").to_string()
+    };
+    assert_eq!(
+        run("a.json"),
+        run("b.json"),
+        "fixed-seed metrics snapshots are byte-identical"
+    );
+}
+
+#[test]
+fn report_renders_run_record_and_appends_history() {
+    let dir = std::env::temp_dir().join("zatel-cli-report");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let run_path = dir.join("run.json");
+    let history = dir.join("runs.jsonl");
+    let pgm = dir.join("heatmap.pgm");
+    let prom = dir.join("metrics.prom");
+    stdout(&[
+        "predict",
+        "--scene",
+        "SPRNG",
+        "--res",
+        "32",
+        "--spp",
+        "1",
+        "--reference",
+        "--run-out",
+        run_path.to_str().unwrap(),
+    ]);
+
+    let report = |args: &[&str]| {
+        stdout(
+            &[
+                &[
+                    "report",
+                    "--run",
+                    run_path.to_str().unwrap(),
+                    "--history",
+                    history.to_str().unwrap(),
+                ],
+                args,
+            ]
+            .concat(),
+        )
+    };
+    let text = report(&[
+        "--pgm",
+        pgm.to_str().unwrap(),
+        "--prom",
+        prom.to_str().unwrap(),
+    ]);
+    assert!(text.contains("zatel run: scene SPRNG"));
+    assert!(text.contains("per-group results"));
+    assert!(text.contains("pipeline spans"));
+    assert!(text.contains("simulation metrics"));
+    assert!(text.contains("mem_read_latency_cycles"));
+    assert!(text.contains("predicted vs reference"));
+    assert!(text.contains("MAE ="));
+
+    // Each report invocation appends exactly one summary line.
+    report(&[]);
+    let lines: Vec<String> = std::fs::read_to_string(&history)
+        .expect("history written")
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(lines.len(), 2);
+    for line in &lines {
+        let v = minijson::Value::parse(line).expect("history line is JSON");
+        assert_eq!(
+            v.get("scene").and_then(minijson::Value::as_str),
+            Some("SPRNG")
+        );
+    }
+
+    let pgm_bytes = std::fs::read(&pgm).expect("pgm written");
+    assert!(
+        pgm_bytes.starts_with(b"P5\n32 32\n255\n"),
+        "full-res execution-time heatmap as PGM"
+    );
+    assert_eq!(pgm_bytes.len(), b"P5\n32 32\n255\n".len() + 32 * 32);
+
+    let prom_text = std::fs::read_to_string(&prom).expect("prom written");
+    assert!(prom_text.contains("# TYPE zatel_warps_launched counter"));
+    assert!(prom_text.contains("zatel_mem_read_latency_cycles_count"));
+}
+
+#[test]
+fn report_rejects_missing_and_malformed_records() {
+    let out = zatel(&["report"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--run"));
+
+    let dir = std::env::temp_dir().join("zatel-cli-report-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"schema\": \"not-a-run\"}").unwrap();
+    let out = zatel(&["report", "--run", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unsupported run schema"));
 }
 
 #[test]

@@ -159,7 +159,13 @@ impl<'w, H: SimHooks> Engine<'w, H> {
             sm_state
                 .rt_unit
                 .complete(slot, rt_start + occupancy, mix.rt_rays);
-            self.hooks.on_rt_phase(ev.sm, mix.rt_rays, occupancy);
+            self.hooks.on_rt_phase(
+                ev.sm,
+                mix.rt_rays,
+                mix.rt_lines.len() as u32,
+                rt_start,
+                occupancy,
+            );
             let mut rt_done = rt_start + occupancy;
             for line in &mix.rt_lines {
                 rt_done = rt_done.max(self.mem.read_with(ev.sm, *line, rt_start, self.hooks));

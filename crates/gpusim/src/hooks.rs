@@ -105,17 +105,139 @@ pub trait SimHooks {
     }
 
     /// `bytes` of data were scheduled on DRAM `channel` (reads and
-    /// write-back drain both count).
+    /// write-back drain both count); the transfer completes at `time`.
     #[inline]
-    fn on_dram_transfer(&mut self, channel: usize, bytes: u32) {
-        let _ = (channel, bytes);
+    fn on_dram_transfer(&mut self, channel: usize, bytes: u32, time: u64) {
+        let _ = (channel, bytes, time);
     }
 
-    /// An RT phase with `rays` active rays occupied a tester slot on `sm`
-    /// for `occupancy_cycles`.
+    /// A read issued at some earlier cycle on `sm` completed with an
+    /// end-to-end `latency` (issue to data-in-registers), whichever level
+    /// of the hierarchy served it.
     #[inline]
-    fn on_rt_phase(&mut self, sm: usize, rays: u32, occupancy_cycles: u64) {
-        let _ = (sm, rays, occupancy_cycles);
+    fn on_mem_read(&mut self, sm: usize, latency: u64) {
+        let _ = (sm, latency);
+    }
+
+    /// An RT phase with `rays` active rays traversing `nodes` BVH lines
+    /// occupied a tester slot on `sm` from `start` for `occupancy_cycles`.
+    #[inline]
+    fn on_rt_phase(&mut self, sm: usize, rays: u32, nodes: u32, start: u64, occupancy_cycles: u64) {
+        let _ = (sm, rays, nodes, start, occupancy_cycles);
+    }
+}
+
+/// Forwarding observer: `Some(hooks)` forwards every event, `None` behaves
+/// as [`NullHooks`]. Lets callers decide at runtime whether to record
+/// without paying for a second monomorphized engine.
+impl<H: SimHooks> SimHooks for Option<H> {
+    #[inline]
+    fn on_warp_launch(&mut self, sm: usize, warp_id: u64, time: u64) {
+        if let Some(h) = self {
+            h.on_warp_launch(sm, warp_id, time);
+        }
+    }
+
+    #[inline]
+    fn on_warp_retire(&mut self, sm: usize, warp_id: u64, time: u64) {
+        if let Some(h) = self {
+            h.on_warp_retire(sm, warp_id, time);
+        }
+    }
+
+    #[inline]
+    fn on_phase_issue(
+        &mut self,
+        sm: usize,
+        warp_id: u64,
+        class: PhaseClass,
+        start: u64,
+        ready: u64,
+    ) {
+        if let Some(h) = self {
+            h.on_phase_issue(sm, warp_id, class, start, ready);
+        }
+    }
+
+    #[inline]
+    fn on_cache_access(&mut self, level: CacheLevel, hit: bool) {
+        if let Some(h) = self {
+            h.on_cache_access(level, hit);
+        }
+    }
+
+    #[inline]
+    fn on_dram_transfer(&mut self, channel: usize, bytes: u32, time: u64) {
+        if let Some(h) = self {
+            h.on_dram_transfer(channel, bytes, time);
+        }
+    }
+
+    #[inline]
+    fn on_mem_read(&mut self, sm: usize, latency: u64) {
+        if let Some(h) = self {
+            h.on_mem_read(sm, latency);
+        }
+    }
+
+    #[inline]
+    fn on_rt_phase(&mut self, sm: usize, rays: u32, nodes: u32, start: u64, occupancy_cycles: u64) {
+        if let Some(h) = self {
+            h.on_rt_phase(sm, rays, nodes, start, occupancy_cycles);
+        }
+    }
+}
+
+/// Fan-out observer: every event goes to both members of the pair, in
+/// order. Pairs nest, so any number of observers can share one run.
+impl<A: SimHooks, B: SimHooks> SimHooks for (A, B) {
+    #[inline]
+    fn on_warp_launch(&mut self, sm: usize, warp_id: u64, time: u64) {
+        self.0.on_warp_launch(sm, warp_id, time);
+        self.1.on_warp_launch(sm, warp_id, time);
+    }
+
+    #[inline]
+    fn on_warp_retire(&mut self, sm: usize, warp_id: u64, time: u64) {
+        self.0.on_warp_retire(sm, warp_id, time);
+        self.1.on_warp_retire(sm, warp_id, time);
+    }
+
+    #[inline]
+    fn on_phase_issue(
+        &mut self,
+        sm: usize,
+        warp_id: u64,
+        class: PhaseClass,
+        start: u64,
+        ready: u64,
+    ) {
+        self.0.on_phase_issue(sm, warp_id, class, start, ready);
+        self.1.on_phase_issue(sm, warp_id, class, start, ready);
+    }
+
+    #[inline]
+    fn on_cache_access(&mut self, level: CacheLevel, hit: bool) {
+        self.0.on_cache_access(level, hit);
+        self.1.on_cache_access(level, hit);
+    }
+
+    #[inline]
+    fn on_dram_transfer(&mut self, channel: usize, bytes: u32, time: u64) {
+        self.0.on_dram_transfer(channel, bytes, time);
+        self.1.on_dram_transfer(channel, bytes, time);
+    }
+
+    #[inline]
+    fn on_mem_read(&mut self, sm: usize, latency: u64) {
+        self.0.on_mem_read(sm, latency);
+        self.1.on_mem_read(sm, latency);
+    }
+
+    #[inline]
+    fn on_rt_phase(&mut self, sm: usize, rays: u32, nodes: u32, start: u64, occupancy_cycles: u64) {
+        self.0.on_rt_phase(sm, rays, nodes, start, occupancy_cycles);
+        self.1.on_rt_phase(sm, rays, nodes, start, occupancy_cycles);
     }
 }
 
@@ -330,12 +452,19 @@ impl SimHooks for TraceHooks {
         *counter += 1;
     }
 
-    fn on_dram_transfer(&mut self, _channel: usize, bytes: u32) {
+    fn on_dram_transfer(&mut self, _channel: usize, bytes: u32, _time: u64) {
         self.counters.dram_transfers += 1;
         self.counters.dram_bytes += bytes as u64;
     }
 
-    fn on_rt_phase(&mut self, _sm: usize, rays: u32, occupancy_cycles: u64) {
+    fn on_rt_phase(
+        &mut self,
+        _sm: usize,
+        rays: u32,
+        _nodes: u32,
+        _start: u64,
+        occupancy_cycles: u64,
+    ) {
         self.counters.rt_active_rays += rays as u64;
         self.counters.rt_occupancy_cycles += occupancy_cycles;
     }
@@ -368,7 +497,7 @@ mod tests {
         t.on_warp_launch(0, 0, 0);
         t.on_cache_access(CacheLevel::L1, false);
         t.on_cache_access(CacheLevel::L2, true);
-        t.on_dram_transfer(1, 64);
+        t.on_dram_transfer(1, 64, 500);
         let v = t.to_json();
         let c = v.get("counters").expect("counters object");
         assert_eq!(c.get("warps_launched").and_then(Value::as_u64), Some(1));
@@ -387,6 +516,86 @@ mod tests {
         assert_eq!(*t.counters(), TraceCounters::default());
         assert!(t.slices().is_empty());
         assert_eq!(t.slice_cycles(), 10);
+    }
+
+    #[test]
+    fn events_on_slice_boundaries_land_in_the_next_slice() {
+        // Slices are half-open [k*w, (k+1)*w): a phase starting exactly at
+        // the boundary belongs to the next slice, not the previous one.
+        let mut t = TraceHooks::new(100);
+        t.on_phase_issue(0, 0, PhaseClass::Compute, 99, 100);
+        t.on_phase_issue(0, 1, PhaseClass::Compute, 100, 130);
+        t.on_phase_issue(0, 2, PhaseClass::Compute, 200, 201);
+        assert_eq!(t.slices().len(), 3);
+        assert_eq!(t.slices()[0].phases, 1, "start 99 stays in slice 0");
+        assert_eq!(t.slices()[1].phases, 1, "start 100 opens slice 1");
+        assert_eq!(t.slices()[1].compute_cycles, 30);
+        assert_eq!(t.slices()[2].phases, 1, "start 200 opens slice 2");
+    }
+
+    #[test]
+    fn unit_slice_width_gives_one_slice_per_cycle() {
+        let mut t = TraceHooks::new(1);
+        t.on_phase_issue(0, 0, PhaseClass::Memory, 0, 3);
+        t.on_phase_issue(0, 1, PhaseClass::Memory, 5, 6);
+        assert_eq!(t.slices().len(), 6, "indices 0..=5");
+        assert_eq!(t.slices()[0].memory_cycles, 3);
+        assert_eq!(t.slices()[5].memory_cycles, 1);
+        assert_eq!(
+            t.slices()[1..5].iter().map(|s| s.phases).sum::<u64>(),
+            0,
+            "no phases start between the two issues"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "slice width must be positive")]
+    fn zero_slice_width_panics() {
+        let _ = TraceHooks::new(0);
+    }
+
+    #[test]
+    fn reset_clears_counters_and_slices_together() {
+        let mut t = TraceHooks::new(100);
+        t.on_warp_launch(0, 0, 0);
+        t.on_dram_transfer(0, 128, 90);
+        t.on_rt_phase(0, 16, 2, 0, 40);
+        t.on_phase_issue(0, 0, PhaseClass::Rt, 350, 420);
+        assert_ne!(*t.counters(), TraceCounters::default());
+        assert_eq!(t.slices().len(), 4);
+        t.reset();
+        assert_eq!(*t.counters(), TraceCounters::default());
+        assert!(t.slices().is_empty());
+        // The recorder is reusable after reset: new events land in slice 0.
+        t.on_phase_issue(0, 1, PhaseClass::Compute, 10, 20);
+        assert_eq!(t.slices().len(), 1);
+        assert_eq!(t.slices()[0].phases, 1);
+    }
+
+    #[test]
+    fn option_hooks_forward_only_when_some() {
+        let mut none: Option<TraceHooks> = None;
+        none.on_warp_launch(0, 0, 0); // must not panic
+        let mut some = Some(TraceHooks::new(10));
+        some.on_warp_launch(0, 0, 0);
+        some.on_cache_access(CacheLevel::L1, true);
+        some.on_mem_read(0, 42);
+        let t = some.unwrap();
+        assert_eq!(t.counters().warps_launched, 1);
+        assert_eq!(t.counters().l1_hits, 1);
+    }
+
+    #[test]
+    fn pair_hooks_fan_out_to_both() {
+        let mut pair = (TraceHooks::new(10), TraceHooks::new(20));
+        pair.on_warp_launch(0, 7, 0);
+        pair.on_dram_transfer(2, 64, 300);
+        pair.on_rt_phase(1, 8, 3, 5, 12);
+        for t in [&pair.0, &pair.1] {
+            assert_eq!(t.counters().warps_launched, 1);
+            assert_eq!(t.counters().dram_bytes, 64);
+            assert_eq!(t.counters().rt_active_rays, 8);
+        }
     }
 
     #[test]

@@ -99,6 +99,7 @@ impl MemoryHierarchy {
         let t = self.read_inner(sm, line, now, hooks);
         self.read_latency_sum += t - now;
         self.reads += 1;
+        hooks.on_mem_read(sm, t - now);
         t
     }
 
@@ -143,7 +144,7 @@ impl MemoryHierarchy {
                     self.line_bytes,
                 );
                 self.l2[part].fill(line, done);
-                hooks.on_dram_transfer(part, self.line_bytes);
+                hooks.on_dram_transfer(part, self.line_bytes, done);
                 self.icnt.from_memory(part, done, self.line_bytes)
             }
         };
@@ -175,12 +176,12 @@ impl MemoryHierarchy {
         let slot = arrive_l2.max(self.l2_next_free[part]);
         self.l2_next_free[part] = slot + L2_SERVICE_CYCLES;
         // Writes drain through the L2 to DRAM; they occupy bus bandwidth.
-        self.dram[part].service_at(
+        let done = self.dram[part].service_at(
             slot + L2_SERVICE_CYCLES,
             line * self.line_bytes as u64,
             self.line_bytes,
         );
-        hooks.on_dram_transfer(part, self.line_bytes);
+        hooks.on_dram_transfer(part, self.line_bytes, done);
         now + 1
     }
 

@@ -796,6 +796,54 @@ mod tests {
     }
 
     #[test]
+    fn control_characters_are_escaped_as_unicode() {
+        // Named escapes for the common control characters…
+        assert_eq!(Value::from("a\nb").to_string(), r#""a\nb""#);
+        assert_eq!(Value::from("a\rb").to_string(), r#""a\rb""#);
+        assert_eq!(Value::from("a\tb").to_string(), r#""a\tb""#);
+        // …and \u00XX for everything else below 0x20, so the output never
+        // contains a raw control byte.
+        assert_eq!(Value::from("\u{0000}").to_string(), r#""\u0000""#);
+        assert_eq!(Value::from("\u{0007}").to_string(), r#""\u0007""#);
+        assert_eq!(Value::from("\u{001f}").to_string(), r#""\u001f""#);
+        let every_control: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let text = Value::from(every_control.as_str()).to_string();
+        assert!(text.bytes().all(|b| b >= 0x20), "no raw controls: {text:?}");
+        assert_eq!(
+            Value::parse(&text).unwrap().as_str(),
+            Some(every_control.as_str()),
+            "all 32 control characters round-trip"
+        );
+    }
+
+    #[test]
+    fn non_ascii_passes_through_unescaped() {
+        // Multi-byte UTF-8 is valid JSON as-is; emitting it raw keeps
+        // output readable and avoids surrogate-pair bookkeeping.
+        for s in ["é", "λ=0.5", "光線追跡", "😀🎯", "a\u{00a0}b"] {
+            let text = Value::from(s).to_string();
+            assert!(!text.contains("\\u"), "{s} emitted raw: {text}");
+            assert_eq!(Value::parse(&text).unwrap().as_str(), Some(s));
+        }
+        // Object keys go through the same escaping path.
+        let mut m = Map::new();
+        m.insert("ключ\n".into(), json!(1u32));
+        let text = Value::Object(m).to_string();
+        assert_eq!(text, "{\"ключ\\n\":1}");
+        assert!(Value::parse(&text).unwrap().get("ключ\n").is_some());
+    }
+
+    #[test]
+    fn parses_escaped_surrogate_pairs() {
+        assert_eq!(
+            Value::parse(r#""\ud83d\ude00""#).unwrap().as_str(),
+            Some("😀")
+        );
+        assert_eq!(Value::parse(r#""\u00e9""#).unwrap().as_str(), Some("é"));
+        assert!(Value::parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+    }
+
+    #[test]
     fn map_preserves_order_and_replaces() {
         let mut m = Map::new();
         m.insert("b".into(), json!(1u32));

@@ -66,4 +66,4 @@ pub use error::ZatelError;
 pub use partition::{DivisionMethod, Group};
 pub use pipeline::{DownscaleMode, GroupOutcome, Prediction, Reference, Zatel, ZatelOptions};
 pub use select::{Distribution, Selection, SelectionOptions};
-pub use sim_executor::SimExecutor;
+pub use sim_executor::{JobTiming, SimExecutor};

@@ -4,6 +4,8 @@
 use std::time::{Duration, Instant};
 
 use gpusim::{GpuConfig, Metric, SimStats, Simulator, TraceHooks};
+use obs::span::SpanSheet;
+use obs::{ObsHooks, ObserveOptions, SpanRecord};
 use rtcore::scene::Scene;
 use rtcore::tracer::TraceConfig;
 use rtworkload::RtWorkload;
@@ -55,6 +57,32 @@ pub struct ZatelOptions {
     /// [`GroupOutcome::trace`]. Tracing never changes the simulated
     /// statistics — hooks observe only.
     pub trace_slice_cycles: Option<u64>,
+    /// When set, each group simulation additionally runs with an
+    /// [`ObsHooks`] observer (histograms, counters and optionally a
+    /// Perfetto timeline), attached to the group's
+    /// [`GroupOutcome::obs`]. Like tracing, observing never changes the
+    /// simulated statistics.
+    pub observe: Option<ObserveOptions>,
+}
+
+impl ZatelOptions {
+    /// Checks option invariants that would otherwise panic deep inside the
+    /// engine (e.g. a zero [`trace_slice_cycles`]).
+    ///
+    /// [`trace_slice_cycles`]: ZatelOptions::trace_slice_cycles
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZatelError::InvalidOptions`] describing the offending
+    /// option.
+    pub fn validate(&self) -> Result<(), ZatelError> {
+        if self.trace_slice_cycles == Some(0) {
+            return Err(ZatelError::InvalidOptions(
+                "trace_slice_cycles must be positive (use None to disable tracing)".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for ZatelOptions {
@@ -67,6 +95,7 @@ impl Default for ZatelOptions {
             parallel: true,
             jobs: None,
             trace_slice_cycles: None,
+            observe: None,
         }
     }
 }
@@ -89,6 +118,9 @@ pub struct GroupOutcome {
     /// Engine trace collected when
     /// [`ZatelOptions::trace_slice_cycles`] is set.
     pub trace: Option<TraceHooks>,
+    /// Observability recording (histograms, counters, timeline) collected
+    /// when [`ZatelOptions::observe`] is set.
+    pub obs: Option<ObsHooks>,
 }
 
 /// A full-GPU, full-resolution reference simulation (what Vulkan-Sim alone
@@ -114,6 +146,14 @@ pub struct Prediction {
     /// Wall-clock time of the group-simulation phase (elapsed, so parallel
     /// groups overlap).
     pub sim_wall: Duration,
+    /// Host wall-clock spans of the pipeline phases (heatmap, quantize,
+    /// select, simulate-groups with one `group N` span per job, and
+    /// extrapolate), sorted by start offset.
+    pub spans: Vec<SpanRecord>,
+    /// The execution-time heatmap profiled by [`Zatel::run`] /
+    /// [`Zatel::run_with_regression`]; `None` when the pipeline reused a
+    /// caller-supplied quantized heatmap.
+    pub heatmap: Option<Heatmap>,
 }
 
 impl Prediction {
@@ -269,12 +309,21 @@ impl<'s> Zatel<'s> {
     /// Returns [`ZatelError`] if the configured downscale factor is
     /// invalid.
     pub fn run(&self) -> Result<Prediction, ZatelError> {
+        self.options.validate()?;
+        let sheet = SpanSheet::new();
         let pre_start = Instant::now();
-        let heatmap = Heatmap::profile(self.scene, self.width, self.height, &self.trace);
-        let quantized =
-            QuantizedHeatmap::quantize(&heatmap, self.options.quant_colors, self.trace.seed);
+        let heatmap = {
+            let _span = sheet.span("heatmap");
+            Heatmap::profile(self.scene, self.width, self.height, &self.trace)
+        };
+        let quantized = {
+            let _span = sheet.span("quantize");
+            QuantizedHeatmap::quantize(&heatmap, self.options.quant_colors, self.trace.seed)
+        };
         let preprocess_wall = pre_start.elapsed();
-        self.run_with_preprocessed(&quantized, preprocess_wall, None)
+        let mut prediction = self.run_inner(&quantized, preprocess_wall, None, &sheet)?;
+        prediction.heatmap = Some(heatmap);
+        Ok(prediction)
     }
 
     /// Runs the pipeline reusing an existing quantized heatmap (lets sweeps
@@ -290,6 +339,20 @@ impl<'s> Zatel<'s> {
         preprocess_wall: Duration,
         percent_override: Option<f64>,
     ) -> Result<Prediction, ZatelError> {
+        self.options.validate()?;
+        let sheet = SpanSheet::new();
+        self.run_inner(quantized, preprocess_wall, percent_override, &sheet)
+    }
+
+    /// The post-preprocessing pipeline: divide, select, simulate and
+    /// combine, recording phase spans on `sheet`.
+    fn run_inner(
+        &self,
+        quantized: &QuantizedHeatmap,
+        preprocess_wall: Duration,
+        percent_override: Option<f64>,
+        sheet: &SpanSheet,
+    ) -> Result<Prediction, ZatelError> {
         let k = self.resolve_factor()?;
         let down = self.target.downscaled(k)?;
         let groups = divide(self.width, self.height, k, self.options.division);
@@ -298,16 +361,23 @@ impl<'s> Zatel<'s> {
         if let Some(p) = percent_override {
             sel_opts.percent_override = Some(p);
         }
-        let selections: Vec<Selection> = groups
-            .iter()
-            .map(|g| select_pixels(g, quantized, &sel_opts))
-            .collect();
+        let selections: Vec<Selection> = {
+            let _span = sheet.span("select");
+            groups
+                .iter()
+                .map(|g| select_pixels(g, quantized, &sel_opts))
+                .collect()
+        };
 
         let sim_start = Instant::now();
-        let outcomes = self.simulate_groups(&down, &groups, &selections);
+        let outcomes = {
+            let _span = sheet.span("simulate-groups");
+            self.simulate_groups(&down, &groups, &selections, sheet)
+        };
         let sim_wall = sim_start.elapsed();
 
         // Combine: per-metric linear extrapolation then the Section III-H rule.
+        let _span = sheet.span("extrapolate");
         let mut values = [0.0f64; 7];
         for (i, metric) in Metric::ALL.iter().enumerate() {
             let per_group: Vec<f64> = outcomes
@@ -316,6 +386,7 @@ impl<'s> Zatel<'s> {
                 .collect();
             values[i] = metric.combine(&per_group);
         }
+        drop(_span);
 
         Ok(Prediction {
             values,
@@ -323,18 +394,21 @@ impl<'s> Zatel<'s> {
             k,
             preprocess_wall,
             sim_wall,
+            spans: sheet.snapshot(),
+            heatmap: None,
         })
     }
 
-    /// Runs every group's simulation (in parallel when configured).
+    /// Runs every group's simulation (in parallel when configured),
+    /// recording one `group N` span per job on `sheet`.
     fn simulate_groups(
         &self,
         down: &GpuConfig,
         groups: &[Group],
         selections: &[Selection],
+        sheet: &SpanSheet,
     ) -> Vec<GroupOutcome> {
         let run_one = |group: &Group, selection: &Selection| -> GroupOutcome {
-            let start = Instant::now();
             let workload = RtWorkload::new(
                 self.scene,
                 self.width,
@@ -345,13 +419,17 @@ impl<'s> Zatel<'s> {
             .with_selection(selection.mask.clone());
             let traced_fraction = workload.traced_fraction();
             let simulator = Simulator::new(down.clone());
-            let (stats, trace) = match self.options.trace_slice_cycles {
-                Some(slice) => {
-                    let mut hooks = TraceHooks::new(slice);
-                    let stats = simulator.run_with_hooks(&workload, &mut hooks);
-                    (stats, Some(hooks))
-                }
-                None => (simulator.run(&workload), None),
+            let trace_hooks = self.options.trace_slice_cycles.map(TraceHooks::new);
+            let obs_hooks = self.options.observe.as_ref().map(|o| {
+                ObsHooks::for_gpu(group.index, &format!("group {}", group.index), down, o)
+            });
+            let (stats, trace, obs) = if trace_hooks.is_none() && obs_hooks.is_none() {
+                // The uninstrumented path keeps the NullHooks monomorphization.
+                (simulator.run(&workload), None, None)
+            } else {
+                let mut hooks = (trace_hooks, obs_hooks);
+                let stats = simulator.run_with_hooks(&workload, &mut hooks);
+                (stats, hooks.0, hooks.1)
             };
             GroupOutcome {
                 index: group.index,
@@ -359,13 +437,25 @@ impl<'s> Zatel<'s> {
                 traced_fraction,
                 target_percent: selection.target_percent,
                 stats,
-                wall: start.elapsed(),
+                wall: Duration::ZERO, // filled from the executor's timing
                 trace,
+                obs,
             }
         };
 
         let pairs: Vec<(&Group, &Selection)> = groups.iter().zip(selections).collect();
-        self.executor().map(&pairs, |_, (g, s)| run_one(g, s))
+        let phase_start = sheet.elapsed();
+        let (mut outcomes, timings) = self.executor().map_timed(&pairs, |_, (g, s)| run_one(g, s));
+        for (outcome, timing) in outcomes.iter_mut().zip(&timings) {
+            outcome.wall = timing.wall;
+            sheet.record(
+                &format!("group {}", outcome.index),
+                timing.worker as u32 + 1,
+                phase_start + timing.start,
+                timing.wall,
+            );
+        }
+        outcomes
     }
 
     /// The executor group simulation runs on, honouring the `parallel` and
@@ -391,6 +481,7 @@ impl<'s> Zatel<'s> {
     /// fractions are not strictly increasing, equally spaced values in
     /// `(0, 1]`.
     pub fn run_with_regression(&self, fractions: [f64; 3]) -> Result<Prediction, ZatelError> {
+        self.options.validate()?;
         let [f1, f2, f3] = fractions;
         let spaced = (f2 - f1) > 0.0 && ((f3 - f2) - (f2 - f1)).abs() < 1e-9;
         if !(spaced && f1 > 0.0 && f3 <= 1.0) {
@@ -398,10 +489,16 @@ impl<'s> Zatel<'s> {
                 "regression fractions must be equally spaced ascending in (0,1]: {fractions:?}"
             )));
         }
+        let sheet = SpanSheet::new();
         let pre_start = Instant::now();
-        let heatmap = Heatmap::profile(self.scene, self.width, self.height, &self.trace);
-        let quantized =
-            QuantizedHeatmap::quantize(&heatmap, self.options.quant_colors, self.trace.seed);
+        let heatmap = {
+            let _span = sheet.span("heatmap");
+            Heatmap::profile(self.scene, self.width, self.height, &self.trace)
+        };
+        let quantized = {
+            let _span = sheet.span("quantize");
+            QuantizedHeatmap::quantize(&heatmap, self.options.quant_colors, self.trace.seed)
+        };
         let preprocess_wall = pre_start.elapsed();
 
         let sim_start = Instant::now();
@@ -418,11 +515,13 @@ impl<'s> Zatel<'s> {
                 .iter()
                 .map(|g| select_pixels(g, &quantized, &sel_opts))
                 .collect();
-            let outcomes = self.simulate_groups(&down, &groups, &selections);
+            let _span = sheet.span(&format!("simulate-groups {:.0}%", f * 100.0));
+            let outcomes = self.simulate_groups(&down, &groups, &selections, &sheet);
             runs.push((f, outcomes));
         }
         let sim_wall = sim_start.elapsed();
 
+        let _span = sheet.span("extrapolate");
         let mut values = [0.0f64; 7];
         for (i, metric) in Metric::ALL.iter().enumerate() {
             let mut pts = [(0.0, 0.0); 3];
@@ -432,6 +531,7 @@ impl<'s> Zatel<'s> {
             }
             values[i] = regression_to_full(&pts);
         }
+        drop(_span);
 
         let (_, groups) = runs.pop().expect("three runs");
         let k = self.resolve_factor()?;
@@ -441,6 +541,8 @@ impl<'s> Zatel<'s> {
             k,
             preprocess_wall,
             sim_wall,
+            spans: sheet.snapshot(),
+            heatmap: Some(heatmap),
         })
     }
 
@@ -602,6 +704,94 @@ mod tests {
         for g in &traced.groups {
             let trace = g.trace.as_ref().expect("trace attached");
             assert_eq!(trace.counters().phases(), g.stats.warp_issues);
+        }
+    }
+
+    #[test]
+    fn zero_slice_width_is_an_error_not_a_panic() {
+        let scene = SceneId::Sprng.build(1);
+        let mut z = quick_zatel(&scene);
+        z.options_mut().trace_slice_cycles = Some(0);
+        for result in [
+            z.run(),
+            z.run_with_regression([0.2, 0.3, 0.4]),
+            z.run_with_preprocessed(
+                &QuantizedHeatmap::quantize(&Heatmap::profile(&scene, 64, 64, &trace()), 8, 9),
+                Duration::ZERO,
+                None,
+            ),
+        ] {
+            match result {
+                Err(ZatelError::InvalidOptions(msg)) => {
+                    assert!(msg.contains("trace_slice_cycles"), "message: {msg}")
+                }
+                other => panic!("expected InvalidOptions, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_records_phase_and_group_spans() {
+        let scene = SceneId::Sprng.build(1);
+        let pred = quick_zatel(&scene).run().unwrap();
+        let names: Vec<&str> = pred.spans.iter().map(|s| s.name.as_str()).collect();
+        for phase in [
+            "heatmap",
+            "quantize",
+            "select",
+            "simulate-groups",
+            "extrapolate",
+        ] {
+            assert!(
+                names.contains(&phase),
+                "missing span '{phase}' in {names:?}"
+            );
+        }
+        let group_spans = pred
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("group "))
+            .count();
+        assert_eq!(group_spans, pred.groups.len(), "one span per group job");
+        assert!(
+            pred.spans
+                .iter()
+                .all(|s| s.name.starts_with("group ") || s.track == 0),
+            "phase spans live on track 0"
+        );
+        assert!(pred.heatmap.is_some(), "run() keeps the profiled heatmap");
+        // Spans arrive sorted; group spans start inside simulate-groups.
+        let sim = pred
+            .spans
+            .iter()
+            .find(|s| s.name == "simulate-groups")
+            .unwrap();
+        for g in pred.spans.iter().filter(|s| s.name.starts_with("group ")) {
+            assert!(g.start_us >= sim.start_us);
+            assert!(g.start_us + g.dur_us <= sim.start_us + sim.dur_us + 1000);
+        }
+    }
+
+    #[test]
+    fn observing_does_not_change_prediction() {
+        let scene = SceneId::Sprng.build(1);
+        let mut z = quick_zatel(&scene);
+        let plain = z.run().unwrap();
+        assert!(plain.groups.iter().all(|g| g.obs.is_none()));
+        z.options_mut().observe = Some(obs::ObserveOptions::default());
+        z.options_mut().jobs = Some(2);
+        let observed = z.run().unwrap();
+        for m in Metric::ALL {
+            assert_eq!(
+                plain.value(m),
+                observed.value(m),
+                "{m} must ignore observation"
+            );
+        }
+        for g in &observed.groups {
+            let mut recorder = g.obs.clone().expect("obs attached");
+            assert!(recorder.mem_read_latency().count() > 0);
+            assert!(recorder.take_timeline().is_some(), "timeline on by default");
         }
     }
 

@@ -23,6 +23,20 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// When and where one [`SimExecutor::map_timed`] job ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTiming {
+    /// Input index of the job.
+    pub index: usize,
+    /// Worker thread the job ran on (0 on the serial path).
+    pub worker: usize,
+    /// Offset of the job's start from the `map_timed` call.
+    pub start: Duration,
+    /// Wall-clock time the job took.
+    pub wall: Duration,
+}
 
 /// A deterministic, seeded, scoped-thread job pool.
 ///
@@ -134,6 +148,80 @@ impl SimExecutor {
             .map(|r| r.expect("every job index was executed"))
             .collect()
     }
+
+    /// Like [`SimExecutor::map`], additionally measuring when and on which
+    /// worker each job ran. Timings are returned in input order with
+    /// offsets relative to the `map_timed` call, ready to be recorded as
+    /// per-job spans.
+    ///
+    /// The result vector is identical to what [`SimExecutor::map`] returns
+    /// — timing is observation only.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job.
+    pub fn map_timed<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, Vec<JobTiming>)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let epoch = Instant::now();
+        let workers = self.jobs.min(items.len());
+        if workers <= 1 {
+            let mut results = Vec::with_capacity(items.len());
+            let mut timings = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let start = epoch.elapsed();
+                results.push(f(i, item));
+                timings.push(JobTiming {
+                    index: i,
+                    worker: 0,
+                    start,
+                    wall: epoch.elapsed().saturating_sub(start),
+                });
+            }
+            return (results, timings);
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<(R, JobTiming)>> = Vec::new();
+        slots.resize_with(items.len(), || None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for worker in 0..workers {
+                let cursor = &cursor;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut done: Vec<(usize, R, JobTiming)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let start = epoch.elapsed();
+                        let r = f(i, &items[i]);
+                        let timing = JobTiming {
+                            index: i,
+                            worker,
+                            start,
+                            wall: epoch.elapsed().saturating_sub(start),
+                        };
+                        done.push((i, r, timing));
+                    }
+                    done
+                }));
+            }
+            for handle in handles {
+                for (i, r, t) in handle.join().expect("simulation job panicked") {
+                    slots[i] = Some((r, t));
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job index was executed"))
+            .unzip()
+    }
 }
 
 impl Default for SimExecutor {
@@ -212,6 +300,36 @@ mod tests {
         unique.dedup();
         assert_eq!(unique.len(), seeds.len(), "no collisions in a small window");
         assert_ne!(a.job_seed(0), SimExecutor::seeded(4, 43).job_seed(0));
+    }
+
+    #[test]
+    fn map_timed_returns_results_and_orderly_timings() {
+        let items: Vec<u64> = (0..20).collect();
+        let f = |i: usize, x: &u64| (i as u64) + x;
+        for jobs in [1usize, 4] {
+            let exec = SimExecutor::new(jobs);
+            let (results, timings) = exec.map_timed(&items, f);
+            assert_eq!(results, exec.map(&items, f), "same results as map");
+            assert_eq!(timings.len(), items.len());
+            for (i, t) in timings.iter().enumerate() {
+                assert_eq!(t.index, i, "timings come back in input order");
+                assert!(t.worker < jobs.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn map_timed_serial_jobs_do_not_overlap() {
+        let exec = SimExecutor::serial();
+        let (_, timings) = exec.map_timed(&[1u64, 2, 3], |_, _| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        for pair in timings.windows(2) {
+            assert!(
+                pair[1].start >= pair[0].start + pair[0].wall,
+                "serial jobs run back to back: {timings:?}"
+            );
+        }
     }
 
     #[test]

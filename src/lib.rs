@@ -6,7 +6,8 @@
 //! * [`rtcore`] — ray-tracing substrate (math, BVH, scenes, path tracer);
 //! * [`gpusim`] — cycle-level GPU timing simulator (Vulkan-Sim substitute);
 //! * [`rtworkload`] — pixels-as-threads bridge between the two;
-//! * [`zatel`] — the prediction methodology itself.
+//! * [`zatel`] — the prediction methodology itself;
+//! * [`obs`] — observability: Perfetto timelines, metrics, spans, reports.
 //!
 //! See the repository README for the architecture overview and
 //! EXPERIMENTS.md for the paper-reproduction results.
@@ -25,6 +26,7 @@
 //! ```
 
 pub use gpusim;
+pub use obs;
 pub use rtcore;
 pub use rtworkload;
 pub use zatel;
@@ -32,6 +34,7 @@ pub use zatel;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use gpusim::{GpuConfig, Metric, NullHooks, SimHooks, SimStats, Simulator, TraceHooks};
+    pub use obs::{MetricsRegistry, ObsHooks, ObserveOptions, SpanSheet};
     pub use rtcore::scenes::SceneId;
     pub use rtcore::tracer::TraceConfig;
     pub use rtworkload::RtWorkload;
