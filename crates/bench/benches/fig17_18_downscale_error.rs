@@ -8,12 +8,19 @@
 //! 4 MCs) admits K ∈ {2, 4}; RTX 2060 (30 SMs, 12 MCs) admits K ∈ {2, 3, 6}
 //! — spanning the paper's 2–6 sweep.
 
+use std::sync::Arc;
+
 use gpusim::Metric;
 use rtcore::scenes::SceneId;
-use zatel::{DivisionMethod, DownscaleMode, Zatel};
+use zatel::{ArtifactCache, DivisionMethod, SweepDriver, SweepSpec, Zatel};
 use zatel_bench as bench;
 
-fn run_panel(title: &str, scenes: &[SceneId], json: &mut minijson::Map) {
+fn run_panel(
+    title: &str,
+    scenes: &[SceneId],
+    cache: &Arc<ArtifactCache>,
+    json: &mut minijson::Map,
+) {
     println!("\n### {title} ###");
     let mut panel = minijson::Map::new();
     for (config, factors) in [
@@ -37,17 +44,22 @@ fn run_panel(title: &str, scenes: &[SceneId], json: &mut minijson::Map) {
                 let scene = bench::build_scene(scene_id);
                 let reference = bench::reference(&scene, &config);
                 // Error figure (no wall-clock numbers), so the factor axis
-                // can fan out on the shared executor; each run keeps its
-                // own group simulation serial to avoid nested pools.
-                let errors = bench::executor().map(&factors, |_, &k| {
-                    let mut z = Zatel::new(&scene, config.clone(), res, res, bench::trace_config());
-                    z.options_mut().downscale = DownscaleMode::Factor(k);
-                    z.options_mut().division = division;
-                    z.options_mut().selection.percent_override = Some(1.0);
-                    z.options_mut().jobs = Some(1);
-                    let pred = z.run().expect("pipeline runs");
-                    bench::metric_errors(&pred, &reference.stats)
-                });
+                // fans out across points on the shared executor. The
+                // artifact cache is shared across configs, divisions and
+                // panels: each scene's heatmap/quantization is computed
+                // once for the whole figure.
+                let mut base = Zatel::new(&scene, config.clone(), res, res, bench::trace_config());
+                base.options_mut().division = division;
+                base.options_mut().selection.percent_override = Some(1.0);
+                let driver = SweepDriver::new(base)
+                    .with_executor(bench::executor())
+                    .with_cache(Arc::clone(cache));
+                let errors: Vec<Vec<f64>> = driver
+                    .run(&SweepSpec::from_factors(&factors))
+                    .expect("pipeline runs")
+                    .iter()
+                    .map(|o| bench::metric_errors(&o.prediction, &reference.stats))
+                    .collect();
                 for (ki, errs) in errors.into_iter().enumerate() {
                     for (mi, err) in errs.into_iter().enumerate() {
                         if err.is_finite() {
@@ -88,12 +100,26 @@ fn main() {
         "each group traces all of its pixels; errors averaged over the scene set",
     );
     let mut json = minijson::Map::new();
+    // One artifact cache for the whole figure: the Fig. 18 panel reuses
+    // every heatmap the Fig. 17 subset already profiled.
+    let cache = Arc::new(ArtifactCache::in_memory());
     run_panel(
         "Fig. 17: representative LumiBench subset",
         &SceneId::REPRESENTATIVE,
+        &cache,
         &mut json,
     );
-    run_panel("Fig. 18: all benchmark scenes", &SceneId::ALL, &mut json);
+    run_panel(
+        "Fig. 18: all benchmark scenes",
+        &SceneId::ALL,
+        &cache,
+        &mut json,
+    );
+    let stats = cache.stats();
+    println!(
+        "\nartifact cache: {} misses, {} memory hits across both panels",
+        stats.misses, stats.memory_hits
+    );
     println!("\n(paper: fine-grained keeps cycles/IPC error under 12% even at K=6 on the subset;");
     println!(
         " extending to all scenes raises errors — e.g. SPRNG does not stress the downscaled GPU;"

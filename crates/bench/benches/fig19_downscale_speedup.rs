@@ -4,8 +4,10 @@
 //! tracing 1/K of the pixels — i.e. it adds parallelism, not much serial
 //! advantage — which lets Eq. (4) predict it.
 
+use std::sync::Arc;
+
 use rtcore::scenes::SceneId;
-use zatel::{DownscaleMode, Zatel};
+use zatel::{ArtifactCache, SweepDriver, SweepParallelism, SweepSpec, Zatel};
 use zatel_bench as bench;
 
 fn main() {
@@ -22,17 +24,25 @@ fn main() {
     bench::row(&header[0], &header[1..]);
 
     let mut json = minijson::Map::new();
+    // Wall-clock figure: points run serially (groups fan out inside each
+    // point) so per-group timings stay meaningful; the shared cache still
+    // profiles each scene's heatmap only once across the factor axis.
+    let cache = Arc::new(ArtifactCache::in_memory());
     for scene_id in SceneId::ALL {
         let scene = bench::build_scene(scene_id);
         let reference = bench::reference(&scene, &config);
+        let mut base = Zatel::new(&scene, config.clone(), res, res, bench::trace_config());
+        base.options_mut().selection.percent_override = Some(1.0);
+        let driver = SweepDriver::new(base)
+            .with_parallelism(SweepParallelism::Groups)
+            .with_cache(Arc::clone(&cache));
+        let outcomes = driver
+            .run(&SweepSpec::from_factors(&factors))
+            .expect("pipeline runs");
         let mut cells = Vec::new();
         let mut series = Vec::new();
-        for &k in &factors {
-            let mut z = Zatel::new(&scene, config.clone(), res, res, bench::trace_config());
-            z.options_mut().downscale = DownscaleMode::Factor(k);
-            z.options_mut().selection.percent_override = Some(1.0);
-            let pred = z.run().expect("pipeline runs");
-            let speedup = pred.speedup_concurrent(&reference);
+        for outcome in &outcomes {
+            let speedup = outcome.prediction.speedup_concurrent(&reference);
             cells.push(format!("{speedup:.2}x"));
             series.push(speedup);
         }

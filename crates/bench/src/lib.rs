@@ -161,25 +161,23 @@ pub struct SweepPoint {
 /// Runs the pixel-sampling sweep of Figs. 13–16: the scene is traced at
 /// each percentage *without GPU downscaling* (isolating the
 /// representative-pixel optimization) and each prediction is returned.
-/// The heatmap is profiled once and reused across percentages, and the
-/// percentages fan out on the shared [`executor`] (each prediction here is
-/// a single group, so the sweep axis is where the parallelism is).
+/// The sweep drives through [`zatel::SweepDriver`] on the shared
+/// [`executor`]: heatmap and quantization are computed once into the
+/// driver's artifact cache and every percentage point reuses them.
 pub fn percent_sweep(scene: &Scene, config: &GpuConfig, percents: &[f64]) -> Vec<SweepPoint> {
     let res = resolution();
-    let mut z = zatel::Zatel::new(scene, config.clone(), res, res, trace_config());
-    z.options_mut().downscale = zatel::DownscaleMode::NoDownscale;
-    z.options_mut().jobs = Some(1); // inner runs are single-group; don't nest pools
-    let heatmap = zatel::heatmap::Heatmap::profile(scene, res, res, &trace_config());
-    let quantized = zatel::quantize::QuantizedHeatmap::quantize(&heatmap, 8, seed());
-    executor().map(percents, |_, &p| {
-        let prediction = z
-            .run_with_preprocessed(&quantized, std::time::Duration::ZERO, Some(p))
-            .expect("sweep pipeline runs");
-        SweepPoint {
-            percent: p,
-            prediction,
-        }
-    })
+    let mut base = zatel::Zatel::new(scene, config.clone(), res, res, trace_config());
+    base.options_mut().downscale = zatel::DownscaleMode::NoDownscale;
+    let driver = zatel::SweepDriver::new(base).with_executor(executor());
+    driver
+        .run(&zatel::SweepSpec::from_percents(percents))
+        .expect("sweep pipeline runs")
+        .into_iter()
+        .map(|outcome| SweepPoint {
+            percent: outcome.point.percent.expect("percent sweep point"),
+            prediction: outcome.prediction,
+        })
+        .collect()
 }
 
 /// The standard sweep percentages of Fig. 13: 10 % … 90 %.

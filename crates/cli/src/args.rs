@@ -28,7 +28,7 @@ impl std::error::Error for ParseArgsError {}
 
 /// Option keys that take a value; everything else with a `--` prefix is a
 /// boolean flag.
-const VALUE_KEYS: [&str; 18] = [
+const VALUE_KEYS: [&str; 23] = [
     "scene",
     "config",
     "res",
@@ -47,6 +47,11 @@ const VALUE_KEYS: [&str; 18] = [
     "history",
     "pgm",
     "prom",
+    "percents",
+    "ks",
+    "spec",
+    "cache-dir",
+    "runs-out",
 ];
 
 impl Args {

@@ -8,8 +8,12 @@
 //!               [--division fine|coarse] [--dist uniform|lintmp|exptmp]
 //!               [--regression] [--json] [--seed 42] [--spp 2]
 //!               [--trace-out trace.json] [--run-out run.json]
+//! zatel sweep --scene PARK --config mobile --ks 1,2,4 --percents 0.1,0.3,0.6
+//!             [--spec spec.json] [--cache-dir DIR] [--runs-out runs.jsonl]
+//!             [--reference] [--json]
 //! zatel report --run run.json [--history runs.jsonl] [--pgm heatmap.pgm]
 //!              [--prom metrics.prom]
+//! zatel report [--history runs.jsonl]      # summarize recorded history
 //! zatel heatmap --scene WKND --res 256 --out target/heatmaps
 //! ```
 //!
@@ -50,6 +54,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "scenes" => cmd_scenes(),
         "configs" => cmd_configs(),
         "predict" => cmd_predict(&args),
+        "sweep" => cmd_sweep(&args),
         "report" => cmd_report(&args),
         "heatmap" => cmd_heatmap(&args),
         other => Err(format!("unknown subcommand '{other}'; try 'zatel help'")),
@@ -60,7 +65,7 @@ fn print_help() {
     println!(
         "zatel — sample complexity-aware scale-model simulation for ray tracing\n\
          \n\
-         USAGE:\n  zatel <scenes|configs|predict|report|heatmap|help> [options]\n\
+         USAGE:\n  zatel <scenes|configs|predict|sweep|report|heatmap|help> [options]\n\
          \n\
          predict options:\n\
            --scene NAME        benchmark scene (default PARK; see 'zatel scenes')\n\
@@ -82,8 +87,19 @@ fn print_help() {
            --trace-out FILE    write a Perfetto/Chrome-trace JSON timeline of the run\n\
            --run-out FILE      persist a zatel-run-v1 record for 'zatel report'\n\
          \n\
+         sweep options (scene/config/res/spp/seed/division/dist/jobs as for predict):\n\
+           --ks LIST           comma-separated downscale factors, e.g. 1,2,4\n\
+           --percents LIST     comma-separated traced fractions, e.g. 0.1,0.3,0.6\n\
+           --spec FILE         sweep-spec JSON instead of the --ks/--percents matrix\n\
+           --cache-dir DIR     persist stage artifacts on disk (warm reruns skip\n\
+                               heatmap profiling and quantization)\n\
+           --runs-out FILE     append one zatel-sweep-v1 JSON line per point\n\
+           --reference         also run the full simulation and report errors\n\
+           --json              emit machine-readable JSON instead of tables\n\
+         \n\
          report options:\n\
-           --run FILE          run record written by 'zatel predict --run-out'\n\
+           --run FILE          run record written by 'zatel predict --run-out';\n\
+                               without --run, summarizes the recorded history\n\
            --history FILE      append a one-line summary here (default runs.jsonl)\n\
            --pgm FILE          write the execution-time heatmap as a binary PGM\n\
            --prom FILE         write the metrics snapshot in Prometheus text format\n\
@@ -95,19 +111,14 @@ fn print_help() {
 
 fn cmd_scenes() -> Result<(), String> {
     println!("{:<8} {:>10}  characteristics", "scene", "primitives");
-    for id in SceneId::ALL {
+    for id in rtcore::scenes::all() {
         let scene = id.build(42);
-        let tag = match id {
-            SceneId::Park => "heaviest path-tracing load (evaluation headline scene)",
-            SceneId::Ship => "coldest heatmap; mostly sky and water",
-            SceneId::Wknd => "warm/cold split between cabin and meadow",
-            SceneId::Bunny => "uniformly warm; dense fractal figure",
-            SceneId::Sprng => "two objects; rays terminate early (underutilized GPU)",
-            SceneId::Chsnt => "organic clutter around a single tree",
-            SceneId::Spnza => "enclosed colonnade architecture",
-            SceneId::Bath => "longest running; mirrors and glass interior",
-        };
-        println!("{:<8} {:>10}  {tag}", id.name(), scene.primitive_count());
+        println!(
+            "{:<8} {:>10}  {}",
+            id.name(),
+            scene.primitive_count(),
+            id.description()
+        );
     }
     Ok(())
 }
@@ -141,7 +152,7 @@ fn load_config(spec: &str) -> Result<GpuConfig, String> {
 fn scene_from(args: &Args) -> Result<(SceneId, rtcore::scene::Scene, u64), String> {
     let seed = args.get_parsed("seed", 42u64).map_err(|e| e.to_string())?;
     let name = args.get("scene").unwrap_or("PARK");
-    let id = SceneId::from_name(name)
+    let id = rtcore::scenes::by_name(name)
         .ok_or_else(|| format!("unknown scene '{name}'; see 'zatel scenes'"))?;
     let scene = id.build(seed);
     Ok((id, scene, seed))
@@ -150,19 +161,10 @@ fn scene_from(args: &Args) -> Result<(SceneId, rtcore::scene::Scene, u64), Strin
 /// Simulated-cycle width of one `--progress` CPI-stack slice.
 const PROGRESS_SLICE_CYCLES: u64 = 100_000;
 
-fn cmd_predict(args: &Args) -> Result<(), String> {
-    let (_, scene, seed) = scene_from(args)?;
-    let config = load_config(args.get("config").unwrap_or("mobile"))?;
-    let res = args.get_parsed("res", 128u32).map_err(|e| e.to_string())?;
-    let spp = args.get_parsed("spp", 2u32).map_err(|e| e.to_string())?;
-    let trace = TraceConfig {
-        samples_per_pixel: spp,
-        max_bounces: 4,
-        seed,
-    };
-
-    let mut zatel = Zatel::new(&scene, config, res, res, trace);
-    let opts = zatel.options_mut();
+/// Applies the pipeline options shared by `predict` and `sweep`
+/// (`--k`/`--no-downscale`, `--division`, `--dist`, `--percent`, `--cap`,
+/// `--jobs`) onto `opts`.
+fn apply_options(args: &Args, opts: &mut zatel::ZatelOptions) -> Result<(), String> {
     if args.flag("no-downscale") {
         opts.downscale = DownscaleMode::NoDownscale;
     } else if let Some(k) = args.get("k") {
@@ -207,6 +209,23 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         }
         opts.jobs = Some(j);
     }
+    Ok(())
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let (_, scene, seed) = scene_from(args)?;
+    let config = load_config(args.get("config").unwrap_or("mobile"))?;
+    let res = args.get_parsed("res", 128u32).map_err(|e| e.to_string())?;
+    let spp = args.get_parsed("spp", 2u32).map_err(|e| e.to_string())?;
+    let trace = TraceConfig {
+        samples_per_pixel: spp,
+        max_bounces: 4,
+        seed,
+    };
+
+    let mut zatel = Zatel::new(&scene, config, res, res, trace);
+    apply_options(args, zatel.options_mut())?;
+    let opts = zatel.options_mut();
     let progress = args.flag("progress");
     if progress {
         opts.trace_slice_cycles = Some(PROGRESS_SLICE_CYCLES);
@@ -423,6 +442,201 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a comma-separated `--ks`/`--percents` list.
+fn parse_list<T: std::str::FromStr>(key: &str, raw: Option<&str>) -> Result<Vec<T>, String> {
+    let Some(raw) = raw else {
+        return Ok(Vec::new());
+    };
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("--{key}: '{s}' is not a number"))
+        })
+        .collect()
+}
+
+/// The sweep matrix, from `--spec FILE` or the `--ks`/`--percents` axes.
+fn sweep_spec(args: &Args) -> Result<zatel::SweepSpec, String> {
+    if let Some(path) = args.get("spec") {
+        if args.get("ks").is_some() || args.get("percents").is_some() {
+            return Err("--spec replaces --ks/--percents; give one or the other".into());
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading sweep spec '{path}': {e}"))?;
+        let value = minijson::Value::parse(&text)
+            .map_err(|e| format!("parsing sweep spec '{path}': {e}"))?;
+        return zatel::SweepSpec::from_json(&value)
+            .map_err(|e| format!("parsing sweep spec '{path}': {e}"));
+    }
+    let ks: Vec<u32> = parse_list("ks", args.get("ks"))?;
+    let percents: Vec<f64> = parse_list("percents", args.get("percents"))?;
+    if ks.is_empty() && percents.is_empty() {
+        return Err(
+            "sweep needs its matrix: --ks 1,2,4 and/or --percents 0.1,0.3,0.6, \
+             or a --spec spec.json"
+                .into(),
+        );
+    }
+    Ok(zatel::SweepSpec::matrix(&ks, &percents))
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let (_, scene, seed) = scene_from(args)?;
+    let config_spec = args.get("config").unwrap_or("mobile").to_owned();
+    let config = load_config(&config_spec)?;
+    let res = args.get_parsed("res", 128u32).map_err(|e| e.to_string())?;
+    let spp = args.get_parsed("spp", 2u32).map_err(|e| e.to_string())?;
+    let trace = TraceConfig {
+        samples_per_pixel: spp,
+        max_bounces: 4,
+        seed,
+    };
+    let spec = sweep_spec(args)?;
+
+    let mut base = Zatel::new(&scene, config, res, res, trace);
+    apply_options(args, base.options_mut())?;
+    let mut driver = zatel::SweepDriver::new(base);
+    if let Some(dir) = args.get("cache-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating cache dir '{dir}': {e}"))?;
+        driver = driver.with_cache(std::sync::Arc::new(zatel::ArtifactCache::with_disk(dir)));
+    }
+    let outcomes = driver.run(&spec).map_err(|e| e.to_string())?;
+    let reference = args
+        .flag("reference")
+        .then(|| driver.base().run_reference());
+    let stats = driver.cache().stats();
+    eprintln!(
+        "{} points; artifact cache: {} misses, {} memory hits, {} disk hits",
+        outcomes.len(),
+        stats.misses,
+        stats.memory_hits,
+        stats.disk_hits
+    );
+
+    if let Some(path) = args.get("runs-out") {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("opening '{path}': {e}"))?;
+        for outcome in &outcomes {
+            let record = sweep_record(
+                &config_spec,
+                &scene,
+                res,
+                spp,
+                seed,
+                outcome,
+                reference.as_ref(),
+            );
+            writeln!(file, "{record}").map_err(|e| format!("appending to '{path}': {e}"))?;
+        }
+        eprintln!(
+            "appended {} sweep records to {path} (summarize with 'zatel report --history {path}')",
+            outcomes.len()
+        );
+    }
+
+    if args.flag("json") {
+        let mut out = minijson::Map::new();
+        out.insert("scene".into(), minijson::json!(scene.name()));
+        out.insert("config".into(), minijson::json!(config_spec.as_str()));
+        out.insert("cache_stats".into(), stats.to_json());
+        let points: Vec<minijson::Value> = outcomes
+            .iter()
+            .map(|o| sweep_record(&config_spec, &scene, res, spp, seed, o, reference.as_ref()))
+            .collect();
+        out.insert("points".into(), minijson::Value::Array(points));
+        println!("{}", minijson::Value::Object(out).pretty());
+        return Ok(());
+    }
+
+    let with_ref = reference.is_some();
+    print!(
+        "{:<24} {:>4} {:>14} {:>10}",
+        "point", "K", "cycles", "sim ms"
+    );
+    if with_ref {
+        print!(" {:>8} {:>9}", "MAE", "speedup");
+    }
+    println!(" {:>18}", "cache");
+    for outcome in &outcomes {
+        let pred = &outcome.prediction;
+        let hits = pred.cache.iter().filter(|r| r.outcome.is_hit()).count();
+        print!(
+            "{:<24} {:>4} {:>14.0} {:>10.2}",
+            outcome.point.label,
+            pred.k,
+            pred.value(Metric::SimCycles),
+            pred.sim_wall.as_secs_f64() * 1000.0
+        );
+        if let Some(reference) = &reference {
+            print!(
+                " {:>7.1}% {:>8.1}x",
+                100.0 * pred.mae_vs(&reference.stats),
+                pred.speedup_concurrent(reference)
+            );
+        }
+        println!(" {:>12} hits/{}", hits, pred.cache.len());
+    }
+    Ok(())
+}
+
+/// One `zatel-sweep-v1` line of `zatel sweep --runs-out` (also the
+/// per-point object of `zatel sweep --json`).
+fn sweep_record(
+    config_spec: &str,
+    scene: &rtcore::scene::Scene,
+    res: u32,
+    spp: u32,
+    seed: u64,
+    outcome: &zatel::SweepOutcome,
+    reference: Option<&Reference>,
+) -> minijson::Value {
+    let pred = &outcome.prediction;
+    let mut rec = minijson::Map::new();
+    rec.insert("schema".into(), minijson::json!("zatel-sweep-v1"));
+    rec.insert("scene".into(), minijson::json!(scene.name()));
+    rec.insert("config".into(), minijson::json!(config_spec));
+    rec.insert("res".into(), minijson::json!(res));
+    rec.insert("spp".into(), minijson::json!(spp));
+    rec.insert("seed".into(), minijson::json!(seed));
+    rec.insert(
+        "label".into(),
+        minijson::json!(outcome.point.label.as_str()),
+    );
+    rec.insert("point".into(), outcome.point.to_json());
+    rec.insert("k".into(), minijson::json!(pred.k));
+    let mut metrics = minijson::Map::new();
+    for m in Metric::ALL {
+        metrics.insert(m.name().into(), minijson::json!(pred.value(m)));
+    }
+    rec.insert("prediction".into(), minijson::Value::Object(metrics));
+    if let Some(reference) = reference {
+        rec.insert("mae".into(), minijson::json!(pred.mae_vs(&reference.stats)));
+        rec.insert(
+            "speedup_concurrent".into(),
+            minijson::json!(pred.speedup_concurrent(reference)),
+        );
+    }
+    rec.insert(
+        "sim_wall_ms".into(),
+        minijson::json!(pred.sim_wall.as_secs_f64() * 1000.0),
+    );
+    rec.insert(
+        "preprocess_wall_ms".into(),
+        minijson::json!(pred.preprocess_wall.as_secs_f64() * 1000.0),
+    );
+    rec.insert(
+        "cache".into(),
+        minijson::Value::Array(pred.cache.iter().map(ToJson::to_json).collect()),
+    );
+    minijson::Value::Object(rec)
+}
+
 /// Builds the `zatel-run-v1` record persisted by `--run-out` and consumed
 /// by `zatel report`. Wall-clock times live only in span/wall fields so
 /// the `metrics` section stays byte-identical across repeat runs.
@@ -537,9 +751,9 @@ fn heatmap_to_json(heatmap: &zatel::heatmap::Heatmap) -> minijson::Value {
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
-    let path = args
-        .get("run")
-        .ok_or("report needs --run <run.json> (written by 'zatel predict --run-out')")?;
+    let Some(path) = args.get("run") else {
+        return cmd_report_history(args);
+    };
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("reading run record '{path}': {e}"))?;
     let run =
@@ -572,6 +786,54 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         std::fs::write(prom, registry.to_prometheus("zatel"))
             .map_err(|e| format!("writing '{prom}': {e}"))?;
         eprintln!("wrote Prometheus metrics to {prom}");
+    }
+    Ok(())
+}
+
+/// `zatel report` without `--run`: summarize the recorded run history
+/// (`zatel report --run` summary lines and `zatel sweep --runs-out`
+/// records share one file).
+fn cmd_report_history(args: &Args) -> Result<(), String> {
+    let history = args.get("history").unwrap_or("runs.jsonl");
+    let runs =
+        zatel::sweep::load_history(std::path::Path::new(history)).map_err(|e| e.to_string())?;
+    println!("{} recorded runs in {history}", runs.len());
+    println!(
+        "{:<8} {:<24} {:>4} {:>14} {:>8} {:>10}",
+        "scene", "point", "K", "cycles", "MAE", "sim ms"
+    );
+    for run in &runs {
+        let text = |key: &str, default: &str| -> String {
+            run.get(key)
+                .and_then(minijson::Value::as_str)
+                .unwrap_or(default)
+                .to_owned()
+        };
+        // Sweep records carry cycles under prediction.<metric>; predict
+        // summary lines hoist them to a top-level "cycles".
+        let cycles = run
+            .get("prediction")
+            .and_then(|p| p.get(Metric::SimCycles.name()))
+            .or_else(|| run.get("cycles"))
+            .and_then(minijson::Value::as_f64);
+        let num = |v: Option<f64>, scale: f64, unit: &str| -> String {
+            v.map_or_else(|| "-".into(), |v| format!("{:.1}{unit}", v * scale))
+        };
+        println!(
+            "{:<8} {:<24} {:>4} {:>14} {:>8} {:>10}",
+            text("scene", "?"),
+            text("label", "predict"),
+            run.get("k")
+                .and_then(minijson::Value::as_u64)
+                .map_or_else(|| "-".into(), |k| k.to_string()),
+            num(cycles, 1.0, ""),
+            num(run.get("mae").and_then(minijson::Value::as_f64), 100.0, "%"),
+            num(
+                run.get("sim_wall_ms").and_then(minijson::Value::as_f64),
+                1.0,
+                ""
+            ),
+        );
     }
     Ok(())
 }

@@ -479,6 +479,129 @@ fn report_rejects_missing_and_malformed_records() {
 }
 
 #[test]
+fn sweep_matrix_appends_runs_and_warm_cache_agrees() {
+    let dir = std::env::temp_dir().join("zatel-cli-sweep");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("cache");
+    let runs = dir.join("runs.jsonl");
+    let sweep = || {
+        stdout(&[
+            "sweep",
+            "--scene",
+            "SPRNG",
+            "--res",
+            "32",
+            "--spp",
+            "1",
+            "--seed",
+            "7",
+            "--ks",
+            "1,2",
+            "--percents",
+            "0.5",
+            "--json",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--runs-out",
+            runs.to_str().unwrap(),
+        ])
+    };
+    let cold = minijson::Value::parse(&sweep()).expect("valid JSON");
+    let warm = minijson::Value::parse(&sweep()).expect("valid JSON");
+
+    let points = |v: &minijson::Value| -> Vec<minijson::Value> {
+        v.get("points")
+            .and_then(minijson::Value::as_array)
+            .expect("points array")
+            .to_vec()
+    };
+    let (cold_pts, warm_pts) = (points(&cold), points(&warm));
+    assert_eq!(cold_pts.len(), 2, "K=1,2 × p=0.5 matrix");
+    for (c, w) in cold_pts.iter().zip(&warm_pts) {
+        assert_eq!(
+            c.get("schema").and_then(minijson::Value::as_str),
+            Some("zatel-sweep-v1")
+        );
+        // The warm run serves preprocessing from the on-disk cache yet
+        // predicts byte-identical statistics.
+        assert_eq!(
+            c.get("prediction").unwrap().to_string(),
+            w.get("prediction").unwrap().to_string(),
+            "warm-cache predictions identical"
+        );
+        assert_eq!(
+            c.get("label").and_then(minijson::Value::as_str),
+            w.get("label").and_then(minijson::Value::as_str)
+        );
+    }
+    let heatmap_outcome = |v: &minijson::Value| -> String {
+        v.get("cache")
+            .and_then(minijson::Value::as_array)
+            .expect("cache records")
+            .iter()
+            .find(|r| r.get("stage").and_then(minijson::Value::as_str) == Some("heatmap"))
+            .and_then(|r| r.get("outcome").and_then(minijson::Value::as_str))
+            .expect("heatmap outcome")
+            .to_owned()
+    };
+    // Within a run the driver pre-warms, so points see memory hits; the
+    // warm process never recomputes (its pre-warm loads from disk).
+    assert_eq!(heatmap_outcome(&cold_pts[0]), "memory");
+    assert_eq!(heatmap_outcome(&warm_pts[0]), "memory");
+
+    let lines: Vec<String> = std::fs::read_to_string(&runs)
+        .expect("runs.jsonl written")
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(lines.len(), 4, "two sweeps × two points");
+    for line in &lines {
+        let v = minijson::Value::parse(line).expect("runs line is JSON");
+        assert_eq!(
+            v.get("scene").and_then(minijson::Value::as_str),
+            Some("SPRNG")
+        );
+    }
+
+    let history = stdout(&["report", "--history", runs.to_str().unwrap()]);
+    assert!(history.contains("4 recorded runs"), "{history}");
+    assert!(history.contains("K=1 p=50%"), "{history}");
+}
+
+#[test]
+fn sweep_accepts_spec_file_and_rejects_missing_matrix() {
+    let dir = std::env::temp_dir().join("zatel-cli-sweep-spec");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("spec.json");
+    std::fs::write(&spec, r#"{"points": [{"label": "half", "percent": 0.5}]}"#).unwrap();
+    let text = stdout(&[
+        "sweep",
+        "--scene",
+        "SPRNG",
+        "--res",
+        "32",
+        "--spp",
+        "1",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--json",
+    ]);
+    let v = minijson::Value::parse(&text).expect("valid JSON");
+    let points = v.get("points").and_then(minijson::Value::as_array).unwrap();
+    assert_eq!(points.len(), 1);
+    assert_eq!(
+        points[0].get("label").and_then(minijson::Value::as_str),
+        Some("half")
+    );
+
+    let out = zatel(&["sweep", "--scene", "SPRNG", "--res", "32"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--ks"), "stderr names the matrix flags: {err}");
+}
+
+#[test]
 fn heatmap_writes_ppm_files() {
     let dir = std::env::temp_dir().join("zatel-cli-heatmaps");
     let _ = std::fs::remove_dir_all(&dir);

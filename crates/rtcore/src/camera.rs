@@ -59,6 +59,14 @@ impl Camera {
         self.origin
     }
 
+    /// Feeds the full camera basis into a content fingerprint. Fields are
+    /// private, so the scene fingerprint delegates here.
+    pub(crate) fn write_fingerprint(&self, h: &mut crate::fingerprint::Fnv64) {
+        for v in [self.origin, self.lower_left, self.horizontal, self.vertical] {
+            h.write_f32(v.x).write_f32(v.y).write_f32(v.z);
+        }
+    }
+
     /// Generates a primary ray through pixel `(x, y)` of a `width × height`
     /// image, jittered inside the pixel footprint by `rng` for antialiasing.
     /// Pixel `(0, 0)` is the top-left corner, matching image convention.

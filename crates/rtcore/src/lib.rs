@@ -28,6 +28,7 @@
 
 pub mod bvh;
 pub mod camera;
+pub mod fingerprint;
 pub mod geom;
 pub mod image;
 pub mod material;

@@ -2,8 +2,9 @@
 
 use crate::bvh::Bvh;
 use crate::camera::Camera;
+use crate::fingerprint::Fnv64;
 use crate::geom::{Primitive, Sphere, Triangle};
-use crate::material::{Material, MaterialId};
+use crate::material::{Material, MaterialId, Surface};
 use crate::math::Vec3;
 
 /// A point light used for next-event-estimation shadow rays (the green
@@ -27,6 +28,7 @@ pub struct Scene {
     lights: Vec<PointLight>,
     camera: Camera,
     bvh: Bvh,
+    fingerprint: u64,
 }
 
 impl Scene {
@@ -73,6 +75,66 @@ impl Scene {
     pub fn primitive_count(&self) -> usize {
         self.primitives.len()
     }
+
+    /// Content fingerprint over name, camera, materials, lights and every
+    /// primitive (exact f32 bit patterns). Two scenes with identical
+    /// content — regardless of how they were assembled — share a
+    /// fingerprint, which keys cached derived artifacts (heatmaps,
+    /// quantizations) in the `zatel` pipeline.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+fn write_vec3(h: &mut Fnv64, v: Vec3) {
+    h.write_f32(v.x).write_f32(v.y).write_f32(v.z);
+}
+
+fn content_fingerprint(
+    name: &str,
+    camera: &Camera,
+    materials: &[Material],
+    lights: &[PointLight],
+    primitives: &[Primitive],
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("zatel-scene-v1");
+    h.write_str(name);
+    camera.write_fingerprint(&mut h);
+    h.write_u64(materials.len() as u64);
+    for m in materials {
+        match m.surface {
+            Surface::Diffuse => h.write_u8(0),
+            Surface::Mirror { fuzz } => h.write_u8(1).write_f32(fuzz),
+            Surface::Glass { ior } => h.write_u8(2).write_f32(ior),
+            Surface::Emissive => h.write_u8(3),
+        };
+        write_vec3(&mut h, m.color);
+    }
+    h.write_u64(lights.len() as u64);
+    for l in lights {
+        write_vec3(&mut h, l.position);
+        write_vec3(&mut h, l.intensity);
+    }
+    h.write_u64(primitives.len() as u64);
+    for p in primitives {
+        match p {
+            Primitive::Triangle(t) => {
+                h.write_u8(0);
+                write_vec3(&mut h, t.a);
+                write_vec3(&mut h, t.b);
+                write_vec3(&mut h, t.c);
+                h.write_u32(t.material.0);
+            }
+            Primitive::Sphere(s) => {
+                h.write_u8(1);
+                write_vec3(&mut h, s.center);
+                h.write_f32(s.radius);
+                h.write_u32(s.material.0);
+            }
+        }
+    }
+    h.finish()
 }
 
 /// Incrementally assembles a [`Scene`].
@@ -170,6 +232,13 @@ impl SceneBuilder {
             );
         }
         let bvh = Bvh::build(&self.primitives);
+        let fingerprint = content_fingerprint(
+            &self.name,
+            &self.camera,
+            &self.materials,
+            &self.lights,
+            &self.primitives,
+        );
         Scene {
             name: self.name,
             primitives: self.primitives,
@@ -177,6 +246,7 @@ impl SceneBuilder {
             lights: self.lights,
             camera: self.camera,
             bvh,
+            fingerprint,
         }
     }
 }
@@ -211,6 +281,33 @@ mod tests {
         let mut b = SceneBuilder::new("bad", camera());
         b.add_sphere(Vec3::ZERO, 1.0, MaterialId(3));
         b.build();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let build = |radius: f32| {
+            let mut b = SceneBuilder::new("fp", camera());
+            let m = b.add_material(Material::diffuse(Vec3::ONE));
+            b.add_sphere(Vec3::ZERO, radius, m);
+            b.add_light(Vec3::Y * 5.0, Vec3::splat(10.0));
+            b.build()
+        };
+        let a = build(1.0);
+        let b = build(1.0);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same content, same fp");
+        let c = build(1.5);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "geometry change, new fp");
+    }
+
+    #[test]
+    fn fingerprint_depends_on_name() {
+        let build = |name: &str| {
+            let mut b = SceneBuilder::new(name, camera());
+            let m = b.add_material(Material::diffuse(Vec3::ONE));
+            b.add_sphere(Vec3::ZERO, 1.0, m);
+            b.build()
+        };
+        assert_ne!(build("a").fingerprint(), build("b").fingerprint());
     }
 
     #[test]

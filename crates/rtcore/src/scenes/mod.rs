@@ -81,6 +81,22 @@ impl SceneId {
             .find(|s| s.name().eq_ignore_ascii_case(name))
     }
 
+    /// One-line workload characterization, as listed in the paper's Fig. 9
+    /// discussion. The single source for scene descriptions across the
+    /// CLI, benches and examples.
+    pub fn description(self) -> &'static str {
+        match self {
+            SceneId::Park => "heaviest load, saturates the GPU",
+            SceneId::Ship => "coldest heatmap (sky/water)",
+            SceneId::Wknd => "warm/cold mix",
+            SceneId::Bunny => "uniformly warm heatmap",
+            SceneId::Sprng => "two objects, underutilized GPU",
+            SceneId::Chsnt => "mid-complexity organic clutter",
+            SceneId::Spnza => "enclosed architecture, deep occlusion",
+            SceneId::Bath => "longest-running, reflective interior",
+        }
+    }
+
     /// Builds the scene deterministically from `seed`.
     pub fn build(self, seed: u64) -> Scene {
         match self {
@@ -100,6 +116,23 @@ impl std::fmt::Display for SceneId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// The scene registry: every benchmark scene, in the paper's Fig. 9 order.
+///
+/// Module-level alias for [`SceneId::ALL`] so callers can iterate scenes
+/// without naming the enum (`for id in scenes::all() { ... }`).
+pub fn all() -> [SceneId; 8] {
+    SceneId::ALL
+}
+
+/// Looks up a scene by name, case-insensitively.
+///
+/// Module-level alias for [`SceneId::from_name`] — the registry entry
+/// point that the CLI, benches and examples share instead of hand-rolled
+/// name match arms.
+pub fn by_name(name: &str) -> Option<SceneId> {
+    SceneId::from_name(name)
 }
 
 /// PARK: bumpy terrain, dense tetrahedral "foliage" clutter, sphere-flake
@@ -779,6 +812,16 @@ mod tests {
             assert_eq!(SceneId::from_name(&id.name().to_lowercase()), Some(id));
         }
         assert_eq!(SceneId::from_name("NOPE"), None);
+    }
+
+    #[test]
+    fn registry_matches_scene_id_api() {
+        assert_eq!(all(), SceneId::ALL);
+        for id in all() {
+            assert_eq!(by_name(id.name()), Some(id));
+            assert!(!id.description().is_empty());
+        }
+        assert_eq!(by_name("nope"), None);
     }
 
     #[test]

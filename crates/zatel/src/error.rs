@@ -9,6 +9,8 @@ pub enum ZatelError {
     Downscale(DownscaleError),
     /// An option combination is invalid (details in the message).
     InvalidOptions(String),
+    /// A run-history file (`runs.jsonl`) is missing, empty or malformed.
+    History(String),
 }
 
 impl std::fmt::Display for ZatelError {
@@ -16,6 +18,7 @@ impl std::fmt::Display for ZatelError {
         match self {
             ZatelError::Downscale(e) => write!(f, "{e}"),
             ZatelError::InvalidOptions(msg) => write!(f, "invalid Zatel options: {msg}"),
+            ZatelError::History(msg) => write!(f, "run history: {msg}"),
         }
     }
 }
@@ -24,7 +27,7 @@ impl std::error::Error for ZatelError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ZatelError::Downscale(e) => Some(e),
-            ZatelError::InvalidOptions(_) => None,
+            ZatelError::InvalidOptions(_) | ZatelError::History(_) => None,
         }
     }
 }

@@ -134,6 +134,32 @@ impl Heatmap {
         Self::from_costs(&profile_costs(scene, width, height, trace))
     }
 
+    /// Reassembles a heatmap from raw parts (the on-disk artifact cache).
+    pub(crate) fn from_raw(width: u32, height: u32, values: Vec<f32>) -> Self {
+        assert_eq!(
+            values.len(),
+            (width as u64 * height as u64) as usize,
+            "value count must match dimensions"
+        );
+        Heatmap {
+            width,
+            height,
+            values,
+        }
+    }
+
+    /// Content fingerprint over dimensions and the exact temperature bit
+    /// patterns; keys derived artifacts in the stage cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = rtcore::fingerprint::Fnv64::new();
+        h.write_str("zatel-heatmap-v1");
+        h.write_u32(self.width).write_u32(self.height);
+        for &v in &self.values {
+            h.write_f32(v);
+        }
+        h.finish()
+    }
+
     /// Heatmap width in pixels.
     pub fn width(&self) -> u32 {
         self.width

@@ -61,9 +61,13 @@ pub mod pipeline;
 pub mod quantize;
 pub mod select;
 pub mod sim_executor;
+pub mod stages;
+pub mod sweep;
 
 pub use error::ZatelError;
 pub use partition::{DivisionMethod, Group};
 pub use pipeline::{DownscaleMode, GroupOutcome, Prediction, Reference, Zatel, ZatelOptions};
 pub use select::{Distribution, Selection, SelectionOptions};
 pub use sim_executor::{JobTiming, SimExecutor};
+pub use stages::{ArtifactCache, CacheOutcome, CacheStats, StageCacheRecord};
+pub use sweep::{SweepDriver, SweepOutcome, SweepParallelism, SweepPointSpec, SweepSpec};

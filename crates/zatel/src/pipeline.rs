@@ -1,11 +1,19 @@
 //! The end-to-end Zatel pipeline (paper Fig. 3): heatmap → quantize →
 //! downscale → divide → select → simulate per group → combine.
+//!
+//! [`Zatel::run`] is a thin composition over the stage graph of
+//! [`crate::stages`]: each phase executes through an [`ArtifactCache`], so
+//! callers that share a cache across runs (the [`crate::sweep`] driver)
+//! reuse heatmap/quantize/divide artifacts instead of recomputing them.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gpusim::{GpuConfig, Metric, SimStats, Simulator, TraceHooks};
+use minijson::{FromJson, JsonError, Map, ToJson, Value};
 use obs::span::SpanSheet;
 use obs::{ObsHooks, ObserveOptions, SpanRecord};
+use rtcore::fingerprint::Fnv64;
 use rtcore::scene::Scene;
 use rtcore::tracer::TraceConfig;
 use rtworkload::RtWorkload;
@@ -18,6 +26,10 @@ use crate::partition::{divide, DivisionMethod, Group};
 use crate::quantize::QuantizedHeatmap;
 use crate::select::{select_pixels, Selection, SelectionOptions};
 use crate::sim_executor::{available_jobs, SimExecutor};
+use crate::stages::{
+    ArtifactCache, DivideStage, ExtrapolateStage, Fingerprint, GroupSimStage, HeatmapStage,
+    QuantizeStage, SelectInput, SelectStage, SimInput, Stage, StageCacheRecord,
+};
 
 /// How the target GPU is downscaled before group simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,6 +166,10 @@ pub struct Prediction {
     /// [`Zatel::run_with_regression`]; `None` when the pipeline reused a
     /// caller-supplied quantized heatmap.
     pub heatmap: Option<Heatmap>,
+    /// How each stage execution interacted with the artifact cache, in
+    /// pipeline order. A cold [`Zatel::run`] reports all misses; sweep
+    /// points sharing a cache report hits for the reused artifacts.
+    pub cache: Vec<StageCacheRecord>,
 }
 
 impl Prediction {
@@ -229,12 +245,12 @@ impl Prediction {
 /// ```
 #[derive(Debug)]
 pub struct Zatel<'s> {
-    scene: &'s Scene,
-    target: GpuConfig,
-    width: u32,
-    height: u32,
-    trace: TraceConfig,
-    options: ZatelOptions,
+    pub(crate) scene: &'s Scene,
+    pub(crate) target: GpuConfig,
+    pub(crate) width: u32,
+    pub(crate) height: u32,
+    pub(crate) trace: TraceConfig,
+    pub(crate) options: ZatelOptions,
 }
 
 impl<'s> Zatel<'s> {
@@ -302,27 +318,52 @@ impl<'s> Zatel<'s> {
         Ok(k)
     }
 
-    /// Runs the full prediction pipeline.
+    /// Runs the full prediction pipeline on a private in-memory artifact
+    /// cache (every stage computes fresh).
     ///
     /// # Errors
     ///
     /// Returns [`ZatelError`] if the configured downscale factor is
     /// invalid.
     pub fn run(&self) -> Result<Prediction, ZatelError> {
+        self.run_cached(&ArtifactCache::in_memory())
+    }
+
+    /// Runs the full prediction pipeline through `cache`: stages whose
+    /// artifacts are already cached are served instead of recomputed, and
+    /// their spans carry a `" (cached)"` suffix. Statistics are
+    /// bit-identical to a cold [`Zatel::run`] — the cache only removes
+    /// redundant work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZatelError`] if the configured downscale factor is
+    /// invalid.
+    pub fn run_cached(&self, cache: &ArtifactCache) -> Result<Prediction, ZatelError> {
         self.options.validate()?;
         let sheet = SpanSheet::new();
+        let mut records = Vec::new();
         let pre_start = Instant::now();
-        let heatmap = {
-            let _span = sheet.span("heatmap");
-            Heatmap::profile(self.scene, self.width, self.height, &self.trace)
-        };
-        let quantized = {
-            let _span = sheet.span("quantize");
-            QuantizedHeatmap::quantize(&heatmap, self.options.quant_colors, self.trace.seed)
-        };
+        let (heatmap, _) = staged(
+            cache,
+            &sheet,
+            &mut records,
+            &self.heatmap_stage(),
+            self.scene,
+            self.scene.fingerprint(),
+        );
+        let (quantized, _) = staged(
+            cache,
+            &sheet,
+            &mut records,
+            &self.quantize_stage(),
+            heatmap.as_ref(),
+            heatmap.fingerprint(),
+        );
         let preprocess_wall = pre_start.elapsed();
-        let mut prediction = self.run_inner(&quantized, preprocess_wall, None, &sheet)?;
-        prediction.heatmap = Some(heatmap);
+        let mut prediction =
+            self.run_from_quantized(&quantized, preprocess_wall, None, cache, &sheet, records)?;
+        prediction.heatmap = Some(heatmap.as_ref().clone());
         Ok(prediction)
     }
 
@@ -341,67 +382,121 @@ impl<'s> Zatel<'s> {
     ) -> Result<Prediction, ZatelError> {
         self.options.validate()?;
         let sheet = SpanSheet::new();
-        self.run_inner(quantized, preprocess_wall, percent_override, &sheet)
+        self.run_from_quantized(
+            &Arc::new(quantized.clone()),
+            preprocess_wall,
+            percent_override,
+            &ArtifactCache::in_memory(),
+            &sheet,
+            Vec::new(),
+        )
     }
 
-    /// The post-preprocessing pipeline: divide, select, simulate and
-    /// combine, recording phase spans on `sheet`.
-    fn run_inner(
+    /// The heatmap stage for this predictor's resolution and trace config.
+    pub(crate) fn heatmap_stage(&self) -> HeatmapStage {
+        HeatmapStage {
+            width: self.width,
+            height: self.height,
+            trace: self.trace,
+        }
+    }
+
+    /// The quantize stage for this predictor's colour count and seed.
+    pub(crate) fn quantize_stage(&self) -> QuantizeStage {
+        QuantizeStage {
+            colors: self.options.quant_colors,
+            seed: self.trace.seed,
+        }
+    }
+
+    /// The post-preprocessing pipeline: the divide → select →
+    /// simulate-groups → extrapolate stages, composed through `cache` with
+    /// phase spans on `sheet`.
+    fn run_from_quantized(
         &self,
-        quantized: &QuantizedHeatmap,
+        quantized: &Arc<QuantizedHeatmap>,
         preprocess_wall: Duration,
         percent_override: Option<f64>,
+        cache: &ArtifactCache,
         sheet: &SpanSheet,
+        mut records: Vec<StageCacheRecord>,
     ) -> Result<Prediction, ZatelError> {
         let k = self.resolve_factor()?;
         let down = self.target.downscaled(k)?;
-        let groups = divide(self.width, self.height, k, self.options.division);
+        let (groups, groups_fp) = staged(
+            cache,
+            sheet,
+            &mut records,
+            &DivideStage {
+                width: self.width,
+                height: self.height,
+                k,
+                division: self.options.division,
+            },
+            &(),
+            0,
+        );
 
         let mut sel_opts = self.options.selection;
         if let Some(p) = percent_override {
             sel_opts.percent_override = Some(p);
         }
-        let selections: Vec<Selection> = {
-            let _span = sheet.span("select");
-            groups
-                .iter()
-                .map(|g| select_pixels(g, quantized, &sel_opts))
-                .collect()
-        };
+        let mut input_h = Fnv64::new();
+        input_h
+            .write_u64(groups_fp)
+            .write_u64(quantized.fingerprint());
+        let (selections, _) = staged(
+            cache,
+            sheet,
+            &mut records,
+            &SelectStage { options: sel_opts },
+            &SelectInput {
+                groups: Arc::clone(&groups),
+                quantized: Arc::clone(quantized),
+            },
+            input_h.finish(),
+        );
 
         let sim_start = Instant::now();
-        let outcomes = {
-            let _span = sheet.span("simulate-groups");
-            self.simulate_groups(&down, &groups, &selections, sheet)
-        };
+        let (outcomes, _) = staged(
+            cache,
+            sheet,
+            &mut records,
+            &GroupSimStage {
+                zatel: self,
+                down: &down,
+                sheet,
+            },
+            &SimInput {
+                groups: Arc::clone(&groups),
+                selections: Arc::clone(&selections),
+            },
+            0,
+        );
         let sim_wall = sim_start.elapsed();
+        // Uncacheable outputs are never retained by the cache, so this is
+        // the only reference and unwraps without cloning.
+        let outcomes = Arc::try_unwrap(outcomes).unwrap_or_else(|a| a.as_ref().clone());
 
         // Combine: per-metric linear extrapolation then the Section III-H rule.
-        let _span = sheet.span("extrapolate");
-        let mut values = [0.0f64; 7];
-        for (i, metric) in Metric::ALL.iter().enumerate() {
-            let per_group: Vec<f64> = outcomes
-                .iter()
-                .map(|o| metric.extrapolate(metric.value(&o.stats), o.traced_fraction))
-                .collect();
-            values[i] = metric.combine(&per_group);
-        }
-        drop(_span);
+        let (metric_vector, _) =
+            staged(cache, sheet, &mut records, &ExtrapolateStage, &outcomes, 0);
 
         Ok(Prediction {
-            values,
+            values: metric_vector.0,
             groups: outcomes,
             k,
             preprocess_wall,
             sim_wall,
             spans: sheet.snapshot(),
             heatmap: None,
+            cache: records,
         })
     }
 
     /// Runs every group's simulation (in parallel when configured),
     /// recording one `group N` span per job on `sheet`.
-    fn simulate_groups(
+    pub(crate) fn simulate_groups(
         &self,
         down: &GpuConfig,
         groups: &[Group],
@@ -543,6 +638,9 @@ impl<'s> Zatel<'s> {
             sim_wall,
             spans: sheet.snapshot(),
             heatmap: Some(heatmap),
+            // The regression variant simulates three traced fractions
+            // directly; none of its work flows through the stage cache.
+            cache: Vec::new(),
         })
     }
 
@@ -557,6 +655,129 @@ impl<'s> Zatel<'s> {
             stats,
             wall: start.elapsed(),
         }
+    }
+}
+
+/// Executes `stage` through `cache`, recording a span named
+/// [`Stage::NAME`] (with a `" (cached)"` suffix when the artifact was
+/// reused) and appending a [`StageCacheRecord`].
+fn staged<S: Stage>(
+    cache: &ArtifactCache,
+    sheet: &SpanSheet,
+    records: &mut Vec<StageCacheRecord>,
+    stage: &S,
+    input: &S::Input,
+    input_fp: Fingerprint,
+) -> (Arc<S::Output>, Fingerprint) {
+    let start = sheet.elapsed();
+    let (artifact, fingerprint, outcome) = cache.get_or_run(stage, input, input_fp);
+    let dur = sheet.elapsed().saturating_sub(start);
+    let name = if outcome.is_hit() {
+        format!("{} (cached)", S::NAME)
+    } else {
+        S::NAME.to_owned()
+    };
+    sheet.record(&name, 0, start, dur);
+    records.push(StageCacheRecord {
+        stage: S::NAME,
+        fingerprint,
+        outcome,
+    });
+    (artifact, fingerprint)
+}
+
+impl ToJson for DownscaleMode {
+    fn to_json(&self) -> Value {
+        match self {
+            DownscaleMode::Natural => Value::from("natural"),
+            DownscaleMode::NoDownscale => Value::from("none"),
+            DownscaleMode::Factor(k) => Value::from(*k),
+        }
+    }
+}
+
+impl FromJson for DownscaleMode {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        if let Some(k) = value.as_u64() {
+            let k = u32::try_from(k)
+                .map_err(|_| JsonError::conversion("downscale factor out of range"))?;
+            return Ok(if k <= 1 {
+                DownscaleMode::NoDownscale
+            } else {
+                DownscaleMode::Factor(k)
+            });
+        }
+        match value.as_str() {
+            Some("natural") => Ok(DownscaleMode::Natural),
+            Some("none") => Ok(DownscaleMode::NoDownscale),
+            _ => Err(JsonError::conversion(
+                "downscale mode must be \"natural\", \"none\" or a factor",
+            )),
+        }
+    }
+}
+
+impl ToJson for ZatelOptions {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("division".into(), self.division.to_json());
+        m.insert("selection".into(), self.selection.to_json());
+        m.insert("quant_colors".into(), Value::from(self.quant_colors));
+        m.insert("downscale".into(), self.downscale.to_json());
+        m.insert("parallel".into(), Value::from(self.parallel));
+        m.insert("jobs".into(), self.jobs.map_or(Value::Null, Value::from));
+        m.insert(
+            "trace_slice_cycles".into(),
+            self.trace_slice_cycles.map_or(Value::Null, Value::from),
+        );
+        m.insert(
+            "observe".into(),
+            self.observe.as_ref().map_or(Value::Null, ToJson::to_json),
+        );
+        Value::Object(m)
+    }
+}
+
+impl FromJson for ZatelOptions {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "ZatelOptions";
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| JsonError::missing_field(TY, name))
+        };
+        let optional = |name: &str| match value.get(name) {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(v),
+        };
+        Ok(ZatelOptions {
+            division: DivisionMethod::from_json(field("division")?)?,
+            selection: SelectionOptions::from_json(field("selection")?)?,
+            quant_colors: field("quant_colors")?
+                .as_u64()
+                .ok_or_else(|| JsonError::missing_field(TY, "quant_colors"))?
+                as usize,
+            downscale: DownscaleMode::from_json(field("downscale")?)?,
+            parallel: field("parallel")?
+                .as_bool()
+                .ok_or_else(|| JsonError::missing_field(TY, "parallel"))?,
+            jobs: optional("jobs")
+                .map(|v| {
+                    v.as_u64()
+                        .map(|n| n as usize)
+                        .ok_or_else(|| JsonError::missing_field(TY, "jobs"))
+                })
+                .transpose()?,
+            trace_slice_cycles: optional("trace_slice_cycles")
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| JsonError::missing_field(TY, "trace_slice_cycles"))
+                })
+                .transpose()?,
+            observe: optional("observe")
+                .map(ObserveOptions::from_json)
+                .transpose()?,
+        })
     }
 }
 

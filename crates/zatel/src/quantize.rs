@@ -62,6 +62,60 @@ impl QuantizedHeatmap {
         }
     }
 
+    /// Reassembles a quantized heatmap from raw parts (the on-disk
+    /// artifact cache). Callers must have validated the invariants
+    /// (cluster ids in range, one coolness per centroid).
+    pub(crate) fn from_raw(
+        width: u32,
+        height: u32,
+        clusters: Vec<u16>,
+        centroids: Vec<Vec3>,
+        coolness: Vec<f32>,
+    ) -> Self {
+        assert_eq!(clusters.len(), (width as u64 * height as u64) as usize);
+        assert_eq!(centroids.len(), coolness.len());
+        QuantizedHeatmap {
+            width,
+            height,
+            clusters,
+            centroids,
+            coolness,
+        }
+    }
+
+    /// Per-pixel cluster ids, row-major (the on-disk artifact cache).
+    pub(crate) fn raw_clusters(&self) -> &[u16] {
+        &self.clusters
+    }
+
+    /// Centroid colours by cluster id (the on-disk artifact cache).
+    pub(crate) fn raw_centroids(&self) -> &[Vec3] {
+        &self.centroids
+    }
+
+    /// Coolness values by cluster id (the on-disk artifact cache).
+    pub(crate) fn raw_coolness(&self) -> &[f32] {
+        &self.coolness
+    }
+
+    /// Content fingerprint over dimensions, assignments, centroid and
+    /// coolness bit patterns; keys derived artifacts in the stage cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = rtcore::fingerprint::Fnv64::new();
+        h.write_str("zatel-quantized-v1");
+        h.write_u32(self.width).write_u32(self.height);
+        for &c in &self.clusters {
+            h.write_u32(c as u32);
+        }
+        for c in &self.centroids {
+            h.write_f32(c.x).write_f32(c.y).write_f32(c.z);
+        }
+        for &c in &self.coolness {
+            h.write_f32(c);
+        }
+        h.finish()
+    }
+
     /// Width in pixels.
     pub fn width(&self) -> u32 {
         self.width

@@ -1,0 +1,864 @@
+//! The pipeline as a stage graph with a content-addressed artifact cache.
+//!
+//! Each phase of the Zatel pipeline (heatmap → quantize → divide → select
+//! → group-simulate → extrapolate) is a [`Stage`]: a pure function from a
+//! typed input to a typed output [`Artifact`], plus a deterministic
+//! *parameter fingerprint* covering exactly the options that feed that
+//! stage — not the whole [`ZatelOptions`](crate::ZatelOptions). Combining
+//! the stage name, its parameter fingerprint and the input's content
+//! fingerprint yields the artifact's cache key, so the [`ArtifactCache`]
+//! can recognize repeated work across pipeline runs.
+//!
+//! This is what makes sweeps cheap: a sweep over traced-percentages or
+//! downscale factors varies only the select/simulate stages, so the
+//! heatmap, quantization and division artifacts are computed once and
+//! served from cache for every subsequent sweep point. An opt-in on-disk
+//! layer ([`ArtifactCache::with_disk`]) extends reuse across processes for
+//! the artifacts that serialize losslessly (heatmap, quantized heatmap).
+//!
+//! ```
+//! use rtcore::scenes::SceneId;
+//! use rtcore::tracer::TraceConfig;
+//! use zatel::stages::{ArtifactCache, CacheOutcome, HeatmapStage};
+//!
+//! let scene = SceneId::Sprng.build(1);
+//! let trace = TraceConfig { samples_per_pixel: 1, max_bounces: 2, seed: 1 };
+//! let cache = ArtifactCache::in_memory();
+//! let stage = HeatmapStage { width: 16, height: 16, trace };
+//! let (_, _, first) = cache.get_or_run(&stage, &scene, scene.fingerprint());
+//! let (_, _, second) = cache.get_or_run(&stage, &scene, scene.fingerprint());
+//! assert_eq!(first, CacheOutcome::Miss);
+//! assert_eq!(second, CacheOutcome::MemoryHit);
+//! ```
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gpusim::Metric;
+use minijson::{Map, ToJson, Value};
+use rtcore::fingerprint::Fnv64;
+use rtcore::math::Vec3;
+use rtcore::scene::Scene;
+use rtcore::tracer::TraceConfig;
+
+use crate::heatmap::Heatmap;
+use crate::partition::{divide, DivisionMethod, Group};
+use crate::pipeline::GroupOutcome;
+use crate::quantize::QuantizedHeatmap;
+use crate::select::{select_pixels, Selection, SelectionOptions};
+
+/// A 64-bit content/derivation fingerprint (FNV-1a).
+pub type Fingerprint = u64;
+
+/// A value a stage produces. Artifacts live in the cache behind `Arc`, so
+/// they must be shareable across threads; the disk hooks are optional and
+/// only implemented by artifacts whose JSON round-trip is bit-exact.
+pub trait Artifact: Send + Sync + 'static {
+    /// Serializes the artifact for the on-disk cache layer; `None` (the
+    /// default) keeps the artifact memory-only.
+    fn to_disk(&self) -> Option<Value> {
+        None
+    }
+
+    /// Rebuilds the artifact from its [`Artifact::to_disk`] encoding;
+    /// `None` on malformed input (treated as a cache miss).
+    fn from_disk(_value: &Value) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
+}
+
+/// One phase of the pipeline: a deterministic `Input → Output` function
+/// identified by a name and a parameter fingerprint.
+pub trait Stage {
+    /// What the stage consumes. Inputs are borrowed, never stored, so they
+    /// may be arbitrarily large (a whole scene).
+    type Input: ?Sized;
+    /// What the stage produces.
+    type Output: Artifact;
+
+    /// Stable stage name; the first component of the cache key and the
+    /// span name recorded for the stage.
+    const NAME: &'static str;
+
+    /// Fingerprint over exactly the parameters that influence the output —
+    /// two stage instances with equal fingerprints must compute identical
+    /// outputs from identical inputs.
+    fn params_fingerprint(&self) -> Fingerprint;
+
+    /// Computes the output. Must be deterministic in `(self, input)`.
+    fn run(&self, input: &Self::Input) -> Self::Output;
+
+    /// Whether the output may be cached. Stages whose outputs embed
+    /// per-run observations (wall-clock times, hook recordings) return
+    /// `false`.
+    fn cacheable(&self) -> bool {
+        true
+    }
+}
+
+/// How a [`ArtifactCache::get_or_run`] request was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Computed now (and stored, if cacheable).
+    Miss,
+    /// Served from the in-memory map.
+    MemoryHit,
+    /// Served from the on-disk layer (and promoted to memory).
+    DiskHit,
+    /// The stage is not cacheable; always computed.
+    Uncacheable,
+}
+
+impl CacheOutcome {
+    /// `true` when the artifact was reused instead of recomputed.
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheOutcome::MemoryHit | CacheOutcome::DiskHit)
+    }
+
+    /// Stable lowercase label (`"miss"`, `"memory"`, `"disk"`,
+    /// `"uncacheable"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::MemoryHit => "memory",
+            CacheOutcome::DiskHit => "disk",
+            CacheOutcome::Uncacheable => "uncacheable",
+        }
+    }
+}
+
+/// How one stage execution interacted with the cache; attached to
+/// [`Prediction::cache`](crate::Prediction::cache) so runs report their
+/// reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageCacheRecord {
+    /// The stage's [`Stage::NAME`].
+    pub stage: &'static str,
+    /// The artifact's cache key.
+    pub fingerprint: Fingerprint,
+    /// How the request was served.
+    pub outcome: CacheOutcome,
+}
+
+impl ToJson for StageCacheRecord {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("stage".into(), Value::from(self.stage));
+        m.insert(
+            "fingerprint".into(),
+            Value::from(format!("{:016x}", self.fingerprint)),
+        );
+        m.insert("outcome".into(), Value::from(self.outcome.label()));
+        Value::Object(m)
+    }
+}
+
+/// Cumulative hit/miss counters of an [`ArtifactCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from the in-memory map.
+    pub memory_hits: u64,
+    /// Requests served from the on-disk layer.
+    pub disk_hits: u64,
+    /// Requests that computed the artifact.
+    pub misses: u64,
+}
+
+impl ToJson for CacheStats {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("memory_hits".into(), Value::from(self.memory_hits));
+        m.insert("disk_hits".into(), Value::from(self.disk_hits));
+        m.insert("misses".into(), Value::from(self.misses));
+        Value::Object(m)
+    }
+}
+
+type MemMap = HashMap<(&'static str, Fingerprint), Arc<dyn Any + Send + Sync>>;
+
+/// A content-addressed store of stage outputs.
+///
+/// Keys are `(stage name, fingerprint)` where the fingerprint mixes the
+/// stage's parameter fingerprint with the input's content fingerprint —
+/// any change to either produces a new key, which is the entire cache
+/// invalidation story: stale entries are never *wrong*, only unreachable.
+///
+/// The cache is internally synchronized and is shared across sweep worker
+/// threads behind an `Arc`.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    mem: Mutex<MemMap>,
+    disk_dir: Option<PathBuf>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache::in_memory()
+    }
+}
+
+impl ArtifactCache {
+    /// A purely in-memory cache.
+    pub fn in_memory() -> Self {
+        ArtifactCache {
+            mem: Mutex::new(HashMap::new()),
+            disk_dir: None,
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by `dir`: disk-persistable artifacts are written as
+    /// `{stage}-{fingerprint:016x}.json` on miss and read back on a memory
+    /// miss (then promoted to memory). The directory is created on first
+    /// write; I/O failures degrade to cache misses, never errors.
+    pub fn with_disk(dir: impl Into<PathBuf>) -> Self {
+        ArtifactCache {
+            disk_dir: Some(dir.into()),
+            ..ArtifactCache::in_memory()
+        }
+    }
+
+    /// The on-disk directory, when the disk layer is enabled.
+    pub fn disk_dir(&self) -> Option<&PathBuf> {
+        self.disk_dir.as_ref()
+    }
+
+    /// Cumulative hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of artifacts currently held in memory.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("artifact cache lock").len()
+    }
+
+    /// `true` when no artifacts are held in memory.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cache key of `stage` applied to an input with content
+    /// fingerprint `input_fp`.
+    pub fn key_of<S: Stage>(stage: &S, input_fp: Fingerprint) -> Fingerprint {
+        let mut h = Fnv64::new();
+        h.write_str("zatel-stage-v1");
+        h.write_str(S::NAME);
+        h.write_u64(stage.params_fingerprint());
+        h.write_u64(input_fp);
+        h.finish()
+    }
+
+    /// Returns the stage's output for `input`, computing it only when no
+    /// cached copy exists. Returns the artifact, its cache key and how the
+    /// request was served.
+    pub fn get_or_run<S: Stage>(
+        &self,
+        stage: &S,
+        input: &S::Input,
+        input_fp: Fingerprint,
+    ) -> (Arc<S::Output>, Fingerprint, CacheOutcome) {
+        let fp = Self::key_of(stage, input_fp);
+        if !stage.cacheable() {
+            return (Arc::new(stage.run(input)), fp, CacheOutcome::Uncacheable);
+        }
+        let key = (S::NAME, fp);
+        if let Some(hit) = self.mem.lock().expect("artifact cache lock").get(&key) {
+            let artifact = Arc::clone(hit)
+                .downcast::<S::Output>()
+                .expect("artifact type matches its stage");
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return (artifact, fp, CacheOutcome::MemoryHit);
+        }
+        if let Some(artifact) = self.read_disk::<S>(fp) {
+            let artifact = Arc::new(artifact);
+            self.mem
+                .lock()
+                .expect("artifact cache lock")
+                .insert(key, Arc::clone(&artifact) as Arc<dyn Any + Send + Sync>);
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return (artifact, fp, CacheOutcome::DiskHit);
+        }
+        let artifact = Arc::new(stage.run(input));
+        self.write_disk(S::NAME, fp, artifact.as_ref());
+        self.mem
+            .lock()
+            .expect("artifact cache lock")
+            .insert(key, Arc::clone(&artifact) as Arc<dyn Any + Send + Sync>);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (artifact, fp, CacheOutcome::Miss)
+    }
+
+    fn disk_path(&self, stage: &str, fp: Fingerprint) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{stage}-{fp:016x}.json")))
+    }
+
+    fn read_disk<S: Stage>(&self, fp: Fingerprint) -> Option<S::Output> {
+        let path = self.disk_path(S::NAME, fp)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let value = Value::parse(&text).ok()?;
+        S::Output::from_disk(&value)
+    }
+
+    fn write_disk<A: Artifact>(&self, stage: &str, fp: Fingerprint, artifact: &A) {
+        let (Some(path), Some(value)) = (self.disk_path(stage, fp), artifact.to_disk()) else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            if std::fs::create_dir_all(dir).is_err() {
+                return;
+            }
+        }
+        let _ = std::fs::write(path, value.pretty());
+    }
+}
+
+// --- Stage implementations -------------------------------------------------
+
+/// Stage ①: profile the execution-time heatmap of a scene.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeatmapStage {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Functional-tracer configuration used for profiling.
+    pub trace: TraceConfig,
+}
+
+impl Stage for HeatmapStage {
+    type Input = Scene;
+    type Output = Heatmap;
+    const NAME: &'static str = "heatmap";
+
+    fn params_fingerprint(&self) -> Fingerprint {
+        let mut h = Fnv64::new();
+        h.write_u32(self.width).write_u32(self.height);
+        h.write_u32(self.trace.samples_per_pixel)
+            .write_u32(self.trace.max_bounces)
+            .write_u64(self.trace.seed);
+        h.finish()
+    }
+
+    fn run(&self, scene: &Scene) -> Heatmap {
+        Heatmap::profile(scene, self.width, self.height, &self.trace)
+    }
+}
+
+impl Artifact for Heatmap {
+    fn to_disk(&self) -> Option<Value> {
+        let mut m = Map::new();
+        m.insert("width".into(), Value::from(self.width()));
+        m.insert("height".into(), Value::from(self.height()));
+        m.insert("values".into(), Value::from(self.values()));
+        Some(Value::Object(m))
+    }
+
+    fn from_disk(value: &Value) -> Option<Self> {
+        let width = value.get("width")?.as_u64()? as u32;
+        let height = value.get("height")?.as_u64()? as u32;
+        let values: Vec<f32> = value
+            .get("values")?
+            .as_array()?
+            .iter()
+            .map(|v| v.as_f64().map(|f| f as f32))
+            .collect::<Option<_>>()?;
+        if values.len() != (width as u64 * height as u64) as usize {
+            return None;
+        }
+        Some(Heatmap::from_raw(width, height, values))
+    }
+}
+
+/// Stage ②: K-means colour quantization of the heatmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantizeStage {
+    /// Number of K-means colours.
+    pub colors: usize,
+    /// K-means seed.
+    pub seed: u64,
+}
+
+impl Stage for QuantizeStage {
+    type Input = Heatmap;
+    type Output = QuantizedHeatmap;
+    const NAME: &'static str = "quantize";
+
+    fn params_fingerprint(&self) -> Fingerprint {
+        let mut h = Fnv64::new();
+        h.write_u64(self.colors as u64).write_u64(self.seed);
+        h.finish()
+    }
+
+    fn run(&self, heatmap: &Heatmap) -> QuantizedHeatmap {
+        QuantizedHeatmap::quantize(heatmap, self.colors, self.seed)
+    }
+}
+
+fn vec3_to_json(v: Vec3) -> Value {
+    Value::from(vec![v.x, v.y, v.z])
+}
+
+fn vec3_from_json(value: &Value) -> Option<Vec3> {
+    let a = value.as_array()?;
+    if a.len() != 3 {
+        return None;
+    }
+    Some(Vec3::new(
+        a[0].as_f64()? as f32,
+        a[1].as_f64()? as f32,
+        a[2].as_f64()? as f32,
+    ))
+}
+
+impl Artifact for QuantizedHeatmap {
+    fn to_disk(&self) -> Option<Value> {
+        let mut m = Map::new();
+        m.insert("width".into(), Value::from(self.width()));
+        m.insert("height".into(), Value::from(self.height()));
+        m.insert("clusters".into(), Value::from(self.raw_clusters()));
+        m.insert(
+            "centroids".into(),
+            Value::Array(
+                self.raw_centroids()
+                    .iter()
+                    .map(|&c| vec3_to_json(c))
+                    .collect(),
+            ),
+        );
+        m.insert("coolness".into(), Value::from(self.raw_coolness()));
+        Some(Value::Object(m))
+    }
+
+    fn from_disk(value: &Value) -> Option<Self> {
+        let width = value.get("width")?.as_u64()? as u32;
+        let height = value.get("height")?.as_u64()? as u32;
+        let clusters: Vec<u16> = value
+            .get("clusters")?
+            .as_array()?
+            .iter()
+            .map(|v| v.as_u64().and_then(|n| u16::try_from(n).ok()))
+            .collect::<Option<_>>()?;
+        let centroids: Vec<Vec3> = value
+            .get("centroids")?
+            .as_array()?
+            .iter()
+            .map(vec3_from_json)
+            .collect::<Option<_>>()?;
+        let coolness: Vec<f32> = value
+            .get("coolness")?
+            .as_array()?
+            .iter()
+            .map(|v| v.as_f64().map(|f| f as f32))
+            .collect::<Option<_>>()?;
+        if clusters.len() != (width as u64 * height as u64) as usize
+            || centroids.len() != coolness.len()
+            || clusters.iter().any(|&c| (c as usize) >= centroids.len())
+        {
+            return None;
+        }
+        Some(QuantizedHeatmap::from_raw(
+            width, height, clusters, centroids, coolness,
+        ))
+    }
+}
+
+/// Stage ④: divide the image plane into K groups. Pure function of its
+/// parameters — the input is `()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivideStage {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Downscale factor K (number of groups).
+    pub k: u32,
+    /// Division method.
+    pub division: DivisionMethod,
+}
+
+impl Stage for DivideStage {
+    type Input = ();
+    type Output = Vec<Group>;
+    const NAME: &'static str = "divide";
+
+    fn params_fingerprint(&self) -> Fingerprint {
+        let mut h = Fnv64::new();
+        h.write_u32(self.width)
+            .write_u32(self.height)
+            .write_u32(self.k);
+        match self.division {
+            DivisionMethod::Coarse => {
+                h.write_u8(0);
+            }
+            DivisionMethod::Fine {
+                chunk_width,
+                chunk_height,
+            } => {
+                h.write_u8(1).write_u32(chunk_width).write_u32(chunk_height);
+            }
+        }
+        h.finish()
+    }
+
+    fn run(&self, _: &()) -> Vec<Group> {
+        divide(self.width, self.height, self.k, self.division)
+    }
+}
+
+impl Artifact for Vec<Group> {}
+
+/// Input of [`SelectStage`]: the groups and the quantized heatmap, shared
+/// by `Arc` so the stage input can be assembled from cached artifacts
+/// without copying.
+#[derive(Debug, Clone)]
+pub struct SelectInput {
+    /// Image-plane groups (output of [`DivideStage`]).
+    pub groups: Arc<Vec<Group>>,
+    /// Quantized heatmap (output of [`QuantizeStage`]).
+    pub quantized: Arc<QuantizedHeatmap>,
+}
+
+/// Stage ⑤: select each group's representative pixels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectStage {
+    /// Selection parameters (with any percent override already applied).
+    pub options: SelectionOptions,
+}
+
+impl Stage for SelectStage {
+    type Input = SelectInput;
+    type Output = Vec<Selection>;
+    const NAME: &'static str = "select";
+
+    fn params_fingerprint(&self) -> Fingerprint {
+        let o = &self.options;
+        let mut h = Fnv64::new();
+        h.write_u32(o.block_width).write_u32(o.block_height);
+        h.write_u8(match o.distribution {
+            crate::select::Distribution::Uniform => 0,
+            crate::select::Distribution::LinTmp => 1,
+            crate::select::Distribution::ExpTmp => 2,
+        });
+        h.write_f64(o.clamp.0).write_f64(o.clamp.1);
+        match o.percent_override {
+            None => h.write_u8(0),
+            Some(p) => h.write_u8(1).write_f64(p),
+        };
+        match o.percent_cap {
+            None => h.write_u8(0),
+            Some(p) => h.write_u8(1).write_f64(p),
+        };
+        h.write_u64(o.seed);
+        h.finish()
+    }
+
+    fn run(&self, input: &SelectInput) -> Vec<Selection> {
+        input
+            .groups
+            .iter()
+            .map(|g| select_pixels(g, &input.quantized, &self.options))
+            .collect()
+    }
+}
+
+impl Artifact for Vec<Selection> {}
+
+/// Input of [`GroupSimStage`]: the groups and their selections, shared by
+/// `Arc` from the cached divide/select artifacts.
+#[derive(Debug, Clone)]
+pub struct SimInput {
+    /// Image-plane groups (output of [`DivideStage`]).
+    pub groups: Arc<Vec<Group>>,
+    /// Per-group selections (output of [`SelectStage`]), parallel to
+    /// `groups`.
+    pub selections: Arc<Vec<Selection>>,
+}
+
+/// Stage ⑥: simulate every group on the downscaled GPU. Uncacheable —
+/// outcomes embed wall-clock timings and optional hook recordings, and
+/// the simulation *is* the measurement being taken.
+#[derive(Debug)]
+pub struct GroupSimStage<'a, 's> {
+    /// The predictor owning scene, trace config and options.
+    pub zatel: &'a crate::pipeline::Zatel<'s>,
+    /// The downscaled GPU configuration groups run on.
+    pub down: &'a gpusim::GpuConfig,
+    /// Span sheet receiving one `group N` span per job.
+    pub sheet: &'a obs::span::SpanSheet,
+}
+
+impl Stage for GroupSimStage<'_, '_> {
+    type Input = SimInput;
+    type Output = Vec<GroupOutcome>;
+    const NAME: &'static str = "simulate-groups";
+
+    fn params_fingerprint(&self) -> Fingerprint {
+        Fnv64::new().finish()
+    }
+
+    fn run(&self, input: &SimInput) -> Vec<GroupOutcome> {
+        self.zatel
+            .simulate_groups(self.down, &input.groups, &input.selections, self.sheet)
+    }
+
+    fn cacheable(&self) -> bool {
+        false
+    }
+}
+
+impl Artifact for Vec<GroupOutcome> {}
+
+/// Stage ⑦: per-metric linear extrapolation and the Section III-H combine
+/// rule. Uncacheable — its input embeds per-run wall-clock observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExtrapolateStage;
+
+/// Output of [`ExtrapolateStage`]: one combined, extrapolated value per
+/// metric, in [`Metric::ALL`] order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricVector(
+    /// Values in [`Metric::ALL`] order.
+    pub [f64; 7],
+);
+
+impl Artifact for MetricVector {}
+
+impl Stage for ExtrapolateStage {
+    type Input = Vec<GroupOutcome>;
+    type Output = MetricVector;
+    const NAME: &'static str = "extrapolate";
+
+    fn params_fingerprint(&self) -> Fingerprint {
+        Fnv64::new().finish()
+    }
+
+    fn run(&self, outcomes: &Vec<GroupOutcome>) -> MetricVector {
+        let mut values = [0.0f64; 7];
+        for (i, metric) in Metric::ALL.iter().enumerate() {
+            let per_group: Vec<f64> = outcomes
+                .iter()
+                .map(|o| metric.extrapolate(metric.value(&o.stats), o.traced_fraction))
+                .collect();
+            values[i] = metric.combine(&per_group);
+        }
+        MetricVector(values)
+    }
+
+    fn cacheable(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcore::scenes::SceneId;
+
+    fn trace() -> TraceConfig {
+        TraceConfig {
+            samples_per_pixel: 1,
+            max_bounces: 2,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn heatmap_stage_caches_by_scene_and_params() {
+        let a = SceneId::Sprng.build(1);
+        let b = SceneId::Sprng.build(1);
+        let cache = ArtifactCache::in_memory();
+        let stage = HeatmapStage {
+            width: 16,
+            height: 16,
+            trace: trace(),
+        };
+        let (hm1, fp1, o1) = cache.get_or_run(&stage, &a, a.fingerprint());
+        // Identical content in a different Scene instance hits.
+        let (hm2, fp2, o2) = cache.get_or_run(&stage, &b, b.fingerprint());
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::MemoryHit);
+        assert_eq!(fp1, fp2);
+        assert!(Arc::ptr_eq(&hm1, &hm2));
+        // A parameter change misses.
+        let wider = HeatmapStage { width: 32, ..stage };
+        let (_, fp3, o3) = cache.get_or_run(&wider, &a, a.fingerprint());
+        assert_eq!(o3, CacheOutcome::Miss);
+        assert_ne!(fp1, fp3);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                memory_hits: 1,
+                disk_hits: 0,
+                misses: 2
+            }
+        );
+    }
+
+    #[test]
+    fn disk_layer_round_trips_heatmap_and_quantized() {
+        let scene = SceneId::Sprng.build(1);
+        let dir = std::env::temp_dir().join(format!(
+            "zatel-stage-test-{}-{:x}",
+            std::process::id(),
+            scene.fingerprint()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let hm_stage = HeatmapStage {
+            width: 16,
+            height: 16,
+            trace: trace(),
+        };
+        let q_stage = QuantizeStage { colors: 4, seed: 5 };
+
+        let warm = ArtifactCache::with_disk(&dir);
+        let (hm1, _, _) = warm.get_or_run(&hm_stage, &scene, scene.fingerprint());
+        let (q1, _, _) = warm.get_or_run(&q_stage, hm1.as_ref(), hm1.fingerprint());
+
+        // A fresh cache over the same directory must hit disk and produce
+        // bit-identical artifacts.
+        let cold = ArtifactCache::with_disk(&dir);
+        let (hm2, _, o_hm) = cold.get_or_run(&hm_stage, &scene, scene.fingerprint());
+        let (q2, _, o_q) = cold.get_or_run(&q_stage, hm2.as_ref(), hm2.fingerprint());
+        assert_eq!(o_hm, CacheOutcome::DiskHit);
+        assert_eq!(o_q, CacheOutcome::DiskHit);
+        assert_eq!(hm1.as_ref(), hm2.as_ref());
+        assert_eq!(q1.as_ref(), q2.as_ref());
+        // And the promotion to memory serves subsequent requests.
+        let (_, _, o3) = cold.get_or_run(&hm_stage, &scene, scene.fingerprint());
+        assert_eq!(o3, CacheOutcome::MemoryHit);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn divide_stage_is_pure_in_its_params() {
+        let cache = ArtifactCache::in_memory();
+        let stage = DivideStage {
+            width: 64,
+            height: 64,
+            k: 4,
+            division: DivisionMethod::default_fine(),
+        };
+        let (g1, _, _) = cache.get_or_run(&stage, &(), 0);
+        let (g2, _, o2) = cache.get_or_run(&stage, &(), 0);
+        assert_eq!(o2, CacheOutcome::MemoryHit);
+        assert_eq!(g1.len(), 4);
+        assert!(Arc::ptr_eq(&g1, &g2));
+        let coarse = DivideStage {
+            division: DivisionMethod::Coarse,
+            ..stage
+        };
+        let (_, _, o3) = cache.get_or_run(&coarse, &(), 0);
+        assert_eq!(o3, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn select_stage_key_tracks_percent_override() {
+        let scene = SceneId::Sprng.build(1);
+        let cache = ArtifactCache::in_memory();
+        let hm_stage = HeatmapStage {
+            width: 32,
+            height: 32,
+            trace: trace(),
+        };
+        let (hm, _, _) = cache.get_or_run(&hm_stage, &scene, scene.fingerprint());
+        let q_stage = QuantizeStage { colors: 4, seed: 5 };
+        let (q, q_fp, _) = cache.get_or_run(&q_stage, hm.as_ref(), hm.fingerprint());
+        let d_stage = DivideStage {
+            width: 32,
+            height: 32,
+            k: 2,
+            division: DivisionMethod::default_fine(),
+        };
+        let (groups, g_fp, _) = cache.get_or_run(&d_stage, &(), 0);
+        let input = SelectInput {
+            groups,
+            quantized: q,
+        };
+        let mut input_h = Fnv64::new();
+        input_h.write_u64(g_fp).write_u64(q_fp);
+        let input_fp = input_h.finish();
+
+        let base = SelectStage {
+            options: SelectionOptions::default(),
+        };
+        let (_, _, o1) = cache.get_or_run(&base, &input, input_fp);
+        let (_, _, o2) = cache.get_or_run(&base, &input, input_fp);
+        assert_eq!((o1, o2), (CacheOutcome::Miss, CacheOutcome::MemoryHit));
+
+        let overridden = SelectStage {
+            options: SelectionOptions {
+                percent_override: Some(0.4),
+                ..SelectionOptions::default()
+            },
+        };
+        let (_, _, o3) = cache.get_or_run(&overridden, &input, input_fp);
+        assert_eq!(o3, CacheOutcome::Miss, "percent override changes the key");
+    }
+
+    struct SquareStage;
+    impl Artifact for u64 {}
+    impl Stage for SquareStage {
+        type Input = u64;
+        type Output = u64;
+        const NAME: &'static str = "square";
+        fn params_fingerprint(&self) -> Fingerprint {
+            Fnv64::new().finish()
+        }
+        fn run(&self, input: &u64) -> u64 {
+            input * input
+        }
+        fn cacheable(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn uncacheable_stage_is_always_computed() {
+        let cache = ArtifactCache::in_memory();
+        let (v1, _, o1) = cache.get_or_run(&SquareStage, &7, 1);
+        let (v2, _, o2) = cache.get_or_run(&SquareStage, &7, 1);
+        assert_eq!((*v1, *v2), (49, 49));
+        assert_eq!(o1, CacheOutcome::Uncacheable);
+        assert_eq!(o2, CacheOutcome::Uncacheable);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn cache_records_serialize() {
+        let r = StageCacheRecord {
+            stage: "heatmap",
+            fingerprint: 0xAB,
+            outcome: CacheOutcome::DiskHit,
+        };
+        let v = r.to_json();
+        assert_eq!(v.get("stage").and_then(Value::as_str), Some("heatmap"));
+        assert_eq!(
+            v.get("fingerprint").and_then(Value::as_str),
+            Some("00000000000000ab")
+        );
+        assert_eq!(v.get("outcome").and_then(Value::as_str), Some("disk"));
+        assert!(CacheOutcome::DiskHit.is_hit());
+        assert!(!CacheOutcome::Miss.is_hit());
+    }
+}

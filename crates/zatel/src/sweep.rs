@@ -1,0 +1,629 @@
+//! The unified sweep driver: every consumer that runs the pipeline at
+//! many option points (the Fig. 13–19 benches, the CLI's `zatel sweep`,
+//! the examples) drives through [`SweepDriver`] instead of hand-rolling a
+//! per-point loop.
+//!
+//! A sweep is a base [`Zatel`] predictor plus a [`SweepSpec`] — a list of
+//! [`SweepPointSpec`]s, each overriding a handful of options (downscale
+//! factor, traced percentage, Eq. (1) clamp bounds). The driver runs every
+//! point through one shared [`ArtifactCache`], so scene profiling,
+//! quantization and image-plane division are computed once per sweep
+//! instead of once per point, and fans the points onto the existing
+//! [`SimExecutor`].
+//!
+//! Two parallelism shapes cover all consumers:
+//!
+//! * [`SweepParallelism::Points`] — points fan out across host workers and
+//!   each point simulates its groups serially. Best throughput for
+//!   error-only figures (Figs. 13–18) where per-point wall-clock does not
+//!   matter.
+//! * [`SweepParallelism::Groups`] — points run serially and each point's
+//!   groups fan out, preserving the wall-clock fidelity that
+//!   [`Prediction::speedup_concurrent`] measurements need (Fig. 19).
+//!
+//! Statistics are bit-identical between the two shapes and between cold
+//! and warm caches — the cache and the executor only remove redundant
+//! work, never change results.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use minijson::{FromJson, JsonError, Map, ToJson, Value};
+
+use crate::error::ZatelError;
+use crate::pipeline::{DownscaleMode, Prediction, Zatel};
+use crate::sim_executor::SimExecutor;
+use crate::stages::ArtifactCache;
+
+/// One point of a sweep: a label plus the options it overrides on the
+/// driver's base predictor. `None` fields keep the base value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPointSpec {
+    /// Human-readable point name (row label in tables, JSON `label`).
+    pub label: String,
+    /// Override of [`crate::ZatelOptions::downscale`].
+    pub downscale: Option<DownscaleMode>,
+    /// Override of the traced-pixel fraction
+    /// ([`crate::SelectionOptions::percent_override`]).
+    pub percent: Option<f64>,
+    /// Override of the Eq. (1) clamp bounds
+    /// ([`crate::SelectionOptions::clamp`]).
+    pub clamp: Option<(f64, f64)>,
+}
+
+impl SweepPointSpec {
+    /// A point that runs the base options unchanged.
+    pub fn named(label: impl Into<String>) -> Self {
+        SweepPointSpec {
+            label: label.into(),
+            downscale: None,
+            percent: None,
+            clamp: None,
+        }
+    }
+}
+
+/// Derives a point label from its overrides (`"K=4 p=30%"`; `"default"`
+/// when nothing is overridden).
+fn derive_label(
+    downscale: Option<DownscaleMode>,
+    percent: Option<f64>,
+    clamp: Option<(f64, f64)>,
+) -> String {
+    let mut parts = Vec::new();
+    if let Some(d) = downscale {
+        parts.push(match d {
+            DownscaleMode::Natural => "K=natural".to_owned(),
+            DownscaleMode::NoDownscale => "K=1".to_owned(),
+            DownscaleMode::Factor(k) => format!("K={k}"),
+        });
+    }
+    if let Some(p) = percent {
+        parts.push(format!("p={:.0}%", p * 100.0));
+    }
+    if let Some((lo, hi)) = clamp {
+        parts.push(format!("clamp=[{lo},{hi}]"));
+    }
+    if parts.is_empty() {
+        "default".to_owned()
+    } else {
+        parts.join(" ")
+    }
+}
+
+/// Maps a numeric downscale factor to its mode: 1 (or 0) means "do not
+/// downscale", anything larger is an explicit factor.
+pub fn factor_mode(k: u32) -> DownscaleMode {
+    if k <= 1 {
+        DownscaleMode::NoDownscale
+    } else {
+        DownscaleMode::Factor(k)
+    }
+}
+
+/// An ordered list of sweep points.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepSpec {
+    /// The points, in run order.
+    pub points: Vec<SweepPointSpec>,
+}
+
+impl SweepSpec {
+    /// A traced-percentage sweep (the Figs. 13–16 axis).
+    pub fn from_percents(percents: &[f64]) -> Self {
+        SweepSpec::matrix(&[], percents)
+    }
+
+    /// A downscale-factor sweep (the Figs. 17–19 axis); factor 1 maps to
+    /// [`DownscaleMode::NoDownscale`].
+    pub fn from_factors(factors: &[u32]) -> Self {
+        SweepSpec::matrix(factors, &[])
+    }
+
+    /// The cross product of downscale factors and traced percentages. An
+    /// empty axis contributes a single "keep the base option" column, so
+    /// `matrix(&[], &[0.3])` is a pure percentage sweep.
+    pub fn matrix(factors: &[u32], percents: &[f64]) -> Self {
+        let ks: Vec<Option<u32>> = if factors.is_empty() {
+            vec![None]
+        } else {
+            factors.iter().copied().map(Some).collect()
+        };
+        let ps: Vec<Option<f64>> = if percents.is_empty() {
+            vec![None]
+        } else {
+            percents.iter().copied().map(Some).collect()
+        };
+        let mut points = Vec::with_capacity(ks.len() * ps.len());
+        for &k in &ks {
+            for &p in &ps {
+                let downscale = k.map(factor_mode);
+                points.push(SweepPointSpec {
+                    label: derive_label(downscale, p, None),
+                    downscale,
+                    percent: p,
+                    clamp: None,
+                });
+            }
+        }
+        SweepSpec { points }
+    }
+}
+
+impl ToJson for SweepPointSpec {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("label".into(), Value::from(self.label.as_str()));
+        m.insert(
+            "downscale".into(),
+            self.downscale.map_or(Value::Null, |d| d.to_json()),
+        );
+        m.insert(
+            "percent".into(),
+            self.percent.map_or(Value::Null, Value::from),
+        );
+        m.insert(
+            "clamp".into(),
+            self.clamp.map_or(Value::Null, |(lo, hi)| {
+                Value::Array(vec![Value::from(lo), Value::from(hi)])
+            }),
+        );
+        Value::Object(m)
+    }
+}
+
+impl FromJson for SweepPointSpec {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let downscale = match value.get("downscale") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(DownscaleMode::from_json(v)?),
+        };
+        let percent = match value.get("percent") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or_else(|| JsonError::conversion("sweep percent must be a number"))?,
+            ),
+        };
+        let clamp = match value.get("clamp") {
+            None | Some(Value::Null) => None,
+            Some(v) => {
+                let bounds = v
+                    .as_array()
+                    .filter(|a| a.len() == 2)
+                    .ok_or_else(|| JsonError::conversion("sweep clamp must be [lo, hi]"))?;
+                let bound = |i: usize| {
+                    bounds[i]
+                        .as_f64()
+                        .ok_or_else(|| JsonError::conversion("clamp bounds must be numbers"))
+                };
+                Some((bound(0)?, bound(1)?))
+            }
+        };
+        let label = match value.get("label").and_then(Value::as_str) {
+            Some(s) => s.to_owned(),
+            None => derive_label(downscale, percent, clamp),
+        };
+        Ok(SweepPointSpec {
+            label,
+            downscale,
+            percent,
+            clamp,
+        })
+    }
+}
+
+impl ToJson for SweepSpec {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert(
+            "points".into(),
+            Value::Array(self.points.iter().map(ToJson::to_json).collect()),
+        );
+        Value::Object(m)
+    }
+}
+
+impl FromJson for SweepSpec {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        // Accept both {"points": [...]} and a bare top-level array.
+        let points = value
+            .get("points")
+            .or(Some(value))
+            .and_then(Value::as_array)
+            .ok_or_else(|| JsonError::missing_field("SweepSpec", "points"))?;
+        Ok(SweepSpec {
+            points: points
+                .iter()
+                .map(SweepPointSpec::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// Where a sweep's host parallelism goes. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepParallelism {
+    /// Fan points across workers; each point simulates its groups
+    /// serially (no nested pools).
+    Points,
+    /// Run points serially; each point's groups fan out, keeping
+    /// per-group wall-clock measurements meaningful.
+    Groups,
+}
+
+/// A completed sweep point: the spec that produced it plus its prediction.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The point that was run.
+    pub point: SweepPointSpec,
+    /// The resulting prediction.
+    pub prediction: Prediction,
+}
+
+/// Runs a [`SweepSpec`] against a base [`Zatel`] predictor through one
+/// shared [`ArtifactCache`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use gpusim::GpuConfig;
+/// use rtcore::scenes::SceneId;
+/// use rtcore::tracer::TraceConfig;
+/// use zatel::{SweepDriver, SweepSpec, Zatel};
+///
+/// # fn main() -> Result<(), zatel::ZatelError> {
+/// let scene = SceneId::Park.build(42);
+/// let trace = TraceConfig { samples_per_pixel: 2, max_bounces: 4, seed: 1 };
+/// let base = Zatel::new(&scene, GpuConfig::mobile_soc(), 128, 128, trace);
+/// let driver = SweepDriver::new(base);
+/// let outcomes = driver.run(&SweepSpec::from_percents(&[0.1, 0.3, 0.6]))?;
+/// for o in &outcomes {
+///     println!("{}: {:.0} cycles", o.point.label,
+///              o.prediction.value(gpusim::Metric::SimCycles));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SweepDriver<'s> {
+    base: Zatel<'s>,
+    cache: Arc<ArtifactCache>,
+    parallelism: SweepParallelism,
+    executor: SimExecutor,
+}
+
+impl<'s> SweepDriver<'s> {
+    /// Creates a driver around `base` with a private in-memory cache,
+    /// [`SweepParallelism::Points`], and the base predictor's executor.
+    pub fn new(base: Zatel<'s>) -> Self {
+        let executor = base.executor();
+        SweepDriver {
+            base,
+            cache: Arc::new(ArtifactCache::in_memory()),
+            parallelism: SweepParallelism::Points,
+            executor,
+        }
+    }
+
+    /// Replaces the artifact cache — share one `Arc` across drivers (e.g.
+    /// across division methods or whole bench panels) to reuse heatmap,
+    /// quantize and divide artifacts between sweeps.
+    pub fn with_cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets where the host parallelism goes.
+    pub fn with_parallelism(mut self, parallelism: SweepParallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Replaces the executor the points fan out on
+    /// ([`SweepParallelism::Points`] only).
+    pub fn with_executor(mut self, executor: SimExecutor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The shared artifact cache.
+    pub fn cache(&self) -> &Arc<ArtifactCache> {
+        &self.cache
+    }
+
+    /// The base predictor.
+    pub fn base(&self) -> &Zatel<'s> {
+        &self.base
+    }
+
+    /// Runs every point of `spec`, in spec order, through the shared
+    /// cache. Per-point statistics are bit-identical to running a
+    /// standalone [`Zatel::run`] with the same merged options.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ZatelError`] any point produced (e.g. a
+    /// downscale factor that does not divide the configuration).
+    pub fn run(&self, spec: &SweepSpec) -> Result<Vec<SweepOutcome>, ZatelError> {
+        self.base.options().validate()?;
+        if spec.points.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Warm the shared preprocessing serially before fanning out: the
+        // cache serves completed artifacts but does not deduplicate
+        // in-flight computations, so a cold concurrent start would profile
+        // the same heatmap once per worker.
+        let (heatmap, _, _) = self.cache.get_or_run(
+            &self.base.heatmap_stage(),
+            self.base.scene,
+            self.base.scene.fingerprint(),
+        );
+        self.cache.get_or_run(
+            &self.base.quantize_stage(),
+            heatmap.as_ref(),
+            heatmap.fingerprint(),
+        );
+
+        match self.parallelism {
+            SweepParallelism::Points => {
+                let results = self.executor.map(&spec.points, |_, point| {
+                    self.point_zatel(point, true).run_cached(&self.cache)
+                });
+                spec.points
+                    .iter()
+                    .zip(results)
+                    .map(|(point, result)| {
+                        result.map(|prediction| SweepOutcome {
+                            point: point.clone(),
+                            prediction,
+                        })
+                    })
+                    .collect()
+            }
+            SweepParallelism::Groups => spec
+                .points
+                .iter()
+                .map(|point| {
+                    self.point_zatel(point, false)
+                        .run_cached(&self.cache)
+                        .map(|prediction| SweepOutcome {
+                            point: point.clone(),
+                            prediction,
+                        })
+                })
+                .collect(),
+        }
+    }
+
+    /// The base predictor with one point's overrides merged in. With
+    /// `serial_groups`, group simulation is capped to one worker so point
+    /// fan-out does not nest thread pools.
+    fn point_zatel(&self, point: &SweepPointSpec, serial_groups: bool) -> Zatel<'s> {
+        let mut options = self.base.options().clone();
+        if let Some(d) = point.downscale {
+            options.downscale = d;
+        }
+        if let Some(p) = point.percent {
+            options.selection.percent_override = Some(p);
+        }
+        if let Some(c) = point.clamp {
+            options.selection.clamp = c;
+        }
+        if serial_groups {
+            options.jobs = Some(1);
+        }
+        Zatel {
+            scene: self.base.scene,
+            target: self.base.target.clone(),
+            width: self.base.width,
+            height: self.base.height,
+            trace: self.base.trace,
+            options,
+        }
+    }
+}
+
+/// Loads a `runs.jsonl` run-history file: one JSON record per line, blank
+/// lines ignored.
+///
+/// # Errors
+///
+/// Returns [`ZatelError::History`] when the file cannot be read, holds no
+/// records, or a line is not valid JSON — each message says how to record
+/// a run (`zatel predict --run-out` + `zatel report --run`, or
+/// `zatel sweep --runs-out`).
+pub fn load_history(path: &Path) -> Result<Vec<Value>, ZatelError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        ZatelError::History(format!(
+            "cannot read '{}': {e}; record runs with 'zatel predict --run-out run.json' \
+             then 'zatel report --run run.json', or 'zatel sweep --runs-out {}'",
+            path.display(),
+            path.display()
+        ))
+    })?;
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Value::parse(line).map_err(|e| {
+            ZatelError::History(format!("'{}' line {}: {e}", path.display(), lineno + 1))
+        })?;
+        records.push(value);
+    }
+    if records.is_empty() {
+        return Err(ZatelError::History(format!(
+            "'{}' holds no runs yet; record one with 'zatel report --run run.json' \
+             or 'zatel sweep --runs-out {}'",
+            path.display(),
+            path.display()
+        )));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stages::CacheOutcome;
+    use gpusim::{GpuConfig, Metric};
+    use rtcore::scenes::SceneId;
+    use rtcore::tracer::TraceConfig;
+
+    fn trace() -> TraceConfig {
+        TraceConfig {
+            samples_per_pixel: 1,
+            max_bounces: 2,
+            seed: 9,
+        }
+    }
+
+    fn base(scene: &rtcore::scene::Scene) -> Zatel<'_> {
+        Zatel::new(scene, GpuConfig::mobile_soc(), 32, 32, trace())
+    }
+
+    #[test]
+    fn matrix_builds_cross_product_with_labels() {
+        let spec = SweepSpec::matrix(&[1, 4], &[0.3, 0.6]);
+        assert_eq!(spec.points.len(), 4);
+        assert_eq!(spec.points[0].label, "K=1 p=30%");
+        assert_eq!(spec.points[0].downscale, Some(DownscaleMode::NoDownscale));
+        assert_eq!(spec.points[3].label, "K=4 p=60%");
+        assert_eq!(spec.points[3].downscale, Some(DownscaleMode::Factor(4)));
+        assert_eq!(spec.points[3].percent, Some(0.6));
+
+        let percents = SweepSpec::from_percents(&[0.1]);
+        assert_eq!(percents.points.len(), 1);
+        assert_eq!(percents.points[0].downscale, None);
+        assert_eq!(percents.points[0].label, "p=10%");
+
+        let factors = SweepSpec::from_factors(&[2]);
+        assert_eq!(factors.points[0].percent, None);
+        assert_eq!(factors.points[0].label, "K=2");
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let mut spec = SweepSpec::matrix(&[2], &[0.25]);
+        spec.points.push(SweepPointSpec {
+            label: "clamped".into(),
+            downscale: Some(DownscaleMode::Natural),
+            percent: None,
+            clamp: Some((0.1, 0.2)),
+        });
+        spec.points.push(SweepPointSpec::named("default"));
+        let back = SweepSpec::from_json(&spec.to_json()).expect("round trip");
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn spec_accepts_bare_array_and_derives_labels() {
+        let v = Value::parse(r#"[{"percent": 0.5}, {"downscale": "none"}]"#).unwrap();
+        let spec = SweepSpec::from_json(&v).expect("bare array");
+        assert_eq!(spec.points[0].label, "p=50%");
+        assert_eq!(spec.points[1].label, "K=1");
+        assert_eq!(spec.points[1].downscale, Some(DownscaleMode::NoDownscale));
+    }
+
+    #[test]
+    fn driver_matches_standalone_runs_and_reuses_artifacts() {
+        let scene = SceneId::Sprng.build(1);
+        let spec = SweepSpec::from_percents(&[0.3, 0.6]);
+        let driver = SweepDriver::new(base(&scene));
+        let outcomes = driver.run(&spec).expect("sweep runs");
+        assert_eq!(outcomes.len(), 2);
+
+        // The shared preprocessing ran exactly once for the whole sweep.
+        let stats = driver.cache().stats();
+        assert!(stats.memory_hits >= 2, "later points reuse artifacts");
+        for outcome in &outcomes {
+            let heatmap_record = outcome
+                .prediction
+                .cache
+                .iter()
+                .find(|r| r.stage == "heatmap")
+                .expect("heatmap stage recorded");
+            assert_eq!(heatmap_record.outcome, CacheOutcome::MemoryHit);
+        }
+
+        // Bit-identical to standalone runs with the same merged options.
+        for outcome in &outcomes {
+            let mut z = base(&scene);
+            z.options_mut().selection.percent_override = outcome.point.percent;
+            let standalone = z.run().expect("standalone runs");
+            for m in Metric::ALL {
+                assert_eq!(
+                    outcome.prediction.value(m),
+                    standalone.value(m),
+                    "{m} at {}",
+                    outcome.point.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn points_and_groups_parallelism_agree() {
+        let scene = SceneId::Sprng.build(1);
+        let spec = SweepSpec::matrix(&[1, 4], &[0.5]);
+        let points = SweepDriver::new(base(&scene)).run(&spec).unwrap();
+        let groups = SweepDriver::new(base(&scene))
+            .with_parallelism(SweepParallelism::Groups)
+            .run(&spec)
+            .unwrap();
+        for (a, b) in points.iter().zip(&groups) {
+            assert_eq!(a.prediction.k, b.prediction.k);
+            for m in Metric::ALL {
+                assert_eq!(a.prediction.value(m), b.prediction.value(m), "{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_point_surfaces_the_error() {
+        let scene = SceneId::Sprng.build(1);
+        let spec = SweepSpec::from_factors(&[3]); // 3 divides neither 8 nor 4
+        let err = SweepDriver::new(base(&scene)).run(&spec).unwrap_err();
+        assert!(matches!(err, ZatelError::Downscale(_)));
+    }
+
+    #[test]
+    fn empty_spec_is_a_no_op() {
+        let scene = SceneId::Sprng.build(1);
+        let driver = SweepDriver::new(base(&scene));
+        assert!(driver.run(&SweepSpec::default()).unwrap().is_empty());
+        assert_eq!(driver.cache().len(), 0, "no artifacts computed");
+    }
+
+    #[test]
+    fn load_history_reports_clear_errors() {
+        let dir = std::env::temp_dir().join("zatel-sweep-history-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let missing = dir.join("missing.jsonl");
+        let _ = std::fs::remove_file(&missing);
+        let err = load_history(&missing).unwrap_err();
+        assert!(matches!(err, ZatelError::History(_)));
+        assert!(err.to_string().contains("--run"), "hints at --run: {err}");
+
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "\n\n").unwrap();
+        let err = load_history(&empty).unwrap_err();
+        assert!(err.to_string().contains("no runs"), "{err}");
+
+        let malformed = dir.join("bad.jsonl");
+        std::fs::write(&malformed, "{\"ok\": 1}\nnot json\n").unwrap();
+        let err = load_history(&malformed).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let good = dir.join("good.jsonl");
+        std::fs::write(&good, "{\"scene\": \"PARK\"}\n\n{\"scene\": \"SHIP\"}\n").unwrap();
+        let records = load_history(&good).expect("valid history");
+        assert_eq!(records.len(), 2);
+        assert_eq!(
+            records[1].get("scene").and_then(Value::as_str),
+            Some("SHIP")
+        );
+    }
+}

@@ -24,7 +24,7 @@ fn main() -> Result<(), zatel::ZatelError> {
     let args: Vec<String> = env::args().collect();
     let scene_id = args
         .get(1)
-        .map(|s| SceneId::from_name(s).expect("unknown scene name"))
+        .map(|s| rtcore::scenes::by_name(s).expect("unknown scene name"))
         .unwrap_or(SceneId::Chsnt);
     let res: u32 = args
         .get(2)

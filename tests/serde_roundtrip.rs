@@ -76,6 +76,97 @@ fn pretty_printed_config_parses_too() {
 }
 
 #[test]
+fn downscale_mode_roundtrips() {
+    use zatel::DownscaleMode;
+    for mode in [
+        DownscaleMode::Natural,
+        DownscaleMode::NoDownscale,
+        DownscaleMode::Factor(4),
+    ] {
+        assert_eq!(mode, roundtrip(&mode));
+    }
+    // Factor(1) normalizes to NoDownscale on the way back in (they are
+    // the same pipeline).
+    assert_eq!(
+        roundtrip(&DownscaleMode::Factor(1)),
+        DownscaleMode::NoDownscale
+    );
+}
+
+#[test]
+fn division_and_distribution_roundtrip() {
+    use zatel::{Distribution, DivisionMethod};
+    for division in [
+        DivisionMethod::Coarse,
+        DivisionMethod::default_fine(),
+        DivisionMethod::Fine {
+            chunk_width: 16,
+            chunk_height: 4,
+        },
+    ] {
+        assert_eq!(division, roundtrip(&division));
+    }
+    for dist in [
+        Distribution::Uniform,
+        Distribution::LinTmp,
+        Distribution::ExpTmp,
+    ] {
+        assert_eq!(dist, roundtrip(&dist));
+    }
+}
+
+#[test]
+fn selection_options_roundtrip() {
+    use zatel::{Distribution, SelectionOptions};
+    let mut opts = SelectionOptions::default();
+    assert_eq!(opts, roundtrip(&opts));
+    opts.distribution = Distribution::ExpTmp;
+    opts.clamp = (0.15, 0.85);
+    opts.percent_override = Some(0.4);
+    opts.percent_cap = Some(0.9);
+    opts.seed = 0xC0FFEE;
+    assert_eq!(opts, roundtrip(&opts));
+}
+
+#[test]
+fn zatel_options_roundtrip() {
+    use zatel::{DivisionMethod, DownscaleMode, ZatelOptions};
+    let mut opts = ZatelOptions::default();
+    assert_eq!(opts, roundtrip(&opts));
+    opts.division = DivisionMethod::Coarse;
+    opts.quant_colors = 12;
+    opts.downscale = DownscaleMode::Factor(3);
+    opts.parallel = false;
+    opts.jobs = Some(5);
+    opts.trace_slice_cycles = Some(50_000);
+    opts.observe = Some(obs::ObserveOptions {
+        timeline: true,
+        ..obs::ObserveOptions::default()
+    });
+    assert_eq!(opts, roundtrip(&opts));
+}
+
+#[test]
+fn sweep_spec_roundtrip() {
+    use zatel::{DownscaleMode, SweepPointSpec, SweepSpec};
+    let mut spec = SweepSpec::matrix(&[1, 2, 4], &[0.1, 0.5]);
+    spec.points.push(SweepPointSpec {
+        downscale: Some(DownscaleMode::Natural),
+        clamp: Some((0.2, 0.7)),
+        ..SweepPointSpec::named("clamped natural")
+    });
+    assert_eq!(spec, roundtrip(&spec));
+
+    // A bare array with no labels parses too; labels are derived.
+    let parsed =
+        SweepSpec::from_json(&Value::parse(r#"[{"percent": 0.3}, {"downscale": 2}]"#).unwrap())
+            .expect("bare array spec");
+    assert_eq!(parsed.points.len(), 2);
+    assert_eq!(parsed.points[0].label, "p=30%");
+    assert_eq!(parsed.points[1].label, "K=2");
+}
+
+#[test]
 fn bvh_roundtrips_and_still_traverses() {
     use rtcore::math::{Ray, Vec3};
     let scene = SceneId::Sprng.build(1);

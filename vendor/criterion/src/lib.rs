@@ -116,7 +116,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `f`, calibrating an iteration count so each sample runs for
-    /// roughly [`TARGET_SAMPLE_TIME`].
+    /// roughly `TARGET_SAMPLE_TIME`.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
         // Calibrate: double the batch size until a batch is long enough to
         // time reliably.
