@@ -28,7 +28,7 @@ impl std::error::Error for ParseArgsError {}
 
 /// Option keys that take a value; everything else with a `--` prefix is a
 /// boolean flag.
-const VALUE_KEYS: [&str; 23] = [
+const VALUE_KEYS: [&str; 25] = [
     "scene",
     "config",
     "res",
@@ -52,6 +52,8 @@ const VALUE_KEYS: [&str; 23] = [
     "spec",
     "cache-dir",
     "runs-out",
+    "root",
+    "baseline",
 ];
 
 impl Args {

@@ -15,6 +15,8 @@
 //!              [--prom metrics.prom]
 //! zatel report [--history runs.jsonl]      # summarize recorded history
 //! zatel heatmap --scene WKND --res 256 --out target/heatmaps
+//! zatel lint [--check] [--json] [--root DIR] [--baseline FILE]
+//!            [--no-baseline] [--write-baseline] [--quiet]
 //! ```
 //!
 //! All progress and diagnostic output goes to **stderr**; stdout carries
@@ -57,6 +59,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "sweep" => cmd_sweep(&args),
         "report" => cmd_report(&args),
         "heatmap" => cmd_heatmap(&args),
+        "lint" => cmd_lint(&args),
         other => Err(format!("unknown subcommand '{other}'; try 'zatel help'")),
     }
 }
@@ -65,7 +68,7 @@ fn print_help() {
     println!(
         "zatel — sample complexity-aware scale-model simulation for ray tracing\n\
          \n\
-         USAGE:\n  zatel <scenes|configs|predict|sweep|report|heatmap|help> [options]\n\
+         USAGE:\n  zatel <scenes|configs|predict|sweep|report|heatmap|lint|help> [options]\n\
          \n\
          predict options:\n\
            --scene NAME        benchmark scene (default PARK; see 'zatel scenes')\n\
@@ -105,7 +108,16 @@ fn print_help() {
            --prom FILE         write the metrics snapshot in Prometheus text format\n\
          \n\
          heatmap options:\n\
-           --scene NAME --res N --out DIR   write heatmap/quantized PPM images"
+           --scene NAME --res N --out DIR   write heatmap/quantized PPM images\n\
+         \n\
+         lint options (workspace static analysis; see DESIGN.md):\n\
+           --check             exit non-zero when any active finding remains\n\
+           --json              emit zatel-lint-v1 JSON diagnostics on stdout\n\
+           --root DIR          workspace root (default: discovered from cwd)\n\
+           --baseline FILE     baseline file (default: <root>/lint-baseline.json)\n\
+           --no-baseline       ignore the baseline; show all findings\n\
+           --write-baseline    snapshot current findings into the baseline\n\
+           --quiet             suppress the per-finding text output"
     );
 }
 
@@ -834,6 +846,73 @@ fn cmd_report_history(args: &Args) -> Result<(), String> {
                 ""
             ),
         );
+    }
+    Ok(())
+}
+
+/// `zatel lint` — the workspace static-analysis gate, sharing its engine
+/// (and therefore its findings, waivers and baseline semantics) with the
+/// standalone `zatel-lint` binary and CI's `lint-gate` job.
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let root = match args.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::current_dir()
+            .ok()
+            .and_then(|d| zatel_lint::find_workspace_root(&d))
+            .ok_or("could not locate a workspace root; pass --root")?,
+    };
+    let config = zatel_lint::LintConfig::zatel_workspace(&root);
+    let baseline_path = args
+        .get("baseline")
+        .map_or_else(|| root.join("lint-baseline.json"), std::path::PathBuf::from);
+
+    let baseline = if args.flag("no-baseline") || args.flag("write-baseline") {
+        zatel_lint::Baseline::empty()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => zatel_lint::Baseline::parse(&text)
+                .map_err(|e| format!("{}: {e}", baseline_path.display()))?,
+            Err(_) => zatel_lint::Baseline::empty(),
+        }
+    };
+
+    let report = zatel_lint::run(&config, &baseline).map_err(|e| e.to_string())?;
+
+    if args.flag("write-baseline") {
+        let doc = zatel_lint::Baseline::from_findings(&report.findings)
+            .to_json()
+            .pretty()
+            + "\n";
+        std::fs::write(&baseline_path, doc)
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "wrote {} ({} finding(s) recorded)",
+            baseline_path.display(),
+            report.findings.len()
+        );
+        return Ok(());
+    }
+
+    if args.flag("json") {
+        println!("{}", report.to_json().pretty());
+    } else if !args.flag("quiet") {
+        for finding in &report.findings {
+            println!("{}", finding.render());
+        }
+    }
+    eprintln!(
+        "zatel-lint: {} finding(s), {} waived, {} baselined, {} files scanned",
+        report.findings.len(),
+        report.waived,
+        report.baselined,
+        report.files_scanned
+    );
+
+    if args.flag("check") && !report.findings.is_empty() {
+        return Err(format!(
+            "lint --check failed with {} finding(s)",
+            report.findings.len()
+        ));
     }
     Ok(())
 }

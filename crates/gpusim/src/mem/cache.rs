@@ -125,6 +125,7 @@ impl Cache {
         let victim = set
             .iter_mut()
             .min_by_key(|e| e.last_used)
+            // zatel-lint: allow(panic-hygiene, reason = "the early return above handles the not-full case, so the set has entries")
             .expect("set is full, so non-empty");
         *victim = TagEntry {
             tag,

@@ -1,0 +1,495 @@
+//! A small hand-written Rust source scanner.
+//!
+//! `zatel-lint` cannot depend on `syn` (the build is fully offline), so the
+//! rules operate on a line-oriented scan instead of a real AST. The scanner
+//! makes that sound by doing the three things a naive `grep` cannot:
+//!
+//! * **comments and string/char literals are blanked** from the code view,
+//!   so `"HashMap"` inside a string literal or a doc comment never
+//!   matches a rule (raw strings, nested block comments and lifetimes are
+//!   handled);
+//! * **`#[cfg(test)]` / `#[test]` regions are tracked** via brace depth,
+//!   so rules that only apply to shipping library code can skip inline
+//!   test modules;
+//! * **item paths are tracked** (`mod`/`fn`/`trait`/`impl` nesting), so
+//!   diagnostics can say *where* a finding lives, not just the line.
+//!
+//! The scan also collects `// zatel-lint: allow(rule, reason = "...")`
+//! waiver comments; the engine matches them against findings and reports
+//! the stale ones.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line with comments and string/char interiors replaced by
+    /// spaces. Delimiters (`"`) are kept so columns stay aligned.
+    pub code: String,
+    /// The comment text carried by the line (for waiver parsing).
+    pub comment: String,
+    /// Whether any part of the line lies inside a `#[cfg(test)]` or
+    /// `#[test]` item.
+    pub in_test: bool,
+    /// `::`-joined enclosing item names at the start of the line (e.g.
+    /// `tests::golden_stats`); empty at file scope.
+    pub item_path: String,
+}
+
+/// A `// zatel-lint: allow(...)` waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based source line of the waiver comment. The waiver covers its
+    /// own line and the following line.
+    pub line: u32,
+    /// The rule names being waived.
+    pub rules: Vec<String>,
+    /// The mandatory `reason = "..."` text; `None` marks the waiver
+    /// malformed.
+    pub reason: Option<String>,
+    /// Set by the engine when a finding was suppressed by this waiver.
+    pub used: bool,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Per-line scan results, index 0 = line 1.
+    pub lines: Vec<Line>,
+    /// Waiver comments, in line order.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Scans `source` into blanked code lines, comment text, test regions and
+/// waivers. Never fails: unterminated literals simply blank to the end of
+/// the file, which is what the compiler would reject anyway.
+pub fn scan(source: &str) -> ScannedFile {
+    let raw = split_comments(source);
+    let lines = classify(&raw);
+    let waivers = parse_waivers(&raw);
+    ScannedFile { lines, waivers }
+}
+
+/// Intermediate per-line result of the character scan.
+struct RawLine {
+    code: String,
+    comment: String,
+}
+
+/// Character-level pass: separates code from comments and blanks
+/// string/char literal interiors.
+fn split_comments(source: &str) -> Vec<RawLine> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(RawLine {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    state = State::LineComment;
+                    i += 2;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    state = State::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    // Raw-string opener? Count trailing '#' then 'r'/'br'
+                    // in the code emitted so far.
+                    let trail: Vec<char> = code.chars().rev().collect();
+                    let hashes = trail.iter().take_while(|&&h| h == '#').count();
+                    let is_raw = trail.get(hashes) == Some(&'r');
+                    if is_raw {
+                        state = State::RawStr(hashes as u32);
+                    } else {
+                        state = State::Str;
+                    }
+                    code.push('"');
+                    i += 1;
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal is '\…' or 'x'
+                    // followed by a closing quote; anything else (e.g.
+                    // 'static) is a lifetime and stays code.
+                    let next = chars.get(i + 1);
+                    let is_literal = match next {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_literal {
+                        code.push('\'');
+                        i += 1;
+                        // Blank until the closing quote, honouring escapes.
+                        while i < chars.len() && chars[i] != '\'' {
+                            let step = if chars[i] == '\\' { 2 } else { 1 };
+                            for _ in 0..step.min(chars.len() - i) {
+                                code.push(' ');
+                            }
+                            i += step;
+                        }
+                        if i < chars.len() {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.push(' ');
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                }
+                _ => {
+                    code.push(' ');
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                let closes =
+                    c == '"' && (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'));
+                if closes {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(RawLine { code, comment });
+    }
+    lines
+}
+
+/// Line-level pass: brace depth, test regions and item paths.
+fn classify(raw: &[RawLine]) -> Vec<Line> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut depth: u32 = 0;
+    let mut pending_test = false;
+    let mut test_region: Option<u32> = None;
+    let mut pending_item: Option<String> = None;
+    let mut item_stack: Vec<String> = Vec::new();
+
+    for rl in raw {
+        let start_in_test = test_region.is_some() || pending_test;
+        let mut saw_test_attr = false;
+        if rl.code.contains("#[cfg(test)")
+            || rl.code.contains("#[cfg(any(test")
+            || rl.code.contains("#[test]")
+        {
+            pending_test = true;
+            saw_test_attr = true;
+        }
+        let item_path = item_stack
+            .iter()
+            .filter(|s| !s.is_empty())
+            .cloned()
+            .collect::<Vec<_>>()
+            .join("::");
+
+        // Token walk: item keywords, braces, statement ends.
+        let mut prev_ident: Option<&str> = None;
+        let bytes: Vec<char> = rl.code.chars().collect();
+        let mut j = 0;
+        while j < bytes.len() {
+            let c = bytes[j];
+            if c.is_alphabetic() || c == '_' {
+                let start = j;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let ident: String = bytes[start..j].iter().collect();
+                if let Some(kw) = prev_ident {
+                    if matches!(kw, "mod" | "fn" | "trait" | "struct" | "enum" | "union") {
+                        pending_item = Some(ident.clone());
+                    }
+                }
+                if ident == "impl" {
+                    pending_item = Some("impl".to_owned());
+                }
+                // Leak-free borrow workaround: stash only the keywords we
+                // compare against.
+                prev_ident = match ident.as_str() {
+                    "mod" => Some("mod"),
+                    "fn" => Some("fn"),
+                    "trait" => Some("trait"),
+                    "struct" => Some("struct"),
+                    "enum" => Some("enum"),
+                    "union" => Some("union"),
+                    _ => None,
+                };
+                continue;
+            }
+            match c {
+                '{' => {
+                    if pending_test && test_region.is_none() {
+                        test_region = Some(depth);
+                        pending_test = false;
+                    }
+                    depth += 1;
+                    item_stack.push(pending_item.take().unwrap_or_default());
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    item_stack.pop();
+                    if test_region == Some(depth) {
+                        test_region = None;
+                    }
+                }
+                ';' => {
+                    // An attribute that decorated a braceless item (e.g.
+                    // `#[cfg(test)] use …;`) ends here.
+                    if pending_test && !saw_test_attr {
+                        pending_test = false;
+                    } else if pending_test && saw_test_attr && test_region.is_none() {
+                        // Same-line `#[cfg(test)] use …;` — also ends.
+                        pending_test = rl.code.trim_end().ends_with("]");
+                    }
+                    pending_item = None;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+
+        out.push(Line {
+            code: rl.code.clone(),
+            comment: rl.comment.clone(),
+            in_test: start_in_test || test_region.is_some() || saw_test_attr,
+            item_path,
+        });
+    }
+    out
+}
+
+/// Extracts `zatel-lint: allow(...)` waivers from comment text.
+fn parse_waivers(raw: &[RawLine]) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for (idx, rl) in raw.iter().enumerate() {
+        // Only a comment that *leads* with the directive is a waiver;
+        // prose that merely mentions the syntax (doc comments, examples)
+        // is not. Doc-comment sigils (`/`, `!`, `*`) are skipped.
+        let lead = rl
+            .comment
+            .trim_start_matches(|c: char| matches!(c, '/' | '!' | '*') || c.is_whitespace());
+        if !lead.starts_with("zatel-lint:") {
+            continue;
+        }
+        let rest = &lead["zatel-lint:".len()..];
+        let line = idx as u32 + 1;
+        let Some(open) = rest.find("allow(") else {
+            waivers.push(Waiver {
+                line,
+                rules: Vec::new(),
+                reason: None,
+                used: false,
+            });
+            continue;
+        };
+        let body_start = open + "allow(".len();
+        // The reason string may contain parentheses; find the closing
+        // paren outside quotes.
+        let mut in_quotes = false;
+        let mut end = rest.len();
+        for (k, c) in rest[body_start..].char_indices() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ')' if !in_quotes => {
+                    end = body_start + k;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let body = &rest[body_start..end];
+        let mut rules = Vec::new();
+        let mut reason = None;
+        for part in split_outside_quotes(body, ',') {
+            let part = part.trim();
+            if let Some(eq) = part.strip_prefix("reason") {
+                let eq = eq.trim_start();
+                if let Some(val) = eq.strip_prefix('=') {
+                    let val = val.trim();
+                    reason = val
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .map(str::to_owned);
+                }
+            } else if !part.is_empty() {
+                rules.push(part.to_owned());
+            }
+        }
+        waivers.push(Waiver {
+            line,
+            rules,
+            reason,
+            used: false,
+        });
+    }
+    waivers
+}
+
+/// Splits on `sep` while respecting double-quoted sections.
+fn split_outside_quotes(s: &str, sep: char) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut in_quotes = false;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            c if c == sep && !in_quotes => {
+                parts.push(&s[start..i]);
+                start = i + c.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = scan("let a = \"HashMap\"; // HashMap here\nlet b = 1; /* HashMap */ let c = 2;\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.contains("HashMap here"));
+        assert!(!f.lines[1].code.contains("HashMap"));
+        assert!(f.lines[1].code.contains("let c = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = scan("let a = r#\"HashMap \" quote\"#; let b = HashMap::new();\n");
+        let code = &f.lines[0].code;
+        assert_eq!(code.matches("HashMap").count(), 1, "{code}");
+        assert!(code.contains("HashMap::new"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = scan("let q: &'static str = x; let c = '\"'; let d = HashMap::new();\n");
+        let code = &f.lines[0].code;
+        assert!(code.contains("'static"), "{code}");
+        assert!(
+            code.contains("HashMap::new"),
+            "quote char must not open a string: {code}"
+        );
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test, "attribute line");
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test, "closing brace line");
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_tracked() {
+        let src = "#[test]\nfn check() {\n    boom.unwrap();\n}\nfn after() {}\n";
+        let f = scan(src);
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+
+    #[test]
+    fn item_paths_nest() {
+        let src = "mod outer {\n    fn inner() {\n        let x = 1;\n    }\n}\n";
+        let f = scan(src);
+        assert_eq!(f.lines[2].item_path, "outer::inner");
+    }
+
+    #[test]
+    fn waivers_parse_rules_and_reason() {
+        let src = "x.unwrap(); // zatel-lint: allow(panic-hygiene, reason = \"checked above\")\n// zatel-lint: allow(hash-collection)\n";
+        let f = scan(src);
+        assert_eq!(f.waivers.len(), 2);
+        assert_eq!(f.waivers[0].line, 1);
+        assert_eq!(f.waivers[0].rules, vec!["panic-hygiene"]);
+        assert_eq!(f.waivers[0].reason.as_deref(), Some("checked above"));
+        assert_eq!(f.waivers[1].rules, vec!["hash-collection"]);
+        assert!(f.waivers[1].reason.is_none(), "missing reason is malformed");
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let src = "let s = \"first\nHashMap second\";\nlet t = HashMap::new();\n";
+        let f = scan(src);
+        assert!(!f.lines[1].code.contains("HashMap"));
+        assert!(f.lines[2].code.contains("HashMap"));
+    }
+}

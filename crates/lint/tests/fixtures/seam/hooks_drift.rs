@@ -1,0 +1,26 @@
+//! Fixture: a drifted seam. `on_b` was added to the trait without a
+//! default body and without a `NullHooks` counterpart, and the fan-out
+//! impl never learned about `on_c` — its events are silently dropped.
+
+pub trait Hooks {
+    fn on_a(&mut self) {}
+    fn on_b(&mut self);
+    fn on_c(&mut self) {}
+}
+
+pub struct NullHooks;
+
+impl Hooks for NullHooks {}
+
+pub struct Fan<A, B>(A, B);
+
+impl<A: Hooks, B: Hooks> Hooks for Fan<A, B> {
+    fn on_a(&mut self) {
+        self.0.on_a();
+        self.1.on_a();
+    }
+    fn on_b(&mut self) {
+        self.0.on_b();
+        self.1.on_b();
+    }
+}

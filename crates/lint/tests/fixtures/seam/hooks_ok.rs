@@ -1,0 +1,27 @@
+//! Fixture: a healthy observability seam — the no-op impl may be empty
+//! because every trait method has a default body, and the fan-out impl
+//! forwards everything.
+
+pub trait Hooks {
+    fn on_a(&mut self, x: u32) {
+        let _ = x;
+    }
+    fn on_b(&mut self) {}
+}
+
+pub struct NullHooks;
+
+impl Hooks for NullHooks {}
+
+pub struct Fan<A, B>(A, B);
+
+impl<A: Hooks, B: Hooks> Hooks for Fan<A, B> {
+    fn on_a(&mut self, x: u32) {
+        self.0.on_a(x);
+        self.1.on_a(x);
+    }
+    fn on_b(&mut self) {
+        self.0.on_b();
+        self.1.on_b();
+    }
+}

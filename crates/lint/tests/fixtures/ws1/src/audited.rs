@@ -1,0 +1,6 @@
+//! Fixture: a file on the unsafe allowlist — `unsafe` here is audited and
+//! accepted, so the rule stays quiet.
+
+pub fn last(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(xs.len() - 1) }
+}

@@ -1,0 +1,52 @@
+//! Fixture: a result-affecting module with one of everything. Mentioning
+//! HashMap or Instant::now in a doc comment must not fire.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn hot_loop(xs: &[u64]) -> u64 {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    let t = Instant::now();
+    let _ = t;
+    m.values().sum()
+}
+
+pub fn risky(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn waived(v: Option<u32>) -> u32 {
+    // zatel-lint: allow(panic-hygiene, reason = "fixture: caller guarantees Some")
+    v.unwrap()
+}
+
+// zatel-lint: allow(hash-collection, reason = "fixture: nothing to suppress here")
+pub fn stale_waiver_site() {}
+
+// zatel-lint: allow(panic-hygiene)
+pub fn malformed_waiver(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn traps() -> String {
+    // A comment saying HashMap or x.unwrap() must not fire either.
+    let in_str = "HashMap::new() and Instant::now() inside a string";
+    let raw = r#"HashSet in a raw "string" with quotes"#;
+    let fallback = None::<u32>.unwrap_or(7);
+    format!("{in_str}{raw}{fallback}")
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_and_unwrap_are_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+    }
+}

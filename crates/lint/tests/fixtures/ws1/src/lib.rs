@@ -1,0 +1,23 @@
+//! Fixture: a non-result-affecting module. Hash maps are fine here; panics
+//! and unsafe are not.
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u64]) -> usize {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.len()
+}
+
+pub fn first(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn loud(v: Option<u32>) -> u32 {
+    match v {
+        Some(x) => x,
+        None => panic!("fixture: no value"),
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: test collateral — unwraps and hash maps never fire here.
+
+use std::collections::HashMap;
+
+#[test]
+fn anything_goes_in_tests() {
+    let mut m = HashMap::new();
+    m.insert("k", 1u32);
+    assert_eq!(m.get("k").copied().unwrap(), 1);
+}

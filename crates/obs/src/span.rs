@@ -106,13 +106,22 @@ impl SpanSheet {
             start_us: start.as_micros() as u64,
             dur_us: dur.as_micros() as u64,
         };
-        self.records.lock().expect("span sheet lock").push(record);
+        self.records
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(record);
     }
 
     /// All spans recorded so far, sorted by start offset then name (a
     /// stable order for reports even when worker threads raced).
     pub fn snapshot(&self) -> Vec<SpanRecord> {
-        let mut records = self.records.lock().expect("span sheet lock").clone();
+        let mut records = self
+            .records
+            .lock()
+            // Poison recovery: a panicking recorder leaves whole records
+            // only (push is atomic w.r.t. the guard), so the data is fine.
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
         records.sort_by(|a, b| (a.start_us, &a.name, a.track).cmp(&(b.start_us, &b.name, b.track)));
         records
     }

@@ -103,11 +103,7 @@ fn build_range(
     };
     let mid = sah_mid.unwrap_or_else(|| {
         // Median split (also the SAH fallback when no bin split helps).
-        info[start..end].sort_unstable_by(|a, b| {
-            a.centroid[axis]
-                .partial_cmp(&b.centroid[axis])
-                .expect("finite centroids")
-        });
+        info[start..end].sort_unstable_by(|a, b| a.centroid[axis].total_cmp(&b.centroid[axis]));
         start + count / 2
     });
 

@@ -38,10 +38,12 @@ impl Camera {
         );
         let w = (eye - target)
             .try_normalized()
+            // zatel-lint: allow(panic-hygiene, reason = "documented constructor contract: degenerate camera geometry is a caller bug")
             .expect("camera eye and target must differ");
         let u = up
             .cross(w)
             .try_normalized()
+            // zatel-lint: allow(panic-hygiene, reason = "documented constructor contract: degenerate camera geometry is a caller bug")
             .expect("up must not align with view direction");
         let v = w.cross(u);
         let half_height = (vfov_degrees.to_radians() / 2.0).tan();

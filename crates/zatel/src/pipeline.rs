@@ -178,6 +178,7 @@ impl Prediction {
         let idx = Metric::ALL
             .iter()
             .position(|m| *m == metric)
+            // zatel-lint: allow(panic-hygiene, reason = "Metric::ALL enumerates every variant by construction; a Result here would make an infallible accessor fallible")
             .expect("metric in ALL");
         self.values[idx]
     }
@@ -269,6 +270,7 @@ impl<'s> Zatel<'s> {
         trace: TraceConfig,
     ) -> Self {
         assert!(width > 0 && height > 0, "image must be non-empty");
+        // zatel-lint: allow(panic-hygiene, reason = "documented `# Panics` constructor contract; fallible construction goes through ZatelOptions validation instead")
         target.validate().expect("invalid target GPU configuration");
         Zatel {
             scene,
@@ -628,7 +630,9 @@ impl<'s> Zatel<'s> {
         }
         drop(_span);
 
-        let (_, groups) = runs.pop().expect("three runs");
+        let (_, groups) = runs.pop().ok_or_else(|| {
+            ZatelError::InvalidOptions("regression needs at least one traced fraction".into())
+        })?;
         let k = self.resolve_factor()?;
         Ok(Prediction {
             values,

@@ -2,7 +2,7 @@
 //! Eq. (1) decides *how many* pixels to trace; section blocks plus a colour
 //! distribution decide *which*.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use minijson::{FromJson, JsonError, Map, ToJson, Value};
 use rtcore::math::Pcg;
@@ -209,23 +209,22 @@ pub fn select_pixels(
 
     // --- Step 1: divide the group into section blocks ------------------
     // Blocks are keyed by image-space tile so the fine-grained chunks map
-    // 1:1 onto blocks when the sizes coincide.
-    let mut block_of_key: HashMap<(u32, u32), usize> = HashMap::new();
-    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    // 1:1 onto blocks when the sizes coincide. The tile map is a BTreeMap
+    // and blocks are drained in raster (row, column) order, so block
+    // indices — and with them the RNG's shuffle candidates — are canonical
+    // regardless of the order the group lists its pixels in.
+    let mut tiles: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
     for (i, p) in group.pixels.iter().enumerate() {
-        let key = (p.x / options.block_width, p.y / options.block_height);
-        let b = *block_of_key.entry(key).or_insert_with(|| {
-            blocks.push(Vec::new());
-            blocks.len() - 1
-        });
-        blocks[b].push(i);
+        let tile = (p.y / options.block_height, p.x / options.block_width);
+        tiles.entry(tile).or_default().push(i);
     }
+    let blocks: Vec<Vec<usize>> = tiles.into_values().collect();
 
     // Dominant quantized colour per block.
     let block_color: Vec<u16> = blocks
         .iter()
         .map(|ixs| {
-            let mut counts: HashMap<u16, u32> = HashMap::new();
+            let mut counts: BTreeMap<u16, u32> = BTreeMap::new();
             for &i in ixs {
                 let p = group.pixels[i];
                 *counts.entry(quantized.cluster(p.x, p.y)).or_insert(0) += 1;
@@ -234,12 +233,15 @@ pub fn select_pixels(
                 .into_iter()
                 .max_by_key(|&(id, n)| (n, std::cmp::Reverse(id)))
                 .map(|(id, _)| id)
+                // zatel-lint: allow(panic-hygiene, reason = "every tile entry is created with at least one pixel index")
                 .expect("blocks are non-empty")
         })
         .collect();
 
     // --- Step 2: per-colour quotas (uniform / Eq. 2 / Eq. 3) -----------
-    let mut color_pixels: HashMap<u16, f64> = HashMap::new();
+    // Sorted keys keep the f64 weight summation order canonical; with a
+    // hash map the non-associative sum could change across processes.
+    let mut color_pixels: BTreeMap<u16, f64> = BTreeMap::new();
     for p in &group.pixels {
         *color_pixels
             .entry(quantized.cluster(p.x, p.y))
@@ -478,14 +480,14 @@ mod tests {
         };
         let sel = select_pixels(&g, &q, &opts);
         // Every selected pixel's 32×2 block must be fully selected.
-        let mut block_state: HashMap<(u32, u32), bool> = HashMap::new();
+        let mut block_state: BTreeMap<(u32, u32), bool> = BTreeMap::new();
         for (p, &m) in g.pixels.iter().zip(&sel.mask) {
             let key = (p.x / 32, p.y / 2);
             match block_state.entry(key) {
-                std::collections::hash_map::Entry::Occupied(e) => {
+                std::collections::btree_map::Entry::Occupied(e) => {
                     assert_eq!(*e.get(), m, "block {key:?} partially selected");
                 }
-                std::collections::hash_map::Entry::Vacant(e) => {
+                std::collections::btree_map::Entry::Vacant(e) => {
                     e.insert(m);
                 }
             }

@@ -138,6 +138,7 @@ impl SimExecutor {
                 }));
             }
             for handle in handles {
+                // zatel-lint: allow(panic-hygiene, reason = "re-raises a worker panic on the caller; swallowing it would hand back partial results")
                 for (i, r) in handle.join().expect("simulation job panicked") {
                     slots[i] = Some(r);
                 }
@@ -145,6 +146,7 @@ impl SimExecutor {
         });
         slots
             .into_iter()
+            // zatel-lint: allow(panic-hygiene, reason = "the strided job loop assigns every index exactly once before join returns")
             .map(|r| r.expect("every job index was executed"))
             .collect()
     }
@@ -212,6 +214,7 @@ impl SimExecutor {
                 }));
             }
             for handle in handles {
+                // zatel-lint: allow(panic-hygiene, reason = "re-raises a worker panic on the caller; swallowing it would hand back partial results")
                 for (i, r, t) in handle.join().expect("simulation job panicked") {
                     slots[i] = Some((r, t));
                 }
@@ -219,6 +222,7 @@ impl SimExecutor {
         });
         slots
             .into_iter()
+            // zatel-lint: allow(panic-hygiene, reason = "the strided job loop assigns every index exactly once before join returns")
             .map(|s| s.expect("every job index was executed"))
             .unzip()
     }

@@ -32,7 +32,7 @@
 //! ```
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -180,7 +180,9 @@ impl ToJson for CacheStats {
     }
 }
 
-type MemMap = HashMap<(&'static str, Fingerprint), Arc<dyn Any + Send + Sync>>;
+// A BTreeMap so that any future iteration over live artifacts (eviction,
+// diagnostics dumps) is ordered by key, never by hash seed.
+type MemMap = BTreeMap<(&'static str, Fingerprint), Arc<dyn Any + Send + Sync>>;
 
 /// A content-addressed store of stage outputs.
 ///
@@ -210,7 +212,7 @@ impl ArtifactCache {
     /// A purely in-memory cache.
     pub fn in_memory() -> Self {
         ArtifactCache {
-            mem: Mutex::new(HashMap::new()),
+            mem: Mutex::new(BTreeMap::new()),
             disk_dir: None,
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
@@ -243,9 +245,18 @@ impl ArtifactCache {
         }
     }
 
+    /// The artifact map, recovering from a poisoned lock: a worker that
+    /// panicked mid-insert leaves the map with whole entries only (values
+    /// are `Arc`s swapped in atomically), so the cached data stays valid.
+    fn mem(&self) -> std::sync::MutexGuard<'_, MemMap> {
+        self.mem
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Number of artifacts currently held in memory.
     pub fn len(&self) -> usize {
-        self.mem.lock().expect("artifact cache lock").len()
+        self.mem().len()
     }
 
     /// `true` when no artifacts are held in memory.
@@ -278,27 +289,26 @@ impl ArtifactCache {
             return (Arc::new(stage.run(input)), fp, CacheOutcome::Uncacheable);
         }
         let key = (S::NAME, fp);
-        if let Some(hit) = self.mem.lock().expect("artifact cache lock").get(&key) {
-            let artifact = Arc::clone(hit)
-                .downcast::<S::Output>()
-                .expect("artifact type matches its stage");
-            self.memory_hits.fetch_add(1, Ordering::Relaxed);
-            return (artifact, fp, CacheOutcome::MemoryHit);
+        let hit = self.mem().get(&key).cloned();
+        if let Some(hit) = hit {
+            // A type mismatch can only mean two stages share a NAME with
+            // different output types; degrade to a recompute (same policy
+            // as disk I/O failures) rather than panicking mid-sweep.
+            if let Ok(artifact) = hit.downcast::<S::Output>() {
+                self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                return (artifact, fp, CacheOutcome::MemoryHit);
+            }
         }
         if let Some(artifact) = self.read_disk::<S>(fp) {
             let artifact = Arc::new(artifact);
-            self.mem
-                .lock()
-                .expect("artifact cache lock")
+            self.mem()
                 .insert(key, Arc::clone(&artifact) as Arc<dyn Any + Send + Sync>);
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
             return (artifact, fp, CacheOutcome::DiskHit);
         }
         let artifact = Arc::new(stage.run(input));
         self.write_disk(S::NAME, fp, artifact.as_ref());
-        self.mem
-            .lock()
-            .expect("artifact cache lock")
+        self.mem()
             .insert(key, Arc::clone(&artifact) as Arc<dyn Any + Send + Sync>);
         self.misses.fetch_add(1, Ordering::Relaxed);
         (artifact, fp, CacheOutcome::Miss)

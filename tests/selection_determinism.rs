@@ -1,0 +1,133 @@
+//! Determinism regression tests for representative-pixel selection.
+//!
+//! PR 4 converted the selector's hash maps to `BTreeMap`s drained in
+//! raster tile order, making the chosen pixel *set* a pure function of
+//! (pixel set, quantized heatmap, options) — independent of the order the
+//! group happens to list its pixels in. These tests pin that contract:
+//! the property test permutes the insertion order, and the fingerprint
+//! test pins the exact selection so a future refactor that silently
+//! changes block ordering (and with it every downstream simulation) shows
+//! up as a diff here, not as an unexplained drift in paper figures.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rtcore::fingerprint::Fnv64;
+use rtcore::math::Pcg;
+use rtcore::tracer::CostMap;
+use rtworkload::Pixel;
+use zatel::heatmap::Heatmap;
+use zatel::partition::{divide, DivisionMethod, Group};
+use zatel::quantize::QuantizedHeatmap;
+use zatel::select::{select_pixels, Selection, SelectionOptions};
+
+const W: u32 = 64;
+const H: u32 = 32;
+
+/// A deterministic non-uniform cost field: cost grows along x with a few
+/// hot rows, so quantization produces several clusters.
+fn gradient_map() -> QuantizedHeatmap {
+    let mut costs = CostMap::new(W, H);
+    for y in 0..H {
+        for x in 0..W {
+            let hot_row = u64::from(y % 8 == 0) * 40;
+            costs.set(x, y, 5 + (x as u64 * 90) / u64::from(W) + hot_row);
+        }
+    }
+    QuantizedHeatmap::quantize(&Heatmap::from_costs(&costs), 4, 3)
+}
+
+fn group_of(pixels: Vec<Pixel>) -> Group {
+    Group { index: 0, pixels }
+}
+
+/// The selected pixel coordinates, as an order-free set.
+fn selected_set(group: &Group, sel: &Selection) -> BTreeSet<(u32, u32)> {
+    group
+        .pixels
+        .iter()
+        .zip(&sel.mask)
+        .filter(|(_, &m)| m)
+        .map(|(p, _)| (p.x, p.y))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The selected pixel set is invariant under any permutation of the
+    /// group's pixel-insertion order.
+    #[test]
+    fn selection_invariant_under_pixel_insertion_order(
+        coords in prop::collection::vec((0..W, 0..H), 1..400),
+        shuffle_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let quantized = gradient_map();
+        // Dedup into a canonical set, then derive a permuted ordering.
+        let set: BTreeSet<(u32, u32)> = coords.into_iter().collect();
+        let canonical: Vec<Pixel> = set.iter().map(|&(x, y)| Pixel::new(x, y)).collect();
+        let mut permuted = canonical.clone();
+        Pcg::new(shuffle_seed).shuffle(&mut permuted);
+
+        // percent_override keeps Eq. (1) out of the picture: the mean
+        // coolness is an f64 sum over pixels in listed order, which is a
+        // different (documented) order sensitivity than block selection.
+        let options = SelectionOptions {
+            percent_override: Some(0.3),
+            seed,
+            ..SelectionOptions::default()
+        };
+        let ga = group_of(canonical);
+        let gb = group_of(permuted);
+        let sa = select_pixels(&ga, &quantized, &options);
+        let sb = select_pixels(&gb, &quantized, &options);
+
+        prop_assert_eq!(selected_set(&ga, &sa), selected_set(&gb, &sb));
+        prop_assert_eq!(sa.target_percent, sb.target_percent);
+        prop_assert!((sa.fraction - sb.fraction).abs() < 1e-12);
+    }
+}
+
+/// FNV1a fingerprint of a selection outcome over the full frame.
+fn selection_fingerprint(sel: &Selection) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(sel.mask.len() as u64);
+    for &m in &sel.mask {
+        h.write_u8(u8::from(m));
+    }
+    h.write_f64(sel.target_percent);
+    h.write_f64(sel.fraction);
+    h.finish()
+}
+
+/// Pins the exact selection for a fixed scenario, byte for byte.
+///
+/// If an intentional change to the selector moves this value, rerun with
+/// `--nocapture` via `selection_fingerprint_print` below and update the
+/// constant — and expect downstream golden stats to move too.
+#[test]
+fn selection_fingerprint_is_pinned() {
+    const PINNED: u64 = 0x4B1D_3800_E949_5FB8;
+    let quantized = gradient_map();
+    let groups = divide(W, H, 1, DivisionMethod::default_fine());
+    let sel = select_pixels(&groups[0], &quantized, &SelectionOptions::default());
+    assert_eq!(
+        selection_fingerprint(&sel),
+        PINNED,
+        "selection changed for a fixed (scene, options) input"
+    );
+}
+
+/// Regeneration helper: `cargo test --test selection_determinism -- --ignored --nocapture`.
+#[test]
+#[ignore = "prints the current fingerprint for updating the pinned constant"]
+fn selection_fingerprint_print() {
+    let quantized = gradient_map();
+    let groups = divide(W, H, 1, DivisionMethod::default_fine());
+    let sel = select_pixels(&groups[0], &quantized, &SelectionOptions::default());
+    println!(
+        "selection fingerprint: {:#018X}",
+        selection_fingerprint(&sel)
+    );
+}

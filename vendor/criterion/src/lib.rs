@@ -184,6 +184,7 @@ fn format_duration(d: Duration) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Criterion bench group entry point (generated).
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+
