@@ -28,7 +28,7 @@ impl std::error::Error for ParseArgsError {}
 
 /// Option keys that take a value; everything else with a `--` prefix is a
 /// boolean flag.
-const VALUE_KEYS: [&str; 25] = [
+const VALUE_KEYS: [&str; 31] = [
     "scene",
     "config",
     "res",
@@ -54,6 +54,12 @@ const VALUE_KEYS: [&str; 25] = [
     "runs-out",
     "root",
     "baseline",
+    "url",
+    "addr",
+    "workers",
+    "queue",
+    "sim-jobs",
+    "deadline-ms",
 ];
 
 impl Args {

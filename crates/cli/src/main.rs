@@ -11,6 +11,10 @@
 //! zatel sweep --scene PARK --config mobile --ks 1,2,4 --percents 0.1,0.3,0.6
 //!             [--spec spec.json] [--cache-dir DIR] [--runs-out runs.jsonl]
 //!             [--reference] [--json]
+//! zatel serve [--addr 127.0.0.1:7878] [--workers 2] [--queue 64]
+//!             [--sim-jobs N] [--deadline-ms N] [--cache-dir DIR]
+//! zatel predict --url http://host:7878 ...   # same output, computed remotely
+//! zatel sweep --url http://host:7878 ...
 //! zatel report --run run.json [--history runs.jsonl] [--pgm heatmap.pgm]
 //!              [--prom metrics.prom]
 //! zatel report [--history runs.jsonl]      # summarize recorded history
@@ -33,7 +37,10 @@ use minijson::{FromJson, ToJson};
 use obs::ObserveOptions;
 use rtcore::scenes::SceneId;
 use rtcore::tracer::TraceConfig;
-use zatel::{Distribution, DivisionMethod, DownscaleMode, Prediction, Reference, Zatel};
+use zatel::{Distribution, DivisionMethod, DownscaleMode, Prediction, Reference};
+use zatel_proto::{ConfigRef, PredictRequest, PredictResponse, SweepRequest, SweepResponse};
+use zatel_serve::server::{ServeConfig, Server};
+use zatel_serve::HttpClient;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -57,6 +64,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "configs" => cmd_configs(),
         "predict" => cmd_predict(&args),
         "sweep" => cmd_sweep(&args),
+        "serve" => cmd_serve(&args),
         "report" => cmd_report(&args),
         "heatmap" => cmd_heatmap(&args),
         "lint" => cmd_lint(&args),
@@ -68,7 +76,7 @@ fn print_help() {
     println!(
         "zatel — sample complexity-aware scale-model simulation for ray tracing\n\
          \n\
-         USAGE:\n  zatel <scenes|configs|predict|sweep|report|heatmap|lint|help> [options]\n\
+         USAGE:\n  zatel <scenes|configs|predict|sweep|serve|report|heatmap|lint|help> [options]\n\
          \n\
          predict options:\n\
            --scene NAME        benchmark scene (default PARK; see 'zatel scenes')\n\
@@ -89,6 +97,9 @@ fn print_help() {
            --progress          per-group progress lines + engine trace counters (stderr)\n\
            --trace-out FILE    write a Perfetto/Chrome-trace JSON timeline of the run\n\
            --run-out FILE      persist a zatel-run-v1 record for 'zatel report'\n\
+           --url URL           send the request to a 'zatel serve' instance at\n\
+                               http://host:port instead of running locally; the\n\
+                               output is identical to local mode\n\
          \n\
          sweep options (scene/config/res/spp/seed/division/dist/jobs as for predict):\n\
            --ks LIST           comma-separated downscale factors, e.g. 1,2,4\n\
@@ -99,6 +110,19 @@ fn print_help() {
            --runs-out FILE     append one zatel-sweep-v1 JSON line per point\n\
            --reference         also run the full simulation and report errors\n\
            --json              emit machine-readable JSON instead of tables\n\
+           --url URL           run the sweep on a 'zatel serve' instance\n\
+         \n\
+         serve options (long-running prediction service; see DESIGN.md):\n\
+           --addr HOST:PORT    listen address (default 127.0.0.1:7878; port 0\n\
+                               picks an ephemeral port, logged on stderr)\n\
+           --workers N         request worker threads (default 2)\n\
+           --queue N           admission queue depth; beyond it requests are\n\
+                               refused with 429 + Retry-After (default 64)\n\
+           --sim-jobs N        per-request simulation thread cap, when the\n\
+                               request does not set options.jobs itself\n\
+           --deadline-ms N     default deadline for requests that carry none;\n\
+                               requests queued past it answer 504\n\
+           --cache-dir DIR     persist stage artifacts on disk across restarts\n\
          \n\
          report options:\n\
            --run FILE          run record written by 'zatel predict --run-out';\n\
@@ -142,10 +166,14 @@ fn cmd_configs() -> Result<(), String> {
     Ok(())
 }
 
-fn load_config(spec: &str) -> Result<GpuConfig, String> {
+/// Resolves `--config`: preset names become a [`ConfigRef::Preset`] (so
+/// the wire request stays a short label); anything else is read as a
+/// `GpuConfig` JSON file and inlined into the request.
+fn config_ref(spec: &str) -> Result<ConfigRef, String> {
     match spec.to_ascii_lowercase().as_str() {
-        "mobile" | "mobile_soc" | "mobile-soc" => Ok(GpuConfig::mobile_soc()),
-        "rtx2060" | "rtx-2060" | "rtx_2060" | "turing" => Ok(GpuConfig::rtx_2060()),
+        "mobile" | "mobile_soc" | "mobile-soc" | "rtx2060" | "rtx-2060" | "rtx_2060" | "turing" => {
+            Ok(ConfigRef::preset(spec))
+        }
         _ => {
             let text = std::fs::read_to_string(spec)
                 .map_err(|e| format!("reading config file '{spec}': {e}"))?;
@@ -156,7 +184,7 @@ fn load_config(spec: &str) -> Result<GpuConfig, String> {
             config
                 .validate()
                 .map_err(|e| format!("config file '{spec}': {e}"))?;
-            Ok(config)
+            Ok(ConfigRef::inline(config))
         }
     }
 }
@@ -224,45 +252,71 @@ fn apply_options(args: &Args, opts: &mut zatel::ZatelOptions) -> Result<(), Stri
     Ok(())
 }
 
-fn cmd_predict(args: &Args) -> Result<(), String> {
-    let (_, scene, seed) = scene_from(args)?;
-    let config = load_config(args.get("config").unwrap_or("mobile"))?;
-    let res = args.get_parsed("res", 128u32).map_err(|e| e.to_string())?;
-    let spp = args.get_parsed("spp", 2u32).map_err(|e| e.to_string())?;
-    let trace = TraceConfig {
-        samples_per_pixel: spp,
-        max_bounces: 4,
-        seed,
-    };
-
-    let mut zatel = Zatel::new(&scene, config, res, res, trace);
-    apply_options(args, zatel.options_mut())?;
-    let opts = zatel.options_mut();
-    let progress = args.flag("progress");
-    if progress {
-        opts.trace_slice_cycles = Some(PROGRESS_SLICE_CYCLES);
+/// Builds the wire request shared by local and `--url` prediction from
+/// the command line.
+fn predict_request(args: &Args) -> Result<PredictRequest, String> {
+    let mut request = PredictRequest::new(
+        args.get("scene").unwrap_or("PARK"),
+        config_ref(args.get("config").unwrap_or("mobile"))?,
+    );
+    request.res = args.get_parsed("res", 128u32).map_err(|e| e.to_string())?;
+    request.spp = args.get_parsed("spp", 2u32).map_err(|e| e.to_string())?;
+    request.seed = args.get_parsed("seed", 42u64).map_err(|e| e.to_string())?;
+    let mut options = zatel::ZatelOptions::default();
+    apply_options(args, &mut options)?;
+    request.options = Some(options);
+    if args.flag("regression") {
+        request.regression = Some([0.2, 0.3, 0.4]);
     }
+    request.reference = args.flag("reference");
+    Ok(request)
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let mut request = predict_request(args)?;
+    let progress = args.flag("progress");
     let trace_out = args.get("trace-out");
     let run_out = args.get("run-out");
-    let observing = trace_out.is_some() || run_out.is_some();
-    if observing {
-        opts.observe = Some(ObserveOptions {
+
+    // `--url`: ship the request to a `zatel serve` instance. The server
+    // runs the same `execute_predict` seam this process would, so the
+    // rendered output is identical.
+    if let Some(url) = args.get("url") {
+        if progress || trace_out.is_some() || run_out.is_some() {
+            return Err(
+                "--progress/--trace-out/--run-out observe the local pipeline; \
+                 drop them when predicting against --url"
+                    .into(),
+            );
+        }
+        let reply = HttpClient::new(url)?.post_json("/v1/predict", &request.to_json())?;
+        if reply.status != 200 {
+            return Err(format!(
+                "server answered {}: {}",
+                reply.status,
+                reply.body.trim()
+            ));
+        }
+        let response = PredictResponse::from_json(&reply.json()?)
+            .map_err(|e| format!("server response: {}", e.message))?;
+        return render_predict(args, &response);
+    }
+
+    let options = request.options.get_or_insert_with(Default::default);
+    if progress {
+        options.trace_slice_cycles = Some(PROGRESS_SLICE_CYCLES);
+    }
+    if trace_out.is_some() || run_out.is_some() {
+        options.observe = Some(ObserveOptions {
             timeline: trace_out.is_some(),
             ..ObserveOptions::default()
         });
     }
-
-    let mut prediction = if args.flag("regression") {
-        zatel
-            .run_with_regression([0.2, 0.3, 0.4])
-            .map_err(|e| e.to_string())?
-    } else {
-        zatel.run().map_err(|e| e.to_string())?
-    };
-
-    let reference = args.flag("reference").then(|| zatel.run_reference());
+    let cache = zatel::ArtifactCache::in_memory();
+    let mut output = zatel_serve::execute_predict(&request, &cache).map_err(|e| e.to_string())?;
 
     if progress {
+        let prediction = &output.prediction;
         for g in &prediction.groups {
             eprint!(
                 "  group {}/{}: {} px, traced {:>3.0}%, {} cycles, {:.3}s",
@@ -292,33 +346,8 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         );
     }
 
-    // Fold per-group observability into one registry + one trace, in
-    // group order so repeat runs with the same seed are byte-identical.
-    let mut registry = obs::MetricsRegistry::new();
-    let mut timelines = Vec::new();
-    if observing {
-        for g in &mut prediction.groups {
-            if let Some(o) = g.obs.as_mut() {
-                o.export(&mut registry);
-                if let Some(t) = o.take_timeline() {
-                    timelines.push(t);
-                }
-            }
-        }
-        registry.gauge_set("k", f64::from(prediction.k));
-        registry.gauge_set("groups", prediction.groups.len() as f64);
-        registry.gauge_set(
-            "traced_fraction_mean",
-            prediction
-                .groups
-                .iter()
-                .map(|g| g.traced_fraction)
-                .sum::<f64>()
-                / prediction.groups.len().max(1) as f64,
-        );
-    }
     if let Some(path) = trace_out {
-        let trace = obs::merge_trace(std::mem::take(&mut timelines));
+        let trace = obs::merge_trace(std::mem::take(&mut output.timelines));
         let events = obs::validate_trace(&trace)
             .map_err(|e| format!("internal: generated trace is malformed: {e}"))?;
         std::fs::write(path, trace.to_string())
@@ -328,115 +357,70 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     if let Some(path) = run_out {
         let record = run_record(
             args,
-            &scene,
-            res,
-            spp,
-            seed,
-            &prediction,
-            &reference,
-            &registry,
+            &output.response.scene,
+            request.res,
+            request.spp,
+            request.seed,
+            &output.prediction,
+            &output.reference,
+            &output.registry,
         );
         std::fs::write(path, record.pretty())
             .map_err(|e| format!("writing run record '{path}': {e}"))?;
         eprintln!("wrote run record to {path} (render with 'zatel report --run {path}')");
     }
 
+    render_predict(args, &output.response)
+}
+
+/// Renders a predict response — the one renderer both the local path and
+/// `--url` mode go through, so their stdout is identical.
+fn render_predict(args: &Args, response: &PredictResponse) -> Result<(), String> {
     if args.flag("json") {
-        let mut out = minijson::Map::new();
-        out.insert("scene".into(), minijson::json!(scene.name()));
-        out.insert("k".into(), minijson::json!(prediction.k));
-        let mut metrics = minijson::Map::new();
-        for m in Metric::ALL {
-            metrics.insert(m.name().into(), minijson::json!(prediction.value(m)));
-        }
-        out.insert("prediction".into(), minijson::Value::Object(metrics));
-        out.insert(
-            "sim_wall_ms".into(),
-            minijson::json!(prediction.sim_wall.as_secs_f64() * 1000.0),
-        );
-        let groups: Vec<minijson::Value> = prediction
-            .groups
-            .iter()
-            .map(|g| {
-                let mut gm = minijson::Map::new();
-                gm.insert("index".into(), minijson::json!(g.index));
-                gm.insert("pixels".into(), minijson::json!(g.pixels as u64));
-                gm.insert("traced_fraction".into(), minijson::json!(g.traced_fraction));
-                gm.insert("cycles".into(), minijson::json!(g.stats.cycles));
-                gm.insert(
-                    "wall_ms".into(),
-                    minijson::json!(g.wall.as_secs_f64() * 1000.0),
-                );
-                if let Some(trace) = &g.trace {
-                    gm.insert("trace".into(), trace.to_json());
-                }
-                minijson::Value::Object(gm)
-            })
-            .collect();
-        out.insert("groups".into(), minijson::Value::Array(groups));
-        out.insert(
-            "spans".into(),
-            minijson::Value::Array(prediction.spans.iter().map(ToJson::to_json).collect()),
-        );
-        if observing {
-            out.insert("metrics".into(), registry.to_json());
-        }
-        if let Some(reference) = &reference {
-            let mut refs = minijson::Map::new();
-            for m in Metric::ALL {
-                refs.insert(m.name().into(), minijson::json!(m.value(&reference.stats)));
-            }
-            out.insert("reference".into(), minijson::Value::Object(refs));
-            out.insert(
-                "mae".into(),
-                minijson::json!(prediction.mae_vs(&reference.stats)),
-            );
-            out.insert(
-                "speedup_concurrent".into(),
-                minijson::json!(prediction.speedup_concurrent(reference)),
-            );
-        }
-        println!("{}", minijson::Value::Object(out).pretty());
+        println!("{}", response.to_json().pretty());
         return Ok(());
     }
 
+    let res = response.res;
     println!(
         "{} at {res}x{res}, K = {}, {} groups, traced {:.0}% of pixels",
-        scene.name(),
-        prediction.k,
-        prediction.groups.len(),
+        response.scene,
+        response.k,
+        response.groups.len(),
         100.0
-            * prediction
+            * response
                 .groups
                 .iter()
                 .map(|g| g.traced_fraction)
                 .sum::<f64>()
-            / prediction.groups.len() as f64
+            / response.groups.len().max(1) as f64
     );
-    match &reference {
+    match &response.reference {
         Some(reference) => {
             println!(
                 "{:<22} {:>14} {:>14} {:>8}",
                 "metric", "Zatel", "reference", "error"
             );
-            for (m, err) in prediction.errors_vs(&reference.stats) {
+            for m in Metric::ALL {
+                let predicted = response.prediction.value(m);
+                let expected = reference.metrics.value(m);
                 println!(
                     "{:<22} {:>14.4} {:>14.4} {:>7.1}%",
                     m.name(),
-                    prediction.value(m),
-                    m.value(&reference.stats),
-                    100.0 * err
+                    predicted,
+                    expected,
+                    100.0 * zatel::metrics::abs_error(predicted, expected)
                 );
             }
             println!(
                 "MAE = {:.1}%   speedup (1 core/group) = {:.1}x",
-                100.0 * prediction.mae_vs(&reference.stats),
-                prediction.speedup_concurrent(reference)
+                100.0 * response.mae.unwrap_or(f64::NAN),
+                response.speedup_concurrent.unwrap_or(f64::NAN)
             );
-            let stack = reference.stats.cpi_stack();
             println!(
                 "reference CPI stack: {}",
-                stack
+                reference
+                    .cpi_stack
                     .iter()
                     .map(|(n, v)| format!("{n} {:.0}%", 100.0 * v))
                     .collect::<Vec<_>>()
@@ -446,7 +430,7 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         None => {
             println!("{:<22} {:>14}", "metric", "Zatel");
             for m in Metric::ALL {
-                println!("{:<22} {:>14.4}", m.name(), prediction.value(m));
+                println!("{:<22} {:>14.4}", m.name(), response.prediction.value(m));
             }
             println!("(add --reference to compare against the full simulation)");
         }
@@ -494,37 +478,71 @@ fn sweep_spec(args: &Args) -> Result<zatel::SweepSpec, String> {
     Ok(zatel::SweepSpec::matrix(&ks, &percents))
 }
 
-fn cmd_sweep(args: &Args) -> Result<(), String> {
-    let (_, scene, seed) = scene_from(args)?;
-    let config_spec = args.get("config").unwrap_or("mobile").to_owned();
-    let config = load_config(&config_spec)?;
-    let res = args.get_parsed("res", 128u32).map_err(|e| e.to_string())?;
-    let spp = args.get_parsed("spp", 2u32).map_err(|e| e.to_string())?;
-    let trace = TraceConfig {
-        samples_per_pixel: spp,
-        max_bounces: 4,
-        seed,
-    };
-    let spec = sweep_spec(args)?;
+/// Builds the wire request shared by local and `--url` sweeps.
+fn sweep_request(args: &Args) -> Result<SweepRequest, String> {
+    let mut request = SweepRequest::new(
+        args.get("scene").unwrap_or("PARK"),
+        config_ref(args.get("config").unwrap_or("mobile"))?,
+        sweep_spec(args)?,
+    );
+    request.res = args.get_parsed("res", 128u32).map_err(|e| e.to_string())?;
+    request.spp = args.get_parsed("spp", 2u32).map_err(|e| e.to_string())?;
+    request.seed = args.get_parsed("seed", 42u64).map_err(|e| e.to_string())?;
+    let mut options = zatel::ZatelOptions::default();
+    apply_options(args, &mut options)?;
+    request.options = Some(options);
+    request.reference = args.flag("reference");
+    Ok(request)
+}
 
-    let mut base = Zatel::new(&scene, config, res, res, trace);
-    apply_options(args, base.options_mut())?;
-    let mut driver = zatel::SweepDriver::new(base);
-    if let Some(dir) = args.get("cache-dir") {
-        std::fs::create_dir_all(dir).map_err(|e| format!("creating cache dir '{dir}': {e}"))?;
-        driver = driver.with_cache(std::sync::Arc::new(zatel::ArtifactCache::with_disk(dir)));
-    }
-    let outcomes = driver.run(&spec).map_err(|e| e.to_string())?;
-    let reference = args
-        .flag("reference")
-        .then(|| driver.base().run_reference());
-    let stats = driver.cache().stats();
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let request = sweep_request(args)?;
+
+    let response = if let Some(url) = args.get("url") {
+        if args.get("cache-dir").is_some() {
+            return Err(
+                "--cache-dir configures the local pipeline; with --url the server \
+                 owns its cache (see 'zatel serve --cache-dir')"
+                    .into(),
+            );
+        }
+        let reply = HttpClient::new(url)?.post_json("/v1/sweep", &request.to_json())?;
+        if reply.status != 200 {
+            return Err(format!(
+                "server answered {}: {}",
+                reply.status,
+                reply.body.trim()
+            ));
+        }
+        SweepResponse::from_json(&reply.json()?)
+            .map_err(|e| format!("server response: {}", e.message))?
+    } else {
+        let cache = match args.get("cache-dir") {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("creating cache dir '{dir}': {e}"))?;
+                std::sync::Arc::new(zatel::ArtifactCache::with_disk(dir))
+            }
+            None => std::sync::Arc::new(zatel::ArtifactCache::in_memory()),
+        };
+        zatel_serve::execute_sweep(&request, &cache)
+            .map_err(|e| e.to_string())?
+            .response
+    };
+
+    let stat = |key: &str| {
+        response
+            .cache_stats
+            .get(key)
+            .and_then(minijson::Value::as_u64)
+            .unwrap_or(0)
+    };
     eprintln!(
         "{} points; artifact cache: {} misses, {} memory hits, {} disk hits",
-        outcomes.len(),
-        stats.misses,
-        stats.memory_hits,
-        stats.disk_hits
+        response.points.len(),
+        stat("misses"),
+        stat("memory_hits"),
+        stat("disk_hits")
     );
 
     if let Some(path) = args.get("runs-out") {
@@ -534,39 +552,26 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             .append(true)
             .open(path)
             .map_err(|e| format!("opening '{path}': {e}"))?;
-        for outcome in &outcomes {
-            let record = sweep_record(
-                &config_spec,
-                &scene,
-                res,
-                spp,
-                seed,
-                outcome,
-                reference.as_ref(),
-            );
+        for record in &response.points {
             writeln!(file, "{record}").map_err(|e| format!("appending to '{path}': {e}"))?;
         }
         eprintln!(
             "appended {} sweep records to {path} (summarize with 'zatel report --history {path}')",
-            outcomes.len()
+            response.points.len()
         );
     }
 
+    render_sweep(args, &response)
+}
+
+/// Renders a sweep response — shared by the local path and `--url` mode.
+fn render_sweep(args: &Args, response: &SweepResponse) -> Result<(), String> {
     if args.flag("json") {
-        let mut out = minijson::Map::new();
-        out.insert("scene".into(), minijson::json!(scene.name()));
-        out.insert("config".into(), minijson::json!(config_spec.as_str()));
-        out.insert("cache_stats".into(), stats.to_json());
-        let points: Vec<minijson::Value> = outcomes
-            .iter()
-            .map(|o| sweep_record(&config_spec, &scene, res, spp, seed, o, reference.as_ref()))
-            .collect();
-        out.insert("points".into(), minijson::Value::Array(points));
-        println!("{}", minijson::Value::Object(out).pretty());
+        println!("{}", response.to_json().pretty());
         return Ok(());
     }
 
-    let with_ref = reference.is_some();
+    let with_ref = response.points.iter().any(|p| p.get("mae").is_some());
     print!(
         "{:<24} {:>4} {:>14} {:>10}",
         "point", "K", "cycles", "sim ms"
@@ -575,78 +580,95 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         print!(" {:>8} {:>9}", "MAE", "speedup");
     }
     println!(" {:>18}", "cache");
-    for outcome in &outcomes {
-        let pred = &outcome.prediction;
-        let hits = pred.cache.iter().filter(|r| r.outcome.is_hit()).count();
+    for point in &response.points {
+        let num = |key: &str| {
+            point
+                .get(key)
+                .and_then(minijson::Value::as_f64)
+                .unwrap_or(f64::NAN)
+        };
+        let (hits, total) = point
+            .get("cache")
+            .and_then(minijson::Value::as_array)
+            .map_or((0, 0), |records| {
+                let hits = records
+                    .iter()
+                    .filter(|r| r.get("outcome").and_then(minijson::Value::as_str) != Some("miss"))
+                    .count();
+                (hits, records.len())
+            });
         print!(
             "{:<24} {:>4} {:>14.0} {:>10.2}",
-            outcome.point.label,
-            pred.k,
-            pred.value(Metric::SimCycles),
-            pred.sim_wall.as_secs_f64() * 1000.0
+            point
+                .get("label")
+                .and_then(minijson::Value::as_str)
+                .unwrap_or("?"),
+            point
+                .get("k")
+                .and_then(minijson::Value::as_u64)
+                .unwrap_or(0),
+            point
+                .get("prediction")
+                .and_then(|p| p.get(Metric::SimCycles.name()))
+                .and_then(minijson::Value::as_f64)
+                .unwrap_or(f64::NAN),
+            num("sim_wall_ms")
         );
-        if let Some(reference) = &reference {
+        if with_ref {
             print!(
                 " {:>7.1}% {:>8.1}x",
-                100.0 * pred.mae_vs(&reference.stats),
-                pred.speedup_concurrent(reference)
+                100.0 * num("mae"),
+                num("speedup_concurrent")
             );
         }
-        println!(" {:>12} hits/{}", hits, pred.cache.len());
+        println!(" {:>12} hits/{}", hits, total);
     }
     Ok(())
 }
 
-/// One `zatel-sweep-v1` line of `zatel sweep --runs-out` (also the
-/// per-point object of `zatel sweep --json`).
-fn sweep_record(
-    config_spec: &str,
-    scene: &rtcore::scene::Scene,
-    res: u32,
-    spp: u32,
-    seed: u64,
-    outcome: &zatel::SweepOutcome,
-    reference: Option<&Reference>,
-) -> minijson::Value {
-    let pred = &outcome.prediction;
-    let mut rec = minijson::Map::new();
-    rec.insert("schema".into(), minijson::json!("zatel-sweep-v1"));
-    rec.insert("scene".into(), minijson::json!(scene.name()));
-    rec.insert("config".into(), minijson::json!(config_spec));
-    rec.insert("res".into(), minijson::json!(res));
-    rec.insert("spp".into(), minijson::json!(spp));
-    rec.insert("seed".into(), minijson::json!(seed));
-    rec.insert(
-        "label".into(),
-        minijson::json!(outcome.point.label.as_str()),
-    );
-    rec.insert("point".into(), outcome.point.to_json());
-    rec.insert("k".into(), minijson::json!(pred.k));
-    let mut metrics = minijson::Map::new();
-    for m in Metric::ALL {
-        metrics.insert(m.name().into(), minijson::json!(pred.value(m)));
+/// `zatel serve` — boots the long-running prediction service and blocks
+/// until a drain (SIGINT/SIGTERM or `POST /v1/shutdown`) completes.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let mut config = ServeConfig::default();
+    if let Some(addr) = args.get("addr") {
+        config.addr = addr.to_owned();
     }
-    rec.insert("prediction".into(), minijson::Value::Object(metrics));
-    if let Some(reference) = reference {
-        rec.insert("mae".into(), minijson::json!(pred.mae_vs(&reference.stats)));
-        rec.insert(
-            "speedup_concurrent".into(),
-            minijson::json!(pred.speedup_concurrent(reference)),
+    config.workers = args
+        .get_parsed("workers", config.workers)
+        .map_err(|e| e.to_string())?;
+    config.queue = args
+        .get_parsed("queue", config.queue)
+        .map_err(|e| e.to_string())?;
+    if args.get("sim-jobs").is_some() {
+        config.sim_jobs = Some(
+            args.get_parsed("sim-jobs", 1usize)
+                .map_err(|e| e.to_string())?,
         );
     }
-    rec.insert(
-        "sim_wall_ms".into(),
-        minijson::json!(pred.sim_wall.as_secs_f64() * 1000.0),
+    if args.get("deadline-ms").is_some() {
+        config.default_deadline_ms = Some(
+            args.get_parsed("deadline-ms", 0u64)
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    if let Some(dir) = args.get("cache-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating cache dir '{dir}': {e}"))?;
+        config.cache_dir = Some(dir.to_owned());
+    }
+
+    zatel_serve::signal::install();
+    let server = Server::bind(config)?;
+    eprintln!(
+        "zatel serve: listening on http://{} (drain with SIGINT/SIGTERM or POST /v1/shutdown)",
+        server.local_addr()?
     );
-    rec.insert(
-        "preprocess_wall_ms".into(),
-        minijson::json!(pred.preprocess_wall.as_secs_f64() * 1000.0),
+    let report = server.run()?;
+    eprintln!(
+        "zatel serve: drained; {} request(s) admitted, {} refused at the queue, \
+         {} still in flight when the drain began",
+        report.admitted, report.refused, report.drained_in_flight
     );
-    rec.insert(
-        "cache".into(),
-        minijson::Value::Array(pred.cache.iter().map(ToJson::to_json).collect()),
-    );
-    minijson::Value::Object(rec)
+    Ok(())
 }
 
 /// Builds the `zatel-run-v1` record persisted by `--run-out` and consumed
@@ -655,7 +677,7 @@ fn sweep_record(
 #[allow(clippy::too_many_arguments)]
 fn run_record(
     args: &Args,
-    scene: &rtcore::scene::Scene,
+    scene: &str,
     res: u32,
     spp: u32,
     seed: u64,
@@ -665,7 +687,7 @@ fn run_record(
 ) -> minijson::Value {
     let mut rec = minijson::Map::new();
     rec.insert("schema".into(), minijson::json!(obs::RUN_SCHEMA));
-    rec.insert("scene".into(), minijson::json!(scene.name()));
+    rec.insert("scene".into(), minijson::json!(scene));
     rec.insert(
         "config".into(),
         minijson::json!(args.get("config").unwrap_or("mobile")),

@@ -601,6 +601,127 @@ fn sweep_accepts_spec_file_and_rejects_missing_matrix() {
     assert!(err.contains("--ks"), "stderr names the matrix flags: {err}");
 }
 
+/// Boots an in-process `zatel serve` on an ephemeral port and returns
+/// the `--url` value plus a drain handle / join handle pair.
+fn boot_server() -> (
+    String,
+    zatel_serve::server::ServeHandle,
+    std::thread::JoinHandle<Result<zatel_serve::server::ServeReport, String>>,
+) {
+    let config = zatel_serve::server::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..zatel_serve::server::ServeConfig::default()
+    };
+    let server = zatel_serve::server::Server::bind(config).expect("bind");
+    let url = format!("http://{}", server.local_addr().expect("addr"));
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (url, handle, join)
+}
+
+#[test]
+fn predict_url_output_is_identical_to_local() {
+    let (url, handle, join) = boot_server();
+    let base = [
+        "predict", "--scene", "SPRNG", "--res", "32", "--spp", "1", "--seed", "7",
+    ];
+    // Without --reference the text table carries no wall-clock-derived
+    // numbers, so local and served output must match to the byte.
+    let local = stdout(&base);
+    let remote = stdout(&[&base, &["--url", url.as_str()][..]].concat());
+    assert_eq!(
+        local, remote,
+        "text output must be byte-identical between local and --url mode"
+    );
+
+    // JSON + --reference: compare the deterministic subset (wall clocks
+    // and the speedup derived from them legitimately differ).
+    let with_ref = [&base, &["--reference"][..]].concat();
+    let local_json = stdout(&[&with_ref, &["--json"][..]].concat());
+    let remote_json = stdout(&[&with_ref, &["--json", "--url", url.as_str()][..]].concat());
+    let deterministic = |text: &str| {
+        let v = minijson::Value::parse(text).expect("valid JSON");
+        <zatel_proto::PredictResponse as minijson::FromJson>::from_json(&v)
+            .expect("zatel-api-v1 response")
+            .deterministic_json()
+            .to_string()
+    };
+    assert_eq!(deterministic(&local_json), deterministic(&remote_json));
+
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean run");
+}
+
+#[test]
+fn sweep_url_matches_local_points() {
+    let (url, handle, join) = boot_server();
+    let base = [
+        "sweep",
+        "--scene",
+        "SPRNG",
+        "--res",
+        "32",
+        "--spp",
+        "1",
+        "--seed",
+        "7",
+        "--ks",
+        "1,2",
+        "--percents",
+        "0.5",
+        "--json",
+    ];
+    let prediction_of = |text: &str| -> Vec<String> {
+        minijson::Value::parse(text)
+            .expect("valid JSON")
+            .get("points")
+            .and_then(minijson::Value::as_array)
+            .expect("points")
+            .iter()
+            .map(|p| p.get("prediction").expect("prediction").to_string())
+            .collect()
+    };
+    let local = prediction_of(&stdout(&base));
+    let remote = prediction_of(&stdout(&[&base, &["--url", url.as_str()][..]].concat()));
+    assert_eq!(local, remote, "served sweep predictions match local ones");
+
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean run");
+}
+
+#[test]
+fn predict_url_rejects_local_only_flags_and_bad_urls() {
+    let out = zatel(&[
+        "predict",
+        "--scene",
+        "SPRNG",
+        "--url",
+        "http://127.0.0.1:1",
+        "--progress",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--progress"));
+
+    let out = zatel(&["predict", "--scene", "SPRNG", "--url", "ftp://nope"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("http://"));
+}
+
+#[test]
+fn serve_rejects_zero_workers() {
+    let out = zatel(&["serve", "--addr", "127.0.0.1:0", "--workers", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("worker"));
+}
+
+#[test]
+fn help_mentions_serve_and_url() {
+    let text = stdout(&["help"]);
+    for needle in ["serve", "--url", "--workers", "--queue", "--deadline-ms"] {
+        assert!(text.contains(needle), "help missing '{needle}'");
+    }
+}
+
 #[test]
 fn heatmap_writes_ppm_files() {
     let dir = std::env::temp_dir().join("zatel-cli-heatmaps");

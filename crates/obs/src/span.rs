@@ -54,6 +54,29 @@ impl ToJson for SpanRecord {
     }
 }
 
+impl minijson::FromJson for SpanRecord {
+    fn from_json(value: &Value) -> Result<Self, minijson::JsonError> {
+        const TY: &str = "SpanRecord";
+        let int = |name: &str| {
+            value
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| minijson::JsonError::missing_field(TY, name))
+        };
+        Ok(SpanRecord {
+            name: value
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| minijson::JsonError::missing_field(TY, "name"))?
+                .to_owned(),
+            track: u32::try_from(int("track")?)
+                .map_err(|_| minijson::JsonError::conversion("span track out of range"))?,
+            start_us: int("start_us")?,
+            dur_us: int("dur_us")?,
+        })
+    }
+}
+
 /// A thread-safe collection of spans sharing one epoch.
 #[derive(Debug)]
 pub struct SpanSheet {

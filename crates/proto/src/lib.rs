@@ -1,0 +1,80 @@
+//! # zatel-proto — the `zatel-api-v1` wire protocol
+//!
+//! Versioned request/response DTOs shared by every consumer that speaks
+//! Zatel over a wire or a file: the `zatel` CLI (`predict --json`,
+//! `predict --url`, `sweep --json`) and the long-running `zatel serve`
+//! HTTP service. Both sides construct and parse these types instead of
+//! assembling JSON field by field, so the wire format lives in exactly
+//! one place.
+//!
+//! ## Stability contract
+//!
+//! Every document carries `"schema": "zatel-api-v1"`. Within the `v1`
+//! schema:
+//!
+//! * existing fields are never removed or change meaning/type;
+//! * new **optional** fields may be added at any time — parsers must
+//!   ignore unknown fields (all parsers in this crate do);
+//! * documents with a different `schema` value are rejected, never
+//!   half-parsed.
+//!
+//! A breaking change requires a new `zatel-api-v2` schema served from new
+//! `/v2/...` endpoints.
+//!
+//! ## Example
+//!
+//! ```
+//! use minijson::{FromJson, ToJson, Value};
+//! use zatel_proto::{ConfigRef, PredictRequest};
+//!
+//! let req = PredictRequest::new("SPRNG", ConfigRef::preset("mobile"));
+//! let wire = req.to_json().to_string();
+//! let back = PredictRequest::from_json(&Value::parse(&wire).unwrap()).unwrap();
+//! assert_eq!(req, back);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod predict;
+mod sweep;
+mod wire;
+
+pub use config::ConfigRef;
+pub use predict::{GroupReport, MetricValues, PredictRequest, PredictResponse, ReferenceReport};
+pub use sweep::{sweep_point_record, SweepRequest, SweepResponse};
+pub use wire::{ErrorKind, ErrorResponse, SceneInfo, ScenesResponse};
+
+use minijson::{JsonError, Value};
+
+/// The protocol schema identifier every `zatel-api-v1` document carries.
+pub const API_SCHEMA: &str = "zatel-api-v1";
+
+/// The per-point record schema of `zatel sweep --runs-out` history lines
+/// (predates `zatel-api-v1` and is embedded unchanged in
+/// [`SweepResponse`] points).
+pub const SWEEP_RECORD_SCHEMA: &str = "zatel-sweep-v1";
+
+/// Checks a parsed document's `schema` field against [`API_SCHEMA`].
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when the field is missing, not a string, or
+/// names a different schema.
+pub(crate) fn expect_schema(value: &Value, ty: &'static str) -> Result<(), JsonError> {
+    match value.get("schema").and_then(Value::as_str) {
+        Some(s) if s == API_SCHEMA => Ok(()),
+        Some(other) => Err(JsonError::conversion(format!(
+            "{ty}: unsupported schema '{other}' (this build speaks {API_SCHEMA})"
+        ))),
+        None => Err(JsonError::missing_field(ty, "schema")),
+    }
+}
+
+/// `value.get(name)` treating JSON `null` as absent.
+pub(crate) fn optional<'v>(value: &'v Value, name: &str) -> Option<&'v Value> {
+    match value.get(name) {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(v),
+    }
+}

@@ -1,0 +1,745 @@
+//! `POST /v1/predict` request and response DTOs.
+
+use gpusim::Metric;
+use minijson::{FromJson, JsonError, Map, ToJson, Value};
+use obs::{MetricsRegistry, SpanRecord};
+use zatel::ZatelOptions;
+
+use crate::{expect_schema, optional, API_SCHEMA};
+
+/// A `zatel-api-v1` prediction request: everything needed to reproduce
+/// one [`zatel::Zatel`] run, with no reference to client-local files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictRequest {
+    /// Benchmark scene name (see `GET /v1/scenes`).
+    pub scene: String,
+    /// Target GPU configuration.
+    pub config: crate::ConfigRef,
+    /// Square image resolution.
+    pub res: u32,
+    /// Samples per pixel.
+    pub spp: u32,
+    /// Master seed (scene build + tracing + selection).
+    pub seed: u64,
+    /// Pipeline options; `None` runs [`ZatelOptions::default`].
+    pub options: Option<ZatelOptions>,
+    /// When set, run the Section IV-F exponential-regression variant at
+    /// these three traced fractions instead of linear extrapolation.
+    pub regression: Option<[f64; 3]>,
+    /// Also run the full reference simulation and report errors.
+    pub reference: bool,
+    /// Client deadline. A server drops the request with `504` if it is
+    /// still queued when this budget elapses (execution is never
+    /// preempted once started).
+    pub deadline_ms: Option<u64>,
+}
+
+impl PredictRequest {
+    /// A request with the CLI's defaults (128×128, 2 spp, seed 42,
+    /// default options, no reference).
+    pub fn new(scene: impl Into<String>, config: crate::ConfigRef) -> Self {
+        PredictRequest {
+            scene: scene.into(),
+            config,
+            res: 128,
+            spp: 2,
+            seed: 42,
+            options: None,
+            regression: None,
+            reference: false,
+            deadline_ms: None,
+        }
+    }
+
+    /// Checks semantic invariants that JSON structure alone cannot
+    /// express (positive resolution/spp, known option combinations).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.scene.is_empty() {
+            return Err("scene must not be empty".into());
+        }
+        if self.res == 0 || self.res > 4096 {
+            return Err(format!("res must be in 1..=4096, got {}", self.res));
+        }
+        if self.spp == 0 || self.spp > 64 {
+            return Err(format!("spp must be in 1..=64, got {}", self.spp));
+        }
+        if let Some(options) = &self.options {
+            options.validate().map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for PredictRequest {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), Value::from(API_SCHEMA));
+        m.insert("scene".into(), Value::from(self.scene.as_str()));
+        m.insert("config".into(), self.config.to_json());
+        m.insert("res".into(), Value::from(self.res));
+        m.insert("spp".into(), Value::from(self.spp));
+        m.insert("seed".into(), Value::from(self.seed));
+        m.insert(
+            "options".into(),
+            self.options.as_ref().map_or(Value::Null, ToJson::to_json),
+        );
+        m.insert(
+            "regression".into(),
+            self.regression.map_or(Value::Null, |f| {
+                Value::Array(f.iter().map(|&v| Value::from(v)).collect())
+            }),
+        );
+        m.insert("reference".into(), Value::from(self.reference));
+        m.insert(
+            "deadline_ms".into(),
+            self.deadline_ms.map_or(Value::Null, Value::from),
+        );
+        Value::Object(m)
+    }
+}
+
+impl FromJson for PredictRequest {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "PredictRequest";
+        expect_schema(value, TY)?;
+        let dim = |name: &str| {
+            value
+                .get(name)
+                .and_then(Value::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| JsonError::missing_field(TY, name))
+        };
+        let regression = match optional(value, "regression") {
+            None => None,
+            Some(v) => {
+                let arr = v
+                    .as_array()
+                    .filter(|a| a.len() == 3)
+                    .ok_or_else(|| {
+                        JsonError::conversion("regression must be an array of three fractions")
+                    })?
+                    .iter()
+                    .map(|f| {
+                        f.as_f64().ok_or_else(|| {
+                            JsonError::conversion("regression fractions must be numbers")
+                        })
+                    })
+                    .collect::<Result<Vec<f64>, _>>()?;
+                Some([arr[0], arr[1], arr[2]])
+            }
+        };
+        Ok(PredictRequest {
+            scene: value
+                .get("scene")
+                .and_then(Value::as_str)
+                .ok_or_else(|| JsonError::missing_field(TY, "scene"))?
+                .to_owned(),
+            config: crate::ConfigRef::from_json(
+                value
+                    .get("config")
+                    .ok_or_else(|| JsonError::missing_field(TY, "config"))?,
+            )?,
+            res: dim("res")?,
+            spp: dim("spp")?,
+            seed: value
+                .get("seed")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| JsonError::missing_field(TY, "seed"))?,
+            options: optional(value, "options")
+                .map(ZatelOptions::from_json)
+                .transpose()?,
+            regression,
+            reference: match optional(value, "reference") {
+                None => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| JsonError::missing_field(TY, "reference"))?,
+            },
+            deadline_ms: optional(value, "deadline_ms")
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| JsonError::missing_field(TY, "deadline_ms"))
+                })
+                .transpose()?,
+        })
+    }
+}
+
+/// The seven predicted metric values, in [`Metric::ALL`] order.
+/// Serializes as a `name → value` object keyed by [`Metric::name`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricValues(pub [f64; 7]);
+
+impl MetricValues {
+    /// The value of `metric`.
+    pub fn value(&self, metric: Metric) -> f64 {
+        let idx = Metric::ALL
+            .iter()
+            .position(|m| *m == metric)
+            // zatel-lint: allow(panic-hygiene, reason = "Metric::ALL enumerates every variant by construction; mirrors Prediction::value")
+            .expect("metric in ALL");
+        self.0[idx]
+    }
+
+    /// Collects a prediction's values.
+    pub fn from_prediction(prediction: &zatel::Prediction) -> Self {
+        let mut values = [0.0; 7];
+        for (slot, &m) in values.iter_mut().zip(Metric::ALL.iter()) {
+            *slot = prediction.value(m);
+        }
+        MetricValues(values)
+    }
+
+    /// Collects a reference simulation's values.
+    pub fn from_stats(stats: &gpusim::SimStats) -> Self {
+        let mut values = [0.0; 7];
+        for (slot, &m) in values.iter_mut().zip(Metric::ALL.iter()) {
+            *slot = m.value(stats);
+        }
+        MetricValues(values)
+    }
+}
+
+impl ToJson for MetricValues {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        for (&metric, &v) in Metric::ALL.iter().zip(self.0.iter()) {
+            m.insert(metric.name().into(), Value::from(v));
+        }
+        Value::Object(m)
+    }
+}
+
+impl FromJson for MetricValues {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let mut values = [0.0; 7];
+        for (slot, &metric) in values.iter_mut().zip(Metric::ALL.iter()) {
+            *slot = value
+                .get(metric.name())
+                .and_then(Value::as_f64)
+                .ok_or_else(|| JsonError::missing_field("MetricValues", metric.name()))?;
+        }
+        Ok(MetricValues(values))
+    }
+}
+
+/// One group's outcome in a [`PredictResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupReport {
+    /// Group index in `[0, K)`.
+    pub index: u32,
+    /// Pixels in the group.
+    pub pixels: u64,
+    /// Fraction of the group's pixels actually traced.
+    pub traced_fraction: f64,
+    /// The Eq. (1) target percentage used.
+    pub target_percent: f64,
+    /// Simulated cycles of the group.
+    pub cycles: u64,
+    /// Host wall-clock of the group's simulation, in milliseconds.
+    pub wall_ms: f64,
+    /// Engine trace (opaque `TraceHooks` JSON), when tracing was on.
+    pub trace: Option<Value>,
+}
+
+impl GroupReport {
+    /// Builds the report for one pipeline group outcome.
+    pub fn from_outcome(outcome: &zatel::GroupOutcome) -> Self {
+        GroupReport {
+            index: outcome.index,
+            pixels: outcome.pixels as u64,
+            traced_fraction: outcome.traced_fraction,
+            target_percent: outcome.target_percent,
+            cycles: outcome.stats.cycles,
+            wall_ms: outcome.wall.as_secs_f64() * 1000.0,
+            trace: outcome.trace.as_ref().map(ToJson::to_json),
+        }
+    }
+}
+
+impl ToJson for GroupReport {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("index".into(), Value::from(self.index));
+        m.insert("pixels".into(), Value::from(self.pixels));
+        m.insert("traced_fraction".into(), Value::from(self.traced_fraction));
+        m.insert("target_percent".into(), Value::from(self.target_percent));
+        m.insert("cycles".into(), Value::from(self.cycles));
+        m.insert("wall_ms".into(), Value::from(self.wall_ms));
+        if let Some(trace) = &self.trace {
+            m.insert("trace".into(), trace.clone());
+        }
+        Value::Object(m)
+    }
+}
+
+impl FromJson for GroupReport {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "GroupReport";
+        let int = |name: &str| {
+            value
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| JsonError::missing_field(TY, name))
+        };
+        let num = |name: &str| {
+            value
+                .get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| JsonError::missing_field(TY, name))
+        };
+        Ok(GroupReport {
+            index: u32::try_from(int("index")?)
+                .map_err(|_| JsonError::conversion("group index out of range"))?,
+            pixels: int("pixels")?,
+            traced_fraction: num("traced_fraction")?,
+            target_percent: num("target_percent")?,
+            cycles: int("cycles")?,
+            wall_ms: num("wall_ms")?,
+            trace: optional(value, "trace").cloned(),
+        })
+    }
+}
+
+/// The reference-simulation section of a [`PredictResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceReport {
+    /// The reference's metric values.
+    pub metrics: MetricValues,
+    /// The reference CPI stack: `(component, share)` pairs summing to 1.
+    pub cpi_stack: Vec<(String, f64)>,
+}
+
+impl ReferenceReport {
+    /// Builds the report from a reference run's statistics.
+    pub fn from_stats(stats: &gpusim::SimStats) -> Self {
+        ReferenceReport {
+            metrics: MetricValues::from_stats(stats),
+            cpi_stack: stats
+                .cpi_stack()
+                .iter()
+                .map(|(n, v)| ((*n).to_owned(), *v))
+                .collect(),
+        }
+    }
+}
+
+impl ToJson for ReferenceReport {
+    fn to_json(&self) -> Value {
+        let mut m = match self.metrics.to_json() {
+            Value::Object(m) => m,
+            // MetricValues::to_json always builds an object.
+            _ => Map::new(),
+        };
+        let stack: Vec<Value> = self
+            .cpi_stack
+            .iter()
+            .map(|(n, v)| {
+                let mut e = Map::new();
+                e.insert("component".into(), Value::from(n.as_str()));
+                e.insert("share".into(), Value::from(*v));
+                Value::Object(e)
+            })
+            .collect();
+        m.insert("cpi_stack".into(), Value::Array(stack));
+        Value::Object(m)
+    }
+}
+
+impl FromJson for ReferenceReport {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let metrics = MetricValues::from_json(value)?;
+        let cpi_stack = match optional(value, "cpi_stack") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| JsonError::conversion("cpi_stack must be an array"))?
+                .iter()
+                .map(|e| {
+                    let component = e
+                        .get("component")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| JsonError::missing_field("cpi_stack", "component"))?;
+                    let share = e
+                        .get("share")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| JsonError::missing_field("cpi_stack", "share"))?;
+                    Ok((component.to_owned(), share))
+                })
+                .collect::<Result<_, JsonError>>()?,
+        };
+        Ok(ReferenceReport { metrics, cpi_stack })
+    }
+}
+
+/// A `zatel-api-v1` prediction response.
+///
+/// The request-determined sections (`scene` through `groups`, plus
+/// `reference`/`mae`) are **deterministic**: for a given request they are
+/// byte-identical whether served in-process, by a cold server or by a
+/// warm one — [`PredictResponse::deterministic_json`] extracts exactly
+/// that subset. Wall-clock timings, spans and cache outcomes vary run to
+/// run and live outside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictResponse {
+    /// Scene name (echo).
+    pub scene: String,
+    /// GPU config label (echo; preset name or inline config name).
+    pub config: String,
+    /// Square image resolution (echo).
+    pub res: u32,
+    /// Samples per pixel (echo).
+    pub spp: u32,
+    /// Master seed (echo).
+    pub seed: u64,
+    /// Downscale factor used.
+    pub k: u32,
+    /// The predicted metric values.
+    pub prediction: MetricValues,
+    /// Per-group outcomes, in group order.
+    pub groups: Vec<GroupReport>,
+    /// Reference simulation, when the request asked for one.
+    pub reference: Option<ReferenceReport>,
+    /// Mean absolute error vs the reference.
+    pub mae: Option<f64>,
+    /// One-core-per-group speedup vs the reference (wall-clock derived).
+    pub speedup_concurrent: Option<f64>,
+    /// Wall-clock of the group-simulation phase, in milliseconds.
+    pub sim_wall_ms: f64,
+    /// Wall-clock of heatmap profiling + quantization, in milliseconds.
+    pub preprocess_wall_ms: f64,
+    /// Host wall-clock pipeline spans.
+    pub spans: Vec<SpanRecord>,
+    /// Per-stage artifact-cache outcomes (`stage`/`fingerprint`/`outcome`
+    /// objects), in pipeline order.
+    pub cache: Vec<Value>,
+    /// Folded observability registry, when the request enabled observing.
+    pub metrics: Option<MetricsRegistry>,
+}
+
+impl PredictResponse {
+    /// The wall-clock-free subset of the response: byte-identical across
+    /// transports, hosts and cache temperatures for the same request.
+    pub fn deterministic_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), Value::from(API_SCHEMA));
+        m.insert("scene".into(), Value::from(self.scene.as_str()));
+        m.insert("config".into(), Value::from(self.config.as_str()));
+        m.insert("res".into(), Value::from(self.res));
+        m.insert("spp".into(), Value::from(self.spp));
+        m.insert("seed".into(), Value::from(self.seed));
+        m.insert("k".into(), Value::from(self.k));
+        m.insert("prediction".into(), self.prediction.to_json());
+        let groups: Vec<Value> = self
+            .groups
+            .iter()
+            .map(|g| {
+                let mut stripped = g.clone();
+                stripped.wall_ms = 0.0;
+                stripped.to_json()
+            })
+            .collect();
+        m.insert("groups".into(), Value::Array(groups));
+        if let Some(reference) = &self.reference {
+            m.insert("reference".into(), reference.to_json());
+        }
+        if let Some(mae) = self.mae {
+            m.insert("mae".into(), Value::from(mae));
+        }
+        Value::Object(m)
+    }
+}
+
+impl ToJson for PredictResponse {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), Value::from(API_SCHEMA));
+        m.insert("scene".into(), Value::from(self.scene.as_str()));
+        m.insert("config".into(), Value::from(self.config.as_str()));
+        m.insert("res".into(), Value::from(self.res));
+        m.insert("spp".into(), Value::from(self.spp));
+        m.insert("seed".into(), Value::from(self.seed));
+        m.insert("k".into(), Value::from(self.k));
+        m.insert("prediction".into(), self.prediction.to_json());
+        m.insert("sim_wall_ms".into(), Value::from(self.sim_wall_ms));
+        m.insert(
+            "preprocess_wall_ms".into(),
+            Value::from(self.preprocess_wall_ms),
+        );
+        m.insert(
+            "groups".into(),
+            Value::Array(self.groups.iter().map(ToJson::to_json).collect()),
+        );
+        m.insert(
+            "spans".into(),
+            Value::Array(self.spans.iter().map(ToJson::to_json).collect()),
+        );
+        m.insert("cache".into(), Value::Array(self.cache.clone()));
+        if let Some(metrics) = &self.metrics {
+            m.insert("metrics".into(), metrics.to_json());
+        }
+        if let Some(reference) = &self.reference {
+            m.insert("reference".into(), reference.to_json());
+        }
+        if let Some(mae) = self.mae {
+            m.insert("mae".into(), Value::from(mae));
+        }
+        if let Some(speedup) = self.speedup_concurrent {
+            m.insert("speedup_concurrent".into(), Value::from(speedup));
+        }
+        Value::Object(m)
+    }
+}
+
+impl FromJson for PredictResponse {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "PredictResponse";
+        expect_schema(value, TY)?;
+        let text = |name: &str| {
+            value
+                .get(name)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| JsonError::missing_field(TY, name))
+        };
+        let num = |name: &str| {
+            value
+                .get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| JsonError::missing_field(TY, name))
+        };
+        let dim = |name: &str| {
+            value
+                .get(name)
+                .and_then(Value::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| JsonError::missing_field(TY, name))
+        };
+        let list = |name: &str| {
+            value
+                .get(name)
+                .and_then(Value::as_array)
+                .ok_or_else(|| JsonError::missing_field(TY, name))
+        };
+        Ok(PredictResponse {
+            scene: text("scene")?,
+            config: text("config")?,
+            res: dim("res")?,
+            spp: dim("spp")?,
+            seed: value
+                .get("seed")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| JsonError::missing_field(TY, "seed"))?,
+            k: dim("k")?,
+            prediction: MetricValues::from_json(
+                value
+                    .get("prediction")
+                    .ok_or_else(|| JsonError::missing_field(TY, "prediction"))?,
+            )?,
+            groups: list("groups")?
+                .iter()
+                .map(GroupReport::from_json)
+                .collect::<Result<_, _>>()?,
+            reference: optional(value, "reference")
+                .map(ReferenceReport::from_json)
+                .transpose()?,
+            mae: optional(value, "mae").and_then(Value::as_f64),
+            speedup_concurrent: optional(value, "speedup_concurrent").and_then(Value::as_f64),
+            sim_wall_ms: num("sim_wall_ms")?,
+            preprocess_wall_ms: num("preprocess_wall_ms")?,
+            spans: list("spans")?
+                .iter()
+                .map(SpanRecord::from_json)
+                .collect::<Result<_, _>>()?,
+            cache: optional(value, "cache")
+                .and_then(Value::as_array)
+                .map(<[Value]>::to_vec)
+                .unwrap_or_default(),
+            metrics: optional(value, "metrics")
+                .map(MetricsRegistry::from_json)
+                .transpose()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConfigRef;
+
+    fn sample_response() -> PredictResponse {
+        PredictResponse {
+            scene: "SPRNG".into(),
+            config: "mobile".into(),
+            res: 64,
+            spp: 1,
+            seed: 7,
+            k: 4,
+            prediction: MetricValues([1.5, 2e6, 0.25, 0.125, 0.9, 0.8, 0.4]),
+            groups: vec![GroupReport {
+                index: 0,
+                pixels: 1024,
+                traced_fraction: 0.5,
+                target_percent: 0.5,
+                cycles: 123_456,
+                wall_ms: 12.5,
+                trace: None,
+            }],
+            reference: Some(ReferenceReport {
+                metrics: MetricValues([1.4, 2.1e6, 0.26, 0.13, 0.88, 0.79, 0.41]),
+                cpi_stack: vec![("base".into(), 0.5), ("mem".into(), 0.5)],
+            }),
+            mae: Some(0.05),
+            speedup_concurrent: Some(9.5),
+            sim_wall_ms: 100.0,
+            preprocess_wall_ms: 25.0,
+            spans: vec![SpanRecord {
+                name: "heatmap".into(),
+                track: 0,
+                start_us: 0,
+                dur_us: 42,
+            }],
+            cache: Vec::new(),
+            metrics: None,
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let mut req = PredictRequest::new("PARK", ConfigRef::preset("mobile"));
+        req.reference = true;
+        req.deadline_ms = Some(5000);
+        req.regression = Some([0.2, 0.3, 0.4]);
+        req.options = Some(ZatelOptions::default());
+        let back = PredictRequest::from_json(&req.to_json()).expect("round trip");
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn request_defaults_optional_fields() {
+        let v = Value::parse(
+            r#"{"schema":"zatel-api-v1","scene":"PARK","config":"mobile",
+                "res":32,"spp":1,"seed":9}"#,
+        )
+        .unwrap();
+        let req = PredictRequest::from_json(&v).expect("minimal request");
+        assert!(!req.reference);
+        assert!(req.options.is_none() && req.regression.is_none());
+        assert!(req.validate().is_ok());
+    }
+
+    #[test]
+    fn request_rejects_wrong_or_missing_schema() {
+        let missing = Value::parse(r#"{"scene":"PARK","config":"mobile"}"#).unwrap();
+        let err = PredictRequest::from_json(&missing).unwrap_err();
+        assert!(err.message.contains("schema"), "{err}");
+
+        let wrong = Value::parse(
+            r#"{"schema":"zatel-api-v9","scene":"PARK","config":"mobile",
+                "res":32,"spp":1,"seed":9}"#,
+        )
+        .unwrap();
+        let err = PredictRequest::from_json(&wrong).unwrap_err();
+        assert!(err.message.contains("zatel-api-v9"), "{err}");
+    }
+
+    #[test]
+    fn request_rejects_malformed_fields() {
+        for (field, bad) in [
+            ("scene", "42"),
+            ("config", "[]"),
+            ("res", "\"big\""),
+            ("spp", "-1"),
+            ("seed", "null"),
+            ("regression", "[0.2, 0.3]"),
+            ("regression", "[0.2, 0.3, \"x\"]"),
+            ("reference", "\"yes\""),
+            ("deadline_ms", "-5"),
+            ("options", "{\"division\": 3}"),
+        ] {
+            let doc = format!(
+                r#"{{"schema":"zatel-api-v1","scene":"PARK","config":"mobile",
+                    "res":32,"spp":1,"seed":9,"{field}":{bad}}}"#
+            );
+            let v = Value::parse(&doc).unwrap();
+            assert!(
+                PredictRequest::from_json(&v).is_err(),
+                "bad {field}={bad} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn request_validate_bounds() {
+        let mut req = PredictRequest::new("PARK", ConfigRef::preset("mobile"));
+        assert!(req.validate().is_ok());
+        req.res = 0;
+        assert!(req.validate().unwrap_err().contains("res"));
+        req.res = 64;
+        req.spp = 0;
+        assert!(req.validate().unwrap_err().contains("spp"));
+        req.spp = 1;
+        req.scene = String::new();
+        assert!(req.validate().unwrap_err().contains("scene"));
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = sample_response();
+        let back = PredictResponse::from_json(&resp.to_json()).expect("round trip");
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn response_rejects_malformed_documents() {
+        // Wrong schema.
+        let mut doc = sample_response().to_json();
+        if let Value::Object(m) = &mut doc {
+            m.insert("schema".into(), Value::from("zatel-api-v2"));
+        }
+        assert!(PredictResponse::from_json(&doc).is_err());
+
+        // Missing prediction section.
+        let v = Value::parse(r#"{"schema":"zatel-api-v1","scene":"X"}"#).unwrap();
+        assert!(PredictResponse::from_json(&v).is_err());
+
+        // Prediction section missing a metric.
+        let mut doc = sample_response().to_json();
+        if let Value::Object(m) = &mut doc {
+            m.insert("prediction".into(), Value::parse("{}").unwrap());
+        }
+        assert!(PredictResponse::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn deterministic_json_strips_wall_clock() {
+        let mut a = sample_response();
+        let mut b = sample_response();
+        a.sim_wall_ms = 1.0;
+        b.sim_wall_ms = 999.0;
+        a.groups[0].wall_ms = 3.25;
+        b.groups[0].wall_ms = 88.0;
+        b.spans.clear();
+        a.speedup_concurrent = Some(2.0);
+        b.speedup_concurrent = Some(40.0);
+        assert_eq!(
+            a.deterministic_json().to_string(),
+            b.deterministic_json().to_string(),
+            "wall-clock differences must not reach the deterministic subset"
+        );
+        assert_ne!(a.to_json().to_string(), b.to_json().to_string());
+    }
+
+    #[test]
+    fn metric_values_round_trip_and_reject_missing() {
+        let mv = MetricValues([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let back = MetricValues::from_json(&mv.to_json()).unwrap();
+        assert_eq!(mv, back);
+        assert_eq!(mv.value(Metric::SimCycles), mv.0[1]);
+        assert!(MetricValues::from_json(&Value::parse("{}").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,390 @@
+//! `POST /v1/sweep` request and response DTOs.
+
+use minijson::{FromJson, JsonError, Map, ToJson, Value};
+use zatel::{SweepOutcome, SweepSpec, ZatelOptions};
+
+use crate::{expect_schema, optional, API_SCHEMA, SWEEP_RECORD_SCHEMA};
+
+/// A `zatel-api-v1` sweep request: one base pipeline plus a
+/// [`SweepSpec`] of per-point overrides, all served through a shared
+/// artifact cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// Benchmark scene name (see `GET /v1/scenes`).
+    pub scene: String,
+    /// Target GPU configuration.
+    pub config: crate::ConfigRef,
+    /// Square image resolution.
+    pub res: u32,
+    /// Samples per pixel.
+    pub spp: u32,
+    /// Master seed (scene build + tracing + selection).
+    pub seed: u64,
+    /// Base pipeline options; per-point overrides are applied on top.
+    pub options: Option<ZatelOptions>,
+    /// The points to run.
+    pub spec: SweepSpec,
+    /// Also run the full reference simulation and report per-point errors.
+    pub reference: bool,
+    /// Client deadline, as in [`crate::PredictRequest::deadline_ms`].
+    pub deadline_ms: Option<u64>,
+}
+
+impl SweepRequest {
+    /// A sweep of `spec` with the CLI's defaults (128×128, 2 spp,
+    /// seed 42, default options, no reference).
+    pub fn new(scene: impl Into<String>, config: crate::ConfigRef, spec: SweepSpec) -> Self {
+        SweepRequest {
+            scene: scene.into(),
+            config,
+            res: 128,
+            spp: 2,
+            seed: 42,
+            options: None,
+            spec,
+            reference: false,
+            deadline_ms: None,
+        }
+    }
+
+    /// Checks semantic invariants, mirroring
+    /// [`crate::PredictRequest::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.scene.is_empty() {
+            return Err("scene must not be empty".into());
+        }
+        if self.res == 0 || self.res > 4096 {
+            return Err(format!("res must be in 1..=4096, got {}", self.res));
+        }
+        if self.spp == 0 || self.spp > 64 {
+            return Err(format!("spp must be in 1..=64, got {}", self.spp));
+        }
+        if self.spec.points.is_empty() {
+            return Err("sweep spec must contain at least one point".into());
+        }
+        if self.spec.points.len() > 256 {
+            return Err(format!(
+                "sweep spec must contain at most 256 points, got {}",
+                self.spec.points.len()
+            ));
+        }
+        if let Some(options) = &self.options {
+            options.validate().map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for SweepRequest {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), Value::from(API_SCHEMA));
+        m.insert("scene".into(), Value::from(self.scene.as_str()));
+        m.insert("config".into(), self.config.to_json());
+        m.insert("res".into(), Value::from(self.res));
+        m.insert("spp".into(), Value::from(self.spp));
+        m.insert("seed".into(), Value::from(self.seed));
+        m.insert(
+            "options".into(),
+            self.options.as_ref().map_or(Value::Null, ToJson::to_json),
+        );
+        m.insert("spec".into(), self.spec.to_json());
+        m.insert("reference".into(), Value::from(self.reference));
+        m.insert(
+            "deadline_ms".into(),
+            self.deadline_ms.map_or(Value::Null, Value::from),
+        );
+        Value::Object(m)
+    }
+}
+
+impl FromJson for SweepRequest {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "SweepRequest";
+        expect_schema(value, TY)?;
+        let dim = |name: &str| {
+            value
+                .get(name)
+                .and_then(Value::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| JsonError::missing_field(TY, name))
+        };
+        Ok(SweepRequest {
+            scene: value
+                .get("scene")
+                .and_then(Value::as_str)
+                .ok_or_else(|| JsonError::missing_field(TY, "scene"))?
+                .to_owned(),
+            config: crate::ConfigRef::from_json(
+                value
+                    .get("config")
+                    .ok_or_else(|| JsonError::missing_field(TY, "config"))?,
+            )?,
+            res: dim("res")?,
+            spp: dim("spp")?,
+            seed: value
+                .get("seed")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| JsonError::missing_field(TY, "seed"))?,
+            options: optional(value, "options")
+                .map(ZatelOptions::from_json)
+                .transpose()?,
+            spec: SweepSpec::from_json(
+                value
+                    .get("spec")
+                    .ok_or_else(|| JsonError::missing_field(TY, "spec"))?,
+            )?,
+            reference: match optional(value, "reference") {
+                None => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| JsonError::missing_field(TY, "reference"))?,
+            },
+            deadline_ms: optional(value, "deadline_ms")
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| JsonError::missing_field(TY, "deadline_ms"))
+                })
+                .transpose()?,
+        })
+    }
+}
+
+/// Builds one `zatel-sweep-v1` point record — the exact per-point shape
+/// `zatel sweep --runs-out` has always appended to history files, now
+/// shared by the CLI and the server so the two can never drift.
+pub fn sweep_point_record(
+    config_label: &str,
+    scene_name: &str,
+    res: u32,
+    spp: u32,
+    seed: u64,
+    outcome: &SweepOutcome,
+    reference: Option<&zatel::Reference>,
+) -> Value {
+    let pred = &outcome.prediction;
+    let mut rec = Map::new();
+    rec.insert("schema".into(), Value::from(SWEEP_RECORD_SCHEMA));
+    rec.insert("scene".into(), Value::from(scene_name));
+    rec.insert("config".into(), Value::from(config_label));
+    rec.insert("res".into(), Value::from(res));
+    rec.insert("spp".into(), Value::from(spp));
+    rec.insert("seed".into(), Value::from(seed));
+    rec.insert("label".into(), Value::from(outcome.point.label.as_str()));
+    rec.insert("point".into(), outcome.point.to_json());
+    rec.insert("k".into(), Value::from(pred.k));
+    rec.insert(
+        "prediction".into(),
+        crate::MetricValues::from_prediction(pred).to_json(),
+    );
+    if let Some(reference) = reference {
+        rec.insert("mae".into(), Value::from(pred.mae_vs(&reference.stats)));
+        rec.insert(
+            "speedup_concurrent".into(),
+            Value::from(pred.speedup_concurrent(reference)),
+        );
+    }
+    rec.insert(
+        "sim_wall_ms".into(),
+        Value::from(pred.sim_wall.as_secs_f64() * 1000.0),
+    );
+    rec.insert(
+        "preprocess_wall_ms".into(),
+        Value::from(pred.preprocess_wall.as_secs_f64() * 1000.0),
+    );
+    rec.insert(
+        "cache".into(),
+        Value::Array(pred.cache.iter().map(ToJson::to_json).collect()),
+    );
+    Value::Object(rec)
+}
+
+/// A `zatel-api-v1` sweep response: per-point `zatel-sweep-v1` records
+/// plus the shared cache's cumulative counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResponse {
+    /// Scene name (echo).
+    pub scene: String,
+    /// GPU config label (echo).
+    pub config: String,
+    /// Per-point records (see [`sweep_point_record`]), in run order.
+    pub points: Vec<Value>,
+    /// Cumulative artifact-cache counters after the sweep
+    /// (`memory_hits`/`disk_hits`/`misses`).
+    pub cache_stats: Value,
+}
+
+impl ToJson for SweepResponse {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), Value::from(API_SCHEMA));
+        m.insert("scene".into(), Value::from(self.scene.as_str()));
+        m.insert("config".into(), Value::from(self.config.as_str()));
+        m.insert("points".into(), Value::Array(self.points.clone()));
+        m.insert("cache_stats".into(), self.cache_stats.clone());
+        Value::Object(m)
+    }
+}
+
+impl FromJson for SweepResponse {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "SweepResponse";
+        expect_schema(value, TY)?;
+        let points = value
+            .get("points")
+            .and_then(Value::as_array)
+            .ok_or_else(|| JsonError::missing_field(TY, "points"))?;
+        for point in points {
+            match point.get("schema").and_then(Value::as_str) {
+                Some(s) if s == SWEEP_RECORD_SCHEMA => {}
+                Some(other) => {
+                    return Err(JsonError::conversion(format!(
+                        "{TY}: point carries unsupported record schema '{other}'"
+                    )))
+                }
+                None => return Err(JsonError::missing_field("sweep point", "schema")),
+            }
+        }
+        Ok(SweepResponse {
+            scene: value
+                .get("scene")
+                .and_then(Value::as_str)
+                .ok_or_else(|| JsonError::missing_field(TY, "scene"))?
+                .to_owned(),
+            config: value
+                .get("config")
+                .and_then(Value::as_str)
+                .ok_or_else(|| JsonError::missing_field(TY, "config"))?
+                .to_owned(),
+            points: points.to_vec(),
+            cache_stats: value
+                .get("cache_stats")
+                .cloned()
+                .ok_or_else(|| JsonError::missing_field(TY, "cache_stats"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConfigRef;
+
+    #[test]
+    fn request_round_trips() {
+        let mut req = SweepRequest::new(
+            "PARK",
+            ConfigRef::preset("mobile"),
+            SweepSpec::from_percents(&[0.1, 0.3]),
+        );
+        req.reference = true;
+        req.deadline_ms = Some(30_000);
+        req.options = Some(ZatelOptions::default());
+        let back = SweepRequest::from_json(&req.to_json()).expect("round trip");
+        assert_eq!(req, back);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn request_rejects_malformed_documents() {
+        // No schema at all.
+        let v = Value::parse(r#"{"scene":"PARK"}"#).unwrap();
+        assert!(SweepRequest::from_json(&v).is_err());
+        // Missing spec.
+        let v = Value::parse(
+            r#"{"schema":"zatel-api-v1","scene":"PARK","config":"mobile",
+                "res":32,"spp":1,"seed":9}"#,
+        )
+        .unwrap();
+        let err = SweepRequest::from_json(&v).unwrap_err();
+        assert!(err.message.contains("spec"), "{err}");
+        // Spec of the wrong type.
+        let v = Value::parse(
+            r#"{"schema":"zatel-api-v1","scene":"PARK","config":"mobile",
+                "res":32,"spp":1,"seed":9,"spec":"everything"}"#,
+        )
+        .unwrap();
+        assert!(SweepRequest::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn request_validate_rejects_empty_and_oversized_specs() {
+        let mut req = SweepRequest::new(
+            "PARK",
+            ConfigRef::preset("mobile"),
+            SweepSpec { points: Vec::new() },
+        );
+        assert!(req.validate().unwrap_err().contains("at least one point"));
+        req.spec = SweepSpec::from_percents(&vec![0.5; 257]);
+        assert!(req.validate().unwrap_err().contains("at most 256"));
+    }
+
+    #[test]
+    fn response_round_trips_and_pins_point_schema() {
+        let point = Value::parse(r#"{"schema":"zatel-sweep-v1","label":"default"}"#).unwrap();
+        let resp = SweepResponse {
+            scene: "PARK".into(),
+            config: "mobile".into(),
+            points: vec![point],
+            cache_stats: Value::parse(r#"{"memory_hits":3,"disk_hits":0,"misses":2}"#).unwrap(),
+        };
+        let back = SweepResponse::from_json(&resp.to_json()).expect("round trip");
+        assert_eq!(resp, back);
+
+        let mut doc = resp.to_json();
+        if let Value::Object(m) = &mut doc {
+            m.insert(
+                "points".into(),
+                Value::parse(r#"[{"schema":"zatel-sweep-v2"}]"#).unwrap(),
+            );
+        }
+        let err = SweepResponse::from_json(&doc).unwrap_err();
+        assert!(err.message.contains("zatel-sweep-v2"), "{err}");
+    }
+
+    #[test]
+    fn point_record_matches_history_shape() {
+        let scene = rtcore::scenes::SceneId::Park.build(42);
+        let trace = rtcore::tracer::TraceConfig {
+            samples_per_pixel: 1,
+            max_bounces: 2,
+            seed: 42,
+        };
+        let base = zatel::Zatel::new(&scene, gpusim::GpuConfig::mobile_soc(), 32, 32, trace);
+        let driver = zatel::SweepDriver::new(base);
+        let outcomes = driver
+            .run(&SweepSpec::from_percents(&[0.3]))
+            .expect("sweep runs");
+        let rec = sweep_point_record("mobile", scene.name(), 32, 1, 42, &outcomes[0], None);
+        for key in [
+            "schema",
+            "scene",
+            "config",
+            "res",
+            "spp",
+            "seed",
+            "label",
+            "point",
+            "k",
+            "prediction",
+            "sim_wall_ms",
+            "preprocess_wall_ms",
+            "cache",
+        ] {
+            assert!(rec.get(key).is_some(), "missing history key {key}");
+        }
+        assert_eq!(
+            rec.get("schema").and_then(Value::as_str),
+            Some(SWEEP_RECORD_SCHEMA)
+        );
+        assert!(rec
+            .get("prediction")
+            .and_then(|p| p.get("GPU Sim Cycles"))
+            .and_then(Value::as_f64)
+            .is_some());
+    }
+}

@@ -1,0 +1,258 @@
+//! Service-level envelopes: errors and the scene catalog.
+
+use minijson::{FromJson, JsonError, Map, ToJson, Value};
+
+use crate::{expect_schema, API_SCHEMA};
+
+/// Machine-readable classification of a service error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request document could not be parsed or failed validation
+    /// (HTTP 400).
+    BadRequest,
+    /// The request parsed but the engine rejected it — unknown scene,
+    /// invalid option combination (HTTP 422).
+    Unprocessable,
+    /// The server's bounded queue is full; retry later (HTTP 429).
+    Overloaded,
+    /// The request's deadline elapsed while it waited in the queue
+    /// (HTTP 504).
+    DeadlineExceeded,
+    /// The pipeline failed while executing the request (HTTP 500).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire tag (`"bad_request"`, `"overloaded"`, ...).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Unprocessable => "unprocessable",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// The HTTP status code a server responds with.
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorKind::BadRequest => 400,
+            ErrorKind::Unprocessable => 422,
+            ErrorKind::Overloaded => 429,
+            ErrorKind::DeadlineExceeded => 504,
+            ErrorKind::Internal => 500,
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "bad_request" => ErrorKind::BadRequest,
+            "unprocessable" => ErrorKind::Unprocessable,
+            "overloaded" => ErrorKind::Overloaded,
+            "deadline_exceeded" => ErrorKind::DeadlineExceeded,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// The `zatel-api-v1` error envelope every non-2xx response carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorResponse {
+    /// Classification (also determines the HTTP status).
+    pub kind: ErrorKind,
+    /// Human-readable description of what went wrong.
+    pub error: String,
+}
+
+impl ErrorResponse {
+    /// An error of `kind` with message `error`.
+    pub fn new(kind: ErrorKind, error: impl Into<String>) -> Self {
+        ErrorResponse {
+            kind,
+            error: error.into(),
+        }
+    }
+}
+
+impl ToJson for ErrorResponse {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), Value::from(API_SCHEMA));
+        m.insert("kind".into(), Value::from(self.kind.tag()));
+        m.insert("error".into(), Value::from(self.error.as_str()));
+        Value::Object(m)
+    }
+}
+
+impl FromJson for ErrorResponse {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "ErrorResponse";
+        expect_schema(value, TY)?;
+        let tag = value
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| JsonError::missing_field(TY, "kind"))?;
+        Ok(ErrorResponse {
+            kind: ErrorKind::from_tag(tag)
+                .ok_or_else(|| JsonError::conversion(format!("unknown error kind '{tag}'")))?,
+            error: value
+                .get("error")
+                .and_then(Value::as_str)
+                .ok_or_else(|| JsonError::missing_field(TY, "error"))?
+                .to_owned(),
+        })
+    }
+}
+
+/// One entry of the `GET /v1/scenes` catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SceneInfo {
+    /// The name `predict`/`sweep` requests use.
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+}
+
+impl ToJson for SceneInfo {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("name".into(), Value::from(self.name.as_str()));
+        m.insert("description".into(), Value::from(self.description.as_str()));
+        Value::Object(m)
+    }
+}
+
+impl FromJson for SceneInfo {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "SceneInfo";
+        let text = |name: &str| {
+            value
+                .get(name)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| JsonError::missing_field(TY, name))
+        };
+        Ok(SceneInfo {
+            name: text("name")?,
+            description: text("description")?,
+        })
+    }
+}
+
+/// The `GET /v1/scenes` response: every benchmark scene this server can
+/// build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenesResponse {
+    /// The catalog, in [`rtcore::scenes::all`] order.
+    pub scenes: Vec<SceneInfo>,
+}
+
+impl ScenesResponse {
+    /// The catalog of this build's scene registry.
+    pub fn current() -> Self {
+        ScenesResponse {
+            scenes: rtcore::scenes::all()
+                .iter()
+                .map(|id| SceneInfo {
+                    name: id.name().to_owned(),
+                    description: id.description().to_owned(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ToJson for ScenesResponse {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), Value::from(API_SCHEMA));
+        m.insert(
+            "scenes".into(),
+            Value::Array(self.scenes.iter().map(ToJson::to_json).collect()),
+        );
+        Value::Object(m)
+    }
+}
+
+impl FromJson for ScenesResponse {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "ScenesResponse";
+        expect_schema(value, TY)?;
+        Ok(ScenesResponse {
+            scenes: value
+                .get("scenes")
+                .and_then(Value::as_array)
+                .ok_or_else(|| JsonError::missing_field(TY, "scenes"))?
+                .iter()
+                .map(SceneInfo::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_round_trips_every_kind() {
+        for kind in [
+            ErrorKind::BadRequest,
+            ErrorKind::Unprocessable,
+            ErrorKind::Overloaded,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::Internal,
+        ] {
+            let e = ErrorResponse::new(kind, "boom");
+            let back = ErrorResponse::from_json(&e.to_json()).expect("round trip");
+            assert_eq!(e, back);
+            assert_eq!(ErrorKind::from_tag(kind.tag()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn error_statuses_are_distinct_http_errors() {
+        let kinds = [
+            ErrorKind::BadRequest,
+            ErrorKind::Unprocessable,
+            ErrorKind::Overloaded,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::Internal,
+        ];
+        let mut statuses: Vec<u16> = kinds.iter().map(|k| k.http_status()).collect();
+        statuses.dedup();
+        assert_eq!(statuses.len(), kinds.len());
+        assert!(statuses.iter().all(|s| (400..=599).contains(s)));
+    }
+
+    #[test]
+    fn error_rejects_malformed_documents() {
+        let v = Value::parse(r#"{"schema":"zatel-api-v1","kind":"novel","error":"x"}"#).unwrap();
+        let err = ErrorResponse::from_json(&v).unwrap_err();
+        assert!(err.message.contains("novel"), "{err}");
+        let v = Value::parse(r#"{"schema":"zatel-api-v1","error":"x"}"#).unwrap();
+        assert!(ErrorResponse::from_json(&v).is_err());
+        let v = Value::parse(r#"{"kind":"internal","error":"x"}"#).unwrap();
+        assert!(ErrorResponse::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn scene_catalog_lists_all_scenes_and_round_trips() {
+        let catalog = ScenesResponse::current();
+        assert_eq!(catalog.scenes.len(), rtcore::scenes::all().len());
+        assert!(catalog.scenes.iter().any(|s| s.name == "SPRNG"));
+        assert!(catalog.scenes.iter().all(|s| !s.description.is_empty()));
+        let back = ScenesResponse::from_json(&catalog.to_json()).expect("round trip");
+        assert_eq!(catalog, back);
+    }
+
+    #[test]
+    fn scene_catalog_rejects_malformed_documents() {
+        let v = Value::parse(r#"{"schema":"zatel-api-v1","scenes":[{"name":"X"}]}"#).unwrap();
+        assert!(ScenesResponse::from_json(&v).is_err());
+        let v = Value::parse(r#"{"schema":"zatel-api-v1"}"#).unwrap();
+        assert!(ScenesResponse::from_json(&v).is_err());
+    }
+}

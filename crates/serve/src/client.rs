@@ -1,0 +1,154 @@
+//! A small blocking HTTP client for `zatel predict --url` and the smoke
+//! tests — one `Connection: close` request per call, `http://` only.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use minijson::Value;
+
+/// Per-request socket timeout (connect, read and write each).
+const TIMEOUT: Duration = Duration::from_secs(600);
+
+/// A parsed `http://host:port` base plus request helpers.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    authority: String,
+}
+
+/// A decoded response: status code and body.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Raw response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Parses the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the body is not valid JSON.
+    pub fn json(&self) -> Result<Value, String> {
+        Value::parse(&self.body).map_err(|e| format!("response body is not JSON: {e}"))
+    }
+}
+
+impl HttpClient {
+    /// Builds a client for `url`, which must be `http://host:port` (an
+    /// optional trailing `/` is ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for non-`http://` or malformed URLs.
+    pub fn new(url: &str) -> Result<HttpClient, String> {
+        let rest = url
+            .strip_prefix("http://")
+            .ok_or_else(|| format!("--url must start with http://, got '{url}'"))?;
+        let authority = rest.trim_end_matches('/');
+        if authority.is_empty() || authority.contains('/') {
+            return Err(format!(
+                "--url must be http://host:port with no path, got '{url}'"
+            ));
+        }
+        Ok(HttpClient {
+            authority: authority.to_owned(),
+        })
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for connection or protocol failures.
+    pub fn get(&self, path: &str) -> Result<HttpResponse, String> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for connection or protocol failures.
+    pub fn post_json(&self, path: &str, body: &Value) -> Result<HttpResponse, String> {
+        self.request("POST", path, Some(body.to_string()))
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<String>,
+    ) -> Result<HttpResponse, String> {
+        let mut stream = TcpStream::connect(&self.authority)
+            .map_err(|e| format!("connecting to {}: {e}", self.authority))?;
+        stream
+            .set_read_timeout(Some(TIMEOUT))
+            .and_then(|()| stream.set_write_timeout(Some(TIMEOUT)))
+            .map_err(|e| format!("configuring socket: {e}"))?;
+        let body = body.unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.authority,
+            body.len(),
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body.as_bytes()))
+            .map_err(|e| format!("sending request: {e}"))?;
+
+        let mut raw = Vec::new();
+        stream
+            .read_to_end(&mut raw)
+            .map_err(|e| format!("reading response: {e}"))?;
+        parse_response(&raw)
+    }
+}
+
+/// Splits a raw `Connection: close` response into status and body.
+fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("response has no header terminator")?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| "response head is not UTF-8".to_owned())?;
+    let status_line = head.lines().next().ok_or("empty response")?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line '{status_line}'"))?;
+    let body = String::from_utf8(raw[head_end + 4..].to_vec())
+        .map_err(|_| "response body is not UTF-8".to_owned())?;
+    Ok(HttpResponse { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parsing() {
+        assert!(HttpClient::new("http://127.0.0.1:7878").is_ok());
+        assert!(HttpClient::new("http://127.0.0.1:7878/").is_ok());
+        assert!(HttpClient::new("https://example.com").is_err());
+        assert!(HttpClient::new("http://host:1/path").is_err());
+        assert!(HttpClient::new("http://").is_err());
+    }
+
+    #[test]
+    fn response_parsing() {
+        let resp =
+            parse_response(b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\n\r\n{\"a\":1}")
+                .expect("parse");
+        assert_eq!(resp.status, 429);
+        assert_eq!(
+            resp.json().unwrap().get("a").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert!(parse_response(b"garbage").is_err());
+    }
+}

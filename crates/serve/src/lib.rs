@@ -1,0 +1,43 @@
+//! # zatel-serve — the long-running Zatel prediction service
+//!
+//! `zatel serve` keeps one process-lifetime [`zatel::ArtifactCache`] warm
+//! behind a small threaded HTTP/1.1 JSON API, so repeated predictions for
+//! the same scene/resolution skip heatmap profiling and quantization
+//! entirely. Everything is plain `std` + the in-workspace `minijson` —
+//! no async runtime, no external HTTP stack.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! accept → bounded queue (429 + Retry-After when full)
+//!        → worker: parse → deadline check (504 if queued too long)
+//!        → service::execute_* through the shared cache → JSON response
+//! ```
+//!
+//! Endpoints (all speaking [`zatel_proto`]'s `zatel-api-v1` documents):
+//!
+//! * `POST /v1/predict` — one [`zatel_proto::PredictRequest`]
+//! * `POST /v1/sweep` — one [`zatel_proto::SweepRequest`]
+//! * `GET /v1/scenes` — the scene catalog
+//! * `GET /metrics` — Prometheus text exposition
+//! * `GET /healthz` — liveness
+//! * `POST /v1/shutdown` — begin a graceful drain
+//!
+//! On SIGINT/SIGTERM (or `/v1/shutdown`) the server stops accepting,
+//! drains every queued request to completion, joins its workers and
+//! returns — zero in-flight requests are dropped.
+//!
+//! The [`service`] module is transport-free: the CLI's local `predict`
+//! path calls the same [`service::execute_predict`] the server does,
+//! which is what keeps `zatel predict` and `zatel predict --url` output
+//! identical.
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod service;
+pub mod signal;
+
+pub use client::HttpClient;
+pub use server::{ServeConfig, ServeReport, Server};
+pub use service::{execute_predict, execute_sweep, PredictOutput, ServiceError, SweepOutput};

@@ -1,0 +1,508 @@
+//! The threaded HTTP server: bounded admission queue, worker pool,
+//! process-lifetime artifact cache, Prometheus metrics and graceful
+//! drain.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use minijson::{FromJson, Map, ToJson, Value};
+use obs::MetricsRegistry;
+use zatel::ArtifactCache;
+use zatel_proto::{
+    ErrorKind, ErrorResponse, PredictRequest, ScenesResponse, SweepRequest, API_SCHEMA,
+};
+
+use crate::http::{self, HttpError, Request};
+use crate::service;
+use crate::signal;
+
+/// How long the accept loop sleeps between polls of the (non-blocking)
+/// listener and the shutdown flags.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// Per-connection socket read timeout: a stalled client may not pin a
+/// worker forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server configuration (all fields have serviceable defaults).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878`. Port 0 picks an ephemeral
+    /// port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bounded queue depth; requests beyond it are refused with 429.
+    pub queue: usize,
+    /// Default worker-thread cap for each request's group simulation,
+    /// applied when the request itself does not set `options.jobs`.
+    /// `None` lets each request size itself to the host.
+    pub sim_jobs: Option<usize>,
+    /// Default request deadline, applied when a request carries no
+    /// `deadline_ms` of its own. `None` means queued requests never
+    /// expire.
+    pub default_deadline_ms: Option<u64>,
+    /// Persist stage artifacts on disk, surviving restarts.
+    pub cache_dir: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 2,
+            queue: 64,
+            sim_jobs: None,
+            default_deadline_ms: None,
+            cache_dir: None,
+        }
+    }
+}
+
+/// What a completed [`Server::run`] observed, for the caller's log line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Connections admitted into the queue.
+    pub admitted: u64,
+    /// Connections refused with 429 because the queue was full.
+    pub refused: u64,
+    /// Requests still queued when the drain began — all of them were
+    /// served before shutdown completed.
+    pub drained_in_flight: u64,
+}
+
+/// Shared mutable server state (behind one `Arc`).
+struct ServerState {
+    cache: Arc<ArtifactCache>,
+    registry: Mutex<MetricsRegistry>,
+    queue_depth: AtomicUsize,
+    draining: AtomicBool,
+    sim_jobs: Option<usize>,
+    default_deadline_ms: Option<u64>,
+}
+
+impl ServerState {
+    fn with_registry(&self, f: impl FnOnce(&mut MetricsRegistry)) {
+        let mut registry = self
+            .registry
+            .lock()
+            // Poison recovery: metrics writes are single insertions; a
+            // panicking holder cannot leave a half-written registry.
+            .unwrap_or_else(PoisonError::into_inner);
+        f(&mut registry);
+    }
+
+    /// A point-in-time snapshot for `/metrics`: the accumulated request
+    /// metrics plus scrape-time gauges and cache counters.
+    fn prometheus_snapshot(&self) -> String {
+        let mut snapshot = self
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        snapshot.gauge_set(
+            "queue_depth",
+            self.queue_depth.load(Ordering::SeqCst) as f64,
+        );
+        let stats = self.cache.stats();
+        snapshot.counter_add("cache_memory_hits", stats.memory_hits);
+        snapshot.counter_add("cache_disk_hits", stats.disk_hits);
+        snapshot.counter_add("cache_misses", stats.misses);
+        snapshot.to_prometheus("zatel_serve")
+    }
+}
+
+/// One queued connection: the socket plus its admission instant (the
+/// deadline clock starts at admission, not at parse).
+struct Job {
+    stream: TcpStream,
+    admitted: Instant,
+}
+
+/// A bound, not-yet-running server. Binding and running are split so
+/// callers (and tests) can learn the ephemeral port before the first
+/// request races in.
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listen socket and builds the process-lifetime cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the address cannot be bound or the cache
+    /// directory cannot be created.
+    pub fn bind(config: ServeConfig) -> Result<Server, String> {
+        if config.workers == 0 {
+            return Err("serve needs at least one worker".into());
+        }
+        if config.queue == 0 {
+            return Err("serve needs a queue depth of at least 1".into());
+        }
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
+        let cache = match &config.cache_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("creating cache dir '{dir}': {e}"))?;
+                ArtifactCache::with_disk(dir)
+            }
+            None => ArtifactCache::in_memory(),
+        };
+        let state = Arc::new(ServerState {
+            cache: Arc::new(cache),
+            registry: Mutex::new(MetricsRegistry::new()),
+            queue_depth: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            sim_jobs: config.sim_jobs,
+            default_deadline_ms: config.default_deadline_ms,
+        });
+        Ok(Server {
+            listener,
+            config,
+            state,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the socket cannot report its address.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("reading bound address: {e}"))
+    }
+
+    /// Runs the accept loop until SIGINT/SIGTERM or `POST /v1/shutdown`,
+    /// then drains: stops accepting, serves every queued request, joins
+    /// the workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message only for listener-level failures; per-connection
+    /// errors are answered over HTTP and never stop the server.
+    pub fn run(self) -> Result<ServeReport, String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("configuring listener: {e}"))?;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(self.config.queue);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(self.config.workers);
+        for _ in 0..self.config.workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&self.state);
+            workers.push(std::thread::spawn(move || worker_loop(&rx, &state)));
+        }
+
+        let admitted = AtomicU64::new(0);
+        let mut refused = 0u64;
+        loop {
+            if signal::requested() || self.state.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let job = Job {
+                        stream,
+                        admitted: Instant::now(),
+                    };
+                    // The gauge rises before try_send publishes the job:
+                    // otherwise an idle worker can pull it and decrement
+                    // first, wrapping the unsigned depth below zero.
+                    self.state.queue_depth.fetch_add(1, Ordering::SeqCst);
+                    match tx.try_send(job) {
+                        Ok(()) => {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TrySendError::Full(job)) => {
+                            self.state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                            refused += 1;
+                            self.state
+                                .with_registry(|r| r.counter_add("http_responses_429", 1));
+                            refuse_overloaded(job.stream);
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            self.state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+        }
+
+        // Graceful drain: dropping the sender lets workers finish every
+        // queued job, then observe the disconnect and exit.
+        let drained_in_flight = self.state.queue_depth.load(Ordering::SeqCst) as u64;
+        drop(tx);
+        for worker in workers {
+            // A worker that panicked already lost its request; there is
+            // nothing useful to add by propagating.
+            let _ = worker.join();
+        }
+        Ok(ServeReport {
+            admitted: admitted.load(Ordering::Relaxed),
+            refused,
+            drained_in_flight,
+        })
+    }
+
+    /// Signals a graceful drain programmatically (same effect as
+    /// SIGTERM). Exposed for tests and embedding callers.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+/// A cheap clone-free trigger for a running server's drain flag.
+pub struct ServeHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServeHandle {
+    /// Begins a graceful drain.
+    pub fn shutdown(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Answers a connection the queue could not admit.
+fn refuse_overloaded(mut stream: TcpStream) {
+    let body = ErrorResponse::new(
+        ErrorKind::Overloaded,
+        "request queue is full; retry shortly",
+    )
+    .to_json()
+    .to_string();
+    let _ = http::write_response(
+        &mut stream,
+        429,
+        "application/json",
+        &[("Retry-After", "1".into())],
+        body.as_bytes(),
+    );
+}
+
+/// One worker: pull, parse, route, respond — until the queue closes.
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, state: &Arc<ServerState>) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            return; // Sender dropped and queue drained: shutdown.
+        };
+        state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        handle_connection(job, state);
+    }
+}
+
+/// The routed outcome of one request: status + JSON (or Prometheus text).
+enum Routed {
+    Json(u16, Value),
+    Text(u16, &'static str, String),
+}
+
+fn handle_connection(job: Job, state: &Arc<ServerState>) {
+    let Job {
+        mut stream,
+        admitted,
+    } = job;
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let request = match Request::read_from(&mut stream) {
+        Ok(request) => request,
+        Err(err) => {
+            let (status, message) = match err {
+                HttpError::TooLarge => (413, "request exceeds size limits".to_owned()),
+                other => (400, other.to_string()),
+            };
+            state.with_registry(|r| r.counter_add(&format!("http_responses_{status}"), 1));
+            let body = ErrorResponse::new(ErrorKind::BadRequest, message)
+                .to_json()
+                .to_string();
+            let _ = http::write_response(
+                &mut stream,
+                status,
+                "application/json",
+                &[],
+                body.as_bytes(),
+            );
+            return;
+        }
+    };
+
+    let routed = route(&request, admitted, state);
+    let (status, content_type, body) = match routed {
+        Routed::Json(status, value) => (status, "application/json", value.to_string()),
+        Routed::Text(status, content_type, text) => (status, content_type, text),
+    };
+    state.with_registry(|r| {
+        r.counter_add("http_requests_total", 1);
+        r.counter_add(&format!("http_responses_{status}"), 1);
+    });
+    let _ = http::write_response(&mut stream, status, content_type, &[], body.as_bytes());
+}
+
+/// Maps a [`ServiceError`] (or a deadline expiry) onto the wire.
+fn error_json(kind: ErrorKind, message: impl Into<String>) -> Routed {
+    Routed::Json(
+        kind.http_status(),
+        ErrorResponse::new(kind, message).to_json(),
+    )
+}
+
+fn route(request: &Request, admitted: Instant, state: &Arc<ServerState>) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let mut m = Map::new();
+            m.insert("schema".into(), Value::from(API_SCHEMA));
+            m.insert("status".into(), Value::from("ok"));
+            m.insert(
+                "draining".into(),
+                Value::from(state.draining.load(Ordering::SeqCst)),
+            );
+            Routed::Json(200, Value::Object(m))
+        }
+        ("GET", "/v1/scenes") => Routed::Json(200, ScenesResponse::current().to_json()),
+        ("GET", "/metrics") => Routed::Text(
+            200,
+            "text/plain; version=0.0.4",
+            state.prometheus_snapshot(),
+        ),
+        ("POST", "/v1/shutdown") => {
+            state.draining.store(true, Ordering::SeqCst);
+            let mut m = Map::new();
+            m.insert("schema".into(), Value::from(API_SCHEMA));
+            m.insert("status".into(), Value::from("draining"));
+            Routed::Json(202, Value::Object(m))
+        }
+        ("POST", "/v1/predict") => predict_route(request, admitted, state),
+        ("POST", "/v1/sweep") => sweep_route(request, admitted, state),
+        ("GET" | "POST", _) => error_json(
+            ErrorKind::BadRequest,
+            format!("no route for {} {}", request.method, request.path),
+        ),
+        (method, _) => error_json(
+            ErrorKind::BadRequest,
+            format!("unsupported method {method}"),
+        ),
+    }
+}
+
+/// Parses the body as a JSON document.
+fn parse_body(request: &Request) -> Result<Value, Routed> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| error_json(ErrorKind::BadRequest, "body is not UTF-8"))?;
+    Value::parse(text).map_err(|e| error_json(ErrorKind::BadRequest, format!("body: {e}")))
+}
+
+/// Enforces the request's (or the server's default) deadline against the
+/// time already spent in the admission queue.
+fn check_deadline(
+    deadline_ms: Option<u64>,
+    admitted: Instant,
+    state: &ServerState,
+) -> Result<(), Routed> {
+    let Some(budget) = deadline_ms.or(state.default_deadline_ms) else {
+        return Ok(());
+    };
+    let waited = admitted.elapsed();
+    if waited > Duration::from_millis(budget) {
+        return Err(error_json(
+            ErrorKind::DeadlineExceeded,
+            format!(
+                "deadline of {budget} ms elapsed after {} ms in queue",
+                waited.as_millis()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn predict_route(request: &Request, admitted: Instant, state: &Arc<ServerState>) -> Routed {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(routed) => return routed,
+    };
+    let mut req = match PredictRequest::from_json(&body) {
+        Ok(req) => req,
+        Err(e) => return error_json(ErrorKind::BadRequest, e.to_string()),
+    };
+    if let Err(routed) = check_deadline(req.deadline_ms, admitted, state) {
+        return routed;
+    }
+    if let Some(jobs) = state.sim_jobs {
+        let options = req.options.get_or_insert_with(zatel::ZatelOptions::default);
+        if options.jobs.is_none() {
+            options.jobs = Some(jobs);
+        }
+    }
+    let started = Instant::now();
+    match service::execute_predict(&req, &state.cache) {
+        Ok(out) => {
+            state.with_registry(|r| {
+                r.counter_add("predict_requests", 1);
+                r.observe(
+                    "predict_latency_ms",
+                    started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
+                );
+            });
+            Routed::Json(200, out.response.to_json())
+        }
+        Err(err) => {
+            state.with_registry(|r| r.counter_add("predict_errors", 1));
+            error_json(err.kind(), err.to_string())
+        }
+    }
+}
+
+fn sweep_route(request: &Request, admitted: Instant, state: &Arc<ServerState>) -> Routed {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(routed) => return routed,
+    };
+    let mut req = match SweepRequest::from_json(&body) {
+        Ok(req) => req,
+        Err(e) => return error_json(ErrorKind::BadRequest, e.to_string()),
+    };
+    if let Err(routed) = check_deadline(req.deadline_ms, admitted, state) {
+        return routed;
+    }
+    if let Some(jobs) = state.sim_jobs {
+        let options = req.options.get_or_insert_with(zatel::ZatelOptions::default);
+        if options.jobs.is_none() {
+            options.jobs = Some(jobs);
+        }
+    }
+    let started = Instant::now();
+    match service::execute_sweep(&req, &state.cache) {
+        Ok(out) => {
+            state.with_registry(|r| {
+                r.counter_add("sweep_requests", 1);
+                r.observe(
+                    "sweep_latency_ms",
+                    started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
+                );
+            });
+            Routed::Json(200, out.response.to_json())
+        }
+        Err(err) => {
+            state.with_registry(|r| r.counter_add("sweep_errors", 1));
+            error_json(err.kind(), err.to_string())
+        }
+    }
+}

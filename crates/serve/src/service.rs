@@ -1,0 +1,371 @@
+//! Transport-free request execution: the one place a
+//! [`PredictRequest`]/[`SweepRequest`] turns into a pipeline run.
+//!
+//! Both front ends call into here — `zatel predict` locally and the
+//! `zatel serve` worker threads — so a request produces the same
+//! [`PredictResponse`] whichever path carried it. That shared seam is
+//! what the protocol's byte-identity guarantee rests on.
+
+use std::sync::Arc;
+
+use minijson::ToJson;
+use obs::{MetricsRegistry, Timeline};
+use rtcore::tracer::TraceConfig;
+use zatel::{ArtifactCache, Prediction, Reference, RunContext, Zatel, ZatelError};
+use zatel_proto::{
+    sweep_point_record, ErrorKind, GroupReport, MetricValues, PredictRequest, PredictResponse,
+    ReferenceReport, SweepRequest, SweepResponse,
+};
+
+/// Ray bounce depth used by every service-issued trace (the CLI's
+/// long-standing default).
+pub const MAX_BOUNCES: u32 = 4;
+
+/// Why a request could not be served.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The request document failed validation (HTTP 400).
+    BadRequest(String),
+    /// The request parsed but names something the engine rejects —
+    /// unknown scene, unresolvable config, invalid option combination
+    /// (HTTP 422).
+    Unprocessable(String),
+    /// The pipeline itself failed (HTTP 500).
+    Internal(String),
+}
+
+impl ServiceError {
+    /// The matching wire-protocol error kind.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            ServiceError::BadRequest(_) => ErrorKind::BadRequest,
+            ServiceError::Unprocessable(_) => ErrorKind::Unprocessable,
+            ServiceError::Internal(_) => ErrorKind::Internal,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::BadRequest(msg)
+            | ServiceError::Unprocessable(msg)
+            | ServiceError::Internal(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl From<ZatelError> for ServiceError {
+    fn from(e: ZatelError) -> Self {
+        match e {
+            // Bad factors and bad options are the client's input, not a
+            // server fault.
+            ZatelError::Downscale(_) | ZatelError::InvalidOptions(_) => {
+                ServiceError::Unprocessable(e.to_string())
+            }
+            other => ServiceError::Internal(other.to_string()),
+        }
+    }
+}
+
+/// Everything one predict execution produced. The wire answer is
+/// [`PredictOutput::response`]; the rest lets in-process callers (the
+/// CLI) render progress lines, Perfetto traces and run records without
+/// re-running anything.
+#[derive(Debug)]
+pub struct PredictOutput {
+    /// The wire response.
+    pub response: PredictResponse,
+    /// The raw prediction (groups carry engine traces and obs hooks).
+    pub prediction: Prediction,
+    /// The reference run, when the request asked for one.
+    pub reference: Option<Reference>,
+    /// Folded per-group observability registry (empty when the request
+    /// did not observe).
+    pub registry: MetricsRegistry,
+    /// Per-group Perfetto timelines (empty unless observing with
+    /// timelines enabled).
+    pub timelines: Vec<Timeline>,
+}
+
+/// Names the valid scenes so the hint works from both the CLI and the
+/// HTTP service (`zatel scenes` / `GET /v1/scenes` show the same list).
+fn unknown_scene(name: &str) -> ServiceError {
+    let known: Vec<&str> = rtcore::scenes::all().iter().map(|s| s.name()).collect();
+    ServiceError::Unprocessable(format!(
+        "unknown scene '{name}'; valid scenes: {}",
+        known.join(", ")
+    ))
+}
+
+/// Executes one predict request through `cache`.
+///
+/// # Errors
+///
+/// Returns [`ServiceError`] classifying the failure for HTTP mapping.
+pub fn execute_predict(
+    request: &PredictRequest,
+    cache: &ArtifactCache,
+) -> Result<PredictOutput, ServiceError> {
+    request.validate().map_err(ServiceError::BadRequest)?;
+    let scene_id =
+        rtcore::scenes::by_name(&request.scene).ok_or_else(|| unknown_scene(&request.scene))?;
+    let config = request
+        .config
+        .resolve()
+        .map_err(ServiceError::Unprocessable)?;
+    let scene = scene_id.build(request.seed);
+    let trace = TraceConfig {
+        samples_per_pixel: request.spp,
+        max_bounces: MAX_BOUNCES,
+        seed: request.seed,
+    };
+    let mut zatel = Zatel::new(&scene, config, request.res, request.res, trace);
+    if let Some(options) = &request.options {
+        zatel = zatel.with_options(options.clone());
+    }
+
+    let mut ctx = RunContext::new().with_cache(cache);
+    if let Some(fractions) = request.regression {
+        ctx = ctx.with_regression(fractions);
+    }
+    let mut prediction = zatel.execute(&ctx)?;
+    let reference = request.reference.then(|| zatel.run_reference());
+
+    // Fold per-group observability into one registry + one trace list, in
+    // group order so repeat runs with the same seed are byte-identical.
+    let observing = zatel.options().observe.is_some();
+    let mut registry = MetricsRegistry::new();
+    let mut timelines = Vec::new();
+    if observing {
+        for g in &mut prediction.groups {
+            if let Some(o) = g.obs.as_mut() {
+                o.export(&mut registry);
+                if let Some(t) = o.take_timeline() {
+                    timelines.push(t);
+                }
+            }
+        }
+        registry.gauge_set("k", f64::from(prediction.k));
+        registry.gauge_set("groups", prediction.groups.len() as f64);
+        registry.gauge_set(
+            "traced_fraction_mean",
+            prediction
+                .groups
+                .iter()
+                .map(|g| g.traced_fraction)
+                .sum::<f64>()
+                / prediction.groups.len().max(1) as f64,
+        );
+    }
+
+    let response = PredictResponse {
+        scene: scene.name().to_owned(),
+        config: request.config.label().to_owned(),
+        res: request.res,
+        spp: request.spp,
+        seed: request.seed,
+        k: prediction.k,
+        prediction: MetricValues::from_prediction(&prediction),
+        groups: prediction
+            .groups
+            .iter()
+            .map(GroupReport::from_outcome)
+            .collect(),
+        reference: reference
+            .as_ref()
+            .map(|r| ReferenceReport::from_stats(&r.stats)),
+        mae: reference.as_ref().map(|r| prediction.mae_vs(&r.stats)),
+        speedup_concurrent: reference.as_ref().map(|r| prediction.speedup_concurrent(r)),
+        sim_wall_ms: prediction.sim_wall.as_secs_f64() * 1000.0,
+        preprocess_wall_ms: prediction.preprocess_wall.as_secs_f64() * 1000.0,
+        spans: prediction.spans.clone(),
+        cache: prediction.cache.iter().map(ToJson::to_json).collect(),
+        metrics: observing.then(|| registry.clone()),
+    };
+    Ok(PredictOutput {
+        response,
+        prediction,
+        reference,
+        registry,
+        timelines,
+    })
+}
+
+/// Everything one sweep execution produced.
+#[derive(Debug)]
+pub struct SweepOutput {
+    /// The wire response.
+    pub response: SweepResponse,
+    /// The raw per-point outcomes, in run order.
+    pub outcomes: Vec<zatel::SweepOutcome>,
+    /// The reference run, when the request asked for one.
+    pub reference: Option<Reference>,
+}
+
+/// Executes one sweep request through `cache` (shared with every other
+/// request the process serves).
+///
+/// # Errors
+///
+/// Returns [`ServiceError`] classifying the failure for HTTP mapping.
+pub fn execute_sweep(
+    request: &SweepRequest,
+    cache: &Arc<ArtifactCache>,
+) -> Result<SweepOutput, ServiceError> {
+    request.validate().map_err(ServiceError::BadRequest)?;
+    let scene_id =
+        rtcore::scenes::by_name(&request.scene).ok_or_else(|| unknown_scene(&request.scene))?;
+    let config = request
+        .config
+        .resolve()
+        .map_err(ServiceError::Unprocessable)?;
+    let scene = scene_id.build(request.seed);
+    let trace = TraceConfig {
+        samples_per_pixel: request.spp,
+        max_bounces: MAX_BOUNCES,
+        seed: request.seed,
+    };
+    let mut base = Zatel::new(&scene, config, request.res, request.res, trace);
+    if let Some(options) = &request.options {
+        base = base.with_options(options.clone());
+    }
+    let driver = zatel::SweepDriver::new(base).with_cache(Arc::clone(cache));
+    let outcomes = driver.run(&request.spec)?;
+    let reference = request.reference.then(|| driver.base().run_reference());
+
+    let label = request.config.label();
+    let points = outcomes
+        .iter()
+        .map(|o| {
+            sweep_point_record(
+                label,
+                scene.name(),
+                request.res,
+                request.spp,
+                request.seed,
+                o,
+                reference.as_ref(),
+            )
+        })
+        .collect();
+    let response = SweepResponse {
+        scene: scene.name().to_owned(),
+        config: label.to_owned(),
+        points,
+        cache_stats: cache.stats().to_json(),
+    };
+    Ok(SweepOutput {
+        response,
+        outcomes,
+        reference,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zatel_proto::ConfigRef;
+
+    fn tiny_request() -> PredictRequest {
+        let mut req = PredictRequest::new("SPRNG", ConfigRef::preset("mobile"));
+        req.res = 32;
+        req.spp = 1;
+        req.seed = 7;
+        req
+    }
+
+    #[test]
+    fn predict_matches_in_process_run() {
+        let req = tiny_request();
+        let cache = ArtifactCache::in_memory();
+        let out = execute_predict(&req, &cache).expect("predict");
+
+        let scene = rtcore::scenes::by_name("SPRNG").unwrap().build(7);
+        let trace = TraceConfig {
+            samples_per_pixel: 1,
+            max_bounces: MAX_BOUNCES,
+            seed: 7,
+        };
+        let direct = Zatel::new(&scene, gpusim::GpuConfig::mobile_soc(), 32, 32, trace)
+            .run()
+            .expect("direct run");
+        assert_eq!(
+            out.response.prediction,
+            MetricValues::from_prediction(&direct),
+            "service path and direct Zatel::run must agree bit-for-bit"
+        );
+        assert_eq!(out.response.k, direct.k);
+        assert_eq!(out.response.groups.len(), direct.groups.len());
+    }
+
+    #[test]
+    fn predict_is_deterministic_across_cache_temperature() {
+        let req = tiny_request();
+        let cache = ArtifactCache::in_memory();
+        let cold = execute_predict(&req, &cache).expect("cold");
+        let warm = execute_predict(&req, &cache).expect("warm");
+        assert_eq!(
+            cold.response.deterministic_json().to_string(),
+            warm.response.deterministic_json().to_string()
+        );
+        assert!(
+            warm.prediction.cache.iter().any(|r| r.outcome.is_hit()),
+            "second execution must hit the shared cache"
+        );
+    }
+
+    #[test]
+    fn predict_classifies_client_errors() {
+        let cache = ArtifactCache::in_memory();
+        let mut unknown_scene = tiny_request();
+        unknown_scene.scene = "NOPE".into();
+        assert!(matches!(
+            execute_predict(&unknown_scene, &cache),
+            Err(ServiceError::Unprocessable(_))
+        ));
+
+        let mut bad_config = tiny_request();
+        bad_config.config = ConfigRef::preset("quantum");
+        assert!(matches!(
+            execute_predict(&bad_config, &cache),
+            Err(ServiceError::Unprocessable(_))
+        ));
+
+        let mut bad_res = tiny_request();
+        bad_res.res = 0;
+        assert!(matches!(
+            execute_predict(&bad_res, &cache),
+            Err(ServiceError::BadRequest(_))
+        ));
+
+        let mut bad_factor = tiny_request();
+        bad_factor.options = Some(
+            zatel::ZatelOptions::builder()
+                .downscale(zatel::DownscaleMode::Factor(3))
+                .build()
+                .expect("options"),
+        );
+        let err = execute_predict(&bad_factor, &cache).expect_err("factor 3 must fail");
+        assert!(matches!(err, ServiceError::Unprocessable(_)), "{err}");
+    }
+
+    #[test]
+    fn sweep_shares_the_process_cache() {
+        let mut req = SweepRequest::new(
+            "SPRNG",
+            ConfigRef::preset("mobile"),
+            zatel::SweepSpec::from_percents(&[0.2, 0.4]),
+        );
+        req.res = 32;
+        req.spp = 1;
+        let cache = Arc::new(ArtifactCache::in_memory());
+        let out = execute_sweep(&req, &cache).expect("sweep");
+        assert_eq!(out.response.points.len(), 2);
+        let stats = cache.stats();
+        assert!(
+            stats.memory_hits > 0,
+            "sweep points must reuse shared artifacts, got {stats:?}"
+        );
+    }
+}

@@ -66,7 +66,10 @@ pub mod sweep;
 
 pub use error::ZatelError;
 pub use partition::{DivisionMethod, Group};
-pub use pipeline::{DownscaleMode, GroupOutcome, Prediction, Reference, Zatel, ZatelOptions};
+pub use pipeline::{
+    DownscaleMode, GroupOutcome, Prediction, Reference, RunContext, Zatel, ZatelOptions,
+    ZatelOptionsBuilder,
+};
 pub use select::{Distribution, Selection, SelectionOptions};
 pub use sim_executor::{JobTiming, SimExecutor};
 pub use stages::{ArtifactCache, CacheOutcome, CacheStats, StageCacheRecord};

@@ -44,7 +44,13 @@ pub enum DownscaleMode {
 }
 
 /// All tunable parameters of the pipeline.
+///
+/// The struct is `#[non_exhaustive]`: downstream crates construct it via
+/// [`ZatelOptions::builder`] (validated) or start from
+/// [`ZatelOptions::default`] and assign fields, so adding a pipeline knob
+/// is never a breaking change.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct ZatelOptions {
     /// Image-plane division method (fine-grained 32×2 by default).
     pub division: DivisionMethod,
@@ -78,8 +84,16 @@ pub struct ZatelOptions {
 }
 
 impl ZatelOptions {
-    /// Checks option invariants that would otherwise panic deep inside the
-    /// engine (e.g. a zero [`trace_slice_cycles`]).
+    /// Starts a validated builder from the defaults.
+    pub fn builder() -> ZatelOptionsBuilder {
+        ZatelOptionsBuilder::default()
+    }
+
+    /// Checks option invariants that would otherwise panic (or silently
+    /// misbehave) deep inside the engine: a zero
+    /// [`trace_slice_cycles`], an empty worker pool, a degenerate
+    /// quantization or selection parameters outside their documented
+    /// domains.
     ///
     /// [`trace_slice_cycles`]: ZatelOptions::trace_slice_cycles
     ///
@@ -88,12 +102,153 @@ impl ZatelOptions {
     /// Returns [`ZatelError::InvalidOptions`] describing the offending
     /// option.
     pub fn validate(&self) -> Result<(), ZatelError> {
+        let invalid = |msg: String| Err(ZatelError::InvalidOptions(msg));
         if self.trace_slice_cycles == Some(0) {
-            return Err(ZatelError::InvalidOptions(
+            return invalid(
                 "trace_slice_cycles must be positive (use None to disable tracing)".into(),
+            );
+        }
+        if self.jobs == Some(0) {
+            return invalid("jobs must be positive (use None to size to the host)".into());
+        }
+        if self.quant_colors == 0 {
+            return invalid("quant_colors must be at least 1".into());
+        }
+        let sel = &self.selection;
+        if sel.block_width == 0 || sel.block_height == 0 {
+            return invalid(format!(
+                "selection blocks must be non-empty, got {}x{}",
+                sel.block_width, sel.block_height
+            ));
+        }
+        for (name, percent) in [
+            ("percent_override", sel.percent_override),
+            ("percent_cap", sel.percent_cap),
+        ] {
+            if let Some(p) = percent {
+                if !(p > 0.0 && p <= 1.0) {
+                    return invalid(format!("selection {name} must be in (0, 1], got {p}"));
+                }
+            }
+        }
+        let (lo, hi) = sel.clamp;
+        if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+            return invalid(format!(
+                "selection clamp bounds must satisfy 0 <= lo <= hi <= 1, got ({lo}, {hi})"
             ));
         }
         Ok(())
+    }
+}
+
+/// A validated, forward-compatible way to assemble [`ZatelOptions`]:
+/// start from the defaults, override what the run needs, and have
+/// [`build`](ZatelOptionsBuilder::build) run
+/// [`ZatelOptions::validate`] before the options reach the pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use zatel::{DownscaleMode, ZatelOptions};
+///
+/// let options = ZatelOptions::builder()
+///     .downscale(DownscaleMode::Factor(4))
+///     .percent_override(0.3)
+///     .build()
+///     .expect("valid options");
+/// assert_eq!(options.selection.percent_override, Some(0.3));
+/// assert!(ZatelOptions::builder().percent_override(1.5).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ZatelOptionsBuilder {
+    options: ZatelOptions,
+}
+
+impl ZatelOptionsBuilder {
+    /// Sets the image-plane division method.
+    pub fn division(mut self, division: DivisionMethod) -> Self {
+        self.options.division = division;
+        self
+    }
+
+    /// Replaces the whole selection-parameter block.
+    pub fn selection(mut self, selection: SelectionOptions) -> Self {
+        self.options.selection = selection;
+        self
+    }
+
+    /// Sets the number of K-means colours for heatmap quantization.
+    pub fn quant_colors(mut self, colors: usize) -> Self {
+        self.options.quant_colors = colors;
+        self
+    }
+
+    /// Sets the GPU downscaling mode.
+    pub fn downscale(mut self, mode: DownscaleMode) -> Self {
+        self.options.downscale = mode;
+        self
+    }
+
+    /// Enables or disables parallel group simulation.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.options.parallel = parallel;
+        self
+    }
+
+    /// Caps the group-simulation worker pool.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.options.jobs = Some(jobs);
+        self
+    }
+
+    /// Enables engine tracing with the given CPI-stack slice width.
+    pub fn trace_slice_cycles(mut self, cycles: u64) -> Self {
+        self.options.trace_slice_cycles = Some(cycles);
+        self
+    }
+
+    /// Enables observability recording.
+    pub fn observe(mut self, observe: ObserveOptions) -> Self {
+        self.options.observe = Some(observe);
+        self
+    }
+
+    /// Sets the fixed traced percentage
+    /// ([`SelectionOptions::percent_override`]).
+    pub fn percent_override(mut self, percent: f64) -> Self {
+        self.options.selection.percent_override = Some(percent);
+        self
+    }
+
+    /// Sets the hard traced-percentage cap
+    /// ([`SelectionOptions::percent_cap`]).
+    pub fn percent_cap(mut self, percent: f64) -> Self {
+        self.options.selection.percent_cap = Some(percent);
+        self
+    }
+
+    /// Sets the Eq. (1) clamp bounds ([`SelectionOptions::clamp`]).
+    pub fn clamp(mut self, lo: f64, hi: f64) -> Self {
+        self.options.selection.clamp = (lo, hi);
+        self
+    }
+
+    /// Sets the colour distribution method
+    /// ([`SelectionOptions::distribution`]).
+    pub fn distribution(mut self, distribution: crate::Distribution) -> Self {
+        self.options.selection.distribution = distribution;
+        self
+    }
+
+    /// Validates and returns the assembled options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZatelError::InvalidOptions`] from
+    /// [`ZatelOptions::validate`].
+    pub fn build(self) -> Result<ZatelOptions, ZatelError> {
+        self.options.validate()?;
+        Ok(self.options)
     }
 }
 
@@ -225,6 +380,63 @@ impl Prediction {
     }
 }
 
+/// How one [`Zatel::execute`] call should run: which artifact cache to
+/// share, whether to use the Section IV-F regression variant, and an
+/// optional per-execution observability override.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gpusim::GpuConfig;
+/// use rtcore::scenes::SceneId;
+/// use rtcore::tracer::TraceConfig;
+/// use zatel::{ArtifactCache, RunContext, Zatel};
+///
+/// # fn main() -> Result<(), zatel::ZatelError> {
+/// let scene = SceneId::Park.build(42);
+/// let trace = TraceConfig { samples_per_pixel: 2, max_bounces: 4, seed: 1 };
+/// let zatel = Zatel::new(&scene, GpuConfig::mobile_soc(), 128, 128, trace);
+/// let cache = ArtifactCache::in_memory();
+/// // Identical to zatel.run_cached(&cache):
+/// let prediction = zatel.execute(&RunContext::new().with_cache(&cache))?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunContext<'a> {
+    pub(crate) cache: Option<&'a ArtifactCache>,
+    pub(crate) regression: Option<[f64; 3]>,
+    pub(crate) observe: Option<ObserveOptions>,
+}
+
+impl<'a> RunContext<'a> {
+    /// An empty context: private in-memory cache, linear extrapolation,
+    /// options' own observability setting.
+    pub fn new() -> Self {
+        RunContext::default()
+    }
+
+    /// Shares `cache` across executions (see [`Zatel::execute`]).
+    pub fn with_cache(mut self, cache: &'a ArtifactCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Switches to the Section IV-F exponential-regression variant at the
+    /// given traced fractions (the stage cache is not consulted on this
+    /// path; see [`Zatel::execute`]).
+    pub fn with_regression(mut self, fractions: [f64; 3]) -> Self {
+        self.regression = Some(fractions);
+        self
+    }
+
+    /// Overrides [`ZatelOptions::observe`] for this execution only.
+    pub fn with_observe(mut self, observe: ObserveOptions) -> Self {
+        self.observe = Some(observe);
+        self
+    }
+}
+
 /// The Zatel predictor: configure once, then [`Zatel::run`].
 ///
 /// # Examples
@@ -321,27 +533,77 @@ impl<'s> Zatel<'s> {
     }
 
     /// Runs the full prediction pipeline on a private in-memory artifact
-    /// cache (every stage computes fresh).
+    /// cache (every stage computes fresh). Thin wrapper over
+    /// [`Zatel::execute`] with an empty [`RunContext`].
     ///
     /// # Errors
     ///
     /// Returns [`ZatelError`] if the configured downscale factor is
     /// invalid.
     pub fn run(&self) -> Result<Prediction, ZatelError> {
-        self.run_cached(&ArtifactCache::in_memory())
+        self.execute(&RunContext::new())
     }
 
-    /// Runs the full prediction pipeline through `cache`: stages whose
-    /// artifacts are already cached are served instead of recomputed, and
-    /// their spans carry a `" (cached)"` suffix. Statistics are
-    /// bit-identical to a cold [`Zatel::run`] — the cache only removes
-    /// redundant work.
+    /// Runs the full prediction pipeline through `cache`. Thin wrapper
+    /// over [`Zatel::execute`] with [`RunContext::with_cache`].
     ///
     /// # Errors
     ///
     /// Returns [`ZatelError`] if the configured downscale factor is
     /// invalid.
     pub fn run_cached(&self, cache: &ArtifactCache) -> Result<Prediction, ZatelError> {
+        self.execute(&RunContext::new().with_cache(cache))
+    }
+
+    /// Runs the pipeline as described by `ctx` — the single execution
+    /// entry point every `run*` convenience wrapper forwards to.
+    ///
+    /// * [`RunContext::with_cache`] shares stage artifacts across runs:
+    ///   cached stages are served instead of recomputed, their spans carry
+    ///   a `" (cached)"` suffix, and statistics stay bit-identical to a
+    ///   cold run — the cache only removes redundant work.
+    /// * [`RunContext::with_regression`] switches to the Section IV-F
+    ///   exponential-regression variant. That path simulates three traced
+    ///   fractions directly and never consults the stage cache, so a
+    ///   configured cache is ignored (the response's `cache` record list
+    ///   is empty, exactly as [`Zatel::run_with_regression`] always
+    ///   reported).
+    /// * [`RunContext::with_observe`] overrides
+    ///   [`ZatelOptions::observe`] for this execution only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZatelError`] if the options fail validation, the
+    /// configured downscale factor is invalid, or the regression fractions
+    /// are not equally spaced ascending values in `(0, 1]`.
+    pub fn execute(&self, ctx: &RunContext<'_>) -> Result<Prediction, ZatelError> {
+        let observed;
+        let zatel = match &ctx.observe {
+            Some(observe) => {
+                let mut options = self.options.clone();
+                options.observe = Some(observe.clone());
+                observed = Zatel {
+                    scene: self.scene,
+                    target: self.target.clone(),
+                    width: self.width,
+                    height: self.height,
+                    trace: self.trace,
+                    options,
+                };
+                &observed
+            }
+            None => self,
+        };
+        match (ctx.regression, ctx.cache) {
+            (Some(fractions), _) => zatel.execute_regression(fractions),
+            (None, Some(cache)) => zatel.execute_cached(cache),
+            (None, None) => zatel.execute_cached(&ArtifactCache::in_memory()),
+        }
+    }
+
+    /// The cached pipeline: heatmap → quantize → divide → select →
+    /// simulate → extrapolate, every stage through `cache`.
+    fn execute_cached(&self, cache: &ArtifactCache) -> Result<Prediction, ZatelError> {
         self.options.validate()?;
         let sheet = SpanSheet::new();
         let mut records = Vec::new();
@@ -570,7 +832,8 @@ impl<'s> Zatel<'s> {
     }
 
     /// Runs the exponential-regression variant of Section IV-F: simulate at
-    /// the three given fractions, fit per metric and predict 100 %.
+    /// the three given fractions, fit per metric and predict 100 %. Thin
+    /// wrapper over [`Zatel::execute`] with [`RunContext::with_regression`].
     ///
     /// # Errors
     ///
@@ -578,6 +841,11 @@ impl<'s> Zatel<'s> {
     /// fractions are not strictly increasing, equally spaced values in
     /// `(0, 1]`.
     pub fn run_with_regression(&self, fractions: [f64; 3]) -> Result<Prediction, ZatelError> {
+        self.execute(&RunContext::new().with_regression(fractions))
+    }
+
+    /// The regression pipeline (see [`Zatel::run_with_regression`]).
+    fn execute_regression(&self, fractions: [f64; 3]) -> Result<Prediction, ZatelError> {
         self.options.validate()?;
         let [f1, f2, f3] = fractions;
         let spaced = (f2 - f1) > 0.0 && ((f3 - f2) - (f2 - f1)).abs() < 1e-9;
@@ -800,6 +1068,107 @@ mod tests {
 
     fn quick_zatel(scene: &Scene) -> Zatel<'_> {
         Zatel::new(scene, GpuConfig::mobile_soc(), 64, 64, trace())
+    }
+
+    #[test]
+    fn builder_validates_on_build() {
+        let options = ZatelOptions::builder()
+            .downscale(DownscaleMode::Factor(2))
+            .quant_colors(4)
+            .percent_override(0.25)
+            .clamp(0.1, 0.9)
+            .jobs(2)
+            .build()
+            .expect("valid options");
+        assert_eq!(options.downscale, DownscaleMode::Factor(2));
+        assert_eq!(options.quant_colors, 4);
+        assert_eq!(options.selection.percent_override, Some(0.25));
+        assert_eq!(options.selection.clamp, (0.1, 0.9));
+        assert_eq!(options.jobs, Some(2));
+
+        for broken in [
+            ZatelOptions::builder().trace_slice_cycles(0),
+            ZatelOptions::builder().jobs(0),
+            ZatelOptions::builder().quant_colors(0),
+            ZatelOptions::builder().percent_override(0.0),
+            ZatelOptions::builder().percent_override(1.5),
+            ZatelOptions::builder().percent_cap(-0.1),
+            ZatelOptions::builder().clamp(0.6, 0.3),
+            ZatelOptions::builder().clamp(-0.2, 0.5),
+        ] {
+            let err = broken.build().expect_err("invalid options accepted");
+            assert!(matches!(err, ZatelError::InvalidOptions(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn execute_matches_run_wrappers() {
+        let scene = SceneId::Sprng.build(1);
+        let z = quick_zatel(&scene);
+        let direct = z.run().expect("run");
+        let via_execute = z.execute(&RunContext::new()).expect("execute");
+        assert_eq!(
+            direct.value(Metric::SimCycles),
+            via_execute.value(Metric::SimCycles)
+        );
+        assert_eq!(direct.k, via_execute.k);
+
+        let cache = ArtifactCache::in_memory();
+        let warm = z
+            .execute(&RunContext::new().with_cache(&cache))
+            .expect("cached execute");
+        assert_eq!(
+            direct.value(Metric::SimCycles),
+            warm.value(Metric::SimCycles)
+        );
+        let again = z
+            .execute(&RunContext::new().with_cache(&cache))
+            .expect("warm execute");
+        assert!(
+            again.cache.iter().any(|r| r.outcome.is_hit()),
+            "second execution through a shared cache must hit"
+        );
+    }
+
+    #[test]
+    fn execute_observe_override_is_per_execution() {
+        let scene = SceneId::Sprng.build(1);
+        let z = quick_zatel(&scene);
+        let observed = z
+            .execute(&RunContext::new().with_observe(ObserveOptions {
+                timeline: false,
+                ..ObserveOptions::default()
+            }))
+            .expect("observed execute");
+        assert!(
+            observed.groups.iter().all(|g| g.obs.is_some()),
+            "observe override must reach every group"
+        );
+        // The override does not stick to the predictor itself.
+        assert!(z.options().observe.is_none());
+        let plain = z.run().expect("plain run");
+        assert!(plain.groups.iter().all(|g| g.obs.is_none()));
+    }
+
+    #[test]
+    fn execute_regression_ignores_cache_and_matches_wrapper() {
+        let scene = SceneId::Sprng.build(1);
+        let z = quick_zatel(&scene);
+        let fractions = [0.2, 0.3, 0.4];
+        let wrapper = z.run_with_regression(fractions).expect("wrapper");
+        let cache = ArtifactCache::in_memory();
+        let ctx = RunContext::new()
+            .with_cache(&cache)
+            .with_regression(fractions);
+        let via_execute = z.execute(&ctx).expect("execute");
+        assert_eq!(
+            wrapper.value(Metric::SimCycles),
+            via_execute.value(Metric::SimCycles)
+        );
+        assert!(
+            via_execute.cache.is_empty(),
+            "regression path never consults the stage cache"
+        );
     }
 
     #[test]

@@ -23,7 +23,14 @@ pub enum Distribution {
 }
 
 /// Parameters of the selection step.
+///
+/// The struct is `#[non_exhaustive]`: downstream crates start from
+/// [`SelectionOptions::default`] (or
+/// [`ZatelOptions::builder`](crate::ZatelOptions::builder)) and assign the
+/// fields they need, so adding a selection knob is never a breaking
+/// change.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct SelectionOptions {
     /// Section-block width; 32 (the warp size) in the paper.
     pub block_width: u32,

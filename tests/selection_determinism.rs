@@ -73,11 +73,9 @@ proptest! {
         // percent_override keeps Eq. (1) out of the picture: the mean
         // coolness is an f64 sum over pixels in listed order, which is a
         // different (documented) order sensitivity than block selection.
-        let options = SelectionOptions {
-            percent_override: Some(0.3),
-            seed,
-            ..SelectionOptions::default()
-        };
+        let mut options = SelectionOptions::default();
+        options.percent_override = Some(0.3);
+        options.seed = seed;
         let ga = group_of(canonical);
         let gb = group_of(permuted);
         let sa = select_pixels(&ga, &quantized, &options);
