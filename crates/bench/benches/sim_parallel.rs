@@ -1,0 +1,147 @@
+//! Serial vs sharded full-simulation wall-clock per scene
+//! (`GpuConfig::sim_threads` ∈ {1, 2, 4}), the data behind
+//! `BENCH_sim_parallel.json`.
+//!
+//! Two honesty rules shape the output:
+//!
+//! * every threaded run is asserted bit-identical to the serial run before
+//!   its time is reported — a speedup that changed the answer is a bug,
+//!   not a result;
+//! * `host_cpus` is recorded next to the measurements, and alongside the
+//!   *measured* speedups the file carries *projected* ones derived from
+//!   the measured decode share (decode parallelizes over `N - 1` shards;
+//!   the commit loop stays serial). On a single-core host the measured
+//!   columns show scheduling overhead, not parallelism — the projection
+//!   labels what ≥N cores would recover, it never replaces a measurement.
+
+use std::time::Instant;
+
+use gpusim::workload::Workload;
+use gpusim::{GpuConfig, SimStats, Simulator};
+use rtcore::scenes::SceneId;
+use rtworkload::RtWorkload;
+use zatel_bench as bench;
+
+const THREAD_COUNTS: [u32; 2] = [2, 4];
+
+fn timed_run(workload: &RtWorkload, sim_threads: u32) -> (SimStats, f64) {
+    let mut config = GpuConfig::mobile_soc();
+    config.sim_threads = sim_threads;
+    let start = Instant::now();
+    let stats = Simulator::new(config).run(workload);
+    (stats, start.elapsed().as_secs_f64())
+}
+
+/// Wall-clock of draining every thread program through the public
+/// [`Workload`] API — the work the decode shards take off the commit
+/// thread (program creation, i.e. path tracing, plus op iteration).
+fn decode_drain(workload: &RtWorkload) -> f64 {
+    let start = Instant::now();
+    let mut checksum = 0u64;
+    for i in 0..workload.thread_count() {
+        let mut program = workload.create_thread(i);
+        while let Some(op) = program.next_op() {
+            checksum = checksum.wrapping_add(op.instructions());
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    assert!(checksum > 0 || workload.thread_count() == 0);
+    wall
+}
+
+fn main() {
+    bench::banner(
+        "Sharded engine — serial vs 2/4-thread full-simulation wall-clock per scene",
+        "threaded runs asserted bit-identical to serial before timing is reported",
+    );
+    let res = bench::resolution();
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("host cpus: {host_cpus} (measured speedup needs >= sim_threads cores)\n");
+
+    bench::row(
+        "scene",
+        &[
+            "serial".into(),
+            "2t".into(),
+            "4t".into(),
+            "meas 4t".into(),
+            "decode %".into(),
+            "proj 2t".into(),
+            "proj 4t".into(),
+        ],
+    );
+
+    let mut scenes = Vec::new();
+    for scene_id in SceneId::ALL {
+        let scene = bench::build_scene(scene_id);
+        let workload = RtWorkload::full_frame(&scene, res, res, bench::trace_config());
+
+        let (serial_stats, t_serial) = timed_run(&workload, 1);
+        let mut walls = Vec::new();
+        for threads in THREAD_COUNTS {
+            let (stats, wall) = timed_run(&workload, threads);
+            assert_eq!(
+                serial_stats,
+                stats,
+                "{}: sim_threads={threads} changed the results",
+                scene_id.name()
+            );
+            walls.push(wall);
+        }
+        let (t2, t4) = (walls[0], walls[1]);
+
+        let t_decode = decode_drain(&workload).min(t_serial);
+        let decode_share = t_decode / t_serial.max(1e-9);
+        let t_commit = (t_serial - t_decode).max(1e-9);
+        let projected = |n: f64| t_serial / t_commit.max(t_decode / (n - 1.0));
+        let (proj2, proj4) = (projected(2.0), projected(4.0));
+
+        bench::row(
+            scene_id.name(),
+            &[
+                format!("{t_serial:.2}s"),
+                format!("{t2:.2}s"),
+                format!("{t4:.2}s"),
+                format!("{:.2}x", t_serial / t4.max(1e-9)),
+                format!("{:.0}%", decode_share * 100.0),
+                format!("{proj2:.2}x"),
+                format!("{proj4:.2}x"),
+            ],
+        );
+        scenes.push(minijson::json!({
+            "scene": scene_id.name(),
+            "wall_s": minijson::json!({
+                "serial": t_serial,
+                "threads_2": t2,
+                "threads_4": t4,
+            }),
+            "measured_speedup": minijson::json!({
+                "threads_2": t_serial / t2.max(1e-9),
+                "threads_4": t_serial / t4.max(1e-9),
+            }),
+            "decode_share": decode_share,
+            "projected_speedup": minijson::json!({
+                "threads_2": proj2,
+                "threads_4": proj4,
+            }),
+            "stats_identical": true,
+        }));
+    }
+
+    let doc = minijson::json!({
+        "schema": "zatel-bench-sim-parallel-v1",
+        "res": res,
+        "spp": bench::trace_config().samples_per_pixel,
+        "seed": bench::seed(),
+        "host_cpus": host_cpus as u64,
+        "note": "measured_speedup is honest wall-clock on this host (see \
+                 host_cpus); projected_speedup applies the measured decode \
+                 share to the sharded engine's cost model — decode spreads \
+                 over sim_threads-1 shards, the commit loop stays serial",
+        "scenes": scenes,
+    });
+    bench::save_json("sim_parallel", &doc);
+    println!(
+        "\nresults: target/zatel-results/sim_parallel.json (commit as BENCH_sim_parallel.json)"
+    );
+}

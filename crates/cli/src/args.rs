@@ -28,7 +28,7 @@ impl std::error::Error for ParseArgsError {}
 
 /// Option keys that take a value; everything else with a `--` prefix is a
 /// boolean flag.
-const VALUE_KEYS: [&str; 31] = [
+const VALUE_KEYS: [&str; 32] = [
     "scene",
     "config",
     "res",
@@ -41,6 +41,7 @@ const VALUE_KEYS: [&str; 31] = [
     "dist",
     "out",
     "jobs",
+    "sim-threads",
     "trace-out",
     "run-out",
     "run",

@@ -94,6 +94,9 @@ fn print_help() {
            --reference         also run the full simulation and report errors\n\
            --json              emit machine-readable JSON instead of tables\n\
            --jobs N            worker threads for group simulation (default: host cores)\n\
+           --sim-threads N     engine threads inside each group simulation;\n\
+                               results are bit-identical for every N (default:\n\
+                               ZATEL_SIM_THREADS, else 1 = serial engine)\n\
            --progress          per-group progress lines + engine trace counters (stderr)\n\
            --trace-out FILE    write a Perfetto/Chrome-trace JSON timeline of the run\n\
            --run-out FILE      persist a zatel-run-v1 record for 'zatel report'\n\
@@ -120,6 +123,10 @@ fn print_help() {
                                refused with 429 + Retry-After (default 64)\n\
            --sim-jobs N        per-request simulation thread cap, when the\n\
                                request does not set options.jobs itself\n\
+           --sim-threads N     global intra-sim engine-thread budget, split\n\
+                               evenly across workers (each request defaults to\n\
+                               max(1, N/workers) engine threads per simulation;\n\
+                               results are bit-identical for every N)\n\
            --deadline-ms N     default deadline for requests that carry none;\n\
                                requests queued past it answer 504\n\
            --cache-dir DIR     persist stage artifacts on disk across restarts\n\
@@ -248,6 +255,15 @@ fn apply_options(args: &Args, opts: &mut zatel::ZatelOptions) -> Result<(), Stri
             return Err("--jobs must be at least 1".into());
         }
         opts.jobs = Some(j);
+    }
+    if let Some(t) = args.get("sim-threads") {
+        let t: usize = t
+            .parse()
+            .map_err(|_| format!("--sim-threads value '{t}' is not a number"))?;
+        if t == 0 {
+            return Err("--sim-threads must be at least 1".into());
+        }
+        opts.sim_threads = Some(t);
     }
     Ok(())
 }
@@ -644,6 +660,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             args.get_parsed("sim-jobs", 1usize)
                 .map_err(|e| e.to_string())?,
         );
+    }
+    if args.get("sim-threads").is_some() {
+        let budget = args
+            .get_parsed("sim-threads", 1usize)
+            .map_err(|e| e.to_string())?;
+        if budget == 0 {
+            return Err("--sim-threads must be at least 1".into());
+        }
+        config.sim_threads = Some(budget);
     }
     if args.get("deadline-ms").is_some() {
         config.default_deadline_ms = Some(

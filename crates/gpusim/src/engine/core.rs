@@ -1,28 +1,34 @@
-//! The event-driven drain loop: launches the grid, steps warps through
+//! The event-driven commit loop: launches the grid, steps warps through
 //! their SIMT phases and collects the final statistics.
+//!
+//! The loop itself is the engine's single serialization point. It pulls
+//! decoded phases through a [`PhaseSource`] — inline for the serial engine,
+//! from decode shards for the sharded one — and charges them to the shared
+//! timing state (issue ports, RT units, memory hierarchy) strictly in
+//! [`EventQueue`] pop order. Because every timing decision and every hook
+//! call happens here, in that one deterministic order, results are
+//! bit-identical regardless of how many threads fed the source.
 
 use crate::config::GpuConfig;
-use crate::core::warp::Warp;
 use crate::hooks::{PhaseClass, SimHooks};
 use crate::mem::MemoryHierarchy;
 use crate::stats::SimStats;
-use crate::workload::Workload;
 
+use super::decode::{deal_warps, DecodedPhase, PhaseSource};
 use super::events::{Event, EventQueue};
-use super::sm::{PhaseMix, SmState};
+use super::sm::SmState;
 
 /// Cycles between a warp slot freeing and the replacement warp's first issue.
 const WARP_LAUNCH_LATENCY: u64 = 4;
 
-/// One simulation run in flight: the configuration, the workload, all
-/// mutable machine state and the observer. Generic over the hook type so
-/// the cycle path monomorphizes — [`NullHooks`](crate::hooks::NullHooks)
-/// compiles to exactly the pre-seam engine.
+/// One simulation run in flight: the configuration, all mutable machine
+/// state and the observer. Generic over the hook type so the cycle path
+/// monomorphizes — [`NullHooks`](crate::hooks::NullHooks) compiles to
+/// exactly the pre-seam engine.
 pub(crate) struct Engine<'w, H: SimHooks> {
     config: &'w GpuConfig,
-    workload: &'w dyn Workload,
     mem: MemoryHierarchy,
-    sms: Vec<SmState<'w>>,
+    sms: Vec<SmState>,
     events: EventQueue,
     stats: SimStats,
     max_time: u64,
@@ -30,12 +36,11 @@ pub(crate) struct Engine<'w, H: SimHooks> {
 }
 
 impl<'w, H: SimHooks> Engine<'w, H> {
-    pub fn new(config: &'w GpuConfig, workload: &'w dyn Workload, hooks: &'w mut H) -> Self {
+    pub fn new(config: &'w GpuConfig, hooks: &'w mut H) -> Self {
         let mem = MemoryHierarchy::new(config);
         let sms = (0..config.num_sms).map(|_| SmState::new(config)).collect();
         Engine {
             config,
-            workload,
             mem,
             sms,
             events: EventQueue::new(),
@@ -45,10 +50,12 @@ impl<'w, H: SimHooks> Engine<'w, H> {
         }
     }
 
-    pub fn run(mut self) -> SimStats {
-        self.launch_grid();
+    /// Runs a grid of `threads` threads to completion, pulling decoded
+    /// phases from `source`.
+    pub fn run<S: PhaseSource>(mut self, threads: u64, source: &mut S) -> SimStats {
+        self.launch_grid(threads, source);
         while let Some(ev) = self.events.pop() {
-            self.step_warp(ev);
+            self.step_warp(ev, source);
         }
         // The run ends when the last warp retires AND all write-back
         // traffic has drained from the DRAM channels.
@@ -59,25 +66,20 @@ impl<'w, H: SimHooks> Engine<'w, H> {
         self.stats
     }
 
-    /// Distributes warps to SMs with a fixed stride (`warp % num_sms`),
-    /// mirroring how 2D thread-block rasterization deals consecutive image
-    /// tiles to different SMs: each SM ends up owning a spatially coherent
-    /// strided sample of the frame, which is what gives real GPUs their
-    /// per-SM L1 locality. Then fills the initial warp slots.
-    fn launch_grid(&mut self) {
-        let threads = self.workload.thread_count();
+    /// Deals warps to SMs (see [`deal_warps`]) and fills the initial warp
+    /// slots.
+    fn launch_grid<S: PhaseSource>(&mut self, threads: u64, source: &mut S) {
         self.stats.threads_launched = threads;
-        let warp_size = self.config.warp_size as u64;
-        let total_warps = threads.div_ceil(warp_size);
-        for w in 0..total_warps {
-            let sm = (w % self.config.num_sms as u64) as usize;
-            let first = w * warp_size;
-            let lanes = (threads - first).min(warp_size) as u32;
-            self.sms[sm].pending.push_back((w, first, lanes));
+        let lists = deal_warps(threads, self.config.warp_size, self.sms.len());
+        for (sm, list) in lists.into_iter().enumerate() {
+            self.sms[sm].pending = list
+                .into_iter()
+                .map(|w| (w.id, w.first_thread, w.lanes))
+                .collect();
         }
         for sm in 0..self.sms.len() {
             for _ in 0..self.config.max_warps_per_sm {
-                if !self.try_launch(sm, 0) {
+                if !self.try_launch(sm, 0, source) {
                     break;
                 }
             }
@@ -85,13 +87,13 @@ impl<'w, H: SimHooks> Engine<'w, H> {
     }
 
     /// Launches the oldest warp pending on `sm` into a fresh slot at `t`.
-    fn try_launch(&mut self, sm: usize, t: u64) -> bool {
+    fn try_launch<S: PhaseSource>(&mut self, sm: usize, t: u64, source: &mut S) -> bool {
         let Some((id, first, lanes)) = self.sms[sm].pending.pop_front() else {
             return false;
         };
-        let warp = Warp::new(self.workload, id, sm, first, lanes);
-        let slot = self.sms[sm].resident.len();
-        self.sms[sm].resident.push(warp);
+        let slot = self.sms[sm].slots_used;
+        self.sms[sm].slots_used += 1;
+        source.on_launch(sm, slot, id, first, lanes);
         self.hooks.on_warp_launch(sm, id, t);
         self.events.push(Event {
             time: t + WARP_LAUNCH_LATENCY,
@@ -103,30 +105,28 @@ impl<'w, H: SimHooks> Engine<'w, H> {
     }
 
     /// Executes one SIMT phase of a warp (or retires it).
-    fn step_warp(&mut self, ev: Event) {
-        let ops = self.sms[ev.sm].resident[ev.slot].gather_phase();
-        if ops.is_empty() {
-            // Retired: backfill the slot with this SM's oldest pending
-            // warp. Slot indices must stay stable, so the replacement
-            // reuses the retired warp's Vec position.
-            self.max_time = self.max_time.max(ev.time);
-            self.hooks.on_warp_retire(ev.sm, ev.warp_id, ev.time);
-            if let Some((id, first, lanes)) = self.sms[ev.sm].pending.pop_front() {
-                let warp = Warp::new(self.workload, id, ev.sm, first, lanes);
-                self.sms[ev.sm].resident[ev.slot] = warp;
-                self.hooks.on_warp_launch(ev.sm, id, ev.time);
-                self.events.push(Event {
-                    time: ev.time + WARP_LAUNCH_LATENCY,
-                    warp_id: id,
-                    sm: ev.sm,
-                    slot: ev.slot,
-                });
+    fn step_warp<S: PhaseSource>(&mut self, ev: Event, source: &mut S) {
+        let mix = match source.next_phase(ev.sm, ev.slot, ev.warp_id) {
+            DecodedPhase::Mix(mix) => mix,
+            DecodedPhase::Retire => {
+                // Retired: backfill the slot with this SM's oldest pending
+                // warp. Slot indices must stay stable, so the replacement
+                // reuses the retired warp's position.
+                self.max_time = self.max_time.max(ev.time);
+                self.hooks.on_warp_retire(ev.sm, ev.warp_id, ev.time);
+                if let Some((id, first, lanes)) = self.sms[ev.sm].pending.pop_front() {
+                    source.on_launch(ev.sm, ev.slot, id, first, lanes);
+                    self.hooks.on_warp_launch(ev.sm, id, ev.time);
+                    self.events.push(Event {
+                        time: ev.time + WARP_LAUNCH_LATENCY,
+                        warp_id: id,
+                        sm: ev.sm,
+                        slot: ev.slot,
+                    });
+                }
+                return;
             }
-            return;
-        }
-
-        // --- Categorize the gathered ops ----------------------------------
-        let mix = PhaseMix::categorize(&ops, &self.mem);
+        };
         self.stats.instructions += mix.instructions;
         self.stats.warp_issues += 1;
 

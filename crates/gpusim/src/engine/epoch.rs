@@ -1,0 +1,255 @@
+//! The epoch driver: deterministic lockstep orchestration of a sharded run.
+//!
+//! `sim_threads = N` runs the simulation on N OS threads: `N - 1` decode
+//! shards (capped at the SM count), each owning a contiguous disjoint range
+//! of SMs, plus the commit loop on the calling thread. The driver plans the
+//! shard ranges, spawns the workers inside a [`std::thread::scope`], runs
+//! the commit loop against a [`RoutedSource`], and joins everything before
+//! returning — no thread outlives a run.
+//!
+//! # Determinism
+//!
+//! The merge order is fixed by construction, not by arrival: shards only
+//! ever *decode* (a pure function of the workload), and the commit loop —
+//! the single timing thread — consumes their streams in the exact order the
+//! serial engine would have produced them, driven by the
+//! [`EventQueue`](super::events::EventQueue)'s documented (time, sequence,
+//! shard-rank, slot) total order. Stats, hook callbacks and trace output
+//! are therefore bit-identical to `sim_threads = 1` regardless of thread
+//! count, scheduling, or how the epoch barriers interleave. This module and
+//! [`router`](super::router) are the only places in result-affecting code
+//! allowed to create threads (enforced by `zatel-lint`'s `thread-seam`
+//! rule).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::config::GpuConfig;
+use crate::hooks::SimHooks;
+use crate::stats::SimStats;
+use crate::workload::Workload;
+
+use super::core::Engine;
+use super::decode::{deal_warps, DecodedPhase, PhaseSource};
+use super::router::{AbortOnPanic, ShardRouter};
+use super::shard::{run_shard, ShardPlan};
+
+/// Orchestrates one sharded simulation run.
+pub(crate) struct EpochDriver<'w> {
+    config: &'w GpuConfig,
+    workload: &'w dyn Workload,
+}
+
+impl<'w> EpochDriver<'w> {
+    pub fn new(config: &'w GpuConfig, workload: &'w dyn Workload) -> Self {
+        EpochDriver { config, workload }
+    }
+
+    /// Runs the workload on `config.sim_threads` threads and returns stats
+    /// bit-identical to the serial engine's.
+    pub fn run<H: SimHooks>(self, hooks: &mut H) -> SimStats {
+        let num_sms = self.config.num_sms as usize;
+        let shard_count = (self.config.sim_threads.max(2) as usize - 1).min(num_sms);
+        let threads = self.workload.thread_count();
+        let line_bytes = self.config.l1d.line_bytes;
+        let lookahead = self.config.max_warps_per_sm as usize;
+
+        // Contiguous SM ranges, sizes differing by at most one.
+        let mut launch_lists: VecDeque<_> =
+            deal_warps(threads, self.config.warp_size, num_sms).into();
+        let base = num_sms / shard_count;
+        let extra = num_sms % shard_count;
+        let mut plans = Vec::with_capacity(shard_count);
+        let mut shard_of_sm = Vec::with_capacity(num_sms);
+        let mut first_sm = 0;
+        for shard in 0..shard_count {
+            let owned = base + usize::from(shard < extra);
+            for local in 0..owned {
+                shard_of_sm.push((shard, local));
+            }
+            plans.push(ShardPlan {
+                first_sm,
+                launch_lists: launch_lists.drain(..owned).collect(),
+                lookahead,
+            });
+            first_sm += owned;
+        }
+
+        let router = ShardRouter::new(
+            &plans
+                .iter()
+                .map(|p| p.launch_lists.len())
+                .collect::<Vec<_>>(),
+        );
+        let workload = self.workload;
+        std::thread::scope(|scope| {
+            let router = &router;
+            for (shard, plan) in plans.into_iter().enumerate() {
+                scope.spawn(move || run_shard(router, shard, workload, line_bytes, plan));
+            }
+            // If the commit loop unwinds (a hook or the timing model
+            // panicked), poison the seams so the scope can join the
+            // shards instead of deadlocking on them.
+            let _guard = AbortOnPanic(router);
+            let mut source = RoutedSource {
+                router,
+                shard_of_sm,
+                local: BTreeMap::new(),
+            };
+            Engine::new(self.config, hooks).run(threads, &mut source)
+        })
+    }
+}
+
+/// The commit loop's [`PhaseSource`] over the seams: pulls each warp's
+/// decode stream from its owning shard, buffering locally so the seam lock
+/// is taken once per published batch rather than once per phase.
+struct RoutedSource<'r> {
+    router: &'r ShardRouter,
+    /// `sm -> (shard, local SM index within the shard)`.
+    shard_of_sm: Vec<(usize, usize)>,
+    /// Phases taken from the seams but not yet consumed, per warp.
+    local: BTreeMap<u64, VecDeque<DecodedPhase>>,
+}
+
+impl PhaseSource for RoutedSource<'_> {
+    fn on_launch(&mut self, sm: usize, _slot: usize, _warp_id: u64, _first: u64, _lanes: u32) {
+        let (shard, local_sm) = self.shard_of_sm[sm];
+        self.router.note_launched(shard, local_sm);
+    }
+
+    fn next_phase(&mut self, sm: usize, _slot: usize, warp_id: u64) -> DecodedPhase {
+        loop {
+            if let Some(queue) = self.local.get_mut(&warp_id) {
+                if let Some(phase) = queue.pop_front() {
+                    if phase == DecodedPhase::Retire {
+                        self.local.remove(&warp_id);
+                    }
+                    return phase;
+                }
+            }
+            let (shard, _) = self.shard_of_sm[sm];
+            // Blocks until the shard publishes something for this warp;
+            // always returns a non-empty batch.
+            let batch = self.router.take_phases(shard, warp_id);
+            self.local.insert(warp_id, batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::Simulator;
+    use crate::workload::{Op, ScriptedWorkload};
+
+    fn stress_workload() -> ScriptedWorkload {
+        ScriptedWorkload::per_thread(4096, |i| {
+            vec![
+                Op::RtNode {
+                    addr: (i % 97) * 32,
+                },
+                Op::Load {
+                    addr: i * 64,
+                    bytes: 16,
+                },
+                Op::Compute {
+                    cycles: (i % 7) as u32 + 1,
+                    insts: 3,
+                },
+                Op::Store {
+                    addr: i * 16,
+                    bytes: 16,
+                },
+            ]
+        })
+    }
+
+    #[test]
+    fn sharded_stats_match_serial_for_all_thread_counts() {
+        let w = stress_workload();
+        let serial = Simulator::new(GpuConfig::mobile_soc()).run(&w);
+        for sim_threads in [2, 3, 4, 8, 16] {
+            let mut cfg = GpuConfig::mobile_soc();
+            cfg.sim_threads = sim_threads;
+            let sharded = Simulator::new(cfg).run(&w);
+            assert_eq!(
+                serial, sharded,
+                "sim_threads={sim_threads} must be bit-identical to serial"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_hook_stream_matches_serial() {
+        use crate::hooks::TraceHooks;
+        let w = stress_workload();
+        let mut serial_hooks = TraceHooks::new(1000);
+        let serial = Simulator::new(GpuConfig::mobile_soc()).run_with_hooks(&w, &mut serial_hooks);
+        let mut cfg = GpuConfig::mobile_soc();
+        cfg.sim_threads = 4;
+        let mut sharded_hooks = TraceHooks::new(1000);
+        let sharded = Simulator::new(cfg).run_with_hooks(&w, &mut sharded_hooks);
+        assert_eq!(serial, sharded);
+        assert_eq!(serial_hooks.counters(), sharded_hooks.counters());
+        assert_eq!(
+            serial_hooks.slices(),
+            sharded_hooks.slices(),
+            "per-slice trace output must replay in exact serial order"
+        );
+    }
+
+    #[test]
+    fn sharded_run_handles_degenerate_grids() {
+        for threads in [0u64, 1, 31, 32, 33] {
+            let w = ScriptedWorkload::uniform(
+                threads,
+                vec![Op::Compute {
+                    cycles: 2,
+                    insts: 2,
+                }],
+            );
+            let serial = Simulator::new(GpuConfig::mobile_soc()).run(&w);
+            let mut cfg = GpuConfig::mobile_soc();
+            cfg.sim_threads = 4;
+            let sharded = Simulator::new(cfg).run(&w);
+            assert_eq!(serial, sharded, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_sms_is_clamped() {
+        let mut cfg = GpuConfig::mobile_soc();
+        cfg.num_sms = 2;
+        cfg.num_mem_partitions = 2;
+        cfg.l2.bytes = cfg.l2.bytes / 4 * 2;
+        cfg.sim_threads = 64;
+        let w = stress_workload();
+        let sharded = Simulator::new(cfg.clone()).run(&w);
+        cfg.sim_threads = 1;
+        let serial = Simulator::new(cfg).run(&w);
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn decode_shard_panic_propagates_instead_of_hanging() {
+        struct Bomb;
+        impl crate::workload::ThreadProgram for Bomb {
+            fn next_op(&mut self) -> Option<Op> {
+                panic!("workload bug");
+            }
+        }
+        struct BombWorkload;
+        impl Workload for BombWorkload {
+            fn thread_count(&self) -> u64 {
+                64
+            }
+            fn create_thread(&self, _index: u64) -> Box<dyn crate::workload::ThreadProgram + '_> {
+                Box::new(Bomb)
+            }
+        }
+        let mut cfg = GpuConfig::mobile_soc();
+        cfg.sim_threads = 4;
+        let result = std::panic::catch_unwind(|| Simulator::new(cfg).run(&BombWorkload));
+        assert!(result.is_err(), "the panic must reach the caller");
+    }
+}

@@ -1,11 +1,11 @@
 //! The engine's event heap: warp wake-ups ordered by time, oldest warp
 //! first on ties.
 
-use std::cmp::Reverse;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 /// One scheduled warp wake-up.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Event {
     /// Cycle at which the warp is ready to issue its next phase.
     pub time: u64,
@@ -13,13 +13,40 @@ pub(crate) struct Event {
     pub warp_id: u64,
     /// Which SM the warp lives on.
     pub sm: usize,
-    /// Index into the SM's resident vector.
+    /// Index into the SM's warp-slot table.
     pub slot: usize,
 }
 
+impl Ord for Event {
+    /// The engine's documented total order: **(time, sequence, shard-rank,
+    /// slot)**, where the sequence is the warp's launch age (`warp_id`) and
+    /// the shard-rank is the owning SM's index. This is a total order over
+    /// every event the engine can ever schedule — two live events never
+    /// compare equal, because a warp occupies one slot at a time — so pop
+    /// order can never depend on heap-insertion incidentals, and merging
+    /// per-shard traffic sorts identically regardless of which shard
+    /// produced an event. Spelled out (rather than derived) because the
+    /// field order above is load-bearing for cross-shard determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.warp_id, self.sm, self.slot).cmp(&(
+            other.time,
+            other.warp_id,
+            other.sm,
+            other.slot,
+        ))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Min-heap of [`Event`]s. Pop order is the engine's global time order and
-/// the sole source of scheduling nondeterminism — which is why the derived
-/// `Ord` includes `warp_id`/`sm`/`slot` as deterministic tie-breakers.
+/// the sole source of scheduling nondeterminism — which is why [`Event`]'s
+/// explicit `Ord` defines the full (time, sequence, shard-rank, slot)
+/// total order rather than stopping at `time`.
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
     heap: BinaryHeap<Reverse<Event>>,
@@ -79,5 +106,34 @@ mod tests {
     #[test]
     fn empty_queue_pops_none() {
         assert_eq!(EventQueue::new().pop(), None);
+    }
+
+    #[test]
+    fn order_is_time_then_sequence_then_shard_rank_then_slot() {
+        let e = |time, warp_id, sm, slot| Event {
+            time,
+            warp_id,
+            sm,
+            slot,
+        };
+        // Each successive event differs in exactly one field of the
+        // documented (time, sequence, shard-rank, slot) order.
+        let ordered = [
+            e(1, 9, 9, 9),
+            e(2, 0, 9, 9),
+            e(2, 1, 0, 9),
+            e(2, 1, 1, 0),
+            e(2, 1, 1, 1),
+        ];
+        for pair in ordered.windows(2) {
+            assert!(pair[0] < pair[1], "{pair:?} must be strictly increasing");
+        }
+        // Insertion order must not leak into pop order.
+        let mut q = EventQueue::new();
+        for ev in ordered.iter().rev() {
+            q.push(*ev);
+        }
+        let popped: Vec<Event> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(popped, ordered);
     }
 }

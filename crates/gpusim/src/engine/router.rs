@@ -1,0 +1,300 @@
+//! The interconnect seam between decode shards and the commit loop.
+//!
+//! A [`ShardRouter`] owns one [seam](SeamState) per shard. Decode shards
+//! publish decoded phases into their seam; the commit loop drains them in
+//! its own deterministic order. All cross-thread traffic in the engine
+//! flows through this one module (together with the thread lifecycle in
+//! [`epoch`](super::epoch)) — nothing else in result-affecting code may
+//! spawn threads or pass data between them, and `zatel-lint`'s
+//! `thread-seam` rule enforces exactly that.
+//!
+//! # Epoch protocol
+//!
+//! A shard does not free-run: it may decode ahead of the commit loop only
+//! within a bounded window, and blocks at the seam barrier once the window
+//! is full. The window advances — an *epoch boundary* — whenever the commit
+//! loop consumes from the seam ([`ShardRouter::take_phases`]) or launches
+//! one of the shard's warps ([`ShardRouter::note_launched`]): each bumps
+//! the seam's epoch counter and wakes the shard, which re-derives what it
+//! may decode next. The commit loop symmetrically blocks in `take_phases`
+//! until the shard publishes the warp it needs. Determinism does not depend
+//! on any of this timing: phases are keyed and ordered per warp, and the
+//! commit loop alone decides the global interleaving.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use super::decode::DecodedPhase;
+
+/// Decode-ahead window per warp: a shard stops decoding a warp once this
+/// many phases sit unconsumed in its seam, resuming when the commit loop
+/// drains them. Bounds seam memory to `O(warps x MAX_BUFFERED)` phases.
+pub(crate) const MAX_BUFFERED: usize = 64;
+
+/// Per-shard seam state, guarded by the shard's mutex.
+#[derive(Debug, Default)]
+struct SeamState {
+    /// Decoded phases per warp id, in decode order, not yet taken by the
+    /// commit loop. A warp's final phase is always `Retire`; the entry is
+    /// removed when taken.
+    queues: BTreeMap<u64, VecDeque<DecodedPhase>>,
+    /// Warps launched so far per owned SM (local index), maintained by the
+    /// commit loop. The shard's admission watermark: it may decode a warp
+    /// whose position in its SM's launch list is below
+    /// `launched + lookahead`.
+    launched: Vec<u64>,
+    /// Epoch counter: bumped on every commit-side consume or launch. The
+    /// shard's wait ticket — it re-derives its decodable set whenever the
+    /// epoch advances, so a wake-up can never be lost.
+    epoch: u64,
+    /// Set once the shard has decoded every warp it owns to retirement.
+    done: bool,
+}
+
+/// One shard's seam: the state plus its two wake-up channels.
+#[derive(Debug, Default)]
+struct Seam {
+    state: Mutex<SeamState>,
+    /// Wakes the decode shard (epoch advanced / abort).
+    producer_cv: Condvar,
+    /// Wakes the commit loop (phases published / shard done / abort).
+    commit_cv: Condvar,
+}
+
+/// The seam set for one sharded run.
+#[derive(Debug)]
+pub(crate) struct ShardRouter {
+    seams: Vec<Seam>,
+    /// Poisoned on panic (either side) so no thread waits forever.
+    aborted: AtomicBool,
+}
+
+impl ShardRouter {
+    /// Creates the seams; `sms_per_shard[s]` is the number of SMs shard `s`
+    /// owns.
+    pub fn new(sms_per_shard: &[usize]) -> Self {
+        ShardRouter {
+            seams: sms_per_shard
+                .iter()
+                .map(|&sms| Seam {
+                    state: Mutex::new(SeamState {
+                        launched: vec![0; sms],
+                        ..SeamState::default()
+                    }),
+                    ..Seam::default()
+                })
+                .collect(),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    fn lock(&self, shard: usize) -> MutexGuard<'_, SeamState> {
+        // zatel-lint: allow(panic-hygiene, reason = "a poisoned seam mutex means a sibling sim thread already panicked; propagating is the only sound option")
+        self.seams[shard].state.lock().expect("seam mutex poisoned")
+    }
+
+    /// Poisons the run: wakes every waiter on every seam so a panicking
+    /// thread cannot strand the others. Idempotent.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        for seam in &self.seams {
+            drop(seam.state.lock());
+            seam.producer_cv.notify_all();
+            seam.commit_cv.notify_all();
+        }
+    }
+
+    /// Whether the run has been poisoned by a panic on some thread.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    // --- Commit side ----------------------------------------------------
+
+    /// Records that the commit loop launched a warp on local SM
+    /// `sm_in_shard` of `shard`: advances the admission watermark, which is
+    /// an epoch boundary for the shard.
+    pub fn note_launched(&self, shard: usize, sm_in_shard: usize) {
+        let mut state = self.lock(shard);
+        state.launched[sm_in_shard] += 1;
+        state.epoch += 1;
+        drop(state);
+        self.seams[shard].producer_cv.notify_all();
+    }
+
+    /// Takes everything the shard has published for `warp_id`, blocking
+    /// until at least one phase is available. Consuming is an epoch
+    /// boundary: the shard may refill the freed window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is aborted (a shard thread panicked) or the shard
+    /// claims to be done while the commit loop still expects phases — both
+    /// are unrecoverable protocol violations.
+    pub fn take_phases(&self, shard: usize, warp_id: u64) -> VecDeque<DecodedPhase> {
+        let mut state = self.lock(shard);
+        loop {
+            if self.is_aborted() {
+                // zatel-lint: allow(panic-hygiene, reason = "a sibling sim thread panicked; unwinding the commit loop is the only way to propagate it")
+                panic!("sharded simulation aborted: a decode shard panicked");
+            }
+            match state.queues.remove(&warp_id) {
+                Some(q) if !q.is_empty() => {
+                    state.epoch += 1;
+                    drop(state);
+                    self.seams[shard].producer_cv.notify_all();
+                    return q;
+                }
+                _ => {
+                    // Protocol invariant: a done shard has queued Retire
+                    // for every owned warp, so an empty queue here is a
+                    // bug worth crashing on.
+                    assert!(
+                        !state.done,
+                        "shard {shard} done but warp {warp_id} has no phases"
+                    );
+                    let cv = &self.seams[shard].commit_cv;
+                    // zatel-lint: allow(panic-hygiene, reason = "see seam mutex waiver above: poisoning implies a sibling panic")
+                    state = cv.wait(state).expect("seam mutex poisoned");
+                }
+            }
+        }
+    }
+
+    // --- Shard (producer) side ------------------------------------------
+
+    /// Snapshot of the admission state the shard plans its next decode
+    /// round from: watermarks, per-warp buffered counts and the epoch
+    /// ticket for [`ShardRouter::wait_for_epoch`].
+    pub fn admission(&self, shard: usize) -> Admission {
+        let state = self.lock(shard);
+        Admission {
+            launched: state.launched.clone(),
+            buffered: state.queues.iter().map(|(&w, q)| (w, q.len())).collect(),
+            epoch: state.epoch,
+        }
+    }
+
+    /// Publishes decoded `phases` for `warp_id` and wakes the commit loop.
+    pub fn publish(&self, shard: usize, warp_id: u64, phases: Vec<DecodedPhase>) {
+        let mut state = self.lock(shard);
+        state.queues.entry(warp_id).or_default().extend(phases);
+        drop(state);
+        self.seams[shard].commit_cv.notify_all();
+    }
+
+    /// Marks the shard as fully decoded and wakes the commit loop.
+    pub fn finish(&self, shard: usize) {
+        let mut state = self.lock(shard);
+        state.done = true;
+        drop(state);
+        self.seams[shard].commit_cv.notify_all();
+    }
+
+    /// Blocks the shard until the epoch advances past `seen` (or the run
+    /// aborts). Returns `false` if the run aborted.
+    pub fn wait_for_epoch(&self, shard: usize, seen: u64) -> bool {
+        let mut state = self.lock(shard);
+        let cv = &self.seams[shard].producer_cv;
+        while state.epoch == seen && !self.is_aborted() {
+            // zatel-lint: allow(panic-hygiene, reason = "see seam mutex waiver above: poisoning implies a sibling panic")
+            state = cv.wait(state).expect("seam mutex poisoned");
+        }
+        !self.is_aborted()
+    }
+}
+
+/// Poisons the router if the owning thread unwinds, so the threads on the
+/// other side of the seam cannot block forever on a dead peer. Held by
+/// every shard worker and by the commit loop.
+pub(crate) struct AbortOnPanic<'r>(pub &'r ShardRouter);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.abort();
+        }
+    }
+}
+
+/// A shard's view of what it may decode next (see
+/// [`ShardRouter::admission`]).
+#[derive(Debug)]
+pub(crate) struct Admission {
+    /// Commit-side launch count per owned SM (local index).
+    pub launched: Vec<u64>,
+    /// Unconsumed phase count per warp currently in the seam.
+    pub buffered: BTreeMap<u64, usize>,
+    /// Epoch ticket: pass to [`ShardRouter::wait_for_epoch`] when no
+    /// decode is admissible, guaranteeing a lost-wakeup-free sleep.
+    pub epoch: u64,
+}
+
+impl Admission {
+    /// Phases of `warp_id` sitting unconsumed in the seam.
+    pub fn buffered_of(&self, warp_id: u64) -> usize {
+        self.buffered.get(&warp_id).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::sm::PhaseMix;
+
+    fn mix(instructions: u64) -> DecodedPhase {
+        DecodedPhase::Mix(PhaseMix {
+            instructions,
+            ..PhaseMix::default()
+        })
+    }
+
+    #[test]
+    fn publish_take_roundtrip_preserves_order() {
+        let router = ShardRouter::new(&[1]);
+        router.publish(0, 7, vec![mix(1), mix(2)]);
+        router.publish(0, 7, vec![DecodedPhase::Retire]);
+        let q = router.take_phases(0, 7);
+        assert_eq!(
+            q.into_iter().collect::<Vec<_>>(),
+            vec![mix(1), mix(2), DecodedPhase::Retire]
+        );
+    }
+
+    #[test]
+    fn take_bumps_epoch_and_admission_sees_watermark() {
+        let router = ShardRouter::new(&[2]);
+        let before = router.admission(0);
+        assert_eq!(before.launched, vec![0, 0]);
+        router.note_launched(0, 1);
+        router.publish(0, 3, vec![mix(1)]);
+        let mid = router.admission(0);
+        assert_eq!(mid.launched, vec![0, 1]);
+        assert_eq!(mid.buffered_of(3), 1);
+        assert!(mid.epoch > before.epoch, "launch advanced the epoch");
+        router.take_phases(0, 3);
+        let after = router.admission(0);
+        assert_eq!(after.buffered_of(3), 0);
+        assert!(after.epoch > mid.epoch, "consume advanced the epoch");
+    }
+
+    #[test]
+    fn wait_for_epoch_returns_immediately_when_stale() {
+        let router = ShardRouter::new(&[1]);
+        let ticket = router.admission(0).epoch;
+        router.note_launched(0, 0);
+        assert!(router.wait_for_epoch(0, ticket), "epoch already advanced");
+    }
+
+    #[test]
+    fn abort_unblocks_waiters() {
+        let router = ShardRouter::new(&[1]);
+        router.abort();
+        assert!(!router.wait_for_epoch(0, 0));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            router.take_phases(0, 0);
+        }));
+        assert!(caught.is_err(), "take_phases must panic on an aborted run");
+    }
+}

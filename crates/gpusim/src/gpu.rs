@@ -1,7 +1,7 @@
 //! Public facade over the simulation engine.
 
 use crate::config::GpuConfig;
-use crate::engine::Engine;
+use crate::engine::{Engine, EpochDriver, SerialSource};
 use crate::hooks::{NullHooks, SimHooks};
 use crate::stats::SimStats;
 use crate::workload::Workload;
@@ -63,7 +63,22 @@ impl Simulator {
     /// observability seam costs nothing when `hooks` is
     /// [`NullHooks`](crate::hooks::NullHooks). Hooks observe only — the
     /// returned statistics are bit-identical for every hook implementation.
+    ///
+    /// When [`GpuConfig::sim_threads`] is greater than one, the run is
+    /// executed by the sharded engine on that many OS threads. Results,
+    /// hook event order and serialized output are bit-identical to the
+    /// serial engine for every thread count; hooks still fire on the
+    /// calling thread only.
     pub fn run_with_hooks<H: SimHooks>(&self, workload: &dyn Workload, hooks: &mut H) -> SimStats {
-        Engine::new(&self.config, workload, hooks).run()
+        if self.config.sim_threads > 1 {
+            EpochDriver::new(&self.config, workload).run(hooks)
+        } else {
+            let mut source = SerialSource::new(
+                workload,
+                self.config.num_sms as usize,
+                self.config.l1d.line_bytes,
+            );
+            Engine::new(&self.config, hooks).run(workload.thread_count(), &mut source)
+        }
     }
 }

@@ -25,7 +25,12 @@
 //! use zatel_lint::{lexer, rules, FileKind};
 //!
 //! let scanned = lexer::scan("fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
-//! let kind = FileKind { test_context: false, result_affecting: false, unsafe_allowed: false };
+//! let kind = FileKind {
+//!     test_context: false,
+//!     result_affecting: false,
+//!     unsafe_allowed: false,
+//!     thread_allowed: false,
+//! };
 //! let findings = rules::scan_lines("f.rs", &scanned, &kind);
 //! assert_eq!(findings.len(), 1);
 //! assert_eq!(findings[0].rule, "panic-hygiene");
@@ -53,6 +58,21 @@ pub struct FileKind {
     pub result_affecting: bool,
     /// The file is on the unsafe allowlist.
     pub unsafe_allowed: bool,
+    /// The file is on the thread allow-list: an audited seam that may
+    /// create threads despite being result-affecting.
+    pub thread_allowed: bool,
+}
+
+/// One audited exception to the `thread-seam` rule: a result-affecting
+/// file reviewed to create threads without being able to reorder
+/// result-visible events, with the review reason on record.
+#[derive(Debug, Clone)]
+pub struct ThreadAllowance {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Why the file may create threads — shown in config review, never
+    /// empty.
+    pub reason: String,
 }
 
 /// One diagnostic.
@@ -113,6 +133,9 @@ pub struct LintConfig {
     pub result_affecting: Vec<String>,
     /// Files allowed to contain `unsafe`.
     pub unsafe_allow: Vec<String>,
+    /// Result-affecting files audited to create threads (the
+    /// `thread-seam` rule), each with its review reason.
+    pub thread_allow: Vec<ThreadAllowance>,
     /// The observability-seam contract to audit, if any.
     pub seam: Option<SeamSpec>,
 }
@@ -156,6 +179,15 @@ impl LintConfig {
             // the libc `signal()` already linked by std — the one unsafe
             // block the workspace accepts (audited in-file).
             unsafe_allow: vec!["crates/serve/src/signal.rs".to_owned()],
+            thread_allow: vec![ThreadAllowance {
+                path: "crates/gpusim/src/engine/epoch.rs".to_owned(),
+                reason: "the audited sharded-engine seam: decode shards spawned \
+                         here are pure of timing state, joined before the run \
+                         returns, and consumed by the single commit thread in \
+                         serial event order — pinned bit-identical by the \
+                         sim_threads identity tests"
+                    .to_owned(),
+            }],
             seam: Some(SeamSpec {
                 trait_file: "crates/gpusim/src/hooks.rs".to_owned(),
                 trait_name: "SimHooks".to_owned(),
@@ -199,10 +231,15 @@ impl LintConfig {
             .iter()
             .any(|p| rel == p || rel.starts_with(&format!("{p}/")));
         let unsafe_allowed = self.unsafe_allow.iter().any(|p| p == rel);
+        let thread_allowed = self
+            .thread_allow
+            .iter()
+            .any(|a| a.path == rel && !a.reason.trim().is_empty());
         FileKind {
             test_context,
             result_affecting,
             unsafe_allowed,
+            thread_allowed,
         }
     }
 }
@@ -561,6 +598,23 @@ mod tests {
         assert!(c.kind_of("crates/gpusim/tests/x.rs").test_context);
         assert!(c.kind_of("examples/quickstart.rs").test_context);
         assert!(!c.kind_of("crates/zatel/src/select.rs").test_context);
+    }
+
+    #[test]
+    fn thread_allowance_is_exact_and_needs_a_reason() {
+        let mut c = LintConfig::zatel_workspace("/does-not-matter");
+        let epoch = "crates/gpusim/src/engine/epoch.rs";
+        assert!(c.kind_of(epoch).thread_allowed);
+        assert!(!c.kind_of("crates/gpusim/src/engine/core.rs").thread_allowed);
+        assert!(
+            !c.kind_of("crates/gpusim/src/engine/shard.rs")
+                .thread_allowed
+        );
+        c.thread_allow[0].reason = "  ".to_owned();
+        assert!(
+            !c.kind_of(epoch).thread_allowed,
+            "a blank reason must not grant the allowance"
+        );
     }
 
     #[test]

@@ -20,18 +20,22 @@ pub const PANIC_HYGIENE: &str = "panic-hygiene";
 pub const UNSAFE_CODE: &str = "unsafe-code";
 /// Rule: the `SimHooks` trait and its no-op/forwarding impls drifted.
 pub const HOOK_SEAM: &str = "hook-seam";
+/// Rule: thread creation (`spawn`/`channel`) in result-affecting code
+/// outside the audited sharded-engine seam.
+pub const THREAD_SEAM: &str = "thread-seam";
 /// Rule: a waiver that no longer suppresses anything.
 pub const STALE_WAIVER: &str = "stale-waiver";
 /// Rule: a waiver missing its rule list or `reason = "..."`.
 pub const MALFORMED_WAIVER: &str = "malformed-waiver";
 
 /// Every rule the engine knows, in diagnostic order.
-pub const ALL_RULES: [&str; 7] = [
+pub const ALL_RULES: [&str; 8] = [
     HASH_COLLECTION,
     WALL_CLOCK,
     PANIC_HYGIENE,
     UNSAFE_CODE,
     HOOK_SEAM,
+    THREAD_SEAM,
     STALE_WAIVER,
     MALFORMED_WAIVER,
 ];
@@ -92,6 +96,9 @@ pub fn scan_lines(file: &str, scanned: &ScannedFile, kind: &FileKind) -> Vec<Fin
         let in_test = kind.test_context || line.in_test;
         if kind.result_affecting && !in_test {
             determinism(file, lineno, line, &mut findings);
+            if !kind.thread_allowed {
+                thread_seam(file, lineno, line, &mut findings);
+            }
         }
         if !in_test {
             panic_hygiene(file, lineno, line, &mut findings);
@@ -163,6 +170,48 @@ fn panic_hygiene(file: &str, lineno: u32, line: &Line, findings: &mut Vec<Findin
                 format!(
                     "`{call}` in library code{}: propagate a typed error instead, \
                      or waive with a reason if the invariant is locally provable",
+                    at_item(line)
+                ),
+            ));
+        }
+    }
+}
+
+/// `thread-seam`: `spawn`/`channel`/`sync_channel` calls in
+/// result-affecting code. The sharded engine keeps its bit-identity proof
+/// by funnelling every thread through the audited `EpochDriver` seam
+/// (`crates/gpusim/src/engine/epoch.rs`); a thread created anywhere else in
+/// a result-affecting path can reorder result-visible events with no test
+/// to catch it. `Mutex`/`Condvar` are deliberately not flagged — blocking
+/// primitives don't create concurrency, threads do.
+fn thread_seam(file: &str, lineno: u32, line: &Line, findings: &mut Vec<Finding>) {
+    for (pos, ident) in idents(&line.code) {
+        let end = pos + ident.len();
+        let hit = match ident {
+            // Method or path calls only: `thread::spawn(`, `scope.spawn(`,
+            // `Builder::new().spawn(` — never a local named `spawn`.
+            "spawn" => {
+                matches!(char_before(&line.code, pos), Some('.' | ':'))
+                    && matches!(char_after(&line.code, end), Some('(' | ':'))
+            }
+            // Path calls, including the turbofish form
+            // `mpsc::channel::<T>()`.
+            "channel" | "sync_channel" => {
+                char_before(&line.code, pos) == Some(':')
+                    && matches!(char_after(&line.code, end), Some('(' | ':'))
+            }
+            _ => false,
+        };
+        if hit {
+            findings.push(Finding::new(
+                THREAD_SEAM,
+                file,
+                lineno,
+                format!(
+                    "`{ident}` in result-affecting code{}: threads may only be \
+                     created inside the audited sharded-engine seam; route the \
+                     work through `EpochDriver`, or add a `thread_allow` entry \
+                     with its audit reason",
                     at_item(line)
                 ),
             ));
@@ -481,6 +530,7 @@ mod tests {
             test_context: false,
             result_affecting: true,
             unsafe_allowed: false,
+            thread_allowed: false,
         }
     }
 
@@ -535,6 +585,46 @@ mod tests {
             quiet.iter().filter(|f| f.rule == HASH_COLLECTION).count(),
             0
         );
+    }
+
+    #[test]
+    fn thread_seam_matches_calls_but_not_traps() {
+        let f = scan(concat!(
+            "let h = std::thread::spawn(|| 1);\n",         // 1: hit
+            "scope.spawn(move || work());\n",              // 2: hit
+            "let (tx, rx) = mpsc::channel::<u32>();\n",    // 3: hit (turbofish)
+            "let (tx, rx) = mpsc::sync_channel(4);\n",     // 4: hit
+            "let spawn = 3; let respawned = spawn + 1;\n", // 5: plain idents
+            "let c = self.channel;\n",                     // 6: field access
+            "// thread::spawn in a comment\n",             // 7: comment
+            "let s = \"thread::spawn in a string\";\n",    // 8: string
+        ));
+        let fs = scan_lines("f.rs", &f, &kinds());
+        let hits: Vec<u32> = fs
+            .iter()
+            .filter(|f| f.rule == THREAD_SEAM)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(hits, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn thread_seam_respects_allowance_and_result_flag() {
+        let f = scan("std::thread::spawn(|| 1);\n");
+        let allowed = FileKind {
+            thread_allowed: true,
+            ..kinds()
+        };
+        assert!(scan_lines("f.rs", &f, &allowed)
+            .iter()
+            .all(|f| f.rule != THREAD_SEAM));
+        let orchestration = FileKind {
+            result_affecting: false,
+            ..kinds()
+        };
+        assert!(scan_lines("f.rs", &f, &orchestration)
+            .iter()
+            .all(|f| f.rule != THREAD_SEAM));
     }
 
     #[test]

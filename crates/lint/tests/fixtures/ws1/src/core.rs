@@ -39,6 +39,21 @@ pub fn traps() -> String {
     format!("{in_str}{raw}{fallback}")
 }
 
+pub fn rogue_threads() -> u32 {
+    let worker = std::thread::spawn(|| 1u32);
+    let (tx, rx) = std::sync::mpsc::channel::<u32>();
+    tx.send(worker.join().unwrap_or(0)).ok();
+    rx.recv().unwrap_or(0)
+}
+
+pub fn thread_traps() -> &'static str {
+    // thread::spawn in a comment, a local named spawn and a field access
+    // must all stay quiet.
+    let spawn = 1;
+    let _ = spawn;
+    "thread::spawn and mpsc::channel() inside a string"
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::HashMap;

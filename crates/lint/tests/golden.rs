@@ -23,6 +23,7 @@ fn ws1_config() -> LintConfig {
         scan_dirs: vec!["src".to_owned(), "tests".to_owned()],
         result_affecting: vec!["src/core.rs".to_owned()],
         unsafe_allow: vec!["src/audited.rs".to_owned()],
+        thread_allow: vec![],
         seam: None,
     }
 }
@@ -73,6 +74,8 @@ fn fixture_violations_have_expected_spans() {
     );
     assert!(has("src/lib.rs", "unsafe-code", 15), "unsafe block");
     assert!(has("src/lib.rs", "panic-hygiene", 21), "panic! macro");
+    assert!(has("src/core.rs", "thread-seam", 43), "thread::spawn");
+    assert!(has("src/core.rs", "thread-seam", 44), "mpsc::channel");
 
     // The traps: strings, comments, doc comments, unwrap_or, cfg(test),
     // test files, the allowlisted unsafe file and the waived unwrap must
@@ -90,6 +93,14 @@ fn fixture_violations_have_expected_spans() {
     assert_eq!(
         core_hashes, 3,
         "use + two body mentions, nothing from traps"
+    );
+    let core_threads = spans
+        .iter()
+        .filter(|(f, r, _)| f == "src/core.rs" && r == "thread-seam")
+        .count();
+    assert_eq!(
+        core_threads, 2,
+        "spawn + channel, nothing from the thread traps"
     );
     assert_eq!(report.waived, 1);
 }

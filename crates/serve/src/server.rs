@@ -40,6 +40,15 @@ pub struct ServeConfig {
     /// applied when the request itself does not set `options.jobs`.
     /// `None` lets each request size itself to the host.
     pub sim_jobs: Option<usize>,
+    /// Global intra-simulation thread budget, divided evenly across the
+    /// request workers: each worker's requests default to
+    /// `max(1, sim_threads / workers)` engine threads per group simulation
+    /// (`ZatelOptions::sim_threads`) unless the request sets its own value.
+    /// Results are bit-identical for every setting — this only bounds how
+    /// many OS threads the box spends on simulation at full load
+    /// (`workers * jobs * per-worker sim_threads`). `None` leaves requests
+    /// on the serial engine unless they ask otherwise.
+    pub sim_threads: Option<usize>,
     /// Default request deadline, applied when a request carries no
     /// `deadline_ms` of its own. `None` means queued requests never
     /// expire.
@@ -55,6 +64,7 @@ impl Default for ServeConfig {
             workers: 2,
             queue: 64,
             sim_jobs: None,
+            sim_threads: None,
             default_deadline_ms: None,
             cache_dir: None,
         }
@@ -80,6 +90,9 @@ struct ServerState {
     queue_depth: AtomicUsize,
     draining: AtomicBool,
     sim_jobs: Option<usize>,
+    /// Per-worker share of [`ServeConfig::sim_threads`], precomputed at
+    /// bind time.
+    sim_threads: Option<usize>,
     default_deadline_ms: Option<u64>,
 }
 
@@ -160,6 +173,9 @@ impl Server {
             queue_depth: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
             sim_jobs: config.sim_jobs,
+            sim_threads: config
+                .sim_threads
+                .map(|budget| (budget / config.workers.max(1)).max(1)),
             default_deadline_ms: config.default_deadline_ms,
         });
         Ok(Server {
@@ -433,6 +449,24 @@ fn check_deadline(
     Ok(())
 }
 
+/// Fills the server's simulation defaults into a request's options:
+/// `--sim-jobs` caps the per-request worker pool and `--sim-threads`
+/// supplies the per-worker engine-thread share. The request's own values
+/// always win; both knobs are execution-only, so applying them never
+/// changes what the request computes.
+fn apply_sim_defaults(options: &mut Option<zatel::ZatelOptions>, state: &ServerState) {
+    if state.sim_jobs.is_none() && state.sim_threads.is_none() {
+        return;
+    }
+    let options = options.get_or_insert_with(zatel::ZatelOptions::default);
+    if options.jobs.is_none() {
+        options.jobs = state.sim_jobs;
+    }
+    if options.sim_threads.is_none() {
+        options.sim_threads = state.sim_threads;
+    }
+}
+
 fn predict_route(request: &Request, admitted: Instant, state: &Arc<ServerState>) -> Routed {
     let body = match parse_body(request) {
         Ok(body) => body,
@@ -445,12 +479,7 @@ fn predict_route(request: &Request, admitted: Instant, state: &Arc<ServerState>)
     if let Err(routed) = check_deadline(req.deadline_ms, admitted, state) {
         return routed;
     }
-    if let Some(jobs) = state.sim_jobs {
-        let options = req.options.get_or_insert_with(zatel::ZatelOptions::default);
-        if options.jobs.is_none() {
-            options.jobs = Some(jobs);
-        }
-    }
+    apply_sim_defaults(&mut req.options, state);
     let started = Instant::now();
     match service::execute_predict(&req, &state.cache) {
         Ok(out) => {
@@ -482,12 +511,7 @@ fn sweep_route(request: &Request, admitted: Instant, state: &Arc<ServerState>) -
     if let Err(routed) = check_deadline(req.deadline_ms, admitted, state) {
         return routed;
     }
-    if let Some(jobs) = state.sim_jobs {
-        let options = req.options.get_or_insert_with(zatel::ZatelOptions::default);
-        if options.jobs.is_none() {
-            options.jobs = Some(jobs);
-        }
-    }
+    apply_sim_defaults(&mut req.options, state);
     let started = Instant::now();
     match service::execute_sweep(&req, &state.cache) {
         Ok(out) => {

@@ -69,6 +69,17 @@ pub struct ZatelOptions {
     ///
     /// [`parallel`]: ZatelOptions::parallel
     pub jobs: Option<usize>,
+    /// OS threads the engine may use *inside* each individual group
+    /// simulation (sets [`gpusim::GpuConfig::sim_threads`] on the
+    /// downscaled and reference configs). `None` defers to the
+    /// `ZATEL_SIM_THREADS` environment variable, falling back to the
+    /// serial engine. Purely an execution knob: predictions, traces and
+    /// stage fingerprints are bit-identical for every value, so it is
+    /// excluded from cache keys. Composes multiplicatively with
+    /// [`jobs`] — `jobs` workers each run `sim_threads` threads.
+    ///
+    /// [`jobs`]: ZatelOptions::jobs
+    pub sim_threads: Option<usize>,
     /// When set, each group simulation runs with a
     /// [`TraceHooks`] observer sampling one CPI-stack slice every this
     /// many cycles, and the trace is attached to the group's
@@ -111,6 +122,16 @@ impl ZatelOptions {
         if self.jobs == Some(0) {
             return invalid("jobs must be positive (use None to size to the host)".into());
         }
+        if self.sim_threads == Some(0) {
+            return invalid(
+                "sim_threads must be positive (use None to defer to ZATEL_SIM_THREADS)".into(),
+            );
+        }
+        if let Some(n) = self.sim_threads {
+            if u32::try_from(n).is_err() {
+                return invalid(format!("sim_threads must fit in a u32, got {n}"));
+            }
+        }
         if self.quant_colors == 0 {
             return invalid("quant_colors must be at least 1".into());
         }
@@ -138,6 +159,23 @@ impl ZatelOptions {
             ));
         }
         Ok(())
+    }
+
+    /// The engine thread count each simulation actually runs with:
+    /// [`sim_threads`] when set, else the `ZATEL_SIM_THREADS` environment
+    /// variable (ignored unless it parses as a positive integer), else `1`
+    /// (the serial engine).
+    ///
+    /// [`sim_threads`]: ZatelOptions::sim_threads
+    pub fn effective_sim_threads(&self) -> u32 {
+        if let Some(n) = self.sim_threads {
+            return u32::try_from(n).unwrap_or(1).max(1);
+        }
+        std::env::var("ZATEL_SIM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
     }
 }
 
@@ -201,6 +239,13 @@ impl ZatelOptionsBuilder {
         self
     }
 
+    /// Sets the engine thread count for each individual group simulation
+    /// ([`ZatelOptions::sim_threads`]).
+    pub fn sim_threads(mut self, threads: usize) -> Self {
+        self.options.sim_threads = Some(threads);
+        self
+    }
+
     /// Enables engine tracing with the given CPI-stack slice width.
     pub fn trace_slice_cycles(mut self, cycles: u64) -> Self {
         self.options.trace_slice_cycles = Some(cycles);
@@ -261,6 +306,7 @@ impl Default for ZatelOptions {
             downscale: DownscaleMode::Natural,
             parallel: true,
             jobs: None,
+            sim_threads: None,
             trace_slice_cycles: None,
             observe: None,
         }
@@ -767,6 +813,12 @@ impl<'s> Zatel<'s> {
         selections: &[Selection],
         sheet: &SpanSheet,
     ) -> Vec<GroupOutcome> {
+        // The intra-sim thread knob rides on the config clone each worker
+        // simulates; it never reaches fingerprints (GpuConfig::to_json
+        // omits it) so cached artifacts stay valid across thread counts.
+        let mut down = down.clone();
+        down.sim_threads = self.options.effective_sim_threads();
+        let down = &down;
         let run_one = |group: &Group, selection: &Selection| -> GroupOutcome {
             let workload = RtWorkload::new(
                 self.scene,
@@ -922,7 +974,9 @@ impl<'s> Zatel<'s> {
     pub fn run_reference(&self) -> Reference {
         let start = Instant::now();
         let workload = RtWorkload::full_frame(self.scene, self.width, self.height, self.trace);
-        let stats = Simulator::new(self.target.clone()).run(&workload);
+        let mut target = self.target.clone();
+        target.sim_threads = self.options.effective_sim_threads();
+        let stats = Simulator::new(target).run(&workload);
         Reference {
             stats,
             wall: start.elapsed(),
@@ -999,6 +1053,10 @@ impl ToJson for ZatelOptions {
         m.insert("parallel".into(), Value::from(self.parallel));
         m.insert("jobs".into(), self.jobs.map_or(Value::Null, Value::from));
         m.insert(
+            "sim_threads".into(),
+            self.sim_threads.map_or(Value::Null, Value::from),
+        );
+        m.insert(
             "trace_slice_cycles".into(),
             self.trace_slice_cycles.map_or(Value::Null, Value::from),
         );
@@ -1040,6 +1098,13 @@ impl FromJson for ZatelOptions {
                         .ok_or_else(|| JsonError::missing_field(TY, "jobs"))
                 })
                 .transpose()?,
+            sim_threads: optional("sim_threads")
+                .map(|v| {
+                    v.as_u64()
+                        .map(|n| n as usize)
+                        .ok_or_else(|| JsonError::missing_field(TY, "sim_threads"))
+                })
+                .transpose()?,
             trace_slice_cycles: optional("trace_slice_cycles")
                 .map(|v| {
                     v.as_u64()
@@ -1078,6 +1143,7 @@ mod tests {
             .percent_override(0.25)
             .clamp(0.1, 0.9)
             .jobs(2)
+            .sim_threads(4)
             .build()
             .expect("valid options");
         assert_eq!(options.downscale, DownscaleMode::Factor(2));
@@ -1085,10 +1151,12 @@ mod tests {
         assert_eq!(options.selection.percent_override, Some(0.25));
         assert_eq!(options.selection.clamp, (0.1, 0.9));
         assert_eq!(options.jobs, Some(2));
+        assert_eq!(options.sim_threads, Some(4));
 
         for broken in [
             ZatelOptions::builder().trace_slice_cycles(0),
             ZatelOptions::builder().jobs(0),
+            ZatelOptions::builder().sim_threads(0),
             ZatelOptions::builder().quant_colors(0),
             ZatelOptions::builder().percent_override(0.0),
             ZatelOptions::builder().percent_override(1.5),
@@ -1099,6 +1167,24 @@ mod tests {
             let err = broken.build().expect_err("invalid options accepted");
             assert!(matches!(err, ZatelError::InvalidOptions(_)), "{err}");
         }
+    }
+
+    #[test]
+    fn sim_threads_resolution_prefers_the_option() {
+        let mut opts = ZatelOptions {
+            sim_threads: Some(3),
+            ..ZatelOptions::default()
+        };
+        assert_eq!(opts.effective_sim_threads(), 3);
+        // With the option unset the knob defers to the environment, so the
+        // expectation must too (CI runs the suite under ZATEL_SIM_THREADS).
+        opts.sim_threads = None;
+        let from_env = std::env::var("ZATEL_SIM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1);
+        assert_eq!(opts.effective_sim_threads(), from_env);
     }
 
     #[test]

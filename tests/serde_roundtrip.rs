@@ -138,6 +138,7 @@ fn zatel_options_roundtrip() {
     opts.downscale = DownscaleMode::Factor(3);
     opts.parallel = false;
     opts.jobs = Some(5);
+    opts.sim_threads = Some(4);
     opts.trace_slice_cycles = Some(50_000);
     opts.observe = Some(obs::ObserveOptions {
         timeline: true,

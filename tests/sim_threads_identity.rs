@@ -1,0 +1,180 @@
+//! The sharded engine's headline contract, pinned end to end: for every
+//! scene and every `sim_threads` count, simulated statistics, serialized
+//! stats JSON, hook event streams and stage-cache fingerprints are
+//! **bit-identical** to the serial engine. `sim_threads` is an execution
+//! knob, never a result knob — these tests are what the `thread-seam` lint
+//! allowance for the engine's epoch driver leans on.
+
+use proptest::prelude::*;
+
+use gpusim::workload::{Op, ScriptedWorkload};
+use minijson::ToJson;
+use zatel::{ArtifactCache, RunContext};
+use zatel_suite::prelude::*;
+
+fn trace() -> TraceConfig {
+    TraceConfig {
+        samples_per_pixel: 1,
+        max_bounces: 2,
+        seed: 7,
+    }
+}
+
+const ALL_SCENES: [SceneId; 8] = [
+    SceneId::Park,
+    SceneId::Ship,
+    SceneId::Wknd,
+    SceneId::Bunny,
+    SceneId::Sprng,
+    SceneId::Chsnt,
+    SceneId::Spnza,
+    SceneId::Bath,
+];
+
+fn full_frame_stats(id: SceneId, sim_threads: u32) -> SimStats {
+    let scene = id.build(1);
+    let workload = RtWorkload::full_frame(&scene, 32, 32, trace());
+    let mut config = GpuConfig::mobile_soc();
+    config.sim_threads = sim_threads;
+    Simulator::new(config).run(&workload)
+}
+
+/// The acceptance criterion verbatim: all eight scenes, `sim_threads`
+/// in {1, 2, 4}, bit-identical `SimStats` *and* byte-identical stats
+/// JSON.
+#[test]
+fn all_scenes_bit_identical_across_thread_counts() {
+    for id in ALL_SCENES {
+        let serial = full_frame_stats(id, 1);
+        let serial_json = serial.to_json().pretty();
+        for sim_threads in [2, 4] {
+            let sharded = full_frame_stats(id, sim_threads);
+            assert_eq!(
+                serial,
+                sharded,
+                "{}: sim_threads={sim_threads} drifted from serial",
+                id.name()
+            );
+            assert_eq!(
+                serial_json,
+                sharded.to_json().pretty(),
+                "{}: serialized stats must be byte-identical",
+                id.name()
+            );
+        }
+    }
+}
+
+/// Hook streams replay in exact serial order under the sharded engine:
+/// same counters, same per-slice trace, on a real RT workload.
+#[test]
+fn hook_event_stream_identical_under_threaded_sim() {
+    let scene = SceneId::Wknd.build(3);
+    let workload = RtWorkload::full_frame(&scene, 32, 32, trace());
+
+    let mut serial_hooks = TraceHooks::new(10_000);
+    let serial =
+        Simulator::new(GpuConfig::mobile_soc()).run_with_hooks(&workload, &mut serial_hooks);
+
+    let mut config = GpuConfig::mobile_soc();
+    config.sim_threads = 4;
+    let mut sharded_hooks = TraceHooks::new(10_000);
+    let sharded = Simulator::new(config).run_with_hooks(&workload, &mut sharded_hooks);
+
+    assert_eq!(serial, sharded);
+    assert_eq!(serial_hooks.counters(), sharded_hooks.counters());
+    assert_eq!(
+        serial_hooks.slices(),
+        sharded_hooks.slices(),
+        "trace slices must replay in exact serial order"
+    );
+}
+
+/// The whole pipeline — prediction values, per-group stats and every
+/// stage-cache fingerprint — is unchanged by `sim_threads`, so cached
+/// artifacts stay valid when the thread count changes between runs.
+#[test]
+fn pipeline_values_and_fingerprints_identical_under_threaded_sim() {
+    let scene = SceneId::Sprng.build(1);
+    let run_with = |sim_threads: usize| {
+        let mut z = Zatel::new(&scene, GpuConfig::mobile_soc(), 64, 64, trace());
+        z.options_mut().parallel = false;
+        z.options_mut().sim_threads = Some(sim_threads);
+        let cache = ArtifactCache::in_memory();
+        z.execute(&RunContext::new().with_cache(&cache))
+            .expect("pipeline runs")
+    };
+    let serial = run_with(1);
+    for sim_threads in [2, 4] {
+        let sharded = run_with(sim_threads);
+        for m in Metric::ALL {
+            assert_eq!(
+                serial.value(m),
+                sharded.value(m),
+                "sim_threads={sim_threads}: prediction for {m:?} drifted"
+            );
+        }
+        assert_eq!(serial.groups.len(), sharded.groups.len());
+        for (s, p) in serial.groups.iter().zip(&sharded.groups) {
+            assert_eq!(s.stats, p.stats, "group {} stats drifted", s.index);
+        }
+        assert_eq!(
+            serial.cache.len(),
+            sharded.cache.len(),
+            "same stage sequence"
+        );
+        for (s, p) in serial.cache.iter().zip(&sharded.cache) {
+            assert_eq!(s.stage, p.stage);
+            assert_eq!(
+                s.fingerprint, p.fingerprint,
+                "sim_threads={sim_threads}: `{}` fingerprint moved — the knob \
+                 leaked into a cache key",
+                s.stage
+            );
+        }
+    }
+}
+
+/// A stride-striped scripted workload exercising every op kind, sized by
+/// the proptest case.
+fn scripted(threads: u64, salt: u64) -> ScriptedWorkload {
+    ScriptedWorkload::per_thread(threads, move |i| {
+        let i = i.wrapping_add(salt);
+        vec![
+            Op::RtNode {
+                addr: (i % 89) * 32,
+            },
+            Op::Load {
+                addr: i * 48,
+                bytes: (i % 3) as u32 * 16 + 4,
+            },
+            Op::Compute {
+                cycles: (i % 5) as u32 + 1,
+                insts: (i % 4) as u32 + 1,
+            },
+            Op::Store {
+                addr: i * 24,
+                bytes: 8,
+            },
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random grid sizes and random shard counts never change `SimStats`.
+    #[test]
+    fn random_shard_counts_never_change_stats(
+        threads in 0u64..600,
+        salt in 0u64..1000,
+        sim_threads in 2u32..12,
+    ) {
+        let w = scripted(threads, salt);
+        let serial = Simulator::new(GpuConfig::mobile_soc()).run(&w);
+        let mut config = GpuConfig::mobile_soc();
+        config.sim_threads = sim_threads;
+        let sharded = Simulator::new(config).run(&w);
+        prop_assert_eq!(serial, sharded);
+    }
+}
