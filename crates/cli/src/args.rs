@@ -28,7 +28,7 @@ impl std::error::Error for ParseArgsError {}
 
 /// Option keys that take a value; everything else with a `--` prefix is a
 /// boolean flag.
-const VALUE_KEYS: [&str; 32] = [
+const VALUE_KEYS: [&str; 34] = [
     "scene",
     "config",
     "res",
@@ -61,6 +61,8 @@ const VALUE_KEYS: [&str; 32] = [
     "queue",
     "sim-jobs",
     "deadline-ms",
+    "log-out",
+    "request-id",
 ];
 
 impl Args {

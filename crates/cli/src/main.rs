@@ -8,11 +8,13 @@
 //!               [--division fine|coarse] [--dist uniform|lintmp|exptmp]
 //!               [--regression] [--json] [--seed 42] [--spp 2]
 //!               [--trace-out trace.json] [--run-out run.json]
+//!               [--request-id ID] [--log-out FILE|-]
 //! zatel sweep --scene PARK --config mobile --ks 1,2,4 --percents 0.1,0.3,0.6
 //!             [--spec spec.json] [--cache-dir DIR] [--runs-out runs.jsonl]
 //!             [--reference] [--json]
 //! zatel serve [--addr 127.0.0.1:7878] [--workers 2] [--queue 64]
 //!             [--sim-jobs N] [--deadline-ms N] [--cache-dir DIR]
+//!             [--log-out FILE|-]
 //! zatel predict --url http://host:7878 ...   # same output, computed remotely
 //! zatel sweep --url http://host:7878 ...
 //! zatel report --run run.json [--history runs.jsonl] [--pgm heatmap.pgm]
@@ -100,6 +102,11 @@ fn print_help() {
            --progress          per-group progress lines + engine trace counters (stderr)\n\
            --trace-out FILE    write a Perfetto/Chrome-trace JSON timeline of the run\n\
            --run-out FILE      persist a zatel-run-v1 record for 'zatel report'\n\
+           --request-id ID     tag the run with a caller-chosen request ID\n\
+                               (default: a generated req-... ID); with --url the\n\
+                               ID travels as the x-zatel-request-id header\n\
+           --log-out DEST      emit one zatel-log-v1 JSONL line for the run to\n\
+                               DEST ('-' or 'stderr' for stderr, else a file)\n\
            --url URL           send the request to a 'zatel serve' instance at\n\
                                http://host:port instead of running locally; the\n\
                                output is identical to local mode\n\
@@ -130,6 +137,9 @@ fn print_help() {
            --deadline-ms N     default deadline for requests that carry none;\n\
                                requests queued past it answer 504\n\
            --cache-dir DIR     persist stage artifacts on disk across restarts\n\
+           --log-out DEST      zatel-log-v1 JSONL event log destination: one\n\
+                               line per request plus a drain summary (default\n\
+                               stderr; '-'/'stderr' or a file path)\n\
          \n\
          report options:\n\
            --run FILE          run record written by 'zatel predict --run-out';\n\
@@ -293,10 +303,18 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     let progress = args.flag("progress");
     let trace_out = args.get("trace-out");
     let run_out = args.get("run-out");
+    // Every prediction is traceable: the caller's --request-id or a
+    // generated req-... ID, threaded into the span sheet, the optional
+    // --log-out line and the --run-out record.
+    let request_id = args
+        .get("request-id")
+        .map(str::to_owned)
+        .unwrap_or_else(obs::log::request_id);
 
     // `--url`: ship the request to a `zatel serve` instance. The server
     // runs the same `execute_predict` seam this process would, so the
-    // rendered output is identical.
+    // rendered output is identical; the request ID travels as the
+    // x-zatel-request-id header and comes back echoed.
     if let Some(url) = args.get("url") {
         if progress || trace_out.is_some() || run_out.is_some() {
             return Err(
@@ -305,7 +323,12 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
                     .into(),
             );
         }
-        let reply = HttpClient::new(url)?.post_json("/v1/predict", &request.to_json())?;
+        let started = std::time::Instant::now();
+        let reply = HttpClient::new(url)?.post_json_with_headers(
+            "/v1/predict",
+            &request.to_json(),
+            &[("x-zatel-request-id", &request_id)],
+        )?;
         if reply.status != 200 {
             return Err(format!(
                 "server answered {}: {}",
@@ -315,6 +338,12 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         }
         let response = PredictResponse::from_json(&reply.json()?)
             .map_err(|e| format!("server response: {}", e.message))?;
+        emit_predict_log_line(
+            args,
+            &request_id,
+            &response,
+            started.elapsed().as_secs_f64() * 1000.0,
+        )?;
         return render_predict(args, &response);
     }
 
@@ -329,7 +358,15 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         });
     }
     let cache = zatel::ArtifactCache::in_memory();
-    let mut output = zatel_serve::execute_predict(&request, &cache).map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    let mut output = zatel_serve::execute_predict_traced(&request, &cache, Some(&request_id))
+        .map_err(|e| e.to_string())?;
+    emit_predict_log_line(
+        args,
+        &request_id,
+        &output.response,
+        started.elapsed().as_secs_f64() * 1000.0,
+    )?;
 
     if progress {
         let prediction = &output.prediction;
@@ -387,6 +424,46 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     }
 
     render_predict(args, &output.response)
+}
+
+/// When `--log-out` was given, appends one `zatel-log-v1` JSONL line
+/// describing the completed prediction (observational wall-clock only —
+/// the rendered result never depends on it).
+fn emit_predict_log_line(
+    args: &Args,
+    request_id: &str,
+    response: &PredictResponse,
+    wall_ms: f64,
+) -> Result<(), String> {
+    let Some(dest) = args.get("log-out") else {
+        return Ok(());
+    };
+    let logger = obs::Logger::for_destination(Some(dest), obs::LogLevel::Info)
+        .map_err(|e| format!("opening --log-out '{dest}': {e}"))?;
+    let cache_hits = response
+        .cache
+        .iter()
+        .filter(|record| {
+            matches!(
+                record.get("outcome").and_then(minijson::Value::as_str),
+                Some("memory" | "disk")
+            )
+        })
+        .count() as u64;
+    let mut fields = minijson::Map::new();
+    fields.insert("request_id".into(), minijson::json!(request_id));
+    fields.insert("scene".into(), minijson::json!(response.scene.as_str()));
+    fields.insert("res".into(), minijson::json!(response.res));
+    fields.insert("spp".into(), minijson::json!(response.spp));
+    fields.insert("seed".into(), minijson::json!(response.seed));
+    fields.insert("wall_ms".into(), minijson::json!(wall_ms));
+    fields.insert("cache_hits".into(), minijson::json!(cache_hits));
+    fields.insert(
+        "cache_stages".into(),
+        minijson::json!(response.cache.len() as u64),
+    );
+    logger.log(obs::LogLevel::Info, "predict", fields);
+    Ok(())
 }
 
 /// Renders a predict response — the one renderer both the local path and
@@ -680,6 +757,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating cache dir '{dir}': {e}"))?;
         config.cache_dir = Some(dir.to_owned());
     }
+    if let Some(dest) = args.get("log-out") {
+        config.log_out = Some(dest.to_owned());
+    }
 
     zatel_serve::signal::install();
     let server = Server::bind(config)?;
@@ -690,8 +770,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let report = server.run()?;
     eprintln!(
         "zatel serve: drained; {} request(s) admitted, {} refused at the queue, \
-         {} still in flight when the drain began",
-        report.admitted, report.refused, report.drained_in_flight
+         {} still in flight when the drain began; responses {} 2xx / {} 4xx / {} 5xx, \
+         peak queue depth {}",
+        report.admitted,
+        report.refused,
+        report.drained_in_flight,
+        report.responses_2xx,
+        report.responses_4xx,
+        report.responses_5xx,
+        report.peak_queue_depth
     );
     Ok(())
 }
@@ -757,6 +844,17 @@ fn run_record(
         minijson::Value::Array(prediction.spans.iter().map(ToJson::to_json).collect()),
     );
     rec.insert("metrics".into(), registry.to_json());
+    // Observational tracing/concurrency sections, deliberately separate
+    // from the deterministic "metrics" registry: the request ID and the
+    // sharded engine's wall-clock telemetry vary run to run.
+    if let Some(id) = &prediction.request_id {
+        rec.insert("request_id".into(), minijson::json!(id.as_str()));
+    }
+    if let Some(telemetry) = &prediction.concurrency {
+        let mut conc = obs::MetricsRegistry::new();
+        obs::export_telemetry(telemetry, &mut conc);
+        rec.insert("concurrency".into(), conc.to_json());
+    }
     if let Some(heatmap) = &prediction.heatmap {
         rec.insert("heatmap".into(), heatmap_to_json(heatmap));
     }

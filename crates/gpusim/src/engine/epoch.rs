@@ -26,6 +26,7 @@ use std::collections::{BTreeMap, VecDeque};
 use crate::config::GpuConfig;
 use crate::hooks::SimHooks;
 use crate::stats::SimStats;
+use crate::telemetry::SimTelemetry;
 use crate::workload::Workload;
 
 use super::core::Engine;
@@ -45,8 +46,10 @@ impl<'w> EpochDriver<'w> {
     }
 
     /// Runs the workload on `config.sim_threads` threads and returns stats
-    /// bit-identical to the serial engine's.
-    pub fn run<H: SimHooks>(self, hooks: &mut H) -> SimStats {
+    /// bit-identical to the serial engine's, paired with the run's
+    /// concurrency telemetry (an observational wall-clock side channel
+    /// that never feeds back into the stats or hook stream).
+    pub fn run<H: SimHooks>(self, hooks: &mut H) -> (SimStats, SimTelemetry) {
         let num_sms = self.config.num_sms as usize;
         let shard_count = (self.config.sim_threads.max(2) as usize - 1).min(num_sms);
         let threads = self.workload.thread_count();
@@ -83,9 +86,13 @@ impl<'w> EpochDriver<'w> {
         let workload = self.workload;
         std::thread::scope(|scope| {
             let router = &router;
-            for (shard, plan) in plans.into_iter().enumerate() {
-                scope.spawn(move || run_shard(router, shard, workload, line_bytes, plan));
-            }
+            let handles: Vec<_> = plans
+                .into_iter()
+                .enumerate()
+                .map(|(shard, plan)| {
+                    scope.spawn(move || run_shard(router, shard, workload, line_bytes, plan))
+                })
+                .collect();
             // If the commit loop unwinds (a hook or the timing model
             // panicked), poison the seams so the scope can join the
             // shards instead of deadlocking on them.
@@ -94,8 +101,32 @@ impl<'w> EpochDriver<'w> {
                 router,
                 shard_of_sm,
                 local: BTreeMap::new(),
+                take_waits: 0,
+                take_wait_us: 0,
             };
-            Engine::new(self.config, hooks).run(threads, &mut source)
+            // zatel-lint: allow(wall-clock, reason = "audited commit telemetry: measures the commit loop from outside it; the value lands only in SimTelemetry")
+            let commit_start = std::time::Instant::now();
+            let stats = Engine::new(self.config, hooks).run(threads, &mut source);
+            let commit_wall_us = commit_start.elapsed().as_micros() as u64;
+            let mut shards = Vec::with_capacity(shard_count);
+            for handle in handles {
+                match handle.join() {
+                    Ok(telemetry) => shards.push(telemetry),
+                    // A shard that panicked without reaching the commit
+                    // loop (which normally re-raises via the poisoned
+                    // seam): surface its panic instead of swallowing it.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            let telemetry = SimTelemetry {
+                runs: 1,
+                shard_count,
+                shards,
+                commit_wall_us,
+                commit_take_waits: source.take_waits,
+                commit_wait_us: source.take_wait_us,
+            };
+            (stats, telemetry)
         })
     }
 }
@@ -109,6 +140,11 @@ struct RoutedSource<'r> {
     shard_of_sm: Vec<(usize, usize)>,
     /// Phases taken from the seams but not yet consumed, per warp.
     local: BTreeMap<u64, VecDeque<DecodedPhase>>,
+    /// Seam takes issued (each may block on the owning shard).
+    take_waits: u64,
+    /// Wall-clock spent inside seam takes, in microseconds. Observational
+    /// only — never consulted by the commit loop.
+    take_wait_us: u64,
 }
 
 impl PhaseSource for RoutedSource<'_> {
@@ -128,9 +164,13 @@ impl PhaseSource for RoutedSource<'_> {
                 }
             }
             let (shard, _) = self.shard_of_sm[sm];
+            self.take_waits += 1;
+            // zatel-lint: allow(wall-clock, reason = "audited commit telemetry: brackets a blocking seam take whose outcome is already determined; accumulates into the side channel only")
+            let wait_start = std::time::Instant::now();
             // Blocks until the shard publishes something for this warp;
             // always returns a non-empty batch.
             let batch = self.router.take_phases(shard, warp_id);
+            self.take_wait_us += wait_start.elapsed().as_micros() as u64;
             self.local.insert(warp_id, batch);
         }
     }
@@ -228,6 +268,39 @@ mod tests {
         cfg.sim_threads = 1;
         let serial = Simulator::new(cfg).run(&w);
         assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn instrumented_run_reports_telemetry_without_changing_stats() {
+        let w = stress_workload();
+        let serial = Simulator::new(GpuConfig::mobile_soc()).run(&w);
+        let mut cfg = GpuConfig::mobile_soc();
+        cfg.sim_threads = 4;
+        let (stats, telemetry) =
+            Simulator::new(cfg).run_instrumented(&w, &mut crate::hooks::NullHooks);
+        assert_eq!(serial, stats, "telemetry collection must not change stats");
+        let t = telemetry.expect("sharded run returns telemetry");
+        assert_eq!(t.shard_count, 3, "sim_threads=4 -> 3 decode shards");
+        assert_eq!(t.shards.len(), 3);
+        assert!(
+            t.decoded_phases() > 0,
+            "every phase the commit loop consumed was decoded by a shard"
+        );
+        assert!(t.commit_take_waits > 0, "the seam was taken at least once");
+        assert!(
+            t.shards.iter().all(|s| s.admission_depth.count > 0),
+            "each shard sampled its seam depth"
+        );
+        let occ = t.commit_occupancy();
+        assert!((0.0..=1.0).contains(&occ), "occupancy is a fraction: {occ}");
+    }
+
+    #[test]
+    fn serial_run_has_no_telemetry() {
+        let w = stress_workload();
+        let (_, telemetry) = Simulator::new(GpuConfig::mobile_soc())
+            .run_instrumented(&w, &mut crate::hooks::NullHooks);
+        assert!(telemetry.is_none());
     }
 
     #[test]

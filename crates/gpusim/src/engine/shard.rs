@@ -12,6 +12,7 @@
 use std::collections::BTreeMap;
 
 use crate::core::warp::Warp;
+use crate::telemetry::ShardTelemetry;
 use crate::workload::Workload;
 
 use super::decode::{decode_one, DecodedPhase, WarpDesc};
@@ -36,16 +37,21 @@ pub(crate) struct ShardPlan {
     pub lookahead: usize,
 }
 
-/// Runs one shard's decode loop to completion (or until the run aborts).
-/// Called on the shard's worker thread.
+/// Runs one shard's decode loop to completion (or until the run aborts),
+/// returning what the shard measured about itself. Called on the shard's
+/// worker thread. The telemetry is observational only: nothing in it feeds
+/// back into decode or admission decisions.
 pub(crate) fn run_shard(
     router: &ShardRouter,
     shard: usize,
     workload: &dyn Workload,
     line_bytes: u32,
     plan: ShardPlan,
-) {
+) -> ShardTelemetry {
     let _guard = AbortOnPanic(router);
+    let mut telemetry = ShardTelemetry::default();
+    // zatel-lint: allow(wall-clock, reason = "audited shard telemetry: wall-clock accumulates only into the ShardTelemetry side channel, never into decode or admission state")
+    let run_start = std::time::Instant::now();
     // Decode programs of warps currently being decoded, plus how many
     // warps of each SM's list have started decoding.
     let mut warps: BTreeMap<u64, Warp<'_>> = BTreeMap::new();
@@ -53,6 +59,9 @@ pub(crate) fn run_shard(
     let mut started = vec![0usize; plan.launch_lists.len()];
     loop {
         let adm = router.admission(shard);
+        telemetry
+            .admission_depth
+            .observe(adm.buffered.values().map(|&n| n as u64).sum());
         // Admit warps up to the watermark: list position < launched +
         // lookahead. The commit loop raises `launched` as slots free up.
         for (i, list) in plan.launch_lists.iter().enumerate() {
@@ -89,6 +98,8 @@ pub(crate) fn run_shard(
                     break;
                 }
             }
+            telemetry.decoded_phases += batch.len() as u64;
+            telemetry.publishes += 1;
             router.publish(shard, warp_id, batch);
             progressed = true;
         }
@@ -103,15 +114,30 @@ pub(crate) fn run_shard(
                 .all(|(&s, l)| s == l.len())
         {
             router.finish(shard);
-            return;
+            return finalize(telemetry, run_start);
         }
         // Nothing decodable: every active warp's window is full and no
         // warp is admissible. Sleep until the commit loop moves the epoch
         // (consumes or launches); the ticket makes the sleep race-free.
-        if !progressed && !router.wait_for_epoch(shard, adm.epoch) {
-            return; // aborted
+        if !progressed {
+            telemetry.stall_waits += 1;
+            // zatel-lint: allow(wall-clock, reason = "audited shard telemetry: stall wall-clock is recorded after the wait decision was already made, side channel only")
+            let wait_start = std::time::Instant::now();
+            let alive = router.wait_for_epoch(shard, adm.epoch);
+            telemetry.stall_wall_us += wait_start.elapsed().as_micros() as u64;
+            if !alive {
+                return finalize(telemetry, run_start); // aborted
+            }
         }
     }
+}
+
+/// Closes out a shard's telemetry: decode wall is the shard's total wall
+/// minus the time it spent asleep on the epoch ticket.
+fn finalize(mut telemetry: ShardTelemetry, run_start: std::time::Instant) -> ShardTelemetry {
+    let total_us = run_start.elapsed().as_micros() as u64;
+    telemetry.decode_wall_us = total_us.saturating_sub(telemetry.stall_wall_us);
+    telemetry
 }
 
 #[cfg(test)]

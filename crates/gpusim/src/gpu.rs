@@ -4,6 +4,7 @@ use crate::config::GpuConfig;
 use crate::engine::{Engine, EpochDriver, SerialSource};
 use crate::hooks::{NullHooks, SimHooks};
 use crate::stats::SimStats;
+use crate::telemetry::SimTelemetry;
 use crate::workload::Workload;
 
 /// The cycle-level GPU simulator.
@@ -70,15 +71,33 @@ impl Simulator {
     /// serial engine for every thread count; hooks still fire on the
     /// calling thread only.
     pub fn run_with_hooks<H: SimHooks>(&self, workload: &dyn Workload, hooks: &mut H) -> SimStats {
+        self.run_instrumented(workload, hooks).0
+    }
+
+    /// Runs `workload` like [`Simulator::run_with_hooks`], additionally
+    /// returning the run's concurrency telemetry when the sharded engine
+    /// executed it (`sim_threads > 1`); serial runs return `None`.
+    ///
+    /// The telemetry is an observational wall-clock side channel
+    /// ([`SimTelemetry`]): collecting it never changes the returned
+    /// statistics, the hook event order, or any serialized output — the
+    /// stats are bit-identical to [`Simulator::run`] in every mode.
+    pub fn run_instrumented<H: SimHooks>(
+        &self,
+        workload: &dyn Workload,
+        hooks: &mut H,
+    ) -> (SimStats, Option<SimTelemetry>) {
         if self.config.sim_threads > 1 {
-            EpochDriver::new(&self.config, workload).run(hooks)
+            let (stats, telemetry) = EpochDriver::new(&self.config, workload).run(hooks);
+            (stats, Some(telemetry))
         } else {
             let mut source = SerialSource::new(
                 workload,
                 self.config.num_sms as usize,
                 self.config.l1d.line_bytes,
             );
-            Engine::new(&self.config, hooks).run(workload.thread_count(), &mut source)
+            let stats = Engine::new(&self.config, hooks).run(workload.thread_count(), &mut source);
+            (stats, None)
         }
     }
 }

@@ -50,6 +50,7 @@ mod gpu;
 pub mod hooks;
 pub mod mem;
 pub mod stats;
+pub mod telemetry;
 pub mod workload;
 
 pub use config::{gcd, CacheConfig, DownscaleError, GpuConfig};
@@ -58,4 +59,5 @@ pub use hooks::{
     CacheLevel, NullHooks, PhaseClass, SimHooks, TraceCounters, TraceHooks, TraceSlice,
 };
 pub use stats::{CombineRule, Metric, SimStats};
+pub use telemetry::{DepthHistogram, ShardTelemetry, SimTelemetry};
 pub use workload::{MemSpace, Op, ThreadProgram, Workload};

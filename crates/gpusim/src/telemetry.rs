@@ -1,0 +1,258 @@
+//! Concurrency telemetry for the sharded engine.
+//!
+//! A [`SimTelemetry`] is the *observational* side channel of a
+//! `sim_threads > 1` run: per-shard decode wall time and decoded-phase
+//! counts, epoch stall counters, seam-depth distributions and commit-loop
+//! occupancy. It answers "where did the threaded wall-clock go?" — the
+//! measurement the sharding roadmap item needs before splitting the commit
+//! loop further.
+//!
+//! Everything here is plain data deliberately disjoint from
+//! [`SimStats`](crate::stats::SimStats): telemetry carries host wall-clock and so must
+//! never feed a fingerprint, a hook stream or any timing decision. The
+//! `zatel-lint` `obs-seam` rule enforces the other direction of that
+//! boundary — no observability-crate types inside the engine — which is why
+//! these types live in `gpusim` itself and are converted to metrics at the
+//! pipeline layer.
+
+/// The log2 bucket index of `value`: bucket 0 holds 0, bucket `i > 0`
+/// holds `[2^(i-1), 2^i - 1]`.
+///
+/// Deliberately identical to `obs::registry::bucket_of` so a
+/// [`DepthHistogram`] converts loss-free into an obs histogram (the obs
+/// crate pins the equivalence in a test).
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// A log2-bucket histogram of `u64` samples, mirroring the bucket layout
+/// of the obs metrics registry without depending on it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepthHistogram {
+    /// Per-bucket sample counts, index = [`bucket_of`] the sample.
+    pub buckets: Vec<u64>,
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (meaningful only when `count > 0`).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl DepthHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        DepthHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        let idx = bucket_of(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = if self.count == 0 {
+            value
+        } else {
+            self.min.min(value)
+        };
+        self.max = self.max.max(value);
+        self.count += 1;
+    }
+
+    /// Adds all samples of `other` into `self`.
+    pub fn merge(&mut self, other: &DepthHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.count += other.count;
+    }
+}
+
+/// What one decode shard measured about itself over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardTelemetry {
+    /// Wall-clock spent actively decoding/publishing, in microseconds
+    /// (total shard wall minus epoch-stall wall).
+    pub decode_wall_us: u64,
+    /// Phases decoded and published by this shard.
+    pub decoded_phases: u64,
+    /// Seam batches published.
+    pub publishes: u64,
+    /// Times the shard went to sleep on the epoch ticket (nothing
+    /// decodable: every window full, no warp admissible).
+    pub stall_waits: u64,
+    /// Wall-clock spent asleep waiting for an epoch bump, in microseconds.
+    pub stall_wall_us: u64,
+    /// Distribution of this shard's total buffered seam depth, sampled
+    /// once per decode round.
+    pub admission_depth: DepthHistogram,
+}
+
+impl ShardTelemetry {
+    /// Adds `other`'s counters and samples into `self`, for aggregating
+    /// the same shard rank across runs.
+    pub fn merge(&mut self, other: &ShardTelemetry) {
+        self.decode_wall_us += other.decode_wall_us;
+        self.decoded_phases += other.decoded_phases;
+        self.publishes += other.publishes;
+        self.stall_waits += other.stall_waits;
+        self.stall_wall_us += other.stall_wall_us;
+        self.admission_depth.merge(&other.admission_depth);
+    }
+}
+
+/// Concurrency telemetry of one sharded run (or several merged runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimTelemetry {
+    /// Simulation runs merged into this record.
+    pub runs: u64,
+    /// Decode shard count of the run (`(sim_threads - 1).min(num_sms)`).
+    pub shard_count: usize,
+    /// Per-shard measurements, indexed by shard rank.
+    pub shards: Vec<ShardTelemetry>,
+    /// Wall-clock of the commit loop (the calling thread's
+    /// `Engine::run`), in microseconds.
+    pub commit_wall_us: u64,
+    /// Seam takes issued by the commit loop (each may block until the
+    /// owning shard publishes).
+    pub commit_take_waits: u64,
+    /// Wall-clock the commit loop spent inside seam takes, in
+    /// microseconds.
+    pub commit_wait_us: u64,
+}
+
+impl SimTelemetry {
+    /// Total decode wall-clock across shards, in microseconds.
+    pub fn decode_wall_us(&self) -> u64 {
+        self.shards.iter().map(|s| s.decode_wall_us).sum()
+    }
+
+    /// Total phases decoded across shards.
+    pub fn decoded_phases(&self) -> u64 {
+        self.shards.iter().map(|s| s.decoded_phases).sum()
+    }
+
+    /// Total epoch stalls across shards.
+    pub fn stall_waits(&self) -> u64 {
+        self.shards.iter().map(|s| s.stall_waits).sum()
+    }
+
+    /// Fraction of the commit loop's wall-clock spent committing rather
+    /// than blocked on seam takes (0 when unmeasured).
+    pub fn commit_occupancy(&self) -> f64 {
+        if self.commit_wall_us == 0 {
+            0.0
+        } else {
+            self.commit_wall_us.saturating_sub(self.commit_wait_us) as f64
+                / self.commit_wall_us as f64
+        }
+    }
+
+    /// Folds `other` into `self` (counters add, shard ranks merge
+    /// pairwise), for aggregating the groups of one pipeline run.
+    pub fn merge(&mut self, other: &SimTelemetry) {
+        self.runs += other.runs.max(1);
+        self.shard_count = self.shard_count.max(other.shard_count);
+        if other.shards.len() > self.shards.len() {
+            self.shards
+                .resize_with(other.shards.len(), ShardTelemetry::default);
+        }
+        for (mine, theirs) in self.shards.iter_mut().zip(&other.shards) {
+            mine.merge(theirs);
+        }
+        self.commit_wall_us += other.commit_wall_us;
+        self.commit_take_waits += other.commit_take_waits;
+        self.commit_wait_us += other.commit_wait_us;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_matches_documented_layout() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(256), 9);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn depth_histogram_observe_and_merge() {
+        let mut a = DepthHistogram::new();
+        for v in [0u64, 1, 7, 300] {
+            a.observe(v);
+        }
+        assert_eq!((a.count, a.sum, a.min, a.max), (4, 308, 0, 300));
+        assert_eq!(a.buckets[0], 1);
+        assert_eq!(a.buckets[3], 1, "7 lands in [4,7]");
+        let mut b = DepthHistogram::new();
+        b.observe(1000);
+        a.merge(&b);
+        assert_eq!((a.count, a.max), (5, 1000));
+        a.merge(&DepthHistogram::new());
+        assert_eq!(a.count, 5, "merging empty is a no-op");
+    }
+
+    #[test]
+    fn sim_telemetry_merge_aggregates_groups() {
+        let one = SimTelemetry {
+            runs: 1,
+            shard_count: 2,
+            shards: vec![
+                ShardTelemetry {
+                    decode_wall_us: 10,
+                    decoded_phases: 100,
+                    publishes: 4,
+                    stall_waits: 1,
+                    stall_wall_us: 5,
+                    admission_depth: DepthHistogram::new(),
+                },
+                ShardTelemetry::default(),
+            ],
+            commit_wall_us: 100,
+            commit_take_waits: 8,
+            commit_wait_us: 25,
+        };
+        let mut total = SimTelemetry::default();
+        total.merge(&one);
+        total.merge(&one);
+        assert_eq!(total.runs, 2);
+        assert_eq!(total.shard_count, 2);
+        assert_eq!(total.decode_wall_us(), 20);
+        assert_eq!(total.decoded_phases(), 200);
+        assert_eq!(total.stall_waits(), 2);
+        assert_eq!(total.commit_wall_us, 200);
+        assert_eq!(total.commit_occupancy(), 0.75);
+    }
+
+    #[test]
+    fn commit_occupancy_handles_unmeasured_runs() {
+        assert_eq!(SimTelemetry::default().commit_occupancy(), 0.0);
+    }
+}

@@ -30,6 +30,7 @@
 //!     result_affecting: false,
 //!     unsafe_allowed: false,
 //!     thread_allowed: false,
+//!     obs_banned: false,
 //! };
 //! let findings = rules::scan_lines("f.rs", &scanned, &kind);
 //! assert_eq!(findings.len(), 1);
@@ -61,6 +62,10 @@ pub struct FileKind {
     /// The file is on the thread allow-list: an audited seam that may
     /// create threads despite being result-affecting.
     pub thread_allowed: bool,
+    /// Observability types (loggers, registries, span sheets) are banned
+    /// in this file: it is an engine decode/commit path that may be
+    /// observed only through the hook seam.
+    pub obs_banned: bool,
 }
 
 /// One audited exception to the `thread-seam` rule: a result-affecting
@@ -136,6 +141,13 @@ pub struct LintConfig {
     /// Result-affecting files audited to create threads (the
     /// `thread-seam` rule), each with its review reason.
     pub thread_allow: Vec<ThreadAllowance>,
+    /// Path prefixes where naming observability types is banned (the
+    /// `obs-seam` rule): engine decode/commit paths that may be observed
+    /// only through the hook seam.
+    pub obs_ban: Vec<String>,
+    /// Exact files exempt from `obs_ban` — the audited hook-seam bridge
+    /// files themselves.
+    pub obs_allow: Vec<String>,
     /// The observability-seam contract to audit, if any.
     pub seam: Option<SeamSpec>,
 }
@@ -179,6 +191,11 @@ impl LintConfig {
             // the libc `signal()` already linked by std — the one unsafe
             // block the workspace accepts (audited in-file).
             unsafe_allow: vec!["crates/serve/src/signal.rs".to_owned()],
+            // The whole engine crate is an obs-free zone: decode shards,
+            // the epoch commit loop and the cores may be observed only
+            // through the SimHooks seam. hooks.rs is the seam itself.
+            obs_ban: vec!["crates/gpusim/src".to_owned()],
+            obs_allow: vec!["crates/gpusim/src/hooks.rs".to_owned()],
             thread_allow: vec![ThreadAllowance {
                 path: "crates/gpusim/src/engine/epoch.rs".to_owned(),
                 reason: "the audited sharded-engine seam: decode shards spawned \
@@ -235,11 +252,17 @@ impl LintConfig {
             .thread_allow
             .iter()
             .any(|a| a.path == rel && !a.reason.trim().is_empty());
+        let obs_banned = self
+            .obs_ban
+            .iter()
+            .any(|p| rel == p || rel.starts_with(&format!("{p}/")))
+            && !self.obs_allow.iter().any(|p| p == rel);
         FileKind {
             test_context,
             result_affecting,
             unsafe_allowed,
             thread_allowed,
+            obs_banned,
         }
     }
 }
@@ -598,6 +621,23 @@ mod tests {
         assert!(c.kind_of("crates/gpusim/tests/x.rs").test_context);
         assert!(c.kind_of("examples/quickstart.rs").test_context);
         assert!(!c.kind_of("crates/zatel/src/select.rs").test_context);
+    }
+
+    #[test]
+    fn obs_ban_covers_the_engine_except_the_hook_seam() {
+        let c = LintConfig::zatel_workspace("/does-not-matter");
+        assert!(c.kind_of("crates/gpusim/src/engine/core.rs").obs_banned);
+        assert!(c.kind_of("crates/gpusim/src/engine/shard.rs").obs_banned);
+        assert!(c.kind_of("crates/gpusim/src/engine/epoch.rs").obs_banned);
+        assert!(
+            !c.kind_of("crates/gpusim/src/hooks.rs").obs_banned,
+            "the hook seam itself is the audited bridge"
+        );
+        assert!(
+            !c.kind_of("crates/zatel/src/stages.rs").obs_banned,
+            "pipeline orchestration may hold span sheets"
+        );
+        assert!(!c.kind_of("crates/obs/src/log.rs").obs_banned);
     }
 
     #[test]

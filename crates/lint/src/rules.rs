@@ -23,19 +23,24 @@ pub const HOOK_SEAM: &str = "hook-seam";
 /// Rule: thread creation (`spawn`/`channel`) in result-affecting code
 /// outside the audited sharded-engine seam.
 pub const THREAD_SEAM: &str = "thread-seam";
+/// Rule: observability types (loggers, metrics registries, span sheets)
+/// reached into the engine's decode/commit paths instead of going
+/// through the hook seam.
+pub const OBS_SEAM: &str = "obs-seam";
 /// Rule: a waiver that no longer suppresses anything.
 pub const STALE_WAIVER: &str = "stale-waiver";
 /// Rule: a waiver missing its rule list or `reason = "..."`.
 pub const MALFORMED_WAIVER: &str = "malformed-waiver";
 
 /// Every rule the engine knows, in diagnostic order.
-pub const ALL_RULES: [&str; 8] = [
+pub const ALL_RULES: [&str; 9] = [
     HASH_COLLECTION,
     WALL_CLOCK,
     PANIC_HYGIENE,
     UNSAFE_CODE,
     HOOK_SEAM,
     THREAD_SEAM,
+    OBS_SEAM,
     STALE_WAIVER,
     MALFORMED_WAIVER,
 ];
@@ -83,6 +88,12 @@ fn followed_by_now(code: &str, end: usize) -> bool {
     rest.starts_with("::now")
 }
 
+/// Does a `::` path separator follow the identifier ending at `end`?
+fn followed_by_path_sep(code: &str, end: usize) -> bool {
+    let rest: String = code[end..].chars().filter(|c| !c.is_whitespace()).collect();
+    rest.starts_with("::")
+}
+
 /// Runs the per-line rules over one scanned file.
 ///
 /// `in_test_context` marks whole files that are test collateral
@@ -99,6 +110,9 @@ pub fn scan_lines(file: &str, scanned: &ScannedFile, kind: &FileKind) -> Vec<Fin
             if !kind.thread_allowed {
                 thread_seam(file, lineno, line, &mut findings);
             }
+        }
+        if kind.obs_banned && !in_test {
+            obs_seam(file, lineno, line, &mut findings);
         }
         if !in_test {
             panic_hygiene(file, lineno, line, &mut findings);
@@ -212,6 +226,42 @@ fn thread_seam(file: &str, lineno: u32, line: &Line, findings: &mut Vec<Finding>
                      created inside the audited sharded-engine seam; route the \
                      work through `EpochDriver`, or add a `thread_allow` entry \
                      with its audit reason",
+                    at_item(line)
+                ),
+            ));
+        }
+    }
+}
+
+/// `obs-seam`: observability types named inside the engine's
+/// decode/commit paths. The engine stays loggable without being able to
+/// *see* its observers: every logger, metrics registry, span sheet or
+/// timeline reaches it only through the `SimHooks` seam (audited by
+/// `hook-seam`), so instrumentation can never perturb — or depend on —
+/// result-affecting state. A direct mention of an observability type in a
+/// banned path is structural drift even when the call looks harmless.
+fn obs_seam(file: &str, lineno: u32, line: &Line, findings: &mut Vec<Finding>) {
+    for (pos, ident) in idents(&line.code) {
+        let end = pos + ident.len();
+        let hit = match ident {
+            "ObsHooks" | "Logger" | "MetricsRegistry" | "SpanSheet" | "SpanGuard" | "Timeline" => {
+                true
+            }
+            // Any path into the obs crate, e.g. `obs::log::event_line`.
+            "obs" => followed_by_path_sep(&line.code, end),
+            _ => false,
+        };
+        if hit {
+            findings.push(Finding::new(
+                OBS_SEAM,
+                file,
+                lineno,
+                format!(
+                    "`{ident}` inside the engine's decode/commit paths{}: \
+                     observability may reach the engine only through the \
+                     `SimHooks` seam; move the logging/timing into an observer \
+                     (or the caller), or add an `obs_allow` entry with its \
+                     audit reason",
                     at_item(line)
                 ),
             ));
@@ -531,6 +581,7 @@ mod tests {
             result_affecting: true,
             unsafe_allowed: false,
             thread_allowed: false,
+            obs_banned: false,
         }
     }
 
@@ -625,6 +676,34 @@ mod tests {
         assert!(scan_lines("f.rs", &f, &orchestration)
             .iter()
             .all(|f| f.rule != THREAD_SEAM));
+    }
+
+    #[test]
+    fn obs_seam_matches_types_and_crate_paths_only_when_banned() {
+        let f = scan(concat!(
+            "let sheet = SpanSheet::default();\n",         // 1: hit (type)
+            "let line = obs::log::event_line(l, e, m);\n", // 2: hit (obs::)
+            "let g = registry.observe(\"x\", 1);\n",       // 3: plain ident
+            "let observer = 3;\n",                         // 4: prefix only
+            "// a Logger mentioned in a comment\n",        // 5: comment
+            "fn takes(r: &mut MetricsRegistry) {}\n",      // 6: hit (type)
+        ));
+        let banned = FileKind {
+            obs_banned: true,
+            ..kinds()
+        };
+        let hits: Vec<u32> = scan_lines("f.rs", &f, &banned)
+            .iter()
+            .filter(|f| f.rule == OBS_SEAM)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(hits, vec![1, 2, 6]);
+        assert!(
+            scan_lines("f.rs", &f, &kinds())
+                .iter()
+                .all(|f| f.rule != OBS_SEAM),
+            "without the ban the rule stays silent"
+        );
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! Fixture: an engine-path module reaching for observability types
+//! directly. A `SpanSheet` or `Logger` in a doc comment must not fire.
+
+pub struct Leak {
+    pub sheet: obs::span::SpanSheet,
+}
+
+pub fn decode_with_metrics(registry: &mut MetricsRegistry) {
+    let _guard = SpanGuard::enter("decode");
+    let _ = registry;
+}
+
+pub fn commit_with_log(timeline: &Timeline, logger: &Logger) {
+    let _ = (timeline, logger);
+}
+
+// zatel-lint: allow(obs-seam, reason = "fixture: audited bridge call")
+pub fn waived_hook(hooks: &dyn ObsHooks) {
+    let _ = hooks;
+}
+
+pub fn obs_traps() -> &'static str {
+    // A Logger or MetricsRegistry in a comment must not fire.
+    let observer = 1;
+    let obstacle = "obs::log and MetricsRegistry inside a string";
+    let obs = observer;
+    let _ = (obs, obstacle);
+    "ok"
+}

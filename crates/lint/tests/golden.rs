@@ -16,7 +16,8 @@ fn fixture_root(name: &str) -> PathBuf {
 }
 
 /// The fixture-workspace config: `src/core.rs` is result-affecting,
-/// `src/audited.rs` may contain `unsafe`, no seam.
+/// `src/audited.rs` may contain `unsafe`, `src/obs_leak.rs` is an
+/// obs-banned engine path, no seam.
 fn ws1_config() -> LintConfig {
     LintConfig {
         root: fixture_root("ws1"),
@@ -24,6 +25,8 @@ fn ws1_config() -> LintConfig {
         result_affecting: vec!["src/core.rs".to_owned()],
         unsafe_allow: vec!["src/audited.rs".to_owned()],
         thread_allow: vec![],
+        obs_ban: vec!["src/obs_leak.rs".to_owned()],
+        obs_allow: vec![],
         seam: None,
     }
 }
@@ -76,6 +79,13 @@ fn fixture_violations_have_expected_spans() {
     assert!(has("src/lib.rs", "panic-hygiene", 21), "panic! macro");
     assert!(has("src/core.rs", "thread-seam", 43), "thread::spawn");
     assert!(has("src/core.rs", "thread-seam", 44), "mpsc::channel");
+    assert!(has("src/obs_leak.rs", "obs-seam", 5), "obs:: path");
+    assert!(
+        has("src/obs_leak.rs", "obs-seam", 8),
+        "MetricsRegistry param"
+    );
+    assert!(has("src/obs_leak.rs", "obs-seam", 9), "SpanGuard call");
+    assert!(has("src/obs_leak.rs", "obs-seam", 13), "Timeline + Logger");
 
     // The traps: strings, comments, doc comments, unwrap_or, cfg(test),
     // test files, the allowlisted unsafe file and the waived unwrap must
@@ -102,7 +112,23 @@ fn fixture_violations_have_expected_spans() {
         core_threads, 2,
         "spawn + channel, nothing from the thread traps"
     );
-    assert_eq!(report.waived, 1);
+    let obs_leaks = spans
+        .iter()
+        .filter(|(f, r, _)| f == "src/obs_leak.rs" && r == "obs-seam")
+        .count();
+    assert_eq!(
+        obs_leaks, 6,
+        "obs + SpanSheet, registry, guard, timeline + logger; traps silent"
+    );
+    assert!(
+        !has("src/obs_leak.rs", "obs-seam", 18),
+        "waived ObsHooks bridge"
+    );
+    assert!(
+        !has("src/obs_leak.rs", "obs-seam", 26),
+        "a bare `obs` binding without `::` stays silent"
+    );
+    assert_eq!(report.waived, 2);
 }
 
 #[test]

@@ -1,0 +1,153 @@
+//! Bridge from the engine's concurrency telemetry to the metrics registry.
+//!
+//! `gpusim` keeps its [`SimTelemetry`] as plain data so the engine never
+//! depends on obs types (the `zatel-lint` `obs-seam` rule enforces this).
+//! This module is the other side of that seam: it flattens a telemetry
+//! record into namespaced registry metrics so concurrency measurements flow
+//! into Prometheus (`zatel serve /metrics`), `zatel-run-v1` reports and the
+//! `zatel report` concurrency section.
+//!
+//! Everything exported here is host wall-clock derived and therefore lives
+//! in its own registry, separate from the deterministic simulation metrics
+//! snapshot.
+
+use gpusim::telemetry::SimTelemetry;
+
+use crate::registry::{Histogram, MetricsRegistry};
+
+/// The metric the report renderer keys the concurrency section off.
+pub const COMMIT_WALL_METRIC: &str = "sim_commit_wall_us";
+
+/// Flattens `telemetry` into `registry` under the `sim_*` namespace:
+///
+/// * gauges `sim_shards`;
+/// * counters `sim_runs`, `sim_commit_wall_us`, `sim_commit_take_waits`,
+///   `sim_commit_wait_us`;
+/// * per-shard counters `sim_shard<rank>_{decode_wall_us, decoded_phases,
+///   publishes, stall_waits, stall_wall_us}`;
+/// * histogram `sim_admission_depth` (merged across shards).
+///
+/// Calling it repeatedly (one call per simulated group) accumulates:
+/// counters add and the depth histogram merges, matching
+/// [`SimTelemetry::merge`] semantics.
+pub fn export_telemetry(telemetry: &SimTelemetry, registry: &mut MetricsRegistry) {
+    registry.counter_add("sim_runs", telemetry.runs.max(1));
+    registry.gauge_set("sim_shards", telemetry.shard_count as f64);
+    registry.counter_add(COMMIT_WALL_METRIC, telemetry.commit_wall_us);
+    registry.counter_add("sim_commit_take_waits", telemetry.commit_take_waits);
+    registry.counter_add("sim_commit_wait_us", telemetry.commit_wait_us);
+    for (rank, shard) in telemetry.shards.iter().enumerate() {
+        registry.counter_add(
+            &format!("sim_shard{rank}_decode_wall_us"),
+            shard.decode_wall_us,
+        );
+        registry.counter_add(
+            &format!("sim_shard{rank}_decoded_phases"),
+            shard.decoded_phases,
+        );
+        registry.counter_add(&format!("sim_shard{rank}_publishes"), shard.publishes);
+        registry.counter_add(&format!("sim_shard{rank}_stall_waits"), shard.stall_waits);
+        registry.counter_add(
+            &format!("sim_shard{rank}_stall_wall_us"),
+            shard.stall_wall_us,
+        );
+        let depth = &shard.admission_depth;
+        registry.histogram_merge(
+            "sim_admission_depth",
+            &Histogram::from_log2_buckets(
+                &depth.buckets,
+                depth.count,
+                depth.sum,
+                depth.min,
+                depth.max,
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricKind;
+    use gpusim::telemetry::{DepthHistogram, ShardTelemetry};
+
+    fn sample() -> SimTelemetry {
+        let mut depth = DepthHistogram::new();
+        depth.observe(0);
+        depth.observe(5);
+        SimTelemetry {
+            runs: 1,
+            shard_count: 2,
+            shards: vec![
+                ShardTelemetry {
+                    decode_wall_us: 120,
+                    decoded_phases: 64,
+                    publishes: 2,
+                    stall_waits: 1,
+                    stall_wall_us: 30,
+                    admission_depth: depth,
+                },
+                ShardTelemetry::default(),
+            ],
+            commit_wall_us: 400,
+            commit_take_waits: 16,
+            commit_wait_us: 100,
+        }
+    }
+
+    #[test]
+    fn bucket_layouts_are_identical_across_crates() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 255, 256, 1 << 40, u64::MAX] {
+            assert_eq!(
+                gpusim::telemetry::bucket_of(v),
+                crate::registry::bucket_of(v),
+                "bucket_of({v}) must agree so DepthHistogram converts loss-free"
+            );
+        }
+    }
+
+    #[test]
+    fn export_flattens_every_field() {
+        let mut reg = MetricsRegistry::new();
+        export_telemetry(&sample(), &mut reg);
+        assert_eq!(reg.get("sim_runs"), Some(&MetricKind::Counter(1)));
+        assert_eq!(reg.get("sim_shards"), Some(&MetricKind::Gauge(2.0)));
+        assert_eq!(
+            reg.get("sim_commit_wall_us"),
+            Some(&MetricKind::Counter(400))
+        );
+        assert_eq!(
+            reg.get("sim_shard0_decode_wall_us"),
+            Some(&MetricKind::Counter(120))
+        );
+        assert_eq!(
+            reg.get("sim_shard1_decode_wall_us"),
+            Some(&MetricKind::Counter(0))
+        );
+        match reg.get("sim_admission_depth") {
+            Some(MetricKind::Histogram(h)) => {
+                assert_eq!(h.count(), 2);
+                assert_eq!(h.sum(), 5);
+                assert_eq!(h.max(), 5);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_export_accumulates_like_merge() {
+        let mut via_export = MetricsRegistry::new();
+        export_telemetry(&sample(), &mut via_export);
+        export_telemetry(&sample(), &mut via_export);
+        let mut merged = SimTelemetry::default();
+        merged.merge(&sample());
+        merged.merge(&sample());
+        let mut via_merge = MetricsRegistry::new();
+        export_telemetry(&merged, &mut via_merge);
+        assert_eq!(via_export, via_merge);
+        assert_eq!(
+            via_export.get("sim_commit_wall_us"),
+            Some(&MetricKind::Counter(800))
+        );
+    }
+}

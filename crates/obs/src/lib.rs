@@ -11,7 +11,11 @@
 //! * [`registry::MetricsRegistry`] — counters, gauges and log2-bucket
 //!   histograms, snapshotable as JSON and Prometheus text format;
 //! * [`span`] + [`report`] — host wall-clock pipeline spans and the
-//!   `zatel report` renderer for persisted `zatel-run-v1` records.
+//!   `zatel report` renderer for persisted `zatel-run-v1` records;
+//! * [`log`] — the `zatel-log-v1` structured JSONL event log used by
+//!   `zatel serve` and the CLI's `--log-out`;
+//! * [`concurrency`] — the bridge flattening the sharded engine's
+//!   [`gpusim::SimTelemetry`] into `sim_*` registry metrics.
 //!
 //! Everything derived from the simulation is a function of simulated time
 //! only: fixed-seed runs export byte-identical traces and metric
@@ -21,13 +25,17 @@
 
 #![warn(missing_docs)]
 
+pub mod concurrency;
 pub mod hooks;
+pub mod log;
 pub mod perfetto;
 pub mod registry;
 pub mod report;
 pub mod span;
 
+pub use concurrency::export_telemetry;
 pub use hooks::{ObsHooks, ObserveOptions};
+pub use log::{LogLevel, Logger, LOG_SCHEMA};
 pub use perfetto::{merge_trace, validate_trace, Timeline, TraceEvent};
 pub use registry::{Histogram, MetricKind, MetricsRegistry};
 pub use report::RUN_SCHEMA;

@@ -1,0 +1,281 @@
+//! `zatel-log-v1`: a structured, leveled JSONL event log.
+//!
+//! One event per line, each a self-describing JSON object:
+//!
+//! ```json
+//! {"schema":"zatel-log-v1","ts_ms":1754650000000,"level":"info","event":"request","request_id":"req-...","route":"/v1/predict","status":200}
+//! ```
+//!
+//! The fixed envelope is `schema`, `ts_ms` (Unix milliseconds), `level`
+//! and `event`; everything else is event-specific fields supplied by the
+//! caller, preserved in insertion order so repeated runs produce stably
+//! shaped lines. Built on `minijson` — no new dependencies — and safe to
+//! share across threads (`zatel serve` hands one [`Logger`] to every
+//! worker).
+//!
+//! Log timestamps are host wall-clock and therefore live only here: a
+//! logger is never threaded into result-affecting code, which is part of
+//! the "what is allowed to see a wall clock" rule that `zatel-lint`
+//! enforces (`wall-clock`, `obs-seam`).
+
+use std::fmt;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use minijson::{Map, Value};
+
+/// Schema identifier stamped on every line.
+pub const LOG_SCHEMA: &str = "zatel-log-v1";
+
+/// Event severity, ordered so `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Diagnostic detail.
+    Debug,
+    /// Normal operational events (the default minimum).
+    Info,
+    /// Degraded but recoverable situations.
+    Warn,
+    /// Failures.
+    Error,
+}
+
+impl LogLevel {
+    /// The lowercase wire name of the level.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Debug => "debug",
+            LogLevel::Info => "info",
+            LogLevel::Warn => "warn",
+            LogLevel::Error => "error",
+        }
+    }
+
+    /// Parses a wire name back to a level.
+    pub fn parse(name: &str) -> Option<LogLevel> {
+        match name {
+            "debug" => Some(LogLevel::Debug),
+            "info" => Some(LogLevel::Info),
+            "warn" => Some(LogLevel::Warn),
+            "error" => Some(LogLevel::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A thread-safe JSONL event sink.
+pub struct Logger {
+    min_level: LogLevel,
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for Logger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Logger")
+            .field("min_level", &self.min_level)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Logger {
+    /// A logger writing to standard error.
+    pub fn to_stderr(min_level: LogLevel) -> Logger {
+        Logger::to_writer(Box::new(io::stderr()), min_level)
+    }
+
+    /// A logger appending to the file at `path` (created if absent).
+    pub fn to_file(path: &str, min_level: LogLevel) -> io::Result<Logger> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Logger::to_writer(Box::new(file), min_level))
+    }
+
+    /// A logger over an arbitrary sink (tests, in-memory capture).
+    pub fn to_writer(sink: Box<dyn Write + Send>, min_level: LogLevel) -> Logger {
+        Logger {
+            min_level,
+            sink: Mutex::new(sink),
+        }
+    }
+
+    /// Resolves a `--log-out` style destination: `None`, `"-"` or
+    /// `"stderr"` mean standard error, anything else is a file path.
+    pub fn for_destination(dest: Option<&str>, min_level: LogLevel) -> io::Result<Logger> {
+        match dest {
+            None | Some("-") | Some("stderr") => Ok(Logger::to_stderr(min_level)),
+            Some(path) => Logger::to_file(path, min_level),
+        }
+    }
+
+    /// Whether events at `level` would be written.
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level >= self.min_level
+    }
+
+    /// Writes one event line: the `zatel-log-v1` envelope followed by
+    /// `fields` in their insertion order. Lines below the minimum level
+    /// are dropped; write errors are swallowed (logging must never take
+    /// the service down).
+    pub fn log(&self, level: LogLevel, event: &str, fields: Map) {
+        self.log_line(level, &event_line(level, event, fields));
+    }
+
+    /// Writes an already-built event line (see [`event_line`]), letting
+    /// callers retain the exact line they emitted — `zatel serve` stores
+    /// it in the `/v1/debug/slow` ring. Same level filtering and
+    /// error-swallowing as [`Logger::log`].
+    pub fn log_line(&self, level: LogLevel, line: &Value) {
+        if !self.enabled(level) {
+            return;
+        }
+        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(sink, "{line}");
+        let _ = sink.flush();
+    }
+}
+
+/// Builds the JSON object for one event line (exposed so callers can
+/// retain the exact line they emitted, e.g. for the serve debug ring).
+pub fn event_line(level: LogLevel, event: &str, fields: Map) -> Value {
+    let mut m = Map::new();
+    m.insert("schema".into(), Value::from(LOG_SCHEMA));
+    m.insert("ts_ms".into(), Value::from(now_ms()));
+    m.insert("level".into(), Value::from(level.as_str()));
+    m.insert("event".into(), Value::from(event));
+    for (k, v) in fields.iter() {
+        m.insert(k.clone(), v.clone());
+    }
+    Value::Object(m)
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+pub fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Generates a process-unique request ID: a wall-clock microsecond stamp
+/// plus a monotone counter, e.g. `req-063d8f2a9c1b40-0003`. Used when a
+/// caller did not supply `x-zatel-request-id`.
+pub fn request_id() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    format!("req-{ts:014x}-{n:04x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A Write sink capturing into shared memory.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Capture {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn levels_are_ordered_and_roundtrip() {
+        assert!(LogLevel::Debug < LogLevel::Info);
+        assert!(LogLevel::Warn < LogLevel::Error);
+        for l in [
+            LogLevel::Debug,
+            LogLevel::Info,
+            LogLevel::Warn,
+            LogLevel::Error,
+        ] {
+            assert_eq!(LogLevel::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(LogLevel::parse("fatal"), None);
+    }
+
+    #[test]
+    fn lines_are_parseable_json_with_the_envelope_first() {
+        let sink = Capture::default();
+        let logger = Logger::to_writer(Box::new(sink.clone()), LogLevel::Info);
+        let mut fields = Map::new();
+        fields.insert("request_id".into(), Value::from("req-1"));
+        fields.insert("status".into(), Value::from(200u64));
+        logger.log(LogLevel::Info, "request", fields);
+        let text = sink.text();
+        assert_eq!(text.lines().count(), 1);
+        let parsed = Value::parse(text.trim()).expect("line is valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(Value::as_str),
+            Some(LOG_SCHEMA)
+        );
+        assert_eq!(parsed.get("level").and_then(Value::as_str), Some("info"));
+        assert_eq!(parsed.get("event").and_then(Value::as_str), Some("request"));
+        assert_eq!(
+            parsed.get("request_id").and_then(Value::as_str),
+            Some("req-1")
+        );
+        assert_eq!(parsed.get("status").and_then(Value::as_u64), Some(200));
+        assert!(parsed.get("ts_ms").and_then(Value::as_u64).is_some());
+    }
+
+    #[test]
+    fn min_level_filters() {
+        let sink = Capture::default();
+        let logger = Logger::to_writer(Box::new(sink.clone()), LogLevel::Warn);
+        assert!(!logger.enabled(LogLevel::Info));
+        logger.log(LogLevel::Info, "dropped", Map::new());
+        logger.log(LogLevel::Error, "kept", Map::new());
+        let text = sink.text();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"kept\""));
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_prefixed() {
+        let a = request_id();
+        let b = request_id();
+        assert_ne!(a, b);
+        assert!(a.starts_with("req-"), "{a}");
+    }
+
+    #[test]
+    fn destination_resolution() {
+        assert!(Logger::for_destination(None, LogLevel::Info).is_ok());
+        assert!(Logger::for_destination(Some("-"), LogLevel::Info).is_ok());
+        assert!(Logger::for_destination(Some("stderr"), LogLevel::Info).is_ok());
+        let dir = std::env::temp_dir().join("zatel-log-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let logger = Logger::for_destination(Some(path.to_str().unwrap()), LogLevel::Info).unwrap();
+        logger.log(LogLevel::Info, "hello", Map::new());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"hello\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -69,6 +69,9 @@ pub fn render(run: &Value) -> Result<String, String> {
         str_of("division"),
         str_of("dist"),
     );
+    if let Some(id) = run.get("request_id").and_then(Value::as_str) {
+        let _ = writeln!(out, "  request {id}");
+    }
 
     if let Some(groups) = run.get("groups").and_then(Value::as_array) {
         let _ = writeln!(out, "\nper-group results:");
@@ -133,6 +136,10 @@ pub fn render(run: &Value) -> Result<String, String> {
         }
     }
 
+    if let Some(conc) = run.get("concurrency").and_then(Value::as_object) {
+        render_concurrency(&mut out, conc);
+    }
+
     if let Some(reference) = run.get("reference").and_then(Value::as_object) {
         let prediction = run.get("prediction").and_then(Value::as_object);
         let _ = writeln!(out, "\npredicted vs reference:");
@@ -170,6 +177,74 @@ pub fn render(run: &Value) -> Result<String, String> {
     }
 
     Ok(out)
+}
+
+/// Renders the sharded-engine concurrency section from a run record's
+/// `concurrency` object (a metrics-registry snapshot in the `sim_*`
+/// namespace — see `obs::concurrency::export_telemetry`). All values are
+/// host wall-clock and observational: they never appear in the
+/// deterministic `metrics` section above.
+fn render_concurrency(out: &mut String, conc: &Map) {
+    let counter = |name: &str| {
+        conc.get(name)
+            .and_then(|e| e.get("value"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    let commit_wall = counter("sim_commit_wall_us");
+    if commit_wall == 0 {
+        return;
+    }
+    let shards = conc
+        .get("sim_shards")
+        .and_then(|e| e.get("value"))
+        .map(num)
+        .unwrap_or(0.0) as usize;
+    let runs = counter("sim_runs").max(1);
+    let commit_wait = counter("sim_commit_wait_us");
+    let takes = counter("sim_commit_take_waits");
+    let occupancy = 100.0 * commit_wall.saturating_sub(commit_wait) as f64 / commit_wall as f64;
+    let _ = writeln!(
+        out,
+        "\nconcurrency (sharded engine, host wall-clock, observational):"
+    );
+    let _ = writeln!(
+        out,
+        "  commit loop: {:.2} ms over {runs} run(s), occupancy {occupancy:.0}% \
+         ({takes} seam takes, {:.2} ms blocked)",
+        commit_wall as f64 / 1000.0,
+        commit_wait as f64 / 1000.0,
+    );
+    let mut decode_total = 0u64;
+    let mut lines = Vec::new();
+    for rank in 0..shards {
+        let decode = counter(&format!("sim_shard{rank}_decode_wall_us"));
+        let stall_wall = counter(&format!("sim_shard{rank}_stall_wall_us"));
+        let phases = counter(&format!("sim_shard{rank}_decoded_phases"));
+        let stalls = counter(&format!("sim_shard{rank}_stall_waits"));
+        decode_total += decode;
+        let busy = decode + stall_wall;
+        let idle = if busy == 0 {
+            0.0
+        } else {
+            100.0 * stall_wall as f64 / busy as f64
+        };
+        lines.push(format!(
+            "  shard {rank}: decode {:.2} ms (idle {idle:.0}%), {phases} phases, {stalls} epoch stalls",
+            decode as f64 / 1000.0,
+        ));
+    }
+    let _ = writeln!(
+        out,
+        "  decode share: {:.2}x of commit wall across {shards} shard(s)",
+        decode_total as f64 / commit_wall as f64,
+    );
+    for line in lines {
+        let _ = writeln!(out, "{line}");
+    }
+    if let Some(depth) = conc.get("sim_admission_depth") {
+        render_histogram(out, "sim_admission_depth", depth);
+    }
 }
 
 /// Width of the widest histogram bar in [`render`].
@@ -330,6 +405,67 @@ mod tests {
         assert!(report.contains("predicted vs reference"));
         assert!(report.contains("MAE = 7.0%"));
         assert!(report.contains("speedup (1 core/group) = 9.5x"));
+    }
+
+    #[test]
+    fn render_prints_request_id_and_concurrency_section() {
+        use gpusim::telemetry::{DepthHistogram, ShardTelemetry, SimTelemetry};
+        let mut depth = DepthHistogram::new();
+        depth.observe(12);
+        let telemetry = SimTelemetry {
+            runs: 1,
+            shard_count: 2,
+            shards: vec![
+                ShardTelemetry {
+                    decode_wall_us: 5000,
+                    decoded_phases: 4096,
+                    publishes: 128,
+                    stall_waits: 3,
+                    stall_wall_us: 1000,
+                    admission_depth: depth.clone(),
+                },
+                ShardTelemetry {
+                    decode_wall_us: 4000,
+                    decoded_phases: 4000,
+                    publishes: 120,
+                    stall_waits: 2,
+                    stall_wall_us: 500,
+                    admission_depth: depth,
+                },
+            ],
+            commit_wall_us: 10000,
+            commit_take_waits: 64,
+            commit_wait_us: 2500,
+        };
+        let mut conc = MetricsRegistry::new();
+        crate::concurrency::export_telemetry(&telemetry, &mut conc);
+        let mut run = sample_run();
+        if let Value::Object(m) = &mut run {
+            m.insert("request_id".into(), Value::from("req-cafe-0001"));
+            m.insert("concurrency".into(), conc.to_json());
+        }
+        let report = render(&run).unwrap();
+        assert!(report.contains("request req-cafe-0001"), "{report}");
+        assert!(report.contains("concurrency (sharded engine"), "{report}");
+        assert!(
+            report.contains("commit loop: 10.00 ms over 1 run(s), occupancy 75%"),
+            "{report}"
+        );
+        assert!(
+            report.contains("decode share: 0.90x of commit wall across 2 shard(s)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("shard 0: decode 5.00 ms (idle 17%), 4096 phases, 3 epoch stalls"),
+            "{report}"
+        );
+        assert!(report.contains("sim_admission_depth (count 2"), "{report}");
+    }
+
+    #[test]
+    fn render_omits_concurrency_for_serial_runs() {
+        let report = render(&sample_run()).unwrap();
+        assert!(!report.contains("concurrency ("));
     }
 
     #[test]

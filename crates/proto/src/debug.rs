@@ -1,0 +1,193 @@
+//! `GET /v1/debug/slow` response DTOs: the serve slow-request ring.
+//!
+//! The server retains the most recent completed requests — span sheets,
+//! cache outcomes and the exact `zatel-log-v1` line each one emitted —
+//! in a bounded in-memory ring. This endpoint pages that ring back to an
+//! operator chasing a slow or misbehaving request by its
+//! `x-zatel-request-id`, with no log shipping required.
+//!
+//! Everything here is observational (wall-clock timings, queue waits):
+//! none of it feeds the deterministic response subset.
+
+use minijson::{FromJson, JsonError, Map, ToJson, Value};
+use obs::SpanRecord;
+
+use crate::{expect_schema, optional, API_SCHEMA};
+
+/// One retained request in the serve debug ring, newest last.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowRequestEntry {
+    /// The request's ID (caller-supplied `x-zatel-request-id` or
+    /// server-generated).
+    pub request_id: String,
+    /// `METHOD /path`, e.g. `POST /v1/predict`.
+    pub route: String,
+    /// The HTTP status answered.
+    pub status: u16,
+    /// Milliseconds spent in the admission queue before a worker picked
+    /// the request up.
+    pub queue_wait_ms: u64,
+    /// Milliseconds from worker pickup to response written.
+    pub wall_ms: f64,
+    /// Deadline budget remaining when execution started, when the request
+    /// (or the server default) carried a deadline.
+    pub deadline_slack_ms: Option<i64>,
+    /// The run's span sheet (host wall-clock pipeline spans, request span
+    /// first), when the route produced one.
+    pub spans: Vec<SpanRecord>,
+    /// Per-stage artifact-cache outcomes, when the route produced them.
+    pub cache: Vec<Value>,
+    /// The exact `zatel-log-v1` request line emitted for this request.
+    pub log: Value,
+}
+
+impl ToJson for SlowRequestEntry {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("request_id".into(), Value::from(self.request_id.as_str()));
+        m.insert("route".into(), Value::from(self.route.as_str()));
+        m.insert("status".into(), Value::from(u64::from(self.status)));
+        m.insert("queue_wait_ms".into(), Value::from(self.queue_wait_ms));
+        m.insert("wall_ms".into(), Value::from(self.wall_ms));
+        m.insert(
+            "deadline_slack_ms".into(),
+            self.deadline_slack_ms.map_or(Value::Null, Value::from),
+        );
+        m.insert(
+            "spans".into(),
+            Value::Array(self.spans.iter().map(ToJson::to_json).collect()),
+        );
+        m.insert("cache".into(), Value::Array(self.cache.clone()));
+        m.insert("log".into(), self.log.clone());
+        Value::Object(m)
+    }
+}
+
+impl FromJson for SlowRequestEntry {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "SlowRequestEntry";
+        let text = |name: &str| {
+            value
+                .get(name)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| JsonError::missing_field(TY, name))
+        };
+        Ok(SlowRequestEntry {
+            request_id: text("request_id")?,
+            route: text("route")?,
+            status: value
+                .get("status")
+                .and_then(Value::as_u64)
+                .and_then(|n| u16::try_from(n).ok())
+                .ok_or_else(|| JsonError::missing_field(TY, "status"))?,
+            queue_wait_ms: value
+                .get("queue_wait_ms")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| JsonError::missing_field(TY, "queue_wait_ms"))?,
+            wall_ms: value
+                .get("wall_ms")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| JsonError::missing_field(TY, "wall_ms"))?,
+            deadline_slack_ms: optional(value, "deadline_slack_ms").and_then(Value::as_i64),
+            spans: optional(value, "spans")
+                .and_then(Value::as_array)
+                .map(|a| a.iter().map(SpanRecord::from_json).collect())
+                .transpose()?
+                .unwrap_or_default(),
+            cache: optional(value, "cache")
+                .and_then(Value::as_array)
+                .map(<[Value]>::to_vec)
+                .unwrap_or_default(),
+            log: value.get("log").cloned().unwrap_or(Value::Null),
+        })
+    }
+}
+
+/// The `GET /v1/debug/slow` document: the retained ring, oldest first.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DebugSlowResponse {
+    /// Retained requests, oldest first (the ring evicts from the front).
+    pub entries: Vec<SlowRequestEntry>,
+}
+
+impl ToJson for DebugSlowResponse {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), Value::from(API_SCHEMA));
+        m.insert(
+            "entries".into(),
+            Value::Array(self.entries.iter().map(ToJson::to_json).collect()),
+        );
+        Value::Object(m)
+    }
+}
+
+impl FromJson for DebugSlowResponse {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "DebugSlowResponse";
+        expect_schema(value, TY)?;
+        Ok(DebugSlowResponse {
+            entries: value
+                .get("entries")
+                .and_then(Value::as_array)
+                .ok_or_else(|| JsonError::missing_field(TY, "entries"))?
+                .iter()
+                .map(SlowRequestEntry::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DebugSlowResponse {
+        DebugSlowResponse {
+            entries: vec![SlowRequestEntry {
+                request_id: "ci-trace-42".into(),
+                route: "POST /v1/predict".into(),
+                status: 200,
+                queue_wait_ms: 3,
+                wall_ms: 128.5,
+                deadline_slack_ms: Some(4997),
+                spans: vec![SpanRecord {
+                    name: "request ci-trace-42".into(),
+                    track: 0,
+                    start_us: 0,
+                    dur_us: 0,
+                }],
+                cache: vec![Value::parse(r#"{"stage":"heatmap","outcome":"miss"}"#).unwrap()],
+                log: Value::parse(r#"{"schema":"zatel-log-v1","event":"request"}"#).unwrap(),
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let resp = sample();
+        let back = DebugSlowResponse::from_json(&resp.to_json()).expect("round trip");
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_tolerates_absent_slack() {
+        let mut doc = sample().to_json();
+        if let Value::Object(m) = &mut doc {
+            m.insert("schema".into(), Value::from("zatel-api-v9"));
+        }
+        assert!(DebugSlowResponse::from_json(&doc).is_err());
+
+        let minimal = Value::parse(
+            r#"{"schema":"zatel-api-v1","entries":[{"request_id":"r","route":"GET /healthz",
+                "status":200,"queue_wait_ms":0,"wall_ms":0.5}]}"#,
+        )
+        .unwrap();
+        let resp = DebugSlowResponse::from_json(&minimal).expect("minimal entry");
+        assert_eq!(resp.entries.len(), 1);
+        assert!(resp.entries[0].deadline_slack_ms.is_none());
+        assert!(resp.entries[0].spans.is_empty());
+        assert_eq!(resp.entries[0].log, Value::Null);
+    }
+}

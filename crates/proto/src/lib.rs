@@ -36,11 +36,13 @@
 #![warn(missing_docs)]
 
 mod config;
+mod debug;
 mod predict;
 mod sweep;
 mod wire;
 
 pub use config::ConfigRef;
+pub use debug::{DebugSlowResponse, SlowRequestEntry};
 pub use predict::{GroupReport, MetricValues, PredictRequest, PredictResponse, ReferenceReport};
 pub use sweep::{sweep_point_record, SweepRequest, SweepResponse};
 pub use wire::{ErrorKind, ErrorResponse, SceneInfo, ScenesResponse};

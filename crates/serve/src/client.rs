@@ -16,11 +16,13 @@ pub struct HttpClient {
     authority: String,
 }
 
-/// A decoded response: status code and body.
+/// A decoded response: status code, headers and body.
 #[derive(Debug)]
 pub struct HttpResponse {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers, names lowercased, in wire order.
+    pub headers: Vec<(String, String)>,
     /// Raw response body.
     pub body: String,
 }
@@ -33,6 +35,14 @@ impl HttpResponse {
     /// Returns a message when the body is not valid JSON.
     pub fn json(&self) -> Result<Value, String> {
         Value::parse(&self.body).map_err(|e| format!("response body is not JSON: {e}"))
+    }
+
+    /// The first header named `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -64,7 +74,7 @@ impl HttpClient {
     ///
     /// Returns a message for connection or protocol failures.
     pub fn get(&self, path: &str) -> Result<HttpResponse, String> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, &[])
     }
 
     /// `POST path` with a JSON body.
@@ -73,7 +83,22 @@ impl HttpClient {
     ///
     /// Returns a message for connection or protocol failures.
     pub fn post_json(&self, path: &str, body: &Value) -> Result<HttpResponse, String> {
-        self.request("POST", path, Some(body.to_string()))
+        self.request("POST", path, Some(body.to_string()), &[])
+    }
+
+    /// `POST path` with a JSON body and extra request headers (e.g.
+    /// `x-zatel-request-id` for end-to-end tracing).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for connection or protocol failures.
+    pub fn post_json_with_headers(
+        &self,
+        path: &str,
+        body: &Value,
+        extra_headers: &[(&str, &str)],
+    ) -> Result<HttpResponse, String> {
+        self.request("POST", path, Some(body.to_string()), extra_headers)
     }
 
     fn request(
@@ -81,6 +106,7 @@ impl HttpClient {
         method: &str,
         path: &str,
         body: Option<String>,
+        extra_headers: &[(&str, &str)],
     ) -> Result<HttpResponse, String> {
         let mut stream = TcpStream::connect(&self.authority)
             .map_err(|e| format!("connecting to {}: {e}", self.authority))?;
@@ -89,11 +115,15 @@ impl HttpClient {
             .and_then(|()| stream.set_write_timeout(Some(TIMEOUT)))
             .map_err(|e| format!("configuring socket: {e}"))?;
         let body = body.unwrap_or_default();
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.authority,
             body.len(),
         );
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
         stream
             .write_all(head.as_bytes())
             .and_then(|()| stream.write_all(body.as_bytes()))
@@ -121,9 +151,21 @@ fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| format!("bad status line '{status_line}'"))?;
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+        })
+        .collect();
     let body = String::from_utf8(raw[head_end + 4..].to_vec())
         .map_err(|_| "response body is not UTF-8".to_owned())?;
-    Ok(HttpResponse { status, body })
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -145,6 +187,9 @@ mod tests {
             parse_response(b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\n\r\n{\"a\":1}")
                 .expect("parse");
         assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.header("Retry-After"), Some("1"));
+        assert_eq!(resp.header("x-missing"), None);
         assert_eq!(
             resp.json().unwrap().get("a").and_then(Value::as_u64),
             Some(1)

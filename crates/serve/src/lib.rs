@@ -20,8 +20,19 @@
 //! * `POST /v1/sweep` — one [`zatel_proto::SweepRequest`]
 //! * `GET /v1/scenes` — the scene catalog
 //! * `GET /metrics` — Prometheus text exposition
+//! * `GET /v1/debug/slow` — the retained-request debug ring
 //! * `GET /healthz` — liveness
 //! * `POST /v1/shutdown` — begin a graceful drain
+//!
+//! ## Request tracing
+//!
+//! Every response carries an `x-zatel-request-id` header: the caller's
+//! own value when supplied, a generated `req-...` ID otherwise. The same
+//! ID appears in the `zatel-log-v1` JSONL request line the server emits
+//! (see [`ServeConfig::log_out`]), in the run's span sheet (the request
+//! span is first), and in the `GET /v1/debug/slow` ring — so one grep
+//! follows a request end to end. All of it is observational: the
+//! deterministic response subset never contains request IDs or timings.
 //!
 //! On SIGINT/SIGTERM (or `/v1/shutdown`) the server stops accepting,
 //! drains every queued request to completion, joins its workers and
@@ -40,4 +51,7 @@ pub mod signal;
 
 pub use client::HttpClient;
 pub use server::{ServeConfig, ServeReport, Server};
-pub use service::{execute_predict, execute_sweep, PredictOutput, ServiceError, SweepOutput};
+pub use service::{
+    execute_predict, execute_predict_traced, execute_sweep, PredictOutput, ServiceError,
+    SweepOutput,
+};

@@ -1,7 +1,9 @@
 //! The threaded HTTP server: bounded admission queue, worker pool,
-//! process-lifetime artifact cache, Prometheus metrics and graceful
-//! drain.
+//! process-lifetime artifact cache, Prometheus metrics, request tracing
+//! (`x-zatel-request-id` + `zatel-log-v1` JSONL lines + the
+//! `/v1/debug/slow` ring) and graceful drain.
 
+use std::collections::VecDeque;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, TrySendError};
@@ -9,10 +11,11 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use minijson::{FromJson, Map, ToJson, Value};
-use obs::MetricsRegistry;
+use obs::{LogLevel, Logger, MetricKind, MetricsRegistry, SpanRecord};
 use zatel::ArtifactCache;
 use zatel_proto::{
-    ErrorKind, ErrorResponse, PredictRequest, ScenesResponse, SweepRequest, API_SCHEMA,
+    DebugSlowResponse, ErrorKind, ErrorResponse, PredictRequest, ScenesResponse, SlowRequestEntry,
+    SweepRequest, API_SCHEMA,
 };
 
 use crate::http::{self, HttpError, Request};
@@ -25,6 +28,9 @@ const ACCEPT_POLL: Duration = Duration::from_millis(25);
 /// Per-connection socket read timeout: a stalled client may not pin a
 /// worker forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// Completed requests retained for `GET /v1/debug/slow` (newest win;
+/// older entries are evicted from the front of the ring).
+const SLOW_RING_CAPACITY: usize = 32;
 
 /// Server configuration (all fields have serviceable defaults).
 #[derive(Debug, Clone)]
@@ -55,6 +61,10 @@ pub struct ServeConfig {
     pub default_deadline_ms: Option<u64>,
     /// Persist stage artifacts on disk, surviving restarts.
     pub cache_dir: Option<String>,
+    /// Where the `zatel-log-v1` JSONL event log goes: `None`, `"-"` or
+    /// `"stderr"` mean standard error, anything else is a file path
+    /// (appended, created if absent).
+    pub log_out: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +77,7 @@ impl Default for ServeConfig {
             sim_threads: None,
             default_deadline_ms: None,
             cache_dir: None,
+            log_out: None,
         }
     }
 }
@@ -81,6 +92,14 @@ pub struct ServeReport {
     /// Requests still queued when the drain began — all of them were
     /// served before shutdown completed.
     pub drained_in_flight: u64,
+    /// Responses answered with a 2xx status.
+    pub responses_2xx: u64,
+    /// Responses answered with a 4xx status (including queue refusals).
+    pub responses_4xx: u64,
+    /// Responses answered with a 5xx status.
+    pub responses_5xx: u64,
+    /// The deepest the admission queue ever got.
+    pub peak_queue_depth: u64,
 }
 
 /// Shared mutable server state (behind one `Arc`).
@@ -88,12 +107,18 @@ struct ServerState {
     cache: Arc<ArtifactCache>,
     registry: Mutex<MetricsRegistry>,
     queue_depth: AtomicUsize,
+    peak_queue_depth: AtomicUsize,
     draining: AtomicBool,
     sim_jobs: Option<usize>,
     /// Per-worker share of [`ServeConfig::sim_threads`], precomputed at
     /// bind time.
     sim_threads: Option<usize>,
     default_deadline_ms: Option<u64>,
+    /// The `zatel-log-v1` event sink every worker writes request lines to.
+    logger: Logger,
+    /// The `GET /v1/debug/slow` ring: the most recent completed requests,
+    /// oldest first.
+    slow: Mutex<VecDeque<SlowRequestEntry>>,
 }
 
 impl ServerState {
@@ -125,6 +150,97 @@ impl ServerState {
         snapshot.counter_add("cache_misses", stats.misses);
         snapshot.to_prometheus("zatel_serve")
     }
+
+    /// Sums the accumulated `http_responses_{status}` counters into
+    /// status classes, so the shutdown summary is self-contained.
+    fn status_classes(&self) -> (u64, u64, u64) {
+        let registry = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
+        let (mut c2, mut c4, mut c5) = (0u64, 0u64, 0u64);
+        for (name, kind) in registry.iter() {
+            let Some(code) = name
+                .strip_prefix("http_responses_")
+                .and_then(|s| s.parse::<u16>().ok())
+            else {
+                continue;
+            };
+            if let MetricKind::Counter(n) = kind {
+                match code / 100 {
+                    2 => c2 += n,
+                    4 => c4 += n,
+                    5 => c5 += n,
+                    _ => {}
+                }
+            }
+        }
+        (c2, c4, c5)
+    }
+
+    /// Records a completed request: the `zatel-log-v1` request line
+    /// (leveled by status class) and its `/v1/debug/slow` ring entry.
+    fn finish_request(
+        &self,
+        request_id: String,
+        route: String,
+        status: u16,
+        queue_wait_ms: u64,
+        wall_ms: f64,
+        artifacts: RouteArtifacts,
+    ) {
+        let level = match status {
+            500.. => LogLevel::Error,
+            400.. => LogLevel::Warn,
+            _ => LogLevel::Info,
+        };
+        let mut fields = Map::new();
+        fields.insert("request_id".into(), Value::from(request_id.as_str()));
+        fields.insert("route".into(), Value::from(route.as_str()));
+        fields.insert("status".into(), Value::from(u64::from(status)));
+        fields.insert("queue_wait_ms".into(), Value::from(queue_wait_ms));
+        fields.insert("wall_ms".into(), Value::from(wall_ms));
+        if let Some(slack) = artifacts.deadline_slack_ms {
+            fields.insert("deadline_slack_ms".into(), Value::from(slack));
+        }
+        if !artifacts.cache.is_empty() {
+            fields.insert("cache_hits".into(), Value::from(artifacts.cache_hits));
+            fields.insert(
+                "cache_stages".into(),
+                Value::from(artifacts.cache.len() as u64),
+            );
+        }
+        let line = obs::log::event_line(level, "request", fields);
+        self.logger.log_line(level, &line);
+
+        let entry = SlowRequestEntry {
+            request_id,
+            route,
+            status,
+            queue_wait_ms,
+            wall_ms,
+            deadline_slack_ms: artifacts.deadline_slack_ms,
+            spans: artifacts.spans,
+            cache: artifacts.cache,
+            log: line,
+        };
+        let mut slow = self.slow.lock().unwrap_or_else(PoisonError::into_inner);
+        if slow.len() == SLOW_RING_CAPACITY {
+            slow.pop_front();
+        }
+        slow.push_back(entry);
+    }
+}
+
+/// Observational artifacts a route hands back for the request's log line
+/// and debug-ring entry. Never part of the HTTP response body.
+#[derive(Default)]
+struct RouteArtifacts {
+    /// The run's span sheet (request span first), when the route ran one.
+    spans: Vec<SpanRecord>,
+    /// Per-stage cache-outcome records, when the route produced them.
+    cache: Vec<Value>,
+    /// How many of those stages were cache hits (memory or disk).
+    cache_hits: u64,
+    /// Deadline budget left when execution started, when one applied.
+    deadline_slack_ms: Option<i64>,
 }
 
 /// One queued connection: the socket plus its admission instant (the
@@ -167,16 +283,21 @@ impl Server {
             }
             None => ArtifactCache::in_memory(),
         };
+        let logger = Logger::for_destination(config.log_out.as_deref(), LogLevel::Info)
+            .map_err(|e| format!("opening log destination: {e}"))?;
         let state = Arc::new(ServerState {
             cache: Arc::new(cache),
             registry: Mutex::new(MetricsRegistry::new()),
             queue_depth: AtomicUsize::new(0),
+            peak_queue_depth: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
             sim_jobs: config.sim_jobs,
             sim_threads: config
                 .sim_threads
                 .map(|budget| (budget / config.workers.max(1)).max(1)),
             default_deadline_ms: config.default_deadline_ms,
+            logger,
+            slow: Mutex::new(VecDeque::with_capacity(SLOW_RING_CAPACITY)),
         });
         Ok(Server {
             listener,
@@ -232,7 +353,10 @@ impl Server {
                     // The gauge rises before try_send publishes the job:
                     // otherwise an idle worker can pull it and decrement
                     // first, wrapping the unsigned depth below zero.
-                    self.state.queue_depth.fetch_add(1, Ordering::SeqCst);
+                    let depth = self.state.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+                    self.state
+                        .peak_queue_depth
+                        .fetch_max(depth, Ordering::SeqCst);
                     match tx.try_send(job) {
                         Ok(()) => {
                             admitted.fetch_add(1, Ordering::Relaxed);
@@ -267,11 +391,34 @@ impl Server {
             // nothing useful to add by propagating.
             let _ = worker.join();
         }
-        Ok(ServeReport {
+        let (responses_2xx, responses_4xx, responses_5xx) = self.state.status_classes();
+        let report = ServeReport {
             admitted: admitted.load(Ordering::Relaxed),
             refused,
             drained_in_flight,
-        })
+            responses_2xx,
+            responses_4xx,
+            responses_5xx,
+            peak_queue_depth: self.state.peak_queue_depth.load(Ordering::SeqCst) as u64,
+        };
+        let mut fields = Map::new();
+        fields.insert("admitted".into(), Value::from(report.admitted));
+        fields.insert("refused".into(), Value::from(report.refused));
+        fields.insert(
+            "drained_in_flight".into(),
+            Value::from(report.drained_in_flight),
+        );
+        fields.insert("responses_2xx".into(), Value::from(report.responses_2xx));
+        fields.insert("responses_4xx".into(), Value::from(report.responses_4xx));
+        fields.insert("responses_5xx".into(), Value::from(report.responses_5xx));
+        fields.insert(
+            "peak_queue_depth".into(),
+            Value::from(report.peak_queue_depth),
+        );
+        self.state
+            .logger
+            .log(LogLevel::Info, "serve_drained", fields);
+        Ok(report)
     }
 
     /// Signals a graceful drain programmatically (same effect as
@@ -338,6 +485,8 @@ fn handle_connection(job: Job, state: &Arc<ServerState>) {
         mut stream,
         admitted,
     } = job;
+    let queue_wait_ms = admitted.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+    let handled = Instant::now();
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let request = match Request::read_from(&mut stream) {
         Ok(request) => request,
@@ -347,6 +496,7 @@ fn handle_connection(job: Job, state: &Arc<ServerState>) {
                 other => (400, other.to_string()),
             };
             state.with_registry(|r| r.counter_add(&format!("http_responses_{status}"), 1));
+            let request_id = obs::log::request_id();
             let body = ErrorResponse::new(ErrorKind::BadRequest, message)
                 .to_json()
                 .to_string();
@@ -354,14 +504,32 @@ fn handle_connection(job: Job, state: &Arc<ServerState>) {
                 &mut stream,
                 status,
                 "application/json",
-                &[],
+                &[("x-zatel-request-id", request_id.clone())],
                 body.as_bytes(),
+            );
+            state.finish_request(
+                request_id,
+                "-".into(),
+                status,
+                queue_wait_ms,
+                handled.elapsed().as_secs_f64() * 1000.0,
+                RouteArtifacts::default(),
             );
             return;
         }
     };
 
-    let routed = route(&request, admitted, state);
+    // The caller's x-zatel-request-id is accepted and echoed; otherwise
+    // a process-unique ID is minted. Either way the same ID lands in the
+    // response header, the JSONL request line, the run's span sheet and
+    // the /v1/debug/slow ring.
+    let request_id = request
+        .header("x-zatel-request-id")
+        .map(str::to_owned)
+        .unwrap_or_else(obs::log::request_id);
+    let route_label = format!("{} {}", request.method, request.path);
+
+    let (routed, artifacts) = route(&request, admitted, state, &request_id);
     let (status, content_type, body) = match routed {
         Routed::Json(status, value) => (status, "application/json", value.to_string()),
         Routed::Text(status, content_type, text) => (status, content_type, text),
@@ -370,7 +538,21 @@ fn handle_connection(job: Job, state: &Arc<ServerState>) {
         r.counter_add("http_requests_total", 1);
         r.counter_add(&format!("http_responses_{status}"), 1);
     });
-    let _ = http::write_response(&mut stream, status, content_type, &[], body.as_bytes());
+    let _ = http::write_response(
+        &mut stream,
+        status,
+        content_type,
+        &[("x-zatel-request-id", request_id.clone())],
+        body.as_bytes(),
+    );
+    state.finish_request(
+        request_id,
+        route_label,
+        status,
+        queue_wait_ms,
+        handled.elapsed().as_secs_f64() * 1000.0,
+        artifacts,
+    );
 }
 
 /// Maps a [`ServiceError`] (or a deadline expiry) onto the wire.
@@ -381,7 +563,13 @@ fn error_json(kind: ErrorKind, message: impl Into<String>) -> Routed {
     )
 }
 
-fn route(request: &Request, admitted: Instant, state: &Arc<ServerState>) -> Routed {
+fn route(
+    request: &Request,
+    admitted: Instant,
+    state: &Arc<ServerState>,
+    request_id: &str,
+) -> (Routed, RouteArtifacts) {
+    let plain = |routed| (routed, RouteArtifacts::default());
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             let mut m = Map::new();
@@ -391,31 +579,38 @@ fn route(request: &Request, admitted: Instant, state: &Arc<ServerState>) -> Rout
                 "draining".into(),
                 Value::from(state.draining.load(Ordering::SeqCst)),
             );
-            Routed::Json(200, Value::Object(m))
+            plain(Routed::Json(200, Value::Object(m)))
         }
-        ("GET", "/v1/scenes") => Routed::Json(200, ScenesResponse::current().to_json()),
-        ("GET", "/metrics") => Routed::Text(
+        ("GET", "/v1/scenes") => plain(Routed::Json(200, ScenesResponse::current().to_json())),
+        ("GET", "/metrics") => plain(Routed::Text(
             200,
             "text/plain; version=0.0.4",
             state.prometheus_snapshot(),
-        ),
+        )),
+        ("GET", "/v1/debug/slow") => {
+            let entries = {
+                let slow = state.slow.lock().unwrap_or_else(PoisonError::into_inner);
+                slow.iter().cloned().collect()
+            };
+            plain(Routed::Json(200, DebugSlowResponse { entries }.to_json()))
+        }
         ("POST", "/v1/shutdown") => {
             state.draining.store(true, Ordering::SeqCst);
             let mut m = Map::new();
             m.insert("schema".into(), Value::from(API_SCHEMA));
             m.insert("status".into(), Value::from("draining"));
-            Routed::Json(202, Value::Object(m))
+            plain(Routed::Json(202, Value::Object(m)))
         }
-        ("POST", "/v1/predict") => predict_route(request, admitted, state),
+        ("POST", "/v1/predict") => predict_route(request, admitted, state, request_id),
         ("POST", "/v1/sweep") => sweep_route(request, admitted, state),
-        ("GET" | "POST", _) => error_json(
+        ("GET" | "POST", _) => plain(error_json(
             ErrorKind::BadRequest,
             format!("no route for {} {}", request.method, request.path),
-        ),
-        (method, _) => error_json(
+        )),
+        (method, _) => plain(error_json(
             ErrorKind::BadRequest,
             format!("unsupported method {method}"),
-        ),
+        )),
     }
 }
 
@@ -427,14 +622,16 @@ fn parse_body(request: &Request) -> Result<Value, Routed> {
 }
 
 /// Enforces the request's (or the server's default) deadline against the
-/// time already spent in the admission queue.
+/// time already spent in the admission queue. On success returns the
+/// remaining budget in milliseconds (`None` when no deadline applies),
+/// which the request line reports as `deadline_slack_ms`.
 fn check_deadline(
     deadline_ms: Option<u64>,
     admitted: Instant,
     state: &ServerState,
-) -> Result<(), Routed> {
+) -> Result<Option<i64>, Routed> {
     let Some(budget) = deadline_ms.or(state.default_deadline_ms) else {
-        return Ok(());
+        return Ok(None);
     };
     let waited = admitted.elapsed();
     if waited > Duration::from_millis(budget) {
@@ -446,7 +643,8 @@ fn check_deadline(
             ),
         ));
     }
-    Ok(())
+    let waited_ms = waited.as_millis().min(u128::from(u64::MAX)) as i64;
+    Ok(Some(i64::try_from(budget).unwrap_or(i64::MAX) - waited_ms))
 }
 
 /// Fills the server's simulation defaults into a request's options:
@@ -467,21 +665,42 @@ fn apply_sim_defaults(options: &mut Option<zatel::ZatelOptions>, state: &ServerS
     }
 }
 
-fn predict_route(request: &Request, admitted: Instant, state: &Arc<ServerState>) -> Routed {
+/// Counts the cache-outcome records whose `outcome` is a hit (memory or
+/// disk).
+fn count_cache_hits(cache: &[Value]) -> u64 {
+    cache
+        .iter()
+        .filter(|record| {
+            matches!(
+                record.get("outcome").and_then(Value::as_str),
+                Some("memory" | "disk")
+            )
+        })
+        .count() as u64
+}
+
+fn predict_route(
+    request: &Request,
+    admitted: Instant,
+    state: &Arc<ServerState>,
+    request_id: &str,
+) -> (Routed, RouteArtifacts) {
+    let mut artifacts = RouteArtifacts::default();
     let body = match parse_body(request) {
         Ok(body) => body,
-        Err(routed) => return routed,
+        Err(routed) => return (routed, artifacts),
     };
     let mut req = match PredictRequest::from_json(&body) {
         Ok(req) => req,
-        Err(e) => return error_json(ErrorKind::BadRequest, e.to_string()),
+        Err(e) => return (error_json(ErrorKind::BadRequest, e.to_string()), artifacts),
     };
-    if let Err(routed) = check_deadline(req.deadline_ms, admitted, state) {
-        return routed;
+    match check_deadline(req.deadline_ms, admitted, state) {
+        Ok(slack) => artifacts.deadline_slack_ms = slack,
+        Err(routed) => return (routed, artifacts),
     }
     apply_sim_defaults(&mut req.options, state);
     let started = Instant::now();
-    match service::execute_predict(&req, &state.cache) {
+    match service::execute_predict_traced(&req, &state.cache, Some(request_id)) {
         Ok(out) => {
             state.with_registry(|r| {
                 r.counter_add("predict_requests", 1);
@@ -489,27 +708,40 @@ fn predict_route(request: &Request, admitted: Instant, state: &Arc<ServerState>)
                     "predict_latency_ms",
                     started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
                 );
+                // Concurrency telemetry (sim_* decode/commit/stall
+                // metrics) accumulates alongside the HTTP counters and is
+                // exported on the same /metrics scrape.
+                r.merge(&out.concurrency);
             });
-            Routed::Json(200, out.response.to_json())
+            artifacts.spans = out.response.spans.clone();
+            artifacts.cache = out.response.cache.clone();
+            artifacts.cache_hits = count_cache_hits(&artifacts.cache);
+            (Routed::Json(200, out.response.to_json()), artifacts)
         }
         Err(err) => {
             state.with_registry(|r| r.counter_add("predict_errors", 1));
-            error_json(err.kind(), err.to_string())
+            (error_json(err.kind(), err.to_string()), artifacts)
         }
     }
 }
 
-fn sweep_route(request: &Request, admitted: Instant, state: &Arc<ServerState>) -> Routed {
+fn sweep_route(
+    request: &Request,
+    admitted: Instant,
+    state: &Arc<ServerState>,
+) -> (Routed, RouteArtifacts) {
+    let mut artifacts = RouteArtifacts::default();
     let body = match parse_body(request) {
         Ok(body) => body,
-        Err(routed) => return routed,
+        Err(routed) => return (routed, artifacts),
     };
     let mut req = match SweepRequest::from_json(&body) {
         Ok(req) => req,
-        Err(e) => return error_json(ErrorKind::BadRequest, e.to_string()),
+        Err(e) => return (error_json(ErrorKind::BadRequest, e.to_string()), artifacts),
     };
-    if let Err(routed) = check_deadline(req.deadline_ms, admitted, state) {
-        return routed;
+    match check_deadline(req.deadline_ms, admitted, state) {
+        Ok(slack) => artifacts.deadline_slack_ms = slack,
+        Err(routed) => return (routed, artifacts),
     }
     apply_sim_defaults(&mut req.options, state);
     let started = Instant::now();
@@ -522,11 +754,11 @@ fn sweep_route(request: &Request, admitted: Instant, state: &Arc<ServerState>) -
                     started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
                 );
             });
-            Routed::Json(200, out.response.to_json())
+            (Routed::Json(200, out.response.to_json()), artifacts)
         }
         Err(err) => {
             state.with_registry(|r| r.counter_add("sweep_errors", 1));
-            error_json(err.kind(), err.to_string())
+            (error_json(err.kind(), err.to_string()), artifacts)
         }
     }
 }

@@ -86,6 +86,12 @@ pub struct PredictOutput {
     /// Per-group Perfetto timelines (empty unless observing with
     /// timelines enabled).
     pub timelines: Vec<Timeline>,
+    /// Sharded-engine concurrency telemetry flattened to `sim_*` metrics
+    /// (empty when the run used the serial engine). Host wall-clock
+    /// derived, so it is kept apart from the deterministic [`Self::registry`]
+    /// snapshot — `zatel serve` folds it into `/metrics` and the CLI into
+    /// the run record's `concurrency` section.
+    pub concurrency: MetricsRegistry,
 }
 
 /// Names the valid scenes so the hint works from both the CLI and the
@@ -106,6 +112,23 @@ fn unknown_scene(name: &str) -> ServiceError {
 pub fn execute_predict(
     request: &PredictRequest,
     cache: &ArtifactCache,
+) -> Result<PredictOutput, ServiceError> {
+    execute_predict_traced(request, cache, None)
+}
+
+/// [`execute_predict`] with a request ID threaded through the pipeline's
+/// [`RunContext`]: the prediction (and therefore the response span sheet)
+/// carries a `request <id>` span, and the run report echoes the ID. The
+/// ID is purely observational — predicted values and the deterministic
+/// response subset are byte-identical with or without it.
+///
+/// # Errors
+///
+/// Returns [`ServiceError`] classifying the failure for HTTP mapping.
+pub fn execute_predict_traced(
+    request: &PredictRequest,
+    cache: &ArtifactCache,
+    request_id: Option<&str>,
 ) -> Result<PredictOutput, ServiceError> {
     request.validate().map_err(ServiceError::BadRequest)?;
     let scene_id =
@@ -128,6 +151,9 @@ pub fn execute_predict(
     let mut ctx = RunContext::new().with_cache(cache);
     if let Some(fractions) = request.regression {
         ctx = ctx.with_regression(fractions);
+    }
+    if let Some(id) = request_id {
+        ctx = ctx.with_request_id(id);
     }
     let mut prediction = zatel.execute(&ctx)?;
     let reference = request.reference.then(|| zatel.run_reference());
@@ -183,12 +209,17 @@ pub fn execute_predict(
         cache: prediction.cache.iter().map(ToJson::to_json).collect(),
         metrics: observing.then(|| registry.clone()),
     };
+    let mut concurrency = MetricsRegistry::new();
+    if let Some(telemetry) = &prediction.concurrency {
+        obs::export_telemetry(telemetry, &mut concurrency);
+    }
     Ok(PredictOutput {
         response,
         prediction,
         reference,
         registry,
         timelines,
+        concurrency,
     })
 }
 
@@ -348,6 +379,50 @@ mod tests {
         );
         let err = execute_predict(&bad_factor, &cache).expect_err("factor 3 must fail");
         assert!(matches!(err, ServiceError::Unprocessable(_)), "{err}");
+    }
+
+    #[test]
+    fn traced_predict_is_tagged_but_deterministically_identical() {
+        let req = tiny_request();
+        let cache = ArtifactCache::in_memory();
+        let plain = execute_predict(&req, &cache).expect("plain");
+        let traced = execute_predict_traced(&req, &cache, Some("req-svc-1")).expect("traced");
+        assert_eq!(traced.prediction.request_id.as_deref(), Some("req-svc-1"));
+        assert_eq!(traced.response.spans[0].name, "request req-svc-1");
+        assert!(plain.prediction.request_id.is_none());
+        assert_eq!(
+            plain.response.deterministic_json().to_string(),
+            traced.response.deterministic_json().to_string(),
+            "request tagging must never reach the deterministic subset"
+        );
+    }
+
+    #[test]
+    fn sharded_predict_exports_concurrency_metrics() {
+        let cache = ArtifactCache::in_memory();
+        let serial = execute_predict(&tiny_request(), &cache).expect("serial");
+        assert!(
+            serial.concurrency.get("sim_commit_wall_us").is_none(),
+            "serial runs carry no concurrency telemetry"
+        );
+
+        let mut req = tiny_request();
+        req.options = Some(
+            zatel::ZatelOptions::builder()
+                .sim_threads(4)
+                .build()
+                .expect("valid options"),
+        );
+        let sharded = execute_predict(&req, &cache).expect("sharded");
+        assert!(
+            sharded.concurrency.get("sim_commit_wall_us").is_some(),
+            "sharded runs must export sim_* concurrency metrics"
+        );
+        assert_eq!(
+            serial.response.deterministic_json().to_string(),
+            sharded.response.deterministic_json().to_string(),
+            "sim_threads is an execution knob, never a result knob"
+        );
     }
 
     #[test]

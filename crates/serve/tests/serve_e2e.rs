@@ -233,6 +233,13 @@ fn graceful_drain_loses_no_queued_requests() {
     }
     assert_eq!(report.refused, 0, "{report:?}");
     assert_eq!(report.admitted, 4, "{report:?}");
+    // The report is self-contained: status classes and the queue's peak
+    // are in it, no /metrics scrape needed after shutdown.
+    assert_eq!(report.responses_2xx, 4, "{report:?}");
+    assert_eq!(report.responses_5xx, 0, "{report:?}");
+    // Every admission raises the depth to at least 1 before a worker
+    // can drain it.
+    assert!(report.peak_queue_depth >= 1, "{report:?}");
 }
 
 #[test]
@@ -257,4 +264,163 @@ fn deadline_expired_requests_get_504() {
     );
     handle.shutdown();
     join.join().expect("server thread").expect("clean run");
+}
+
+#[test]
+fn request_id_is_traceable_end_to_end() {
+    let log_path =
+        std::env::temp_dir().join(format!("zatel-serve-e2e-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let (client, handle, join) = boot(ServeConfig {
+        workers: 1,
+        log_out: Some(log_path.to_str().expect("utf-8 temp path").to_owned()),
+        ..ServeConfig::default()
+    });
+
+    // Caller-supplied ID: echoed in the response header and stamped on
+    // the run's span sheet.
+    let resp = client
+        .post_json_with_headers(
+            "/v1/predict",
+            &tiny_request().to_json(),
+            &[("x-zatel-request-id", "e2e-trace-1")],
+        )
+        .expect("traced predict");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(resp.header("x-zatel-request-id"), Some("e2e-trace-1"));
+    let doc = resp.json().unwrap();
+    let first_span = doc
+        .get("spans")
+        .and_then(Value::as_array)
+        .and_then(|spans| spans.first())
+        .and_then(|s| s.get("name"))
+        .and_then(Value::as_str)
+        .expect("span sheet present");
+    assert_eq!(first_span, "request e2e-trace-1");
+
+    // No caller ID: the server mints a req-... one and still echoes it.
+    let plain = client
+        .post_json("/v1/predict", &tiny_request().to_json())
+        .expect("plain predict");
+    let minted = plain
+        .header("x-zatel-request-id")
+        .expect("generated id echoed");
+    assert!(minted.starts_with("req-"), "{minted}");
+
+    // The debug ring retains the traced request: same ID, route, span
+    // sheet and the exact zatel-log-v1 line.
+    let slow = client.get("/v1/debug/slow").expect("debug slow");
+    assert_eq!(slow.status, 200);
+    let ring = zatel_proto::DebugSlowResponse::from_json(&slow.json().unwrap()).expect("ring doc");
+    let entry = ring
+        .entries
+        .iter()
+        .find(|e| e.request_id == "e2e-trace-1")
+        .expect("traced request retained in the ring");
+    assert_eq!(entry.route, "POST /v1/predict");
+    assert_eq!(entry.status, 200);
+    assert_eq!(entry.spans[0].name, "request e2e-trace-1");
+    assert_eq!(
+        entry.log.get("request_id").and_then(Value::as_str),
+        Some("e2e-trace-1")
+    );
+    assert_eq!(
+        entry.log.get("event").and_then(Value::as_str),
+        Some("request")
+    );
+    assert!(
+        entry
+            .log
+            .get("cache_hits")
+            .and_then(Value::as_u64)
+            .is_some(),
+        "predict request lines carry per-stage cache-hit counts: {}",
+        entry.log
+    );
+
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean run");
+
+    // The JSONL log file carries the same ID (one line per request plus
+    // the drain summary), each line valid zatel-log-v1 JSON.
+    let log_text = std::fs::read_to_string(&log_path).expect("log file written");
+    let mut saw_traced = false;
+    let mut saw_drained = false;
+    for line in log_text.lines() {
+        let parsed = Value::parse(line).expect("every log line is valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(Value::as_str),
+            Some("zatel-log-v1")
+        );
+        if parsed.get("request_id").and_then(Value::as_str) == Some("e2e-trace-1") {
+            saw_traced = true;
+        }
+        if parsed.get("event").and_then(Value::as_str) == Some("serve_drained") {
+            saw_drained = true;
+            assert!(parsed
+                .get("responses_2xx")
+                .and_then(Value::as_u64)
+                .is_some());
+            assert!(parsed
+                .get("peak_queue_depth")
+                .and_then(Value::as_u64)
+                .is_some());
+        }
+    }
+    assert!(saw_traced, "traced request line missing from {log_text}");
+    assert!(saw_drained, "drain summary line missing from {log_text}");
+    let _ = std::fs::remove_file(&log_path);
+}
+
+#[test]
+fn logging_and_threading_never_change_the_deterministic_subset() {
+    // Satellite of the determinism contract: a server with JSONL logging
+    // and a multi-threaded engine serves byte-identical deterministic
+    // subsets to the serial, unlogged in-process pipeline.
+    let log_path =
+        std::env::temp_dir().join(format!("zatel-serve-det-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let req = tiny_request();
+    let expected = in_process_response(&req).deterministic_json().to_string();
+
+    for sim_threads in [Some(1), Some(4)] {
+        let (client, handle, join) = boot(ServeConfig {
+            workers: 1,
+            sim_threads,
+            log_out: Some(log_path.to_str().expect("utf-8 temp path").to_owned()),
+            ..ServeConfig::default()
+        });
+        let resp = client
+            .post_json_with_headers(
+                "/v1/predict",
+                &req.to_json(),
+                &[("x-zatel-request-id", "det-check")],
+            )
+            .expect("predict");
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let got = PredictResponse::from_json(&resp.json().unwrap())
+            .expect("parses")
+            .deterministic_json()
+            .to_string();
+        assert_eq!(
+            got, expected,
+            "sim_threads={sim_threads:?} with logging must not perturb results"
+        );
+
+        // The threaded engine's concurrency telemetry reaches /metrics;
+        // the serial engine exports none.
+        let metrics = client.get("/metrics").expect("metrics");
+        let has_commit = metrics
+            .body
+            .lines()
+            .any(|l| l.starts_with("zatel_serve_sim_commit_wall_us"));
+        match sim_threads {
+            Some(4) => assert!(has_commit, "threaded run must export sim_* metrics"),
+            _ => assert!(!has_commit, "serial run exports no sim_* metrics"),
+        }
+
+        handle.shutdown();
+        join.join().expect("server thread").expect("clean run");
+    }
+    let _ = std::fs::remove_file(&log_path);
 }

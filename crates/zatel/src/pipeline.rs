@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use gpusim::{GpuConfig, Metric, SimStats, Simulator, TraceHooks};
+use gpusim::{GpuConfig, Metric, SimStats, SimTelemetry, Simulator, TraceHooks};
 use minijson::{FromJson, JsonError, Map, ToJson, Value};
 use obs::span::SpanSheet;
 use obs::{ObsHooks, ObserveOptions, SpanRecord};
@@ -334,6 +334,11 @@ pub struct GroupOutcome {
     /// Observability recording (histograms, counters, timeline) collected
     /// when [`ZatelOptions::observe`] is set.
     pub obs: Option<ObsHooks>,
+    /// Concurrency telemetry of this group's simulation when it ran on
+    /// the sharded engine (`sim_threads > 1`); `None` for serial runs.
+    /// Host wall-clock, observational only — never part of fingerprints
+    /// or deterministic output.
+    pub telemetry: Option<SimTelemetry>,
 }
 
 /// A full-GPU, full-resolution reference simulation (what Vulkan-Sim alone
@@ -371,6 +376,13 @@ pub struct Prediction {
     /// pipeline order. A cold [`Zatel::run`] reports all misses; sweep
     /// points sharing a cache report hits for the reused artifacts.
     pub cache: Vec<StageCacheRecord>,
+    /// The request ID this prediction was computed for
+    /// ([`RunContext::with_request_id`]); `None` for untraced executions.
+    pub request_id: Option<String>,
+    /// Aggregated engine concurrency telemetry across all group
+    /// simulations (sharded runs only). Observational host wall-clock —
+    /// excluded from every deterministic artifact.
+    pub concurrency: Option<SimTelemetry>,
 }
 
 impl Prediction {
@@ -453,6 +465,7 @@ pub struct RunContext<'a> {
     pub(crate) cache: Option<&'a ArtifactCache>,
     pub(crate) regression: Option<[f64; 3]>,
     pub(crate) observe: Option<ObserveOptions>,
+    pub(crate) request_id: Option<String>,
 }
 
 impl<'a> RunContext<'a> {
@@ -479,6 +492,18 @@ impl<'a> RunContext<'a> {
     /// Overrides [`ZatelOptions::observe`] for this execution only.
     pub fn with_observe(mut self, observe: ObserveOptions) -> Self {
         self.observe = Some(observe);
+        self
+    }
+
+    /// Tags this execution with a request ID: the resulting
+    /// [`Prediction::request_id`] carries it and a zero-width
+    /// `request <id>` marker span is prepended to the span sheet, so every
+    /// persisted artifact of the execution (run report, span sheet, serve
+    /// debug ring) is correlatable back to the originating request. Purely
+    /// observational — the prediction's values, fingerprints and cache
+    /// interactions are unaffected.
+    pub fn with_request_id(mut self, id: impl Into<String>) -> Self {
+        self.request_id = Some(id.into());
         self
     }
 }
@@ -640,11 +665,24 @@ impl<'s> Zatel<'s> {
             }
             None => self,
         };
-        match (ctx.regression, ctx.cache) {
+        let mut prediction = match (ctx.regression, ctx.cache) {
             (Some(fractions), _) => zatel.execute_regression(fractions),
             (None, Some(cache)) => zatel.execute_cached(cache),
             (None, None) => zatel.execute_cached(&ArtifactCache::in_memory()),
+        }?;
+        if let Some(id) = &ctx.request_id {
+            prediction.request_id = Some(id.clone());
+            prediction.spans.insert(
+                0,
+                SpanRecord {
+                    name: format!("request {id}"),
+                    track: 0,
+                    start_us: 0,
+                    dur_us: 0,
+                },
+            );
         }
+        Ok(prediction)
     }
 
     /// The cached pipeline: heatmap → quantize → divide → select →
@@ -792,6 +830,7 @@ impl<'s> Zatel<'s> {
         let (metric_vector, _) =
             staged(cache, sheet, &mut records, &ExtrapolateStage, &outcomes, 0);
 
+        let concurrency = aggregate_concurrency(&outcomes);
         Ok(Prediction {
             values: metric_vector.0,
             groups: outcomes,
@@ -801,6 +840,8 @@ impl<'s> Zatel<'s> {
             spans: sheet.snapshot(),
             heatmap: None,
             cache: records,
+            request_id: None,
+            concurrency,
         })
     }
 
@@ -834,13 +875,15 @@ impl<'s> Zatel<'s> {
             let obs_hooks = self.options.observe.as_ref().map(|o| {
                 ObsHooks::for_gpu(group.index, &format!("group {}", group.index), down, o)
             });
-            let (stats, trace, obs) = if trace_hooks.is_none() && obs_hooks.is_none() {
+            let (stats, telemetry, trace, obs) = if trace_hooks.is_none() && obs_hooks.is_none() {
                 // The uninstrumented path keeps the NullHooks monomorphization.
-                (simulator.run(&workload), None, None)
+                let (stats, telemetry) =
+                    simulator.run_instrumented(&workload, &mut gpusim::NullHooks);
+                (stats, telemetry, None, None)
             } else {
                 let mut hooks = (trace_hooks, obs_hooks);
-                let stats = simulator.run_with_hooks(&workload, &mut hooks);
-                (stats, hooks.0, hooks.1)
+                let (stats, telemetry) = simulator.run_instrumented(&workload, &mut hooks);
+                (stats, telemetry, hooks.0, hooks.1)
             };
             GroupOutcome {
                 index: group.index,
@@ -851,6 +894,7 @@ impl<'s> Zatel<'s> {
                 wall: Duration::ZERO, // filled from the executor's timing
                 trace,
                 obs,
+                telemetry,
             }
         };
 
@@ -954,6 +998,7 @@ impl<'s> Zatel<'s> {
             ZatelError::InvalidOptions("regression needs at least one traced fraction".into())
         })?;
         let k = self.resolve_factor()?;
+        let concurrency = aggregate_concurrency(&groups);
         Ok(Prediction {
             values,
             groups,
@@ -965,6 +1010,8 @@ impl<'s> Zatel<'s> {
             // The regression variant simulates three traced fractions
             // directly; none of its work flows through the stage cache.
             cache: Vec::new(),
+            request_id: None,
+            concurrency,
         })
     }
 
@@ -982,6 +1029,21 @@ impl<'s> Zatel<'s> {
             wall: start.elapsed(),
         }
     }
+}
+
+/// Folds every group's concurrency telemetry into one record: counters
+/// add and equal shard ranks merge pairwise. `None` when no group ran on
+/// the sharded engine.
+fn aggregate_concurrency(groups: &[GroupOutcome]) -> Option<SimTelemetry> {
+    let mut total = SimTelemetry::default();
+    let mut any = false;
+    for group in groups {
+        if let Some(telemetry) = &group.telemetry {
+            total.merge(telemetry);
+            any = true;
+        }
+    }
+    any.then_some(total)
 }
 
 /// Executes `stage` through `cache`, recording a span named
@@ -1255,6 +1317,63 @@ mod tests {
             via_execute.cache.is_empty(),
             "regression path never consults the stage cache"
         );
+    }
+
+    #[test]
+    fn request_id_tags_prediction_without_changing_values() {
+        let scene = SceneId::Sprng.build(1);
+        let z = quick_zatel(&scene);
+        let tagged = z
+            .execute(&RunContext::new().with_request_id("req-test-7"))
+            .expect("tagged execute");
+        assert_eq!(tagged.request_id.as_deref(), Some("req-test-7"));
+        assert_eq!(tagged.spans[0].name, "request req-test-7");
+        assert_eq!((tagged.spans[0].track, tagged.spans[0].dur_us), (0, 0));
+        let plain = z.run().expect("plain run");
+        assert!(plain.request_id.is_none());
+        assert!(!plain.spans.iter().any(|s| s.name.starts_with("request ")));
+        for m in Metric::ALL {
+            assert_eq!(
+                tagged.value(m),
+                plain.value(m),
+                "{m} must ignore request tagging"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_runs_aggregate_concurrency_telemetry() {
+        let scene = SceneId::Sprng.build(1);
+        let mut z = quick_zatel(&scene);
+        z.options_mut().sim_threads = Some(4);
+        let sharded = z.run().expect("sharded run");
+        assert!(sharded.groups.iter().all(|g| g.telemetry.is_some()));
+        let conc = sharded
+            .concurrency
+            .as_ref()
+            .expect("sharded run aggregates telemetry");
+        assert_eq!(conc.runs, sharded.groups.len() as u64);
+        assert!(conc.decoded_phases() > 0);
+        assert!(conc.commit_wall_us > 0);
+        assert!(
+            (1..=3).contains(&conc.shard_count),
+            "sim_threads=4 -> at most 3 decode shards, clamped to the \
+             downscaled SM count; got {}",
+            conc.shard_count
+        );
+        assert_eq!(conc.shards.len(), conc.shard_count);
+
+        z.options_mut().sim_threads = Some(1);
+        let serial = z.run().expect("serial run");
+        assert!(serial.concurrency.is_none());
+        assert!(serial.groups.iter().all(|g| g.telemetry.is_none()));
+        for m in Metric::ALL {
+            assert_eq!(
+                sharded.value(m),
+                serial.value(m),
+                "{m} must not depend on sim_threads"
+            );
+        }
     }
 
     #[test]

@@ -135,6 +135,41 @@ fn pipeline_values_and_fingerprints_identical_under_threaded_sim() {
     }
 }
 
+/// Concurrency instrumentation is observational only: `run_instrumented`
+/// returns byte-identical `SimStats` (and stats JSON) to the plain `run`
+/// at every thread count, and telemetry appears exactly when the engine
+/// is sharded.
+#[test]
+fn instrumentation_never_changes_stats_or_their_json() {
+    let scene = SceneId::Bunny.build(1);
+    let workload = RtWorkload::full_frame(&scene, 32, 32, trace());
+    for sim_threads in [1u32, 4] {
+        let mut config = GpuConfig::mobile_soc();
+        config.sim_threads = sim_threads;
+        let plain = Simulator::new(config.clone()).run(&workload);
+        let mut hooks = gpusim::NullHooks;
+        let (instrumented, telemetry) =
+            Simulator::new(config).run_instrumented(&workload, &mut hooks);
+        assert_eq!(
+            plain, instrumented,
+            "sim_threads={sim_threads}: instrumentation leaked into SimStats"
+        );
+        assert_eq!(
+            plain.to_json().pretty(),
+            instrumented.to_json().pretty(),
+            "sim_threads={sim_threads}: stats JSON must stay byte-identical"
+        );
+        assert_eq!(
+            telemetry.is_some(),
+            sim_threads > 1,
+            "telemetry is a sharded-engine record only"
+        );
+        if let Some(t) = telemetry {
+            assert!(!t.shards.is_empty(), "sharded run records per-shard rows");
+        }
+    }
+}
+
 /// A stride-striped scripted workload exercising every op kind, sized by
 /// the proptest case.
 fn scripted(threads: u64, salt: u64) -> ScriptedWorkload {
