@@ -28,7 +28,7 @@ impl std::error::Error for ParseArgsError {}
 
 /// Option keys that take a value; everything else with a `--` prefix is a
 /// boolean flag.
-const VALUE_KEYS: [&str; 34] = [
+const VALUE_KEYS: [&str; 43] = [
     "scene",
     "config",
     "res",
@@ -63,6 +63,15 @@ const VALUE_KEYS: [&str; 34] = [
     "deadline-ms",
     "log-out",
     "request-id",
+    "cache-budget-mb",
+    "record",
+    "replay",
+    "requests",
+    "unique",
+    "scenes",
+    "qps",
+    "concurrency",
+    "bench-out",
 ];
 
 impl Args {

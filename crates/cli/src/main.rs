@@ -14,7 +14,11 @@
 //!             [--reference] [--json]
 //! zatel serve [--addr 127.0.0.1:7878] [--workers 2] [--queue 64]
 //!             [--sim-jobs N] [--deadline-ms N] [--cache-dir DIR]
-//!             [--log-out FILE|-]
+//!             [--cache-budget-mb N] [--no-dedup] [--log-out FILE|-]
+//! zatel loadgen --record trace.jsonl [--requests 32] [--unique 4]
+//!               [--scenes SPRNG,PARK] [--res 32] [--spp 1] [--qps 50]
+//! zatel loadgen --replay trace.jsonl --url http://host:7878
+//!               [--concurrency 4] [--qps N] [--bench-out FILE]
 //! zatel predict --url http://host:7878 ...   # same output, computed remotely
 //! zatel sweep --url http://host:7878 ...
 //! zatel report --run run.json [--history runs.jsonl] [--pgm heatmap.pgm]
@@ -67,6 +71,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "predict" => cmd_predict(&args),
         "sweep" => cmd_sweep(&args),
         "serve" => cmd_serve(&args),
+        "loadgen" => cmd_loadgen(&args),
         "report" => cmd_report(&args),
         "heatmap" => cmd_heatmap(&args),
         "lint" => cmd_lint(&args),
@@ -78,7 +83,7 @@ fn print_help() {
     println!(
         "zatel — sample complexity-aware scale-model simulation for ray tracing\n\
          \n\
-         USAGE:\n  zatel <scenes|configs|predict|sweep|serve|report|heatmap|lint|help> [options]\n\
+         USAGE:\n  zatel <scenes|configs|predict|sweep|serve|loadgen|report|heatmap|lint|help> [options]\n\
          \n\
          predict options:\n\
            --scene NAME        benchmark scene (default PARK; see 'zatel scenes')\n\
@@ -125,9 +130,15 @@ fn print_help() {
          serve options (long-running prediction service; see DESIGN.md):\n\
            --addr HOST:PORT    listen address (default 127.0.0.1:7878; port 0\n\
                                picks an ephemeral port, logged on stderr)\n\
-           --workers N         request worker threads (default 2)\n\
+           --workers N         worker shards; requests route to shards by a\n\
+                               scene+config affinity hash, each shard owns a\n\
+                               private memory cache tier (default 2)\n\
            --queue N           admission queue depth; beyond it requests are\n\
-                               refused with 429 + Retry-After (default 64)\n\
+                               refused with 429 + a computed Retry-After\n\
+                               (default 64)\n\
+           --no-dedup          disable single-flight dedup of identical\n\
+                               concurrent requests (responses are identical\n\
+                               either way; useful for A/B load tests)\n\
            --sim-jobs N        per-request simulation thread cap, when the\n\
                                request does not set options.jobs itself\n\
            --sim-threads N     global intra-sim engine-thread budget, split\n\
@@ -137,9 +148,30 @@ fn print_help() {
            --deadline-ms N     default deadline for requests that carry none;\n\
                                requests queued past it answer 504\n\
            --cache-dir DIR     persist stage artifacts on disk across restarts\n\
+                               (the disk tier is shared by every shard)\n\
+           --cache-budget-mb N evict least-recently-used disk-tier entries\n\
+                               once the cache dir outgrows N MiB\n\
            --log-out DEST      zatel-log-v1 JSONL event log destination: one\n\
                                line per request plus a drain summary (default\n\
                                stderr; '-'/'stderr' or a file path)\n\
+         \n\
+         loadgen options (record/replay load against 'zatel serve'):\n\
+           --record FILE       write a deterministic zatel-loadtrace-v1 JSONL\n\
+                               trace (no server needed)\n\
+           --requests N        trace length (default 32)\n\
+           --unique N          distinct request shapes the trace cycles\n\
+                               through — duplicates exercise the cache and\n\
+                               single-flight paths (default 4)\n\
+           --scenes LIST       comma-separated scene rotation (default SPRNG)\n\
+           --res N / --spp N   recorded request size (defaults 32 / 1)\n\
+           --qps F             pacing: recorded offsets are spaced 1000/F ms;\n\
+                               with --replay it re-paces the trace (default 50)\n\
+           --replay FILE       fire a recorded trace at --url and report\n\
+                               throughput, latency percentiles and the\n\
+                               server's cache/coalesce deltas from /metrics\n\
+           --url URL           the 'zatel serve' instance to replay against\n\
+           --concurrency N     replay client threads (default 4)\n\
+           --bench-out FILE    write the zatel-bench-serve-fleet-v1 JSON report\n\
          \n\
          report options:\n\
            --run FILE          run record written by 'zatel predict --run-out';\n\
@@ -757,6 +789,19 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating cache dir '{dir}': {e}"))?;
         config.cache_dir = Some(dir.to_owned());
     }
+    if args.get("cache-budget-mb").is_some() {
+        let budget = args
+            .get_parsed("cache-budget-mb", 0u64)
+            .map_err(|e| e.to_string())?;
+        if budget == 0 {
+            return Err("--cache-budget-mb must be at least 1".into());
+        }
+        if config.cache_dir.is_none() {
+            return Err("--cache-budget-mb needs --cache-dir".into());
+        }
+        config.cache_budget_mb = Some(budget);
+    }
+    config.dedup = !args.flag("no-dedup");
     if let Some(dest) = args.get("log-out") {
         config.log_out = Some(dest.to_owned());
     }
@@ -770,16 +815,83 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let report = server.run()?;
     eprintln!(
         "zatel serve: drained; {} request(s) admitted, {} refused at the queue, \
-         {} still in flight when the drain began; responses {} 2xx / {} 4xx / {} 5xx, \
-         peak queue depth {}",
+         {} still in flight when the drain began, {} coalesced; \
+         responses {} 2xx / {} 4xx / {} 5xx, peak queue depth {}",
         report.admitted,
         report.refused,
         report.drained_in_flight,
+        report.coalesced,
         report.responses_2xx,
         report.responses_4xx,
         report.responses_5xx,
         report.peak_queue_depth
     );
+    Ok(())
+}
+
+/// `zatel loadgen`: record a deterministic `zatel-loadtrace-v1` trace
+/// and/or replay one against a running `zatel serve` instance.
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    let mut config = zatel_serve::LoadgenConfig::default();
+    config.requests = args
+        .get_parsed("requests", config.requests)
+        .map_err(|e| e.to_string())?;
+    config.unique = args
+        .get_parsed("unique", config.unique)
+        .map_err(|e| e.to_string())?;
+    if let Some(scenes) = args.get("scenes") {
+        config.scenes = scenes
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect();
+    }
+    config.res = args
+        .get_parsed("res", config.res)
+        .map_err(|e| e.to_string())?;
+    config.spp = args
+        .get_parsed("spp", config.spp)
+        .map_err(|e| e.to_string())?;
+    let qps_given = args.get("qps").is_some();
+    config.qps = args
+        .get_parsed("qps", config.qps)
+        .map_err(|e| e.to_string())?;
+    config.concurrency = args
+        .get_parsed("concurrency", config.concurrency)
+        .map_err(|e| e.to_string())?;
+
+    let record = args.get("record");
+    let replay = args.get("replay");
+    if record.is_none() && replay.is_none() {
+        return Err("loadgen needs --record FILE, --replay FILE or both".into());
+    }
+    if let Some(path) = record {
+        let entries = zatel_serve::loadgen::build_trace(&config)?;
+        zatel_serve::loadgen::write_trace(path, &entries)?;
+        eprintln!(
+            "zatel loadgen: recorded {} request(s) over {} scene(s) to {path}",
+            entries.len(),
+            config.scenes.len()
+        );
+    }
+    let Some(path) = replay else {
+        return Ok(());
+    };
+    let url = args
+        .get("url")
+        .ok_or("--replay needs --url http://host:port")?;
+    let entries = zatel_serve::loadgen::read_trace(path)?;
+    // Replaying what was just recorded honors the trace's own pacing
+    // unless --qps explicitly re-paces it.
+    let qps_override = qps_given.then_some(config.qps);
+    let report = zatel_serve::loadgen::replay_trace(url, &entries, &config, qps_override)?;
+    print!("{}", report.render_text());
+    if let Some(out) = args.get("bench-out") {
+        std::fs::write(out, format!("{}\n", report.to_json().pretty()))
+            .map_err(|e| format!("writing bench report '{out}': {e}"))?;
+        eprintln!("zatel loadgen: wrote bench report to {out}");
+    }
     Ok(())
 }
 

@@ -28,6 +28,7 @@
 //! let kind = FileKind {
 //!     test_context: false,
 //!     result_affecting: false,
+//!     thread_watched: false,
 //!     unsafe_allowed: false,
 //!     thread_allowed: false,
 //!     obs_banned: false,
@@ -57,6 +58,12 @@ pub struct FileKind {
     pub test_context: bool,
     /// The file is in a result-affecting path: determinism rules are on.
     pub result_affecting: bool,
+    /// The file is on a thread-watched path: the `thread-seam` rule
+    /// applies even though the determinism rules do not, so every thread
+    /// or channel the file creates needs an audited `thread_allow` entry
+    /// (or an inline waiver) naming why it cannot reorder result-visible
+    /// events.
+    pub thread_watched: bool,
     /// The file is on the unsafe allowlist.
     pub unsafe_allowed: bool,
     /// The file is on the thread allow-list: an audited seam that may
@@ -136,6 +143,11 @@ pub struct LintConfig {
     /// Path prefixes (files or directories) where the determinism rules
     /// apply.
     pub result_affecting: Vec<String>,
+    /// Path prefixes where only the `thread-seam` rule applies: code
+    /// that is not result-affecting but whose thread topology is an
+    /// audited surface (e.g. the serve fleet's router/shard channels).
+    /// Every seam there must carry a `thread_allow` entry or waiver.
+    pub thread_watch: Vec<String>,
     /// Files allowed to contain `unsafe`.
     pub unsafe_allow: Vec<String>,
     /// Result-affecting files audited to create threads (the
@@ -196,15 +208,41 @@ impl LintConfig {
             // through the SimHooks seam. hooks.rs is the seam itself.
             obs_ban: vec!["crates/gpusim/src".to_owned()],
             obs_allow: vec!["crates/gpusim/src/hooks.rs".to_owned()],
-            thread_allow: vec![ThreadAllowance {
-                path: "crates/gpusim/src/engine/epoch.rs".to_owned(),
-                reason: "the audited sharded-engine seam: decode shards spawned \
-                         here are pure of timing state, joined before the run \
-                         returns, and consumed by the single commit thread in \
-                         serial event order — pinned bit-identical by the \
-                         sim_threads identity tests"
-                    .to_owned(),
-            }],
+            // The serve crate is thread-watched rather than
+            // result-affecting: wall clocks and hash maps there are
+            // measurement, but its thread topology (routers, shard
+            // workers, replay clients) is the fleet's correctness
+            // surface, so every seam must be on the audit list below.
+            thread_watch: vec!["crates/serve/src".to_owned()],
+            thread_allow: vec![
+                ThreadAllowance {
+                    path: "crates/gpusim/src/engine/epoch.rs".to_owned(),
+                    reason: "the audited sharded-engine seam: decode shards spawned \
+                             here are pure of timing state, joined before the run \
+                             returns, and consumed by the single commit thread in \
+                             serial event order — pinned bit-identical by the \
+                             sim_threads identity tests"
+                        .to_owned(),
+                },
+                ThreadAllowance {
+                    path: "crates/serve/src/server.rs".to_owned(),
+                    reason: "the fleet topology seam: the accept loop, router \
+                             threads, admission-refusal writers and shard workers \
+                             all live here; requests route by affinity fingerprint \
+                             and execute on exactly one shard, so thread count \
+                             never reaches a response's deterministic subset — \
+                             pinned by the shard-count and dedup identity tests"
+                        .to_owned(),
+                },
+                ThreadAllowance {
+                    path: "crates/serve/src/loadgen.rs".to_owned(),
+                    reason: "load-replay client threads: measurement-side only; \
+                             they post traced requests at recorded offsets and \
+                             aggregate latencies, and never touch simulation or \
+                             prediction state"
+                        .to_owned(),
+                },
+            ],
             seam: Some(SeamSpec {
                 trait_file: "crates/gpusim/src/hooks.rs".to_owned(),
                 trait_name: "SimHooks".to_owned(),
@@ -247,6 +285,10 @@ impl LintConfig {
             .result_affecting
             .iter()
             .any(|p| rel == p || rel.starts_with(&format!("{p}/")));
+        let thread_watched = self
+            .thread_watch
+            .iter()
+            .any(|p| rel == p || rel.starts_with(&format!("{p}/")));
         let unsafe_allowed = self.unsafe_allow.iter().any(|p| p == rel);
         let thread_allowed = self
             .thread_allow
@@ -260,6 +302,7 @@ impl LintConfig {
         FileKind {
             test_context,
             result_affecting,
+            thread_watched,
             unsafe_allowed,
             thread_allowed,
             obs_banned,
@@ -621,6 +664,24 @@ mod tests {
         assert!(c.kind_of("crates/gpusim/tests/x.rs").test_context);
         assert!(c.kind_of("examples/quickstart.rs").test_context);
         assert!(!c.kind_of("crates/zatel/src/select.rs").test_context);
+    }
+
+    #[test]
+    fn thread_watch_covers_serve_without_determinism_rules() {
+        let c = LintConfig::zatel_workspace("/does-not-matter");
+        let server = c.kind_of("crates/serve/src/server.rs");
+        assert!(server.thread_watched);
+        assert!(!server.result_affecting, "watched, not result-affecting");
+        assert!(server.thread_allowed, "audited seam stays allowed");
+        let shard = c.kind_of("crates/serve/src/shard.rs");
+        assert!(shard.thread_watched);
+        assert!(!shard.thread_allowed, "only listed files get allowances");
+        assert!(!c.kind_of("crates/cli/src/main.rs").thread_watched);
+        assert!(
+            !c.kind_of("crates/gpusim/src/engine/epoch.rs")
+                .thread_watched,
+            "result-affecting paths carry the rule already"
+        );
     }
 
     #[test]

@@ -107,9 +107,9 @@ pub fn scan_lines(file: &str, scanned: &ScannedFile, kind: &FileKind) -> Vec<Fin
         let in_test = kind.test_context || line.in_test;
         if kind.result_affecting && !in_test {
             determinism(file, lineno, line, &mut findings);
-            if !kind.thread_allowed {
-                thread_seam(file, lineno, line, &mut findings);
-            }
+        }
+        if (kind.result_affecting || kind.thread_watched) && !in_test && !kind.thread_allowed {
+            thread_seam(file, lineno, line, kind.result_affecting, &mut findings);
         }
         if kind.obs_banned && !in_test {
             obs_seam(file, lineno, line, &mut findings);
@@ -192,13 +192,22 @@ fn panic_hygiene(file: &str, lineno: u32, line: &Line, findings: &mut Vec<Findin
 }
 
 /// `thread-seam`: `spawn`/`channel`/`sync_channel` calls in
-/// result-affecting code. The sharded engine keeps its bit-identity proof
-/// by funnelling every thread through the audited `EpochDriver` seam
-/// (`crates/gpusim/src/engine/epoch.rs`); a thread created anywhere else in
-/// a result-affecting path can reorder result-visible events with no test
-/// to catch it. `Mutex`/`Condvar` are deliberately not flagged — blocking
-/// primitives don't create concurrency, threads do.
-fn thread_seam(file: &str, lineno: u32, line: &Line, findings: &mut Vec<Finding>) {
+/// result-affecting or thread-watched code. The sharded engine keeps its
+/// bit-identity proof by funnelling every thread through the audited
+/// `EpochDriver` seam (`crates/gpusim/src/engine/epoch.rs`); a thread
+/// created anywhere else in a result-affecting path can reorder
+/// result-visible events with no test to catch it. Thread-watched paths
+/// (the serve fleet) carry the same rule so new router/shard channels
+/// land on the audit list deliberately. `Mutex`/`Condvar` are
+/// deliberately not flagged — blocking primitives don't create
+/// concurrency, threads do.
+fn thread_seam(
+    file: &str,
+    lineno: u32,
+    line: &Line,
+    result_affecting: bool,
+    findings: &mut Vec<Finding>,
+) {
     for (pos, ident) in idents(&line.code) {
         let end = pos + ident.len();
         let hit = match ident {
@@ -217,18 +226,23 @@ fn thread_seam(file: &str, lineno: u32, line: &Line, findings: &mut Vec<Finding>
             _ => false,
         };
         if hit {
-            findings.push(Finding::new(
-                THREAD_SEAM,
-                file,
-                lineno,
+            let message = if result_affecting {
                 format!(
                     "`{ident}` in result-affecting code{}: threads may only be \
                      created inside the audited sharded-engine seam; route the \
                      work through `EpochDriver`, or add a `thread_allow` entry \
                      with its audit reason",
                     at_item(line)
-                ),
-            ));
+                )
+            } else {
+                format!(
+                    "`{ident}` on a thread-watched path{}: the fleet's thread \
+                     topology is an audited surface; add a `thread_allow` entry \
+                     with its audit reason",
+                    at_item(line)
+                )
+            };
+            findings.push(Finding::new(THREAD_SEAM, file, lineno, message));
         }
     }
 }
@@ -579,6 +593,7 @@ mod tests {
         FileKind {
             test_context: false,
             result_affecting: true,
+            thread_watched: false,
             unsafe_allowed: false,
             thread_allowed: false,
             obs_banned: false,
@@ -676,6 +691,47 @@ mod tests {
         assert!(scan_lines("f.rs", &f, &orchestration)
             .iter()
             .all(|f| f.rule != THREAD_SEAM));
+    }
+
+    #[test]
+    fn thread_watch_fires_the_seam_rule_without_determinism_rules() {
+        let f = scan(concat!(
+            "use std::collections::HashMap;\n",
+            "let t = Instant::now();\n",
+            "let h = std::thread::spawn(|| 1);\n",
+        ));
+        let watched = FileKind {
+            result_affecting: false,
+            thread_watched: true,
+            ..kinds()
+        };
+        let fs = scan_lines("f.rs", &f, &watched);
+        let seams: Vec<u32> = fs
+            .iter()
+            .filter(|f| f.rule == THREAD_SEAM)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(seams, vec![3], "only the spawn fires");
+        assert!(
+            fs.iter()
+                .all(|f| f.rule != HASH_COLLECTION && f.rule != WALL_CLOCK),
+            "watched paths keep their clocks and hash maps: {fs:?}"
+        );
+        assert!(
+            fs.iter()
+                .any(|f| f.rule == THREAD_SEAM && f.message.contains("thread-watched path")),
+            "the steer names the watch, not result-affecting code"
+        );
+        let allowed = FileKind {
+            thread_allowed: true,
+            ..watched
+        };
+        assert!(
+            scan_lines("f.rs", &f, &allowed)
+                .iter()
+                .all(|f| f.rule != THREAD_SEAM),
+            "an audited allowance silences the watch"
+        );
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Fixture: a thread-watched orchestration module. Threads and channels
+//! fire the seam rule here, but clocks and hash maps stay legal — the
+//! watch is about topology, not determinism.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn orchestrate(xs: &[u64]) -> u64 {
+    // Measurement-side state: neither of these may fire on a watched
+    // (non-result-affecting) path.
+    let started = Instant::now();
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0) += 1;
+    }
+    let _ = started;
+    seen.values().sum()
+}
+
+pub fn rogue_worker() -> u32 {
+    let worker = std::thread::spawn(|| 1u32);
+    let (tx, rx) = std::sync::mpsc::channel::<u32>();
+    tx.send(worker.join().unwrap_or(0)).ok();
+    rx.recv().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawning_in_tests_is_fine() {
+        let h = std::thread::spawn(|| 2u32);
+        assert_eq!(h.join().unwrap_or(0), 2);
+    }
+}

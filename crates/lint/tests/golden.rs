@@ -16,13 +16,14 @@ fn fixture_root(name: &str) -> PathBuf {
 }
 
 /// The fixture-workspace config: `src/core.rs` is result-affecting,
-/// `src/audited.rs` may contain `unsafe`, `src/obs_leak.rs` is an
-/// obs-banned engine path, no seam.
+/// `src/watched.rs` is thread-watched, `src/audited.rs` may contain
+/// `unsafe`, `src/obs_leak.rs` is an obs-banned engine path, no seam.
 fn ws1_config() -> LintConfig {
     LintConfig {
         root: fixture_root("ws1"),
         scan_dirs: vec!["src".to_owned(), "tests".to_owned()],
         result_affecting: vec!["src/core.rs".to_owned()],
+        thread_watch: vec!["src/watched.rs".to_owned()],
         unsafe_allow: vec!["src/audited.rs".to_owned()],
         thread_allow: vec![],
         obs_ban: vec!["src/obs_leak.rs".to_owned()],
@@ -79,6 +80,8 @@ fn fixture_violations_have_expected_spans() {
     assert!(has("src/lib.rs", "panic-hygiene", 21), "panic! macro");
     assert!(has("src/core.rs", "thread-seam", 43), "thread::spawn");
     assert!(has("src/core.rs", "thread-seam", 44), "mpsc::channel");
+    assert!(has("src/watched.rs", "thread-seam", 21), "watched spawn");
+    assert!(has("src/watched.rs", "thread-seam", 22), "watched channel");
     assert!(has("src/obs_leak.rs", "obs-seam", 5), "obs:: path");
     assert!(
         has("src/obs_leak.rs", "obs-seam", 8),
@@ -112,6 +115,19 @@ fn fixture_violations_have_expected_spans() {
         core_threads, 2,
         "spawn + channel, nothing from the thread traps"
     );
+    // The watched file: exactly its two seams fire, and the
+    // determinism rules stay off despite the HashMap and Instant::now.
+    let watched: Vec<&String> = spans
+        .iter()
+        .filter(|(f, ..)| f == "src/watched.rs")
+        .map(|(_, r, _)| r)
+        .collect();
+    assert_eq!(
+        watched.len(),
+        2,
+        "two seams, no determinism rules: {spans:?}"
+    );
+    assert!(watched.iter().all(|r| *r == "thread-seam"));
     let obs_leaks = spans
         .iter()
         .filter(|(f, r, _)| f == "src/obs_leak.rs" && r == "obs-seam")

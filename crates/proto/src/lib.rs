@@ -37,13 +37,17 @@
 
 mod config;
 mod debug;
+mod loadtrace;
 mod predict;
 mod sweep;
 mod wire;
 
 pub use config::ConfigRef;
 pub use debug::{DebugSlowResponse, SlowRequestEntry};
-pub use predict::{GroupReport, MetricValues, PredictRequest, PredictResponse, ReferenceReport};
+pub use loadtrace::{LoadTraceEntry, LOADTRACE_SCHEMA};
+pub use predict::{
+    GroupReport, MetricValues, PredictRequest, PredictResponse, ReferenceReport, StageCacheOutcome,
+};
 pub use sweep::{sweep_point_record, SweepRequest, SweepResponse};
 pub use wire::{ErrorKind, ErrorResponse, SceneInfo, ScenesResponse};
 

@@ -1,0 +1,105 @@
+//! `zatel-loadtrace-v1`: recorded request traces for the load-replay
+//! harness (`zatel loadgen`).
+//!
+//! A trace is a JSONL file — one [`LoadTraceEntry`] per line — that
+//! describes *what* to send and *when*, relative to the start of the
+//! replay. Entries carry the full request body verbatim, so a trace
+//! replays bit-identically regardless of which `zatel` build recorded
+//! it (within the `zatel-api-v1` body schema).
+
+use minijson::{FromJson, JsonError, Map, ToJson, Value};
+
+/// The schema identifier every trace line carries.
+pub const LOADTRACE_SCHEMA: &str = "zatel-loadtrace-v1";
+
+/// One recorded request of a `zatel-loadtrace-v1` trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadTraceEntry {
+    /// Zero-based position in the trace (stable across re-serialization;
+    /// replay reports reference it).
+    pub seq: u64,
+    /// Scheduled send time in milliseconds after replay start. Replay at
+    /// an overridden QPS rescales these offsets proportionally.
+    pub offset_ms: u64,
+    /// Request path (`/v1/predict` or `/v1/sweep`).
+    pub path: String,
+    /// The request body, verbatim (`zatel-api-v1`).
+    pub body: Value,
+}
+
+impl ToJson for LoadTraceEntry {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), Value::from(LOADTRACE_SCHEMA));
+        m.insert("seq".into(), Value::from(self.seq));
+        m.insert("offset_ms".into(), Value::from(self.offset_ms));
+        m.insert("path".into(), Value::from(self.path.as_str()));
+        m.insert("body".into(), self.body.clone());
+        Value::Object(m)
+    }
+}
+
+impl FromJson for LoadTraceEntry {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "LoadTraceEntry";
+        match value.get("schema").and_then(Value::as_str) {
+            Some(s) if s == LOADTRACE_SCHEMA => {}
+            Some(other) => {
+                return Err(JsonError::conversion(format!(
+                    "{TY}: unsupported schema '{other}' (this build speaks {LOADTRACE_SCHEMA})"
+                )))
+            }
+            None => return Err(JsonError::missing_field(TY, "schema")),
+        }
+        Ok(LoadTraceEntry {
+            seq: value
+                .get("seq")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| JsonError::missing_field(TY, "seq"))?,
+            offset_ms: value
+                .get("offset_ms")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| JsonError::missing_field(TY, "offset_ms"))?,
+            path: value
+                .get("path")
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| JsonError::missing_field(TY, "path"))?,
+            body: value
+                .get("body")
+                .cloned()
+                .ok_or_else(|| JsonError::missing_field(TY, "body"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConfigRef, PredictRequest};
+
+    #[test]
+    fn trace_entry_round_trips() {
+        let entry = LoadTraceEntry {
+            seq: 3,
+            offset_ms: 375,
+            path: "/v1/predict".into(),
+            body: PredictRequest::new("SPRNG", ConfigRef::preset("mobile")).to_json(),
+        };
+        let wire = entry.to_json().to_string();
+        let back =
+            LoadTraceEntry::from_json(&Value::parse(&wire).expect("parses")).expect("round trips");
+        assert_eq!(entry, back);
+    }
+
+    #[test]
+    fn trace_entry_rejects_wrong_schema_and_missing_fields() {
+        let wrong = Value::parse(
+            r#"{"schema":"zatel-loadtrace-v2","seq":0,"offset_ms":0,"path":"/","body":{}}"#,
+        )
+        .expect("parses");
+        assert!(LoadTraceEntry::from_json(&wrong).is_err());
+        let missing = Value::parse(r#"{"schema":"zatel-loadtrace-v1","seq":0}"#).expect("parses");
+        assert!(LoadTraceEntry::from_json(&missing).is_err());
+    }
+}

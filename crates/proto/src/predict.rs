@@ -72,6 +72,38 @@ impl PredictRequest {
         }
         Ok(())
     }
+
+    /// The request's *affinity fingerprint*: a stable FNV-1a hash of the
+    /// stage-graph prefix (scene, config, res, spp, seed) — exactly the
+    /// inputs of the cacheable heatmap/quantize/divide stages. Requests
+    /// with equal affinity fingerprints reuse each other's upstream
+    /// artifacts, so a serving fleet routes them to the same worker
+    /// shard. Never admission-order- or wall-clock-dependent.
+    pub fn affinity_fingerprint(&self) -> u64 {
+        let mut h = rtcore::fingerprint::Fnv64::new();
+        h.write_str("zatel-affinity-v1");
+        h.write_str(&self.scene);
+        h.write_str(&self.config.to_json().to_string());
+        h.write_u32(self.res).write_u32(self.spp);
+        h.write_u64(self.seed);
+        h.finish()
+    }
+
+    /// The request's *dedup fingerprint*: a stable FNV-1a hash over every
+    /// field except `deadline_ms` (a client-side budget that never
+    /// affects the computed result). Two in-flight requests with equal
+    /// dedup fingerprints produce byte-identical deterministic subsets,
+    /// so a server may coalesce them onto one pipeline execution.
+    pub fn dedup_fingerprint(&self) -> u64 {
+        let mut doc = self.to_json();
+        if let Value::Object(m) = &mut doc {
+            m.insert("deadline_ms".into(), Value::Null);
+        }
+        let mut h = rtcore::fingerprint::Fnv64::new();
+        h.write_str("zatel-dedup-v1");
+        h.write_str(&doc.to_string());
+        h.finish()
+    }
 }
 
 impl ToJson for PredictRequest {
@@ -376,6 +408,66 @@ impl FromJson for ReferenceReport {
     }
 }
 
+/// One per-stage artifact-cache outcome from a response's `cache`
+/// array, in typed form: how a single pipeline stage's artifact request
+/// was served.
+///
+/// The wire shape is produced by
+/// [`zatel::StageCacheRecord`](zatel::StageCacheRecord); this DTO is the
+/// client-side view (the load-replay harness uses it to compute
+/// hit-rates without re-implementing the record layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageCacheOutcome {
+    /// The stage name (`"heatmap"`, `"quantize"`, ...).
+    pub stage: String,
+    /// The artifact's cache key, as 16 hex digits.
+    pub fingerprint: String,
+    /// How the request was served: `"miss"`, `"memory"`, `"disk"` or
+    /// `"uncacheable"`.
+    pub outcome: String,
+}
+
+impl StageCacheOutcome {
+    /// `true` when the artifact was reused instead of recomputed.
+    pub fn is_hit(&self) -> bool {
+        self.outcome == "memory" || self.outcome == "disk"
+    }
+
+    /// `true` for outcomes that count toward hit-rate denominators
+    /// (everything except `"uncacheable"`).
+    pub fn is_cacheable(&self) -> bool {
+        self.outcome != "uncacheable"
+    }
+}
+
+impl ToJson for StageCacheOutcome {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("stage".into(), Value::from(self.stage.as_str()));
+        m.insert("fingerprint".into(), Value::from(self.fingerprint.as_str()));
+        m.insert("outcome".into(), Value::from(self.outcome.as_str()));
+        Value::Object(m)
+    }
+}
+
+impl FromJson for StageCacheOutcome {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "StageCacheOutcome";
+        let field = |name: &'static str| {
+            value
+                .get(name)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| JsonError::missing_field(TY, name))
+        };
+        Ok(StageCacheOutcome {
+            stage: field("stage")?,
+            fingerprint: field("fingerprint")?,
+            outcome: field("outcome")?,
+        })
+    }
+}
+
 /// A `zatel-api-v1` prediction response.
 ///
 /// The request-determined sections (`scene` through `groups`, plus
@@ -451,6 +543,16 @@ impl PredictResponse {
             m.insert("mae".into(), Value::from(mae));
         }
         Value::Object(m)
+    }
+
+    /// The `cache` array in typed form, skipping records that do not
+    /// parse (a forward-compatibility guard, matching the unknown-field
+    /// policy of `zatel-api-v1`).
+    pub fn cache_outcomes(&self) -> Vec<StageCacheOutcome> {
+        self.cache
+            .iter()
+            .filter_map(|v| StageCacheOutcome::from_json(v).ok())
+            .collect()
     }
 }
 

@@ -77,6 +77,34 @@ impl SweepRequest {
         }
         Ok(())
     }
+
+    /// The sweep's *affinity fingerprint*, mirroring
+    /// [`crate::PredictRequest::affinity_fingerprint`]: a stable hash of
+    /// the stage-graph prefix (scene, config, res, spp, seed) shared by
+    /// every point of the sweep.
+    pub fn affinity_fingerprint(&self) -> u64 {
+        let mut h = rtcore::fingerprint::Fnv64::new();
+        h.write_str("zatel-affinity-v1");
+        h.write_str(&self.scene);
+        h.write_str(&self.config.to_json().to_string());
+        h.write_u32(self.res).write_u32(self.spp);
+        h.write_u64(self.seed);
+        h.finish()
+    }
+
+    /// The sweep's *dedup fingerprint*, mirroring
+    /// [`crate::PredictRequest::dedup_fingerprint`]: a stable hash over
+    /// every field except `deadline_ms`.
+    pub fn dedup_fingerprint(&self) -> u64 {
+        let mut doc = self.to_json();
+        if let Value::Object(m) = &mut doc {
+            m.insert("deadline_ms".into(), Value::Null);
+        }
+        let mut h = rtcore::fingerprint::Fnv64::new();
+        h.write_str("zatel-dedup-v1");
+        h.write_str(&doc.to_string());
+        h.finish()
+    }
 }
 
 impl ToJson for SweepRequest {

@@ -9,10 +9,18 @@
 //! ## Request lifecycle
 //!
 //! ```text
-//! accept → bounded queue (429 + Retry-After when full)
-//!        → worker: parse → deadline check (504 if queued too long)
-//!        → service::execute_* through the shared cache → JSON response
+//! accept → admission gauge (429 + computed Retry-After when full)
+//!        → router: parse → admin answered inline
+//!        → affinity fingerprint % workers → shard queue
+//!        → shard worker: coalesce identical jobs (single-flight)
+//!          → deadline check (504) → execute once → fan out the bytes
 //! ```
+//!
+//! Each shard owns a private in-memory cache tier over one shared disk
+//! tier, so identical requests always warm the same shard while every
+//! shard (and every restart) shares the persisted artifacts. The
+//! [`loadgen`] module records and replays `zatel-loadtrace-v1` traces
+//! against a live server (`zatel loadgen`).
 //!
 //! Endpoints (all speaking [`zatel_proto`]'s `zatel-api-v1` documents):
 //!
@@ -45,11 +53,14 @@
 
 pub mod client;
 pub mod http;
+pub mod loadgen;
 pub mod server;
 pub mod service;
+mod shard;
 pub mod signal;
 
 pub use client::HttpClient;
+pub use loadgen::{LoadgenConfig, MetricsDelta, ReplayReport};
 pub use server::{ServeConfig, ServeReport, Server};
 pub use service::{
     execute_predict, execute_predict_traced, execute_sweep, PredictOutput, ServiceError,

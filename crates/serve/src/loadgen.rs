@@ -1,0 +1,509 @@
+//! The load-replay harness behind `zatel loadgen`.
+//!
+//! Two modes, composable into a record-once/replay-many workflow:
+//!
+//! * **record** — synthesize a deterministic `zatel-loadtrace-v1` JSONL
+//!   trace (see [`zatel_proto::LoadTraceEntry`]): a fixed rotation of
+//!   predict requests over the chosen scenes with `--unique` distinct
+//!   seeds, paced at `--qps`. Recording never talks to a server, so the
+//!   same flags always produce byte-identical traces.
+//! * **replay** — fire a recorded trace at a running `zatel serve`
+//!   instance from `--concurrency` client threads, honoring each entry's
+//!   offset (or re-pacing at an overridden `--qps`), then report
+//!   throughput, latency percentiles and the server-side cache/coalesce
+//!   deltas scraped from `/metrics` before and after.
+//!
+//! Unlike the serving stack, this module is *measurement* code: wall
+//! clocks are its whole point, and nothing here feeds any deterministic
+//! output — the report observes the run, it never shapes a prediction.
+
+use std::fmt::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use minijson::{FromJson, Map, ToJson, Value};
+use zatel_proto::{ConfigRef, LoadTraceEntry, PredictRequest};
+
+use crate::client::HttpClient;
+
+/// The report schema `--bench-out` files carry.
+pub const BENCH_SCHEMA: &str = "zatel-bench-serve-fleet-v1";
+
+/// What to record or replay (defaults mirror `zatel loadgen`'s).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Requests in a recorded trace.
+    pub requests: usize,
+    /// Distinct request shapes (seeds) the recorded trace cycles
+    /// through; duplicates are what give the cache and the single-flight
+    /// path something to do.
+    pub unique: usize,
+    /// Scene rotation for recorded requests.
+    pub scenes: Vec<String>,
+    /// Square resolution of recorded requests.
+    pub res: u32,
+    /// Samples per pixel of recorded requests.
+    pub spp: u32,
+    /// Request pacing. Recording spaces entry offsets at `1000/qps` ms;
+    /// replay honors trace offsets unless this overrides them.
+    pub qps: f64,
+    /// Client threads during replay.
+    pub concurrency: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            requests: 32,
+            unique: 4,
+            scenes: vec!["SPRNG".into()],
+            res: 32,
+            spp: 1,
+            qps: 50.0,
+            concurrency: 4,
+        }
+    }
+}
+
+/// Builds the deterministic request sequence a trace records: request
+/// `i` targets `scenes[i % scenes.len()]` with seed `1 + (i % unique)`,
+/// offset `i * 1000 / qps` ms.
+///
+/// # Errors
+///
+/// Returns a message when the config asks for zero requests, no scenes,
+/// zero unique shapes or a non-positive QPS.
+pub fn build_trace(config: &LoadgenConfig) -> Result<Vec<LoadTraceEntry>, String> {
+    if config.requests == 0 {
+        return Err("--requests must be at least 1".into());
+    }
+    if config.unique == 0 {
+        return Err("--unique must be at least 1".into());
+    }
+    if config.scenes.is_empty() {
+        return Err("--scenes must name at least one scene".into());
+    }
+    if config.qps.is_nan() || config.qps <= 0.0 {
+        return Err("--qps must be positive".into());
+    }
+    let gap_ms = 1000.0 / config.qps;
+    let entries = (0..config.requests)
+        .map(|i| {
+            let scene = &config.scenes[i % config.scenes.len()];
+            let mut req = PredictRequest::new(scene, ConfigRef::preset("mobile"));
+            req.res = config.res;
+            req.spp = config.spp;
+            req.seed = 1 + (i % config.unique) as u64;
+            LoadTraceEntry {
+                seq: i as u64,
+                offset_ms: (i as f64 * gap_ms) as u64,
+                path: "/v1/predict".into(),
+                body: req.to_json(),
+            }
+        })
+        .collect();
+    Ok(entries)
+}
+
+/// Serializes a trace as `zatel-loadtrace-v1` JSONL.
+///
+/// # Errors
+///
+/// Returns a message when the file cannot be written.
+pub fn write_trace(path: &str, entries: &[LoadTraceEntry]) -> Result<(), String> {
+    let mut out = String::new();
+    for entry in entries {
+        out.push_str(&entry.to_json().to_string());
+        out.push('\n');
+    }
+    std::fs::write(path, out).map_err(|e| format!("writing trace '{path}': {e}"))
+}
+
+/// Parses a `zatel-loadtrace-v1` JSONL trace.
+///
+/// # Errors
+///
+/// Returns a message when the file cannot be read or any line is not a
+/// valid trace entry.
+pub fn read_trace(path: &str) -> Result<Vec<LoadTraceEntry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading trace '{path}': {e}"))?;
+    let mut entries = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Value::parse(line).map_err(|e| format!("{path}:{}: {e}", idx + 1))?;
+        let entry =
+            LoadTraceEntry::from_json(&value).map_err(|e| format!("{path}:{}: {e}", idx + 1))?;
+        entries.push(entry);
+    }
+    if entries.is_empty() {
+        return Err(format!("trace '{path}' holds no entries"));
+    }
+    Ok(entries)
+}
+
+/// Server-side counters scraped from `/metrics`, as deltas over a replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetricsDelta {
+    /// `zatel_serve_cache_memory_hits` growth.
+    pub cache_memory_hits: u64,
+    /// `zatel_serve_cache_disk_hits` growth.
+    pub cache_disk_hits: u64,
+    /// `zatel_serve_cache_misses` growth.
+    pub cache_misses: u64,
+    /// `zatel_serve_coalesced_requests` growth.
+    pub coalesced_requests: u64,
+    /// `zatel_serve_predict_requests` growth (executions, not arrivals).
+    pub predict_requests: u64,
+}
+
+impl MetricsDelta {
+    /// Stage-level cache hit rate over the replay: hits / (hits+misses),
+    /// `None` when the replay touched no cacheable stages.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let hits = self.cache_memory_hits + self.cache_disk_hits;
+        let total = hits + self.cache_misses;
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+}
+
+/// One replay's outcome: client-side timing plus server-side deltas.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Responses with a 2xx status.
+    pub ok: u64,
+    /// Responses with any other status, or transport failures.
+    pub failed: u64,
+    /// Replay wall time in seconds.
+    pub wall_s: f64,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// Latency percentiles in milliseconds over completed requests.
+    pub latency_ms_p50: f64,
+    /// 90th percentile latency (ms).
+    pub latency_ms_p90: f64,
+    /// 99th percentile latency (ms).
+    pub latency_ms_p99: f64,
+    /// Worst observed latency (ms).
+    pub latency_ms_max: f64,
+    /// Server-side counter growth over the replay (zeroes when the
+    /// `/metrics` scrape was unavailable).
+    pub metrics: MetricsDelta,
+}
+
+impl ToJson for ReplayReport {
+    fn to_json(&self) -> Value {
+        let mut latency = Map::new();
+        latency.insert("p50".into(), Value::from(self.latency_ms_p50));
+        latency.insert("p90".into(), Value::from(self.latency_ms_p90));
+        latency.insert("p99".into(), Value::from(self.latency_ms_p99));
+        latency.insert("max".into(), Value::from(self.latency_ms_max));
+        let mut cache = Map::new();
+        cache.insert(
+            "memory_hits".into(),
+            Value::from(self.metrics.cache_memory_hits),
+        );
+        cache.insert(
+            "disk_hits".into(),
+            Value::from(self.metrics.cache_disk_hits),
+        );
+        cache.insert("misses".into(), Value::from(self.metrics.cache_misses));
+        match self.metrics.hit_rate() {
+            Some(rate) => cache.insert("hit_rate".into(), Value::from(rate)),
+            None => cache.insert("hit_rate".into(), Value::Null),
+        };
+        let mut m = Map::new();
+        m.insert("schema".into(), Value::from(BENCH_SCHEMA));
+        m.insert("sent".into(), Value::from(self.sent));
+        m.insert("ok".into(), Value::from(self.ok));
+        m.insert("failed".into(), Value::from(self.failed));
+        m.insert("wall_s".into(), Value::from(self.wall_s));
+        m.insert("throughput_rps".into(), Value::from(self.throughput_rps));
+        m.insert("latency_ms".into(), Value::Object(latency));
+        m.insert("cache".into(), Value::Object(cache));
+        m.insert(
+            "coalesced_requests".into(),
+            Value::from(self.metrics.coalesced_requests),
+        );
+        m.insert(
+            "predict_executions".into(),
+            Value::from(self.metrics.predict_requests),
+        );
+        Value::Object(m)
+    }
+}
+
+impl ReplayReport {
+    /// Renders the human-readable report `zatel loadgen` prints.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "replayed {} request(s) in {:.3}s — {:.1} req/s, {} ok / {} failed",
+            self.sent, self.wall_s, self.throughput_rps, self.ok, self.failed
+        );
+        let _ = writeln!(
+            out,
+            "latency ms: p50 {:.2}  p90 {:.2}  p99 {:.2}  max {:.2}",
+            self.latency_ms_p50, self.latency_ms_p90, self.latency_ms_p99, self.latency_ms_max
+        );
+        let hit_rate = match self.metrics.hit_rate() {
+            Some(rate) => format!("{:.1}%", rate * 100.0),
+            None => "n/a".into(),
+        };
+        let _ = writeln!(
+            out,
+            "server: cache hit rate {hit_rate} ({} memory + {} disk / {} misses), \
+             {} coalesced, {} prediction execution(s)",
+            self.metrics.cache_memory_hits,
+            self.metrics.cache_disk_hits,
+            self.metrics.cache_misses,
+            self.metrics.coalesced_requests,
+            self.metrics.predict_requests,
+        );
+        out
+    }
+}
+
+/// Reads one counter from a Prometheus text snapshot (`0` when absent —
+/// counters the server has not minted yet simply read as zero growth).
+fn scrape_counter(snapshot: &str, name: &str) -> u64 {
+    for line in snapshot.lines() {
+        if let Some(rest) = line.strip_prefix(name) {
+            let rest = rest.trim();
+            if let Ok(v) = rest.parse::<f64>() {
+                return v as u64;
+            }
+        }
+    }
+    0
+}
+
+/// Scrapes the counters [`MetricsDelta`] tracks from `/metrics`.
+fn scrape_metrics(client: &HttpClient) -> Result<MetricsDelta, String> {
+    let resp = client.get("/metrics")?;
+    if resp.status != 200 {
+        return Err(format!("/metrics answered {}", resp.status));
+    }
+    let s = &resp.body;
+    Ok(MetricsDelta {
+        cache_memory_hits: scrape_counter(s, "zatel_serve_cache_memory_hits"),
+        cache_disk_hits: scrape_counter(s, "zatel_serve_cache_disk_hits"),
+        cache_misses: scrape_counter(s, "zatel_serve_cache_misses"),
+        coalesced_requests: scrape_counter(s, "zatel_serve_coalesced_requests"),
+        predict_requests: scrape_counter(s, "zatel_serve_predict_requests"),
+    })
+}
+
+/// The latency at percentile `p` (0..=100) of an **already sorted**
+/// sample, by nearest-rank on the sorted slice.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Replays a trace against `url` and assembles the report.
+///
+/// Entries fire in seq order from `config.concurrency` client threads;
+/// each thread claims the next entry, sleeps out its offset (rescaled
+/// when `qps_override` re-paces the trace) and posts it. Offsets pace
+/// *send starts*; a slow server makes the replay drift late rather than
+/// skip entries.
+///
+/// # Errors
+///
+/// Returns a message when the URL is invalid or the trace cannot be
+/// replayed at all; individual request failures only count into
+/// [`ReplayReport::failed`].
+pub fn replay_trace(
+    url: &str,
+    entries: &[LoadTraceEntry],
+    config: &LoadgenConfig,
+    qps_override: Option<f64>,
+) -> Result<ReplayReport, String> {
+    let client = HttpClient::new(url)?;
+    if let Some(qps) = qps_override {
+        if qps.is_nan() || qps <= 0.0 {
+            return Err("--qps must be positive".into());
+        }
+    }
+    let offsets: Vec<u64> = match qps_override {
+        Some(qps) => {
+            let gap_ms = 1000.0 / qps;
+            (0..entries.len())
+                .map(|i| (i as f64 * gap_ms) as u64)
+                .collect()
+        }
+        None => entries.iter().map(|e| e.offset_ms).collect(),
+    };
+    let before = scrape_metrics(&client).unwrap_or_default();
+
+    let next = AtomicUsize::new(0);
+    let outcomes: Mutex<Vec<(u16, f64)>> = Mutex::new(Vec::with_capacity(entries.len()));
+    let start = Instant::now();
+    let clients = config.concurrency.clamp(1, entries.len());
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                let Some(entry) = entries.get(i) else {
+                    return;
+                };
+                let due = Duration::from_millis(offsets[i]);
+                let elapsed = start.elapsed();
+                if due > elapsed {
+                    std::thread::sleep(due - elapsed);
+                }
+                let sent = Instant::now();
+                let status = client
+                    .post_json(&entry.path, &entry.body)
+                    .map(|resp| resp.status)
+                    .unwrap_or(0);
+                let latency_ms = sent.elapsed().as_secs_f64() * 1000.0;
+                outcomes
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push((status, latency_ms));
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let after = scrape_metrics(&client).unwrap_or(before);
+    let outcomes = outcomes
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    let ok = outcomes
+        .iter()
+        .filter(|(status, _)| (200..300).contains(status))
+        .count() as u64;
+    let mut latencies: Vec<f64> = outcomes.iter().map(|(_, ms)| *ms).collect();
+    latencies.sort_by(f64::total_cmp);
+    let sent = outcomes.len() as u64;
+    Ok(ReplayReport {
+        sent,
+        ok,
+        failed: sent - ok,
+        wall_s,
+        throughput_rps: if wall_s > 0.0 {
+            sent as f64 / wall_s
+        } else {
+            0.0
+        },
+        latency_ms_p50: percentile(&latencies, 50.0),
+        latency_ms_p90: percentile(&latencies, 90.0),
+        latency_ms_p99: percentile(&latencies, 99.0),
+        latency_ms_max: latencies.last().copied().unwrap_or(0.0),
+        metrics: MetricsDelta {
+            cache_memory_hits: after.cache_memory_hits - before.cache_memory_hits,
+            cache_disk_hits: after.cache_disk_hits - before.cache_disk_hits,
+            cache_misses: after.cache_misses - before.cache_misses,
+            coalesced_requests: after.coalesced_requests - before.coalesced_requests,
+            predict_requests: after.predict_requests - before.predict_requests,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_traces_are_deterministic_and_cycle_shapes() {
+        let config = LoadgenConfig {
+            requests: 6,
+            unique: 2,
+            scenes: vec!["SPRNG".into(), "PARK".into()],
+            qps: 100.0,
+            ..LoadgenConfig::default()
+        };
+        let a = build_trace(&config).expect("builds");
+        let b = build_trace(&config).expect("builds");
+        assert_eq!(a, b, "recording is deterministic");
+        assert_eq!(a.len(), 6);
+        assert_eq!(a[0].offset_ms, 0);
+        assert_eq!(a[3].offset_ms, 30);
+        // Scene rotation and seed cycling interleave: with 2 scenes and 2
+        // seeds, request 0 and request 2 share a seed but not a scene,
+        // while request 0 and request 4 are identical shapes.
+        assert_eq!(a[0].body.get("scene"), a[2].body.get("scene"));
+        assert_eq!(a[0].body.get("seed"), a[4].body.get("seed"));
+        assert_eq!(a[0].body, a[4].body);
+        assert_ne!(a[0].body.get("seed"), a[1].body.get("seed"));
+    }
+
+    #[test]
+    fn trace_files_round_trip() {
+        let dir = std::env::temp_dir().join(format!("zatel-loadgen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.jsonl");
+        let path = path.to_str().expect("utf-8 path");
+        let entries = build_trace(&LoadgenConfig::default()).expect("builds");
+        write_trace(path, &entries).expect("writes");
+        let back = read_trace(path).expect("reads");
+        assert_eq!(entries, back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let mut config = LoadgenConfig {
+            requests: 0,
+            ..LoadgenConfig::default()
+        };
+        assert!(build_trace(&config).is_err());
+        config.requests = 1;
+        config.unique = 0;
+        assert!(build_trace(&config).is_err());
+        config.unique = 1;
+        config.scenes.clear();
+        assert!(build_trace(&config).is_err());
+        config.scenes = vec!["SPRNG".into()];
+        config.qps = 0.0;
+        assert!(build_trace(&config).is_err());
+    }
+
+    #[test]
+    fn percentiles_and_scrapes_parse() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(percentile(&sorted, 50.0), 3.0);
+        assert_eq!(percentile(&sorted, 99.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+
+        let snapshot = "# TYPE zatel_serve_cache_misses counter\n\
+                        zatel_serve_cache_misses 12\n\
+                        zatel_serve_coalesced_requests 3\n";
+        assert_eq!(scrape_counter(snapshot, "zatel_serve_cache_misses"), 12);
+        assert_eq!(
+            scrape_counter(snapshot, "zatel_serve_coalesced_requests"),
+            3
+        );
+        assert_eq!(scrape_counter(snapshot, "zatel_serve_cache_memory_hits"), 0);
+    }
+
+    #[test]
+    fn report_json_carries_the_bench_schema() {
+        let report = ReplayReport {
+            sent: 8,
+            ok: 8,
+            wall_s: 0.5,
+            throughput_rps: 16.0,
+            ..ReplayReport::default()
+        };
+        let json = report.to_json();
+        assert_eq!(
+            json.get("schema").and_then(Value::as_str),
+            Some(BENCH_SCHEMA)
+        );
+        assert_eq!(json.get("ok").and_then(Value::as_u64), Some(8));
+        assert!(json.get("latency_ms").and_then(|l| l.get("p50")).is_some());
+        assert!(json.get("cache").and_then(|c| c.get("hit_rate")).is_some());
+    }
+}

@@ -1,0 +1,307 @@
+//! Fleet-shape end-to-end tests: single-flight dedup, affinity-shard
+//! identity, computed backpressure and the loadgen record/replay
+//! harness — all over real sockets against a booted server.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use minijson::{FromJson, ToJson, Value};
+use zatel_proto::{ConfigRef, PredictRequest, PredictResponse};
+use zatel_serve::loadgen;
+use zatel_serve::server::{ServeConfig, ServeReport, Server};
+use zatel_serve::{HttpClient, LoadgenConfig};
+
+/// Boots a server with `config` (addr forced to an ephemeral port),
+/// returning a client for it, a drain handle and the join handle that
+/// yields the final report.
+fn boot(
+    mut config: ServeConfig,
+) -> (
+    HttpClient,
+    String,
+    zatel_serve::server::ServeHandle,
+    JoinHandle<Result<ServeReport, String>>,
+) {
+    config.addr = "127.0.0.1:0".into();
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    let url = format!("http://{addr}");
+    let client = HttpClient::new(&url).expect("client");
+    (client, url, handle, join)
+}
+
+fn tiny_request(seed: u64) -> PredictRequest {
+    let mut req = PredictRequest::new("SPRNG", ConfigRef::preset("mobile"));
+    req.res = 32;
+    req.spp = 1;
+    req.seed = seed;
+    req
+}
+
+/// A request slow enough (~1s) to pin the single shard worker while the
+/// test stacks jobs up behind it.
+fn plug_request() -> PredictRequest {
+    let mut req = PredictRequest::new("WKND", ConfigRef::preset("mobile"));
+    req.res = 64;
+    req.spp = 1;
+    req.seed = 999;
+    req
+}
+
+/// Reads one `zatel_serve_*` counter off a `/metrics` scrape.
+fn scrape(client: &HttpClient, name: &str) -> u64 {
+    let body = client.get("/metrics").expect("metrics").body;
+    body.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| {
+            let rest = l.strip_prefix(name)?;
+            rest.trim().parse::<f64>().ok()
+        })
+        .unwrap_or(0.0) as u64
+}
+
+#[test]
+fn identical_concurrent_requests_coalesce_onto_one_execution() {
+    // One shard: a slow plug pins the worker, then four identical
+    // requests and two distinct ones stack up in its queue. The worker
+    // must serve the identical four with a single execution and the
+    // distinct two with one each.
+    let (client, _url, handle, join) = boot(ServeConfig {
+        workers: 1,
+        queue: 16,
+        ..ServeConfig::default()
+    });
+    let client = Arc::new(client);
+
+    let plug = {
+        let client = Arc::clone(&client);
+        std::thread::spawn(move || {
+            let resp = client
+                .post_json("/v1/predict", &plug_request().to_json())
+                .expect("plug");
+            assert_eq!(resp.status, 200, "body: {}", resp.body);
+        })
+    };
+    // Let the worker collect the plug before the batch arrives.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    let mut identical = Vec::new();
+    for _ in 0..4 {
+        let client = Arc::clone(&client);
+        identical.push(std::thread::spawn(move || {
+            let resp = client
+                .post_json("/v1/predict", &tiny_request(9).to_json())
+                .expect("identical predict");
+            assert_eq!(resp.status, 200, "body: {}", resp.body);
+            (
+                resp.body.clone(),
+                resp.header("x-zatel-shard").map(str::to_owned),
+            )
+        }));
+    }
+    let mut distinct = Vec::new();
+    for seed in [21, 22] {
+        let client = Arc::clone(&client);
+        distinct.push(std::thread::spawn(move || {
+            let resp = client
+                .post_json("/v1/predict", &tiny_request(seed).to_json())
+                .expect("distinct predict");
+            assert_eq!(resp.status, 200, "body: {}", resp.body);
+            resp.body.clone()
+        }));
+    }
+
+    let bodies: Vec<(String, Option<String>)> = identical
+        .into_iter()
+        .map(|t| t.join().expect("identical thread"))
+        .collect();
+    let distinct_bodies: Vec<String> = distinct
+        .into_iter()
+        .map(|t| t.join().expect("distinct thread"))
+        .collect();
+    plug.join().expect("plug thread");
+
+    // Coalesced responses are byte-identical — they ARE the leader's
+    // bytes — and every one names the shard that answered it.
+    for (body, shard) in &bodies {
+        assert_eq!(body, &bodies[0].0, "coalesced bodies must be identical");
+        assert_eq!(shard.as_deref(), Some("0"), "single-shard fleet");
+    }
+    assert_ne!(distinct_bodies[0], distinct_bodies[1]);
+
+    // Execution accounting pins single-flight: 7 requests (plug + 4
+    // identical + 2 distinct) but only 4 pipeline executions; the other
+    // 3 rode the identical leader.
+    assert_eq!(scrape(&client, "zatel_serve_predict_requests"), 4);
+    assert_eq!(scrape(&client, "zatel_serve_coalesced_requests"), 3);
+    assert_eq!(scrape(&client, "zatel_serve_shard0_coalesced"), 3);
+    assert_eq!(scrape(&client, "zatel_serve_shard0_executed"), 4);
+
+    handle.shutdown();
+    let report = join.join().expect("server thread").expect("clean run");
+    assert_eq!(report.coalesced, 3, "{report:?}");
+    assert_eq!(report.refused, 0, "{report:?}");
+    // 7 predicts + the 4 /metrics scrapes this test just made.
+    assert_eq!(report.responses_2xx, 11, "{report:?}");
+}
+
+#[test]
+fn shard_count_and_dedup_never_change_the_deterministic_subset() {
+    // The same request served by 1-shard, 4-shard and dedup-disabled
+    // fleets must produce byte-identical deterministic subsets — shard
+    // routing and single-flight are pure execution topology.
+    let req = tiny_request(7);
+    let mut subsets = Vec::new();
+    for config in [
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        },
+        ServeConfig {
+            workers: 4,
+            dedup: false,
+            ..ServeConfig::default()
+        },
+    ] {
+        let (client, _url, handle, join) = boot(config);
+        let resp = client
+            .post_json("/v1/predict", &req.to_json())
+            .expect("predict");
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let parsed = PredictResponse::from_json(&resp.json().unwrap()).expect("parses");
+        subsets.push(parsed.deterministic_json().to_string());
+        handle.shutdown();
+        join.join().expect("server thread").expect("clean run");
+    }
+    assert_eq!(subsets[0], subsets[1], "1 vs 4 shards");
+    assert_eq!(subsets[0], subsets[2], "dedup on vs off");
+}
+
+#[test]
+fn saturated_queue_answers_429_with_computed_retry_after() {
+    // Queue depth 1 and a pinned worker: concurrent requests beyond the
+    // bound must see 429 with a Retry-After estimated from the backlog.
+    let (client, _url, handle, join) = boot(ServeConfig {
+        workers: 1,
+        queue: 1,
+        ..ServeConfig::default()
+    });
+    let client = Arc::new(client);
+    let plug = {
+        let client = Arc::clone(&client);
+        std::thread::spawn(move || {
+            let resp = client
+                .post_json("/v1/predict", &plug_request().to_json())
+                .expect("plug");
+            assert_eq!(resp.status, 200, "body: {}", resp.body);
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    let mut floods = Vec::new();
+    for seed in 0..6u64 {
+        let client = Arc::clone(&client);
+        floods.push(std::thread::spawn(move || {
+            let resp = client
+                .post_json("/v1/predict", &tiny_request(100 + seed).to_json())
+                .expect("flood predict");
+            let retry_after = resp.header("retry-after").map(str::to_owned);
+            (resp.status, retry_after)
+        }));
+    }
+    let outcomes: Vec<(u16, Option<String>)> = floods
+        .into_iter()
+        .map(|t| t.join().expect("flood thread"))
+        .collect();
+    plug.join().expect("plug thread");
+
+    let refused: Vec<_> = outcomes
+        .iter()
+        .filter(|(status, _)| *status == 429)
+        .collect();
+    assert!(
+        !refused.is_empty(),
+        "a 1-deep queue under 6 concurrent requests must refuse some: {outcomes:?}"
+    );
+    for (_, retry_after) in &refused {
+        let secs: u64 = retry_after
+            .as_deref()
+            .expect("429 carries Retry-After")
+            .parse()
+            .expect("Retry-After is integral seconds");
+        assert!((1..=60).contains(&secs), "Retry-After {secs} out of range");
+    }
+
+    handle.shutdown();
+    let report = join.join().expect("server thread").expect("clean run");
+    assert_eq!(report.refused, refused.len() as u64, "{report:?}");
+    assert!(report.peak_queue_depth <= 1, "{report:?}");
+}
+
+#[test]
+fn loadgen_replay_reports_throughput_and_warming_hit_rate() {
+    let dir = std::env::temp_dir().join(format!("zatel-fleet-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("trace.jsonl");
+    let trace_path = trace_path.to_str().expect("utf-8 path");
+
+    let config = LoadgenConfig {
+        requests: 8,
+        unique: 2,
+        qps: 500.0,
+        concurrency: 4,
+        ..LoadgenConfig::default()
+    };
+    let entries = loadgen::build_trace(&config).expect("builds");
+    loadgen::write_trace(trace_path, &entries).expect("writes");
+    let entries = loadgen::read_trace(trace_path).expect("round trips");
+    assert_eq!(entries.len(), 8);
+
+    let cache_dir = dir.join("cache");
+    let (client, url, handle, join) = boot(ServeConfig {
+        workers: 2,
+        queue: 32,
+        cache_dir: Some(cache_dir.to_str().expect("utf-8 path").to_owned()),
+        cache_budget_mb: Some(64),
+        ..ServeConfig::default()
+    });
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    let cold = loadgen::replay_trace(&url, &entries, &config, None).expect("cold replay");
+    assert_eq!(cold.sent, 8, "{cold:?}");
+    assert_eq!(cold.ok, 8, "{cold:?}");
+    assert!(cold.throughput_rps > 0.0, "{cold:?}");
+    assert!(cold.latency_ms_p50 > 0.0, "{cold:?}");
+    assert!(cold.latency_ms_max >= cold.latency_ms_p99, "{cold:?}");
+
+    let warm = loadgen::replay_trace(&url, &entries, &config, None).expect("warm replay");
+    assert_eq!(warm.ok, 8, "{warm:?}");
+    let cold_rate = cold.metrics.hit_rate().expect("cold replay touched stages");
+    let warm_rate = warm.metrics.hit_rate().expect("warm replay touched stages");
+    assert!(
+        warm_rate > cold_rate,
+        "warm hit rate {warm_rate} must beat cold {cold_rate}"
+    );
+
+    // The bench JSON is self-describing.
+    let json = warm.to_json();
+    assert_eq!(
+        json.get("schema").and_then(Value::as_str),
+        Some(loadgen::BENCH_SCHEMA)
+    );
+    assert!(json
+        .get("cache")
+        .and_then(|c| c.get("hit_rate"))
+        .and_then(Value::as_f64)
+        .is_some());
+
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean run");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -72,5 +72,8 @@ pub use pipeline::{
 };
 pub use select::{Distribution, Selection, SelectionOptions};
 pub use sim_executor::{JobTiming, SimExecutor};
-pub use stages::{ArtifactCache, CacheOutcome, CacheStats, StageCacheRecord};
+pub use stages::{
+    ArtifactCache, CacheOutcome, CacheStats, CacheTier, DiskTier, DiskTierStats, MemoryTier,
+    StageCacheRecord, TierEntry, TieredCache,
+};
 pub use sweep::{SweepDriver, SweepOutcome, SweepParallelism, SweepPointSpec, SweepSpec};

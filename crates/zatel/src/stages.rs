@@ -160,14 +160,30 @@ impl ToJson for StageCacheRecord {
 }
 
 /// Cumulative hit/miss counters of an [`ArtifactCache`].
+///
+/// The first three fields are per-cache: when the serving layer builds
+/// one cache per worker shard, each shard reports its own hits and
+/// misses. The `disk_*` fields mirror the counters of the cache's
+/// [`DiskTier`], which may be shared by several caches — they are global
+/// to every cache composed over the same tier, and zero for purely
+/// in-memory caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Requests served from the in-memory map.
+    /// Requests served from the in-memory tier.
     pub memory_hits: u64,
-    /// Requests served from the on-disk layer.
+    /// Requests served from the on-disk tier.
     pub disk_hits: u64,
     /// Requests that computed the artifact.
     pub misses: u64,
+    /// Entries evicted from the disk tier to honor its size budget.
+    pub disk_evictions: u64,
+    /// Corrupt or truncated on-disk entries discarded (each was served as
+    /// a miss, never an error).
+    pub disk_corrupt: u64,
+    /// Bytes currently held by the disk tier.
+    pub disk_bytes: u64,
+    /// Entries currently held by the disk tier.
+    pub disk_entries: u64,
 }
 
 impl ToJson for CacheStats {
@@ -176,6 +192,10 @@ impl ToJson for CacheStats {
         m.insert("memory_hits".into(), Value::from(self.memory_hits));
         m.insert("disk_hits".into(), Value::from(self.disk_hits));
         m.insert("misses".into(), Value::from(self.misses));
+        m.insert("disk_evictions".into(), Value::from(self.disk_evictions));
+        m.insert("disk_corrupt".into(), Value::from(self.disk_corrupt));
+        m.insert("disk_bytes".into(), Value::from(self.disk_bytes));
+        m.insert("disk_entries".into(), Value::from(self.disk_entries));
         Value::Object(m)
     }
 }
@@ -184,40 +204,472 @@ impl ToJson for CacheStats {
 // diagnostics dumps) is ordered by key, never by hash seed.
 type MemMap = BTreeMap<(&'static str, Fingerprint), Arc<dyn Any + Send + Sync>>;
 
-/// A content-addressed store of stage outputs.
+/// A stored artifact in the form a tier holds it: fast tiers keep the
+/// live typed value, persistent tiers keep its serialized document.
+#[derive(Clone)]
+pub enum TierEntry {
+    /// The live artifact, shared by `Arc` (memory tier).
+    Typed(Arc<dyn Any + Send + Sync>),
+    /// The artifact's [`Artifact::to_disk`] document (persistent tiers).
+    Serialized(Arc<Value>),
+}
+
+impl std::fmt::Debug for TierEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TierEntry::Typed(_) => f.write_str("TierEntry::Typed(..)"),
+            TierEntry::Serialized(_) => f.write_str("TierEntry::Serialized(..)"),
+        }
+    }
+}
+
+/// One storage layer of a [`TieredCache`], keyed like the cache itself
+/// by `(stage name, fingerprint)`.
+///
+/// Implementations are internally synchronized and shareable across
+/// threads (and across caches, behind an `Arc`). Every failure mode —
+/// I/O errors, corrupt documents, representation mismatches — degrades
+/// to a miss, never an error.
+pub trait CacheTier: Send + Sync + std::fmt::Debug {
+    /// Stable tier name (`"memory"`, `"disk"`).
+    fn label(&self) -> &'static str;
+
+    /// Looks up an entry; `None` is a miss.
+    fn get(&self, stage: &'static str, fp: Fingerprint) -> Option<TierEntry>;
+
+    /// Stores an entry. Tiers silently ignore representations they cannot
+    /// hold: the memory tier drops serialized entries, persistent tiers
+    /// drop typed ones.
+    fn put(&self, stage: &'static str, fp: Fingerprint, entry: TierEntry);
+
+    /// Drops an entry that failed to decode (corrupt or type-confused) so
+    /// it is never served again.
+    fn discard(&self, stage: &'static str, fp: Fingerprint);
+
+    /// Number of entries currently held.
+    fn len(&self) -> usize;
+
+    /// `true` when the tier holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The in-process tier: a typed map of live artifacts shared by `Arc`.
+#[derive(Debug, Default)]
+pub struct MemoryTier {
+    map: Mutex<MemMap>,
+}
+
+impl MemoryTier {
+    /// An empty memory tier.
+    pub fn new() -> Self {
+        MemoryTier::default()
+    }
+
+    /// The artifact map, recovering from a poisoned lock: a worker that
+    /// panicked mid-insert leaves the map with whole entries only (values
+    /// are `Arc`s swapped in atomically), so the cached data stays valid.
+    fn map(&self) -> std::sync::MutexGuard<'_, MemMap> {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl CacheTier for MemoryTier {
+    fn label(&self) -> &'static str {
+        "memory"
+    }
+
+    fn get(&self, stage: &'static str, fp: Fingerprint) -> Option<TierEntry> {
+        self.map().get(&(stage, fp)).cloned().map(TierEntry::Typed)
+    }
+
+    fn put(&self, stage: &'static str, fp: Fingerprint, entry: TierEntry) {
+        if let TierEntry::Typed(artifact) = entry {
+            self.map().insert((stage, fp), artifact);
+        }
+    }
+
+    fn discard(&self, stage: &'static str, fp: Fingerprint) {
+        self.map().remove(&(stage, fp));
+    }
+
+    fn len(&self) -> usize {
+        self.map().len()
+    }
+}
+
+/// Statistics of a [`DiskTier`]. Tier-level (shared across every cache
+/// composed over the tier), unlike the per-cache [`CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskTierStats {
+    /// Lookups served from disk.
+    pub hits: u64,
+    /// Lookups that found nothing usable on disk.
+    pub misses: u64,
+    /// Entries evicted to honor the size budget.
+    pub evictions: u64,
+    /// Corrupt or truncated entries discarded.
+    pub corrupt: u64,
+    /// Bytes currently held.
+    pub bytes: u64,
+    /// Entries currently held.
+    pub entries: u64,
+}
+
+const DISK_INDEX_FILE: &str = "cache-index.json";
+const DISK_INDEX_SCHEMA: &str = "zatel-cache-index-v1";
+
+#[derive(Debug, Clone, Copy)]
+struct DiskEntry {
+    bytes: u64,
+    generation: u64,
+}
+
+#[derive(Debug, Default)]
+struct DiskIndex {
+    loaded: bool,
+    next_generation: u64,
+    entries: BTreeMap<String, DiskEntry>,
+}
+
+impl DiskIndex {
+    fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
+    fn bump(&mut self) -> u64 {
+        let g = self.next_generation;
+        self.next_generation += 1;
+        g
+    }
+}
+
+/// `true` for `{stage}-{fingerprint:016x}.json` artifact file names (and
+/// `false` for the index sidecar or anything else living in the dir).
+fn is_artifact_file(name: &str) -> bool {
+    let Some(stem) = name.strip_suffix(".json") else {
+        return false;
+    };
+    let Some((_, hex)) = stem.rsplit_once('-') else {
+        return false;
+    };
+    hex.len() == 16 && hex.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+/// The persistent tier: serialized artifacts stored as
+/// `{stage}-{fingerprint:016x}.json` files under one directory.
+///
+/// Recency for the LRU eviction policy is a monotonic in-index
+/// *generation counter* — never file mtimes, whose granularity and
+/// timezone semantics vary by filesystem — persisted (with entry sizes)
+/// in a `cache-index.json` sidecar so recency survives across processes.
+/// When a size budget is configured, inserts evict the
+/// lowest-generation entries until the tier fits. Several
+/// [`TieredCache`]s may share one `DiskTier` behind an `Arc`; this is
+/// how serve's worker shards share their persistent layer under
+/// shard-private memory tiers.
+#[derive(Debug)]
+pub struct DiskTier {
+    dir: PathBuf,
+    budget: Option<u64>,
+    index: Mutex<DiskIndex>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl DiskTier {
+    /// An unbounded disk tier over `dir` (created on first write).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self::build(dir.into(), None)
+    }
+
+    /// A disk tier over `dir` holding at most `budget_bytes` of artifact
+    /// files; inserts beyond the budget evict least-recently-used entries.
+    pub fn with_budget(dir: impl Into<PathBuf>, budget_bytes: u64) -> Self {
+        Self::build(dir.into(), Some(budget_bytes))
+    }
+
+    fn build(dir: PathBuf, budget: Option<u64>) -> Self {
+        DiskTier {
+            dir,
+            budget,
+            index: Mutex::new(DiskIndex::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        }
+    }
+
+    /// The tier's directory.
+    pub fn dir(&self) -> &PathBuf {
+        &self.dir
+    }
+
+    /// The configured size budget in bytes, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Tier-level counters and current occupancy.
+    pub fn stats(&self) -> DiskTierStats {
+        let idx = self.index();
+        DiskTierStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            bytes: idx.total_bytes(),
+            entries: idx.entries.len() as u64,
+        }
+    }
+
+    fn file_name(stage: &str, fp: Fingerprint) -> String {
+        format!("{stage}-{fp:016x}.json")
+    }
+
+    /// The index, lazily initialized from the sidecar file and a directory
+    /// scan, recovering from lock poisoning (mutations leave the index
+    /// coherent entry-by-entry).
+    fn index(&self) -> std::sync::MutexGuard<'_, DiskIndex> {
+        let mut idx = self
+            .index
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !idx.loaded {
+            self.load(&mut idx);
+        }
+        idx
+    }
+
+    /// Builds the in-memory index: sizes come from the files actually
+    /// present, generations from the sidecar where available. Files never
+    /// indexed (a pre-index cache dir, or a sidecar lost to a crash) are
+    /// adopted in sorted-name order so the result is deterministic.
+    fn load(&self, idx: &mut DiskIndex) {
+        idx.loaded = true;
+        let mut present: BTreeMap<String, u64> = BTreeMap::new();
+        if let Ok(dir) = std::fs::read_dir(&self.dir) {
+            for entry in dir.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !is_artifact_file(&name) {
+                    continue;
+                }
+                let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                present.insert(name, bytes);
+            }
+        }
+        let mut recorded: BTreeMap<String, u64> = BTreeMap::new();
+        if let Ok(text) = std::fs::read_to_string(self.dir.join(DISK_INDEX_FILE)) {
+            if let Ok(doc) = Value::parse(&text) {
+                if doc.get("schema").and_then(Value::as_str) == Some(DISK_INDEX_SCHEMA) {
+                    idx.next_generation = doc
+                        .get("next_generation")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0);
+                    if let Some(entries) = doc.get("entries").and_then(Value::as_array) {
+                        for e in entries {
+                            let (Some(file), Some(generation)) = (
+                                e.get("file").and_then(Value::as_str),
+                                e.get("generation").and_then(Value::as_u64),
+                            ) else {
+                                continue;
+                            };
+                            recorded.insert(file.to_owned(), generation);
+                        }
+                    }
+                }
+            }
+        }
+        for (name, bytes) in present {
+            let generation = match recorded.get(&name) {
+                Some(&g) => g,
+                None => idx.bump(),
+            };
+            idx.next_generation = idx.next_generation.max(generation + 1);
+            idx.entries.insert(name, DiskEntry { bytes, generation });
+        }
+    }
+
+    /// Persists the index sidecar, best-effort.
+    fn persist(&self, idx: &DiskIndex) {
+        let mut entries = Vec::with_capacity(idx.entries.len());
+        for (name, e) in &idx.entries {
+            let mut m = Map::new();
+            m.insert("file".into(), Value::from(name.as_str()));
+            m.insert("bytes".into(), Value::from(e.bytes));
+            m.insert("generation".into(), Value::from(e.generation));
+            entries.push(Value::Object(m));
+        }
+        let mut m = Map::new();
+        m.insert("schema".into(), Value::from(DISK_INDEX_SCHEMA));
+        m.insert("next_generation".into(), Value::from(idx.next_generation));
+        m.insert("entries".into(), Value::Array(entries));
+        let _ = std::fs::write(self.dir.join(DISK_INDEX_FILE), Value::Object(m).pretty());
+    }
+
+    /// Removes an entry's file and index record.
+    fn remove_entry(&self, idx: &mut DiskIndex, name: &str) {
+        let _ = std::fs::remove_file(self.dir.join(name));
+        idx.entries.remove(name);
+    }
+
+    /// Evicts lowest-generation entries until the tier fits its budget.
+    fn evict_over_budget(&self, idx: &mut DiskIndex) {
+        let Some(budget) = self.budget else {
+            return;
+        };
+        while idx.total_bytes() > budget {
+            let Some(oldest) = idx
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.generation)
+                .map(|(name, _)| name.clone())
+            else {
+                return;
+            };
+            self.remove_entry(idx, &oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl CacheTier for DiskTier {
+    fn label(&self) -> &'static str {
+        "disk"
+    }
+
+    fn get(&self, stage: &'static str, fp: Fingerprint) -> Option<TierEntry> {
+        let name = Self::file_name(stage, fp);
+        let mut idx = self.index();
+        if !idx.entries.contains_key(&name) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let parsed = std::fs::read_to_string(self.dir.join(&name))
+            .ok()
+            .and_then(|text| Value::parse(&text).ok());
+        match parsed {
+            Some(value) => {
+                // Touch: the entry becomes the most recently used.
+                let generation = idx.bump();
+                if let Some(e) = idx.entries.get_mut(&name) {
+                    e.generation = generation;
+                }
+                self.persist(&idx);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(TierEntry::Serialized(Arc::new(value)))
+            }
+            None => {
+                // Truncated, corrupt or unreadable: drop it, serve a miss.
+                self.remove_entry(&mut idx, &name);
+                self.persist(&idx);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, stage: &'static str, fp: Fingerprint, entry: TierEntry) {
+        let TierEntry::Serialized(value) = entry else {
+            return;
+        };
+        let name = Self::file_name(stage, fp);
+        let text = value.pretty();
+        let mut idx = self.index();
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        if std::fs::write(self.dir.join(&name), &text).is_err() {
+            return;
+        }
+        let generation = idx.bump();
+        idx.entries.insert(
+            name,
+            DiskEntry {
+                bytes: text.len() as u64,
+                generation,
+            },
+        );
+        self.evict_over_budget(&mut idx);
+        self.persist(&idx);
+    }
+
+    fn discard(&self, stage: &'static str, fp: Fingerprint) {
+        let name = Self::file_name(stage, fp);
+        let mut idx = self.index();
+        if idx.entries.contains_key(&name) {
+            self.remove_entry(&mut idx, &name);
+            self.persist(&idx);
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.index().entries.len()
+    }
+}
+
+/// A content-addressed store of stage outputs, composed from an ordered
+/// stack of [`CacheTier`]s (fastest first).
 ///
 /// Keys are `(stage name, fingerprint)` where the fingerprint mixes the
 /// stage's parameter fingerprint with the input's content fingerprint —
 /// any change to either produces a new key, which is the entire cache
 /// invalidation story: stale entries are never *wrong*, only unreachable.
 ///
-/// The cache is internally synchronized and is shared across sweep worker
-/// threads behind an `Arc`.
+/// Lookups walk the tiers in order and promote hits into every faster
+/// tier; misses compute the artifact and offer it to every tier (each
+/// stores the representation it can hold). The cache is internally
+/// synchronized and is shared across sweep worker threads behind an
+/// `Arc`; independent caches may share a [`DiskTier`] (see
+/// [`TieredCache::with_disk_tier`]) to combine shard-private memory with
+/// a fleet-wide persistent layer.
 #[derive(Debug)]
-pub struct ArtifactCache {
-    mem: Mutex<MemMap>,
-    disk_dir: Option<PathBuf>,
+pub struct TieredCache {
+    /// Ordered fastest → slowest; index 0 is always the memory tier.
+    tiers: Vec<Arc<dyn CacheTier>>,
+    /// Concrete handle on the disk tier for stats and sharing.
+    disk: Option<Arc<DiskTier>>,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl Default for ArtifactCache {
+/// The historical name of [`TieredCache`], kept for every call site that
+/// predates the tier split.
+pub type ArtifactCache = TieredCache;
+
+impl Default for TieredCache {
     fn default() -> Self {
-        ArtifactCache::in_memory()
+        TieredCache::in_memory()
     }
 }
 
-impl ArtifactCache {
-    /// A purely in-memory cache.
-    pub fn in_memory() -> Self {
-        ArtifactCache {
-            mem: Mutex::new(BTreeMap::new()),
-            disk_dir: None,
+impl TieredCache {
+    fn compose(disk: Option<Arc<DiskTier>>) -> Self {
+        let mut tiers: Vec<Arc<dyn CacheTier>> = vec![Arc::new(MemoryTier::new())];
+        if let Some(disk) = &disk {
+            tiers.push(Arc::clone(disk) as Arc<dyn CacheTier>);
+        }
+        TieredCache {
+            tiers,
+            disk,
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// A purely in-memory cache.
+    pub fn in_memory() -> Self {
+        Self::compose(None)
     }
 
     /// A cache backed by `dir`: disk-persistable artifacts are written as
@@ -225,38 +677,51 @@ impl ArtifactCache {
     /// miss (then promoted to memory). The directory is created on first
     /// write; I/O failures degrade to cache misses, never errors.
     pub fn with_disk(dir: impl Into<PathBuf>) -> Self {
-        ArtifactCache {
-            disk_dir: Some(dir.into()),
-            ..ArtifactCache::in_memory()
-        }
+        Self::compose(Some(Arc::new(DiskTier::new(dir))))
     }
 
-    /// The on-disk directory, when the disk layer is enabled.
+    /// Like [`TieredCache::with_disk`] with an eviction budget: the disk
+    /// tier holds at most `budget_bytes` of artifacts, evicting
+    /// least-recently-used entries.
+    pub fn with_disk_budget(dir: impl Into<PathBuf>, budget_bytes: u64) -> Self {
+        Self::compose(Some(Arc::new(DiskTier::with_budget(dir, budget_bytes))))
+    }
+
+    /// A cache with a private memory tier over an existing — possibly
+    /// shared — disk tier.
+    pub fn with_disk_tier(disk: Arc<DiskTier>) -> Self {
+        Self::compose(Some(disk))
+    }
+
+    /// The on-disk directory, when the disk tier is enabled.
     pub fn disk_dir(&self) -> Option<&PathBuf> {
-        self.disk_dir.as_ref()
+        self.disk.as_ref().map(|d| d.dir())
     }
 
-    /// Cumulative hit/miss counters.
+    /// The disk tier, when enabled — shareable with further caches via
+    /// [`TieredCache::with_disk_tier`].
+    pub fn disk_tier(&self) -> Option<&Arc<DiskTier>> {
+        self.disk.as_ref()
+    }
+
+    /// Cumulative hit/miss counters (see [`CacheStats`] for which fields
+    /// are per-cache vs per-disk-tier).
     pub fn stats(&self) -> CacheStats {
+        let disk = self.disk.as_ref().map(|d| d.stats()).unwrap_or_default();
         CacheStats {
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            disk_evictions: disk.evictions,
+            disk_corrupt: disk.corrupt,
+            disk_bytes: disk.bytes,
+            disk_entries: disk.entries,
         }
-    }
-
-    /// The artifact map, recovering from a poisoned lock: a worker that
-    /// panicked mid-insert leaves the map with whole entries only (values
-    /// are `Arc`s swapped in atomically), so the cached data stays valid.
-    fn mem(&self) -> std::sync::MutexGuard<'_, MemMap> {
-        self.mem
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Number of artifacts currently held in memory.
     pub fn len(&self) -> usize {
-        self.mem().len()
+        self.tiers[0].len()
     }
 
     /// `true` when no artifacts are held in memory.
@@ -275,6 +740,17 @@ impl ArtifactCache {
         h.finish()
     }
 
+    /// Decodes a tier entry back into the typed artifact. A failure can
+    /// only mean corruption (serialized) or two stages sharing a NAME
+    /// with different output types (typed); both degrade to a recompute
+    /// rather than panicking mid-sweep.
+    fn decode<A: Artifact>(entry: &TierEntry) -> Option<Arc<A>> {
+        match entry {
+            TierEntry::Typed(any) => Arc::clone(any).downcast::<A>().ok(),
+            TierEntry::Serialized(value) => A::from_disk(value).map(Arc::new),
+        }
+    }
+
     /// Returns the stage's output for `input`, computing it only when no
     /// cached copy exists. Returns the artifact, its cache key and how the
     /// request was served.
@@ -288,55 +764,41 @@ impl ArtifactCache {
         if !stage.cacheable() {
             return (Arc::new(stage.run(input)), fp, CacheOutcome::Uncacheable);
         }
-        let key = (S::NAME, fp);
-        let hit = self.mem().get(&key).cloned();
-        if let Some(hit) = hit {
-            // A type mismatch can only mean two stages share a NAME with
-            // different output types; degrade to a recompute (same policy
-            // as disk I/O failures) rather than panicking mid-sweep.
-            if let Ok(artifact) = hit.downcast::<S::Output>() {
-                self.memory_hits.fetch_add(1, Ordering::Relaxed);
-                return (artifact, fp, CacheOutcome::MemoryHit);
+        for (depth, tier) in self.tiers.iter().enumerate() {
+            let Some(entry) = tier.get(S::NAME, fp) else {
+                continue;
+            };
+            let Some(artifact) = Self::decode::<S::Output>(&entry) else {
+                tier.discard(S::NAME, fp);
+                continue;
+            };
+            for faster in &self.tiers[..depth] {
+                faster.put(
+                    S::NAME,
+                    fp,
+                    TierEntry::Typed(Arc::clone(&artifact) as Arc<dyn Any + Send + Sync>),
+                );
             }
-        }
-        if let Some(artifact) = self.read_disk::<S>(fp) {
-            let artifact = Arc::new(artifact);
-            self.mem()
-                .insert(key, Arc::clone(&artifact) as Arc<dyn Any + Send + Sync>);
-            self.disk_hits.fetch_add(1, Ordering::Relaxed);
-            return (artifact, fp, CacheOutcome::DiskHit);
+            let outcome = if depth == 0 {
+                self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                CacheOutcome::MemoryHit
+            } else {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                CacheOutcome::DiskHit
+            };
+            return (artifact, fp, outcome);
         }
         let artifact = Arc::new(stage.run(input));
-        self.write_disk(S::NAME, fp, artifact.as_ref());
-        self.mem()
-            .insert(key, Arc::clone(&artifact) as Arc<dyn Any + Send + Sync>);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        (artifact, fp, CacheOutcome::Miss)
-    }
-
-    fn disk_path(&self, stage: &str, fp: Fingerprint) -> Option<PathBuf> {
-        self.disk_dir
-            .as_ref()
-            .map(|d| d.join(format!("{stage}-{fp:016x}.json")))
-    }
-
-    fn read_disk<S: Stage>(&self, fp: Fingerprint) -> Option<S::Output> {
-        let path = self.disk_path(S::NAME, fp)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        let value = Value::parse(&text).ok()?;
-        S::Output::from_disk(&value)
-    }
-
-    fn write_disk<A: Artifact>(&self, stage: &str, fp: Fingerprint, artifact: &A) {
-        let (Some(path), Some(value)) = (self.disk_path(stage, fp), artifact.to_disk()) else {
-            return;
-        };
-        if let Some(dir) = path.parent() {
-            if std::fs::create_dir_all(dir).is_err() {
-                return;
+        let typed: Arc<dyn Any + Send + Sync> = Arc::clone(&artifact) as Arc<dyn Any + Send + Sync>;
+        let serialized = artifact.to_disk().map(Arc::new);
+        for tier in &self.tiers {
+            tier.put(S::NAME, fp, TierEntry::Typed(Arc::clone(&typed)));
+            if let Some(value) = &serialized {
+                tier.put(S::NAME, fp, TierEntry::Serialized(Arc::clone(value)));
             }
         }
-        let _ = std::fs::write(path, value.pretty());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (artifact, fp, CacheOutcome::Miss)
     }
 }
 
@@ -717,7 +1179,8 @@ mod tests {
             CacheStats {
                 memory_hits: 1,
                 disk_hits: 0,
-                misses: 2
+                misses: 2,
+                ..CacheStats::default()
             }
         );
     }
@@ -852,6 +1315,179 @@ mod tests {
         assert_eq!(o2, CacheOutcome::Uncacheable);
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("zatel-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_a_counted_miss_and_deleted() {
+        let scene = SceneId::Sprng.build(1);
+        let dir = temp_dir("cache-corrupt");
+        let stage = HeatmapStage {
+            width: 16,
+            height: 16,
+            trace: trace(),
+        };
+
+        let warm = ArtifactCache::with_disk(&dir);
+        let (hm1, fp, _) = warm.get_or_run(&stage, &scene, scene.fingerprint());
+        let path = dir.join(format!("heatmap-{fp:016x}.json"));
+        assert!(path.exists());
+
+        // Truncated garbage: the cold cache must treat it as a miss,
+        // delete it, count it, and recompute the same artifact.
+        std::fs::write(&path, "{ \"width\": 16, \"hei").expect("truncate entry");
+        let cold = ArtifactCache::with_disk(&dir);
+        let (hm2, _, outcome) = cold.get_or_run(&stage, &scene, scene.fingerprint());
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(hm1.as_ref(), hm2.as_ref());
+        assert_eq!(cold.stats().disk_corrupt, 1);
+        // The miss rewrote a valid entry, so a third cache disk-hits.
+        let third = ArtifactCache::with_disk(&dir);
+        let (_, _, o3) = third.get_or_run(&stage, &scene, scene.fingerprint());
+        assert_eq!(o3, CacheOutcome::DiskHit);
+
+        // Structurally valid JSON that fails the typed decode is the same
+        // corruption class: discarded, counted, recomputed.
+        std::fs::write(&path, "{}").expect("hollow entry");
+        let fourth = ArtifactCache::with_disk(&dir);
+        let (_, _, o4) = fourth.get_or_run(&stage, &scene, scene.fingerprint());
+        assert_eq!(o4, CacheOutcome::Miss);
+        assert_eq!(fourth.stats().disk_corrupt, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Payload(Vec<u64>);
+
+    impl Artifact for Payload {
+        fn to_disk(&self) -> Option<Value> {
+            Some(Value::Array(
+                self.0.iter().map(|&x| Value::from(x)).collect(),
+            ))
+        }
+
+        fn from_disk(value: &Value) -> Option<Self> {
+            value
+                .as_array()?
+                .iter()
+                .map(|v| v.as_u64())
+                .collect::<Option<Vec<_>>>()
+                .map(Payload)
+        }
+    }
+
+    struct PayloadStage {
+        id: u64,
+    }
+
+    impl Stage for PayloadStage {
+        type Input = ();
+        type Output = Payload;
+        const NAME: &'static str = "payload";
+        fn params_fingerprint(&self) -> Fingerprint {
+            let mut h = Fnv64::new();
+            h.write_u64(self.id);
+            h.finish()
+        }
+        fn run(&self, _: &()) -> Payload {
+            Payload(vec![self.id; 64])
+        }
+    }
+
+    #[test]
+    fn disk_tier_evicts_lru_by_generation_within_budget() {
+        // Probe one entry's on-disk size so the budget holds exactly two.
+        let probe_dir = temp_dir("cache-probe");
+        let probe = DiskTier::new(&probe_dir);
+        probe.put(
+            "payload",
+            0,
+            TierEntry::Serialized(Arc::new(
+                Payload(vec![0; 64]).to_disk().expect("payload serializes"),
+            )),
+        );
+        let entry_bytes = probe.stats().bytes;
+        assert!(entry_bytes > 0);
+        let _ = std::fs::remove_dir_all(&probe_dir);
+
+        let dir = temp_dir("cache-evict");
+        let tier = Arc::new(DiskTier::with_budget(&dir, 2 * entry_bytes + 8));
+        let cache = ArtifactCache::with_disk_tier(Arc::clone(&tier));
+        let key = |id| {
+            let (_, fp, _) = cache.get_or_run(&PayloadStage { id }, &(), 0);
+            dir.join(format!("payload-{fp:016x}.json"))
+        };
+        let p1 = key(1);
+        let p2 = key(2);
+        assert_eq!(tier.stats().entries, 2);
+
+        // Touch #1 from a fresh cache (disk hit), making #2 the LRU; the
+        // next insert must evict #2, not #1.
+        let toucher = ArtifactCache::with_disk_tier(Arc::clone(&tier));
+        let (_, _, o) = toucher.get_or_run(&PayloadStage { id: 1 }, &(), 0);
+        assert_eq!(o, CacheOutcome::DiskHit);
+        let p3 = key(3);
+
+        assert!(p1.exists(), "recently used entry survives");
+        assert!(!p2.exists(), "LRU entry evicted");
+        assert!(p3.exists(), "new entry stored");
+        let stats = tier.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= 2 * entry_bytes + 8);
+
+        // A fresh tier over the same dir reloads the index: same entries,
+        // and the evicted key is a miss while the survivors hit.
+        drop(cache);
+        let reloaded = ArtifactCache::with_disk(&dir);
+        let (_, _, o1) = reloaded.get_or_run(&PayloadStage { id: 1 }, &(), 0);
+        let (_, _, o2) = reloaded.get_or_run(&PayloadStage { id: 2 }, &(), 0);
+        let (_, _, o3) = reloaded.get_or_run(&PayloadStage { id: 3 }, &(), 0);
+        assert_eq!(
+            (o1, o2, o3),
+            (
+                CacheOutcome::DiskHit,
+                CacheOutcome::Miss,
+                CacheOutcome::DiskHit
+            )
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn caches_share_a_disk_tier_under_private_memory_tiers() {
+        let dir = temp_dir("cache-shared");
+        let tier = Arc::new(DiskTier::new(&dir));
+        let a = ArtifactCache::with_disk_tier(Arc::clone(&tier));
+        let b = ArtifactCache::with_disk_tier(Arc::clone(&tier));
+        let stage = PayloadStage { id: 7 };
+
+        let (va, _, oa) = a.get_or_run(&stage, &(), 0);
+        let (vb, _, ob) = b.get_or_run(&stage, &(), 0);
+        assert_eq!(oa, CacheOutcome::Miss);
+        assert_eq!(ob, CacheOutcome::DiskHit, "b reuses a's artifact via disk");
+        assert_eq!(va.as_ref(), vb.as_ref());
+        // Each cache promotes into its own memory tier.
+        let (_, _, oa2) = a.get_or_run(&stage, &(), 0);
+        let (_, _, ob2) = b.get_or_run(&stage, &(), 0);
+        assert_eq!(oa2, CacheOutcome::MemoryHit);
+        assert_eq!(ob2, CacheOutcome::MemoryHit);
+        // Per-cache counters stay private; tier counters aggregate.
+        assert_eq!(a.stats().memory_hits, 1);
+        assert_eq!(a.stats().misses, 1);
+        assert_eq!(b.stats().misses, 0);
+        assert_eq!(b.stats().disk_hits, 1);
+        assert_eq!(tier.stats().hits, 1);
+        assert_eq!(tier.stats().entries, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
