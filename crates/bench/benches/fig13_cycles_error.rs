@@ -28,7 +28,7 @@ fn main() {
     for scene_id in SceneId::ALL {
         let scene = bench::build_scene(scene_id);
         let reference = bench::reference(&scene, &config);
-        let points = bench::percent_sweep(&scene, &config, &percents);
+        let points = bench::percent_sweep(&scene, &config, &percents).expect("sweep pipeline runs");
         let errors: Vec<f64> = points
             .iter()
             .map(|pt| {

@@ -26,7 +26,7 @@ fn main() {
     let mut slopes: Vec<(SceneId, f64)> = Vec::new();
     for scene_id in SceneId::ALL {
         let scene = bench::build_scene(scene_id);
-        let points = bench::percent_sweep(&scene, &config, &percents);
+        let points = bench::percent_sweep(&scene, &config, &percents).expect("sweep pipeline runs");
         let times: Vec<f64> = points
             .iter()
             .map(|pt| pt.prediction.sim_wall.as_secs_f64())

@@ -26,7 +26,7 @@ fn main() {
     for scene_id in SceneId::ALL {
         let scene = bench::build_scene(scene_id);
         let reference = bench::reference(&scene, &config);
-        let points = bench::percent_sweep(&scene, &config, &percents);
+        let points = bench::percent_sweep(&scene, &config, &percents).expect("sweep pipeline runs");
         let speedups: Vec<f64> = points
             .iter()
             .map(|pt| reference.wall.as_secs_f64() / pt.prediction.sim_wall.as_secs_f64().max(1e-9))

@@ -23,7 +23,7 @@ fn main() {
     for scene_id in SceneId::ALL {
         let scene = bench::build_scene(scene_id);
         let reference = bench::reference(&scene, &config);
-        let points = bench::percent_sweep(&scene, &config, &percents);
+        let points = bench::percent_sweep(&scene, &config, &percents).expect("sweep pipeline runs");
         for (pi, pt) in points.iter().enumerate() {
             for (mi, err) in bench::metric_errors(&pt.prediction, &reference.stats)
                 .into_iter()

@@ -88,7 +88,13 @@ static REF_CACHE: Mutex<BTreeMap<(String, String, u32), Reference>> = Mutex::new
 /// Runs (or fetches) the full reference simulation for `scene` on `config`.
 pub fn reference(scene: &Scene, config: &GpuConfig) -> Reference {
     let key = (scene.name().to_owned(), config.name.clone(), resolution());
-    if let Some(r) = REF_CACHE.lock().expect("cache lock").get(&key) {
+    // Poison recovery: the cache is a plain insert-only map, so a holder
+    // that panicked mid-bench cannot have left it torn.
+    if let Some(r) = REF_CACHE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&key)
+    {
         return r.clone();
     }
     let res = resolution();
@@ -99,7 +105,10 @@ pub fn reference(scene: &Scene, config: &GpuConfig) -> Reference {
         stats,
         wall: start.elapsed(),
     };
-    REF_CACHE.lock().expect("cache lock").insert(key, r.clone());
+    REF_CACHE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(key, r.clone());
     r
 }
 
@@ -164,18 +173,28 @@ pub struct SweepPoint {
 /// The sweep drives through [`zatel::SweepDriver`] on the shared
 /// [`executor`]: heatmap and quantization are computed once into the
 /// driver's artifact cache and every percentage point reuses them.
-pub fn percent_sweep(scene: &Scene, config: &GpuConfig, percents: &[f64]) -> Vec<SweepPoint> {
+pub fn percent_sweep(
+    scene: &Scene,
+    config: &GpuConfig,
+    percents: &[f64],
+) -> Result<Vec<SweepPoint>, zatel::ZatelError> {
     let res = resolution();
     let mut base = zatel::Zatel::new(scene, config.clone(), res, res, trace_config());
     base.options_mut().downscale = zatel::DownscaleMode::NoDownscale;
     let driver = zatel::SweepDriver::new(base).with_executor(executor());
     driver
-        .run(&zatel::SweepSpec::from_percents(percents))
-        .expect("sweep pipeline runs")
+        .run(&zatel::SweepSpec::from_percents(percents))?
         .into_iter()
-        .map(|outcome| SweepPoint {
-            percent: outcome.point.percent.expect("percent sweep point"),
-            prediction: outcome.prediction,
+        .map(|outcome| {
+            let percent = outcome.point.percent.ok_or_else(|| {
+                zatel::ZatelError::InvalidOptions(
+                    "percent sweep produced a point without a percent".to_owned(),
+                )
+            })?;
+            Ok(SweepPoint {
+                percent,
+                prediction: outcome.prediction,
+            })
         })
         .collect()
 }

@@ -84,13 +84,30 @@ impl<'w> EpochDriver<'w> {
                 .collect::<Vec<_>>(),
         );
         let workload = self.workload;
+        // Schedule-test builds: pre-announce the shard slots so the
+        // cooperative scheduler's first election waits for every shard
+        // to attach, keeping the election sequence a pure function of
+        // the seed rather than of spawn timing.
+        #[cfg(zatel_schedule_test)]
+        let sched = crate::schedule::handle().map(|(sched, _)| {
+            let base = sched.announce(shard_count);
+            (sched, base)
+        });
         std::thread::scope(|scope| {
             let router = &router;
             let handles: Vec<_> = plans
                 .into_iter()
                 .enumerate()
                 .map(|(shard, plan)| {
-                    scope.spawn(move || run_shard(router, shard, workload, line_bytes, plan))
+                    #[cfg(zatel_schedule_test)]
+                    let sched = sched.clone();
+                    scope.spawn(move || {
+                        #[cfg(zatel_schedule_test)]
+                        let _participant = sched.map(|(sched, base)| {
+                            crate::schedule::Participant::adopt(sched, base + shard)
+                        });
+                        run_shard(router, shard, workload, line_bytes, plan)
+                    })
                 })
                 .collect();
             // If the commit loop unwinds (a hook or the timing model
@@ -109,6 +126,10 @@ impl<'w> EpochDriver<'w> {
             let stats = Engine::new(self.config, hooks).run(threads, &mut source);
             let commit_wall_us = commit_start.elapsed().as_micros() as u64;
             let mut shards = Vec::with_capacity(shard_count);
+            // The join below blocks outside the facade: step out of the
+            // scheduled region so shard epilogues can still be elected.
+            #[cfg(zatel_schedule_test)]
+            crate::schedule::detach_current();
             for handle in handles {
                 match handle.join() {
                     Ok(telemetry) => shards.push(telemetry),
@@ -118,6 +139,8 @@ impl<'w> EpochDriver<'w> {
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
+            #[cfg(zatel_schedule_test)]
+            crate::schedule::reattach_current();
             let telemetry = SimTelemetry {
                 runs: 1,
                 shard_count,

@@ -24,6 +24,7 @@ mod events;
 mod router;
 mod shard;
 mod sm;
+mod sync;
 
 pub(crate) use core::Engine;
 pub(crate) use decode::SerialSource;

@@ -21,9 +21,9 @@
 //! on any of this timing: phases are keyed and ordered per warp, and the
 //! commit loop alone decides the global interleaving.
 
+use super::sync::{Condvar, Mutex, MutexGuard};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
 
 use super::decode::DecodedPhase;
 

@@ -1,0 +1,137 @@
+//! The engine's sync facade: `std::sync` primitives in normal builds,
+//! schedule-instrumented wrappers under `--cfg zatel_schedule_test`.
+//!
+//! The sharded engine synchronizes exclusively through the types
+//! re-exported here. Normal builds pay nothing — the re-export IS
+//! `std::sync`. Schedule-test builds swap in thin wrappers that call
+//! [`crate::schedule`] at every acquisition and park, which lets the
+//! interleaving-exploration harness replay seeded thread schedules
+//! deterministically. Threads that never installed a scheduler (every
+//! other test in the process) fall through the wrappers to the real
+//! primitives with one thread-local read of overhead.
+
+#[cfg(not(zatel_schedule_test))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(zatel_schedule_test)]
+pub(crate) use cooperative::{Condvar, Mutex, MutexGuard};
+
+#[cfg(zatel_schedule_test)]
+mod cooperative {
+    use std::sync::{LockResult, PoisonError};
+
+    use crate::schedule;
+
+    /// A `std::sync::Mutex` that yields to the cooperative scheduler
+    /// immediately before every acquisition.
+    #[derive(Debug, Default)]
+    pub(crate) struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    /// Guard for the facade [`Mutex`]; keeps a handle on its mutex so a
+    /// facade [`Condvar`] wait can re-acquire after parking.
+    #[derive(Debug)]
+    pub(crate) struct MutexGuard<'a, T> {
+        mutex: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    /// A `std::sync::Condvar` whose waits park on the scheduler (for
+    /// scheduled threads) instead of the OS, so a wait never blocks an
+    /// election.
+    #[derive(Debug, Default)]
+    pub(crate) struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    fn wrap<'a, T>(
+        mutex: &'a Mutex<T>,
+        result: LockResult<std::sync::MutexGuard<'a, T>>,
+    ) -> LockResult<MutexGuard<'a, T>> {
+        match result {
+            Ok(inner) => Ok(MutexGuard {
+                mutex,
+                inner: Some(inner),
+            }),
+            // Re-wrap so callers observe the same poisoning they would
+            // from the real primitive.
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                mutex,
+                inner: Some(poisoned.into_inner()),
+            })),
+        }
+    }
+
+    impl<T> Mutex<T> {
+        pub(crate) fn new(value: T) -> Mutex<T> {
+            Mutex {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// Schedule point, then the real acquisition. A scheduled thread
+        /// only reaches the real `lock()` while holding the run token,
+        /// and no other scheduled thread holds a facade mutex while off
+        /// the token, so the real lock is uncontended among participants
+        /// and adds no hidden ordering.
+        pub(crate) fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            schedule::point();
+            wrap(self, self.inner.lock())
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // zatel-lint: allow(panic-hygiene, reason = "schedule-test-only facade: the Option is Some from construction until wait() consumes the guard by value, so deref cannot observe None")
+            self.inner.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // zatel-lint: allow(panic-hygiene, reason = "schedule-test-only facade: same Some-until-consumed invariant as deref above")
+            self.inner.as_mut().expect("guard taken")
+        }
+    }
+
+    impl Condvar {
+        /// Scheduled threads: drop the real guard, park on this
+        /// condvar's identity until a facade `notify_*`, then re-acquire
+        /// once re-elected. Unscheduled threads: the real wait.
+        ///
+        /// Scheduler wakeups happen only via explicit `notify_*`, never
+        /// spuriously — a strict subset of `std` condvar behavior, so
+        /// every caller's predicate loop stays correct.
+        pub(crate) fn wait<'a, T>(
+            &self,
+            mut guard: MutexGuard<'a, T>,
+        ) -> LockResult<MutexGuard<'a, T>> {
+            if schedule::handle().is_some() {
+                let mutex = guard.mutex;
+                // Release before parking: a parked participant must hold
+                // no real lock, or the elected thread would contend it.
+                drop(guard.inner.take());
+                schedule::park(self as *const Condvar as usize);
+                // Re-elected; re-acquire directly — `park` already was
+                // the schedule point for this acquisition.
+                wrap(mutex, mutex.inner.lock())
+            } else {
+                let mutex = guard.mutex;
+                // zatel-lint: allow(panic-hygiene, reason = "schedule-test-only facade: guard invariant as above; wait() owns the guard and has not taken it yet")
+                let inner = guard.inner.take().expect("guard taken");
+                wrap(mutex, self.inner.wait(inner))
+            }
+        }
+
+        /// Wakes scheduler-parked waiters *and* real waiters. (The seam
+        /// only ever broadcasts — a facade `notify_one` would have to
+        /// behave as `notify_all` for scheduled threads anyway, so the
+        /// facade deliberately offers only the broadcast.)
+        pub(crate) fn notify_all(&self) {
+            schedule::notify(self as *const Condvar as usize);
+            self.inner.notify_all();
+        }
+    }
+}

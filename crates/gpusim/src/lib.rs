@@ -49,6 +49,8 @@ mod engine;
 mod gpu;
 pub mod hooks;
 pub mod mem;
+#[cfg(zatel_schedule_test)]
+pub mod schedule;
 pub mod stats;
 pub mod telemetry;
 pub mod workload;

@@ -1,0 +1,230 @@
+//! The `atomic-order` rule: audit memory orderings on atomics.
+//!
+//! Two checks over the [`crate::graph`] atomic events:
+//!
+//! 1. **Relaxed audit** — `Ordering::Relaxed` in result-affecting or
+//!    thread-watched non-test code is a finding unless the atomic is on
+//!    the config's [`crate::AtomicAllowance`] list (pure statistics
+//!    counters whose values publish nothing) or the site carries an
+//!    inline waiver. Relaxed elsewhere (CLI plumbing, observability
+//!    internals) is tolerated: nothing result-visible flows through it.
+//! 2. **Pairing audit** — a `Release` store on an atomic that no load
+//!    anywhere observes with `Acquire`/`AcqRel`/`SeqCst` publishes to
+//!    nobody: the release fence is either dead weight or, worse, the
+//!    reader exists and is `Relaxed`. Reported at the store site.
+
+use crate::graph::{ConcGraph, Event};
+use crate::rules::ATOMIC_ORDER;
+use crate::{AtomicAllowance, Finding, LintConfig};
+
+/// Whether `allowance` covers the canonical atomic id `atomic` in
+/// `file`. The allowance names the bare field; it matches the canonical
+/// `Container::field` form exactly on the field segment, so `hits` never
+/// covers `memory_hits`.
+pub fn allowance_covers(atomic: &str, file: &str, allowance: &AtomicAllowance) -> bool {
+    if allowance.path != file || allowance.reason.trim().is_empty() {
+        return false;
+    }
+    atomic == allowance.name || atomic.ends_with(&format!("::{}", allowance.name))
+}
+
+/// Runs the rule, producing `atomic-order` findings.
+pub fn check(graph: &ConcGraph, config: &LintConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Pass 1: collect the workspace-wide load-ordering picture per
+    // atomic class (from every function, tests included — a test reading
+    // with Acquire is still a reader that pairs).
+    let mut acquire_loaded: Vec<String> = Vec::new();
+    for f in &graph.functions {
+        for e in &f.events {
+            if let Event::Atomic {
+                op,
+                atomic,
+                orderings,
+                ..
+            } = e
+            {
+                let reads = op == "load"
+                    || op.starts_with("fetch_")
+                    || op.starts_with("compare_exchange")
+                    || op == "swap";
+                if reads
+                    && orderings
+                        .iter()
+                        .any(|o| matches!(o.as_str(), "Acquire" | "AcqRel" | "SeqCst"))
+                {
+                    acquire_loaded.push(atomic.clone());
+                }
+            }
+        }
+    }
+
+    // Pass 2: site findings.
+    for f in &graph.functions {
+        if f.in_test {
+            continue;
+        }
+        let kind = config.kind_of(&f.file);
+        for e in &f.events {
+            let Event::Atomic {
+                line,
+                atomic,
+                op,
+                orderings,
+            } = e
+            else {
+                continue;
+            };
+            let watched = kind.result_affecting || kind.thread_watched;
+            if watched && orderings.iter().any(|o| o == "Relaxed") {
+                let allowed = config
+                    .atomics_allow
+                    .iter()
+                    .any(|a| allowance_covers(atomic, &f.file, a));
+                if !allowed {
+                    findings.push(Finding::new(
+                        ATOMIC_ORDER,
+                        &f.file,
+                        *line,
+                        format!(
+                            "`{op}` on `{atomic}` uses Ordering::Relaxed in a \
+                             result-affecting/thread-watched path; relaxed \
+                             operations publish nothing — use \
+                             Acquire/Release (or SeqCst), add the atomic to \
+                             the audited `atomics_allow` list if it is a pure \
+                             statistics counter, or waive with the audit \
+                             reason"
+                        ),
+                    ));
+                }
+            }
+            let releases = op == "store" || op.starts_with("fetch_") || op == "swap";
+            if releases
+                && orderings.first().map(String::as_str) == Some("Release")
+                && !acquire_loaded.iter().any(|a| a == atomic)
+            {
+                findings.push(Finding::new(
+                    ATOMIC_ORDER,
+                    &f.file,
+                    *line,
+                    format!(
+                        "Release {op} on `{atomic}` has no Acquire/SeqCst load \
+                         anywhere in the workspace — the release publishes to \
+                         nobody; pair the reader's ordering or drop the fence"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ConcGraph;
+    use crate::lexer::scan;
+    use std::collections::BTreeMap;
+
+    fn config(atomics_allow: Vec<AtomicAllowance>) -> LintConfig {
+        LintConfig {
+            root: std::path::PathBuf::from("/nonexistent"),
+            scan_dirs: vec![],
+            result_affecting: vec!["crates/a/src".to_owned()],
+            thread_watch: vec![],
+            unsafe_allow: vec![],
+            thread_allow: vec![],
+            obs_ban: vec![],
+            obs_allow: vec![],
+            atomics_allow,
+            seam: None,
+        }
+    }
+
+    fn findings_for(files: &[(&str, &str)], config: &LintConfig) -> Vec<Finding> {
+        let scanned: BTreeMap<String, crate::lexer::ScannedFile> = files
+            .iter()
+            .map(|(n, s)| ((*n).to_owned(), scan(s)))
+            .collect();
+        check(&ConcGraph::build(config, &scanned), config)
+    }
+
+    #[test]
+    fn relaxed_in_result_affecting_code_is_flagged() {
+        let src =
+            "impl C {\n\tfn bump(&self) {\n\t\tself.seq.fetch_add(1, Ordering::Relaxed);\n\t}\n}\n";
+        let c = config(vec![]);
+        let f = findings_for(&[("crates/a/src/x.rs", src)], &c);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, ATOMIC_ORDER);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn allowlisted_counter_is_quiet_and_suffix_is_exact() {
+        let src = "impl C {\n\
+                   \tfn bump(&self) {\n\
+                   \t\tself.hits.fetch_add(1, Ordering::Relaxed);\n\
+                   \t\tself.memory_hits.fetch_add(1, Ordering::Relaxed);\n\
+                   \t}\n}\n";
+        let c = config(vec![AtomicAllowance {
+            path: "crates/a/src/x.rs".to_owned(),
+            name: "hits".to_owned(),
+            reason: "pure counter".to_owned(),
+        }]);
+        let f = findings_for(&[("crates/a/src/x.rs", src)], &c);
+        assert_eq!(f.len(), 1, "only memory_hits flagged: {f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn relaxed_outside_watched_paths_is_quiet() {
+        let src =
+            "impl C {\n\tfn bump(&self) {\n\t\tself.seq.fetch_add(1, Ordering::Relaxed);\n\t}\n}\n";
+        let c = config(vec![]);
+        assert!(findings_for(&[("crates/other/src/x.rs", src)], &c).is_empty());
+    }
+
+    #[test]
+    fn unpaired_release_store_is_flagged() {
+        let src = "impl C {\n\
+                   \tfn publish(&self) {\n\
+                   \t\tself.ready.store(true, Ordering::Release);\n\
+                   \t}\n\
+                   \tfn check(&self) -> bool {\n\
+                   \t\tself.ready.load(Ordering::Relaxed)\n\
+                   \t}\n}\n";
+        let c = config(vec![]);
+        let f = findings_for(&[("crates/other/src/x.rs", src)], &c);
+        assert!(
+            f.iter()
+                .any(|x| x.line == 3 && x.message.contains("publishes to nobody")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn paired_release_acquire_is_quiet() {
+        let src = "impl C {\n\
+                   \tfn publish(&self) {\n\
+                   \t\tself.ready.store(true, Ordering::Release);\n\
+                   \t}\n\
+                   \tfn check(&self) -> bool {\n\
+                   \t\tself.ready.load(Ordering::Acquire)\n\
+                   \t}\n}\n";
+        let c = config(vec![]);
+        assert!(findings_for(&[("crates/other/src/x.rs", src)], &c).is_empty());
+    }
+
+    #[test]
+    fn seqcst_everywhere_is_quiet() {
+        let src = "impl C {\n\
+                   \tfn go(&self) {\n\
+                   \t\tself.depth.store(1, Ordering::SeqCst);\n\
+                   \t\tlet _ = self.depth.load(Ordering::SeqCst);\n\
+                   \t}\n}\n";
+        let c = config(vec![]);
+        assert!(findings_for(&[("crates/a/src/x.rs", src)], &c).is_empty());
+    }
+}

@@ -40,8 +40,13 @@
 
 #![warn(missing_docs)]
 
+pub mod atomics;
+pub mod graph;
 pub mod lexer;
+pub mod lockorder;
 pub mod rules;
+pub mod sarif;
+pub mod taint;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -84,6 +89,21 @@ pub struct ThreadAllowance {
     pub path: String,
     /// Why the file may create threads — shown in config review, never
     /// empty.
+    pub reason: String,
+}
+
+/// One audited exception to the `atomic-order` rule: an atomic reviewed
+/// to tolerate `Ordering::Relaxed` because no other memory depends on
+/// its value (a pure statistics counter), with the review reason on
+/// record.
+#[derive(Debug, Clone)]
+pub struct AtomicAllowance {
+    /// Workspace-relative file path the atomic lives in.
+    pub path: String,
+    /// The atomic's field name (matched as a suffix of the canonical
+    /// `Container::field` identity, so `hits` covers `StageCache::hits`).
+    pub name: String,
+    /// Why relaxed ordering is sound here — never empty.
     pub reason: String,
 }
 
@@ -160,6 +180,9 @@ pub struct LintConfig {
     /// Exact files exempt from `obs_ban` — the audited hook-seam bridge
     /// files themselves.
     pub obs_allow: Vec<String>,
+    /// Atomics audited to use `Ordering::Relaxed` (the `atomic-order`
+    /// rule), each with its review reason.
+    pub atomics_allow: Vec<AtomicAllowance>,
     /// The observability-seam contract to audit, if any.
     pub seam: Option<SeamSpec>,
 }
@@ -243,6 +266,51 @@ impl LintConfig {
                         .to_owned(),
                 },
             ],
+            // Cache statistics counters in the pipeline stage cache:
+            // pure observability tallies read only at scrape/report time,
+            // never used to gate publication of other data, so relaxed
+            // increments are sound. Everything else in the workspace must
+            // justify Relaxed with an inline waiver.
+            atomics_allow: [
+                ("hits", "memory-tier hit counter"),
+                ("misses", "cache miss counter"),
+                ("evictions", "memory-tier eviction counter"),
+                ("corrupt", "disk-tier corrupt-entry counter"),
+                ("memory_hits", "tiered-cache memory hit counter"),
+                ("disk_hits", "tiered-cache disk hit counter"),
+            ]
+            .iter()
+            .map(|(name, what)| AtomicAllowance {
+                path: "crates/zatel/src/stages.rs".to_owned(),
+                name: (*name).to_owned(),
+                reason: format!(
+                    "{what}: a monotonic statistics tally read only by \
+                     scrape/report paths; no other memory is published or \
+                     consumed through its value, so relaxed increments \
+                     cannot reorder anything result-visible"
+                ),
+            })
+            .chain([
+                AtomicAllowance {
+                    path: "crates/zatel/src/sim_executor.rs".to_owned(),
+                    name: "cursor".to_owned(),
+                    reason: "work-claiming job cursor: fetch_add hands every \
+                             worker a disjoint index and results are placed \
+                             by index, so claim order is result-invisible; \
+                             the atomic RMW itself is the only guarantee the \
+                             loop needs"
+                        .to_owned(),
+                },
+                AtomicAllowance {
+                    path: "crates/obs/src/log.rs".to_owned(),
+                    name: "COUNTER".to_owned(),
+                    reason: "fallback request-id sequence: only uniqueness \
+                             matters and the atomic RMW provides it at any \
+                             ordering; ids never reach result-affecting state"
+                        .to_owned(),
+                },
+            ])
+            .collect(),
             seam: Some(SeamSpec {
                 trait_file: "crates/gpusim/src/hooks.rs".to_owned(),
                 trait_name: "SimHooks".to_owned(),
@@ -277,7 +345,7 @@ impl LintConfig {
     }
 
     /// Classifies one workspace-relative path.
-    fn kind_of(&self, rel: &str) -> FileKind {
+    pub(crate) fn kind_of(&self, rel: &str) -> FileKind {
         let test_context = rel
             .split('/')
             .any(|c| matches!(c, "tests" | "benches" | "examples" | "fixtures"));
@@ -449,6 +517,17 @@ impl Baseline {
         self.entries.len()
     }
 
+    /// The `(rule, file)` groups recorded here that no current finding
+    /// matches — paid-down debt whose allowance should be deleted before
+    /// new debt hides under it (the `stale-baseline` ratchet).
+    pub fn stale_groups(&self, findings: &[Finding]) -> Vec<(String, String)> {
+        self.entries
+            .keys()
+            .filter(|(rule, file)| !findings.iter().any(|f| &f.rule == rule && &f.file == file))
+            .cloned()
+            .collect()
+    }
+
     /// Splits findings into (active, suppressed-count) under the ratchet.
     pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
         let mut grouped: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
@@ -538,6 +617,12 @@ pub fn run(config: &LintConfig, baseline: &Baseline) -> Result<LintReport, LintE
         findings.extend(rules::check_seam(seam, |f| scanned.get(f)));
     }
 
+    // Cross-file rules over the reference graph.
+    let graph = graph::ConcGraph::build(config, &scanned);
+    findings.extend(lockorder::check(&graph));
+    findings.extend(atomics::check(&graph, config));
+    findings.extend(taint::check(&graph, config));
+
     // Inline waivers: a well-formed waiver covers its own line and the
     // next, for the rules it names.
     let mut waived = 0usize;
@@ -567,6 +652,32 @@ pub fn run(config: &LintConfig, baseline: &Baseline) -> Result<LintReport, LintE
     }
     let mut findings = kept;
 
+    // A `wall-clock` waiver consumed by the taint analysis as an audited
+    // stop is used even when the per-line rule had nothing to suppress
+    // there (the clock lives outside the result-affecting prefixes, but
+    // the waiver is what keeps its callers untainted).
+    for f in &graph.functions {
+        for e in &f.events {
+            let graph::Event::Clock {
+                line, waived: true, ..
+            } = e
+            else {
+                continue;
+            };
+            let Some(file) = scanned.get(&f.file) else {
+                continue;
+            };
+            for w in &file.waivers {
+                if (*line == w.line || *line == w.line + 1)
+                    && w.reason.is_some()
+                    && w.rules.iter().any(|r| r == rules::WALL_CLOCK)
+                {
+                    used.insert((f.file.clone(), w.line), true);
+                }
+            }
+        }
+    }
+
     // Waiver hygiene: malformed waivers and stale waivers are findings.
     for (rel, file) in &scanned {
         for w in &file.waivers {
@@ -593,7 +704,24 @@ pub fn run(config: &LintConfig, baseline: &Baseline) -> Result<LintReport, LintE
         }
     }
 
+    // Stale-baseline ratchet: an allowance group with zero live findings
+    // is paid-down debt — surface it so the baseline shrinks with the
+    // fixes (computed before `apply`, reported after it so no baseline
+    // entry can suppress the ratchet itself).
+    let stale = baseline.stale_groups(&findings);
     let (mut findings, baselined) = baseline.apply(findings);
+    for (rule, file) in stale {
+        findings.push(Finding::new(
+            rules::STALE_BASELINE,
+            "lint-baseline.json",
+            1,
+            format!(
+                "baseline entry ({rule}, {file}) matches no current finding; \
+                 the debt is paid — delete the entry (or regenerate with \
+                 --write-baseline) so new findings cannot hide under it"
+            ),
+        ));
+    }
     findings.sort_by(|a, b| {
         (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
     });
@@ -604,6 +732,25 @@ pub fn run(config: &LintConfig, baseline: &Baseline) -> Result<LintReport, LintE
         waived,
         baselined,
     })
+}
+
+/// Builds the `zatel-concmap-v1` concurrency-map document for the
+/// configured tree: every spawn site, channel, lock class, atomic (with
+/// audit status) and wall-clock read in non-test code.
+pub fn concmap(config: &LintConfig) -> Result<Value, LintError> {
+    let mut files = Vec::new();
+    for dir in &config.scan_dirs {
+        collect_rs_files(&config.root, dir, &mut files)?;
+    }
+    files.dedup();
+    let mut scanned: BTreeMap<String, lexer::ScannedFile> = BTreeMap::new();
+    for rel in &files {
+        let path = config.root.join(rel);
+        let source = std::fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+        scanned.insert(rel.clone(), lexer::scan(&source));
+    }
+    let graph = graph::ConcGraph::build(config, &scanned);
+    Ok(graph.to_concmap_json(config))
 }
 
 /// Walks up from `start` to the directory whose `Cargo.toml` declares

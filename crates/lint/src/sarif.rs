@@ -1,0 +1,169 @@
+//! SARIF 2.1.0 output for the lint engine.
+//!
+//! A minimal static-analysis-results document: one run, one driver
+//! (`zatel-lint`), one `result` per active finding with a physical
+//! location GitHub's code-scanning upload renders as an inline PR
+//! annotation. Only rules that actually fired are listed in the driver's
+//! rule table, keeping the document small and the diff readable when it
+//! is checked in as a CI artifact.
+
+use std::collections::BTreeSet;
+
+use minijson::{Map, Value};
+
+use crate::{Finding, LintReport};
+
+/// One-line rule descriptions for the driver rule table.
+fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "hash-collection" => "non-deterministic hash collections in result-affecting code",
+        "wall-clock" => "wall-clock reads in result-affecting code",
+        "panic-hygiene" => "unwrap/expect/panic in library code",
+        "unsafe-code" => "unsafe outside the audited allowlist",
+        "hook-seam" => "SimHooks seam contract violations",
+        "thread-seam" => "thread/channel creation outside audited seams",
+        "obs-seam" => "observability types inside the engine's obs-free zone",
+        "lock-order" => "inconsistent pairwise lock acquisition order",
+        "atomic-order" => "unaudited relaxed or unpaired atomic orderings",
+        "clock-taint" => "result-affecting calls reaching wall-clock reads",
+        "stale-waiver" => "waivers that no longer suppress anything",
+        "malformed-waiver" => "waivers without a rule or reason",
+        "stale-baseline" => "baseline entries whose findings no longer exist",
+        _ => "zatel-lint finding",
+    }
+}
+
+fn location(f: &Finding) -> Value {
+    let mut artifact = Map::new();
+    artifact.insert("uri".to_owned(), Value::from(f.file.as_str()));
+    let mut region = Map::new();
+    region.insert("startLine".to_owned(), Value::from(f.line.max(1)));
+    let mut physical = Map::new();
+    physical.insert("artifactLocation".to_owned(), Value::Object(artifact));
+    physical.insert("region".to_owned(), Value::Object(region));
+    let mut loc = Map::new();
+    loc.insert("physicalLocation".to_owned(), Value::Object(physical));
+    Value::Object(loc)
+}
+
+/// Renders the report as a SARIF 2.1.0 document.
+pub fn to_sarif(report: &LintReport) -> Value {
+    let fired: BTreeSet<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+    let rules: Vec<Value> = fired
+        .iter()
+        .map(|r| {
+            let mut rule = Map::new();
+            rule.insert("id".to_owned(), Value::from(*r));
+            let mut desc = Map::new();
+            desc.insert("text".to_owned(), Value::from(rule_description(r)));
+            rule.insert("shortDescription".to_owned(), Value::Object(desc));
+            Value::Object(rule)
+        })
+        .collect();
+
+    let mut driver = Map::new();
+    driver.insert("name".to_owned(), Value::from("zatel-lint"));
+    driver.insert(
+        "informationUri".to_owned(),
+        Value::from("https://example.invalid/zatel-lint"),
+    );
+    driver.insert("rules".to_owned(), Value::Array(rules));
+    let mut tool = Map::new();
+    tool.insert("driver".to_owned(), Value::Object(driver));
+
+    let results: Vec<Value> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let mut result = Map::new();
+            result.insert("ruleId".to_owned(), Value::from(f.rule.as_str()));
+            result.insert("level".to_owned(), Value::from("error"));
+            let mut msg = Map::new();
+            msg.insert("text".to_owned(), Value::from(f.message.as_str()));
+            result.insert("message".to_owned(), Value::Object(msg));
+            result.insert("locations".to_owned(), Value::Array(vec![location(f)]));
+            Value::Object(result)
+        })
+        .collect();
+
+    let mut run = Map::new();
+    run.insert("tool".to_owned(), Value::Object(tool));
+    run.insert("results".to_owned(), Value::Array(results));
+
+    let mut doc = Map::new();
+    doc.insert(
+        "$schema".to_owned(),
+        Value::from(
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        ),
+    );
+    doc.insert("version".to_owned(), Value::from("2.1.0"));
+    doc.insert("runs".to_owned(), Value::Array(vec![Value::Object(run)]));
+    Value::Object(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_document_has_run_rules_and_locations() {
+        let report = LintReport {
+            findings: vec![
+                Finding::new("lock-order", "crates/a/src/x.rs", 7, "inverted"),
+                Finding::new("lock-order", "crates/a/src/y.rs", 3, "inverted"),
+                Finding::new("clock-taint", "crates/a/src/x.rs", 9, "tainted"),
+            ],
+            files_scanned: 2,
+            waived: 0,
+            baselined: 0,
+        };
+        let doc = to_sarif(&report);
+        assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+        let runs = doc.get("runs").and_then(Value::as_array).expect("runs");
+        assert_eq!(runs.len(), 1);
+        let results = runs[0]
+            .get("results")
+            .and_then(Value::as_array)
+            .expect("results");
+        assert_eq!(results.len(), 3);
+        let first = &results[0];
+        assert_eq!(
+            first.get("ruleId").and_then(Value::as_str),
+            Some("lock-order")
+        );
+        let start_line = first
+            .get("locations")
+            .and_then(Value::as_array)
+            .and_then(|l| l.first())
+            .and_then(|l| l.get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .and_then(|r| r.get("startLine"))
+            .and_then(Value::as_u64);
+        assert_eq!(start_line, Some(7));
+        // Two distinct rules fired → two driver rule entries.
+        let rules = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Value::as_array)
+            .expect("rules");
+        assert_eq!(rules.len(), 2);
+    }
+
+    #[test]
+    fn empty_report_yields_empty_results() {
+        let report = LintReport {
+            findings: vec![],
+            files_scanned: 0,
+            waived: 0,
+            baselined: 0,
+        };
+        let doc = to_sarif(&report);
+        let results = doc.get("runs").and_then(Value::as_array).expect("runs")[0]
+            .get("results")
+            .and_then(Value::as_array)
+            .expect("results");
+        assert!(results.is_empty());
+    }
+}

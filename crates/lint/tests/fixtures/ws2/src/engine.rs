@@ -1,0 +1,139 @@
+//! Fixture: result-affecting engine code. One true positive and one
+//! false-positive trap for each cross-file rule: `lock-order-inversion`,
+//! `atomic-order`, `clock-taint`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::util::{audited_stamp_us, stamp_us};
+
+/// The shared state under test.
+pub struct Engine {
+    queue: Mutex<Vec<u64>>,
+    stats: Mutex<u64>,
+    meta: Mutex<u64>,
+    hits: AtomicU64,
+    sampled: AtomicU64,
+    seen: AtomicU64,
+    ready: AtomicBool,
+    armed: AtomicBool,
+}
+
+impl Engine {
+    /// One direction: `queue` before `stats`.
+    pub fn drain(&self) {
+        // zatel-lint: allow(panic-hygiene, reason = "fixture: poisoning is a harness bug")
+        let q = self.queue.lock().expect("queue");
+        // zatel-lint: allow(panic-hygiene, reason = "fixture: poisoning is a harness bug")
+        let mut s = self.stats.lock().expect("stats");
+        *s += q.len() as u64;
+    }
+
+    /// The opposite direction: `stats` before `queue` — a true
+    /// lock-order inversion against [`Engine::drain`].
+    pub fn reconcile(&self) {
+        // zatel-lint: allow(panic-hygiene, reason = "fixture: poisoning is a harness bug")
+        let s = self.stats.lock().expect("stats");
+        // zatel-lint: allow(panic-hygiene, reason = "fixture: poisoning is a harness bug")
+        let mut q = self.queue.lock().expect("queue");
+        q.push(*s);
+    }
+
+    /// False-positive trap: `meta` is dropped before `queue` is taken,
+    /// so no `meta -> queue` pair is ever held and the `queue -> meta`
+    /// order in [`Engine::tag`] is not inverted.
+    pub fn snapshot(&self) -> u64 {
+        // zatel-lint: allow(panic-hygiene, reason = "fixture: poisoning is a harness bug")
+        let m = self.meta.lock().expect("meta");
+        let snap = *m;
+        drop(m);
+        // zatel-lint: allow(panic-hygiene, reason = "fixture: poisoning is a harness bug")
+        let mut q = self.queue.lock().expect("queue");
+        q.push(snap);
+        snap
+    }
+
+    /// False-positive trap: the `meta` guard dies at the end of its
+    /// block, before `queue` is taken.
+    pub fn tag(&self, value: u64) {
+        {
+            // zatel-lint: allow(panic-hygiene, reason = "fixture: poisoning is a harness bug")
+            let mut m = self.meta.lock().expect("meta");
+            *m = value;
+        }
+        // zatel-lint: allow(panic-hygiene, reason = "fixture: poisoning is a harness bug")
+        let mut q = self.queue.lock().expect("queue");
+        q.push(value);
+    }
+
+    /// `queue` held while `meta` is taken: with the traps above inert,
+    /// this direction has no opposite and stays clean.
+    pub fn tally_meta(&self) {
+        // zatel-lint: allow(panic-hygiene, reason = "fixture: poisoning is a harness bug")
+        let q = self.queue.lock().expect("queue");
+        // zatel-lint: allow(panic-hygiene, reason = "fixture: poisoning is a harness bug")
+        let mut m = self.meta.lock().expect("meta");
+        *m += q.len() as u64;
+    }
+
+    /// True positive `atomic-order` (`hits`: Relaxed, not allowlisted)
+    /// beside two traps: `sampled` is Relaxed but allowlisted, `seen`
+    /// is SeqCst.
+    pub fn count(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+        self.sampled.fetch_add(n, Ordering::Relaxed);
+        self.seen.store(n, Ordering::SeqCst);
+    }
+
+    /// True positive: a Release store nobody ever reads with acquire
+    /// semantics — it publishes to nobody.
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    /// False-positive trap for the release rule: `armed` has a matching
+    /// Acquire load below.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// The acquire side of [`Engine::arm`].
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Acquire)
+    }
+
+    /// True positive `clock-taint`: a result-affecting function calling
+    /// into an unwaived wall-clock read two hops away.
+    pub fn timed_run(&self) -> u64 {
+        stamp_us()
+    }
+
+    /// False-positive trap: the callee's clock read carries an audit
+    /// waiver, which is a taint stop.
+    pub fn audited_run(&self) -> u64 {
+        audited_stamp_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverted_order_in_test_code_is_fine() {
+        let e = Engine {
+            queue: Mutex::new(Vec::new()),
+            stats: Mutex::new(0),
+            meta: Mutex::new(0),
+            hits: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
+            seen: AtomicU64::new(0),
+            ready: AtomicBool::new(false),
+            armed: AtomicBool::new(false),
+        };
+        // False-positive trap: tests may acquire in any order.
+        let s = e.stats.lock().expect("stats");
+        let q = e.queue.lock().expect("queue");
+        assert_eq!((*s, q.len()), (0, 0));
+    }
+}

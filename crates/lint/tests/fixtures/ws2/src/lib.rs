@@ -1,0 +1,8 @@
+//! Fixture workspace ws2: the cross-file concurrency rules.
+//!
+//! Every true positive in `engine.rs` sits next to a false-positive trap
+//! that a naive (flow-insensitive or resolution-free) analysis would
+//! flag; the golden test pins that only the true positives fire.
+
+pub mod engine;
+pub mod util;

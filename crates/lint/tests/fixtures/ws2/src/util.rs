@@ -1,0 +1,20 @@
+//! Fixture: non-result-affecting helpers. The wall-clock reads live
+//! here, where the per-line `wall-clock` rule does not apply — only the
+//! cross-file `clock-taint` rule can see them leak into results.
+
+use std::time::Instant;
+
+/// Unwaived clock read: a taint source for result-affecting callers.
+pub fn stamp_us() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_micros() as u64
+}
+
+/// Audited clock read: the waiver is a taint stop, so callers stay
+/// clean — and the taint pass must mark this waiver used even though
+/// the per-line rule never fires in this file.
+pub fn audited_stamp_us() -> u64 {
+    // zatel-lint: allow(wall-clock, reason = "fixture: observation-only timing that never feeds a result")
+    let t = Instant::now();
+    t.elapsed().as_micros() as u64
+}

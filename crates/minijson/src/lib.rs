@@ -443,7 +443,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -475,7 +475,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -498,7 +498,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = Map::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -509,7 +509,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             map.insert(key, value);
@@ -526,7 +526,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -563,8 +563,8 @@ impl<'a> Parser<'a> {
                             let code = self.hex4()?;
                             let c = if (0xD800..0xDC00).contains(&code) {
                                 // Surrogate pair.
-                                self.expect(b'\\')?;
-                                self.expect(b'u')?;
+                                self.expect_byte(b'\\')?;
+                                self.expect_byte(b'u')?;
                                 let low = self.hex4()?;
                                 let combined = 0x10000
                                     + ((code - 0xD800) << 10)

@@ -168,6 +168,7 @@ impl SimExecutor {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        // zatel-lint: allow(wall-clock, reason = "observation-only job spans: the result vector is bit-identical with or without timing; offsets feed span sheets and never flow into predictions, pinned by the map/map_timed identity test")
         let epoch = Instant::now();
         let workers = self.jobs.min(items.len());
         if workers <= 1 {
