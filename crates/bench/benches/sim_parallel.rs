@@ -1,6 +1,7 @@
-//! Serial vs sharded full-simulation wall-clock per scene
-//! (`GpuConfig::sim_threads` ∈ {1, 2, 4}), the data behind
-//! `BENCH_sim_parallel.json`.
+//! Serial vs sharded full-simulation wall-clock per scene — both engine
+//! knobs: decode sharding (`GpuConfig::sim_threads` ∈ {1, 2, 4}) and
+//! memory-partition timing sharding (`GpuConfig::timing_threads` ∈
+//! {2, 4}) — the data behind `BENCH_sim_parallel.json`.
 //!
 //! Two honesty rules shape the output:
 //!
@@ -9,15 +10,17 @@
 //!   not a result;
 //! * `host_cpus` is recorded next to the measurements, and alongside the
 //!   *measured* speedups the file carries *projected* ones derived from
-//!   the measured decode share (decode parallelizes over `N - 1` shards;
-//!   the commit loop stays serial). On a single-core host the measured
-//!   columns show scheduling overhead, not parallelism — the projection
-//!   labels what ≥N cores would recover, it never replaces a measurement.
+//!   the measured shares (decode parallelizes over `sim_threads - 1`
+//!   shards; partition timing parallelizes over `timing_threads - 1`
+//!   workers; the commit loop stays serial). On a single-core host the
+//!   measured columns show scheduling overhead, not parallelism — the
+//!   projection labels what ≥N cores would recover, it never replaces a
+//!   measurement.
 
 use std::time::Instant;
 
 use gpusim::workload::Workload;
-use gpusim::{GpuConfig, SimStats, Simulator};
+use gpusim::{GpuConfig, NullHooks, SimStats, Simulator};
 use rtcore::scenes::SceneId;
 use rtworkload::RtWorkload;
 use zatel_bench as bench;
@@ -30,6 +33,30 @@ fn timed_run(workload: &RtWorkload, sim_threads: u32) -> (SimStats, f64) {
     let start = Instant::now();
     let stats = Simulator::new(config).run(workload);
     (stats, start.elapsed().as_secs_f64())
+}
+
+/// One timing-sharded run; returns the stats, the wall-clock and the
+/// partition workers' summed busy wall (the work the deferred-timing
+/// protocol actually took off the commit thread, from the run's own
+/// telemetry).
+fn timed_timing_run(workload: &RtWorkload, timing_threads: u32) -> (SimStats, f64, f64) {
+    let mut config = GpuConfig::mobile_soc();
+    config.timing_threads = timing_threads;
+    let mut hooks = NullHooks;
+    let start = Instant::now();
+    let (stats, telemetry) = Simulator::new(config).run_instrumented(workload, &mut hooks);
+    let wall = start.elapsed().as_secs_f64();
+    let offloaded_s = telemetry
+        .as_ref()
+        .and_then(|t| t.timing.as_ref())
+        .map(|t| {
+            t.workers
+                .iter()
+                .map(|w| w.busy_wall_us as f64 / 1e6)
+                .sum::<f64>()
+        })
+        .unwrap_or(0.0);
+    (stats, wall, offloaded_s)
 }
 
 /// Wall-clock of draining every thread program through the public
@@ -51,7 +78,8 @@ fn decode_drain(workload: &RtWorkload) -> f64 {
 
 fn main() {
     bench::banner(
-        "Sharded engine — serial vs 2/4-thread full-simulation wall-clock per scene",
+        "Sharded engine — serial vs decode-sharded (sim_threads) and \
+         timing-sharded (timing_threads) full-simulation wall-clock per scene",
         "threaded runs asserted bit-identical to serial before timing is reported",
     );
     let res = bench::resolution();
@@ -68,6 +96,10 @@ fn main() {
             "decode %".into(),
             "proj 2t".into(),
             "proj 4t".into(),
+            "tim 4t".into(),
+            "meas tim4".into(),
+            "timing %".into(),
+            "tproj 4t".into(),
         ],
     );
 
@@ -90,11 +122,35 @@ fn main() {
         }
         let (t2, t4) = (walls[0], walls[1]);
 
+        let mut timing_walls = Vec::new();
+        let mut timing_offloaded = 0.0f64;
+        for threads in THREAD_COUNTS {
+            let (stats, wall, offloaded) = timed_timing_run(&workload, threads);
+            assert_eq!(
+                serial_stats,
+                stats,
+                "{}: timing_threads={threads} changed the results",
+                scene_id.name()
+            );
+            timing_walls.push(wall);
+            timing_offloaded = timing_offloaded.max(offloaded);
+        }
+        let (tt2, tt4) = (timing_walls[0], timing_walls[1]);
+
         let t_decode = decode_drain(&workload).min(t_serial);
         let decode_share = t_decode / t_serial.max(1e-9);
         let t_commit = (t_serial - t_decode).max(1e-9);
         let projected = |n: f64| t_serial / t_commit.max(t_decode / (n - 1.0));
         let (proj2, proj4) = (projected(2.0), projected(4.0));
+
+        // The timing share is measured from the sharded run's own
+        // telemetry: summed worker busy wall over serial wall, i.e. the
+        // partition arithmetic the commit thread no longer executes.
+        let t_timing = timing_offloaded.min(t_serial);
+        let timing_share = t_timing / t_serial.max(1e-9);
+        let t_rest = (t_serial - t_timing).max(1e-9);
+        let timing_projected = |n: f64| t_serial / t_rest.max(t_timing / (n - 1.0));
+        let (tproj2, tproj4) = (timing_projected(2.0), timing_projected(4.0));
 
         bench::row(
             scene_id.name(),
@@ -106,6 +162,10 @@ fn main() {
                 format!("{:.0}%", decode_share * 100.0),
                 format!("{proj2:.2}x"),
                 format!("{proj4:.2}x"),
+                format!("{tt4:.2}s"),
+                format!("{:.2}x", t_serial / tt4.max(1e-9)),
+                format!("{:.0}%", timing_share * 100.0),
+                format!("{tproj4:.2}x"),
             ],
         );
         scenes.push(minijson::json!({
@@ -125,6 +185,20 @@ fn main() {
                 "threads_4": proj4,
             }),
             "stats_identical": true,
+            "timing_wall_s": minijson::json!({
+                "threads_2": tt2,
+                "threads_4": tt4,
+            }),
+            "timing_measured_speedup": minijson::json!({
+                "threads_2": t_serial / tt2.max(1e-9),
+                "threads_4": t_serial / tt4.max(1e-9),
+            }),
+            "timing_share": timing_share,
+            "timing_projected_speedup": minijson::json!({
+                "threads_2": tproj2,
+                "threads_4": tproj4,
+            }),
+            "timing_stats_identical": true,
         }));
     }
 
@@ -137,7 +211,12 @@ fn main() {
         "note": "measured_speedup is honest wall-clock on this host (see \
                  host_cpus); projected_speedup applies the measured decode \
                  share to the sharded engine's cost model — decode spreads \
-                 over sim_threads-1 shards, the commit loop stays serial",
+                 over sim_threads-1 shards, the commit loop stays serial. \
+                 timing_* columns are the same contract for the \
+                 memory-partition timing shards: timing_share is the \
+                 partition arithmetic the deferred-timing protocol took off \
+                 the commit thread (summed worker busy wall from the run's \
+                 telemetry), spread over timing_threads-1 workers",
         "scenes": scenes,
     });
     bench::save_json("sim_parallel", &doc);

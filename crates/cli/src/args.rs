@@ -28,7 +28,7 @@ impl std::error::Error for ParseArgsError {}
 
 /// Option keys that take a value; everything else with a `--` prefix is a
 /// boolean flag.
-const VALUE_KEYS: [&str; 43] = [
+const VALUE_KEYS: [&str; 44] = [
     "scene",
     "config",
     "res",
@@ -42,6 +42,7 @@ const VALUE_KEYS: [&str; 43] = [
     "out",
     "jobs",
     "sim-threads",
+    "timing-threads",
     "trace-out",
     "run-out",
     "run",

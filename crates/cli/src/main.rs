@@ -104,6 +104,10 @@ fn print_help() {
            --sim-threads N     engine threads inside each group simulation;\n\
                                results are bit-identical for every N (default:\n\
                                ZATEL_SIM_THREADS, else 1 = serial engine)\n\
+           --timing-threads N  memory-partition timing threads inside each\n\
+                               simulation; composes with --sim-threads and is\n\
+                               bit-identical for every N (default:\n\
+                               ZATEL_TIMING_THREADS, else 1 = inline timing)\n\
            --progress          per-group progress lines + engine trace counters (stderr)\n\
            --trace-out FILE    write a Perfetto/Chrome-trace JSON timeline of the run\n\
            --run-out FILE      persist a zatel-run-v1 record for 'zatel report'\n\
@@ -145,6 +149,9 @@ fn print_help() {
                                evenly across workers (each request defaults to\n\
                                max(1, N/workers) engine threads per simulation;\n\
                                results are bit-identical for every N)\n\
+           --timing-threads N  global timing-thread budget, split evenly\n\
+                               across workers like --sim-threads; results\n\
+                               are bit-identical for every N\n\
            --deadline-ms N     default deadline for requests that carry none;\n\
                                requests queued past it answer 504\n\
            --cache-dir DIR     persist stage artifacts on disk across restarts\n\
@@ -308,6 +315,15 @@ fn apply_options(args: &Args, opts: &mut zatel::ZatelOptions) -> Result<(), Stri
             return Err("--sim-threads must be at least 1".into());
         }
         opts.sim_threads = Some(t);
+    }
+    if let Some(t) = args.get("timing-threads") {
+        let t: usize = t
+            .parse()
+            .map_err(|_| format!("--timing-threads value '{t}' is not a number"))?;
+        if t == 0 {
+            return Err("--timing-threads must be at least 1".into());
+        }
+        opts.timing_threads = Some(t);
     }
     Ok(())
 }
@@ -780,6 +796,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             return Err("--sim-threads must be at least 1".into());
         }
         config.sim_threads = Some(budget);
+    }
+    if args.get("timing-threads").is_some() {
+        let budget = args
+            .get_parsed("timing-threads", 1usize)
+            .map_err(|e| e.to_string())?;
+        if budget == 0 {
+            return Err("--timing-threads must be at least 1".into());
+        }
+        config.timing_threads = Some(budget);
     }
     if args.get("deadline-ms").is_some() {
         config.default_deadline_ms = Some(

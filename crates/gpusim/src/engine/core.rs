@@ -13,26 +13,29 @@ use crate::config::GpuConfig;
 use crate::hooks::{PhaseClass, SimHooks};
 use crate::mem::MemoryHierarchy;
 use crate::stats::SimStats;
+use crate::telemetry::TimingTelemetry;
 
 use super::decode::{deal_warps, DecodedPhase, PhaseSource};
 use super::events::{Event, EventQueue};
 use super::sm::SmState;
+use super::timing;
 
 /// Cycles between a warp slot freeing and the replacement warp's first issue.
-const WARP_LAUNCH_LATENCY: u64 = 4;
+pub(super) const WARP_LAUNCH_LATENCY: u64 = 4;
 
 /// One simulation run in flight: the configuration, all mutable machine
 /// state and the observer. Generic over the hook type so the cycle path
 /// monomorphizes — [`NullHooks`](crate::hooks::NullHooks) compiles to
-/// exactly the pre-seam engine.
+/// exactly the pre-seam engine. Fields are `pub(super)` so the
+/// timing-sharded commit loop ([`super::timing`]) can drive the same state.
 pub(crate) struct Engine<'w, H: SimHooks> {
-    config: &'w GpuConfig,
-    mem: MemoryHierarchy,
-    sms: Vec<SmState>,
-    events: EventQueue,
-    stats: SimStats,
-    max_time: u64,
-    hooks: &'w mut H,
+    pub(super) config: &'w GpuConfig,
+    pub(super) mem: MemoryHierarchy,
+    pub(super) sms: Vec<SmState>,
+    pub(super) events: EventQueue,
+    pub(super) stats: SimStats,
+    pub(super) max_time: u64,
+    pub(super) hooks: &'w mut H,
 }
 
 impl<'w, H: SimHooks> Engine<'w, H> {
@@ -51,19 +54,31 @@ impl<'w, H: SimHooks> Engine<'w, H> {
     }
 
     /// Runs a grid of `threads` threads to completion, pulling decoded
-    /// phases from `source`.
-    pub fn run<S: PhaseSource>(mut self, threads: u64, source: &mut S) -> SimStats {
-        self.launch_grid(threads, source);
-        while let Some(ev) = self.events.pop() {
-            self.step_warp(ev, source);
-        }
+    /// phases from `source`. With `timing_threads > 1` the memory
+    /// partitions are dealt to timing workers (see [`super::timing`]) and
+    /// the run's [`TimingTelemetry`] is returned alongside the
+    /// bit-identical stats.
+    pub fn run<S: PhaseSource>(
+        mut self,
+        threads: u64,
+        source: &mut S,
+    ) -> (SimStats, Option<TimingTelemetry>) {
+        let timing = if timing::worker_count(self.config) > 0 {
+            Some(timing::run_sharded(&mut self, threads, source))
+        } else {
+            self.launch_grid(threads, source);
+            while let Some(ev) = self.events.pop() {
+                self.step_warp(ev, source);
+            }
+            None
+        };
         // The run ends when the last warp retires AND all write-back
         // traffic has drained from the DRAM channels.
         self.stats.cycles = self.max_time.max(self.mem.drain_time());
         self.stats.rt_warp_phases = self.sms.iter().map(|s| s.rt_unit.phases()).sum();
         self.stats.rt_active_rays = self.sms.iter().map(|s| s.rt_unit.active_rays()).sum();
         self.mem.export_stats(&mut self.stats);
-        self.stats
+        (self.stats, timing)
     }
 
     /// Deals warps to SMs (see [`deal_warps`]) and fills the initial warp

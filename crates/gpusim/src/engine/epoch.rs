@@ -123,7 +123,7 @@ impl<'w> EpochDriver<'w> {
             };
             // zatel-lint: allow(wall-clock, reason = "audited commit telemetry: measures the commit loop from outside it; the value lands only in SimTelemetry")
             let commit_start = std::time::Instant::now();
-            let stats = Engine::new(self.config, hooks).run(threads, &mut source);
+            let (stats, timing) = Engine::new(self.config, hooks).run(threads, &mut source);
             let commit_wall_us = commit_start.elapsed().as_micros() as u64;
             let mut shards = Vec::with_capacity(shard_count);
             // The join below blocks outside the facade: step out of the
@@ -148,6 +148,7 @@ impl<'w> EpochDriver<'w> {
                 commit_wall_us,
                 commit_take_waits: source.take_waits,
                 commit_wait_us: source.take_wait_us,
+                timing,
             };
             (stats, telemetry)
         })

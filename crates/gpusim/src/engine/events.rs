@@ -68,6 +68,12 @@ impl EventQueue {
     pub fn pop(&mut self) -> Option<Event> {
         self.heap.pop().map(|Reverse(ev)| ev)
     }
+
+    /// The earliest event without removing it (the timing-sharded engine
+    /// peeks to decide whether popping is order-safe before committing).
+    pub fn peek(&self) -> Option<&Event> {
+        self.heap.peek().map(|Reverse(ev)| ev)
+    }
 }
 
 #[cfg(test)]

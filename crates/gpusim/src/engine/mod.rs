@@ -12,7 +12,10 @@
 //! * [`shard`] / [`router`] / [`epoch`] — the sharded engine
 //!   (`sim_threads > 1`): decode shards over disjoint SM ranges, the
 //!   interconnect seam they hand traffic through, and the lockstep driver
-//!   that keeps results bit-identical to the serial engine.
+//!   that keeps results bit-identical to the serial engine;
+//! * [`timing`] — the timing-sharded commit loop (`timing_threads > 1`):
+//!   memory partitions dealt to lockstep worker threads, cross-partition
+//!   traffic exchanged at epoch seams in the documented total order.
 //!
 //! The public surface stays [`crate::Simulator`]; everything here is
 //! crate-private machinery behind it.
@@ -25,6 +28,7 @@ mod router;
 mod shard;
 mod sm;
 mod sync;
+mod timing;
 
 pub(crate) use core::Engine;
 pub(crate) use decode::SerialSource;

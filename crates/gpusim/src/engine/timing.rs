@@ -1,0 +1,1167 @@
+//! The timing seam: memory-partition-parallel commit timing
+//! (`timing_threads > 1`).
+//!
+//! PR 6 sharded *decode*; this module shards the other half of the
+//! engine — the memory-partition timing arithmetic of the commit loop.
+//! `timing_threads = N` detaches the [`MemPartition`]s from the
+//! [`MemoryHierarchy`](crate::mem::MemoryHierarchy) and deals them,
+//! address-interleaved, to `(N - 1).min(num_mem_partitions)` worker
+//! threads. The commit loop keeps its role as the single serialization
+//! point: it still pops events in the documented `(time, sequence,
+//! shard-rank, slot)` total order and still issues every partition request
+//! itself — but instead of computing the partition-side timing inline, it
+//! *defers* each request to the owning worker and keeps committing while
+//! the workers grind through the arithmetic in parallel.
+//!
+//! # The deferred-timing protocol
+//!
+//! Each L1-miss read (or write-through store) becomes a [`TimingRequest`]
+//! tagged with a fresh *slot*; the eventual completion time is a
+//! [`TimeVal::Deferred`] placeholder. Everything the commit loop would
+//! have done with the real time is recorded in a reorder buffer
+//! ([`RobEntry`]) in exact serial order. The loop keeps popping events as
+//! long as that is provably safe: every deferred phase carries a *floor*
+//! (a lower bound on its resolved ready time, anchored by
+//! [`MemPartition::min_read_delta`]), and the heap top is popped only if
+//! no pending floor key `(floor, sequence, shard-rank, slot)` orders at or
+//! before it. When a pending phase could order first — or the heap runs
+//! dry, or too many requests are outstanding — the loop performs an *epoch
+//! seam exchange*: it flushes the request batches, blocks until every
+//! worker has drained its queue, replays the reorder buffer in append
+//! order (firing hooks, charging stats, scheduling the resolved events),
+//! and rewrites slot-tagged L1 fill times to their resolved cycles.
+//!
+//! # Determinism
+//!
+//! Results are bit-identical to `timing_threads = 1` for every worker
+//! count and every OS schedule, by construction:
+//!
+//! * the commit loop issues partition requests in serial event order, so
+//!   each partition sees exactly the serial request subsequence — and a
+//!   partition's timing is a pure function of its own request stream;
+//! * workers only compute; they never choose an order (FIFO queues) and
+//!   never touch shared timing state;
+//! * hooks replay from the reorder buffer in append order, which *is* the
+//!   serial hook order because events were popped in serial order;
+//! * stats touched outside replay are order-independent sums and maxes.
+//!
+//! Together with [`router`](super::router)/[`epoch`](super::epoch) this is
+//! the only result-affecting code allowed to spawn threads (`zatel-lint`'s
+//! `thread-seam` rule); all cross-thread traffic flows through
+//! [`TimingRouter`], which follows the same seam/abort discipline.
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::config::GpuConfig;
+use crate::hooks::{CacheLevel, PhaseClass, SimHooks};
+use crate::mem::{MemPartition, Probe};
+use crate::telemetry::{TimingPartitionTelemetry, TimingTelemetry, TimingWorkerTelemetry};
+
+use super::core::{Engine, WARP_LAUNCH_LATENCY};
+use super::decode::{deal_warps, DecodedPhase, PhaseSource};
+use super::events::Event;
+use super::sync::{Condvar, Mutex, MutexGuard};
+
+/// Requests a worker drains from its queue per lock acquisition.
+const CHUNK: usize = 256;
+
+/// Commit-side batch size that triggers an eager flush to the worker, so
+/// workers start computing while the commit loop keeps popping.
+const FLUSH_THRESHOLD: usize = 64;
+
+/// Outstanding deferred slots that force a seam exchange, bounding the
+/// reorder buffer (and the slot tables) to `O(MAX_OUTSTANDING)`.
+const MAX_OUTSTANDING: usize = 8192;
+
+/// Bit marking an L1 `valid_from` as a slot-tagged placeholder for an
+/// in-flight deferred fill (cleared at the next seam exchange).
+const SLOT_TAG: u64 = 1 << 63;
+
+/// Timing workers a run with this `config` uses (`0` = inline timing).
+pub(super) fn worker_count(config: &GpuConfig) -> usize {
+    if config.timing_threads <= 1 {
+        0
+    } else {
+        ((config.timing_threads - 1) as usize).min(config.num_mem_partitions as usize)
+    }
+}
+
+/// One deferred partition-side computation.
+#[derive(Debug, Clone, Copy)]
+struct TimingRequest {
+    /// Global partition index (owner: worker `part % workers`).
+    part: u32,
+    /// Result slot in the commit loop's per-epoch slot table.
+    slot: u32,
+    /// Line-granular address.
+    line: u64,
+    /// Issue cycle (the phase's `start`, always Known).
+    now: u64,
+    /// Write-through store rather than a read.
+    write: bool,
+}
+
+/// A worker's answer for one slot.
+#[derive(Debug, Clone, Copy)]
+struct SlotResult {
+    /// L2 slice hit (reads only).
+    l2_hit: bool,
+    /// Reads: cycle the data is back at the SM. Writes: DRAM completion.
+    time: u64,
+    /// DRAM completion cycle of a read miss (hook payload).
+    dram_done: u64,
+}
+
+impl Default for SlotResult {
+    fn default() -> Self {
+        // The sentinel makes consuming an unfilled slot loud in debug
+        // builds (see `Frontend::resolve`).
+        SlotResult {
+            l2_hit: false,
+            time: u64::MAX,
+            dram_done: 0,
+        }
+    }
+}
+
+/// A completion time that may still be in flight on a worker.
+#[derive(Debug, Clone, Copy)]
+enum TimeVal {
+    /// Fully computed on the commit thread.
+    Known(u64),
+    /// Resolves to `base.max(results[slot].time)` at the next exchange;
+    /// `floor` is a proven lower bound on that value.
+    Deferred { slot: u32, base: u64, floor: u64 },
+}
+
+impl TimeVal {
+    fn floor(&self) -> u64 {
+        match *self {
+            TimeVal::Known(t) => t,
+            TimeVal::Deferred { floor, .. } => floor,
+        }
+    }
+}
+
+/// The tail of one warp phase, replayed at the exchange once its deferred
+/// completion times exist.
+#[derive(Debug)]
+struct PendingPhase {
+    ev: Event,
+    start: u64,
+    compute_ready: u64,
+    lsu_known: u64,
+    lsu_deferred: Vec<TimeVal>,
+    rt_known: u64,
+    rt_deferred: Vec<TimeVal>,
+    has_rt: bool,
+    /// The phase's wake-up event was already pushed (fully-known phase);
+    /// replay must not push it again.
+    pushed: bool,
+}
+
+/// One reorder-buffer record: everything the serial engine would have done
+/// *observably* (hooks) or *late-bound* (deferred stats, event pushes), in
+/// exact serial order. Replayed at each seam exchange.
+#[derive(Debug)]
+enum RobEntry {
+    WarpLaunch {
+        sm: usize,
+        warp_id: u64,
+        time: u64,
+    },
+    WarpRetire {
+        sm: usize,
+        warp_id: u64,
+        time: u64,
+    },
+    CacheL1 {
+        hit: bool,
+    },
+    /// L2 probe outcome of read slot `slot` (fires the L2 access hook and,
+    /// on a miss, the DRAM transfer hook).
+    L2Outcome {
+        slot: u32,
+        part: u32,
+    },
+    /// Write-through store via slot `slot` (fires the DRAM transfer hook).
+    DramWrite {
+        slot: u32,
+        part: u32,
+    },
+    /// One completed warp read: accounts latency stats and the hook.
+    MemRead {
+        sm: usize,
+        now: u64,
+        val: TimeVal,
+    },
+    RtPhase {
+        sm: usize,
+        rays: u32,
+        lines: u32,
+        start: u64,
+        occupancy: u64,
+    },
+    PhaseIssue(Box<PendingPhase>),
+}
+
+/// What one worker hands back at shutdown: its partitions (re-attached to
+/// the hierarchy, in partition order) and its telemetry.
+struct WorkerFinish {
+    partitions: Vec<(usize, MemPartition)>,
+    telemetry: TimingWorkerTelemetry,
+}
+
+/// Per-worker seam state, guarded by the worker's mutex.
+#[derive(Default)]
+struct WorkerState {
+    /// FIFO of deferred requests (order = commit issue order).
+    queue: VecDeque<TimingRequest>,
+    /// Requests submitted by the commit loop, ever.
+    submitted: u64,
+    /// Requests completed by the worker, ever.
+    completed: u64,
+    /// Completed results not yet collected.
+    results: Vec<(u32, SlotResult)>,
+    /// Set by the commit loop once the run is over.
+    shutdown: bool,
+    /// Stashed by the worker on its way out.
+    finished: Option<WorkerFinish>,
+}
+
+/// One worker's seam: state plus its two wake-up channels.
+#[derive(Default)]
+struct WorkerSeam {
+    state: Mutex<WorkerState>,
+    /// Wakes the worker (requests queued / shutdown / abort).
+    work_cv: Condvar,
+    /// Wakes the commit loop (results complete / finish stashed / abort).
+    done_cv: Condvar,
+}
+
+/// The seam set of one timing-sharded run: one seam per worker, plus the
+/// abort flag that poisons the run if any thread panics.
+struct TimingRouter {
+    seams: Vec<WorkerSeam>,
+    aborted: AtomicBool,
+}
+
+impl TimingRouter {
+    fn new(workers: usize) -> Self {
+        TimingRouter {
+            seams: (0..workers).map(|_| WorkerSeam::default()).collect(),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    fn lock(&self, worker: usize) -> MutexGuard<'_, WorkerState> {
+        let state = self.seams[worker].state.lock();
+        // zatel-lint: allow(panic-hygiene, reason = "a poisoned timing seam mutex means a sibling sim thread already panicked; propagating is the only sound option")
+        state.expect("timing seam mutex poisoned")
+    }
+
+    /// Poisons the run: wakes every waiter on every seam so a panicking
+    /// thread cannot strand the others. Idempotent.
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        for seam in &self.seams {
+            drop(seam.state.lock());
+            seam.work_cv.notify_all();
+            seam.done_cv.notify_all();
+        }
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    /// Hands `batch` to `worker` (drains the vec) and wakes it.
+    fn submit(&self, worker: usize, batch: &mut Vec<TimingRequest>) {
+        let mut state = self.lock(worker);
+        state.submitted += batch.len() as u64;
+        state.queue.extend(batch.drain(..));
+        drop(state);
+        self.seams[worker].work_cv.notify_all();
+    }
+
+    /// Blocks until `worker` has completed everything submitted to it,
+    /// then drains its results into `into`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was aborted (a worker panicked).
+    fn collect(&self, worker: usize, into: &mut Vec<(u32, SlotResult)>) {
+        let mut state = self.lock(worker);
+        loop {
+            if self.is_aborted() {
+                // zatel-lint: allow(panic-hygiene, reason = "a timing worker panicked; unwinding the commit loop is the only way to propagate it")
+                panic!("timing-sharded simulation aborted: a timing worker panicked");
+            }
+            if state.completed == state.submitted {
+                into.append(&mut state.results);
+                return;
+            }
+            let waited = self.seams[worker].done_cv.wait(state);
+            // zatel-lint: allow(panic-hygiene, reason = "see timing seam mutex waiver above: poisoning implies a sibling panic")
+            state = waited.expect("timing seam mutex poisoned");
+        }
+    }
+
+    /// Tells `worker` the run is over and blocks until it hands back its
+    /// partitions and telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was aborted.
+    fn shutdown_collect(&self, worker: usize) -> WorkerFinish {
+        let mut state = self.lock(worker);
+        state.shutdown = true;
+        self.seams[worker].work_cv.notify_all();
+        loop {
+            if self.is_aborted() {
+                // zatel-lint: allow(panic-hygiene, reason = "a timing worker panicked; unwinding the commit loop is the only way to propagate it")
+                panic!("timing-sharded simulation aborted: a timing worker panicked");
+            }
+            if let Some(finish) = state.finished.take() {
+                return finish;
+            }
+            let waited = self.seams[worker].done_cv.wait(state);
+            // zatel-lint: allow(panic-hygiene, reason = "see timing seam mutex waiver above: poisoning implies a sibling panic")
+            state = waited.expect("timing seam mutex poisoned");
+        }
+    }
+}
+
+/// Poisons the router if the owning thread unwinds, so threads on the
+/// other side of the seam cannot block forever on a dead peer.
+struct AbortOnPanic<'r>(&'r TimingRouter);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.abort();
+        }
+    }
+}
+
+/// The worker loop: drain requests FIFO, run the partition arithmetic,
+/// publish results. Workers never decide an order and never see each
+/// other's partitions — they are pure calculators.
+fn run_worker(
+    router: &TimingRouter,
+    worker: usize,
+    stride: usize,
+    mut parts: Vec<(usize, MemPartition)>,
+) {
+    let _guard = AbortOnPanic(router);
+    let mut part_requests = vec![0u64; parts.len()];
+    let mut buf: Vec<TimingRequest> = Vec::with_capacity(CHUNK);
+    let mut results: Vec<(u32, SlotResult)> = Vec::with_capacity(CHUNK);
+    let mut requests = 0u64;
+    let mut batches = 0u64;
+    let mut busy_wall_us = 0u64;
+    let mut idle_waits = 0u64;
+    let mut idle_wall_us = 0u64;
+    loop {
+        let mut state = router.lock(worker);
+        while state.queue.is_empty() && !state.shutdown && !router.is_aborted() {
+            idle_waits += 1;
+            // zatel-lint: allow(wall-clock, reason = "audited timing-worker telemetry: brackets an idle park whose wake condition is seam state; the value lands only in TimingWorkerTelemetry")
+            let park = std::time::Instant::now();
+            let waited = router.seams[worker].work_cv.wait(state);
+            // zatel-lint: allow(panic-hygiene, reason = "see timing seam mutex waiver above: poisoning implies a sibling panic")
+            state = waited.expect("timing seam mutex poisoned");
+            idle_wall_us += park.elapsed().as_micros() as u64;
+        }
+        if router.is_aborted() {
+            return;
+        }
+        if state.queue.is_empty() {
+            // Shutdown with a drained queue: hand everything back.
+            let telemetry = TimingWorkerTelemetry {
+                requests,
+                batches,
+                busy_wall_us,
+                idle_waits,
+                idle_wall_us,
+                partitions: parts
+                    .iter()
+                    .zip(&part_requests)
+                    .map(|((p, part), &reqs)| TimingPartitionTelemetry {
+                        partition: *p,
+                        requests: reqs,
+                        dram_busy_cycles: part.dram().busy_cycles(),
+                        icnt_busy_cycles: part.icnt_busy_cycles(),
+                    })
+                    .collect(),
+            };
+            state.finished = Some(WorkerFinish {
+                partitions: std::mem::take(&mut parts),
+                telemetry,
+            });
+            drop(state);
+            router.seams[worker].done_cv.notify_all();
+            return;
+        }
+        let n = state.queue.len().min(CHUNK);
+        buf.extend(state.queue.drain(..n));
+        drop(state);
+        // zatel-lint: allow(wall-clock, reason = "audited timing-worker telemetry: measures pure partition arithmetic from outside it; the value lands only in TimingWorkerTelemetry")
+        let work = std::time::Instant::now();
+        for req in buf.drain(..) {
+            let local = req.part as usize / stride;
+            let (_, part) = &mut parts[local];
+            part_requests[local] += 1;
+            requests += 1;
+            let res = if req.write {
+                let done = part.write(req.line, req.now);
+                SlotResult {
+                    l2_hit: false,
+                    time: done,
+                    dram_done: done,
+                }
+            } else {
+                let r = part.read(req.line, req.now);
+                SlotResult {
+                    l2_hit: r.l2_hit,
+                    time: r.data_ready,
+                    dram_done: r.dram_done,
+                }
+            };
+            results.push((req.slot, res));
+        }
+        busy_wall_us += work.elapsed().as_micros() as u64;
+        batches += 1;
+        let mut state = router.lock(worker);
+        state.completed += results.len() as u64;
+        state.results.append(&mut results);
+        drop(state);
+        router.seams[worker].done_cv.notify_all();
+    }
+}
+
+/// The commit loop's deferred-timing state for one run.
+struct Frontend<'r> {
+    router: &'r TimingRouter,
+    workers: usize,
+    /// Constant lower bound on any partition read's `data_ready - now`.
+    min_read_delta: u64,
+    /// Unsubmitted requests per worker (flushed eagerly at
+    /// [`FLUSH_THRESHOLD`] and unconditionally at each exchange).
+    batches: Vec<Vec<TimingRequest>>,
+    /// Per-epoch slot table (reset at each exchange).
+    slot_results: Vec<SlotResult>,
+    /// Per-slot floor: lower bound on the slot's resolved time.
+    floors: Vec<u64>,
+    /// The reorder buffer, in exact serial hook order.
+    rob: Vec<RobEntry>,
+    /// Deferred phases not yet scheduled, keyed by the documented
+    /// `(floor, sequence, shard-rank, slot)` order so the heap-top safety
+    /// check is one `first()` lookup.
+    pending: BTreeSet<(u64, u64, usize, usize)>,
+    /// Slots allocated since the last exchange.
+    outstanding: usize,
+    /// Scratch for collecting worker results.
+    scratch: Vec<(u32, SlotResult)>,
+    // --- telemetry ------------------------------------------------------
+    seam_exchanges: u64,
+    deferred_requests: u64,
+    commit_wait_us: u64,
+}
+
+impl<'r> Frontend<'r> {
+    fn new(router: &'r TimingRouter, workers: usize, min_read_delta: u64) -> Self {
+        Frontend {
+            router,
+            workers,
+            min_read_delta,
+            batches: (0..workers).map(|_| Vec::new()).collect(),
+            slot_results: Vec::new(),
+            floors: Vec::new(),
+            rob: Vec::new(),
+            pending: BTreeSet::new(),
+            outstanding: 0,
+            scratch: Vec::new(),
+            seam_exchanges: 0,
+            deferred_requests: 0,
+            commit_wait_us: 0,
+        }
+    }
+
+    /// Whether a pending deferred phase could order at or before `ev` —
+    /// popping `ev` would then risk leaving serial order, so the caller
+    /// must exchange first. Floors are lower bounds, and the tuple compare
+    /// mirrors [`Event`]'s total order, so equality is already unsafe.
+    fn blocks(&self, ev: &Event) -> bool {
+        match self.pending.first() {
+            Some(&key) => key <= (ev.time, ev.warp_id, ev.sm, ev.slot),
+            None => false,
+        }
+    }
+
+    fn alloc_slot(&mut self, floor: u64) -> u32 {
+        let slot = self.slot_results.len() as u32;
+        self.slot_results.push(SlotResult::default());
+        self.floors.push(floor);
+        self.outstanding += 1;
+        slot
+    }
+
+    fn enqueue(&mut self, req: TimingRequest) {
+        let w = req.part as usize % self.workers;
+        self.batches[w].push(req);
+        self.deferred_requests += 1;
+        if self.batches[w].len() >= FLUSH_THRESHOLD {
+            self.router.submit(w, &mut self.batches[w]);
+        }
+    }
+
+    fn resolve(&self, val: TimeVal) -> u64 {
+        match val {
+            TimeVal::Known(t) => t,
+            TimeVal::Deferred { slot, base, .. } => {
+                let t = self.slot_results[slot as usize].time;
+                debug_assert_ne!(t, u64::MAX, "slot {slot} consumed before its exchange");
+                base.max(t)
+            }
+        }
+    }
+
+    /// The epoch seam exchange: flush, synchronize with every worker,
+    /// replay the reorder buffer in serial order, clear the slot tables.
+    /// A no-op when nothing is outstanding.
+    fn exchange<H: SimHooks>(&mut self, engine: &mut Engine<'_, H>) {
+        if self.rob.is_empty() {
+            return;
+        }
+        for w in 0..self.workers {
+            if !self.batches[w].is_empty() {
+                self.router.submit(w, &mut self.batches[w]);
+            }
+        }
+        // zatel-lint: allow(wall-clock, reason = "audited commit telemetry: brackets blocking collects whose outcomes are already determined; accumulates into TimingTelemetry only")
+        let wait = std::time::Instant::now();
+        for w in 0..self.workers {
+            self.router.collect(w, &mut self.scratch);
+        }
+        self.commit_wait_us += wait.elapsed().as_micros() as u64;
+        for (slot, res) in self.scratch.drain(..) {
+            self.slot_results[slot as usize] = res;
+        }
+        let line_bytes = engine.mem.line_bytes();
+        for entry in std::mem::take(&mut self.rob) {
+            match entry {
+                RobEntry::WarpLaunch { sm, warp_id, time } => {
+                    engine.hooks.on_warp_launch(sm, warp_id, time);
+                }
+                RobEntry::WarpRetire { sm, warp_id, time } => {
+                    engine.hooks.on_warp_retire(sm, warp_id, time);
+                }
+                RobEntry::CacheL1 { hit } => {
+                    engine.hooks.on_cache_access(CacheLevel::L1, hit);
+                }
+                RobEntry::L2Outcome { slot, part } => {
+                    let res = self.slot_results[slot as usize];
+                    engine.hooks.on_cache_access(CacheLevel::L2, res.l2_hit);
+                    if !res.l2_hit {
+                        engine
+                            .hooks
+                            .on_dram_transfer(part as usize, line_bytes, res.dram_done);
+                    }
+                }
+                RobEntry::DramWrite { slot, part } => {
+                    let res = self.slot_results[slot as usize];
+                    engine
+                        .hooks
+                        .on_dram_transfer(part as usize, line_bytes, res.time);
+                }
+                RobEntry::MemRead { sm, now, val } => {
+                    let t = self.resolve(val);
+                    engine.mem.note_read(t - now);
+                    engine.hooks.on_mem_read(sm, t - now);
+                }
+                RobEntry::RtPhase {
+                    sm,
+                    rays,
+                    lines,
+                    start,
+                    occupancy,
+                } => {
+                    engine.hooks.on_rt_phase(sm, rays, lines, start, occupancy);
+                }
+                RobEntry::PhaseIssue(p) => {
+                    let lsu_ready = p
+                        .lsu_deferred
+                        .iter()
+                        .fold(p.lsu_known, |m, &v| m.max(self.resolve(v)));
+                    let mut ready = (p.start + 1).max(p.compute_ready).max(lsu_ready);
+                    let rt_ready = if p.has_rt {
+                        let rt_done = p
+                            .rt_deferred
+                            .iter()
+                            .fold(p.rt_known, |m, &v| m.max(self.resolve(v)));
+                        ready = ready.max(rt_done);
+                        rt_done
+                    } else {
+                        p.start
+                    };
+                    let span = ready - p.start;
+                    let class = if rt_ready >= ready {
+                        engine.stats.bound_rt_cycles += span;
+                        PhaseClass::Rt
+                    } else if lsu_ready >= ready {
+                        engine.stats.bound_memory_cycles += span;
+                        PhaseClass::Memory
+                    } else {
+                        engine.stats.bound_compute_cycles += span;
+                        PhaseClass::Compute
+                    };
+                    engine
+                        .hooks
+                        .on_phase_issue(p.ev.sm, p.ev.warp_id, class, p.start, ready);
+                    engine.max_time = engine.max_time.max(ready);
+                    if !p.pushed {
+                        engine.events.push(Event {
+                            time: ready,
+                            warp_id: p.ev.warp_id,
+                            sm: p.ev.sm,
+                            slot: p.ev.slot,
+                        });
+                    }
+                }
+            }
+        }
+        // Replace slot-tagged L1 fill placeholders with their resolved
+        // cycles; residency never depends on `valid_from`, so this cannot
+        // change which lines are cached.
+        let results = &self.slot_results;
+        engine.mem.remap_l1_valid(|v| {
+            if v & SLOT_TAG != 0 {
+                results[(v & !SLOT_TAG) as usize].time
+            } else {
+                v
+            }
+        });
+        self.slot_results.clear();
+        self.floors.clear();
+        self.pending.clear();
+        self.outstanding = 0;
+        self.seam_exchanges += 1;
+    }
+}
+
+/// One warp read under deferred timing: identical L1 state transitions and
+/// rob records as the serial `MemoryHierarchy::read_with`, with the
+/// partition half farmed out to its worker when the L1 misses.
+fn deferred_read<H: SimHooks>(
+    engine: &mut Engine<'_, H>,
+    fe: &mut Frontend<'_>,
+    sm: usize,
+    line: u64,
+    now: u64,
+) -> TimeVal {
+    let l1_ready = now + engine.mem.l1_latency();
+    match engine.mem.l1_probe(sm, line, now) {
+        Probe::Hit { valid_from } => {
+            fe.rob.push(RobEntry::CacheL1 { hit: true });
+            let val = if valid_from & SLOT_TAG != 0 {
+                let slot = (valid_from & !SLOT_TAG) as u32;
+                TimeVal::Deferred {
+                    slot,
+                    base: l1_ready,
+                    floor: l1_ready.max(fe.floors[slot as usize]),
+                }
+            } else {
+                TimeVal::Known(l1_ready.max(valid_from))
+            };
+            fe.rob.push(RobEntry::MemRead { sm, now, val });
+            val
+        }
+        Probe::Miss => {
+            fe.rob.push(RobEntry::CacheL1 { hit: false });
+            let part = engine.mem.partition_of(line) as u32;
+            let slot = fe.alloc_slot(now + fe.min_read_delta);
+            fe.enqueue(TimingRequest {
+                part,
+                slot,
+                line,
+                now,
+                write: false,
+            });
+            fe.rob.push(RobEntry::L2Outcome { slot, part });
+            engine.mem.l1_fill(sm, line, SLOT_TAG | slot as u64);
+            let val = TimeVal::Deferred {
+                slot,
+                base: 0,
+                floor: fe.floors[slot as usize],
+            };
+            fe.rob.push(RobEntry::MemRead { sm, now, val });
+            val
+        }
+    }
+}
+
+/// One write-through store under deferred timing (fire-and-forget, like
+/// the serial path: the warp waits only `now + 1`).
+fn deferred_write<H: SimHooks>(
+    engine: &mut Engine<'_, H>,
+    fe: &mut Frontend<'_>,
+    line: u64,
+    now: u64,
+) {
+    let part = engine.mem.partition_of(line) as u32;
+    let slot = fe.alloc_slot(0);
+    fe.enqueue(TimingRequest {
+        part,
+        slot,
+        line,
+        now,
+        write: true,
+    });
+    fe.rob.push(RobEntry::DramWrite { slot, part });
+}
+
+/// Launches the oldest pending warp of `sm` at `t` (deferred-hook variant
+/// of the serial engine's `try_launch`).
+fn try_launch<H: SimHooks, S: PhaseSource>(
+    engine: &mut Engine<'_, H>,
+    fe: &mut Frontend<'_>,
+    sm: usize,
+    t: u64,
+    source: &mut S,
+) -> bool {
+    let Some((id, first, lanes)) = engine.sms[sm].pending.pop_front() else {
+        return false;
+    };
+    let slot = engine.sms[sm].slots_used;
+    engine.sms[sm].slots_used += 1;
+    source.on_launch(sm, slot, id, first, lanes);
+    fe.rob.push(RobEntry::WarpLaunch {
+        sm,
+        warp_id: id,
+        time: t,
+    });
+    engine.events.push(Event {
+        time: t + WARP_LAUNCH_LATENCY,
+        warp_id: id,
+        sm,
+        slot,
+    });
+    true
+}
+
+fn launch_grid<H: SimHooks, S: PhaseSource>(
+    engine: &mut Engine<'_, H>,
+    fe: &mut Frontend<'_>,
+    threads: u64,
+    source: &mut S,
+) {
+    engine.stats.threads_launched = threads;
+    let lists = deal_warps(threads, engine.config.warp_size, engine.sms.len());
+    for (sm, list) in lists.into_iter().enumerate() {
+        engine.sms[sm].pending = list
+            .into_iter()
+            .map(|w| (w.id, w.first_thread, w.lanes))
+            .collect();
+    }
+    for sm in 0..engine.sms.len() {
+        for _ in 0..engine.config.max_warps_per_sm {
+            if !try_launch(engine, fe, sm, 0, source) {
+                break;
+            }
+        }
+    }
+}
+
+/// One warp step under deferred timing: the exact serial arithmetic, with
+/// every partition-side time a [`TimeVal`] and every observable action a
+/// [`RobEntry`].
+fn step_deferred<H: SimHooks, S: PhaseSource>(
+    engine: &mut Engine<'_, H>,
+    fe: &mut Frontend<'_>,
+    ev: Event,
+    source: &mut S,
+) {
+    let mix = match source.next_phase(ev.sm, ev.slot, ev.warp_id) {
+        DecodedPhase::Mix(mix) => mix,
+        DecodedPhase::Retire => {
+            engine.max_time = engine.max_time.max(ev.time);
+            fe.rob.push(RobEntry::WarpRetire {
+                sm: ev.sm,
+                warp_id: ev.warp_id,
+                time: ev.time,
+            });
+            if let Some((id, first, lanes)) = engine.sms[ev.sm].pending.pop_front() {
+                source.on_launch(ev.sm, ev.slot, id, first, lanes);
+                fe.rob.push(RobEntry::WarpLaunch {
+                    sm: ev.sm,
+                    warp_id: id,
+                    time: ev.time,
+                });
+                engine.events.push(Event {
+                    time: ev.time + WARP_LAUNCH_LATENCY,
+                    warp_id: id,
+                    sm: ev.sm,
+                    slot: ev.slot,
+                });
+            }
+            return;
+        }
+    };
+    engine.stats.instructions += mix.instructions;
+    engine.stats.warp_issues += 1;
+    let start = engine.sms[ev.sm].issue_at(ev.time, mix.lsu_slots());
+    engine.stats.bound_issue_cycles += start - ev.time;
+    let compute_ready = start + mix.compute_cycles;
+    let mut lsu_known = start;
+    let mut lsu_deferred = Vec::new();
+    for line in &mix.load_lines {
+        match deferred_read(engine, fe, ev.sm, *line, start) {
+            TimeVal::Known(t) => lsu_known = lsu_known.max(t),
+            deferred => lsu_deferred.push(deferred),
+        }
+    }
+    for line in &mix.store_lines {
+        deferred_write(engine, fe, *line, start);
+        lsu_known = lsu_known.max(start + 1);
+    }
+    let has_rt = mix.rt_rays > 0;
+    let mut rt_known = start;
+    let mut rt_deferred = Vec::new();
+    if has_rt {
+        let sm_state = &mut engine.sms[ev.sm];
+        let (slot, rt_start) = sm_state.rt_unit.acquire(start);
+        let occupancy = sm_state.rt_unit.occupancy_cycles(mix.rt_rays);
+        sm_state
+            .rt_unit
+            .complete(slot, rt_start + occupancy, mix.rt_rays);
+        fe.rob.push(RobEntry::RtPhase {
+            sm: ev.sm,
+            rays: mix.rt_rays,
+            lines: mix.rt_lines.len() as u32,
+            start: rt_start,
+            occupancy,
+        });
+        rt_known = rt_start + occupancy;
+        for line in &mix.rt_lines {
+            match deferred_read(engine, fe, ev.sm, *line, rt_start) {
+                TimeVal::Known(t) => rt_known = rt_known.max(t),
+                deferred => rt_deferred.push(deferred),
+            }
+        }
+    }
+    let mut phase = PendingPhase {
+        ev,
+        start,
+        compute_ready,
+        lsu_known,
+        lsu_deferred,
+        rt_known,
+        rt_deferred,
+        has_rt,
+        pushed: false,
+    };
+    let mut known_floor = (start + 1).max(compute_ready).max(phase.lsu_known);
+    if has_rt {
+        known_floor = known_floor.max(phase.rt_known);
+    }
+    if phase.lsu_deferred.is_empty() && phase.rt_deferred.is_empty() {
+        // Fully known: the wake-up can be scheduled now (keeping the heap
+        // hot); hooks and CPI attribution still replay in rob order.
+        engine.events.push(Event {
+            time: known_floor,
+            warp_id: ev.warp_id,
+            sm: ev.sm,
+            slot: ev.slot,
+        });
+        phase.pushed = true;
+    } else {
+        let floor = phase
+            .lsu_deferred
+            .iter()
+            .chain(&phase.rt_deferred)
+            .fold(known_floor, |m, v| m.max(v.floor()));
+        fe.pending.insert((floor, ev.warp_id, ev.sm, ev.slot));
+    }
+    fe.rob.push(RobEntry::PhaseIssue(Box::new(phase)));
+}
+
+/// Runs the commit loop with partition-parallel timing. Called by
+/// [`Engine::run`] when [`worker_count`] is at least one; returns the
+/// run's timing telemetry (the stats land in `engine.stats` as usual).
+pub(super) fn run_sharded<H: SimHooks, S: PhaseSource>(
+    engine: &mut Engine<'_, H>,
+    threads: u64,
+    source: &mut S,
+) -> TimingTelemetry {
+    let workers = worker_count(engine.config);
+    let parts = engine.mem.take_partitions();
+    let num_partitions = parts.len();
+    let min_read_delta = parts.first().map(MemPartition::min_read_delta).unwrap_or(0);
+    let mut per_worker: Vec<Vec<(usize, MemPartition)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (p, part) in parts.into_iter().enumerate() {
+        per_worker[p % workers].push((p, part));
+    }
+    let router = TimingRouter::new(workers);
+    // Schedule-test builds: pre-announce the worker slots so the
+    // cooperative scheduler's first election waits for every worker to
+    // attach (same pattern as the decode shards in `epoch`).
+    #[cfg(zatel_schedule_test)]
+    let sched = crate::schedule::handle().map(|(sched, _)| {
+        let base = sched.announce(workers);
+        (sched, base)
+    });
+    let mut finishes: Vec<WorkerFinish> = Vec::with_capacity(workers);
+    let (seam_exchanges, deferred_requests, commit_wait_us) = std::thread::scope(|scope| {
+        let router = &router;
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .enumerate()
+            .map(|(w, parts)| {
+                #[cfg(zatel_schedule_test)]
+                let sched = sched.clone();
+                scope.spawn(move || {
+                    #[cfg(zatel_schedule_test)]
+                    let _participant = sched
+                        .map(|(sched, base)| crate::schedule::Participant::adopt(sched, base + w));
+                    run_worker(router, w, workers, parts)
+                })
+            })
+            .collect();
+        // If the commit loop unwinds (a hook panicked), poison the seams
+        // so the scope can join the workers instead of deadlocking.
+        let _guard = AbortOnPanic(router);
+        let mut fe = Frontend::new(router, workers, min_read_delta);
+        launch_grid(engine, &mut fe, threads, source);
+        loop {
+            match engine.events.peek().copied() {
+                Some(ev) => {
+                    if fe.outstanding >= MAX_OUTSTANDING || fe.blocks(&ev) {
+                        fe.exchange(engine);
+                        continue;
+                    }
+                    // zatel-lint: allow(panic-hygiene, reason = "peek just returned Some and nothing popped in between")
+                    let ev = engine.events.pop().expect("peeked event vanished");
+                    step_deferred(engine, &mut fe, ev, source);
+                }
+                None => {
+                    if fe.rob.is_empty() {
+                        break;
+                    }
+                    // Heap dry but work outstanding (deferred phases,
+                    // unreplayed hooks, in-flight writes): exchange to
+                    // resolve — it schedules every pending wake-up.
+                    fe.exchange(engine);
+                }
+            }
+        }
+        for w in 0..workers {
+            finishes.push(router.shutdown_collect(w));
+        }
+        // The joins below block outside the sync facade: step out of the
+        // scheduled region so worker epilogues can still be elected.
+        #[cfg(zatel_schedule_test)]
+        crate::schedule::detach_current();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        #[cfg(zatel_schedule_test)]
+        crate::schedule::reattach_current();
+        (fe.seam_exchanges, fe.deferred_requests, fe.commit_wait_us)
+    });
+    let mut slots: Vec<Option<MemPartition>> = (0..num_partitions).map(|_| None).collect();
+    let mut worker_telemetry = Vec::with_capacity(workers);
+    for finish in &mut finishes {
+        for (p, part) in finish.partitions.drain(..) {
+            slots[p] = Some(part);
+        }
+        worker_telemetry.push(std::mem::take(&mut finish.telemetry));
+    }
+    engine.mem.restore_partitions(
+        slots
+            .into_iter()
+            // zatel-lint: allow(panic-hygiene, reason = "every partition index was dealt to exactly one worker and every worker finished; a hole is an engine bug worth crashing on")
+            .map(|s| s.expect("worker returned all partitions"))
+            .collect(),
+    );
+    TimingTelemetry {
+        worker_count: workers,
+        workers: worker_telemetry,
+        seam_exchanges,
+        deferred_requests,
+        commit_wait_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::GpuConfig;
+    use crate::gpu::Simulator;
+    use crate::hooks::TraceHooks;
+    use crate::workload::{Op, ScriptedWorkload};
+
+    fn stress_workload() -> ScriptedWorkload {
+        ScriptedWorkload::per_thread(4096, |i| {
+            vec![
+                Op::RtNode {
+                    addr: (i % 97) * 32,
+                },
+                Op::Load {
+                    addr: i * 64,
+                    bytes: 16,
+                },
+                Op::Compute {
+                    cycles: (i % 7) as u32 + 1,
+                    insts: 3,
+                },
+                Op::Store {
+                    addr: i * 16,
+                    bytes: 16,
+                },
+            ]
+        })
+    }
+
+    #[test]
+    fn timing_sharded_stats_match_serial_for_all_worker_counts() {
+        let w = stress_workload();
+        let serial = Simulator::new(GpuConfig::mobile_soc()).run(&w);
+        for timing_threads in [2, 3, 4, 8] {
+            let mut cfg = GpuConfig::mobile_soc();
+            cfg.timing_threads = timing_threads;
+            let sharded = Simulator::new(cfg).run(&w);
+            assert_eq!(
+                serial, sharded,
+                "timing_threads={timing_threads} must be bit-identical to serial"
+            );
+        }
+    }
+
+    #[test]
+    fn timing_sharded_hook_stream_matches_serial() {
+        let w = stress_workload();
+        let mut serial_hooks = TraceHooks::new(1000);
+        let serial = Simulator::new(GpuConfig::mobile_soc()).run_with_hooks(&w, &mut serial_hooks);
+        let mut cfg = GpuConfig::mobile_soc();
+        cfg.timing_threads = 4;
+        let mut sharded_hooks = TraceHooks::new(1000);
+        let sharded = Simulator::new(cfg).run_with_hooks(&w, &mut sharded_hooks);
+        assert_eq!(serial, sharded);
+        assert_eq!(serial_hooks.counters(), sharded_hooks.counters());
+        assert_eq!(
+            serial_hooks.slices(),
+            sharded_hooks.slices(),
+            "hook replay must land in exact serial order"
+        );
+    }
+
+    #[test]
+    fn timing_composes_with_decode_sharding() {
+        let w = stress_workload();
+        let serial = Simulator::new(GpuConfig::mobile_soc()).run(&w);
+        let mut cfg = GpuConfig::mobile_soc();
+        cfg.sim_threads = 4;
+        cfg.timing_threads = 3;
+        let both = Simulator::new(cfg).run(&w);
+        assert_eq!(serial, both, "decode + timing sharding must compose");
+    }
+
+    #[test]
+    fn timing_sharded_run_handles_degenerate_grids() {
+        for threads in [0u64, 1, 31, 32, 33] {
+            let w = ScriptedWorkload::uniform(
+                threads,
+                vec![Op::Compute {
+                    cycles: 2,
+                    insts: 2,
+                }],
+            );
+            let serial = Simulator::new(GpuConfig::mobile_soc()).run(&w);
+            let mut cfg = GpuConfig::mobile_soc();
+            cfg.timing_threads = 4;
+            let sharded = Simulator::new(cfg).run(&w);
+            assert_eq!(serial, sharded, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_timing_workers_than_partitions_is_clamped() {
+        let mut cfg = GpuConfig::mobile_soc();
+        cfg.timing_threads = 64;
+        assert_eq!(
+            super::worker_count(&cfg),
+            cfg.num_mem_partitions as usize,
+            "workers cap at the partition count"
+        );
+        let w = stress_workload();
+        let sharded = Simulator::new(cfg).run(&w);
+        let serial = Simulator::new(GpuConfig::mobile_soc()).run(&w);
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn timing_telemetry_reports_worker_occupancy() {
+        let w = stress_workload();
+        let serial = Simulator::new(GpuConfig::mobile_soc()).run(&w);
+        let mut cfg = GpuConfig::mobile_soc();
+        cfg.timing_threads = 3;
+        let (stats, telemetry) =
+            Simulator::new(cfg).run_instrumented(&w, &mut crate::hooks::NullHooks);
+        assert_eq!(serial, stats, "telemetry collection must not change stats");
+        let t = telemetry
+            .expect("timing-sharded run returns telemetry")
+            .timing
+            .expect("timing-sharded run returns timing telemetry");
+        assert_eq!(t.worker_count, 2, "timing_threads=3 -> 2 workers");
+        assert_eq!(t.workers.len(), 2);
+        assert!(t.seam_exchanges > 0, "the seam was exchanged at least once");
+        assert!(t.deferred_requests > 0);
+        assert_eq!(
+            t.requests(),
+            t.deferred_requests,
+            "every deferred request was serviced by exactly one worker"
+        );
+        let partitions: Vec<usize> = t
+            .workers
+            .iter()
+            .flat_map(|w| w.partitions.iter().map(|p| p.partition))
+            .collect();
+        assert_eq!(
+            {
+                let mut sorted = partitions.clone();
+                sorted.sort_unstable();
+                sorted
+            },
+            (0..4).collect::<Vec<_>>(),
+            "each partition owned by exactly one worker"
+        );
+    }
+
+    #[test]
+    fn timing_worker_panic_propagates_instead_of_hanging() {
+        struct Bomb;
+        impl crate::workload::ThreadProgram for Bomb {
+            fn next_op(&mut self) -> Option<Op> {
+                panic!("workload bug");
+            }
+        }
+        struct BombWorkload;
+        impl crate::workload::Workload for BombWorkload {
+            fn thread_count(&self) -> u64 {
+                64
+            }
+            fn create_thread(&self, _index: u64) -> Box<dyn crate::workload::ThreadProgram + '_> {
+                Box::new(Bomb)
+            }
+        }
+        let mut cfg = GpuConfig::mobile_soc();
+        cfg.timing_threads = 4;
+        let result = std::panic::catch_unwind(|| Simulator::new(cfg).run(&BombWorkload));
+        assert!(result.is_err(), "the panic must reach the caller");
+    }
+}

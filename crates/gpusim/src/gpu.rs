@@ -75,8 +75,9 @@ impl Simulator {
     }
 
     /// Runs `workload` like [`Simulator::run_with_hooks`], additionally
-    /// returning the run's concurrency telemetry when the sharded engine
-    /// executed it (`sim_threads > 1`); serial runs return `None`.
+    /// returning the run's concurrency telemetry when either sharded mode
+    /// executed it (`sim_threads > 1` or `timing_threads > 1`); fully
+    /// serial runs return `None`.
     ///
     /// The telemetry is an observational wall-clock side channel
     /// ([`SimTelemetry`]): collecting it never changes the returned
@@ -96,8 +97,14 @@ impl Simulator {
                 self.config.num_sms as usize,
                 self.config.l1d.line_bytes,
             );
-            let stats = Engine::new(&self.config, hooks).run(workload.thread_count(), &mut source);
-            (stats, None)
+            let (stats, timing) =
+                Engine::new(&self.config, hooks).run(workload.thread_count(), &mut source);
+            let telemetry = timing.map(|t| SimTelemetry {
+                runs: 1,
+                timing: Some(t),
+                ..SimTelemetry::default()
+            });
+            (stats, telemetry)
         }
     }
 }

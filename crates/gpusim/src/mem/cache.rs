@@ -134,6 +134,19 @@ impl Cache {
         };
     }
 
+    /// Rewrites every entry's `valid_from` through `f`, preserving tags,
+    /// LRU order and statistics. Used by the timing-sharded engine at an
+    /// epoch seam to replace slot-tagged placeholder fill times with their
+    /// resolved cycles; residency never depends on `valid_from`, so the
+    /// rewrite cannot change which lines are cached.
+    pub(crate) fn remap_valid(&mut self, f: impl Fn(u64) -> u64) {
+        for set in &mut self.sets {
+            for entry in set.iter_mut() {
+                entry.valid_from = f(entry.valid_from);
+            }
+        }
+    }
+
     /// Cache display name.
     pub fn name(&self) -> &'static str {
         self.name

@@ -6,36 +6,29 @@ use crate::hooks::{CacheLevel, NullHooks, SimHooks};
 use crate::stats::SimStats;
 
 use super::cache::{Cache, Probe};
-use super::dram::DramChannel;
-use super::interconnect::Interconnect;
+use super::partition::MemPartition;
 
-/// Cycles an L2 slice's tag pipeline is occupied per access (throughput
-/// limit creating backpressure under load).
-const L2_SERVICE_CYCLES: u64 = 2;
-
-/// The full memory hierarchy: one L1D per SM, one L2 slice + DRAM channel
-/// per memory partition, connected by a fixed-latency interconnect.
+/// The full memory hierarchy: one L1D per SM, one [`MemPartition`] (L2
+/// slice + DRAM channel + interconnect ports) per memory partition.
 ///
 /// Line-granular addresses are interleaved across partitions, so shrinking
 /// the partition count (GPU downscaling) automatically shrinks total L2
 /// capacity and aggregate DRAM bandwidth — the property Zatel's downscaling
-/// step relies on.
+/// step relies on. The partition-side timing lives in [`MemPartition`] so
+/// the timing-sharded engine can detach the partitions onto worker threads;
+/// this type is the serial, inline composition of the same arithmetic.
 #[derive(Debug)]
 pub struct MemoryHierarchy {
     l1: Vec<Cache>,
-    l2: Vec<Cache>,
-    l2_next_free: Vec<u64>,
-    dram: Vec<DramChannel>,
-    icnt: Interconnect,
+    parts: Vec<MemPartition>,
+    /// Interleave width — fixed at construction so [`MemoryHierarchy::partition_of`]
+    /// stays valid while the partitions are detached onto timing workers.
+    num_parts: usize,
     line_bytes: u32,
     l1_latency: u32,
-    l2_latency: u32,
     read_latency_sum: u64,
     reads: u64,
 }
-
-/// Bytes of a read-request packet (address + metadata).
-const REQUEST_BYTES: u32 = 8;
 
 impl MemoryHierarchy {
     /// Builds the hierarchy for `config`.
@@ -43,26 +36,15 @@ impl MemoryHierarchy {
         let l1 = (0..config.num_sms)
             .map(|_| Cache::new("L1D", config.l1d))
             .collect();
-        let slice = config.l2_slice();
-        let l2 = (0..config.num_mem_partitions)
-            .map(|_| Cache::new("L2", slice))
-            .collect();
-        let dram = (0..config.num_mem_partitions)
-            .map(|_| DramChannel::new(config.dram_bytes_per_cycle, config.dram_latency))
+        let parts = (0..config.num_mem_partitions)
+            .map(|_| MemPartition::new(config))
             .collect();
         MemoryHierarchy {
             l1,
-            l2,
-            l2_next_free: vec![0; config.num_mem_partitions as usize],
-            dram,
-            icnt: Interconnect::new(
-                config.num_mem_partitions,
-                config.interconnect_latency,
-                config.interconnect_bytes_per_cycle,
-            ),
+            parts,
+            num_parts: config.num_mem_partitions as usize,
             line_bytes: config.l1d.line_bytes,
             l1_latency: config.l1d.latency,
-            l2_latency: config.l2.latency,
             read_latency_sum: 0,
             reads: 0,
         }
@@ -78,8 +60,56 @@ impl MemoryHierarchy {
         addr / self.line_bytes as u64
     }
 
-    fn partition_of(&self, line: u64) -> usize {
-        (line % self.l2.len() as u64) as usize
+    /// The memory partition owning `line` (address-interleaved).
+    pub(crate) fn partition_of(&self, line: u64) -> usize {
+        (line % self.num_parts as u64) as usize
+    }
+
+    /// L1 load-to-use latency in cycles.
+    pub(crate) fn l1_latency(&self) -> u64 {
+        self.l1_latency as u64
+    }
+
+    /// Detaches the partition timing state so the timing-sharded engine can
+    /// move it onto worker threads. The hierarchy keeps the L1 front end;
+    /// partition-side calls are invalid until
+    /// [`MemoryHierarchy::restore_partitions`].
+    pub(crate) fn take_partitions(&mut self) -> Vec<MemPartition> {
+        std::mem::take(&mut self.parts)
+    }
+
+    /// Re-attaches partitions previously taken with
+    /// [`MemoryHierarchy::take_partitions`], in partition order.
+    pub(crate) fn restore_partitions(&mut self, parts: Vec<MemPartition>) {
+        self.parts = parts;
+    }
+
+    /// Probes SM `sm`'s L1 for `line` without firing hooks (the
+    /// timing-sharded engine defers hook delivery to its reorder buffer).
+    pub(crate) fn l1_probe(&mut self, sm: usize, line: u64, now: u64) -> Probe {
+        self.l1[sm].probe(line, now)
+    }
+
+    /// Fills SM `sm`'s L1 with `line` arriving at `valid_from` (which may
+    /// be a slot-tagged placeholder under the timing-sharded engine).
+    pub(crate) fn l1_fill(&mut self, sm: usize, line: u64, valid_from: u64) {
+        self.l1[sm].fill(line, valid_from);
+    }
+
+    /// Rewrites every L1 entry's `valid_from` through `f` (see
+    /// [`Cache::remap_valid`]).
+    pub(crate) fn remap_l1_valid(&mut self, f: impl Fn(u64) -> u64 + Copy) {
+        for l1 in &mut self.l1 {
+            l1.remap_valid(f);
+        }
+    }
+
+    /// Accounts one completed read of latency `latency` (the serial path
+    /// does this inside [`MemoryHierarchy::read_with`]; the timing-sharded
+    /// engine at reorder-buffer replay).
+    pub(crate) fn note_read(&mut self, latency: u64) {
+        self.read_latency_sum += latency;
+        self.reads += 1;
     }
 
     /// Issues a read of cache line `line` from SM `sm` at cycle `now`;
@@ -97,8 +127,7 @@ impl MemoryHierarchy {
     /// identical for every hook implementation.
     pub fn read_with<H: SimHooks>(&mut self, sm: usize, line: u64, now: u64, hooks: &mut H) -> u64 {
         let t = self.read_inner(sm, line, now, hooks);
-        self.read_latency_sum += t - now;
-        self.reads += 1;
+        self.note_read(t - now);
         hooks.on_mem_read(sm, t - now);
         t
     }
@@ -115,41 +144,13 @@ impl MemoryHierarchy {
 
         // Miss: request crosses the interconnect to the owning partition.
         let part = self.partition_of(line);
-        let arrive_l2 = self
-            .icnt
-            .to_memory(part, now + self.l1_latency as u64, REQUEST_BYTES);
-        let slot = arrive_l2.max(self.l2_next_free[part]);
-        self.l2_next_free[part] = slot + L2_SERVICE_CYCLES;
-        let queue_delay = slot - arrive_l2;
-
-        let data_ready = match self.l2[part].probe(line, arrive_l2) {
-            Probe::Hit { valid_from } => {
-                hooks.on_cache_access(CacheLevel::L2, true);
-                // The configured L2 latency is end-to-end from the SM, so
-                // the response departs such that an uncontended crossing
-                // arrives at exactly `now + l2_latency (+ queueing)`;
-                // response-port contention adds on top.
-                let depart = (now + self.l2_latency as u64 + queue_delay)
-                    .saturating_sub(self.icnt.latency() as u64)
-                    .max(valid_from);
-                self.icnt.from_memory(part, depart, self.line_bytes)
-            }
-            Probe::Miss => {
-                hooks.on_cache_access(CacheLevel::L2, false);
-                // Request continues to DRAM after the L2 pipeline.
-                let arrive_dram = slot + L2_SERVICE_CYCLES;
-                let done = self.dram[part].service_at(
-                    arrive_dram,
-                    line * self.line_bytes as u64,
-                    self.line_bytes,
-                );
-                self.l2[part].fill(line, done);
-                hooks.on_dram_transfer(part, self.line_bytes, done);
-                self.icnt.from_memory(part, done, self.line_bytes)
-            }
-        };
-        self.l1[sm].fill(line, data_ready);
-        data_ready
+        let outcome = self.parts[part].read(line, now);
+        hooks.on_cache_access(CacheLevel::L2, outcome.l2_hit);
+        if !outcome.l2_hit {
+            hooks.on_dram_transfer(part, self.line_bytes, outcome.dram_done);
+        }
+        self.l1[sm].fill(line, outcome.data_ready);
+        outcome.data_ready
     }
 
     /// Issues a write of cache line `line` (write-through, no-allocate,
@@ -170,17 +171,7 @@ impl MemoryHierarchy {
     ) -> u64 {
         let _ = sm;
         let part = self.partition_of(line);
-        let arrive_l2 = self
-            .icnt
-            .to_memory(part, now + self.l1_latency as u64, self.line_bytes);
-        let slot = arrive_l2.max(self.l2_next_free[part]);
-        self.l2_next_free[part] = slot + L2_SERVICE_CYCLES;
-        // Writes drain through the L2 to DRAM; they occupy bus bandwidth.
-        let done = self.dram[part].service_at(
-            slot + L2_SERVICE_CYCLES,
-            line * self.line_bytes as u64,
-            self.line_bytes,
-        );
+        let done = self.parts[part].write(line, now);
         hooks.on_dram_transfer(part, self.line_bytes, done);
         now + 1
     }
@@ -189,15 +180,15 @@ impl MemoryHierarchy {
     pub fn export_stats(&self, stats: &mut SimStats) {
         stats.l1_accesses = self.l1.iter().map(Cache::accesses).sum();
         stats.l1_misses = self.l1.iter().map(Cache::misses).sum();
-        stats.l2_accesses = self.l2.iter().map(Cache::accesses).sum();
-        stats.l2_misses = self.l2.iter().map(Cache::misses).sum();
-        stats.dram_busy_cycles = self.dram.iter().map(DramChannel::busy_cycles).sum();
-        stats.dram_active_cycles = self.dram.iter().map(DramChannel::active_cycles).sum();
-        stats.dram_transactions = self.dram.iter().map(DramChannel::transactions).sum();
-        stats.dram_row_hits = self.dram.iter().map(DramChannel::row_hits).sum();
-        stats.icnt_transfers = self.icnt.transfers();
-        stats.icnt_busy_cycles = self.icnt.busy_cycles();
-        stats.dram_channels = self.dram.len() as u32;
+        stats.l2_accesses = self.parts.iter().map(|p| p.l2().accesses()).sum();
+        stats.l2_misses = self.parts.iter().map(|p| p.l2().misses()).sum();
+        stats.dram_busy_cycles = self.parts.iter().map(|p| p.dram().busy_cycles()).sum();
+        stats.dram_active_cycles = self.parts.iter().map(|p| p.dram().active_cycles()).sum();
+        stats.dram_transactions = self.parts.iter().map(|p| p.dram().transactions()).sum();
+        stats.dram_row_hits = self.parts.iter().map(|p| p.dram().row_hits()).sum();
+        stats.icnt_transfers = self.parts.iter().map(MemPartition::icnt_transfers).sum();
+        stats.icnt_busy_cycles = self.parts.iter().map(MemPartition::icnt_busy_cycles).sum();
+        stats.dram_channels = self.parts.len() as u32;
         stats.read_latency_sum = self.read_latency_sum;
         stats.reads = self.reads;
     }
@@ -205,9 +196,9 @@ impl MemoryHierarchy {
     /// The cycle at which all DRAM channels finish their scheduled
     /// transfers (write-back drain).
     pub fn drain_time(&self) -> u64 {
-        self.dram
+        self.parts
             .iter()
-            .map(DramChannel::drain_time)
+            .map(|p| p.dram().drain_time())
             .max()
             .unwrap_or(0)
     }
@@ -297,5 +288,19 @@ mod tests {
             times.last().unwrap() - times.first().unwrap() >= 8 * 15 - 20,
             "DRAM bandwidth must serialize concurrent misses"
         );
+    }
+
+    #[test]
+    fn detached_partitions_round_trip() {
+        let mut h = hierarchy();
+        h.read(0, 3, 0);
+        let mut before = SimStats::default();
+        h.export_stats(&mut before);
+        let parts = h.take_partitions();
+        assert_eq!(parts.len(), 4);
+        h.restore_partitions(parts);
+        let mut after = SimStats::default();
+        h.export_stats(&mut after);
+        assert_eq!(before, after, "detach/re-attach must preserve counters");
     }
 }

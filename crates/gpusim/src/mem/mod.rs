@@ -4,8 +4,10 @@ mod cache;
 mod dram;
 mod hierarchy;
 mod interconnect;
+mod partition;
 
 pub use cache::{Cache, Probe};
 pub use dram::{DramChannel, RowBufferConfig};
 pub use hierarchy::MemoryHierarchy;
 pub use interconnect::Interconnect;
+pub use partition::MemPartition;

@@ -123,6 +123,106 @@ impl ShardTelemetry {
     }
 }
 
+/// What one memory partition measured about itself over a timing-sharded
+/// run (`timing_threads > 1`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimingPartitionTelemetry {
+    /// Global partition index (address-interleave rank).
+    pub partition: usize,
+    /// Deferred requests (reads + write-throughs) serviced.
+    pub requests: u64,
+    /// Model cycles the partition's DRAM channel was busy transferring.
+    pub dram_busy_cycles: u64,
+    /// Model cycles the partition's interconnect ports were occupied.
+    pub icnt_busy_cycles: u64,
+}
+
+/// What one timing worker measured about itself over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimingWorkerTelemetry {
+    /// Deferred requests this worker serviced.
+    pub requests: u64,
+    /// Work chunks drained from the seam queue.
+    pub batches: u64,
+    /// Wall-clock spent in partition arithmetic, in microseconds.
+    pub busy_wall_us: u64,
+    /// Times the worker parked on an empty queue.
+    pub idle_waits: u64,
+    /// Wall-clock spent parked, in microseconds.
+    pub idle_wall_us: u64,
+    /// Per-partition occupancy of the partitions this worker owned.
+    pub partitions: Vec<TimingPartitionTelemetry>,
+}
+
+impl TimingWorkerTelemetry {
+    /// Adds `other`'s counters into `self` (partitions merge pairwise by
+    /// position), for aggregating the same worker rank across runs.
+    pub fn merge(&mut self, other: &TimingWorkerTelemetry) {
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.busy_wall_us += other.busy_wall_us;
+        self.idle_waits += other.idle_waits;
+        self.idle_wall_us += other.idle_wall_us;
+        if other.partitions.len() > self.partitions.len() {
+            self.partitions
+                .resize_with(other.partitions.len(), TimingPartitionTelemetry::default);
+        }
+        for (mine, theirs) in self.partitions.iter_mut().zip(&other.partitions) {
+            mine.partition = theirs.partition;
+            mine.requests += theirs.requests;
+            mine.dram_busy_cycles += theirs.dram_busy_cycles;
+            mine.icnt_busy_cycles += theirs.icnt_busy_cycles;
+        }
+    }
+}
+
+/// Concurrency telemetry of one timing-sharded run (`timing_threads > 1`):
+/// worker/partition occupancy plus the commit loop's seam accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimingTelemetry {
+    /// Timing worker count of the run
+    /// (`(timing_threads - 1).min(num_mem_partitions)`).
+    pub worker_count: usize,
+    /// Per-worker measurements, indexed by worker rank.
+    pub workers: Vec<TimingWorkerTelemetry>,
+    /// Epoch seam exchanges the commit loop performed.
+    pub seam_exchanges: u64,
+    /// Partition requests deferred to workers.
+    pub deferred_requests: u64,
+    /// Wall-clock the commit loop spent blocked in seam collects, in
+    /// microseconds.
+    pub commit_wait_us: u64,
+}
+
+impl TimingTelemetry {
+    /// Total requests serviced across workers.
+    pub fn requests(&self) -> u64 {
+        self.workers.iter().map(|w| w.requests).sum()
+    }
+
+    /// Total wall-clock workers spent in partition arithmetic, in
+    /// microseconds.
+    pub fn busy_wall_us(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_wall_us).sum()
+    }
+
+    /// Folds `other` into `self` (counters add, worker ranks merge
+    /// pairwise), for aggregating the groups of one pipeline run.
+    pub fn merge(&mut self, other: &TimingTelemetry) {
+        self.worker_count = self.worker_count.max(other.worker_count);
+        if other.workers.len() > self.workers.len() {
+            self.workers
+                .resize_with(other.workers.len(), TimingWorkerTelemetry::default);
+        }
+        for (mine, theirs) in self.workers.iter_mut().zip(&other.workers) {
+            mine.merge(theirs);
+        }
+        self.seam_exchanges += other.seam_exchanges;
+        self.deferred_requests += other.deferred_requests;
+        self.commit_wait_us += other.commit_wait_us;
+    }
+}
+
 /// Concurrency telemetry of one sharded run (or several merged runs).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimTelemetry {
@@ -141,6 +241,8 @@ pub struct SimTelemetry {
     /// Wall-clock the commit loop spent inside seam takes, in
     /// microseconds.
     pub commit_wait_us: u64,
+    /// Timing-sharded telemetry (`None` for `timing_threads = 1` runs).
+    pub timing: Option<TimingTelemetry>,
 }
 
 impl SimTelemetry {
@@ -185,6 +287,11 @@ impl SimTelemetry {
         self.commit_wall_us += other.commit_wall_us;
         self.commit_take_waits += other.commit_take_waits;
         self.commit_wait_us += other.commit_wait_us;
+        if let Some(theirs) = &other.timing {
+            self.timing
+                .get_or_insert_with(TimingTelemetry::default)
+                .merge(theirs);
+        }
     }
 }
 
@@ -238,6 +345,7 @@ mod tests {
             commit_wall_us: 100,
             commit_take_waits: 8,
             commit_wait_us: 25,
+            timing: None,
         };
         let mut total = SimTelemetry::default();
         total.merge(&one);

@@ -248,6 +248,18 @@ impl LintConfig {
                         .to_owned(),
                 },
                 ThreadAllowance {
+                    path: "crates/gpusim/src/engine/timing.rs".to_owned(),
+                    reason: "the audited timing-partition seam: memory-partition \
+                             workers spawned here own disjoint L2-slice/DRAM-channel \
+                             partitions, exchange cross-partition traffic only at \
+                             epoch seams in the documented (time, sequence, \
+                             shard-rank, slot) total order, and are joined before \
+                             the run returns — pinned bit-identical by the \
+                             timing_threads identity tests and the seam-exchange \
+                             schedule sweep"
+                        .to_owned(),
+                },
+                ThreadAllowance {
                     path: "crates/serve/src/server.rs".to_owned(),
                     reason: "the fleet topology seam: the accept loop, router \
                              threads, admission-refusal writers and shard workers \

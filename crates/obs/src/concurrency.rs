@@ -27,6 +27,14 @@ pub const COMMIT_WALL_METRIC: &str = "sim_commit_wall_us";
 ///   publishes, stall_waits, stall_wall_us}`;
 /// * histogram `sim_admission_depth` (merged across shards).
 ///
+/// When the run used the timing-sharded commit loop the memory-partition
+/// telemetry flattens under `sim_timing_*`: gauge `sim_timing_workers`,
+/// counters `sim_timing_{seam_exchanges, deferred_requests,
+/// commit_wait_us}`, per-worker `sim_timing_worker<rank>_{requests,
+/// batches, busy_wall_us, idle_waits, idle_wall_us}` and per-partition
+/// `sim_timing_part<index>_{requests, dram_busy_cycles,
+/// icnt_busy_cycles}` occupancy counters.
+///
 /// Calling it repeatedly (one call per simulated group) accumulates:
 /// counters add and the depth histogram merges, matching
 /// [`SimTelemetry::merge`] semantics.
@@ -63,6 +71,43 @@ pub fn export_telemetry(telemetry: &SimTelemetry, registry: &mut MetricsRegistry
             ),
         );
     }
+    if let Some(timing) = &telemetry.timing {
+        registry.gauge_set("sim_timing_workers", timing.worker_count as f64);
+        registry.counter_add("sim_timing_seam_exchanges", timing.seam_exchanges);
+        registry.counter_add("sim_timing_deferred_requests", timing.deferred_requests);
+        registry.counter_add("sim_timing_commit_wait_us", timing.commit_wait_us);
+        for (rank, worker) in timing.workers.iter().enumerate() {
+            registry.counter_add(
+                &format!("sim_timing_worker{rank}_requests"),
+                worker.requests,
+            );
+            registry.counter_add(&format!("sim_timing_worker{rank}_batches"), worker.batches);
+            registry.counter_add(
+                &format!("sim_timing_worker{rank}_busy_wall_us"),
+                worker.busy_wall_us,
+            );
+            registry.counter_add(
+                &format!("sim_timing_worker{rank}_idle_waits"),
+                worker.idle_waits,
+            );
+            registry.counter_add(
+                &format!("sim_timing_worker{rank}_idle_wall_us"),
+                worker.idle_wall_us,
+            );
+            for part in &worker.partitions {
+                let p = part.partition;
+                registry.counter_add(&format!("sim_timing_part{p}_requests"), part.requests);
+                registry.counter_add(
+                    &format!("sim_timing_part{p}_dram_busy_cycles"),
+                    part.dram_busy_cycles,
+                );
+                registry.counter_add(
+                    &format!("sim_timing_part{p}_icnt_busy_cycles"),
+                    part.icnt_busy_cycles,
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +137,7 @@ mod tests {
             commit_wall_us: 400,
             commit_take_waits: 16,
             commit_wait_us: 100,
+            timing: None,
         }
     }
 
@@ -132,6 +178,73 @@ mod tests {
             }
             other => panic!("expected histogram, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn export_flattens_timing_partition_telemetry() {
+        use gpusim::telemetry::{TimingPartitionTelemetry, TimingTelemetry, TimingWorkerTelemetry};
+        let mut telemetry = sample();
+        telemetry.timing = Some(TimingTelemetry {
+            worker_count: 2,
+            workers: vec![
+                TimingWorkerTelemetry {
+                    requests: 10,
+                    batches: 2,
+                    busy_wall_us: 200,
+                    idle_waits: 1,
+                    idle_wall_us: 50,
+                    partitions: vec![TimingPartitionTelemetry {
+                        partition: 0,
+                        requests: 10,
+                        dram_busy_cycles: 80,
+                        icnt_busy_cycles: 40,
+                    }],
+                },
+                TimingWorkerTelemetry {
+                    requests: 6,
+                    batches: 2,
+                    busy_wall_us: 150,
+                    idle_waits: 0,
+                    idle_wall_us: 0,
+                    partitions: vec![TimingPartitionTelemetry {
+                        partition: 1,
+                        requests: 6,
+                        dram_busy_cycles: 48,
+                        icnt_busy_cycles: 24,
+                    }],
+                },
+            ],
+            seam_exchanges: 3,
+            deferred_requests: 16,
+            commit_wait_us: 75,
+        });
+        let mut reg = MetricsRegistry::new();
+        export_telemetry(&telemetry, &mut reg);
+        assert_eq!(reg.get("sim_timing_workers"), Some(&MetricKind::Gauge(2.0)));
+        assert_eq!(
+            reg.get("sim_timing_seam_exchanges"),
+            Some(&MetricKind::Counter(3))
+        );
+        assert_eq!(
+            reg.get("sim_timing_deferred_requests"),
+            Some(&MetricKind::Counter(16))
+        );
+        assert_eq!(
+            reg.get("sim_timing_worker0_requests"),
+            Some(&MetricKind::Counter(10))
+        );
+        assert_eq!(
+            reg.get("sim_timing_worker1_busy_wall_us"),
+            Some(&MetricKind::Counter(150))
+        );
+        assert_eq!(
+            reg.get("sim_timing_part0_dram_busy_cycles"),
+            Some(&MetricKind::Counter(80))
+        );
+        assert_eq!(
+            reg.get("sim_timing_part1_icnt_busy_cycles"),
+            Some(&MetricKind::Counter(24))
+        );
     }
 
     #[test]

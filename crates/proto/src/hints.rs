@@ -1,0 +1,206 @@
+//! Execution hints: the execution-only knobs of a request, grouped into
+//! one DTO.
+//!
+//! Every field here changes *how* a request executes — thread budgets,
+//! worker pools, deadlines, dedup opt-out — and never *what* it
+//! computes. That invariant is what lets servers exclude the whole
+//! object from affinity and dedup fingerprints: two requests that differ
+//! only in their hints still produce byte-identical deterministic
+//! subsets, so they may share cached artifacts and even coalesce onto
+//! one execution.
+//!
+//! `ExecutionHints` supersedes the loose per-field plumbing of the same
+//! knobs (the top-level `deadline_ms` request field, thread counts
+//! smuggled through `options`). The legacy `deadline_ms` field is still
+//! accepted for `zatel-api-v1` compatibility; when both are set the hint
+//! wins (see `PredictRequest::effective_deadline_ms`).
+
+use minijson::{FromJson, JsonError, Map, ToJson, Value};
+
+use crate::optional;
+
+/// Execution-only knobs a `predict`/`sweep` request may carry. All
+/// fields are optional; [`ExecutionHints::default`] hints nothing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecutionHints {
+    /// Intra-simulation decode shard threads per group simulation
+    /// (`ZatelOptions::sim_threads`). Results are bit-identical for
+    /// every value.
+    pub sim_threads: Option<usize>,
+    /// Memory-partition timing worker budget per group simulation
+    /// (`ZatelOptions::timing_threads`). Results are bit-identical for
+    /// every value.
+    pub timing_threads: Option<usize>,
+    /// Worker-thread cap for the per-request group pool
+    /// (`ZatelOptions::jobs`).
+    pub jobs: Option<usize>,
+    /// Client deadline budget: a server answers `504` if the request is
+    /// still queued when this elapses (execution is never preempted once
+    /// started). Wins over the deprecated top-level `deadline_ms`.
+    pub deadline_ms: Option<u64>,
+    /// Opt this request out of single-flight dedup: it never coalesces
+    /// onto another request's execution and no other request coalesces
+    /// onto it. Responses are byte-identical either way.
+    pub no_dedup: bool,
+}
+
+impl ExecutionHints {
+    /// `true` when no hint is set (the JSON round-trips as absent).
+    pub fn is_empty(&self) -> bool {
+        *self == ExecutionHints::default()
+    }
+
+    /// Checks semantic invariants: thread and job counts must be
+    /// positive (absent means "no hint", never zero threads).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, value) in [
+            ("hints.sim_threads", self.sim_threads),
+            ("hints.timing_threads", self.timing_threads),
+            ("hints.jobs", self.jobs),
+        ] {
+            match value {
+                Some(0) => return Err(format!("{name} must be positive (omit it to defer)")),
+                Some(n) if u32::try_from(n).is_err() => {
+                    return Err(format!("{name} must fit in a u32, got {n}"))
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for ExecutionHints {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert(
+            "sim_threads".into(),
+            self.sim_threads
+                .map_or(Value::Null, |n| Value::from(n as u64)),
+        );
+        m.insert(
+            "timing_threads".into(),
+            self.timing_threads
+                .map_or(Value::Null, |n| Value::from(n as u64)),
+        );
+        m.insert(
+            "jobs".into(),
+            self.jobs.map_or(Value::Null, |n| Value::from(n as u64)),
+        );
+        m.insert(
+            "deadline_ms".into(),
+            self.deadline_ms.map_or(Value::Null, Value::from),
+        );
+        m.insert("no_dedup".into(), Value::from(self.no_dedup));
+        Value::Object(m)
+    }
+}
+
+impl FromJson for ExecutionHints {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        const TY: &str = "ExecutionHints";
+        if value.as_object().is_none() {
+            return Err(JsonError::conversion(format!("{TY} must be an object")));
+        }
+        let count = |name: &'static str| {
+            optional(value, name)
+                .map(|v| {
+                    v.as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or_else(|| JsonError::missing_field(TY, name))
+                })
+                .transpose()
+        };
+        Ok(ExecutionHints {
+            sim_threads: count("sim_threads")?,
+            timing_threads: count("timing_threads")?,
+            jobs: count("jobs")?,
+            deadline_ms: optional(value, "deadline_ms")
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| JsonError::missing_field(TY, "deadline_ms"))
+                })
+                .transpose()?,
+            no_dedup: match optional(value, "no_dedup") {
+                None => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| JsonError::missing_field(TY, "no_dedup"))?,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hints_round_trip() {
+        let hints = ExecutionHints {
+            sim_threads: Some(4),
+            timing_threads: Some(2),
+            jobs: Some(8),
+            deadline_ms: Some(5000),
+            no_dedup: true,
+        };
+        let back = ExecutionHints::from_json(&hints.to_json()).expect("round trip");
+        assert_eq!(hints, back);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_hints_round_trip_and_report_empty() {
+        let hints = ExecutionHints::default();
+        assert!(hints.is_empty());
+        let back = ExecutionHints::from_json(&hints.to_json()).expect("round trip");
+        assert_eq!(hints, back);
+        assert!(!ExecutionHints {
+            no_dedup: true,
+            ..ExecutionHints::default()
+        }
+        .is_empty());
+    }
+
+    #[test]
+    fn hints_reject_malformed_fields() {
+        for (field, bad) in [
+            ("sim_threads", "\"four\""),
+            ("sim_threads", "-1"),
+            ("timing_threads", "2.5"),
+            ("jobs", "[]"),
+            ("deadline_ms", "\"soon\""),
+            ("no_dedup", "1"),
+        ] {
+            let doc = format!(r#"{{"{field}":{bad}}}"#);
+            let v = Value::parse(&doc).unwrap();
+            assert!(
+                ExecutionHints::from_json(&v).is_err(),
+                "bad {field}={bad} accepted"
+            );
+        }
+        assert!(ExecutionHints::from_json(&Value::parse("[]").unwrap()).is_err());
+    }
+
+    #[test]
+    fn hints_validate_rejects_zero_and_oversized_counts() {
+        for set in [
+            |h: &mut ExecutionHints| h.sim_threads = Some(0),
+            |h: &mut ExecutionHints| h.timing_threads = Some(0),
+            |h: &mut ExecutionHints| h.jobs = Some(0),
+        ] {
+            let mut hints = ExecutionHints::default();
+            set(&mut hints);
+            assert!(hints.validate().unwrap_err().contains("positive"));
+        }
+        let hints = ExecutionHints {
+            timing_threads: Some(usize::MAX),
+            ..ExecutionHints::default()
+        };
+        assert!(hints.validate().unwrap_err().contains("u32"));
+    }
+}

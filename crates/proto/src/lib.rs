@@ -37,6 +37,7 @@
 
 mod config;
 mod debug;
+mod hints;
 mod loadtrace;
 mod predict;
 mod sweep;
@@ -44,9 +45,11 @@ mod wire;
 
 pub use config::ConfigRef;
 pub use debug::{DebugSlowResponse, SlowRequestEntry};
+pub use hints::ExecutionHints;
 pub use loadtrace::{LoadTraceEntry, LOADTRACE_SCHEMA};
 pub use predict::{
-    GroupReport, MetricValues, PredictRequest, PredictResponse, ReferenceReport, StageCacheOutcome,
+    GroupReport, MetricValues, PredictRequest, PredictRequestBuilder, PredictResponse,
+    ReferenceReport, StageCacheOutcome,
 };
 pub use sweep::{sweep_point_record, SweepRequest, SweepResponse};
 pub use wire::{ErrorKind, ErrorResponse, SceneInfo, ScenesResponse};

@@ -31,7 +31,17 @@ pub struct PredictRequest {
     /// Client deadline. A server drops the request with `504` if it is
     /// still queued when this budget elapses (execution is never
     /// preempted once started).
+    ///
+    /// **Deprecated** in favour of [`ExecutionHints::deadline_ms`]
+    /// (`hints.deadline_ms`); still accepted so existing `zatel-api-v1`
+    /// documents keep parsing. When both are set the hint wins — see
+    /// [`PredictRequest::effective_deadline_ms`].
     pub deadline_ms: Option<u64>,
+    /// Execution-only knobs (thread budgets, deadline, dedup opt-out).
+    /// Excluded from the affinity and dedup fingerprints: hints never
+    /// change the computed result, so differently-hinted requests still
+    /// share artifacts and coalesce.
+    pub hints: Option<crate::ExecutionHints>,
 }
 
 impl PredictRequest {
@@ -48,6 +58,16 @@ impl PredictRequest {
             regression: None,
             reference: false,
             deadline_ms: None,
+            hints: None,
+        }
+    }
+
+    /// A validating builder mirroring `ZatelOptions::builder()`: chain
+    /// setters, then [`PredictRequestBuilder::build`] checks the same
+    /// invariants as [`PredictRequest::validate`].
+    pub fn builder(scene: impl Into<String>, config: crate::ConfigRef) -> PredictRequestBuilder {
+        PredictRequestBuilder {
+            request: PredictRequest::new(scene, config),
         }
     }
 
@@ -70,7 +90,19 @@ impl PredictRequest {
         if let Some(options) = &self.options {
             options.validate().map_err(|e| e.to_string())?;
         }
+        if let Some(hints) = &self.hints {
+            hints.validate()?;
+        }
         Ok(())
+    }
+
+    /// The deadline budget a server should enforce: the hint when set,
+    /// else the deprecated top-level `deadline_ms` field.
+    pub fn effective_deadline_ms(&self) -> Option<u64> {
+        self.hints
+            .as_ref()
+            .and_then(|h| h.deadline_ms)
+            .or(self.deadline_ms)
     }
 
     /// The request's *affinity fingerprint*: a stable FNV-1a hash of the
@@ -90,14 +122,16 @@ impl PredictRequest {
     }
 
     /// The request's *dedup fingerprint*: a stable FNV-1a hash over every
-    /// field except `deadline_ms` (a client-side budget that never
-    /// affects the computed result). Two in-flight requests with equal
-    /// dedup fingerprints produce byte-identical deterministic subsets,
-    /// so a server may coalesce them onto one pipeline execution.
+    /// field except `deadline_ms` and `hints` (execution-only knobs that
+    /// never affect the computed result). Two in-flight requests with
+    /// equal dedup fingerprints produce byte-identical deterministic
+    /// subsets, so a server may coalesce them onto one pipeline
+    /// execution.
     pub fn dedup_fingerprint(&self) -> u64 {
         let mut doc = self.to_json();
         if let Value::Object(m) = &mut doc {
             m.insert("deadline_ms".into(), Value::Null);
+            m.insert("hints".into(), Value::Null);
         }
         let mut h = rtcore::fingerprint::Fnv64::new();
         h.write_str("zatel-dedup-v1");
@@ -129,6 +163,10 @@ impl ToJson for PredictRequest {
         m.insert(
             "deadline_ms".into(),
             self.deadline_ms.map_or(Value::Null, Value::from),
+        );
+        m.insert(
+            "hints".into(),
+            self.hints.as_ref().map_or(Value::Null, ToJson::to_json),
         );
         Value::Object(m)
     }
@@ -197,7 +235,107 @@ impl FromJson for PredictRequest {
                         .ok_or_else(|| JsonError::missing_field(TY, "deadline_ms"))
                 })
                 .transpose()?,
+            hints: optional(value, "hints")
+                .map(crate::ExecutionHints::from_json)
+                .transpose()?,
         })
+    }
+}
+
+/// Builds a [`PredictRequest`] fluently and validates it on
+/// [`PredictRequestBuilder::build`], mirroring `ZatelOptions::builder()`.
+///
+/// ```
+/// use zatel_proto::{ConfigRef, ExecutionHints, PredictRequest};
+///
+/// let req = PredictRequest::builder("SPRNG", ConfigRef::preset("mobile"))
+///     .res(64)
+///     .spp(1)
+///     .seed(7)
+///     .hints(ExecutionHints {
+///         timing_threads: Some(4),
+///         ..ExecutionHints::default()
+///     })
+///     .build()
+///     .expect("valid request");
+/// assert_eq!(req.res, 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PredictRequestBuilder {
+    request: PredictRequest,
+}
+
+impl PredictRequestBuilder {
+    /// Square image resolution.
+    #[must_use]
+    pub fn res(mut self, res: u32) -> Self {
+        self.request.res = res;
+        self
+    }
+
+    /// Samples per pixel.
+    #[must_use]
+    pub fn spp(mut self, spp: u32) -> Self {
+        self.request.spp = spp;
+        self
+    }
+
+    /// Master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.request.seed = seed;
+        self
+    }
+
+    /// Pipeline options.
+    #[must_use]
+    pub fn options(mut self, options: ZatelOptions) -> Self {
+        self.request.options = Some(options);
+        self
+    }
+
+    /// Run the Section IV-F exponential-regression variant at these
+    /// traced fractions.
+    #[must_use]
+    pub fn regression(mut self, fractions: [f64; 3]) -> Self {
+        self.request.regression = Some(fractions);
+        self
+    }
+
+    /// Also run the full reference simulation.
+    #[must_use]
+    pub fn reference(mut self, reference: bool) -> Self {
+        self.request.reference = reference;
+        self
+    }
+
+    /// Execution hints (thread budgets, deadline, dedup opt-out).
+    #[must_use]
+    pub fn hints(mut self, hints: crate::ExecutionHints) -> Self {
+        self.request.hints = Some(hints);
+        self
+    }
+
+    /// Client deadline budget, set through the hints DTO (the preferred
+    /// surface; the deprecated top-level field is left untouched).
+    #[must_use]
+    pub fn deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.request
+            .hints
+            .get_or_insert_with(crate::ExecutionHints::default)
+            .deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Validates and returns the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message of [`PredictRequest::validate`] when an
+    /// invariant is violated.
+    pub fn build(self) -> Result<PredictRequest, String> {
+        self.request.validate()?;
+        Ok(self.request)
     }
 }
 
@@ -717,8 +855,95 @@ mod tests {
         req.deadline_ms = Some(5000);
         req.regression = Some([0.2, 0.3, 0.4]);
         req.options = Some(ZatelOptions::default());
+        req.hints = Some(crate::ExecutionHints {
+            sim_threads: Some(4),
+            timing_threads: Some(2),
+            jobs: Some(3),
+            deadline_ms: Some(9000),
+            no_dedup: true,
+        });
         let back = PredictRequest::from_json(&req.to_json()).expect("round trip");
         assert_eq!(req, back);
+    }
+
+    #[test]
+    fn hints_never_reach_the_fingerprints() {
+        let plain = PredictRequest::new("PARK", ConfigRef::preset("mobile"));
+        let mut hinted = plain.clone();
+        hinted.hints = Some(crate::ExecutionHints {
+            sim_threads: Some(8),
+            timing_threads: Some(4),
+            jobs: Some(2),
+            deadline_ms: Some(100),
+            no_dedup: true,
+        });
+        hinted.deadline_ms = Some(77);
+        assert_eq!(
+            plain.affinity_fingerprint(),
+            hinted.affinity_fingerprint(),
+            "hints must not move a request between shards"
+        );
+        assert_eq!(
+            plain.dedup_fingerprint(),
+            hinted.dedup_fingerprint(),
+            "hints must not defeat single-flight dedup"
+        );
+        assert_ne!(plain.to_json().to_string(), hinted.to_json().to_string());
+    }
+
+    #[test]
+    fn effective_deadline_prefers_the_hint() {
+        let mut req = PredictRequest::new("PARK", ConfigRef::preset("mobile"));
+        assert_eq!(req.effective_deadline_ms(), None);
+        req.deadline_ms = Some(5000);
+        assert_eq!(req.effective_deadline_ms(), Some(5000));
+        req.hints = Some(crate::ExecutionHints {
+            deadline_ms: Some(250),
+            ..crate::ExecutionHints::default()
+        });
+        assert_eq!(req.effective_deadline_ms(), Some(250));
+    }
+
+    #[test]
+    fn builder_mirrors_options_builder_and_validates() {
+        let req = PredictRequest::builder("PARK", ConfigRef::preset("mobile"))
+            .res(64)
+            .spp(2)
+            .seed(11)
+            .reference(true)
+            .regression([0.2, 0.3, 0.4])
+            .hints(crate::ExecutionHints {
+                timing_threads: Some(4),
+                ..crate::ExecutionHints::default()
+            })
+            .deadline_ms(1234)
+            .build()
+            .expect("valid request");
+        assert_eq!(req.res, 64);
+        assert_eq!(req.seed, 11);
+        assert!(req.reference);
+        let hints = req.hints.as_ref().expect("hints set");
+        assert_eq!(hints.timing_threads, Some(4));
+        assert_eq!(hints.deadline_ms, Some(1234));
+        assert_eq!(req.effective_deadline_ms(), Some(1234));
+        assert!(
+            req.deadline_ms.is_none(),
+            "builder never sets the legacy field"
+        );
+
+        let err = PredictRequest::builder("PARK", ConfigRef::preset("mobile"))
+            .res(0)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("res"));
+        let err = PredictRequest::builder("PARK", ConfigRef::preset("mobile"))
+            .hints(crate::ExecutionHints {
+                timing_threads: Some(0),
+                ..crate::ExecutionHints::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.contains("timing_threads"));
     }
 
     #[test]
@@ -762,6 +987,9 @@ mod tests {
             ("reference", "\"yes\""),
             ("deadline_ms", "-5"),
             ("options", "{\"division\": 3}"),
+            ("hints", "{\"sim_threads\": \"four\"}"),
+            ("hints", "{\"no_dedup\": 1}"),
+            ("hints", "[]"),
         ] {
             let doc = format!(
                 r#"{{"schema":"zatel-api-v1","scene":"PARK","config":"mobile",

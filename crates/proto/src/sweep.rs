@@ -27,7 +27,13 @@ pub struct SweepRequest {
     /// Also run the full reference simulation and report per-point errors.
     pub reference: bool,
     /// Client deadline, as in [`crate::PredictRequest::deadline_ms`].
+    ///
+    /// **Deprecated** in favour of `hints.deadline_ms`; when both are
+    /// set the hint wins.
     pub deadline_ms: Option<u64>,
+    /// Execution-only knobs, as in [`crate::PredictRequest::hints`]:
+    /// excluded from both fingerprints.
+    pub hints: Option<crate::ExecutionHints>,
 }
 
 impl SweepRequest {
@@ -44,7 +50,17 @@ impl SweepRequest {
             spec,
             reference: false,
             deadline_ms: None,
+            hints: None,
         }
+    }
+
+    /// The deadline budget a server should enforce: the hint when set,
+    /// else the deprecated top-level `deadline_ms` field.
+    pub fn effective_deadline_ms(&self) -> Option<u64> {
+        self.hints
+            .as_ref()
+            .and_then(|h| h.deadline_ms)
+            .or(self.deadline_ms)
     }
 
     /// Checks semantic invariants, mirroring
@@ -75,6 +91,9 @@ impl SweepRequest {
         if let Some(options) = &self.options {
             options.validate().map_err(|e| e.to_string())?;
         }
+        if let Some(hints) = &self.hints {
+            hints.validate()?;
+        }
         Ok(())
     }
 
@@ -94,11 +113,12 @@ impl SweepRequest {
 
     /// The sweep's *dedup fingerprint*, mirroring
     /// [`crate::PredictRequest::dedup_fingerprint`]: a stable hash over
-    /// every field except `deadline_ms`.
+    /// every field except `deadline_ms` and `hints`.
     pub fn dedup_fingerprint(&self) -> u64 {
         let mut doc = self.to_json();
         if let Value::Object(m) = &mut doc {
             m.insert("deadline_ms".into(), Value::Null);
+            m.insert("hints".into(), Value::Null);
         }
         let mut h = rtcore::fingerprint::Fnv64::new();
         h.write_str("zatel-dedup-v1");
@@ -125,6 +145,10 @@ impl ToJson for SweepRequest {
         m.insert(
             "deadline_ms".into(),
             self.deadline_ms.map_or(Value::Null, Value::from),
+        );
+        m.insert(
+            "hints".into(),
+            self.hints.as_ref().map_or(Value::Null, ToJson::to_json),
         );
         Value::Object(m)
     }
@@ -177,6 +201,9 @@ impl FromJson for SweepRequest {
                     v.as_u64()
                         .ok_or_else(|| JsonError::missing_field(TY, "deadline_ms"))
                 })
+                .transpose()?,
+            hints: optional(value, "hints")
+                .map(crate::ExecutionHints::from_json)
                 .transpose()?,
         })
     }
@@ -312,9 +339,42 @@ mod tests {
         req.reference = true;
         req.deadline_ms = Some(30_000);
         req.options = Some(ZatelOptions::default());
+        req.hints = Some(crate::ExecutionHints {
+            timing_threads: Some(2),
+            no_dedup: true,
+            ..crate::ExecutionHints::default()
+        });
         let back = SweepRequest::from_json(&req.to_json()).expect("round trip");
         assert_eq!(req, back);
         assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn hints_never_reach_the_fingerprints() {
+        let plain = SweepRequest::new(
+            "PARK",
+            ConfigRef::preset("mobile"),
+            SweepSpec::from_percents(&[0.1]),
+        );
+        let mut hinted = plain.clone();
+        hinted.hints = Some(crate::ExecutionHints {
+            sim_threads: Some(8),
+            deadline_ms: Some(50),
+            ..crate::ExecutionHints::default()
+        });
+        assert_eq!(plain.affinity_fingerprint(), hinted.affinity_fingerprint());
+        assert_eq!(plain.dedup_fingerprint(), hinted.dedup_fingerprint());
+        assert_eq!(hinted.effective_deadline_ms(), Some(50));
+        assert!(SweepRequest::from_json(
+            &Value::parse(
+                r#"{"schema":"zatel-api-v1","scene":"PARK","config":"mobile",
+                    "res":32,"spp":1,"seed":9,
+                    "spec":{"points":[{"label":"a","percent":0.5}]},
+                    "hints":{"jobs":"many"}}"#,
+            )
+            .unwrap()
+        )
+        .is_err());
     }
 
     #[test]

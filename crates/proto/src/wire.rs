@@ -58,12 +58,25 @@ impl ErrorKind {
 }
 
 /// The `zatel-api-v1` error envelope every non-2xx response carries.
+///
+/// Refusals are machine-readable end to end: a 429 carries
+/// [`ErrorResponse::retry_after_ms`] (the same estimate as the
+/// `Retry-After` header, so clients need not parse headers) and a 504
+/// carries [`ErrorResponse::deadline_slack_ms`] (how far past the budget
+/// the request was when dropped — always negative).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ErrorResponse {
     /// Classification (also determines the HTTP status).
     pub kind: ErrorKind,
     /// Human-readable description of what went wrong.
     pub error: String,
+    /// How long a refused client should wait before retrying, in
+    /// milliseconds. Set on [`ErrorKind::Overloaded`] refusals.
+    pub retry_after_ms: Option<u64>,
+    /// Deadline budget remaining when the request was answered, in
+    /// milliseconds (negative when the budget had already elapsed). Set
+    /// on [`ErrorKind::DeadlineExceeded`] refusals.
+    pub deadline_slack_ms: Option<i64>,
 }
 
 impl ErrorResponse {
@@ -72,7 +85,23 @@ impl ErrorResponse {
         ErrorResponse {
             kind,
             error: error.into(),
+            retry_after_ms: None,
+            deadline_slack_ms: None,
         }
+    }
+
+    /// Attaches the retry estimate of a 429 refusal.
+    #[must_use]
+    pub fn with_retry_after_ms(mut self, retry_after_ms: u64) -> Self {
+        self.retry_after_ms = Some(retry_after_ms);
+        self
+    }
+
+    /// Attaches the (negative) remaining deadline budget of a 504.
+    #[must_use]
+    pub fn with_deadline_slack_ms(mut self, deadline_slack_ms: i64) -> Self {
+        self.deadline_slack_ms = Some(deadline_slack_ms);
+        self
     }
 }
 
@@ -82,6 +111,12 @@ impl ToJson for ErrorResponse {
         m.insert("schema".into(), Value::from(API_SCHEMA));
         m.insert("kind".into(), Value::from(self.kind.tag()));
         m.insert("error".into(), Value::from(self.error.as_str()));
+        if let Some(retry) = self.retry_after_ms {
+            m.insert("retry_after_ms".into(), Value::from(retry));
+        }
+        if let Some(slack) = self.deadline_slack_ms {
+            m.insert("deadline_slack_ms".into(), Value::from(slack));
+        }
         Value::Object(m)
     }
 }
@@ -102,6 +137,18 @@ impl FromJson for ErrorResponse {
                 .and_then(Value::as_str)
                 .ok_or_else(|| JsonError::missing_field(TY, "error"))?
                 .to_owned(),
+            retry_after_ms: crate::optional(value, "retry_after_ms")
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| JsonError::missing_field(TY, "retry_after_ms"))
+                })
+                .transpose()?,
+            deadline_slack_ms: crate::optional(value, "deadline_slack_ms")
+                .map(|v| {
+                    v.as_i64()
+                        .ok_or_else(|| JsonError::missing_field(TY, "deadline_slack_ms"))
+                })
+                .transpose()?,
         })
     }
 }
@@ -210,6 +257,46 @@ mod tests {
             assert_eq!(e, back);
             assert_eq!(ErrorKind::from_tag(kind.tag()), Some(kind));
         }
+    }
+
+    #[test]
+    fn error_refusal_fields_round_trip() {
+        let refused =
+            ErrorResponse::new(ErrorKind::Overloaded, "queue full").with_retry_after_ms(2000);
+        let doc = refused.to_json();
+        assert_eq!(
+            doc.get("retry_after_ms").and_then(Value::as_u64),
+            Some(2000)
+        );
+        assert!(doc.get("deadline_slack_ms").is_none());
+        let back = ErrorResponse::from_json(&doc).expect("round trip");
+        assert_eq!(refused, back);
+
+        let expired = ErrorResponse::new(ErrorKind::DeadlineExceeded, "too late")
+            .with_deadline_slack_ms(-350);
+        let doc = expired.to_json();
+        assert_eq!(
+            doc.get("deadline_slack_ms").and_then(Value::as_i64),
+            Some(-350)
+        );
+        let back = ErrorResponse::from_json(&doc).expect("round trip");
+        assert_eq!(expired, back);
+    }
+
+    #[test]
+    fn error_rejects_malformed_refusal_fields() {
+        let v = Value::parse(
+            r#"{"schema":"zatel-api-v1","kind":"overloaded","error":"x",
+                "retry_after_ms":"soon"}"#,
+        )
+        .unwrap();
+        assert!(ErrorResponse::from_json(&v).is_err());
+        let v = Value::parse(
+            r#"{"schema":"zatel-api-v1","kind":"deadline_exceeded","error":"x",
+                "deadline_slack_ms":"past"}"#,
+        )
+        .unwrap();
+        assert!(ErrorResponse::from_json(&v).is_err());
     }
 
     #[test]

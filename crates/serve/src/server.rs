@@ -81,6 +81,14 @@ pub struct ServeConfig {
     /// (`workers * jobs * per-shard sim_threads`). `None` leaves requests
     /// on the serial engine unless they ask otherwise.
     pub sim_threads: Option<usize>,
+    /// Global timing-thread budget, divided evenly across the worker
+    /// shards exactly like [`ServeConfig::sim_threads`]: each shard's
+    /// requests default to `max(1, timing_threads / workers)` memory
+    /// timing partitions workers (`ZatelOptions::timing_threads`) unless
+    /// the request sets its own value. Results are bit-identical for
+    /// every setting. `None` keeps the inline commit-loop timing model
+    /// unless requests ask otherwise.
+    pub timing_threads: Option<usize>,
     /// Default request deadline, applied when a request carries no
     /// `deadline_ms` of its own. `None` means queued requests never
     /// expire.
@@ -107,6 +115,7 @@ impl Default for ServeConfig {
             dedup: true,
             sim_jobs: None,
             sim_threads: None,
+            timing_threads: None,
             default_deadline_ms: None,
             cache_dir: None,
             cache_budget_mb: None,
@@ -153,9 +162,12 @@ struct ServerState {
     draining: AtomicBool,
     dedup: bool,
     sim_jobs: Option<usize>,
-    /// Per-shard share of [`ServeConfig::sim_threads`], precomputed at
+    /// The `--sim-threads` budget and its per-shard share, precomputed at
     /// bind time.
-    sim_threads: Option<usize>,
+    sim_threads: Option<ThreadBudget>,
+    /// The `--timing-threads` budget and its per-shard share, precomputed
+    /// at bind time.
+    timing_threads: Option<ThreadBudget>,
     default_deadline_ms: Option<u64>,
     /// Recent request service times feeding `Retry-After` estimates.
     service_ring: ServiceRing,
@@ -164,6 +176,29 @@ struct ServerState {
     /// The `GET /v1/debug/slow` ring: the most recent completed requests,
     /// oldest first.
     slow: Mutex<VecDeque<SlowRequestEntry>>,
+}
+
+/// A global engine-thread budget (`--sim-threads` / `--timing-threads`)
+/// and its per-shard share. Both halves are exported as `/metrics`
+/// gauges: operators previously saw only the global value, which hid the
+/// effective `max(1, budget / workers)` split each request actually runs
+/// with.
+#[derive(Debug, Clone, Copy)]
+struct ThreadBudget {
+    /// The global budget the CLI knob configured.
+    global: usize,
+    /// Each shard's share, filled into requests that set no own value.
+    per_worker: usize,
+}
+
+impl ThreadBudget {
+    /// Splits `budget` evenly across `workers` shards.
+    fn split(budget: Option<usize>, workers: usize) -> Option<ThreadBudget> {
+        budget.map(|global| ThreadBudget {
+            global,
+            per_worker: (global / workers.max(1)).max(1),
+        })
+    }
 }
 
 impl ServerState {
@@ -200,6 +235,16 @@ impl ServerState {
             "queue_depth",
             self.queue_depth.load(Ordering::SeqCst) as f64,
         );
+        // Thread-budget gauges: the configured global value alongside the
+        // effective per-worker split requests actually run with.
+        if let Some(budget) = self.sim_threads {
+            snapshot.gauge_set("sim_threads_budget", budget.global as f64);
+            snapshot.gauge_set("sim_threads_per_worker", budget.per_worker as f64);
+        }
+        if let Some(budget) = self.timing_threads {
+            snapshot.gauge_set("timing_threads_budget", budget.global as f64);
+            snapshot.gauge_set("timing_threads_per_worker", budget.per_worker as f64);
+        }
         let (mut memory_hits, mut disk_hits, mut misses) = (0u64, 0u64, 0u64);
         for shard in &self.shards {
             let stats = shard.cache.stats();
@@ -398,9 +443,8 @@ impl Server {
             draining: AtomicBool::new(false),
             dedup: config.dedup,
             sim_jobs: config.sim_jobs,
-            sim_threads: config
-                .sim_threads
-                .map(|budget| (budget / config.workers.max(1)).max(1)),
+            sim_threads: ThreadBudget::split(config.sim_threads, config.workers),
+            timing_threads: ThreadBudget::split(config.timing_threads, config.workers),
             default_deadline_ms: config.default_deadline_ms,
             service_ring: ServiceRing::default(),
             logger,
@@ -593,10 +637,14 @@ fn refuse_overloaded(
         let _ = Request::read_from(&mut stream);
     }
     let retry_after = retry_after_secs(queued, avg_service_ms);
+    // The refusal is machine-readable end to end: the same estimate
+    // rides the Retry-After header (seconds, for generic HTTP clients)
+    // and the envelope's retry_after_ms field (for zatel-api-v1 ones).
     let body = ErrorResponse::new(
         ErrorKind::Overloaded,
         "request queue is full; retry shortly",
     )
+    .with_retry_after_ms(retry_after.saturating_mul(1000))
     .to_json()
     .to_string();
     let mut headers = vec![("Retry-After", retry_after.to_string())];
@@ -948,9 +996,16 @@ fn execute_batch(
         mut payload,
         ..
     } = lead_job;
+    let hints = payload.hints().cloned();
     match &mut payload {
-        Payload::Predict(req) => apply_sim_defaults(&mut req.options, state),
-        Payload::Sweep(req) => apply_sim_defaults(&mut req.options, state),
+        Payload::Predict(req) => {
+            apply_execution_hints(&mut req.options, hints.as_ref());
+            apply_sim_defaults(&mut req.options, state);
+        }
+        Payload::Sweep(req) => {
+            apply_execution_hints(&mut req.options, hints.as_ref());
+            apply_sim_defaults(&mut req.options, state);
+        }
     }
     let started = Instant::now();
     let (routed, mut artifacts) = match &payload {
@@ -1024,26 +1079,61 @@ fn check_deadline(
         return Ok(None);
     };
     let waited = admitted.elapsed();
+    let waited_ms = waited.as_millis().min(u128::from(u64::MAX)) as i64;
+    let slack = i64::try_from(budget).unwrap_or(i64::MAX) - waited_ms;
     if waited > Duration::from_millis(budget) {
-        return Err(error_json(
+        // The 504 envelope mirrors the 429's machine-readable shape:
+        // deadline_slack_ms reports how far past the budget the request
+        // was when dropped (always negative here).
+        let body = ErrorResponse::new(
             ErrorKind::DeadlineExceeded,
             format!(
                 "deadline of {budget} ms elapsed after {} ms in queue",
                 waited.as_millis()
             ),
+        )
+        .with_deadline_slack_ms(slack.min(-1));
+        return Err(Routed::Json(
+            ErrorKind::DeadlineExceeded.http_status(),
+            body.to_json(),
         ));
     }
-    let waited_ms = waited.as_millis().min(u128::from(u64::MAX)) as i64;
-    Ok(Some(i64::try_from(budget).unwrap_or(i64::MAX) - waited_ms))
+    Ok(Some(slack))
+}
+
+/// Fills a request's [`zatel_proto::ExecutionHints`] thread knobs into
+/// its options. Precedence per knob: an explicit `options` value wins,
+/// then the hint, then (via [`apply_sim_defaults`], which runs after
+/// this) the server's per-shard default. Hints are execution-only, so
+/// applying them never changes what the request computes — which is why
+/// the dedup fingerprint may ignore them.
+fn apply_execution_hints(
+    options: &mut Option<zatel::ZatelOptions>,
+    hints: Option<&zatel_proto::ExecutionHints>,
+) {
+    let Some(hints) = hints else { return };
+    if hints.sim_threads.is_none() && hints.timing_threads.is_none() && hints.jobs.is_none() {
+        return;
+    }
+    let options = options.get_or_insert_with(zatel::ZatelOptions::default);
+    if options.jobs.is_none() {
+        options.jobs = hints.jobs;
+    }
+    if options.sim_threads.is_none() {
+        options.sim_threads = hints.sim_threads;
+    }
+    if options.timing_threads.is_none() {
+        options.timing_threads = hints.timing_threads;
+    }
 }
 
 /// Fills the server's simulation defaults into a request's options:
-/// `--sim-jobs` caps the per-request worker pool and `--sim-threads`
-/// supplies the per-shard engine-thread share. The request's own values
-/// always win; both knobs are execution-only, so applying them never
-/// changes what the request computes.
+/// `--sim-jobs` caps the per-request worker pool, `--sim-threads` and
+/// `--timing-threads` supply the per-shard engine-thread shares. The
+/// request's own values always win; every knob is execution-only, so
+/// applying them never changes what the request computes.
 fn apply_sim_defaults(options: &mut Option<zatel::ZatelOptions>, state: &ServerState) {
-    if state.sim_jobs.is_none() && state.sim_threads.is_none() {
+    if state.sim_jobs.is_none() && state.sim_threads.is_none() && state.timing_threads.is_none() {
         return;
     }
     let options = options.get_or_insert_with(zatel::ZatelOptions::default);
@@ -1051,7 +1141,10 @@ fn apply_sim_defaults(options: &mut Option<zatel::ZatelOptions>, state: &ServerS
         options.jobs = state.sim_jobs;
     }
     if options.sim_threads.is_none() {
-        options.sim_threads = state.sim_threads;
+        options.sim_threads = state.sim_threads.map(|b| b.per_worker);
+    }
+    if options.timing_threads.is_none() {
+        options.timing_threads = state.timing_threads.map(|b| b.per_worker);
     }
 }
 

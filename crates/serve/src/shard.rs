@@ -42,11 +42,31 @@ pub(crate) enum Payload {
 }
 
 impl Payload {
-    /// The request's client deadline budget, if any.
+    /// The request's client deadline budget, if any: the execution hint
+    /// when set, else the deprecated top-level `deadline_ms` field.
     pub(crate) fn deadline_ms(&self) -> Option<u64> {
         match self {
-            Payload::Predict(req) => req.deadline_ms,
-            Payload::Sweep(req) => req.deadline_ms,
+            Payload::Predict(req) => req.effective_deadline_ms(),
+            Payload::Sweep(req) => req.effective_deadline_ms(),
+        }
+    }
+
+    /// Whether the request opted out of single-flight dedup
+    /// (`hints.no_dedup`). An opted-out request never coalesces onto
+    /// another execution and no other request coalesces onto it.
+    pub(crate) fn no_dedup(&self) -> bool {
+        let hints = match self {
+            Payload::Predict(req) => req.hints.as_ref(),
+            Payload::Sweep(req) => req.hints.as_ref(),
+        };
+        hints.is_some_and(|h| h.no_dedup)
+    }
+
+    /// The request's execution hints, if any.
+    pub(crate) fn hints(&self) -> Option<&zatel_proto::ExecutionHints> {
+        match self {
+            Payload::Predict(req) => req.hints.as_ref(),
+            Payload::Sweep(req) => req.hints.as_ref(),
         }
     }
 
@@ -148,17 +168,19 @@ impl Shard {
     }
 
     /// Blocks for the next job, collapsing every queued job that shares
-    /// its dedup fingerprint when `dedup` is on. Returns `None` once the
-    /// shard is closed and drained.
+    /// its dedup fingerprint when `dedup` is on. A job whose request
+    /// hinted `no_dedup` neither leads a batch of followers nor rides
+    /// another job's execution. Returns `None` once the shard is closed
+    /// and drained.
     pub(crate) fn next_batch(&self, dedup: bool) -> Option<(ShardJob, Vec<ShardJob>)> {
         let mut queue = self.lock();
         loop {
             if let Some(leader) = queue.jobs.pop_front() {
                 let mut followers = Vec::new();
-                if dedup {
+                if dedup && !leader.payload.no_dedup() {
                     let mut rest = VecDeque::with_capacity(queue.jobs.len());
                     for job in queue.jobs.drain(..) {
-                        if job.dedup_fp == leader.dedup_fp {
+                        if job.dedup_fp == leader.dedup_fp && !job.payload.no_dedup() {
                             followers.push(job);
                         } else {
                             rest.push_back(job);

@@ -262,6 +262,34 @@ fn deadline_expired_requests_get_504() {
         doc.get("kind").and_then(Value::as_str),
         Some("deadline_exceeded")
     );
+    // The refusal is machine-readable: the envelope reports how far past
+    // its budget the request was (always negative on a 504).
+    let envelope = zatel_proto::ErrorResponse::from_json(&doc).expect("504 parses");
+    let slack = envelope
+        .deadline_slack_ms
+        .expect("504 carries deadline_slack_ms");
+    assert!(
+        slack < 0,
+        "an expired budget reports negative slack: {slack}"
+    );
+
+    // The execution-hint spelling of the same budget behaves identically
+    // (hints.deadline_ms supersedes the deprecated top-level field).
+    let hinted = PredictRequest::builder("SPRNG", ConfigRef::preset("mobile"))
+        .res(32)
+        .spp(1)
+        .seed(7)
+        .deadline_ms(0)
+        .build()
+        .expect("valid request");
+    assert!(hinted.deadline_ms.is_none(), "builder sets only the hint");
+    let resp = client
+        .post_json("/v1/predict", &hinted.to_json())
+        .expect("hinted deadline predict");
+    assert_eq!(resp.status, 504, "body: {}", resp.body);
+    let envelope =
+        zatel_proto::ErrorResponse::from_json(&resp.json().unwrap()).expect("504 parses");
+    assert!(envelope.deadline_slack_ms.is_some_and(|s| s < 0));
     handle.shutdown();
     join.join().expect("server thread").expect("clean run");
 }

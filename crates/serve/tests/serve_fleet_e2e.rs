@@ -212,10 +212,11 @@ fn saturated_queue_answers_429_with_computed_retry_after() {
                 .post_json("/v1/predict", &tiny_request(100 + seed).to_json())
                 .expect("flood predict");
             let retry_after = resp.header("retry-after").map(str::to_owned);
-            (resp.status, retry_after)
+            let body = resp.json().ok();
+            (resp.status, retry_after, body)
         }));
     }
-    let outcomes: Vec<(u16, Option<String>)> = floods
+    let outcomes: Vec<(u16, Option<String>, Option<Value>)> = floods
         .into_iter()
         .map(|t| t.join().expect("flood thread"))
         .collect();
@@ -223,25 +224,102 @@ fn saturated_queue_answers_429_with_computed_retry_after() {
 
     let refused: Vec<_> = outcomes
         .iter()
-        .filter(|(status, _)| *status == 429)
+        .filter(|(status, ..)| *status == 429)
         .collect();
     assert!(
         !refused.is_empty(),
         "a 1-deep queue under 6 concurrent requests must refuse some: {outcomes:?}"
     );
-    for (_, retry_after) in &refused {
+    for (_, retry_after, body) in &refused {
         let secs: u64 = retry_after
             .as_deref()
             .expect("429 carries Retry-After")
             .parse()
             .expect("Retry-After is integral seconds");
         assert!((1..=60).contains(&secs), "Retry-After {secs} out of range");
+        // The refusal envelope is machine-readable without header
+        // parsing: the body carries the same estimate in milliseconds.
+        let envelope = zatel_proto::ErrorResponse::from_json(
+            body.as_ref().expect("429 body is a zatel-api-v1 document"),
+        )
+        .expect("429 body parses as ErrorResponse");
+        assert_eq!(envelope.kind.tag(), "overloaded");
+        assert_eq!(
+            envelope.retry_after_ms,
+            Some(secs * 1000),
+            "body retry_after_ms must mirror the Retry-After header"
+        );
     }
 
     handle.shutdown();
     let report = join.join().expect("server thread").expect("clean run");
     assert_eq!(report.refused, refused.len() as u64, "{report:?}");
     assert!(report.peak_queue_depth <= 1, "{report:?}");
+}
+
+#[test]
+fn no_dedup_hint_opts_requests_out_of_single_flight() {
+    // Same shape as the coalescing test, but every identical request
+    // hints `no_dedup`: the worker must execute each one itself — zero
+    // coalescing — while the responses stay byte-identical anyway on the
+    // deterministic subset (the hint is execution-only).
+    let (client, _url, handle, join) = boot(ServeConfig {
+        workers: 1,
+        queue: 16,
+        ..ServeConfig::default()
+    });
+    let client = Arc::new(client);
+
+    let plug = {
+        let client = Arc::clone(&client);
+        std::thread::spawn(move || {
+            let resp = client
+                .post_json("/v1/predict", &plug_request().to_json())
+                .expect("plug");
+            assert_eq!(resp.status, 200, "body: {}", resp.body);
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    let mut opted_out = Vec::new();
+    for _ in 0..3 {
+        let client = Arc::clone(&client);
+        opted_out.push(std::thread::spawn(move || {
+            let mut req = tiny_request(9);
+            req.hints = Some(zatel_proto::ExecutionHints {
+                no_dedup: true,
+                ..Default::default()
+            });
+            let resp = client
+                .post_json("/v1/predict", &req.to_json())
+                .expect("no_dedup predict");
+            assert_eq!(resp.status, 200, "body: {}", resp.body);
+            PredictResponse::from_json(&resp.json().unwrap())
+                .expect("parses")
+                .deterministic_json()
+                .to_string()
+        }));
+    }
+    let subsets: Vec<String> = opted_out
+        .into_iter()
+        .map(|t| t.join().expect("no_dedup thread"))
+        .collect();
+    plug.join().expect("plug thread");
+
+    for subset in &subsets {
+        assert_eq!(
+            subset, &subsets[0],
+            "no_dedup runs still agree on the deterministic subset"
+        );
+    }
+    // 4 requests (plug + 3 opted out), 4 executions, nothing coalesced.
+    assert_eq!(scrape(&client, "zatel_serve_predict_requests"), 4);
+    assert_eq!(scrape(&client, "zatel_serve_coalesced_requests"), 0);
+    assert_eq!(scrape(&client, "zatel_serve_shard0_executed"), 4);
+
+    handle.shutdown();
+    let report = join.join().expect("server thread").expect("clean run");
+    assert_eq!(report.coalesced, 0, "{report:?}");
 }
 
 #[test]

@@ -80,6 +80,16 @@ pub struct ZatelOptions {
     ///
     /// [`jobs`]: ZatelOptions::jobs
     pub sim_threads: Option<usize>,
+    /// OS threads the engine may use for memory-partition timing *inside*
+    /// each individual simulation (sets
+    /// [`gpusim::GpuConfig::timing_threads`]). `None` defers to the
+    /// `ZATEL_TIMING_THREADS` environment variable, falling back to inline
+    /// timing. Purely an execution knob, excluded from cache keys like
+    /// [`sim_threads`]; composes with it — a run may shard decode and
+    /// timing at once.
+    ///
+    /// [`sim_threads`]: ZatelOptions::sim_threads
+    pub timing_threads: Option<usize>,
     /// When set, each group simulation runs with a
     /// [`TraceHooks`] observer sampling one CPI-stack slice every this
     /// many cycles, and the trace is attached to the group's
@@ -132,6 +142,17 @@ impl ZatelOptions {
                 return invalid(format!("sim_threads must fit in a u32, got {n}"));
             }
         }
+        if self.timing_threads == Some(0) {
+            return invalid(
+                "timing_threads must be positive (use None to defer to ZATEL_TIMING_THREADS)"
+                    .into(),
+            );
+        }
+        if let Some(n) = self.timing_threads {
+            if u32::try_from(n).is_err() {
+                return invalid(format!("timing_threads must fit in a u32, got {n}"));
+            }
+        }
         if self.quant_colors == 0 {
             return invalid("quant_colors must be at least 1".into());
         }
@@ -172,6 +193,23 @@ impl ZatelOptions {
             return u32::try_from(n).unwrap_or(1).max(1);
         }
         std::env::var("ZATEL_SIM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    }
+
+    /// The timing thread count each simulation actually runs with:
+    /// [`timing_threads`] when set, else the `ZATEL_TIMING_THREADS`
+    /// environment variable (ignored unless it parses as a positive
+    /// integer), else `1` (inline timing).
+    ///
+    /// [`timing_threads`]: ZatelOptions::timing_threads
+    pub fn effective_timing_threads(&self) -> u32 {
+        if let Some(n) = self.timing_threads {
+            return u32::try_from(n).unwrap_or(1).max(1);
+        }
+        std::env::var("ZATEL_TIMING_THREADS")
             .ok()
             .and_then(|v| v.trim().parse::<u32>().ok())
             .filter(|&n| n > 0)
@@ -246,6 +284,13 @@ impl ZatelOptionsBuilder {
         self
     }
 
+    /// Sets the timing thread count for each individual group simulation
+    /// ([`ZatelOptions::timing_threads`]).
+    pub fn timing_threads(mut self, threads: usize) -> Self {
+        self.options.timing_threads = Some(threads);
+        self
+    }
+
     /// Enables engine tracing with the given CPI-stack slice width.
     pub fn trace_slice_cycles(mut self, cycles: u64) -> Self {
         self.options.trace_slice_cycles = Some(cycles);
@@ -307,6 +352,7 @@ impl Default for ZatelOptions {
             parallel: true,
             jobs: None,
             sim_threads: None,
+            timing_threads: None,
             trace_slice_cycles: None,
             observe: None,
         }
@@ -859,6 +905,7 @@ impl<'s> Zatel<'s> {
         // omits it) so cached artifacts stay valid across thread counts.
         let mut down = down.clone();
         down.sim_threads = self.options.effective_sim_threads();
+        down.timing_threads = self.options.effective_timing_threads();
         let down = &down;
         let run_one = |group: &Group, selection: &Selection| -> GroupOutcome {
             let workload = RtWorkload::new(
@@ -1023,6 +1070,7 @@ impl<'s> Zatel<'s> {
         let workload = RtWorkload::full_frame(self.scene, self.width, self.height, self.trace);
         let mut target = self.target.clone();
         target.sim_threads = self.options.effective_sim_threads();
+        target.timing_threads = self.options.effective_timing_threads();
         let stats = Simulator::new(target).run(&workload);
         Reference {
             stats,
@@ -1119,6 +1167,10 @@ impl ToJson for ZatelOptions {
             self.sim_threads.map_or(Value::Null, Value::from),
         );
         m.insert(
+            "timing_threads".into(),
+            self.timing_threads.map_or(Value::Null, Value::from),
+        );
+        m.insert(
             "trace_slice_cycles".into(),
             self.trace_slice_cycles.map_or(Value::Null, Value::from),
         );
@@ -1167,6 +1219,13 @@ impl FromJson for ZatelOptions {
                         .ok_or_else(|| JsonError::missing_field(TY, "sim_threads"))
                 })
                 .transpose()?,
+            timing_threads: optional("timing_threads")
+                .map(|v| {
+                    v.as_u64()
+                        .map(|n| n as usize)
+                        .ok_or_else(|| JsonError::missing_field(TY, "timing_threads"))
+                })
+                .transpose()?,
             trace_slice_cycles: optional("trace_slice_cycles")
                 .map(|v| {
                     v.as_u64()
@@ -1206,6 +1265,7 @@ mod tests {
             .clamp(0.1, 0.9)
             .jobs(2)
             .sim_threads(4)
+            .timing_threads(2)
             .build()
             .expect("valid options");
         assert_eq!(options.downscale, DownscaleMode::Factor(2));
@@ -1214,11 +1274,13 @@ mod tests {
         assert_eq!(options.selection.clamp, (0.1, 0.9));
         assert_eq!(options.jobs, Some(2));
         assert_eq!(options.sim_threads, Some(4));
+        assert_eq!(options.timing_threads, Some(2));
 
         for broken in [
             ZatelOptions::builder().trace_slice_cycles(0),
             ZatelOptions::builder().jobs(0),
             ZatelOptions::builder().sim_threads(0),
+            ZatelOptions::builder().timing_threads(0),
             ZatelOptions::builder().quant_colors(0),
             ZatelOptions::builder().percent_override(0.0),
             ZatelOptions::builder().percent_override(1.5),
@@ -1247,6 +1309,25 @@ mod tests {
             .filter(|&n| n > 0)
             .unwrap_or(1);
         assert_eq!(opts.effective_sim_threads(), from_env);
+    }
+
+    #[test]
+    fn timing_threads_resolution_prefers_the_option() {
+        let mut opts = ZatelOptions {
+            timing_threads: Some(3),
+            ..ZatelOptions::default()
+        };
+        assert_eq!(opts.effective_timing_threads(), 3);
+        // With the option unset the knob defers to the environment, so the
+        // expectation must too (CI runs the suite under
+        // ZATEL_TIMING_THREADS).
+        opts.timing_threads = None;
+        let from_env = std::env::var("ZATEL_TIMING_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1);
+        assert_eq!(opts.effective_timing_threads(), from_env);
     }
 
     #[test]

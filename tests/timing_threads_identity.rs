@@ -1,0 +1,370 @@
+//! The timing-sharded commit loop's headline contract, pinned end to
+//! end: for every scene and every `timing_threads` × `sim_threads`
+//! combination, simulated statistics, serialized stats JSON, hook event
+//! streams and stage-cache fingerprints are **bit-identical** to the
+//! fully serial engine. `timing_threads` is an execution knob, never a
+//! result knob — cross-partition traffic exchanged at epoch seams lands
+//! in the documented `(time, sequence, shard-rank, slot)` total order no
+//! matter how the OS schedules the partition workers.
+//!
+//! The interleaving sweep at the bottom (`zatel_schedule_test` builds
+//! only) replays the partition seam-exchange protocol over 500+ provably
+//! distinct schedules; see `tests/schedule_explore.rs` for the harness.
+
+use proptest::prelude::*;
+
+use gpusim::workload::{Op, ScriptedWorkload};
+use minijson::ToJson;
+use zatel::{ArtifactCache, RunContext};
+use zatel_suite::prelude::*;
+
+fn trace() -> TraceConfig {
+    TraceConfig {
+        samples_per_pixel: 1,
+        max_bounces: 2,
+        seed: 7,
+    }
+}
+
+const ALL_SCENES: [SceneId; 8] = [
+    SceneId::Park,
+    SceneId::Ship,
+    SceneId::Wknd,
+    SceneId::Bunny,
+    SceneId::Sprng,
+    SceneId::Chsnt,
+    SceneId::Spnza,
+    SceneId::Bath,
+];
+
+fn full_frame_stats(id: SceneId, timing_threads: u32, sim_threads: u32) -> SimStats {
+    let scene = id.build(1);
+    let workload = RtWorkload::full_frame(&scene, 32, 32, trace());
+    let mut config = GpuConfig::mobile_soc();
+    config.timing_threads = timing_threads;
+    config.sim_threads = sim_threads;
+    Simulator::new(config).run(&workload)
+}
+
+/// The acceptance criterion verbatim: all eight scenes, every
+/// `timing_threads` in {1, 2, 4} crossed with `sim_threads` in {1, 4},
+/// bit-identical `SimStats` *and* byte-identical stats JSON.
+#[test]
+fn all_scenes_bit_identical_across_timing_thread_counts() {
+    for id in ALL_SCENES {
+        let serial = full_frame_stats(id, 1, 1);
+        let serial_json = serial.to_json().pretty();
+        for sim_threads in [1, 4] {
+            for timing_threads in [1, 2, 4] {
+                if timing_threads == 1 && sim_threads == 1 {
+                    continue; // that run *is* the baseline
+                }
+                let sharded = full_frame_stats(id, timing_threads, sim_threads);
+                assert_eq!(
+                    serial,
+                    sharded,
+                    "{}: timing_threads={timing_threads} sim_threads={sim_threads} \
+                     drifted from serial",
+                    id.name()
+                );
+                assert_eq!(
+                    serial_json,
+                    sharded.to_json().pretty(),
+                    "{}: serialized stats must be byte-identical \
+                     (timing_threads={timing_threads}, sim_threads={sim_threads})",
+                    id.name()
+                );
+            }
+        }
+    }
+}
+
+/// Hook streams replay in exact serial order under the timing-sharded
+/// commit loop: same counters, same per-slice trace, on a real RT
+/// workload — including when decode sharding is stacked on top.
+#[test]
+fn hook_event_stream_identical_under_timing_sharded_commit() {
+    let scene = SceneId::Wknd.build(3);
+    let workload = RtWorkload::full_frame(&scene, 32, 32, trace());
+
+    let mut serial_hooks = TraceHooks::new(10_000);
+    let serial =
+        Simulator::new(GpuConfig::mobile_soc()).run_with_hooks(&workload, &mut serial_hooks);
+
+    for (timing_threads, sim_threads) in [(2, 1), (4, 1), (4, 4)] {
+        let mut config = GpuConfig::mobile_soc();
+        config.timing_threads = timing_threads;
+        config.sim_threads = sim_threads;
+        let mut sharded_hooks = TraceHooks::new(10_000);
+        let sharded = Simulator::new(config).run_with_hooks(&workload, &mut sharded_hooks);
+
+        assert_eq!(serial, sharded);
+        assert_eq!(serial_hooks.counters(), sharded_hooks.counters());
+        assert_eq!(
+            serial_hooks.slices(),
+            sharded_hooks.slices(),
+            "timing_threads={timing_threads} sim_threads={sim_threads}: trace \
+             slices must replay in exact serial order"
+        );
+    }
+}
+
+/// The whole pipeline — prediction values, per-group stats and every
+/// stage-cache fingerprint — is unchanged by `timing_threads`, so cached
+/// artifacts stay valid when the knob changes between runs.
+#[test]
+fn pipeline_values_and_fingerprints_identical_under_timing_sharding() {
+    let scene = SceneId::Sprng.build(1);
+    let run_with = |timing_threads: usize, sim_threads: usize| {
+        let mut z = Zatel::new(&scene, GpuConfig::mobile_soc(), 64, 64, trace());
+        z.options_mut().parallel = false;
+        z.options_mut().sim_threads = Some(sim_threads);
+        z.options_mut().timing_threads = Some(timing_threads);
+        let cache = ArtifactCache::in_memory();
+        z.execute(&RunContext::new().with_cache(&cache))
+            .expect("pipeline runs")
+    };
+    let serial = run_with(1, 1);
+    for (timing_threads, sim_threads) in [(2, 1), (4, 1), (2, 4), (4, 4)] {
+        let sharded = run_with(timing_threads, sim_threads);
+        for m in Metric::ALL {
+            assert_eq!(
+                serial.value(m),
+                sharded.value(m),
+                "timing_threads={timing_threads}: prediction for {m:?} drifted"
+            );
+        }
+        assert_eq!(serial.groups.len(), sharded.groups.len());
+        for (s, p) in serial.groups.iter().zip(&sharded.groups) {
+            assert_eq!(s.stats, p.stats, "group {} stats drifted", s.index);
+        }
+        assert_eq!(
+            serial.cache.len(),
+            sharded.cache.len(),
+            "same stage sequence"
+        );
+        for (s, p) in serial.cache.iter().zip(&sharded.cache) {
+            assert_eq!(s.stage, p.stage);
+            assert_eq!(
+                s.fingerprint, p.fingerprint,
+                "timing_threads={timing_threads}: `{}` fingerprint moved — the \
+                 knob leaked into a cache key",
+                s.stage
+            );
+        }
+    }
+}
+
+/// Timing telemetry is observational only: `run_instrumented` returns
+/// byte-identical `SimStats` to the plain `run`, and the timing record
+/// appears exactly when the commit loop is sharded.
+#[test]
+fn timing_telemetry_never_changes_stats_or_their_json() {
+    let scene = SceneId::Bunny.build(1);
+    let workload = RtWorkload::full_frame(&scene, 32, 32, trace());
+    for timing_threads in [1u32, 4] {
+        let mut config = GpuConfig::mobile_soc();
+        config.timing_threads = timing_threads;
+        let plain = Simulator::new(config.clone()).run(&workload);
+        let mut hooks = gpusim::NullHooks;
+        let (instrumented, telemetry) =
+            Simulator::new(config).run_instrumented(&workload, &mut hooks);
+        assert_eq!(
+            plain, instrumented,
+            "timing_threads={timing_threads}: instrumentation leaked into SimStats"
+        );
+        assert_eq!(
+            plain.to_json().pretty(),
+            instrumented.to_json().pretty(),
+            "timing_threads={timing_threads}: stats JSON must stay byte-identical"
+        );
+        let timing = telemetry.as_ref().and_then(|t| t.timing.as_ref());
+        assert_eq!(
+            timing.is_some(),
+            timing_threads > 1,
+            "timing telemetry is a sharded-commit record only"
+        );
+        if let Some(t) = timing {
+            assert!(t.worker_count > 0, "sharded run records its worker pool");
+            assert!(!t.workers.is_empty(), "sharded run records per-worker rows");
+            assert!(
+                t.workers.iter().any(|w| !w.partitions.is_empty()),
+                "workers record the partitions they own"
+            );
+        }
+    }
+}
+
+/// A stride-striped scripted workload exercising every op kind, sized by
+/// the proptest case.
+fn scripted(threads: u64, salt: u64) -> ScriptedWorkload {
+    ScriptedWorkload::per_thread(threads, move |i| {
+        let i = i.wrapping_add(salt);
+        vec![
+            Op::RtNode {
+                addr: (i % 89) * 32,
+            },
+            Op::Load {
+                addr: i * 48,
+                bytes: (i % 3) as u32 * 16 + 4,
+            },
+            Op::Compute {
+                cycles: (i % 5) as u32 + 1,
+                insts: (i % 4) as u32 + 1,
+            },
+            Op::Store {
+                addr: i * 24,
+                bytes: 8,
+            },
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random grid sizes and random timing/decode shard counts never
+    /// change `SimStats`.
+    #[test]
+    fn random_timing_shard_counts_never_change_stats(
+        threads in 0u64..600,
+        salt in 0u64..1000,
+        timing_threads in 2u32..12,
+        sim_threads in 1u32..6,
+    ) {
+        let w = scripted(threads, salt);
+        let serial = Simulator::new(GpuConfig::mobile_soc()).run(&w);
+        let mut config = GpuConfig::mobile_soc();
+        config.timing_threads = timing_threads;
+        config.sim_threads = sim_threads;
+        let sharded = Simulator::new(config).run(&w);
+        prop_assert_eq!(serial, sharded);
+    }
+}
+
+/// Interleaving exploration for the partition seam-exchange protocol
+/// (`--cfg zatel_schedule_test` builds only): the cooperative scheduler
+/// elects the timing workers' order at every seam acquisition, and 500+
+/// provably distinct schedules (distinct election-trace hashes) all
+/// produce bit-identical stats and hook streams.
+///
+/// Run with: `RUSTFLAGS='--cfg zatel_schedule_test' cargo test --test
+/// timing_threads_identity`.
+#[cfg(zatel_schedule_test)]
+mod seam_exchange_schedules {
+    use std::collections::HashSet;
+
+    use gpusim::schedule;
+    use gpusim::workload::{Op, ScriptedWorkload};
+    use gpusim::{GpuConfig, Simulator, TraceHooks};
+
+    /// Memory-heavy and branchy: enough loads/stores per partition that
+    /// seam exchanges, deferred-request flushes and worker wake-ups
+    /// genuinely race, small enough that one scheduled run stays fast.
+    fn workload() -> ScriptedWorkload {
+        ScriptedWorkload::per_thread(192, |i| {
+            vec![
+                Op::Load {
+                    addr: i * 128,
+                    bytes: 32,
+                },
+                Op::RtNode {
+                    addr: (i % 47) * 32,
+                },
+                Op::Store {
+                    addr: i * 96,
+                    bytes: 16,
+                },
+                Op::Load {
+                    addr: (i % 31) * 4096,
+                    bytes: 16,
+                },
+            ]
+        })
+    }
+
+    fn timing_sharded_cfg() -> GpuConfig {
+        let mut cfg = GpuConfig::mobile_soc();
+        cfg.timing_threads = 4; // commit loop + 3 partition workers
+        cfg
+    }
+
+    fn scheduled_run(seed: u64) -> (gpusim::stats::SimStats, TraceHooks, schedule::ScheduleTrace) {
+        let w = workload();
+        schedule::install(seed);
+        let mut hooks = TraceHooks::new(400);
+        let stats = Simulator::new(timing_sharded_cfg()).run_with_hooks(&w, &mut hooks);
+        let trace = schedule::uninstall().expect("scheduler was installed");
+        (stats, hooks, trace)
+    }
+
+    #[test]
+    fn five_hundred_distinct_seam_interleavings_stay_bit_identical() {
+        let w = workload();
+        let mut serial_hooks = TraceHooks::new(400);
+        let serial = Simulator::new(GpuConfig::mobile_soc()).run_with_hooks(&w, &mut serial_hooks);
+
+        let mut hashes = HashSet::new();
+        let mut seeds_run = 0u64;
+        for seed in 0..600u64 {
+            let (stats, hooks, trace) = scheduled_run(seed);
+            assert_eq!(serial, stats, "seed {seed}: stats must be bit-identical");
+            assert_eq!(
+                serial_hooks.counters(),
+                hooks.counters(),
+                "seed {seed}: hook counters must be bit-identical"
+            );
+            assert_eq!(
+                serial_hooks.slices(),
+                hooks.slices(),
+                "seed {seed}: trace slices must replay in exact serial order"
+            );
+            assert!(
+                trace.steps > 0,
+                "seed {seed}: the run must pass through schedule points"
+            );
+            hashes.insert(trace.hash);
+            seeds_run += 1;
+            if hashes.len() >= 500 {
+                break;
+            }
+        }
+        assert!(
+            hashes.len() >= 500,
+            "only {} distinct interleavings in {} seeded runs — the seam \
+             exchange has lost its scheduling freedom or the trace hash \
+             collapsed",
+            hashes.len(),
+            seeds_run
+        );
+    }
+
+    #[test]
+    fn seam_exchange_replays_deterministically_per_seed() {
+        let (stats_a, hooks_a, trace_a) = scheduled_run(0x5EA0);
+        let (stats_b, hooks_b, trace_b) = scheduled_run(0x5EA0);
+        assert_eq!(trace_a, trace_b, "equal seeds must replay equal schedules");
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(hooks_a.counters(), hooks_b.counters());
+        assert_eq!(hooks_a.slices(), hooks_b.slices());
+    }
+
+    #[test]
+    fn timing_and_decode_sharding_survive_scheduling_together() {
+        let w = workload();
+        let mut serial_hooks = TraceHooks::new(400);
+        let serial = Simulator::new(GpuConfig::mobile_soc()).run_with_hooks(&w, &mut serial_hooks);
+        let mut cfg = timing_sharded_cfg();
+        cfg.sim_threads = 3; // 2 decode shards stacked on 3 timing workers
+        for seed in [1u64, 7, 42] {
+            schedule::install(seed);
+            let mut hooks = TraceHooks::new(400);
+            let stats = Simulator::new(cfg.clone()).run_with_hooks(&w, &mut hooks);
+            let trace = schedule::uninstall().expect("scheduler was installed");
+            assert!(trace.steps > 0);
+            assert_eq!(serial, stats, "seed {seed}: stacked sharding drifted");
+            assert_eq!(serial_hooks.counters(), hooks.counters());
+            assert_eq!(serial_hooks.slices(), hooks.slices());
+        }
+    }
+}
